@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Ablation: GBV's priority-queue re-relaxation — cost of supporting
+ * cyclic graphs. Compares alignment of the same query against (a) an
+ * acyclic bubble chain (each column computed once in topological
+ * order) and (b) the same chain with back edges (requeue traffic),
+ * plus the requeue/merge counters.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "align/gbv.hpp"
+#include "core/rng.hpp"
+#include "graph/local_graph.hpp"
+#include "synth/pangenome_sim.hpp"
+
+namespace {
+
+using namespace pgb;
+
+struct Setup
+{
+    graph::LocalGraph dag;
+    graph::LocalGraph cyclic;
+    std::vector<uint8_t> query;
+};
+
+const Setup &
+setup()
+{
+    static const Setup s = [] {
+        Setup out;
+        core::Rng rng(5150);
+        // Bubble chain of ~600 bases.
+        uint32_t prev = UINT32_MAX;
+        auto add_chain = [&](graph::LocalGraph &g) {
+            prev = UINT32_MAX;
+            for (int b = 0; b < 30; ++b) {
+                std::vector<uint8_t> bases;
+                for (int i = 0; i < 20; ++i) {
+                    bases.push_back(
+                        static_cast<uint8_t>(rng.below(4)));
+                }
+                const uint32_t node = g.addNode(bases);
+                const uint32_t alt = g.addNode(
+                    std::vector<uint8_t>{static_cast<uint8_t>(
+                        rng.below(4))});
+                if (prev != UINT32_MAX) {
+                    g.addEdge(prev, node);
+                    g.addEdge(prev, alt);
+                    g.addEdge(alt, node);
+                }
+                prev = node;
+            }
+        };
+        core::Rng save = rng;
+        add_chain(out.dag);
+        out.dag.finalize();
+        rng = save;
+        add_chain(out.cyclic);
+        // Back edges every 10 bubbles make it cyclic.
+        out.cyclic.addEdge(prev, 0);
+        out.cyclic.finalize();
+        out.query.reserve(400);
+        for (int i = 0; i < 400; ++i)
+            out.query.push_back(static_cast<uint8_t>(rng.below(4)));
+        return out;
+    }();
+    return s;
+}
+
+void
+BM_GbvAcyclic(benchmark::State &state)
+{
+    const Setup &s = setup();
+    uint64_t requeues = 0;
+    for (auto _ : state) {
+        const auto result = align::gbvAlign(s.dag, s.query);
+        requeues = result.requeues;
+        benchmark::DoNotOptimize(result.distance);
+    }
+    state.counters["requeues"] = static_cast<double>(requeues);
+}
+BENCHMARK(BM_GbvAcyclic);
+
+void
+BM_GbvCyclic(benchmark::State &state)
+{
+    const Setup &s = setup();
+    uint64_t requeues = 0;
+    for (auto _ : state) {
+        const auto result = align::gbvAlign(s.cyclic, s.query);
+        requeues = result.requeues;
+        benchmark::DoNotOptimize(result.distance);
+    }
+    state.counters["requeues"] = static_cast<double>(requeues);
+}
+BENCHMARK(BM_GbvCyclic);
+
+} // namespace
+
+BENCHMARK_MAIN();

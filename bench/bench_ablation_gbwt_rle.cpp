@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation: GBWT run-length-encoded record bodies (the GBWT design)
+ * vs plain per-visit arrays — the compression is what keeps the
+ * occurrence-table lookups local (paper §5.2: GBWT is *not* memory
+ * bound because haplotype runs keep queries compact).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "index/gbwt.hpp"
+
+namespace {
+
+using namespace pgb;
+using namespace pgb::bench;
+
+struct Setup
+{
+    synth::Pangenome pangenome;
+    std::vector<std::vector<graph::Handle>> queries;
+};
+
+const Setup &
+setup()
+{
+    static const Setup s = [] {
+        Setup out;
+        out.pangenome = synth::simulatePangenome(
+            synth::mGraphLikeConfig(smallScale() ? 20000 : 60000, 3));
+        core::Rng rng(31);
+        const auto &graph = out.pangenome.graph;
+        for (int q = 0; q < 4000; ++q) {
+            const auto path = static_cast<graph::PathId>(
+                rng.below(graph.pathCount()));
+            const auto &steps = graph.pathSteps(path);
+            const size_t len = 1 + rng.below(std::min<size_t>(
+                100, steps.size()));
+            const size_t start = rng.below(steps.size() - len + 1);
+            out.queries.emplace_back(
+                steps.begin() + static_cast<ptrdiff_t>(start),
+                steps.begin() + static_cast<ptrdiff_t>(start + len));
+        }
+        return out;
+    }();
+    return s;
+}
+
+void
+BM_GbwtFind(benchmark::State &state)
+{
+    const Setup &s = setup();
+    const bool rle = state.range(0) != 0;
+    const index::GbwtIndex gbwt(s.pangenome.graph, rle);
+    uint64_t sink = 0;
+    for (auto _ : state) {
+        for (const auto &query : s.queries)
+            sink += gbwt.find(query).size();
+        benchmark::DoNotOptimize(sink);
+    }
+    const auto stats = gbwt.stats();
+    state.counters["body_entries"] =
+        static_cast<double>(stats.totalRuns);
+    state.counters["avg_run"] = stats.avgRunLength;
+    state.SetLabel(rle ? "run-length encoded (GBWT design)"
+                       : "plain visit arrays");
+}
+BENCHMARK(BM_GbwtFind)->Arg(1)->Arg(0);
+
+} // namespace
+
+BENCHMARK_MAIN();

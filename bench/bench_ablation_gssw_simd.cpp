@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation: GSSW's design levers — the striped SIMD engine vs the
+ * per-cell scalar DP, and retaining the full DP matrices (gssw's
+ * traceback requirement, the §6.1 memory bottleneck) vs discarding
+ * them (the paper's proposed optimization).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "align/gssw.hpp"
+#include "bench_common.hpp"
+#include "kernel_runners.hpp"
+
+namespace {
+
+using namespace pgb;
+using namespace pgb::bench;
+
+const KernelInputs &
+inputs()
+{
+    static const StandardWorkload workload = makeStandardWorkload();
+    static const KernelInputs in = captureKernelInputs(workload);
+    return in;
+}
+
+void
+BM_GsswStriped(benchmark::State &state)
+{
+    const auto &in = inputs();
+    core::NullProbe probe;
+    const bool keep = state.range(0) != 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runGssw(in, probe, keep));
+    state.SetLabel(keep ? "keepMatrices (gssw default)"
+                        : "no matrix writeback (paper 6.1 proposal)");
+}
+BENCHMARK(BM_GsswStriped)->Arg(1)->Arg(0);
+
+void
+BM_GsswScalar(benchmark::State &state)
+{
+    const auto &in = inputs();
+    for (auto _ : state) {
+        uint64_t sink = 0;
+        for (const auto &trace : in.gssw) {
+            sink += static_cast<uint64_t>(
+                align::gsswAlignScalar(
+                    trace.subgraph, trace.query,
+                    align::ScoreParams::mappingDefaults())
+                    .score);
+        }
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetLabel("per-cell scalar DP (no SIMD)");
+}
+BENCHMARK(BM_GsswScalar);
+
+} // namespace
+
+BENCHMARK_MAIN();

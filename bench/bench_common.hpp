@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Shared infrastructure for the evaluation-reproduction benches: the
+ * standard scaled-down chromosome-20 workload, kernel input capture,
+ * the single-threaded characterization harness (probe -> cache sim ->
+ * branch sim -> top-down model), and table printing helpers.
+ *
+ * Every bench binary regenerates one table or figure of the paper
+ * (see DESIGN.md §3) and prints the paper's reported values next to
+ * the measured/modeled ones where applicable.
+ */
+
+#ifndef PGB_BENCH_COMMON_HPP
+#define PGB_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <memory>
+
+#include "core/probe.hpp"
+#include "core/rng.hpp"
+#include "core/timer.hpp"
+#include "layout/pgsgd.hpp"
+#include "pipeline/mapper.hpp"
+#include "prof/topdown.hpp"
+#include "prof/trace_probe.hpp"
+#include "seq/read_sim.hpp"
+#include "synth/pangenome_sim.hpp"
+
+namespace pgb::bench {
+
+/** Scale knob: PGB_BENCH_SCALE=small shrinks every workload. */
+inline bool
+smallScale()
+{
+    const char *env = std::getenv("PGB_BENCH_SCALE");
+    return env != nullptr && std::string(env) == "small";
+}
+
+/** The standard scaled-down chr20 stand-in shared by the benches. */
+struct StandardWorkload
+{
+    synth::Pangenome pangenome;
+    std::vector<seq::Sequence> shortReads; ///< 150 bp Illumina-like
+    std::vector<seq::Sequence> longReads;  ///< scaled HiFi-like
+    size_t longReadLength = 0;
+};
+
+inline StandardWorkload
+makeStandardWorkload(uint64_t seed = 42)
+{
+    StandardWorkload w;
+    const size_t base = smallScale() ? 40000 : 150000;
+    const size_t n_short = smallScale() ? 100 : 400;
+    const size_t n_long = smallScale() ? 10 : 30;
+    w.longReadLength = smallScale() ? 1000 : 2500;
+
+    w.pangenome =
+        synth::simulatePangenome(synth::mGraphLikeConfig(base, seed));
+    seq::ReadSimulator short_sim(seq::ReadProfile::shortRead(),
+                                 seed ^ 0x111);
+    seq::ReadProfile long_profile = seq::ReadProfile::longRead();
+    long_profile.readLength = w.longReadLength;
+    seq::ReadSimulator long_sim(long_profile, seed ^ 0x222);
+    const auto &haps = w.pangenome.haplotypes;
+    for (size_t r = 0; r < n_short; ++r)
+        w.shortReads.push_back(short_sim.sample(haps[r % haps.size()])
+                                   .read);
+    for (size_t r = 0; r < n_long; ++r)
+        w.longReads.push_back(long_sim.sample(haps[r % haps.size()])
+                                  .read);
+    return w;
+}
+
+/** One kernel's characterization outputs (Figures 6-8, Table 6). */
+struct Characterization
+{
+    std::string name;
+    core::CountingProbe counts;
+    prof::TopDownResult topdown;
+    double mpkiL1 = 0.0, mpkiL2 = 0.0, mpkiL3 = 0.0;
+    double branchMispredictRate = 0.0;
+};
+
+/**
+ * Run @p body once with a TraceProbe wired to the Machine-B cache
+ * model and the gshare branch model, then evaluate the top-down model.
+ */
+inline Characterization
+characterize(std::string name,
+             const std::function<void(prof::TraceProbe &)> &body)
+{
+    Characterization out;
+    out.name = std::move(name);
+    auto cache = prof::CacheSim::machineB();
+    prof::BranchSim branches;
+    prof::TraceProbe probe(cache, branches);
+    body(probe);
+    out.counts = probe;
+    out.topdown = prof::analyzeTopDown(probe, cache, branches);
+    const uint64_t ops = probe.totalOps();
+    out.mpkiL1 = cache.exclusiveMpki(0, ops);
+    out.mpkiL2 = cache.exclusiveMpki(1, ops);
+    out.mpkiL3 = cache.exclusiveMpki(2, ops);
+    out.branchMispredictRate = branches.mispredictRate();
+    return out;
+}
+
+/**
+ * A long 1 bp-node chain pangenome for the layout kernels: the paper
+ * runs PGSGD on whole graphs whose layout footprint exceeds the
+ * last-level caches, unlike the cache-resident mapping subgraphs.
+ */
+struct LayoutChain
+{
+    std::unique_ptr<layout::PathIndex> index;
+    size_t nodeCount = 0;
+};
+
+inline LayoutChain
+makeLayoutChain(size_t n_nodes, uint64_t seed = 4242)
+{
+    graph::PanGraph big;
+    std::vector<graph::Handle> steps;
+    steps.reserve(n_nodes);
+    core::Rng rng(seed);
+    for (size_t i = 0; i < n_nodes; ++i) {
+        const auto node = big.addNode(seq::Sequence(
+            std::vector<uint8_t>{static_cast<uint8_t>(rng.below(4))}));
+        if (i > 0) {
+            big.addEdge(graph::Handle(node - 1, false),
+                        graph::Handle(node, false));
+        }
+        steps.emplace_back(node, false);
+    }
+    big.addPath("layout", std::move(steps));
+    LayoutChain chain;
+    chain.index = std::make_unique<layout::PathIndex>(big);
+    chain.nodeCount = big.nodeCount();
+    return chain;
+}
+
+/** Print a horizontal rule + title. */
+inline void
+banner(const char *title)
+{
+    std::printf("\n================================================="
+                "=============================\n%s\n"
+                "=================================================="
+                "============================\n",
+                title);
+}
+
+} // namespace pgb::bench
+
+#endif // PGB_BENCH_COMMON_HPP

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Figure 11 (case study §6.2): GSSW on the M-graph vs the
+ * Split-M-graph (every node longer than 8 bp split into 8 bp chains).
+ *
+ * Reproduction target: the split graph's finer nodes let the
+ * filtering stages localize seeds more precisely, so the captured
+ * subgraphs are smaller, fewer DP cells are computed, and GSSW runs
+ * measurably faster despite near-identical microarchitectural
+ * utilization. (Paper: avg node 27.22 -> 6.89 bp, subgraph 450 ->
+ * 233 bp, fewer cycles.)
+ */
+
+#include "bench_common.hpp"
+#include "kernel_runners.hpp"
+
+namespace {
+
+using namespace pgb;
+using namespace pgb::bench;
+
+struct SideResult
+{
+    double avgNodeLen = 0.0;
+    double avgSubgraphBases = 0.0;
+    uint64_t cells = 0;
+    double milliseconds = 0.0;
+    prof::TopDownResult topdown;
+};
+
+SideResult
+runSide(const graph::PanGraph &graph,
+        const std::vector<seq::Sequence> &reads)
+{
+    SideResult out;
+    out.avgNodeLen = graph.stats().avgNodeLength;
+
+    pipeline::MapperConfig config;
+    config.profile = pipeline::ToolProfile::kVgMap;
+    pipeline::Seq2GraphMapper mapper(graph, config);
+    const auto traces = mapper.captureAlignTraces(
+        reads, smallScale() ? 20 : 60);
+
+    uint64_t total_bases = 0;
+    for (const auto &trace : traces)
+        total_bases += trace.subgraph.totalBases();
+    out.avgSubgraphBases = traces.empty()
+        ? 0.0 : static_cast<double>(total_bases) /
+                static_cast<double>(traces.size());
+
+    // Timed, uninstrumented run.
+    core::NullProbe null_probe;
+    core::WallTimer timer;
+    for (const auto &trace : traces) {
+        const auto result = align::gsswAlign(
+            trace.subgraph, trace.query,
+            align::ScoreParams::mappingDefaults(),
+            align::GsswOptions{}, null_probe);
+        out.cells += result.cellsComputed;
+    }
+    out.milliseconds = timer.milliseconds();
+
+    // Characterized run.
+    const auto c = characterize("gssw", [&](prof::TraceProbe &probe) {
+        for (const auto &trace : traces) {
+            align::gsswAlign(trace.subgraph, trace.query,
+                             align::ScoreParams::mappingDefaults(),
+                             align::GsswOptions{}, probe);
+        }
+    });
+    out.topdown = c.topdown;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 11: GSSW on the M-graph vs the Split-M-graph");
+    const auto workload = makeStandardWorkload();
+    const auto &m_graph = workload.pangenome.graph;
+    const graph::PanGraph split_graph = m_graph.splitNodes(8);
+
+    const auto m_side = runSide(m_graph, workload.shortReads);
+    const auto split_side = runSide(split_graph, workload.shortReads);
+
+    std::printf("%-14s %12s %12s %12s %10s %8s\n", "graph",
+                "avg node bp", "subgraph bp", "DP cells", "time(ms)",
+                "IPC");
+    std::printf("%-14s %12.2f %12.0f %12llu %10.2f %8.2f\n", "M-graph",
+                m_side.avgNodeLen, m_side.avgSubgraphBases,
+                static_cast<unsigned long long>(m_side.cells),
+                m_side.milliseconds, m_side.topdown.ipc);
+    std::printf("%-14s %12.2f %12.0f %12llu %10.2f %8.2f\n",
+                "Split-M-graph", split_side.avgNodeLen,
+                split_side.avgSubgraphBases,
+                static_cast<unsigned long long>(split_side.cells),
+                split_side.milliseconds, split_side.topdown.ipc);
+    std::printf("\nruntime ratio (M / Split-M): %.2fx\n",
+                split_side.milliseconds == 0.0
+                    ? 0.0
+                    : m_side.milliseconds / split_side.milliseconds);
+    std::printf("Paper Figure 11: node length 27.22 -> 6.89 bp, "
+                "captured subgraphs 450 -> 233 bp, similar "
+                "microarchitecture utilization, fewer cycles on the "
+                "split graph — the same pangenome in a different "
+                "graph has different performance.\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 7: exclusive misses per kilo-instruction at L1/L2/L3 for the
+ * seven CPU kernels, replaying instrumented memory traces through the
+ * Machine-B cache model.
+ *
+ * Reproduction target (shape): the DP kernels (GSSW, GBV, GWFA) miss
+ * mostly in L1 and almost never reach L3 (they align to small,
+ * cache-resident subgraphs); PGSGD misses at every level (uniform
+ * random layout accesses); TC and GBWT stay modest.
+ */
+
+#include "bench_common.hpp"
+#include "kernel_runners.hpp"
+
+int
+main()
+{
+    using namespace pgb;
+    using namespace pgb::bench;
+
+    banner("Figure 7: cache misses per kilo-instruction (exclusive)");
+    const auto workload = makeStandardWorkload();
+    const auto inputs = captureKernelInputs(workload);
+
+    struct Row
+    {
+        const char *name;
+        std::function<void(prof::TraceProbe &)> run;
+    };
+    const Row rows[] = {
+        {"GSSW", [&](prof::TraceProbe &p) { runGssw(inputs, p); }},
+        {"GBV", [&](prof::TraceProbe &p) { runGbv(inputs, p); }},
+        {"GBWT", [&](prof::TraceProbe &p) { runGbwt(inputs, p); }},
+        {"GWFA-cr",
+         [&](prof::TraceProbe &p) { runGwfa(inputs.gwfaCr, p); }},
+        {"GWFA-lr",
+         [&](prof::TraceProbe &p) { runGwfa(inputs.gwfaLr, p); }},
+        {"PGSGD", [&](prof::TraceProbe &p) { runPgsgd(inputs, p); }},
+        {"TC", [&](prof::TraceProbe &p) { runTc(inputs, p); }},
+    };
+
+    std::printf("%-8s %10s %10s %10s\n", "kernel", "L1 MPKI",
+                "L2 MPKI", "L3 MPKI");
+    for (const Row &row : rows) {
+        const auto c = characterize(row.name, row.run);
+        std::printf("%-8s %10.3f %10.3f %10.3f\n", row.name, c.mpkiL1,
+                    c.mpkiL2, c.mpkiL3);
+    }
+    std::printf("\nPaper Figure 7 shape: DP kernels (GSSW/GBV/GWFA) "
+                "miss mostly in L1 and rarely in L3; PGSGD misses at "
+                "every level; the graph itself is not the bottleneck.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 8: dynamic instruction mix per kernel (MICA-style
+ * hierarchical binning: Vector > Control > Memory > Scalar >
+ * Register), from the counting probes.
+ *
+ * Reproduction target (shape): GSSW is vector+memory heavy
+ * (hand-vectorized, matrix writebacks); GWFA has the fewest vector
+ * ops of the DP kernels (graph bookkeeping defeats vectorization);
+ * GBV is scalar (64-bit words); PGSGD's FP math bins as vector (the
+ * paper's MULSD observation); GBWT and TC are scalar/memory mixes.
+ */
+
+#include "bench_common.hpp"
+#include "kernel_runners.hpp"
+
+int
+main()
+{
+    using namespace pgb;
+    using namespace pgb::bench;
+
+    banner("Figure 8: dynamic instruction mix");
+    const auto workload = makeStandardWorkload();
+    const auto inputs = captureKernelInputs(workload);
+
+    struct Row
+    {
+        const char *name;
+        std::function<void(prof::TraceProbe &)> run;
+    };
+    const Row rows[] = {
+        {"GSSW", [&](prof::TraceProbe &p) { runGssw(inputs, p); }},
+        {"GBV", [&](prof::TraceProbe &p) { runGbv(inputs, p); }},
+        {"GBWT", [&](prof::TraceProbe &p) { runGbwt(inputs, p); }},
+        {"GWFA-cr",
+         [&](prof::TraceProbe &p) { runGwfa(inputs.gwfaCr, p); }},
+        {"GWFA-lr",
+         [&](prof::TraceProbe &p) { runGwfa(inputs.gwfaLr, p); }},
+        {"PGSGD", [&](prof::TraceProbe &p) { runPgsgd(inputs, p); }},
+        {"TC", [&](prof::TraceProbe &p) { runTc(inputs, p); }},
+    };
+
+    std::printf("%-8s %9s %9s %9s %9s %9s %14s\n", "kernel", "vector",
+                "control", "memory", "scalar", "register", "total ops");
+    for (const Row &row : rows) {
+        const auto c = characterize(row.name, row.run);
+        const double total =
+            static_cast<double>(c.counts.totalOps());
+        auto pct = [&](core::OpKind kind) {
+            return 100.0 *
+                   static_cast<double>(
+                       c.counts.counts[static_cast<size_t>(kind)]) /
+                   total;
+        };
+        std::printf("%-8s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%% "
+                    "%14llu\n",
+                    row.name, pct(core::OpKind::kVector),
+                    pct(core::OpKind::kControl),
+                    pct(core::OpKind::kMemory),
+                    pct(core::OpKind::kScalar),
+                    pct(core::OpKind::kRegister),
+                    static_cast<unsigned long long>(
+                        c.counts.totalOps()));
+    }
+    std::printf("\nPaper Figure 8 shape: GSSW vector+memory heavy; "
+                "GWFA least vectorized of the DP kernels; GBV scalar "
+                "(64-bit bitvectors); PGSGD FP binned as vector; "
+                "GBWT/TC scalar-memory mixes.\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table 4: measured kernel execution times on their captured datasets
+ * (the paper's Machine B wall-clock numbers, here on scaled-down
+ * synthetic inputs — absolute values differ, the ranking is the
+ * reproducible signal: GWFA-cr >> TC > PGSGD > GBV > GSSW > GBWT).
+ */
+
+#include "bench_common.hpp"
+#include "kernel_runners.hpp"
+
+int
+main()
+{
+    using namespace pgb;
+    using namespace pgb::bench;
+
+    banner("Table 4: kernel execution time (uninstrumented)");
+    const auto workload = makeStandardWorkload();
+    const auto inputs = captureKernelInputs(workload);
+    core::NullProbe null_probe;
+
+    struct Row
+    {
+        const char *name;
+        std::function<uint64_t()> run;
+        double paperSeconds;
+    };
+    const Row rows[] = {
+        {"GBV", [&] { return runGbv(inputs, null_probe); }, 192},
+        {"GSSW", [&] { return runGssw(inputs, null_probe); }, 35},
+        {"GBWT", [&] { return runGbwt(inputs, null_probe); }, 23},
+        {"GWFA-cr",
+         [&] { return runGwfa(inputs.gwfaCr, null_probe); }, 16657},
+        {"GWFA-lr",
+         [&] { return runGwfa(inputs.gwfaLr, null_probe); }, 720},
+        {"PGSGD", [&] { return runPgsgd(inputs, null_probe); }, 285},
+        {"TC", [&] { return runTc(inputs, null_probe); }, 755},
+    };
+
+    std::printf("%-8s %12s %12s %14s\n", "kernel", "measured(ms)",
+                "paper(s)", "inputs");
+    uint64_t sink = 0;
+    for (const Row &row : rows) {
+        core::WallTimer timer;
+        sink += row.run();
+        std::printf("%-8s %12.1f %12.0f\n", row.name,
+                    timer.milliseconds(), row.paperSeconds);
+    }
+    std::printf("\n(checksum %llu; paper Table 4 measured GBV 192s, "
+                "GSSW 35s, GBWT 23s, GWFA-cr 16657s, GWFA-lr 720s, "
+                "PGSGD 285s, TC 755s on full chr20 data)\n",
+                static_cast<unsigned long long>(sink));
+    return 0;
+}

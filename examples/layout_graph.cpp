@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Scenario: compute a 2-D layout of a pangenome graph with PGSGD (the
+ * odgi-layout visualization step) on the CPU and on the simulated
+ * GPU, and emit the coordinates as TSV for plotting.
+ *
+ * Run:  ./example_layout_graph [graph.gfa [layout.tsv]]
+ */
+
+#include <cstdio>
+
+#include "core/thread_pool.hpp"
+#include "core/timer.hpp"
+#include <fstream>
+
+#include "gpu/pgsgd_gpu.hpp"
+#include "graph/gfa.hpp"
+#include "layout/pgsgd.hpp"
+#include "synth/pangenome_sim.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pgb;
+
+    graph::PanGraph graph;
+    if (argc >= 2) {
+        graph = graph::readGfaFile(argv[1]);
+    } else {
+        graph = synth::simulatePangenome(
+                    synth::mGraphLikeConfig(40000, 31))
+                    .graph;
+    }
+    std::printf("layout of %zu nodes / %zu paths\n", graph.nodeCount(),
+                graph.pathCount());
+
+    const layout::PathIndex index(graph);
+
+    // --- CPU Hogwild! run.
+    layout::Layout cpu_layout(graph.nodeCount(), 5);
+    layout::PgsgdParams params;
+    params.iterations = 30;
+    params.threads = core::hardwareThreads();
+    core::WallTimer timer;
+    const auto cpu = layout::pgsgdLayout(index, cpu_layout, params);
+    std::printf("CPU  PGSGD: stress %.4f -> %.4f, %llu updates, "
+                "%.1f ms (%u threads)\n",
+                cpu.stressBefore, cpu.stressAfter,
+                static_cast<unsigned long long>(cpu.updates),
+                timer.milliseconds(), params.threads);
+
+    // --- Simulated-GPU run.
+    layout::Layout gpu_layout(graph.nodeCount(), 5);
+    gpu::PgsgdGpuParams gpu_params;
+    gpu_params.sgd = params;
+    gpu_params.sgd.threads = 1;
+    const auto gpu = gpu::pgsgdGpuRun(gpusim::DeviceSpec::rtxA6000(),
+                                      index, gpu_layout, gpu_params);
+    std::printf("GPU  PGSGD: stress %.4f -> %.4f, occupancy %.1f%%, "
+                "warp util %.1f%%, %.2f ms simulated\n",
+                gpu.layout.stressBefore, gpu.layout.stressAfter,
+                100.0 * gpu.stats.achievedOccupancy,
+                100.0 * gpu.stats.warpUtilization,
+                gpu.stats.simSeconds * 1e3);
+
+    if (argc >= 3) {
+        std::ofstream out(argv[2]);
+        out << "node\tx\ty\n";
+        for (graph::NodeId node = 0; node < graph.nodeCount(); ++node) {
+            out << node << '\t'
+                << cpu_layout.x(layout::Layout::startPoint(node))
+                << '\t'
+                << cpu_layout.y(layout::Layout::startPoint(node))
+                << '\n';
+        }
+        std::printf("wrote %s\n", argv[2]);
+    }
+    return 0;
+}

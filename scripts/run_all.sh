@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Run the full PangenomicsBench evaluation (the role of the paper
+# artifact's mainRun.py): every bench binary, one log per experiment,
+# collected under AllRunsOut/ plus a combined bench_output.txt.
+#
+# usage: scripts/run_all.sh [build-dir] [small]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SCALE="${2:-full}"
+OUT_DIR="AllRunsOut"
+mkdir -p "$OUT_DIR"
+
+if [ "$SCALE" = "small" ]; then
+    export PGB_BENCH_SCALE=small
+fi
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" | tee "$OUT_DIR/ctest.log" | tail -2
+
+echo "== benches ($SCALE scale) =="
+: > "$OUT_DIR/bench_output.txt"
+for bench in "$BUILD_DIR"/bench/*; do
+    name=$(basename "$bench")
+    echo "-- $name"
+    "$bench" --benchmark_min_time=0.05 2>&1 | tee "$OUT_DIR/$name.log" \
+        >> "$OUT_DIR/bench_output.txt"
+done
+
+echo "done; results under $OUT_DIR/"

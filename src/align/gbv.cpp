@@ -1,0 +1,123 @@
+#include "align/gbv.hpp"
+
+#include <bit>
+#include <climits>
+
+#include "core/logging.hpp"
+
+namespace pgb::align {
+
+namespace gbvdetail {
+
+void
+expandScores(const GbvColumn &column, size_t m, std::vector<int32_t> &out)
+{
+    out.resize(m);
+    int32_t score = 0; // D(0, col) = 0 (free graph start)
+    for (size_t i = 0; i < m; ++i) {
+        const uint64_t bit = 1ull << (i % 64);
+        const size_t w = i / 64;
+        if (column.vp[w] & bit)
+            ++score;
+        else if (column.vn[w] & bit)
+            --score;
+        out[i] = score;
+    }
+}
+
+int32_t
+columnMinLowerBound(const GbvColumn &column)
+{
+    int32_t running = 0;
+    int32_t best = 0;
+    for (size_t w = 0; w < column.vp.size(); ++w) {
+        const auto ups =
+            static_cast<int32_t>(std::popcount(column.vp[w]));
+        const auto downs =
+            static_cast<int32_t>(std::popcount(column.vn[w]));
+        // Within the word the score can dip at most `downs` below the
+        // running value (all decrements first).
+        best = std::min(best, running - downs);
+        running += ups - downs;
+    }
+    return best;
+}
+
+GbvColumn
+rebuildColumn(const std::vector<int32_t> &scores, size_t words)
+{
+    GbvColumn out;
+    out.vp.assign(words, 0);
+    out.vn.assign(words, 0);
+    int32_t prev = 0;
+    for (size_t i = 0; i < scores.size(); ++i) {
+        const int32_t delta = scores[i] - prev;
+        if (delta == 1)
+            out.vp[i / 64] |= 1ull << (i % 64);
+        else if (delta == -1)
+            out.vn[i / 64] |= 1ull << (i % 64);
+        else if (delta != 0)
+            core::panic("rebuildColumn: non-unit score delta ", delta);
+        prev = scores[i];
+    }
+    out.score = scores.empty() ? 0 : scores.back();
+    return out;
+}
+
+} // namespace gbvdetail
+
+GbvResult
+gbvAlign(const graph::LocalGraph &graph, std::span<const uint8_t> query,
+         const GbvOptions &options)
+{
+    core::NullProbe probe;
+    return gbvAlign(graph, query, options, probe);
+}
+
+int32_t
+gbvAlignScalar(const graph::LocalGraph &graph,
+               std::span<const uint8_t> query)
+{
+    const graph::LocalGraph g1 = graph.splitTo1bp();
+    const size_t m = query.size();
+    const auto n = static_cast<uint32_t>(g1.nodeCount());
+    constexpr int32_t kInf = INT32_MAX / 2;
+
+    // cost[u][i] = D(i, column of node u); row 0 boundary is 0.
+    std::vector<std::vector<int32_t>> cost(
+        n, std::vector<int32_t>(m + 1, kInf));
+    for (auto &row : cost)
+        row[0] = 0;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t u = 0; u < n; ++u) {
+            const uint8_t base = g1.nodeSeq(u)[0];
+            auto &row = cost[u];
+            for (size_t i = 1; i <= m; ++i) {
+                const int32_t sub = query[i - 1] == base ? 0 : 1;
+                // Fresh start: virtual input column with D(i) = i.
+                int32_t best = std::min(
+                    static_cast<int32_t>(i - 1) + sub,
+                    static_cast<int32_t>(i) + 1);
+                for (uint32_t p : g1.predecessors(u)) {
+                    best = std::min(best, cost[p][i - 1] + sub);
+                    best = std::min(best, cost[p][i] + 1);
+                }
+                best = std::min(best, row[i - 1] + 1);
+                if (best < row[i]) {
+                    row[i] = best;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    int32_t best = static_cast<int32_t>(m); // all-insertion fallback
+    for (uint32_t u = 0; u < n; ++u)
+        best = std::min(best, cost[u][m]);
+    return best;
+}
+
+} // namespace pgb::align

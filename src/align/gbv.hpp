@@ -1,0 +1,397 @@
+/**
+ * @file
+ * GBV: Graph Myers's Bitvector alignment (Rautiainen et al., extracted
+ * from GraphAligner's alignment stage in the paper).
+ *
+ * Semi-global (query global, graph ends free) unit-cost alignment. The
+ * graph is expanded so every node carries exactly one base: each node's
+ * DP column is held bit-parallel as VP/VN word vectors (Myers 1999,
+ * block version), so a whole column updates in O(m/64) word steps.
+ *
+ * Graph-specific behaviour, as characterized in the paper (Figure 4b):
+ *  - a node's input column is the element-wise minimum of its parents'
+ *    columns (the branchy merge operation);
+ *  - on cyclic graphs a node's column can improve after its children
+ *    were computed, so changed nodes push their children onto a
+ *    priority queue and columns are re-relaxed until stable.
+ *
+ * The merge is implemented by score expansion (O(m)) rather than
+ * GraphAligner's O(m/64) bit-parallel merge; the single-parent common
+ * case stays fully bit-parallel. See DESIGN.md §4.
+ */
+
+#ifndef PGB_ALIGN_GBV_HPP
+#define PGB_ALIGN_GBV_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "core/logging.hpp"
+#include "core/probe.hpp"
+#include "graph/local_graph.hpp"
+
+namespace pgb::align {
+
+/** One bit-parallel DP column (VP/VN deltas plus the last-row score). */
+struct GbvColumn
+{
+    std::vector<uint64_t> vp, vn;
+    int32_t score = 0; ///< D(m, column)
+
+    bool
+    operator==(const GbvColumn &other) const
+    {
+        return score == other.score && vp == other.vp && vn == other.vn;
+    }
+};
+
+/** GBV result. */
+struct GbvResult
+{
+    int32_t distance = -1;       ///< best semi-global edit distance
+    uint32_t endNode = 0;        ///< 1bp-node index achieving it
+    uint64_t columnsComputed = 0;///< column updates incl. recomputation
+    uint64_t columnsPruned = 0;  ///< columns skipped by the band
+    uint64_t merges = 0;         ///< multi-parent merge operations
+    uint64_t requeues = 0;       ///< nodes pushed back after first visit
+    std::vector<uint32_t> traceWalk; ///< backtraced node walk (optional)
+};
+
+/** Internal bit-parallel machinery, exposed for unit testing. */
+namespace gbvdetail {
+
+/** Expand a column's per-row scores (D(1..m, col), with D(0)=0). */
+void expandScores(const GbvColumn &column, size_t m,
+                  std::vector<int32_t> &out);
+
+/** Rebuild VP/VN (and score) from per-row scores. */
+GbvColumn rebuildColumn(const std::vector<int32_t> &scores, size_t words);
+
+/**
+ * Word-granular lower bound on the column's minimum score: cheap
+ * (O(m/64)) and never above the true minimum, so band pruning on it
+ * is conservative with respect to the bound itself.
+ */
+int32_t columnMinLowerBound(const GbvColumn &column);
+
+} // namespace gbvdetail
+
+/** GBV options. */
+struct GbvOptions
+{
+    bool traceback = false; ///< recover the aligned node walk
+
+    /**
+     * Score banding, GraphAligner's key performance lever: a node's
+     * column is only computed when its input column's last-row score
+     * (the full-query completion cost) is within `band` of the best
+     * completion score seen so far. 0 disables banding (exact).
+     * Banding is a heuristic — like GraphAligner's, it can miss the
+     * optimal alignment when the true path's completion cost strays
+     * farther than the band from the running best.
+     */
+    int32_t band = 0;
+};
+
+/**
+ * Align @p query to @p graph (any node lengths; internally expanded to
+ * one base per node) with free graph start/end.
+ */
+template <typename Probe = core::NullProbe>
+GbvResult
+gbvAlign(const graph::LocalGraph &graph, std::span<const uint8_t> query,
+         const GbvOptions &options, Probe &probe)
+{
+    const size_t m = query.size();
+    if (m == 0)
+        core::fatal("gbvAlign: empty query");
+
+    // Expand to one base per node when needed.
+    const graph::LocalGraph *g1 = &graph;
+    graph::LocalGraph expanded;
+    bool needs_split = false;
+    for (uint32_t v = 0; v < graph.nodeCount(); ++v) {
+        if (graph.nodeLength(v) != 1) {
+            needs_split = true;
+            break;
+        }
+    }
+    if (needs_split) {
+        expanded = graph.splitTo1bp();
+        g1 = &expanded;
+    }
+    const auto n = static_cast<uint32_t>(g1->nodeCount());
+    const size_t words = (m + 63) / 64;
+
+    // Peq: per base code, bitmask of query positions matching it.
+    std::vector<uint64_t> peq(5 * words, 0);
+    for (size_t i = 0; i < m; ++i) {
+        if (query[i] < 4)
+            peq[static_cast<size_t>(query[i]) * words + i / 64] |=
+                1ull << (i % 64);
+    }
+
+    // Initial column: D(i) = i, i.e. VP all ones.
+    GbvColumn init;
+    init.vp.assign(words, ~0ull);
+    init.vn.assign(words, 0);
+    init.score = static_cast<int32_t>(m);
+    const uint64_t score_bit = 1ull << ((m - 1) % 64);
+    const size_t score_word = (m - 1) / 64;
+
+    // One Myers block step: out = step(in) with this node's base.
+    auto myers_step = [&](const GbvColumn &in, uint8_t base,
+                          GbvColumn &out) {
+        out.vp.resize(words);
+        out.vn.resize(words);
+        const uint64_t *eq_row = peq.data() +
+            static_cast<size_t>(base < 4 ? base : 4) * words;
+        uint64_t add_carry = 0;
+        uint64_t ph_carry = 0; // row-0 boundary: shift in 0 (free start)
+        uint64_t mh_carry = 0;
+        int32_t score = in.score;
+        for (size_t w = 0; w < words; ++w) {
+            probe.load(eq_row + w, 8);
+            probe.load(in.vp.data() + w, 8);
+            probe.load(in.vn.data() + w, 8);
+            const uint64_t eq = eq_row[w];
+            const uint64_t pv = in.vp[w];
+            const uint64_t mv = in.vn[w];
+            const uint64_t xv = eq | mv;
+            const __uint128_t sum =
+                static_cast<__uint128_t>(eq & pv) + pv + add_carry;
+            add_carry = static_cast<uint64_t>(sum >> 64);
+            const uint64_t xh =
+                (static_cast<uint64_t>(sum) ^ pv) | eq;
+            const uint64_t ph = mv | ~(xh | pv);
+            const uint64_t mh = pv & xh;
+            if (w == score_word) {
+                score += (ph & score_bit) ? 1 : 0;
+                score -= (mh & score_bit) ? 1 : 0;
+            }
+            const uint64_t ph_shift = (ph << 1) | ph_carry;
+            ph_carry = ph >> 63;
+            const uint64_t mh_shift = (mh << 1) | mh_carry;
+            mh_carry = mh >> 63;
+            out.vp[w] = mh_shift | ~(xv | ph_shift);
+            out.vn[w] = ph_shift & xv;
+            probe.store(out.vp.data() + w, 8);
+            probe.store(out.vn.data() + w, 8);
+            probe.op(core::OpKind::kScalar, 14);
+        }
+        // Mask padding bits so column comparisons are exact.
+        if (m % 64 != 0) {
+            const uint64_t mask = (1ull << (m % 64)) - 1;
+            out.vp[words - 1] &= mask;
+            out.vn[words - 1] &= mask;
+        }
+        out.score = score;
+    };
+
+    GbvResult result;
+
+    // Element-wise minimum of two columns (the graph merge step).
+    std::vector<int32_t> scores_a, scores_b;
+    auto merge_min = [&](const GbvColumn &a, const GbvColumn &b)
+        -> GbvColumn {
+        ++result.merges;
+        gbvdetail::expandScores(a, m, scores_a);
+        gbvdetail::expandScores(b, m, scores_b);
+        for (size_t i = 0; i < m; ++i) {
+            probe.load(scores_b.data() + i, 4);
+            probe.branch(/* site */ 40, scores_b[i] < scores_a[i]);
+            if (scores_b[i] < scores_a[i])
+                scores_a[i] = scores_b[i];
+        }
+        return gbvdetail::rebuildColumn(scores_a, words);
+    };
+
+    // Relaxation over the queue, ordered by node index (topological
+    // index for the DAG case since splitTo1bp emits chains in order).
+    std::vector<GbvColumn> columns(n);
+    std::vector<bool> computed(n, false);
+    std::vector<bool> in_queue(n, true);
+    std::priority_queue<uint32_t, std::vector<uint32_t>,
+                        std::greater<>> queue;
+    if (g1->isDag()) {
+        // Seed in topological order via index remap-free push: the
+        // splitTo1bp construction emits nodes in a valid order for
+        // chains, but general DAGs need the computed order. Pushing all
+        // indices and relying on re-relaxation is correct either way;
+        // pushing topologically just avoids requeues.
+        for (uint32_t u : g1->topoOrder())
+            queue.push(u);
+    } else {
+        for (uint32_t u = 0; u < n; ++u)
+            queue.push(u);
+    }
+
+    GbvColumn candidate;
+    int32_t best_band_score = static_cast<int32_t>(m);
+    while (!queue.empty()) {
+        const uint32_t u = queue.top();
+        queue.pop();
+        if (!in_queue[u])
+            continue; // stale duplicate entry
+        in_queue[u] = false;
+
+        // Input column: min over computed parents; fresh start if none.
+        const auto preds = g1->predecessors(u);
+        const GbvColumn *in_col = nullptr;
+        GbvColumn merged_in;
+        size_t computed_preds = 0;
+        for (uint32_t p : preds) {
+            probe.load(&p, 4);
+            probe.branch(/* site */ 41, computed[p]);
+            if (!computed[p])
+                continue;
+            ++computed_preds;
+            if (in_col == nullptr) {
+                in_col = &columns[p];
+            } else {
+                merged_in = merge_min(*in_col, columns[p]);
+                in_col = &merged_in;
+            }
+        }
+        if (in_col == nullptr)
+            in_col = &init;
+
+        // Band pruning (GraphAligner's lever): skip nodes whose input
+        // column's completion score is already far worse than the
+        // best completion seen.
+        if (options.band > 0 && in_col != &init) {
+            probe.op(core::OpKind::kScalar, 2);
+            probe.branch(/* site */ 47,
+                         in_col->score >
+                             best_band_score + options.band);
+            if (in_col->score > best_band_score + options.band) {
+                ++result.columnsPruned;
+                continue;
+            }
+        }
+
+        myers_step(*in_col, g1->nodeSeq(u)[0], candidate);
+        ++result.columnsComputed;
+
+        if (options.band > 0)
+            best_band_score = std::min(best_band_score,
+                                       candidate.score);
+
+        bool changed;
+        if (!computed[u]) {
+            columns[u] = candidate;
+            computed[u] = true;
+            changed = true;
+        } else {
+            GbvColumn merged = merge_min(columns[u], candidate);
+            changed = !(merged == columns[u]);
+            probe.branch(/* site */ 42, changed);
+            if (changed)
+                columns[u] = std::move(merged);
+        }
+        if (changed) {
+            for (uint32_t child : g1->successors(u)) {
+                probe.branch(/* site */ 43, !in_queue[child]);
+                if (!in_queue[child]) {
+                    in_queue[child] = true;
+                    queue.push(child);
+                    if (computed[child])
+                        ++result.requeues;
+                }
+            }
+        }
+    }
+
+    // Best semi-global distance: min last-row score over all columns.
+    result.distance = init.score; // all-insertions upper bound is m
+    result.endNode = 0;
+    for (uint32_t u = 0; u < n; ++u) {
+        probe.load(&columns[u].score, 4);
+        probe.branch(/* site */ 44, computed[u] &&
+                     columns[u].score < result.distance);
+        if (computed[u] && columns[u].score < result.distance) {
+            result.distance = columns[u].score;
+            result.endNode = u;
+        }
+    }
+
+    if (options.traceback) {
+        // Greedy backward walk over stored columns: from the end node,
+        // repeatedly hop to the parent whose column explains the score.
+        // This reproduces the branchy traceback the paper observes.
+        std::vector<int32_t> cur_scores, parent_scores;
+        uint32_t u = result.endNode;
+        size_t row = m; // rows are 1-based over the query
+        int32_t score = result.distance;
+        result.traceWalk.push_back(u);
+        size_t guard = (m + 2) * (g1->nodeCount() + 2);
+        while (row > 0 && guard-- > 0) {
+            gbvdetail::expandScores(columns[u], m, cur_scores);
+            const int32_t above =
+                row >= 2 ? cur_scores[row - 2] : 0;
+            probe.branch(/* site */ 45, above + 1 == score);
+            if (above + 1 == score) {
+                // Insertion: consume a query char in this column.
+                --row;
+                score = above;
+                continue;
+            }
+            bool moved = false;
+            for (uint32_t p : g1->predecessors(u)) {
+                if (!computed[p])
+                    continue;
+                gbvdetail::expandScores(columns[p], m, parent_scores);
+                const int32_t diag =
+                    row >= 2 ? parent_scores[row - 2] : 0;
+                const uint8_t base = g1->nodeSeq(u)[0];
+                const int32_t sub =
+                    query[row - 1] == base ? 0 : 1;
+                probe.branch(/* site */ 46, diag + sub == score);
+                if (diag + sub == score) {
+                    u = p;
+                    --row;
+                    score = diag;
+                    result.traceWalk.push_back(u);
+                    moved = true;
+                    break;
+                }
+                const int32_t left = parent_scores[row - 1];
+                if (left + 1 == score) {
+                    // Deletion: consume this node's base only.
+                    u = p;
+                    score = left;
+                    result.traceWalk.push_back(u);
+                    moved = true;
+                    break;
+                }
+            }
+            if (!moved) {
+                // Free start reached (score == row means all edits are
+                // accounted by the fresh-start boundary).
+                break;
+            }
+        }
+        std::reverse(result.traceWalk.begin(), result.traceWalk.end());
+    }
+    return result;
+}
+
+/** Convenience overload without instrumentation. */
+GbvResult gbvAlign(const graph::LocalGraph &graph,
+                   std::span<const uint8_t> query,
+                   const GbvOptions &options = {});
+
+/**
+ * Reference: per-cell semi-global edit distance over the expanded
+ * graph, relaxed to fixpoint. Validates gbvAlign on DAGs and cyclic
+ * graphs alike.
+ */
+int32_t gbvAlignScalar(const graph::LocalGraph &graph,
+                       std::span<const uint8_t> query);
+
+} // namespace pgb::align
+
+#endif // PGB_ALIGN_GBV_HPP

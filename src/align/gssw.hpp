@@ -1,0 +1,190 @@
+/**
+ * @file
+ * GSSW: Graph SIMD Smith-Waterman (paper §3, extracted from vg map).
+ *
+ * Aligns a read fragment to an acyclic local subgraph. Node bodies are
+ * computed with the striped SIMD column engine (align/ssw.hpp); the
+ * first column of each node is seeded from an element-wise max over its
+ * parents' final columns — the "node initialization" step that makes
+ * the kernel alternate between dense SIMD regions and indirect graph
+ * accesses (paper Figure 4a).
+ *
+ * When GsswOptions::keepMatrices is set (the default, matching the
+ * gssw library which retains all matrices for traceback), every column
+ * is also written back un-striped into a per-node row-major DP matrix.
+ * These strided "swizzle" stores are the memory bottleneck the paper's
+ * §6.1 case study attributes GSSW's extra memory stalls to; switching
+ * keepMatrices off implements the optimization proposed there.
+ */
+
+#ifndef PGB_ALIGN_GSSW_HPP
+#define PGB_ALIGN_GSSW_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/score.hpp"
+#include "align/ssw.hpp"
+#include "core/logging.hpp"
+#include "core/probe.hpp"
+#include "graph/local_graph.hpp"
+
+namespace pgb::align {
+
+/** GSSW configuration. */
+struct GsswOptions
+{
+    /** Retain full per-node DP matrices (traceback realism, §6.1). */
+    bool keepMatrices = true;
+};
+
+/** GSSW result: best local hit plus work/footprint accounting. */
+struct GsswResult
+{
+    GraphLocalHit best;
+    uint64_t cellsComputed = 0; ///< DP cells evaluated (padded rows excl.)
+    /** Row-major m x nodeLength H matrix per node (empty when off). */
+    std::vector<std::vector<int16_t>> matrices;
+};
+
+/**
+ * Align @p query to the DAG @p graph with local (Smith-Waterman)
+ * semantics.
+ *
+ * @param graph finalized acyclic LocalGraph (fatal otherwise)
+ */
+template <typename Probe = core::NullProbe>
+GsswResult
+gsswAlign(const graph::LocalGraph &graph, std::span<const uint8_t> query,
+          const ScoreParams &params, const GsswOptions &options,
+          Probe &probe)
+{
+    if (!graph.isDag())
+        core::fatal("gsswAlign: graph must be acyclic");
+    if (query.empty())
+        core::fatal("gsswAlign: empty query");
+
+    const StripedProfile profile(query, params);
+    const size_t m = profile.queryLength();
+    const auto n_nodes = static_cast<uint32_t>(graph.nodeCount());
+
+    GsswResult result;
+    if (options.keepMatrices)
+        result.matrices.resize(n_nodes);
+
+    // Final (H, E) striped state of each processed node, consumed by
+    // its children. Indexed by node id.
+    std::vector<StripedState> final_states(n_nodes);
+
+    for (uint32_t node : graph.topoOrder()) {
+        StripedState state;
+        const auto preds = graph.predecessors(node);
+        if (preds.empty()) {
+            state.reset(profile.segLen());
+        } else {
+            // Node initialization: element-wise max over parents' final
+            // columns. These are the indirect graph accesses.
+            probe.load(&preds[0], 4);
+            state = final_states[preds[0]];
+            probe.op(core::OpKind::kMemory,
+                     static_cast<uint64_t>(state.h.size() / kLanes));
+            for (size_t p = 1; p < preds.size(); ++p) {
+                probe.load(&preds[p], 4);
+                state.mergeMax(final_states[preds[p]]);
+                probe.op(core::OpKind::kVector,
+                         static_cast<uint64_t>(state.h.size() / kLanes));
+            }
+        }
+
+        const auto &bases = graph.nodeSeq(node);
+        int16_t *matrix = nullptr;
+        if (options.keepMatrices) {
+            result.matrices[node].assign(m * bases.size(), 0);
+            matrix = result.matrices[node].data();
+        }
+
+        for (size_t j = 0; j < bases.size(); ++j) {
+            probe.load(bases.data() + j, 1);
+            const int16_t col_max = stripedColumn(
+                profile, params, state, bases[j], probe,
+                matrix == nullptr ? nullptr : matrix + j, bases.size());
+            result.cellsComputed += m;
+            probe.branch(/* site */ 10, col_max > result.best.score);
+            if (col_max > result.best.score) {
+                result.best.score = col_max;
+                result.best.node = node;
+                result.best.nodeOffset = static_cast<int32_t>(j);
+                const int seg_len = profile.segLen();
+                for (int t = 0; t < seg_len; ++t) {
+                    for (int lane = 0; lane < kLanes; ++lane) {
+                        if (state.h[t * kLanes + lane] == col_max) {
+                            const auto i = static_cast<int32_t>(
+                                t + lane * seg_len);
+                            if (i < static_cast<int32_t>(m)) {
+                                result.best.queryEnd = i;
+                                t = seg_len;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        final_states[node] = std::move(state);
+    }
+    return result;
+}
+
+/** Convenience overload without instrumentation. */
+GsswResult gsswAlign(const graph::LocalGraph &graph,
+                     std::span<const uint8_t> query,
+                     const ScoreParams &params,
+                     const GsswOptions &options = {});
+
+/**
+ * Reference implementation: textbook affine-gap local alignment over a
+ * DAG, computed cell by cell without SIMD. Used by the unit tests to
+ * validate gsswAlign and as the scalar ablation backend.
+ */
+GraphLocalHit gsswAlignScalar(const graph::LocalGraph &graph,
+                              std::span<const uint8_t> query,
+                              const ScoreParams &params);
+
+/** One CIGAR run of a graph alignment. */
+struct CigarEntry
+{
+    char op = '=';       ///< '=', 'X', 'I' (query gap... see below), 'D'
+    uint32_t length = 0;
+};
+
+/**
+ * A base-level graph alignment recovered by traceback:
+ * '=' match, 'X' mismatch, 'I' query base consumed without a graph
+ * base (insertion in the read), 'D' graph base consumed without a
+ * query base (deletion from the read).
+ */
+struct GsswAlignment
+{
+    int32_t score = 0;
+    int32_t queryStart = 0;     ///< first aligned query index
+    int32_t queryEnd = -1;      ///< last aligned query index (incl.)
+    std::vector<CigarEntry> cigar;      ///< alignment order
+    std::vector<uint32_t> nodeWalk;     ///< nodes visited, in order
+    std::vector<uint8_t> referenceBases;///< graph bases consumed
+};
+
+/**
+ * Trace the optimal local alignment back through the DP matrices that
+ * gsswAlign retained (GsswOptions::keepMatrices must have been set —
+ * this is exactly why gssw keeps them, the §6.1 memory footprint).
+ * fatal() if the matrices are missing.
+ */
+GsswAlignment gsswTraceback(const graph::LocalGraph &graph,
+                            std::span<const uint8_t> query,
+                            const ScoreParams &params,
+                            const GsswResult &result);
+
+} // namespace pgb::align
+
+#endif // PGB_ALIGN_GSSW_HPP

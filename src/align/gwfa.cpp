@@ -1,0 +1,91 @@
+#include "align/gwfa.hpp"
+
+#include <climits>
+
+#include "core/logging.hpp"
+
+namespace pgb::align {
+
+GwfaResult
+gwfaAlign(const graph::LocalGraph &graph, std::span<const uint8_t> query,
+          uint32_t start_node, int32_t max_score, uint32_t start_offset)
+{
+    core::NullProbe probe;
+    return gwfaAlign(graph, query, start_node, probe, max_score,
+                     start_offset);
+}
+
+GwfaResult
+gwfaFullDp(const graph::LocalGraph &graph, std::span<const uint8_t> query,
+           uint32_t start_node)
+{
+    // Work on the 1 bp expansion so every graph position is one node.
+    std::vector<uint32_t> first_base;
+    const graph::LocalGraph g1 = graph.splitTo1bp(&first_base);
+    const uint32_t start = first_base[start_node];
+    const size_t m = query.size();
+    const auto n = static_cast<uint32_t>(g1.nodeCount());
+    constexpr int32_t kInf = INT32_MAX / 2;
+
+    // cost[u][i]: min edits aligning query[0..i) to a walk from `start`
+    // whose last consumed graph base is node u.
+    std::vector<std::vector<int32_t>> cost(
+        n, std::vector<int32_t>(m + 1, kInf));
+
+    // The virtual source S precedes `start`: C_S[i] = i (leading
+    // insertions). Iterate to fixpoint (cycles need repeated rounds).
+    bool changed = true;
+    uint64_t cells = 0;
+    while (changed) {
+        changed = false;
+        for (uint32_t u = 0; u < n; ++u) {
+            const uint8_t base = g1.nodeSeq(u)[0];
+            auto &row = cost[u];
+            for (size_t i = 0; i <= m; ++i) {
+                int32_t best = row[i];
+                auto relax_from = [&](int32_t prev_im1, int32_t prev_i) {
+                    if (i >= 1 && prev_im1 < kInf) {
+                        const int32_t sub =
+                            query[i - 1] == base ? 0 : 1;
+                        best = std::min(best, prev_im1 + sub);
+                    }
+                    if (prev_i < kInf)
+                        best = std::min(best, prev_i + 1); // deletion
+                };
+                if (u == start) {
+                    relax_from(static_cast<int32_t>(i) - 1,
+                               static_cast<int32_t>(i));
+                }
+                for (uint32_t p : g1.predecessors(u)) {
+                    relax_from(i >= 1 ? cost[p][i - 1] : kInf,
+                               cost[p][i]);
+                }
+                if (i >= 1 && row[i - 1] < kInf)
+                    best = std::min(best, row[i - 1] + 1); // insertion
+                ++cells;
+                if (best < row[i]) {
+                    row[i] = best;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    GwfaResult result;
+    result.cellsComputed = cells;
+    // All-insertion alignment (no graph base consumed) costs m.
+    int32_t best = static_cast<int32_t>(m);
+    uint32_t end_node = start_node;
+    for (uint32_t u = 0; u < n; ++u) {
+        if (cost[u][m] < best) {
+            best = cost[u][m];
+            end_node = u;
+        }
+    }
+    result.distance = best;
+    result.reached = true;
+    result.endNode = end_node;
+    return result;
+}
+
+} // namespace pgb::align

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * GWFA: the Graph Wavefront Algorithm (Zhang et al., extracted from
+ * minigraph's chaining stage in the paper).
+ *
+ * Bridges the gap between two anchors by finding a minimum-edit-cost
+ * walk through the graph that spells the query. Every node has its own
+ * conceptual DP matrix (query on one axis, node sequence on the other);
+ * wavefront diagonals live per (node, diagonal) and are expanded into
+ * child nodes when they reach a node's end (paper Figure 4e). Unit
+ * costs (non-affine) as in gwfa.
+ */
+
+#ifndef PGB_ALIGN_GWFA_HPP
+#define PGB_ALIGN_GWFA_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "align/score.hpp"
+#include "core/probe.hpp"
+#include "graph/local_graph.hpp"
+
+namespace pgb::align {
+
+/** GWFA result: edit distance plus work accounting. */
+struct GwfaResult
+{
+    int32_t distance = -1;      ///< unit-cost edit distance; -1 if not found
+    bool reached = false;
+    uint32_t endNode = 0;       ///< node where the query was consumed
+    uint64_t extendSteps = 0;   ///< match-extension character steps
+    uint64_t cellsComputed = 0; ///< wavefront states expanded
+    uint64_t maxFrontier = 0;   ///< peak number of live (node, diag) states
+};
+
+namespace detail {
+
+/** Pack a (node, diagonal) wavefront coordinate into a hash key. */
+inline uint64_t
+gwfaKey(uint32_t node, int32_t diag)
+{
+    return (static_cast<uint64_t>(node) << 32) |
+           static_cast<uint32_t>(diag + (1 << 30));
+}
+
+} // namespace detail
+
+/**
+ * Align @p query through @p graph starting at (@p start_node,
+ * @p start_offset), ending anywhere once the query is consumed.
+ *
+ * @param graph        finalized LocalGraph; cycles are allowed
+ * @param max_score    give up beyond this edit distance
+ * @param start_offset base offset within the start node where the
+ *        walk begins (an anchor rarely sits on a node boundary)
+ */
+template <typename Probe = core::NullProbe>
+GwfaResult
+gwfaAlign(const graph::LocalGraph &graph, std::span<const uint8_t> query,
+          uint32_t start_node, Probe &probe, int32_t max_score = 1 << 20,
+          uint32_t start_offset = 0)
+{
+    struct State
+    {
+        uint32_t node;
+        int32_t diag;   ///< k = h - v (h: query offset, v: node offset)
+        int32_t offset; ///< furthest h on this diagonal
+    };
+
+    const auto m = static_cast<int32_t>(query.size());
+    GwfaResult result;
+    if (m == 0) {
+        result.distance = 0;
+        result.reached = true;
+        result.endNode = start_node;
+        return result;
+    }
+
+    // Best query offset ever reached per (node, diag), across scores.
+    // Since cost only grows, revisiting with h <= best cannot improve;
+    // this prunes cycles and guarantees termination.
+    // Starting at offset o within the node means v = o at h = 0, i.e.
+    // the walk begins on diagonal k = -o.
+    const int32_t start_diag = -static_cast<int32_t>(start_offset);
+    std::unordered_map<uint64_t, int32_t> best_offset;
+    std::vector<State> frontier{{start_node, start_diag, 0}};
+    best_offset[detail::gwfaKey(start_node, start_diag)] = 0;
+
+    for (int32_t s = 0; s <= max_score; ++s) {
+        // ---- Extend phase: follow matches; expand across node ends.
+        // Node-end expansion is free (no cost), so newly spawned states
+        // join the same frontier and are themselves extended.
+        for (size_t fi = 0; fi < frontier.size(); ++fi) {
+            State st = frontier[fi];
+            const auto &bases = graph.nodeSeq(st.node);
+            const auto node_len = static_cast<int32_t>(bases.size());
+            int32_t h = st.offset;
+            int32_t v = h - st.diag;
+            while (v < node_len && h < m &&
+                   bases[static_cast<size_t>(v)] ==
+                       query[static_cast<size_t>(h)]) {
+                probe.load(bases.data() + v, 1);
+                probe.load(query.data() + h, 1);
+                probe.branch(/* site */ 30, true);
+                // Index arithmetic/compares of the extension step.
+                probe.op(core::OpKind::kScalar, 4);
+                ++v;
+                ++h;
+                ++result.extendSteps;
+            }
+            probe.branch(/* site */ 30, false);
+            probe.op(core::OpKind::kScalar, 4);
+            frontier[fi].offset = h;
+            auto &best = best_offset[detail::gwfaKey(st.node, st.diag)];
+            best = std::max(best, h);
+            if (h >= m) {
+                result.distance = s;
+                result.reached = true;
+                result.endNode = st.node;
+                result.maxFrontier =
+                    std::max<uint64_t>(result.maxFrontier,
+                                       frontier.size());
+                return result;
+            }
+            // Reached the node end on matches: spawn into children at
+            // the same score.
+            probe.branch(/* site */ 31, v == node_len);
+            if (v == node_len) {
+                for (uint32_t child : graph.successors(st.node)) {
+                    probe.load(&child, 4);
+                    const int32_t child_diag = h; // v' = 0 => k' = h
+                    const uint64_t key =
+                        detail::gwfaKey(child, child_diag);
+                    auto it = best_offset.find(key);
+                    if (it == best_offset.end() || it->second < h) {
+                        best_offset[key] = h;
+                        frontier.push_back({child, child_diag, h});
+                    }
+                }
+            }
+        }
+        result.maxFrontier =
+            std::max<uint64_t>(result.maxFrontier, frontier.size());
+        if (s == max_score)
+            break;
+
+        // ---- Next phase: spend one edit on every live state.
+        std::unordered_map<uint64_t, int32_t> next_best;
+        std::vector<State> next;
+        auto push = [&](uint32_t node, int32_t diag, int32_t offset) {
+            const auto &bases = graph.nodeSeq(node);
+            const auto node_len = static_cast<int32_t>(bases.size());
+            const int32_t v = offset - diag;
+            if (offset > m || v > node_len || v < 0)
+                return;
+            const uint64_t key = detail::gwfaKey(node, diag);
+            // Hash-table probes dominate the Next bookkeeping (the
+            // "large data structures" the paper attributes Seq2Graph
+            // distance computation to).
+            probe.op(core::OpKind::kScalar, 8);
+            probe.op(core::OpKind::kMemory, 2);
+            auto seen = best_offset.find(key);
+            if (seen != best_offset.end() && seen->second >= offset)
+                return; // dominated by an earlier, cheaper visit
+            auto [it, inserted] = next_best.try_emplace(key, offset);
+            if (!inserted) {
+                if (it->second >= offset)
+                    return;
+                it->second = offset;
+            }
+            ++result.cellsComputed;
+        };
+
+        for (const State &st : frontier) {
+            const auto node_len =
+                static_cast<int32_t>(graph.nodeLength(st.node));
+            const int32_t h = st.offset;
+            const int32_t v = h - st.diag;
+            if (v < node_len) {
+                // Mismatch: consume one query and one node base.
+                push(st.node, st.diag, h + 1);
+                // Deletion: consume one node base.
+                push(st.node, st.diag - 1, h);
+            } else {
+                // At node end: the edits consuming a node base happen
+                // in each child instead.
+                for (uint32_t child : graph.successors(st.node)) {
+                    push(child, h, h + 1); // mismatch into child
+                    push(child, h - 1, h); // deletion into child
+                }
+            }
+            // Insertion: consume one query base only.
+            push(st.node, st.diag + 1, h + 1);
+            probe.op(core::OpKind::kScalar, 6);
+        }
+
+        frontier.clear();
+        for (const auto &[key, offset] : next_best) {
+            frontier.push_back({static_cast<uint32_t>(key >> 32),
+                                static_cast<int32_t>(
+                                    static_cast<uint32_t>(key)) -
+                                    (1 << 30),
+                                offset});
+            probe.op(core::OpKind::kScalar, 6);
+            probe.op(core::OpKind::kMemory, 1);
+        }
+        // Deterministic processing order.
+        std::sort(frontier.begin(), frontier.end(),
+                  [](const State &a, const State &b) {
+                      return a.node < b.node ||
+                             (a.node == b.node && a.diag < b.diag);
+                  });
+        if (frontier.empty())
+            break;
+    }
+    return result;
+}
+
+/** Convenience overload without instrumentation. */
+GwfaResult gwfaAlign(const graph::LocalGraph &graph,
+                     std::span<const uint8_t> query, uint32_t start_node,
+                     int32_t max_score = 1 << 20,
+                     uint32_t start_offset = 0);
+
+/**
+ * Reference: full dynamic-programming edit distance of @p query through
+ * @p graph from @p start_node (semi-global: query global, free end).
+ * O(V * m) per relaxation round; iterates to fixpoint so cycles are
+ * handled. Used to validate gwfaAlign and as the "full matrix" side of
+ * the cells-computed ablation.
+ */
+GwfaResult gwfaFullDp(const graph::LocalGraph &graph,
+                      std::span<const uint8_t> query, uint32_t start_node);
+
+} // namespace pgb::align
+
+#endif // PGB_ALIGN_GWFA_HPP

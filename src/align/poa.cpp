@@ -1,0 +1,261 @@
+#include "align/poa.hpp"
+
+#include <algorithm>
+#include <climits>
+
+#include "core/logging.hpp"
+
+namespace pgb::align {
+
+uint32_t
+PoaGraph::addNode(uint8_t base)
+{
+    bases_.push_back(base);
+    weights_.push_back(1);
+    out_.emplace_back();
+    in_.emplace_back();
+    return static_cast<uint32_t>(bases_.size() - 1);
+}
+
+void
+PoaGraph::addEdgeWeighted(uint32_t from, uint32_t to)
+{
+    for (Edge &edge : out_[from]) {
+        if (edge.to == to) {
+            ++edge.weight;
+            return;
+        }
+    }
+    out_[from].push_back({to, 1});
+    in_[to].push_back(from);
+}
+
+std::vector<uint32_t>
+PoaGraph::topoOrder() const
+{
+    const auto n = static_cast<uint32_t>(bases_.size());
+    std::vector<uint32_t> indegree(n, 0);
+    for (uint32_t u = 0; u < n; ++u) {
+        for (const Edge &edge : out_[u])
+            ++indegree[edge.to];
+    }
+    std::vector<uint32_t> order;
+    order.reserve(n);
+    std::vector<uint32_t> frontier;
+    for (uint32_t u = 0; u < n; ++u) {
+        if (indegree[u] == 0)
+            frontier.push_back(u);
+    }
+    size_t head = 0;
+    while (head < frontier.size()) {
+        const uint32_t u = frontier[head++];
+        order.push_back(u);
+        for (const Edge &edge : out_[u]) {
+            if (--indegree[edge.to] == 0)
+                frontier.push_back(edge.to);
+        }
+    }
+    if (order.size() != n)
+        core::panic("PoaGraph: graph is not a DAG");
+    return order;
+}
+
+int32_t
+PoaGraph::addSequence(std::span<const uint8_t> bases)
+{
+    if (bases.empty())
+        core::fatal("PoaGraph::addSequence: empty sequence");
+    ++sequenceCount_;
+
+    if (bases_.empty()) {
+        // Seed the backbone.
+        uint32_t prev = addNode(bases[0]);
+        for (size_t i = 1; i < bases.size(); ++i) {
+            const uint32_t node = addNode(bases[i]);
+            addEdgeWeighted(prev, node);
+            prev = node;
+        }
+        return 0;
+    }
+
+    const auto m = static_cast<int32_t>(bases.size());
+    const auto order = topoOrder();
+    const auto n = static_cast<uint32_t>(bases_.size());
+    constexpr int32_t kNegInf = INT_MIN / 2;
+
+    // Semi-global DP: free graph start/end, query global.
+    // score[u][i]: best score of query[0..i) ending at node u (node u's
+    // base consumed last). Backpointers encode (move, parent).
+    enum Move : uint8_t { kNone, kDiag, kDelete, kInsert };
+    struct Back
+    {
+        Move move = kNone;
+        uint32_t parent = UINT32_MAX; ///< graph predecessor (kDiag/kDelete)
+    };
+    std::vector<std::vector<int32_t>> score(
+        n, std::vector<int32_t>(m + 1, kNegInf));
+    std::vector<std::vector<Back>> back(
+        n, std::vector<Back>(m + 1));
+
+    // Banding: per node keep only rows within `band` of the best row of
+    // its best predecessor (approximation of abPOA's adaptive band).
+    const int32_t band = params_.band;
+
+    for (uint32_t u : order) {
+        auto &row = score[u];
+        auto &brow = back[u];
+        const uint8_t base = bases_[u];
+
+        int32_t lo = 0, hi = m;
+        if (band > 0) {
+            // Center the band on the best row among predecessors (or
+            // row 0 for sources).
+            int32_t center = 0;
+            int32_t center_best = kNegInf;
+            for (uint32_t p : in_[u]) {
+                for (int32_t i = 0; i <= m; ++i) {
+                    if (score[p][i] > center_best) {
+                        center_best = score[p][i];
+                        center = i;
+                    }
+                }
+            }
+            lo = std::max(0, center - band);
+            hi = std::min(m, center + band + 1);
+        }
+
+        for (int32_t i = lo; i <= hi; ++i) {
+            ++cellsComputed_;
+            int32_t best = kNegInf;
+            Back bp;
+            if (i >= 1) {
+                const int32_t sub = bases[i - 1] == base
+                    ? params_.match : -params_.mismatch;
+                // Fresh start: this node's base is the first consumed.
+                if (i == 1 && sub > best) {
+                    best = sub;
+                    bp = {kDiag, UINT32_MAX};
+                }
+                for (uint32_t p : in_[u]) {
+                    if (score[p][i - 1] != kNegInf &&
+                        score[p][i - 1] + sub > best) {
+                        best = score[p][i - 1] + sub;
+                        bp = {kDiag, p};
+                    }
+                }
+            }
+            for (uint32_t p : in_[u]) {
+                if (score[p][i] != kNegInf &&
+                    score[p][i] - params_.gap > best) {
+                    best = score[p][i] - params_.gap;
+                    bp = {kDelete, p};
+                }
+            }
+            if (i >= 1 && row[i - 1] != kNegInf &&
+                row[i - 1] - params_.gap > best) {
+                best = row[i - 1] - params_.gap;
+                bp = {kInsert, UINT32_MAX};
+            }
+            if (best > row[i]) {
+                row[i] = best;
+                brow[i] = bp;
+            }
+        }
+    }
+
+    // Pick the best end: full query consumed, any node.
+    int32_t best_score = kNegInf;
+    uint32_t best_node = UINT32_MAX;
+    for (uint32_t u = 0; u < n; ++u) {
+        if (score[u][m] > best_score) {
+            best_score = score[u][m];
+            best_node = u;
+        }
+    }
+    if (best_node == UINT32_MAX) {
+        // Degenerate (band missed everything): thread as a new path.
+        uint32_t prev = addNode(bases[0]);
+        for (int32_t i = 1; i < m; ++i) {
+            const uint32_t node = addNode(bases[static_cast<size_t>(i)]);
+            addEdgeWeighted(prev, node);
+            prev = node;
+        }
+        return 0;
+    }
+
+    // Traceback, collecting (query index -> fused-or-new node).
+    std::vector<uint32_t> threaded(bases.size(), UINT32_MAX);
+    {
+        uint32_t u = best_node;
+        int32_t i = m;
+        while (i > 0 && u != UINT32_MAX) {
+            const Back bp = back[u][static_cast<size_t>(i)];
+            if (bp.move == kDiag) {
+                if (bases[static_cast<size_t>(i - 1)] == bases_[u]) {
+                    threaded[static_cast<size_t>(i - 1)] = u; // fuse
+                    ++weights_[u];
+                }
+                u = bp.parent;
+                --i;
+            } else if (bp.move == kDelete) {
+                u = bp.parent;
+            } else if (bp.move == kInsert) {
+                --i;
+            } else {
+                break; // fresh start boundary
+            }
+        }
+    }
+
+    // Materialize unfused query bases as new nodes and wire the path.
+    uint32_t prev = UINT32_MAX;
+    for (size_t i = 0; i < bases.size(); ++i) {
+        uint32_t node = threaded[i];
+        if (node == UINT32_MAX)
+            node = addNode(bases[i]);
+        if (prev != UINT32_MAX && prev != node)
+            addEdgeWeighted(prev, node);
+        prev = node;
+    }
+    return best_score;
+}
+
+std::vector<uint8_t>
+PoaGraph::consensus() const
+{
+    if (bases_.empty())
+        return {};
+    const auto order = topoOrder();
+    const auto n = static_cast<uint32_t>(bases_.size());
+    constexpr int64_t kNegInf = INT64_MIN / 2;
+
+    // Heaviest path by node weight + incoming edge weight.
+    std::vector<int64_t> best(n, kNegInf);
+    std::vector<uint32_t> from(n, UINT32_MAX);
+    int64_t global_best = kNegInf;
+    uint32_t global_node = 0;
+    for (uint32_t u : order) {
+        if (best[u] == kNegInf)
+            best[u] = weights_[u];
+        for (const Edge &edge : out_[u]) {
+            const int64_t cand =
+                best[u] + edge.weight + weights_[edge.to];
+            if (cand > best[edge.to]) {
+                best[edge.to] = cand;
+                from[edge.to] = u;
+            }
+        }
+        if (best[u] > global_best) {
+            global_best = best[u];
+            global_node = u;
+        }
+    }
+
+    std::vector<uint8_t> out;
+    for (uint32_t u = global_node; u != UINT32_MAX; u = from[u])
+        out.push_back(bases_[u]);
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace pgb::align

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared scoring parameters and alignment result types.
+ */
+
+#ifndef PGB_ALIGN_SCORE_HPP
+#define PGB_ALIGN_SCORE_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace pgb::align {
+
+/**
+ * Affine-gap scoring for Smith-Waterman-family kernels. Positive
+ * match, non-negative penalties (applied as subtraction).
+ */
+struct ScoreParams
+{
+    int16_t match = 1;
+    int16_t mismatch = 4;
+    int16_t gapOpen = 6;   ///< cost of the first gap base (incl. extend)
+    int16_t gapExtend = 1;
+
+    /** vg/bwa-like defaults. */
+    static ScoreParams
+    mappingDefaults()
+    {
+        return {1, 4, 6, 1};
+    }
+};
+
+/** Local alignment result (score and end coordinates). */
+struct LocalHit
+{
+    int32_t score = 0;
+    int32_t queryEnd = -1; ///< inclusive query index of the maximum
+    int32_t refEnd = -1;   ///< inclusive reference index of the maximum
+};
+
+/** Graph local alignment result. */
+struct GraphLocalHit
+{
+    int32_t score = 0;
+    int32_t queryEnd = -1;
+    uint32_t node = 0;      ///< node containing the maximum
+    int32_t nodeOffset = -1;
+};
+
+/** Edit-distance style result for wavefront kernels. */
+struct EditHit
+{
+    int32_t distance = std::numeric_limits<int32_t>::max();
+    bool reached = false;
+};
+
+} // namespace pgb::align
+
+#endif // PGB_ALIGN_SCORE_HPP

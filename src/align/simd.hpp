@@ -1,0 +1,205 @@
+/**
+ * @file
+ * 8-lane 16-bit SIMD vector used by the striped Smith-Waterman kernels.
+ *
+ * V8i16 wraps SSE2 when available and a lane-exact scalar emulation
+ * otherwise. Both backends produce bit-identical results, so the unit
+ * tests can verify the SIMD semantics on any host, and the scalar
+ * backend doubles as the "no hand vectorization" ablation.
+ */
+
+#ifndef PGB_ALIGN_SIMD_HPP
+#define PGB_ALIGN_SIMD_HPP
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define PGB_HAVE_SSE2 1
+#else
+#define PGB_HAVE_SSE2 0
+#endif
+
+namespace pgb::align {
+
+/** Number of 16-bit lanes per vector. */
+constexpr int kLanes = 8;
+
+#if PGB_HAVE_SSE2
+
+/** 8 x int16 vector, SSE2 backend. */
+struct V8i16
+{
+    __m128i v;
+
+    static V8i16 zero() { return {_mm_setzero_si128()}; }
+    static V8i16 set1(int16_t x) { return {_mm_set1_epi16(x)}; }
+
+    static V8i16
+    load(const int16_t *p)
+    {
+        return {_mm_loadu_si128(reinterpret_cast<const __m128i *>(p))};
+    }
+
+    void
+    store(int16_t *p) const
+    {
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(p), v);
+    }
+
+    /** Saturating add. */
+    friend V8i16
+    adds(V8i16 a, V8i16 b)
+    {
+        return {_mm_adds_epi16(a.v, b.v)};
+    }
+
+    /** Saturating subtract. */
+    friend V8i16
+    subs(V8i16 a, V8i16 b)
+    {
+        return {_mm_subs_epi16(a.v, b.v)};
+    }
+
+    friend V8i16
+    vmax(V8i16 a, V8i16 b)
+    {
+        return {_mm_max_epi16(a.v, b.v)};
+    }
+
+    /** True if any lane of a is strictly greater than b's lane. */
+    friend bool
+    anyGt(V8i16 a, V8i16 b)
+    {
+        return _mm_movemask_epi8(_mm_cmpgt_epi16(a.v, b.v)) != 0;
+    }
+
+    /** Shift all lanes up by one (lane 0 filled with @p fill). */
+    V8i16
+    shiftLanesUp(int16_t fill) const
+    {
+        V8i16 out{_mm_slli_si128(v, 2)};
+        out = {_mm_insert_epi16(out.v, fill, 0)};
+        return out;
+    }
+
+    int16_t
+    lane(int i) const
+    {
+        alignas(16) int16_t tmp[kLanes];
+        _mm_store_si128(reinterpret_cast<__m128i *>(tmp), v);
+        return tmp[i];
+    }
+
+    /** Maximum lane value. */
+    int16_t
+    horizontalMax() const
+    {
+        alignas(16) int16_t tmp[kLanes];
+        _mm_store_si128(reinterpret_cast<__m128i *>(tmp), v);
+        int16_t best = tmp[0];
+        for (int i = 1; i < kLanes; ++i)
+            best = tmp[i] > best ? tmp[i] : best;
+        return best;
+    }
+};
+
+#else // !PGB_HAVE_SSE2
+
+/** 8 x int16 vector, portable lane-exact backend. */
+struct V8i16
+{
+    std::array<int16_t, kLanes> v;
+
+    static V8i16 zero() { return {{0, 0, 0, 0, 0, 0, 0, 0}}; }
+
+    static V8i16
+    set1(int16_t x)
+    {
+        V8i16 out;
+        out.v.fill(x);
+        return out;
+    }
+
+    static V8i16
+    load(const int16_t *p)
+    {
+        V8i16 out;
+        std::memcpy(out.v.data(), p, sizeof(out.v));
+        return out;
+    }
+
+    void store(int16_t *p) const { std::memcpy(p, v.data(), sizeof(v)); }
+
+    static int16_t
+    sat(int32_t x)
+    {
+        return x > 32767 ? 32767 : (x < -32768 ? -32768 : int16_t(x));
+    }
+
+    friend V8i16
+    adds(V8i16 a, V8i16 b)
+    {
+        V8i16 out;
+        for (int i = 0; i < kLanes; ++i)
+            out.v[i] = sat(int32_t(a.v[i]) + b.v[i]);
+        return out;
+    }
+
+    friend V8i16
+    subs(V8i16 a, V8i16 b)
+    {
+        V8i16 out;
+        for (int i = 0; i < kLanes; ++i)
+            out.v[i] = sat(int32_t(a.v[i]) - b.v[i]);
+        return out;
+    }
+
+    friend V8i16
+    vmax(V8i16 a, V8i16 b)
+    {
+        V8i16 out;
+        for (int i = 0; i < kLanes; ++i)
+            out.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+        return out;
+    }
+
+    friend bool
+    anyGt(V8i16 a, V8i16 b)
+    {
+        for (int i = 0; i < kLanes; ++i) {
+            if (a.v[i] > b.v[i])
+                return true;
+        }
+        return false;
+    }
+
+    V8i16
+    shiftLanesUp(int16_t fill) const
+    {
+        V8i16 out;
+        out.v[0] = fill;
+        for (int i = 1; i < kLanes; ++i)
+            out.v[i] = v[i - 1];
+        return out;
+    }
+
+    int16_t lane(int i) const { return v[i]; }
+
+    int16_t
+    horizontalMax() const
+    {
+        int16_t best = v[0];
+        for (int i = 1; i < kLanes; ++i)
+            best = v[i] > best ? v[i] : best;
+        return best;
+    }
+};
+
+#endif // PGB_HAVE_SSE2
+
+} // namespace pgb::align
+
+#endif // PGB_ALIGN_SIMD_HPP

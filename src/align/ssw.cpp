@@ -1,0 +1,47 @@
+#include "align/ssw.hpp"
+
+#include "core/logging.hpp"
+
+namespace pgb::align {
+
+StripedProfile::StripedProfile(std::span<const uint8_t> query,
+                               const ScoreParams &params)
+    : queryLength_(query.size()),
+      segLen_(static_cast<int>((query.size() + kLanes - 1) / kLanes))
+{
+    if (query.empty())
+        core::fatal("StripedProfile: empty query");
+    const size_t row_size = static_cast<size_t>(segLen_) * kLanes;
+    // kNumBases concrete rows plus one row for N (always mismatch).
+    data_.assign(row_size * (seq::kNumBases + 1), 0);
+    for (uint8_t base = 0; base <= seq::kNumBases; ++base) {
+        int16_t *row = data_.data() + static_cast<size_t>(base) * row_size;
+        for (int t = 0; t < segLen_; ++t) {
+            for (int lane = 0; lane < kLanes; ++lane) {
+                const size_t i = static_cast<size_t>(t) +
+                    static_cast<size_t>(lane) * segLen_;
+                int16_t score;
+                if (i >= queryLength_) {
+                    // Padding rows must never contribute to the max.
+                    score = kNegInf16;
+                } else if (base < seq::kNumBases && query[i] == base) {
+                    score = params.match;
+                } else {
+                    score = static_cast<int16_t>(-params.mismatch);
+                }
+                row[t * kLanes + lane] = score;
+            }
+        }
+    }
+}
+
+LocalHit
+sswAlign(std::span<const uint8_t> query, std::span<const uint8_t> reference,
+         const ScoreParams &params)
+{
+    StripedProfile profile(query, params);
+    core::NullProbe probe;
+    return sswAlign(profile, reference, params, probe);
+}
+
+} // namespace pgb::align

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * SSW: striped Smith-Waterman (Farrar's algorithm), the Seq2Seq baseline
+ * kernel of the paper's case study §6.1, and the SIMD column engine that
+ * GSSW builds on.
+ *
+ * The striped layout packs query position i into vector (i % segLen),
+ * lane (i / segLen). Within a column, F dependencies are speculated
+ * away and repaired by the lazy-F loop (paper Figure 4a). Like the SSW
+ * library (Zhao et al.) and SWPS3, the lazy-F loop does not feed F back
+ * into E, which disallows an immediate deletion-insertion pair; this is
+ * score-exact whenever 2*gapOpen >= mismatch (true of all defaults).
+ *
+ * Kernels are templated on a Probe (see core/probe.hpp); pass
+ * core::NullProbe for uninstrumented timing runs.
+ */
+
+#ifndef PGB_ALIGN_SSW_HPP
+#define PGB_ALIGN_SSW_HPP
+
+#include <algorithm>
+#include <climits>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/score.hpp"
+#include "align/simd.hpp"
+#include "core/probe.hpp"
+#include "seq/alphabet.hpp"
+
+namespace pgb::align {
+
+/** Sentinel "minus infinity" that survives saturating arithmetic. */
+constexpr int16_t kNegInf16 = -30000;
+
+/** Striped query profile: per-base substitution scores, striped layout. */
+class StripedProfile
+{
+  public:
+    StripedProfile(std::span<const uint8_t> query,
+                   const ScoreParams &params);
+
+    size_t queryLength() const { return queryLength_; }
+    int segLen() const { return segLen_; }
+
+    /** Striped profile row for base code @p base (segLen vectors). */
+    const int16_t *
+    row(uint8_t base) const
+    {
+        return data_.data() + static_cast<size_t>(base) *
+               static_cast<size_t>(segLen_) * kLanes;
+    }
+
+  private:
+    size_t queryLength_;
+    int segLen_;
+    std::vector<int16_t> data_; ///< (kNumBases+1) rows x segLen x 8
+};
+
+/**
+ * Striped per-column DP state: H and E in striped layout, one int16 per
+ * query position (padded to segLen*8). GSSW seeds this from parent
+ * nodes; SSW starts it at the local-alignment boundary.
+ */
+struct StripedState
+{
+    std::vector<int16_t> h; ///< H of the last processed column
+    std::vector<int16_t> e; ///< E entering the next column
+
+    /** Initialize for a fresh local alignment of @p seg_len stripes. */
+    void
+    reset(int seg_len)
+    {
+        h.assign(static_cast<size_t>(seg_len) * kLanes, 0);
+        e.assign(static_cast<size_t>(seg_len) * kLanes, kNegInf16);
+    }
+
+    /** Element-wise max merge with @p other (GSSW parent merging). */
+    void
+    mergeMax(const StripedState &other)
+    {
+        for (size_t i = 0; i < h.size(); ++i) {
+            h[i] = other.h[i] > h[i] ? other.h[i] : h[i];
+            e[i] = other.e[i] > e[i] ? other.e[i] : e[i];
+        }
+    }
+};
+
+/**
+ * Advance @p state by one reference column with base @p ref_base.
+ *
+ * @param profile   striped query profile
+ * @param params    scoring parameters
+ * @param state     H/E state; updated in place
+ * @param ref_base  reference base code for this column
+ * @param probe     instrumentation probe
+ * @param column_out when non-null, the column's H values are written
+ *        un-striped ("swizzle" writes: column_out[i * column_stride] =
+ *        H(i)), reproducing GSSW's costly SIMD-buffer-to-matrix
+ *        writebacks (paper §6.1); with column_stride = row length these
+ *        are the strided row-major matrix stores VTune blames
+ * @param column_stride element stride between successive query rows
+ * @return the maximum H value in this column
+ */
+template <typename Probe>
+int16_t
+stripedColumn(const StripedProfile &profile, const ScoreParams &params,
+              StripedState &state, uint8_t ref_base, Probe &probe,
+              int16_t *column_out = nullptr, size_t column_stride = 1)
+{
+    const int seg_len = profile.segLen();
+    const int16_t *prof = profile.row(ref_base);
+    int16_t *h_arr = state.h.data();
+    int16_t *e_arr = state.e.data();
+
+    const V8i16 v_zero = V8i16::zero();
+    const V8i16 v_gap_open = V8i16::set1(params.gapOpen);
+    const V8i16 v_gap_ext = V8i16::set1(params.gapExtend);
+    V8i16 v_max_col = v_zero;
+    V8i16 v_f = V8i16::set1(kNegInf16);
+
+    // H(i-1, j-1) for stripe 0 comes from the last stripe of the
+    // previous column, shifted up one lane; lane 0 is the boundary row.
+    probe.load(h_arr + (seg_len - 1) * kLanes, 16);
+    V8i16 v_h_diag = V8i16::load(h_arr + (seg_len - 1) * kLanes)
+                         .shiftLanesUp(0);
+    probe.op(core::OpKind::kVector);
+
+    // Main striped pass over the column.
+    for (int t = 0; t < seg_len; ++t) {
+        probe.load(prof + t * kLanes, 16);
+        V8i16 v_h = adds(v_h_diag, V8i16::load(prof + t * kLanes));
+        probe.load(e_arr + t * kLanes, 16);
+        const V8i16 v_e = V8i16::load(e_arr + t * kLanes);
+        v_h = vmax(v_h, v_e);
+        v_h = vmax(v_h, v_f);
+        v_h = vmax(v_h, v_zero);
+        v_max_col = vmax(v_max_col, v_h);
+        probe.op(core::OpKind::kVector, 6);
+
+        // Save H(i-1, j-1) for the next stripe before overwriting.
+        probe.load(h_arr + t * kLanes, 16);
+        v_h_diag = V8i16::load(h_arr + t * kLanes);
+        v_h.store(h_arr + t * kLanes);
+        probe.store(h_arr + t * kLanes, 16);
+
+        const V8i16 v_h_gap = subs(v_h, v_gap_open);
+        const V8i16 v_e_next = vmax(subs(v_e, v_gap_ext), v_h_gap);
+        v_e_next.store(e_arr + t * kLanes);
+        probe.store(e_arr + t * kLanes, 16);
+        v_f = vmax(subs(v_f, v_gap_ext), v_h_gap);
+        probe.op(core::OpKind::kVector, 4);
+    }
+
+    // Lazy-F repair: propagate F across stripes until it cannot raise H.
+    for (int lane_pass = 0; lane_pass < kLanes; ++lane_pass) {
+        v_f = v_f.shiftLanesUp(kNegInf16);
+        probe.op(core::OpKind::kVector);
+        bool done = false;
+        for (int t = 0; t < seg_len; ++t) {
+            probe.load(h_arr + t * kLanes, 16);
+            V8i16 v_h = V8i16::load(h_arr + t * kLanes);
+            v_h = vmax(v_h, v_f);
+            v_h.store(h_arr + t * kLanes);
+            probe.store(h_arr + t * kLanes, 16);
+            v_max_col = vmax(v_max_col, v_h);
+            const V8i16 v_h_gap = subs(v_h, v_gap_open);
+            v_f = subs(v_f, v_gap_ext);
+            probe.op(core::OpKind::kVector, 5);
+            const bool keep_going = anyGt(v_f, v_h_gap);
+            probe.branch(/* site */ 1, keep_going);
+            if (!keep_going) {
+                done = true;
+                break;
+            }
+        }
+        probe.branch(/* site */ 2, done);
+        if (done)
+            break;
+    }
+
+    // Optional un-striping writeback (the "swizzle" store).
+    if (column_out != nullptr) {
+        const auto m = profile.queryLength();
+        for (int t = 0; t < seg_len; ++t) {
+            probe.load(h_arr + t * kLanes, 16);
+            for (int lane = 0; lane < kLanes; ++lane) {
+                const size_t i = static_cast<size_t>(t) +
+                    static_cast<size_t>(lane) * seg_len;
+                if (i < m) {
+                    column_out[i * column_stride] =
+                        h_arr[t * kLanes + lane];
+                    probe.store(column_out + i * column_stride, 2);
+                }
+            }
+        }
+    }
+
+    return v_max_col.horizontalMax();
+}
+
+/**
+ * Local (Smith-Waterman) alignment of the profiled query against
+ * @p reference using the striped SIMD kernel.
+ */
+template <typename Probe = core::NullProbe>
+LocalHit
+sswAlign(const StripedProfile &profile, std::span<const uint8_t> reference,
+         const ScoreParams &params, Probe &probe)
+{
+    StripedState state;
+    state.reset(profile.segLen());
+
+    LocalHit best;
+    for (size_t j = 0; j < reference.size(); ++j) {
+        probe.load(reference.data() + j, 1);
+        const int16_t col_max = stripedColumn(profile, params, state,
+                                              reference[j], probe);
+        probe.branch(/* site */ 3, col_max > best.score);
+        if (col_max > best.score) {
+            best.score = col_max;
+            best.refEnd = static_cast<int32_t>(j);
+            // Recover the query row of the maximum from the state.
+            const int seg_len = profile.segLen();
+            for (int t = 0; t < seg_len; ++t) {
+                for (int lane = 0; lane < kLanes; ++lane) {
+                    if (state.h[t * kLanes + lane] == col_max) {
+                        const auto i = static_cast<int32_t>(
+                            t + lane * seg_len);
+                        if (i < static_cast<int32_t>(
+                                profile.queryLength())) {
+                            best.queryEnd = i;
+                            t = seg_len; // break both loops
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return best;
+}
+
+/** Convenience overload without instrumentation. */
+LocalHit sswAlign(std::span<const uint8_t> query,
+                  std::span<const uint8_t> reference,
+                  const ScoreParams &params);
+
+/**
+ * Textbook O(nm) affine-gap local alignment, the correctness reference
+ * for the striped kernels and the scalar ablation backend.
+ */
+template <typename Probe = core::NullProbe>
+LocalHit
+sswAlignScalar(std::span<const uint8_t> query,
+               std::span<const uint8_t> reference,
+               const ScoreParams &params, Probe &probe)
+{
+    const size_t m = query.size();
+    constexpr int32_t kNegInf32 = INT32_MIN / 2;
+    // h[i] holds H(i, j-1); e[i] holds E(i, j-1) rolled into E(i, j).
+    std::vector<int32_t> h(m + 1, 0), e(m + 1, kNegInf32);
+    LocalHit best;
+    for (size_t j = 0; j < reference.size(); ++j) {
+        probe.load(reference.data() + j, 1);
+        const uint8_t ref_base = reference[j];
+        int32_t h_diag = 0;   // H(i-1, j-1); starts as H(0, j-1) = 0
+        int32_t h_above = 0;  // H(i-1, j) of the current column
+        int32_t f = kNegInf32;
+        for (size_t i = 1; i <= m; ++i) {
+            probe.load(query.data() + i - 1, 1);
+            const bool is_match = query[i - 1] == ref_base &&
+                                  query[i - 1] < seq::kNumBases;
+            const int32_t sub = is_match ? params.match : -params.mismatch;
+            probe.load(&e[i], 4);
+            probe.load(&h[i], 4);
+            e[i] = std::max(e[i] - params.gapExtend,
+                            h[i] - params.gapOpen);
+            probe.store(&e[i], 4);
+            f = std::max(f - params.gapExtend, h_above - params.gapOpen);
+            const int32_t score =
+                std::max({h_diag + sub, e[i], f, 0});
+            probe.op(core::OpKind::kScalar, 8);
+            h_diag = h[i];
+            h[i] = score;
+            probe.store(&h[i], 4);
+            h_above = score;
+            probe.branch(/* site */ 4, score > best.score);
+            if (score > best.score) {
+                best.score = score;
+                best.queryEnd = static_cast<int32_t>(i) - 1;
+                best.refEnd = static_cast<int32_t>(j);
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace pgb::align
+
+#endif // PGB_ALIGN_SSW_HPP

@@ -1,0 +1,55 @@
+#include "align/wfa.hpp"
+
+namespace pgb::align {
+
+WfaResult
+wfaAlign(std::span<const uint8_t> pattern, std::span<const uint8_t> text,
+         const WfaPenalties &penalties, int32_t max_score)
+{
+    core::NullProbe probe;
+    return wfaAlign(pattern, text, penalties, probe, max_score);
+}
+
+int32_t
+globalAffineScalar(std::span<const uint8_t> pattern,
+                   std::span<const uint8_t> text,
+                   const WfaPenalties &penalties)
+{
+    const size_t m = pattern.size();
+    const size_t n = text.size();
+    constexpr int32_t kInf = INT32_MAX / 2;
+    const int32_t x = penalties.mismatch;
+    const int32_t o = penalties.gapOpen;
+    const int32_t e = penalties.gapExtend;
+
+    // Column-rolling Gotoh in penalty space.
+    std::vector<int32_t> h(m + 1), f(m + 1);
+    h[0] = 0;
+    for (size_t i = 1; i <= m; ++i) {
+        f[i] = o + static_cast<int32_t>(i) * e;
+        h[i] = f[i];
+    }
+    f[0] = kInf;
+
+    std::vector<int32_t> e_col(m + 1, kInf);
+    for (size_t j = 1; j <= n; ++j) {
+        int32_t h_diag = h[0]; // H(0, j-1)
+        h[0] = o + static_cast<int32_t>(j) * e;
+        e_col[0] = h[0];
+        int32_t f_cur = kInf;
+        for (size_t i = 1; i <= m; ++i) {
+            e_col[i] = std::min(e_col[i] + e, h[i] + o + e);
+            f_cur = std::min(
+                f_cur == kInf ? kInf : f_cur + e, h[i - 1] + o + e);
+            const int32_t sub =
+                pattern[i - 1] == text[j - 1] ? 0 : x;
+            const int32_t best =
+                std::min({h_diag + sub, e_col[i], f_cur});
+            h_diag = h[i];
+            h[i] = best;
+        }
+    }
+    return h[m];
+}
+
+} // namespace pgb::align

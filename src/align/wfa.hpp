@@ -1,0 +1,219 @@
+/**
+ * @file
+ * WFA: gap-affine wavefront alignment (Marco-Sola et al.), the CPU
+ * baseline for the TSU GPU kernel (paper Figure 9) and the pairwise
+ * aligner inside the wfmash stand-in used by the PGGB pipeline.
+ *
+ * Wavefronts store, per score s and diagonal k = h - v, the furthest
+ * text offset h reached. The algorithm alternates Extend (push every
+ * diagonal along exact matches) and Next (spend one score unit on a
+ * mismatch / gap open / gap extend), paper Figure 4d.
+ */
+
+#ifndef PGB_ALIGN_WFA_HPP
+#define PGB_ALIGN_WFA_HPP
+
+#include <algorithm>
+#include <climits>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/score.hpp"
+#include "core/probe.hpp"
+
+namespace pgb::align {
+
+/** Gap-affine penalties for WFA (match = 0; penalties positive). */
+struct WfaPenalties
+{
+    int32_t mismatch = 4;
+    int32_t gapOpen = 6;
+    int32_t gapExtend = 2;
+};
+
+/** WFA result: alignment score (total penalty) plus work accounting. */
+struct WfaResult
+{
+    int32_t score = -1;        ///< total penalty; -1 if maxScore exceeded
+    bool reached = false;
+    uint64_t extendSteps = 0;  ///< match-extension character steps
+    uint64_t cellsComputed = 0;///< wavefront cells updated in Next
+};
+
+namespace detail {
+
+/** Sentinel for unreachable wavefront cells. */
+constexpr int32_t kWfaNone = INT32_MIN / 2;
+
+/** One score level: M/I/D furthest offsets over diagonals [lo, hi]. */
+struct WavefrontLevel
+{
+    int32_t lo = 0;
+    int32_t hi = -1; ///< empty when hi < lo
+    std::vector<int32_t> m, i, d;
+
+    void
+    resize(int32_t new_lo, int32_t new_hi)
+    {
+        lo = new_lo;
+        hi = new_hi;
+        const auto span = static_cast<size_t>(hi - lo + 1);
+        m.assign(span, kWfaNone);
+        i.assign(span, kWfaNone);
+        d.assign(span, kWfaNone);
+    }
+
+    bool contains(int32_t k) const { return k >= lo && k <= hi; }
+
+    int32_t
+    getM(int32_t k) const
+    {
+        return contains(k) ? m[static_cast<size_t>(k - lo)] : kWfaNone;
+    }
+    int32_t
+    getI(int32_t k) const
+    {
+        return contains(k) ? i[static_cast<size_t>(k - lo)] : kWfaNone;
+    }
+    int32_t
+    getD(int32_t k) const
+    {
+        return contains(k) ? d[static_cast<size_t>(k - lo)] : kWfaNone;
+    }
+};
+
+} // namespace detail
+
+/**
+ * Global gap-affine alignment of @p pattern against @p text.
+ *
+ * @param max_score give up (reached = false) beyond this penalty
+ */
+template <typename Probe = core::NullProbe>
+WfaResult
+wfaAlign(std::span<const uint8_t> pattern, std::span<const uint8_t> text,
+         const WfaPenalties &penalties, Probe &probe,
+         int32_t max_score = 1 << 28)
+{
+    using detail::kWfaNone;
+    using detail::WavefrontLevel;
+
+    const auto m = static_cast<int32_t>(pattern.size());
+    const auto n = static_cast<int32_t>(text.size());
+    const int32_t k_final = n - m;
+    const int32_t x = penalties.mismatch;
+    const int32_t oe = penalties.gapOpen + penalties.gapExtend;
+    const int32_t e = penalties.gapExtend;
+
+    WfaResult result;
+    std::vector<WavefrontLevel> wf(1);
+    wf[0].resize(0, 0);
+    wf[0].m[0] = 0;
+
+    // A cell (k, h) is on the board when 0 <= h <= n and 0 <= h-k <= m.
+    auto valid = [&](int32_t k, int32_t h) {
+        return h >= 0 && h <= n && h - k >= 0 && h - k <= m;
+    };
+
+    for (int32_t s = 0; s <= max_score; ++s) {
+        WavefrontLevel &cur = wf[static_cast<size_t>(s)];
+        // ---- Extend: push every M diagonal along exact matches.
+        for (int32_t k = cur.lo; k <= cur.hi; ++k) {
+            int32_t h = cur.m[static_cast<size_t>(k - cur.lo)];
+            probe.load(&cur.m[static_cast<size_t>(k - cur.lo)], 4);
+            if (h == kWfaNone)
+                continue;
+            int32_t v = h - k;
+            while (v < m && h < n && pattern[static_cast<size_t>(v)] ==
+                                     text[static_cast<size_t>(h)]) {
+                probe.load(pattern.data() + v, 1);
+                probe.load(text.data() + h, 1);
+                probe.branch(/* site */ 20, true);
+                ++v;
+                ++h;
+                ++result.extendSteps;
+            }
+            probe.branch(/* site */ 20, false);
+            cur.m[static_cast<size_t>(k - cur.lo)] = h;
+            probe.store(&cur.m[static_cast<size_t>(k - cur.lo)], 4);
+        }
+        // ---- Termination check.
+        if (cur.getM(k_final) >= n) {
+            result.score = s;
+            result.reached = true;
+            return result;
+        }
+        if (s == max_score)
+            break;
+
+        // ---- Next: compute score level s+1. The new level is pushed
+        // first: emplace_back may reallocate and would invalidate any
+        // previously taken source references.
+        wf.emplace_back();
+        const int32_t s_next = s + 1;
+        const WavefrontLevel empty;
+        auto level = [&](int32_t score) -> const WavefrontLevel & {
+            if (score < 0 || score > s)
+                return empty;
+            return wf[static_cast<size_t>(score)];
+        };
+        const WavefrontLevel &src_x = level(s_next - x);
+        const WavefrontLevel &src_oe = level(s_next - oe);
+        const WavefrontLevel &src_e = level(s_next - e);
+
+        int32_t lo = INT32_MAX, hi = INT32_MIN;
+        for (const WavefrontLevel *src : {&src_x, &src_oe, &src_e}) {
+            if (src->hi >= src->lo) {
+                lo = std::min(lo, src->lo - 1);
+                hi = std::max(hi, src->hi + 1);
+            }
+        }
+        WavefrontLevel &next = wf.back();
+        if (lo > hi)
+            continue; // dead level; later levels may still fire
+        next.resize(lo, hi);
+        for (int32_t k = lo; k <= hi; ++k) {
+            const size_t idx = static_cast<size_t>(k - lo);
+            // Insertion (gap in pattern): consume one text char.
+            int32_t ins = std::max(src_oe.getM(k - 1), src_e.getI(k - 1));
+            ins = ins == kWfaNone ? kWfaNone : ins + 1;
+            if (ins != kWfaNone && !valid(k, ins))
+                ins = kWfaNone;
+            // Deletion (gap in text): consume one pattern char.
+            int32_t del = std::max(src_oe.getM(k + 1), src_e.getD(k + 1));
+            if (del != kWfaNone && !valid(k, del))
+                del = kWfaNone;
+            // Mismatch: consume one of each.
+            int32_t mis = src_x.getM(k);
+            mis = mis == kWfaNone ? kWfaNone : mis + 1;
+            if (mis != kWfaNone && !valid(k, mis))
+                mis = kWfaNone;
+            next.i[idx] = ins;
+            next.d[idx] = del;
+            next.m[idx] = std::max({mis, ins, del});
+            probe.op(core::OpKind::kScalar, 8);
+            probe.store(&next.m[idx], 12);
+            ++result.cellsComputed;
+        }
+    }
+    return result; // not reached within max_score
+}
+
+/** Convenience overload without instrumentation. */
+WfaResult wfaAlign(std::span<const uint8_t> pattern,
+                   std::span<const uint8_t> text,
+                   const WfaPenalties &penalties,
+                   int32_t max_score = 1 << 28);
+
+/**
+ * Reference O(nm) gap-affine global alignment (Needleman-Wunsch with
+ * affine gaps, penalty-minimizing). Used to validate wfaAlign.
+ */
+int32_t globalAffineScalar(std::span<const uint8_t> pattern,
+                           std::span<const uint8_t> text,
+                           const WfaPenalties &penalties);
+
+} // namespace pgb::align
+
+#endif // PGB_ALIGN_WFA_HPP

@@ -1,0 +1,195 @@
+#include "analysis/deconstruct.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/logging.hpp"
+#include "index/gbwt.hpp"
+
+namespace pgb::analysis {
+
+using graph::Handle;
+using graph::PanGraph;
+using graph::PathId;
+
+std::optional<Bubble>
+findSuperbubble(const PanGraph &graph, Handle source, size_t max_nodes)
+{
+    if (graph.successors(source).size() < 2)
+        return std::nullopt;
+
+    // Onodera-style detection: grow the region; a node is pushed only
+    // once every parent is visited; when exactly one frontier node
+    // remains seen-but-unvisited, it is the sink.
+    enum State : uint8_t { kSeen = 1, kVisited = 2 };
+    std::unordered_map<uint32_t, uint8_t> state;
+    std::vector<Handle> stack = {source};
+    state[source.packed()] = kSeen;
+    size_t seen_not_visited = 1;
+
+    while (!stack.empty()) {
+        const Handle v = stack.back();
+        stack.pop_back();
+        state[v.packed()] = kVisited;
+        --seen_not_visited;
+        if (state.size() > max_nodes)
+            return std::nullopt;
+
+        const auto &children = graph.successors(v);
+        if (children.empty())
+            return std::nullopt; // tip inside the candidate bubble
+        for (Handle child : children) {
+            if (child == source)
+                return std::nullopt; // cycle back to the source
+            auto [it, inserted] = state.emplace(child.packed(), kSeen);
+            if (inserted)
+                ++seen_not_visited;
+            // Push once all parents are visited.
+            bool ready = true;
+            for (Handle parent : graph.predecessors(child)) {
+                auto found = state.find(parent.packed());
+                if (found == state.end() ||
+                    found->second != kVisited) {
+                    ready = false;
+                    break;
+                }
+            }
+            if (ready && it->second != kVisited)
+                stack.push_back(child);
+        }
+
+        if (stack.size() == 1 && seen_not_visited == 1 &&
+            state[stack.back().packed()] == kSeen) {
+            const Handle sink = stack.back();
+            if (graph.hasEdge(sink, source))
+                return std::nullopt;
+            Bubble bubble;
+            bubble.source = source;
+            bubble.sink = sink;
+            return bubble;
+        }
+    }
+    return std::nullopt;
+}
+
+namespace {
+
+/** DFS-enumerate inner walks source -> sink (exclusive ends). */
+bool
+enumerateWalks(const PanGraph &graph, const Bubble &shape,
+               size_t max_walks, std::vector<std::vector<Handle>> &out)
+{
+    std::vector<Handle> current;
+    bool truncated = false;
+    struct Frame
+    {
+        Handle handle;
+        size_t depth;
+    };
+    std::vector<Frame> stack;
+    const auto &roots = graph.successors(shape.source);
+    for (auto it = roots.rbegin(); it != roots.rend(); ++it)
+        stack.push_back({*it, 0});
+    while (!stack.empty()) {
+        const Frame frame = stack.back();
+        stack.pop_back();
+        current.resize(frame.depth);
+        if (frame.handle == shape.sink) {
+            if (out.size() >= max_walks) {
+                truncated = true;
+                break;
+            }
+            out.push_back(current);
+            continue;
+        }
+        current.push_back(frame.handle);
+        if (current.size() > 512) {
+            truncated = true; // runaway walk
+            break;
+        }
+        const auto &children = graph.successors(frame.handle);
+        for (auto it = children.rbegin(); it != children.rend(); ++it)
+            stack.push_back({*it, current.size()});
+    }
+    return !truncated;
+}
+
+std::string
+spellWalk(const PanGraph &graph, const std::vector<Handle> &walk)
+{
+    std::string spelled;
+    for (Handle step : walk)
+        spelled += graph.sequenceOf(step).toString();
+    return spelled;
+}
+
+} // namespace
+
+std::vector<DeconstructedVariant>
+deconstructVariants(const PanGraph &graph, PathId ref_path,
+                    size_t max_walks_per_bubble)
+{
+    const auto &steps = graph.pathSteps(ref_path);
+    const index::GbwtIndex gbwt(graph);
+
+    std::vector<DeconstructedVariant> variants;
+    uint64_t offset = 0;
+    for (size_t i = 0; i < steps.size(); ++i) {
+        const Handle source = steps[i];
+        offset += graph.nodeLength(source.node());
+        auto bubble = findSuperbubble(graph, source);
+        if (!bubble)
+            continue;
+        // The sink must return to the reference path.
+        size_t sink_index = 0;
+        bool on_ref = false;
+        for (size_t k = i + 1; k < steps.size(); ++k) {
+            if (steps[k] == bubble->sink) {
+                sink_index = k;
+                on_ref = true;
+                break;
+            }
+        }
+        if (!on_ref)
+            continue;
+        if (!enumerateWalks(graph, *bubble, max_walks_per_bubble,
+                            bubble->walks)) {
+            continue; // too complex; skip the site
+        }
+
+        // Reference allele: the path's inner walk through the bubble.
+        const std::vector<Handle> ref_walk(
+            steps.begin() + static_cast<ptrdiff_t>(i + 1),
+            steps.begin() + static_cast<ptrdiff_t>(sink_index));
+        const std::string ref_allele = spellWalk(graph, ref_walk);
+
+        DeconstructedVariant variant;
+        variant.refPosition = offset; // after the source node
+        variant.refAllele = ref_allele;
+
+        auto support = [&](const std::vector<Handle> &walk) {
+            std::vector<Handle> query;
+            query.push_back(bubble->source);
+            query.insert(query.end(), walk.begin(), walk.end());
+            query.push_back(bubble->sink);
+            return gbwt.find(query).size();
+        };
+        variant.refSupport = static_cast<uint32_t>(support(ref_walk));
+
+        std::unordered_set<std::string> spelled_seen = {ref_allele};
+        for (const auto &walk : bubble->walks) {
+            const std::string spelled = spellWalk(graph, walk);
+            if (!spelled_seen.insert(spelled).second)
+                continue;
+            variant.altAlleles.push_back(spelled);
+            variant.altSupport.push_back(
+                static_cast<uint32_t>(support(walk)));
+        }
+        if (!variant.altAlleles.empty())
+            variants.push_back(std::move(variant));
+    }
+    return variants;
+}
+
+} // namespace pgb::analysis

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Superbubble detection and variant deconstruction.
+ *
+ * The paper motivates graph building and Seq2Graph mapping as the
+ * prerequisites of downstream analyses like variant calling (§1).
+ * This module implements that downstream step over our graphs:
+ * superbubbles (Onodera-style source/sink pairs enclosing all
+ * alternative walks) are enumerated along a reference path and turned
+ * into VCF-like variant records, with per-allele haplotype support
+ * counted through the GBWT — the haplotype-consistency query the
+ * paper extracts as the GBWT kernel.
+ *
+ * Scope: forward-orientation walks (inversion bubbles are skipped);
+ * bubbles with up to a bounded number of inner walks.
+ */
+
+#ifndef PGB_ANALYSIS_DECONSTRUCT_HPP
+#define PGB_ANALYSIS_DECONSTRUCT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/pangraph.hpp"
+
+namespace pgb::analysis {
+
+/** A superbubble: all walks from source rejoin exactly at sink. */
+struct Bubble
+{
+    graph::Handle source;
+    graph::Handle sink;
+    /** Inner walks source..sink, exclusive of both ends. */
+    std::vector<std::vector<graph::Handle>> walks;
+};
+
+/**
+ * Detect the superbubble starting at @p source (forward walks only).
+ * @param max_nodes abort when the interior exceeds this many nodes
+ * @return nullopt when source does not open a (bounded) superbubble
+ */
+std::optional<Bubble> findSuperbubble(const graph::PanGraph &graph,
+                                      graph::Handle source,
+                                      size_t max_nodes = 10000);
+
+/** One deconstructed variant site. */
+struct DeconstructedVariant
+{
+    uint64_t refPosition = 0;     ///< 0-based offset on the ref path
+    std::string refAllele;        ///< may be empty (pure insertion)
+    std::vector<std::string> altAlleles;
+    std::vector<uint32_t> altSupport; ///< haplotypes per alt (GBWT)
+    uint32_t refSupport = 0;
+};
+
+/**
+ * Walk @p ref_path and report a variant record for every superbubble
+ * whose sink returns to the reference path.
+ *
+ * @param max_walks_per_bubble skip sites with more alternatives
+ */
+std::vector<DeconstructedVariant>
+deconstructVariants(const graph::PanGraph &graph, graph::PathId ref_path,
+                    size_t max_walks_per_bubble = 16);
+
+} // namespace pgb::analysis
+
+#endif // PGB_ANALYSIS_DECONSTRUCT_HPP

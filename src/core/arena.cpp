@@ -1,0 +1,164 @@
+#include "core/arena.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "core/logging.hpp"
+
+namespace pgb::core {
+
+namespace {
+
+constexpr size_t kInitialCapacity = 1 << 20;
+
+size_t
+roundUpPage(size_t bytes)
+{
+    const size_t page = 4096;
+    return (bytes + page - 1) / page * page;
+}
+
+} // namespace
+
+Arena::Arena(Mode mode, std::string path)
+    : mode_(mode), path_(std::move(path))
+{
+    if (mode_ == Mode::kFileBacked) {
+        if (path_.empty()) {
+            const char *tmp = std::getenv("TMPDIR");
+            path_ = std::string(tmp ? tmp : "/tmp") + "/pgb_arena_XXXXXX";
+            fd_ = mkstemp(path_.data());
+            unlinkOnClose_ = true;
+        } else {
+            fd_ = open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+        }
+        if (fd_ < 0) {
+            fatal("Arena: cannot open backing file '", path_, "': ",
+                  std::strerror(errno));
+        }
+    }
+}
+
+Arena::~Arena()
+{
+    release();
+}
+
+Arena::Arena(Arena &&other) noexcept
+    : mode_(other.mode_), path_(std::move(other.path_)), fd_(other.fd_),
+      data_(other.data_), size_(other.size_), capacity_(other.capacity_),
+      unlinkOnClose_(other.unlinkOnClose_)
+{
+    other.fd_ = -1;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+    other.unlinkOnClose_ = false;
+}
+
+Arena &
+Arena::operator=(Arena &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        mode_ = other.mode_;
+        path_ = std::move(other.path_);
+        fd_ = other.fd_;
+        data_ = other.data_;
+        size_ = other.size_;
+        capacity_ = other.capacity_;
+        unlinkOnClose_ = other.unlinkOnClose_;
+        other.fd_ = -1;
+        other.data_ = nullptr;
+        other.size_ = 0;
+        other.capacity_ = 0;
+        other.unlinkOnClose_ = false;
+    }
+    return *this;
+}
+
+void
+Arena::release()
+{
+    if (data_ != nullptr) {
+        if (mode_ == Mode::kFileBacked)
+            munmap(data_, capacity_);
+        else
+            std::free(data_);
+        data_ = nullptr;
+    }
+    if (fd_ >= 0) {
+        close(fd_);
+        fd_ = -1;
+        if (unlinkOnClose_)
+            unlink(path_.c_str());
+    }
+}
+
+void
+Arena::grow(size_t min_capacity)
+{
+    size_t new_capacity = capacity_ == 0 ? kInitialCapacity : capacity_;
+    while (new_capacity < min_capacity)
+        new_capacity *= 2;
+    new_capacity = roundUpPage(new_capacity);
+
+    if (mode_ == Mode::kFileBacked) {
+        if (ftruncate(fd_, static_cast<off_t>(new_capacity)) != 0)
+            fatal("Arena: ftruncate failed: ", std::strerror(errno));
+        void *mapped = mmap(nullptr, new_capacity, PROT_READ | PROT_WRITE,
+                            MAP_SHARED, fd_, 0);
+        if (mapped == MAP_FAILED)
+            fatal("Arena: mmap failed: ", std::strerror(errno));
+        if (data_ != nullptr) {
+            std::memcpy(mapped, data_, size_);
+            munmap(data_, capacity_);
+        }
+        data_ = static_cast<uint8_t *>(mapped);
+    } else {
+        auto *mem = static_cast<uint8_t *>(
+            std::realloc(data_, new_capacity));
+        if (mem == nullptr)
+            fatal("Arena: out of memory growing to ", new_capacity);
+        data_ = mem;
+    }
+    capacity_ = new_capacity;
+}
+
+void
+Arena::reserve(size_t bytes)
+{
+    if (bytes > capacity_)
+        grow(bytes);
+}
+
+size_t
+Arena::append(const void *data, size_t bytes)
+{
+    if (size_ + bytes > capacity_)
+        grow(size_ + bytes);
+    std::memcpy(data_ + size_, data, bytes);
+    const size_t offset = size_;
+    size_ += bytes;
+    return offset;
+}
+
+uint8_t *
+Arena::at(size_t offset)
+{
+    return data_ + offset;
+}
+
+const uint8_t *
+Arena::at(size_t offset) const
+{
+    return data_ + offset;
+}
+
+} // namespace pgb::core

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Byte arena with optional file backing.
+ *
+ * seqwish memory-maps its match and closure structures to files so that
+ * transclosure can run on machines with less RAM than the working set
+ * (paper §3, TC kernel). Arena reproduces that: in kFileBacked mode the
+ * storage is an mmap'ed temporary file; in kInMemory mode it is a plain
+ * allocation (used by unit tests). The access pattern through the arena
+ * is identical either way.
+ */
+
+#ifndef PGB_CORE_ARENA_HPP
+#define PGB_CORE_ARENA_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pgb::core {
+
+/** Growable byte buffer, optionally backed by an mmap'ed file. */
+class Arena
+{
+  public:
+    enum class Mode { kInMemory, kFileBacked };
+
+    /**
+     * @param mode storage mode
+     * @param path file path for kFileBacked (empty = anonymous temp file
+     *        under $TMPDIR)
+     */
+    explicit Arena(Mode mode = Mode::kInMemory, std::string path = "");
+
+    ~Arena();
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+    Arena(Arena &&other) noexcept;
+    Arena &operator=(Arena &&other) noexcept;
+
+    /** Ensure capacity for @p bytes; existing contents are preserved. */
+    void reserve(size_t bytes);
+
+    /**
+     * Append @p bytes bytes from @p data.
+     * @return byte offset of the appended region.
+     */
+    size_t append(const void *data, size_t bytes);
+
+    /** Pointer to the byte at @p offset. Stable until the next growth. */
+    uint8_t *at(size_t offset);
+    const uint8_t *at(size_t offset) const;
+
+    /** Bytes appended so far. */
+    size_t size() const { return size_; }
+
+    Mode mode() const { return mode_; }
+
+  private:
+    void grow(size_t min_capacity);
+    void release();
+
+    Mode mode_;
+    std::string path_;
+    int fd_ = -1;
+    uint8_t *data_ = nullptr;
+    size_t size_ = 0;
+    size_t capacity_ = 0;
+    bool unlinkOnClose_ = false;
+};
+
+} // namespace pgb::core
+
+#endif // PGB_CORE_ARENA_HPP

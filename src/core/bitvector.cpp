@@ -1,0 +1,70 @@
+#include "core/bitvector.hpp"
+
+#include <bit>
+
+#include "core/logging.hpp"
+
+namespace pgb::core {
+
+void
+BitVector::resize(size_t size)
+{
+    size_ = size;
+    words_.resize((size + 63) / 64, 0);
+    rankBlocks_.clear();
+}
+
+size_t
+BitVector::count() const
+{
+    size_t total = 0;
+    for (uint64_t word : words_)
+        total += static_cast<size_t>(std::popcount(word));
+    return total;
+}
+
+void
+BitVector::buildRank()
+{
+    rankBlocks_.resize(words_.size() + 1);
+    size_t running = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+        rankBlocks_[i] = running;
+        running += static_cast<size_t>(std::popcount(words_[i]));
+    }
+    rankBlocks_[words_.size()] = running;
+}
+
+size_t
+BitVector::rank1(size_t index) const
+{
+    if (rankBlocks_.empty())
+        panic("BitVector::rank1 called before buildRank()");
+    const size_t word = index >> 6;
+    const size_t bit = index & 63;
+    size_t result = rankBlocks_[word];
+    if (bit != 0) {
+        result += static_cast<size_t>(
+            std::popcount(words_[word] & ((1ull << bit) - 1)));
+    }
+    return result;
+}
+
+size_t
+BitVector::findNextSet(size_t index) const
+{
+    if (index >= size_)
+        return size_;
+    size_t word = index >> 6;
+    uint64_t bits = words_[word] & (~0ull << (index & 63));
+    while (bits == 0) {
+        if (++word >= words_.size())
+            return size_;
+        bits = words_[word];
+    }
+    const size_t found = (word << 6) +
+        static_cast<size_t>(std::countr_zero(bits));
+    return found < size_ ? found : size_;
+}
+
+} // namespace pgb::core

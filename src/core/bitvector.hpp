@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Plain and atomic bit vectors.
+ *
+ * BitVector is a compact dynamic bitset with rank support used by the
+ * GBWT index and the transclosure kernel. AtomicBitVector reproduces the
+ * lock-free "seen" set that seqwish uses during transclosure (paper
+ * reference [51], github.com/ekg/atomicbitvector).
+ */
+
+#ifndef PGB_CORE_BITVECTOR_HPP
+#define PGB_CORE_BITVECTOR_HPP
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace pgb::core {
+
+/** Dynamic bit vector with O(1) rank after buildRank(). */
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** Construct @p size bits, all clear. */
+    explicit BitVector(size_t size) { resize(size); }
+
+    /** Resize to @p size bits; new bits are clear. */
+    void resize(size_t size);
+
+    size_t size() const { return size_; }
+
+    /** Set bit @p index to 1. Invalidates rank structure. */
+    void
+    set(size_t index)
+    {
+        words_[index >> 6] |= (1ull << (index & 63));
+    }
+
+    /** Clear bit @p index. Invalidates rank structure. */
+    void
+    clear(size_t index)
+    {
+        words_[index >> 6] &= ~(1ull << (index & 63));
+    }
+
+    bool
+    get(size_t index) const
+    {
+        return (words_[index >> 6] >> (index & 63)) & 1;
+    }
+
+    /** Number of set bits in the whole vector. */
+    size_t count() const;
+
+    /**
+     * Build the rank directory. Must be called after the last mutation
+     * and before rank1() queries.
+     */
+    void buildRank();
+
+    /** Number of set bits strictly before @p index. Requires buildRank. */
+    size_t rank1(size_t index) const;
+
+    /** Index of the first set bit at or after @p index, or size() if none. */
+    size_t findNextSet(size_t index) const;
+
+    const std::vector<uint64_t> &words() const { return words_; }
+
+  private:
+    size_t size_ = 0;
+    std::vector<uint64_t> words_;
+    std::vector<size_t> rankBlocks_; // cumulative popcount per 64-bit word
+};
+
+/**
+ * Fixed-size lock-free bit vector.
+ *
+ * Supports concurrent set-and-test, mirroring the atomic bitset used by
+ * seqwish to mark characters already swept into a transitive closure.
+ */
+class AtomicBitVector
+{
+  public:
+    explicit AtomicBitVector(size_t size)
+        : size_(size),
+          words_(std::make_unique<std::atomic<uint64_t>[]>((size + 63) / 64))
+    {
+        for (size_t i = 0; i < (size + 63) / 64; ++i)
+            words_[i].store(0, std::memory_order_relaxed);
+    }
+
+    size_t size() const { return size_; }
+
+    /**
+     * Atomically set bit @p index.
+     * @return true if this call changed the bit from 0 to 1.
+     */
+    bool
+    setIfClear(size_t index)
+    {
+        const uint64_t mask = 1ull << (index & 63);
+        const uint64_t old = words_[index >> 6].fetch_or(
+            mask, std::memory_order_acq_rel);
+        return (old & mask) == 0;
+    }
+
+    bool
+    get(size_t index) const
+    {
+        return (words_[index >> 6].load(std::memory_order_acquire) >>
+                (index & 63)) & 1;
+    }
+
+    /** Number of set bits (not atomic with respect to concurrent sets). */
+    size_t
+    count() const
+    {
+        size_t total = 0;
+        for (size_t i = 0; i < (size_ + 63) / 64; ++i) {
+            total += static_cast<size_t>(std::popcount(
+                words_[i].load(std::memory_order_relaxed)));
+        }
+        return total;
+    }
+
+  private:
+    size_t size_;
+    std::unique_ptr<std::atomic<uint64_t>[]> words_;
+};
+
+} // namespace pgb::core
+
+#endif // PGB_CORE_BITVECTOR_HPP

@@ -1,0 +1,64 @@
+#include "core/interval_tree.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+
+namespace pgb::core {
+
+void
+ImplicitIntervalTree::index()
+{
+    std::sort(nodes_.begin(), nodes_.end(),
+              [](const Node &a, const Node &b) {
+                  return a.start < b.start ||
+                         (a.start == b.start && a.end < b.end);
+              });
+    const size_t n = nodes_.size();
+    if (n == 0) {
+        maxLevel_ = -1;
+        indexed_ = true;
+        return;
+    }
+
+    // Bottom-up max-end augmentation over the implicit tree, following
+    // Li's cgranges indexing routine.
+    size_t last_i = 0;
+    uint64_t last = 0;
+    for (size_t i = 0; i < n; i += 2) {
+        last_i = i;
+        last = nodes_[i].maxEnd = nodes_[i].end;
+    }
+    int k = 1;
+    for (; (1ull << k) <= n; ++k) {
+        const size_t x = 1ull << (k - 1);
+        const size_t i0 = (x << 1) - 1;
+        const size_t step = x << 2;
+        for (size_t i = i0; i < n; i += step) {
+            const uint64_t left_max = nodes_[i - x].maxEnd;
+            const uint64_t right_max =
+                i + x < n ? nodes_[i + x].maxEnd : last;
+            nodes_[i].maxEnd =
+                std::max({nodes_[i].end, left_max, right_max});
+        }
+        last_i = (last_i >> k) & 1 ? last_i - x : last_i + x;
+        if (last_i < n && nodes_[last_i].maxEnd > last)
+            last = nodes_[last_i].maxEnd;
+    }
+    maxLevel_ = k - 1;
+    indexed_ = true;
+}
+
+size_t
+ImplicitIntervalTree::overlap(uint64_t start, uint64_t end,
+                              std::vector<Interval> &out) const
+{
+    size_t reported = 0;
+    walk(start, end, [&](const Node &node) {
+        out.push_back({node.start, node.end, node.value});
+        ++reported;
+    });
+    return reported;
+}
+
+} // namespace pgb::core

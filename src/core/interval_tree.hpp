@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Implicit interval tree (cgranges-style), after Li's "implicit interval
+ * tree" and the mmmulti structures seqwish builds over its match set
+ * (paper reference [36]).
+ *
+ * Intervals are stored in one sorted array; the binary search tree is
+ * implicit in the array indices and each node is augmented with the
+ * maximum end in its subtree. Queries walk the implicit tree and report
+ * every stored interval overlapping [start, end).
+ */
+
+#ifndef PGB_CORE_INTERVAL_TREE_HPP
+#define PGB_CORE_INTERVAL_TREE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pgb::core {
+
+/** One stored interval with a caller-supplied payload. */
+struct Interval
+{
+    uint64_t start = 0; ///< inclusive
+    uint64_t end = 0;   ///< exclusive
+    uint64_t value = 0; ///< caller payload (e.g. match index)
+};
+
+/**
+ * Static implicit interval tree. Build once with add() + index(), then
+ * query with overlap(). Mutation after index() requires re-indexing.
+ */
+class ImplicitIntervalTree
+{
+  public:
+    /** Append an interval. O(1); invalidates the index. */
+    void
+    add(uint64_t start, uint64_t end, uint64_t value)
+    {
+        nodes_.push_back({start, end, value, end});
+        indexed_ = false;
+    }
+
+    /** Number of stored intervals. */
+    size_t size() const { return nodes_.size(); }
+
+    /** Sort and build the max-end augmentation. O(n log n). */
+    void index();
+
+    /**
+     * Collect every interval overlapping [start, end) into @p out
+     * (appended). Requires index().
+     * @return number of intervals reported.
+     */
+    size_t overlap(uint64_t start, uint64_t end,
+                   std::vector<Interval> &out) const;
+
+    /**
+     * Visit every interval overlapping [start, end) with @p visitor,
+     * a callable taking (const Interval &). Requires index().
+     */
+    template <typename Visitor>
+    void
+    visitOverlaps(uint64_t start, uint64_t end, Visitor &&visitor) const
+    {
+        walk(start, end, [&](const Node &node) {
+            visitor(Interval{node.start, node.end, node.value});
+        });
+    }
+
+  private:
+    struct Node
+    {
+        uint64_t start;
+        uint64_t end;
+        uint64_t value;
+        uint64_t maxEnd; ///< maximum end in the implicit subtree
+    };
+
+    template <typename Fn>
+    void walk(uint64_t start, uint64_t end, Fn &&fn) const;
+
+    std::vector<Node> nodes_;
+    int maxLevel_ = -1;
+    bool indexed_ = false;
+};
+
+template <typename Fn>
+void
+ImplicitIntervalTree::walk(uint64_t start, uint64_t end, Fn &&fn) const
+{
+    const size_t n = nodes_.size();
+    if (!indexed_ || n == 0)
+        return;
+
+    struct Frame
+    {
+        int k;
+        size_t x;
+        bool leftDone;
+    };
+    Frame stack[64];
+    int top = 0;
+    stack[top++] = {maxLevel_, (1ull << maxLevel_) - 1, false};
+    while (top > 0) {
+        const Frame frame = stack[--top];
+        if (frame.k <= 3) {
+            // Small subtree: scan linearly over its index range.
+            const size_t i0 = frame.x >> frame.k << frame.k;
+            size_t i1 = i0 + (1ull << (frame.k + 1)) - 1;
+            if (i1 > n)
+                i1 = n;
+            for (size_t i = i0; i < i1 && nodes_[i].start < end; ++i) {
+                if (start < nodes_[i].end)
+                    fn(nodes_[i]);
+            }
+        } else if (!frame.leftDone) {
+            const size_t left = frame.x - (1ull << (frame.k - 1));
+            stack[top++] = {frame.k, frame.x, true};
+            if (left >= n || nodes_[left].maxEnd > start)
+                stack[top++] = {frame.k - 1, left, false};
+        } else if (frame.x < n && nodes_[frame.x].start < end) {
+            if (start < nodes_[frame.x].end)
+                fn(nodes_[frame.x]);
+            stack[top++] =
+                {frame.k - 1, frame.x + (1ull << (frame.k - 1)), false};
+        }
+    }
+}
+
+} // namespace pgb::core
+
+#endif // PGB_CORE_INTERVAL_TREE_HPP

@@ -1,0 +1,33 @@
+#include "core/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace pgb::core {
+
+namespace {
+
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+} // namespace
+
+void
+warnMessage(const std::string &message)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+void
+informMessage(const std::string &message)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "info: %s\n", message.c_str());
+}
+
+} // namespace pgb::core

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Status and error reporting, following the gem5 fatal/panic distinction:
+ * fatal() for user errors that prevent continuing, panic() for internal
+ * invariant violations (bugs), warn()/inform() for status messages.
+ */
+
+#ifndef PGB_CORE_LOGGING_HPP
+#define PGB_CORE_LOGGING_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pgb::core {
+
+/** Thrown by fatal(): a user/configuration error, not a suite bug. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** Thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &out, const T &head, const Rest &...rest)
+{
+    out << head;
+    formatInto(out, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream out;
+    formatInto(out, args...);
+    return out.str();
+}
+
+} // namespace detail
+
+/** Report an unrecoverable user error (bad input, bad configuration). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(detail::format("fatal: ", args...));
+}
+
+/** Report an internal bug: a condition that should never happen. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError(detail::format("panic: ", args...));
+}
+
+/** Print a warning to stderr (does not stop execution). */
+void warnMessage(const std::string &message);
+
+/** Print a status message to stderr (does not stop execution). */
+void informMessage(const std::string &message);
+
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    warnMessage(detail::format(args...));
+}
+
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    informMessage(detail::format(args...));
+}
+
+} // namespace pgb::core
+
+#endif // PGB_CORE_LOGGING_HPP

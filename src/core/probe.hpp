@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Probe policy: zero-cost kernel instrumentation hooks.
+ *
+ * The paper characterizes its kernels three ways: dynamic instruction
+ * mix (Intel PIN + MICA, Figure 8), cache misses per kilo-instruction
+ * (VTune, Figure 7), and top-down pipeline analysis (VTune, Figure 6).
+ * We reproduce those analyses by instrumenting the kernels themselves:
+ * every kernel is templated on a Probe type and reports its abstract
+ * operations, memory accesses (with real addresses), and branches.
+ *
+ * NullProbe has empty inline methods, so timed benchmark runs compile
+ * to the uninstrumented kernel. CountingProbe implements the MICA-style
+ * hierarchical instruction binning. The tracing probe that feeds the
+ * cache and branch simulators lives in src/prof (TraceProbe), since it
+ * depends on those simulators.
+ */
+
+#ifndef PGB_CORE_PROBE_HPP
+#define PGB_CORE_PROBE_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace pgb::core {
+
+/**
+ * Operation categories, matching the paper's Figure 8 legend. Binning
+ * is hierarchical in this order (an op is classified once): Vector >
+ * Control > Memory > Scalar > Register.
+ */
+enum class OpKind : uint8_t {
+    kVector = 0,  ///< SIMD arithmetic/logic (incl. SSE scalar FP, as in
+                  ///< the paper's binning of MULSD et al.)
+    kControl,     ///< branches, compares feeding branches
+    kMemory,      ///< loads and stores (counted via load()/store())
+    kScalar,      ///< scalar integer/FP arithmetic and logic
+    kRegister,    ///< register-to-register moves
+    kNumKinds,
+};
+
+constexpr size_t kNumOpKinds = static_cast<size_t>(OpKind::kNumKinds);
+
+/** No-op probe: all hooks inline to nothing. */
+struct NullProbe
+{
+    static constexpr bool enabled = false;
+
+    void op(OpKind, uint64_t = 1) {}
+    void load(const void *, uint32_t) {}
+    void store(const void *, uint32_t) {}
+    void branch(uint32_t /* site */, bool /* taken */) {}
+};
+
+/** Counts operations by kind; the Figure 8 instruction-mix collector. */
+struct CountingProbe
+{
+    static constexpr bool enabled = true;
+
+    std::array<uint64_t, kNumOpKinds> counts{};
+    uint64_t loadBytes = 0;
+    uint64_t storeBytes = 0;
+    uint64_t loadOps = 0;
+    uint64_t storeOps = 0;
+    uint64_t branches = 0;
+    uint64_t branchesTaken = 0;
+
+    void
+    op(OpKind kind, uint64_t n = 1)
+    {
+        counts[static_cast<size_t>(kind)] += n;
+    }
+
+    void
+    load(const void *, uint32_t bytes)
+    {
+        op(OpKind::kMemory);
+        ++loadOps;
+        loadBytes += bytes;
+    }
+
+    void
+    store(const void *, uint32_t bytes)
+    {
+        op(OpKind::kMemory);
+        ++storeOps;
+        storeBytes += bytes;
+    }
+
+    void
+    branch(uint32_t, bool taken)
+    {
+        op(OpKind::kControl);
+        ++branches;
+        branchesTaken += taken ? 1 : 0;
+    }
+
+    /** Total classified operations ("dynamic instructions"). */
+    uint64_t
+    totalOps() const
+    {
+        uint64_t total = 0;
+        for (uint64_t c : counts)
+            total += c;
+        return total;
+    }
+};
+
+} // namespace pgb::core
+
+#endif // PGB_CORE_PROBE_HPP

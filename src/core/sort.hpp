@@ -1,0 +1,93 @@
+/**
+ * @file
+ * High-throughput sorting helpers.
+ *
+ * The transclosure kernel sorts large arrays of 64-bit keys (seqwish
+ * uses in-place parallel super-scalar samplesort, paper reference [37]).
+ * We provide an LSD radix sort for u64 keys and key-extracted records,
+ * which has the same role: sorting dominates TC setup, and a radix sort
+ * keeps it retiring-heavy, as the paper observes.
+ */
+
+#ifndef PGB_CORE_SORT_HPP
+#define PGB_CORE_SORT_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace pgb::core {
+
+/**
+ * LSD radix sort of @p keys by full 64-bit value, 8 bits per pass.
+ * Stable; O(8n) with two buffers.
+ */
+inline void
+radixSortU64(std::vector<uint64_t> &keys)
+{
+    if (keys.size() < 2)
+        return;
+    std::vector<uint64_t> buffer(keys.size());
+    uint64_t *src = keys.data();
+    uint64_t *dst = buffer.data();
+    for (int shift = 0; shift < 64; shift += 8) {
+        std::array<size_t, 256> counts{};
+        for (size_t i = 0; i < keys.size(); ++i)
+            ++counts[(src[i] >> shift) & 0xFF];
+        if (counts[0] == keys.size())
+            continue; // all keys share this byte; skip the pass
+        size_t offset = 0;
+        for (auto &count : counts) {
+            const size_t c = count;
+            count = offset;
+            offset += c;
+        }
+        for (size_t i = 0; i < keys.size(); ++i)
+            dst[counts[(src[i] >> shift) & 0xFF]++] = src[i];
+        std::swap(src, dst);
+    }
+    if (src != keys.data())
+        keys.assign(src, src + keys.size());
+}
+
+/**
+ * Stable LSD radix sort of @p records by a u64 key extracted with
+ * @p key_of, 8 bits per pass.
+ */
+template <typename Record, typename KeyOf>
+void
+radixSortBy(std::vector<Record> &records, KeyOf key_of)
+{
+    if (records.size() < 2)
+        return;
+    std::vector<Record> buffer(records.size());
+    Record *src = records.data();
+    Record *dst = buffer.data();
+    bool swapped = false;
+    for (int shift = 0; shift < 64; shift += 8) {
+        std::array<size_t, 256> counts{};
+        for (size_t i = 0; i < records.size(); ++i)
+            ++counts[(key_of(src[i]) >> shift) & 0xFF];
+        if (counts[0] == records.size())
+            continue;
+        size_t offset = 0;
+        for (auto &count : counts) {
+            const size_t c = count;
+            count = offset;
+            offset += c;
+        }
+        for (size_t i = 0; i < records.size(); ++i)
+            dst[counts[(key_of(src[i]) >> shift) & 0xFF]++] =
+                std::move(src[i]);
+        std::swap(src, dst);
+        swapped = !swapped;
+    }
+    if (swapped) {
+        for (size_t i = 0; i < records.size(); ++i)
+            records[i] = std::move(buffer[i]);
+    }
+}
+
+} // namespace pgb::core
+
+#endif // PGB_CORE_SORT_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Streaming statistics accumulator for benchmark reporting.
+ */
+
+#ifndef PGB_CORE_STATS_HPP
+#define PGB_CORE_STATS_HPP
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace pgb::core {
+
+/** Welford streaming mean/variance with min/max tracking. */
+class StatAccumulator
+{
+  public:
+    /** Add one observation. */
+    void
+    add(double value)
+    {
+        ++count_;
+        const double delta = value - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (value - mean_);
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+        sum_ += value;
+    }
+
+    size_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace pgb::core
+
+#endif // PGB_CORE_STATS_HPP

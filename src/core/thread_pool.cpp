@@ -1,0 +1,63 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace pgb::core {
+
+void
+parallelFor(size_t begin, size_t end, unsigned threads,
+            const std::function<void(size_t)> &body, size_t chunk)
+{
+    if (end <= begin)
+        return;
+    if (threads <= 1) {
+        for (size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<size_t> next(begin);
+    auto worker = [&]() {
+        for (;;) {
+            const size_t lo = next.fetch_add(chunk);
+            if (lo >= end)
+                return;
+            const size_t hi = std::min(lo + chunk, end);
+            for (size_t i = lo; i < hi; ++i)
+                body(i);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    for (unsigned t = 1; t < threads; ++t)
+        pool.emplace_back(worker);
+    worker();
+    for (auto &thread : pool)
+        thread.join();
+}
+
+void
+parallelRun(unsigned threads, const std::function<void(unsigned)> &body)
+{
+    if (threads <= 1) {
+        body(0);
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    for (unsigned t = 1; t < threads; ++t)
+        pool.emplace_back([&body, t]() { body(t); });
+    body(0);
+    for (auto &thread : pool)
+        thread.join();
+}
+
+unsigned
+hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 4 : n;
+}
+
+} // namespace pgb::core

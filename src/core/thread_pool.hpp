@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal thread pool with a parallel-for primitive.
+ *
+ * The pipelines use parallelFor for read-batch parallelism (mapping) and
+ * the PGSGD kernel uses raw worker launches for Hogwild! updates. The
+ * pool is intentionally simple: work is split into contiguous chunks or
+ * pulled from an atomic counter for dynamic balance.
+ */
+
+#ifndef PGB_CORE_THREAD_POOL_HPP
+#define PGB_CORE_THREAD_POOL_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace pgb::core {
+
+/**
+ * Run @p body(index) for every index in [begin, end) across @p threads
+ * worker threads using dynamic chunked scheduling. Runs inline when
+ * threads <= 1. Blocks until all work completes.
+ */
+void parallelFor(size_t begin, size_t end, unsigned threads,
+                 const std::function<void(size_t)> &body,
+                 size_t chunk = 64);
+
+/**
+ * Launch @p threads workers each running @p body(thread_index) and join
+ * them all. Used for Hogwild!-style kernels where every worker owns its
+ * own loop.
+ */
+void parallelRun(unsigned threads,
+                 const std::function<void(unsigned)> &body);
+
+/** Hardware concurrency with a sane fallback. */
+unsigned hardwareThreads();
+
+} // namespace pgb::core
+
+#endif // PGB_CORE_THREAD_POOL_HPP

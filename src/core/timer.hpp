@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Wall-clock timing utilities used by pipeline stage breakdowns and the
+ * kernel benchmarks.
+ */
+
+#ifndef PGB_CORE_TIMER_HPP
+#define PGB_CORE_TIMER_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pgb::core {
+
+/** Monotonic wall-clock stopwatch. */
+class WallTimer
+{
+  public:
+    WallTimer() { reset(); }
+
+    /** Restart the stopwatch at zero. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * Named stage timer used by the pipelines to produce the Figure 2 /
+ * Figure 3 per-stage breakdowns. Stages accumulate across calls, so a
+ * pipeline may enter the same stage repeatedly (e.g. per read batch).
+ */
+class StageTimers
+{
+  public:
+    /** RAII scope that charges its lifetime to one named stage. */
+    class Scope
+    {
+      public:
+        Scope(StageTimers &owner, const std::string &stage)
+            : owner_(owner), stage_(stage)
+        {
+        }
+
+        ~Scope() { owner_.add(stage_, timer_.seconds()); }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        StageTimers &owner_;
+        std::string stage_;
+        WallTimer timer_;
+    };
+
+    /** Charge @p seconds to @p stage. */
+    void add(const std::string &stage, double seconds)
+    {
+        stages_[stage] += seconds;
+    }
+
+    /** Accumulated seconds for @p stage (0 if never entered). */
+    double
+    seconds(const std::string &stage) const
+    {
+        auto it = stages_.find(stage);
+        return it == stages_.end() ? 0.0 : it->second;
+    }
+
+    /** Sum of all stage times. */
+    double
+    total() const
+    {
+        double sum = 0.0;
+        for (const auto &[name, secs] : stages_)
+            sum += secs;
+        return sum;
+    }
+
+    const std::map<std::string, double> &stages() const { return stages_; }
+
+    void clear() { stages_.clear(); }
+
+  private:
+    std::map<std::string, double> stages_;
+};
+
+} // namespace pgb::core
+
+#endif // PGB_CORE_TIMER_HPP

@@ -1,0 +1,46 @@
+#include "core/union_find.hpp"
+
+#include <numeric>
+
+#include "core/logging.hpp"
+
+namespace pgb::core {
+
+void
+UnionFind::reset(size_t size)
+{
+    if (size > 0xFFFFFFFFull)
+        fatal("UnionFind supports at most 2^32-1 elements, got ", size);
+    parent_.resize(size);
+    std::iota(parent_.begin(), parent_.end(), 0u);
+    sizes_.assign(size, 1);
+    setCount_ = size;
+}
+
+size_t
+UnionFind::find(size_t element)
+{
+    auto node = static_cast<uint32_t>(element);
+    while (parent_[node] != node) {
+        parent_[node] = parent_[parent_[node]]; // path halving
+        node = parent_[node];
+    }
+    return node;
+}
+
+size_t
+UnionFind::unite(size_t a, size_t b)
+{
+    auto ra = static_cast<uint32_t>(find(a));
+    auto rb = static_cast<uint32_t>(find(b));
+    if (ra == rb)
+        return ra;
+    if (sizes_[ra] < sizes_[rb])
+        std::swap(ra, rb);
+    parent_[rb] = ra;
+    sizes_[ra] += sizes_[rb];
+    --setCount_;
+    return ra;
+}
+
+} // namespace pgb::core

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Disjoint-set union-find with path halving and union by size, plus an
+ * interval-union extension used by the transclosure kernel to merge
+ * whole character ranges at once.
+ */
+
+#ifndef PGB_CORE_UNION_FIND_HPP
+#define PGB_CORE_UNION_FIND_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pgb::core {
+
+/** Classic disjoint-set forest over dense element indices. */
+class UnionFind
+{
+  public:
+    UnionFind() = default;
+
+    /** Construct @p size singleton sets. */
+    explicit UnionFind(size_t size) { reset(size); }
+
+    /** Reset to @p size singleton sets. */
+    void reset(size_t size);
+
+    size_t size() const { return parent_.size(); }
+
+    /** Representative of the set containing @p element. */
+    size_t find(size_t element);
+
+    /**
+     * Merge the sets containing @p a and @p b.
+     * @return the representative of the merged set.
+     */
+    size_t unite(size_t a, size_t b);
+
+    /** Whether @p a and @p b are in the same set. */
+    bool same(size_t a, size_t b) { return find(a) == find(b); }
+
+    /** Number of distinct sets remaining. */
+    size_t setCount() const { return setCount_; }
+
+  private:
+    std::vector<uint32_t> parent_;
+    std::vector<uint32_t> sizes_;
+    size_t setCount_ = 0;
+};
+
+} // namespace pgb::core
+
+#endif // PGB_CORE_UNION_FIND_HPP

@@ -1,0 +1,171 @@
+#include "gpu/pgsgd_gpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+
+namespace pgb::gpu {
+
+namespace {
+
+constexpr uint32_t kWarp = 32;
+
+} // namespace
+
+PgsgdGpuResult
+pgsgdGpuRun(const gpusim::DeviceSpec &device,
+            const layout::PathIndex &index, layout::Layout &layout,
+            const PgsgdGpuParams &params)
+{
+    using layout::Layout;
+    const layout::PgsgdParams &sgd = params.sgd;
+
+    PgsgdGpuResult result;
+    result.layout.stressBefore =
+        layout::layoutStress(index, layout, 10000, sgd.seed ^ 0xBEEF);
+
+    const uint64_t total_threads =
+        static_cast<uint64_t>(params.blockThreads) * params.gridBlocks;
+    const uint64_t total_warps = total_threads / kWarp;
+    const uint64_t updates_per_iter = static_cast<uint64_t>(
+        sgd.updateFactor * static_cast<double>(index.totalSteps()));
+    const uint64_t updates_per_thread = std::max<uint64_t>(
+        1, updates_per_iter / total_threads);
+    const double lambda = sgd.iterations <= 1
+        ? 0.0
+        : std::log(sgd.etaMax / sgd.etaMin) /
+              static_cast<double>(sgd.iterations - 1);
+
+    // Coalesced per-lane RNG state array (the data-layout optimization
+    // the paper credits the GPU port with).
+    std::vector<core::Rng> rng_states;
+    rng_states.reserve(total_threads);
+    for (uint64_t t = 0; t < total_threads; ++t)
+        rng_states.push_back(core::Rng::forStream(sgd.seed, t));
+    // 48-byte state per lane, modeled as one coalesced vector.
+    std::vector<uint64_t> rng_addr_base(total_threads);
+    for (uint64_t t = 0; t < total_threads; ++t) {
+        rng_addr_base[t] =
+            reinterpret_cast<uint64_t>(rng_states.data()) + t * 48;
+    }
+
+    gpusim::LaunchConfig config;
+    config.blockThreads = params.blockThreads;
+    config.regsPerThread = params.regsPerThread;
+    config.totalWarps = total_warps;
+
+    core::NullProbe probe;
+    uint64_t total_updates = 0;
+    gpusim::KernelStats aggregate;
+    bool first_launch = true;
+
+    for (uint32_t iter = 0; iter < sgd.iterations; ++iter) {
+        const double eta =
+            sgd.etaMax * std::exp(-lambda * static_cast<double>(iter));
+        gpusim::KernelStats launch_stats = gpusim::launchKernel(
+            device, config,
+            [&](uint64_t warp_id, gpusim::WarpContext &warp) {
+                const uint64_t lane0 = warp_id * kWarp;
+                for (uint64_t u = 0; u < updates_per_thread; ++u) {
+                    // RNG state fetch: coalesced (consecutive lanes,
+                    // consecutive addresses).
+                    uint64_t rng_addrs[kWarp];
+                    for (uint32_t lane = 0; lane < kWarp; ++lane)
+                        rng_addrs[lane] = rng_addr_base[lane0 + lane];
+                    warp.memAccess({rng_addrs, kWarp}, 48);
+
+                    // Each lane samples a pair and updates. Lanes with
+                    // degenerate pairs idle (small divergence; the CUDA
+                    // port's warp merging keeps this rare).
+                    uint32_t active = 0;
+                    // Coordinate addresses per lane: anchor A and B
+                    // are separate warp load/store instructions.
+                    uint64_t xa[kWarp], ya[kWarp], xb[kWarp],
+                        yb[kWarp];
+                    uint32_t n_addr = 0;
+                    for (uint32_t lane = 0; lane < kWarp; ++lane) {
+                        core::Rng &rng = rng_states[lane0 + lane];
+                        size_t step_a, step_b;
+                        if (!layout::pgsgddetail::samplePair(
+                                index, sgd, rng, probe, step_a,
+                                step_b)) {
+                            continue;
+                        }
+                        const uint64_t off_a = index.stepOffset(step_a);
+                        const uint64_t off_b = index.stepOffset(step_b);
+                        const double target = off_a > off_b
+                            ? static_cast<double>(off_a - off_b)
+                            : static_cast<double>(off_b - off_a);
+                        if (target <= 0.0)
+                            continue;
+                        const size_t pa = Layout::startPoint(
+                            index.stepNode(step_a));
+                        const size_t pb = Layout::startPoint(
+                            index.stepNode(step_b));
+                        if (pa == pb)
+                            continue;
+                        layout::pgsgddetail::updatePair(
+                            layout.xData(), layout.yData(), pa, pb,
+                            target, eta, probe);
+                        ++total_updates;
+                        active |= 1u << lane;
+                        // Uncoalesced coordinate traffic: two random
+                        // points per lane, x and y arrays.
+                        xa[n_addr] = reinterpret_cast<uint64_t>(
+                            layout.xData() + pa);
+                        ya[n_addr] = reinterpret_cast<uint64_t>(
+                            layout.yData() + pa);
+                        xb[n_addr] = reinterpret_cast<uint64_t>(
+                            layout.xData() + pb);
+                        yb[n_addr] = reinterpret_cast<uint64_t>(
+                            layout.yData() + pb);
+                        ++n_addr;
+                    }
+                    // Loads then stores of the coordinates (read-
+                    // modify-write), plus the arithmetic chain.
+                    for (int rmw = 0; rmw < 2; ++rmw) {
+                        warp.memAccess({xa, n_addr}, 8);
+                        warp.memAccess({ya, n_addr}, 8);
+                        warp.memAccess({xb, n_addr}, 8);
+                        warp.memAccess({yb, n_addr}, 8);
+                    }
+                    for (int op = 0; op < 14; ++op)
+                        warp.issue(active);
+                }
+            });
+        // Aggregate: launches are statistically identical, so sum the
+        // extensive metrics and average the intensive ones uniformly.
+        if (first_launch) {
+            aggregate = launch_stats;
+            first_launch = false;
+        } else {
+            const double n = static_cast<double>(iter);
+            aggregate.simSeconds += launch_stats.simSeconds;
+            aggregate.instructions += launch_stats.instructions;
+            aggregate.transactions += launch_stats.transactions;
+            auto fold = [n](double &mean, double sample) {
+                mean += (sample - mean) / (n + 1.0);
+            };
+            fold(aggregate.warpUtilization,
+                 launch_stats.warpUtilization);
+            fold(aggregate.achievedOccupancy,
+                 launch_stats.achievedOccupancy);
+            fold(aggregate.memBandwidthUtil,
+                 launch_stats.memBandwidthUtil);
+            fold(aggregate.l1HitRate, launch_stats.l1HitRate);
+            fold(aggregate.l2HitRate, launch_stats.l2HitRate);
+            fold(aggregate.issueIntervalCycles,
+                 launch_stats.issueIntervalCycles);
+        }
+    }
+
+    result.stats = aggregate;
+    result.layout.updates = total_updates;
+    result.layout.stressAfter =
+        layout::layoutStress(index, layout, 10000, sgd.seed ^ 0xF00D);
+    return result;
+}
+
+} // namespace pgb::gpu

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * PGSGD-GPU: the GPU pangenome layout kernel (Li et al., SC'24) on the
+ * SIMT simulator.
+ *
+ * Every lane of every warp independently samples an anchor pair and
+ * applies a Hogwild! update, as in the CUDA implementation: per-lane
+ * RNG states live in a coalesced array (one aligned segment per warp
+ * read), while the coordinate updates hit uniformly random layout
+ * addresses — the uncoalesced accesses that make the kernel
+ * memory-bound (paper §5.3). The block-size study (1024 -> 256
+ * threads) reproduces the paper's occupancy/hit-rate/speedup
+ * deltas through the occupancy calculator and GPU cache model.
+ */
+
+#ifndef PGB_GPU_PGSGD_GPU_HPP
+#define PGB_GPU_PGSGD_GPU_HPP
+
+#include <cstdint>
+
+#include "gpusim/launch.hpp"
+#include "layout/pgsgd.hpp"
+
+namespace pgb::gpu {
+
+/** Launch shape and schedule for the GPU layout kernel. */
+struct PgsgdGpuParams
+{
+    layout::PgsgdParams sgd;      ///< schedule (iterations, eta, zipf)
+    uint32_t blockThreads = 1024; ///< paper default; 256 in the study
+    uint32_t regsPerThread = 44;  ///< paper: 44 registers/thread
+    uint32_t gridBlocks = 84;     ///< one block per SM by default
+};
+
+/** GPU layout outcome. */
+struct PgsgdGpuResult
+{
+    layout::PgsgdResult layout;
+    gpusim::KernelStats stats; ///< aggregated over all iterations
+};
+
+/** Run the layout schedule on the simulated GPU. */
+PgsgdGpuResult pgsgdGpuRun(const gpusim::DeviceSpec &device,
+                           const layout::PathIndex &index,
+                           layout::Layout &layout,
+                           const PgsgdGpuParams &params);
+
+} // namespace pgb::gpu
+
+#endif // PGB_GPU_PGSGD_GPU_HPP

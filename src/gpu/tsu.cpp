@@ -1,0 +1,253 @@
+#include "gpu/tsu.hpp"
+
+#include <algorithm>
+#include <climits>
+
+#include "core/logging.hpp"
+
+namespace pgb::gpu {
+
+namespace {
+
+using align::detail::kWfaNone;
+using align::detail::WavefrontLevel;
+using gpusim::WarpContext;
+
+/** Per-warp extend accounting fed back to the launch result. */
+struct ExtendCounters
+{
+    uint64_t rounds = 0;
+    uint64_t singleLaneRounds = 0;
+};
+
+/**
+ * One alignment on one warp. Mirrors align::wfaAlign exactly in the
+ * scores it produces; differs only in how work maps onto lanes.
+ */
+int32_t
+tsuAlignWarp(std::span<const uint8_t> pattern,
+             std::span<const uint8_t> text,
+             const align::WfaPenalties &penalties, bool speculative,
+             int32_t max_score, WarpContext &warp,
+             ExtendCounters &counters)
+{
+    const auto m = static_cast<int32_t>(pattern.size());
+    const auto n = static_cast<int32_t>(text.size());
+    const int32_t k_final = n - m;
+    const int32_t x = penalties.mismatch;
+    const int32_t oe = penalties.gapOpen + penalties.gapExtend;
+    const int32_t e = penalties.gapExtend;
+    constexpr uint32_t kWarp = 32;
+
+    std::vector<WavefrontLevel> wf(1);
+    wf[0].resize(0, 0);
+    wf[0].m[0] = 0;
+
+    auto valid = [&](int32_t k, int32_t h) {
+        return h >= 0 && h <= n && h - k >= 0 && h - k <= m;
+    };
+
+    for (int32_t s = 0; s <= max_score; ++s) {
+        WavefrontLevel &cur = wf[static_cast<size_t>(s)];
+
+        // ---- Extend: one diagonal at a time; lanes speculate one
+        // cell each along the diagonal (paper Figure 4d-right).
+        for (int32_t k = cur.lo; k <= cur.hi; ++k) {
+            int32_t h = cur.m[static_cast<size_t>(k - cur.lo)];
+            if (h == kWfaNone)
+                continue;
+            int32_t v = h - k;
+            if (speculative) {
+                bool more = true;
+                while (more && v < m && h < n) {
+                    // All 32 lanes test consecutive candidate cells.
+                    uint32_t matched = 0;
+                    const uint32_t limit = static_cast<uint32_t>(
+                        std::min<int64_t>(kWarp,
+                                          std::min<int64_t>(m - v, n - h)));
+                    uint64_t p_addrs[kWarp], t_addrs[kWarp];
+                    for (uint32_t lane = 0; lane < limit; ++lane) {
+                        p_addrs[lane] = reinterpret_cast<uint64_t>(
+                            pattern.data() + v + lane);
+                        t_addrs[lane] = reinterpret_cast<uint64_t>(
+                            text.data() + h + lane);
+                    }
+                    warp.memAccess({p_addrs, limit}, 1);
+                    warp.memAccess({t_addrs, limit}, 1);
+                    while (matched < limit &&
+                           pattern[static_cast<size_t>(v + matched)] ==
+                               text[static_cast<size_t>(h + matched)]) {
+                        ++matched;
+                    }
+                    // Useful lanes: the matched cells plus the lane
+                    // that detected the mismatch (if any).
+                    const uint32_t useful = std::min(matched + 1, limit);
+                    warp.issue(useful >= 32 ? ~0u
+                                            : ((1u << useful) - 1));
+                    ++counters.rounds;
+                    if (useful <= 1)
+                        ++counters.singleLaneRounds;
+                    v += static_cast<int32_t>(matched);
+                    h += static_cast<int32_t>(matched);
+                    more = matched == limit && limit == kWarp;
+                }
+            } else {
+                // Ablation: lane 0 walks the diagonal serially.
+                while (v < m && h < n &&
+                       pattern[static_cast<size_t>(v)] ==
+                           text[static_cast<size_t>(h)]) {
+                    uint64_t p_addr = reinterpret_cast<uint64_t>(
+                        pattern.data() + v);
+                    uint64_t t_addr = reinterpret_cast<uint64_t>(
+                        text.data() + h);
+                    warp.memAccess({&p_addr, 1}, 1);
+                    warp.memAccess({&t_addr, 1}, 1);
+                    warp.issue(1u);
+                    ++counters.rounds;
+                    ++counters.singleLaneRounds;
+                    ++v;
+                    ++h;
+                }
+                warp.issue(1u); // mismatch-detecting step
+            }
+            cur.m[static_cast<size_t>(k - cur.lo)] = h;
+        }
+
+        // ---- Termination check (lane 0).
+        warp.issue(1u);
+        if (cur.getM(k_final) >= n)
+            return s;
+        if (s == max_score)
+            break;
+
+        // ---- Next: one diagonal per lane, chunks of 32. The new
+        // level is pushed before taking source references so
+        // emplace_back's reallocation cannot invalidate them.
+        wf.emplace_back();
+        const int32_t s_next = s + 1;
+        const WavefrontLevel empty;
+        auto level = [&](int32_t score) -> const WavefrontLevel & {
+            if (score < 0 || score > s)
+                return empty;
+            return wf[static_cast<size_t>(score)];
+        };
+        const WavefrontLevel &src_x = level(s_next - x);
+        const WavefrontLevel &src_oe = level(s_next - oe);
+        const WavefrontLevel &src_e = level(s_next - e);
+
+        int32_t lo = INT32_MAX, hi = INT32_MIN;
+        for (const WavefrontLevel *src : {&src_x, &src_oe, &src_e}) {
+            if (src->hi >= src->lo) {
+                lo = std::min(lo, src->lo - 1);
+                hi = std::max(hi, src->hi + 1);
+            }
+        }
+        WavefrontLevel &next = wf.back();
+        if (lo > hi)
+            continue;
+        next.resize(lo, hi);
+        for (int32_t chunk = lo; chunk <= hi;
+             chunk += static_cast<int32_t>(kWarp)) {
+            const auto lanes = static_cast<uint32_t>(std::min<int64_t>(
+                kWarp, hi - chunk + 1));
+            uint64_t addrs[kWarp];
+            uint64_t i_addrs[kWarp], d_addrs[kWarp];
+            // Source wavefront reads: one lane-address per source
+            // level (coalesced within a level).
+            auto src_addrs = [&](const WavefrontLevel &src,
+                                 uint64_t (&buf)[kWarp]) {
+                for (uint32_t lane = 0; lane < lanes; ++lane) {
+                    const int32_t k = chunk + static_cast<int32_t>(
+                        lane);
+                    const int32_t idx = std::clamp(
+                        k - src.lo, 0,
+                        std::max(0, src.hi - src.lo));
+                    buf[lane] = src.m.empty()
+                        ? reinterpret_cast<uint64_t>(&src)
+                        : reinterpret_cast<uint64_t>(
+                              src.m.data() + idx);
+                }
+            };
+            src_addrs(src_x, addrs);
+            warp.memAccess({addrs, lanes}, 4);
+            src_addrs(src_oe, addrs);
+            warp.memAccess({addrs, lanes}, 4);
+            src_addrs(src_e, addrs);
+            warp.memAccess({addrs, lanes}, 4);
+            for (uint32_t lane = 0; lane < lanes; ++lane) {
+                const int32_t k = chunk + static_cast<int32_t>(lane);
+                const size_t idx = static_cast<size_t>(k - lo);
+                int32_t ins =
+                    std::max(src_oe.getM(k - 1), src_e.getI(k - 1));
+                ins = ins == kWfaNone ? kWfaNone : ins + 1;
+                if (ins != kWfaNone && !valid(k, ins))
+                    ins = kWfaNone;
+                int32_t del =
+                    std::max(src_oe.getM(k + 1), src_e.getD(k + 1));
+                if (del != kWfaNone && !valid(k, del))
+                    del = kWfaNone;
+                int32_t mis = src_x.getM(k);
+                mis = mis == kWfaNone ? kWfaNone : mis + 1;
+                if (mis != kWfaNone && !valid(k, mis))
+                    mis = kWfaNone;
+                next.i[idx] = ins;
+                next.d[idx] = del;
+                next.m[idx] = std::max({mis, ins, del});
+                addrs[lane] = reinterpret_cast<uint64_t>(&next.m[idx]);
+                i_addrs[lane] =
+                    reinterpret_cast<uint64_t>(&next.i[idx]);
+                d_addrs[lane] =
+                    reinterpret_cast<uint64_t>(&next.d[idx]);
+            }
+            const uint32_t mask =
+                lanes >= 32 ? ~0u : ((1u << lanes) - 1);
+            // Destination writes (M/I/D) + the arithmetic chain.
+            warp.memAccess({addrs, lanes}, 4);
+            warp.memAccess({i_addrs, lanes}, 4);
+            warp.memAccess({d_addrs, lanes}, 4);
+            warp.issue(mask);
+            warp.issue(mask);
+            warp.issue(mask);
+        }
+    }
+    return -1;
+}
+
+} // namespace
+
+TsuResult
+tsuRun(const gpusim::DeviceSpec &device, std::span<const TsuPair> pairs,
+       const align::WfaPenalties &penalties, bool speculative_extend,
+       int32_t max_score)
+{
+    if (pairs.empty())
+        core::fatal("tsuRun: no alignment pairs");
+    TsuResult result;
+    result.scores.assign(pairs.size(), -1);
+    ExtendCounters counters;
+
+    gpusim::LaunchConfig config;
+    config.blockThreads = 32; // TSU limits blocks to one warp
+    config.regsPerThread = 40;
+    config.totalWarps = pairs.size();
+    // At production concurrency (the paper runs 50000 alignments) a
+    // warp's private wavefront state far exceeds its share of the L2,
+    // so transactions are accounted as DRAM traffic directly; the
+    // single shared-cache replay would otherwise keep each warp's
+    // state artificially warm.
+    config.modelCaches = false;
+
+    result.stats = gpusim::launchKernel(
+        device, config, [&](uint64_t warp_id, gpusim::WarpContext &warp) {
+            const TsuPair &pair = pairs[warp_id];
+            result.scores[warp_id] = tsuAlignWarp(
+                pair.pattern.codes(), pair.text.codes(), penalties,
+                speculative_extend, max_score, warp, counters);
+        });
+    result.singleLaneExtendFraction = counters.rounds == 0
+        ? 0.0 : static_cast<double>(counters.singleLaneRounds) /
+                static_cast<double>(counters.rounds);
+    return result;
+}
+
+} // namespace pgb::gpu

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * TSU: Tsunami, the GPU wavefront aligner (Gerometta et al.), run on
+ * the SIMT simulator.
+ *
+ * One 32-thread block (= one warp) per alignment, exactly the paper's
+ * description (§3): in Next each diagonal maps to a lane; in Extend
+ * the warp speculates that a diagonal has many matches and assigns one
+ * cell per lane, so a diagonal that extends < 32 cells wastes lanes —
+ * the control divergence that bounds TSU on long reads (Figure 9,
+ * Table 7). The kernel computes real WFA scores (validated against
+ * align::wfaAlign) while the WarpContext accounts divergence,
+ * coalescing, and occupancy.
+ */
+
+#ifndef PGB_GPU_TSU_HPP
+#define PGB_GPU_TSU_HPP
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "align/wfa.hpp"
+#include "gpusim/launch.hpp"
+#include "seq/sequence.hpp"
+
+namespace pgb::gpu {
+
+/** One alignment task. */
+struct TsuPair
+{
+    seq::Sequence pattern;
+    seq::Sequence text;
+};
+
+/** TSU launch outcome. */
+struct TsuResult
+{
+    std::vector<int32_t> scores; ///< per pair; -1 if max score exceeded
+    gpusim::KernelStats stats;
+    /** Fraction of Extend rounds that used only one useful lane. */
+    double singleLaneExtendFraction = 0.0;
+};
+
+/**
+ * Align every pair on the simulated GPU, one warp per alignment.
+ *
+ * @param speculative_extend the TSU optimization (one cell per lane in
+ *        Extend); false serializes Extend on lane 0 (the ablation)
+ */
+TsuResult tsuRun(const gpusim::DeviceSpec &device,
+                 std::span<const TsuPair> pairs,
+                 const align::WfaPenalties &penalties,
+                 bool speculative_extend = true,
+                 int32_t max_score = 1 << 24);
+
+} // namespace pgb::gpu
+
+#endif // PGB_GPU_TSU_HPP

@@ -1,0 +1,52 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+
+namespace pgb::gpusim {
+
+DeviceSpec
+DeviceSpec::rtxA6000()
+{
+    return DeviceSpec{};
+}
+
+Occupancy
+computeOccupancy(const DeviceSpec &device, uint32_t block_threads,
+                 uint32_t regs_per_thread)
+{
+    if (block_threads == 0)
+        core::fatal("computeOccupancy: empty block");
+    Occupancy occupancy;
+
+    const uint32_t by_threads =
+        device.maxThreadsPerSm / block_threads;
+    const uint32_t by_blocks = device.maxBlocksPerSm;
+    // Register allocation granularity approximated per block.
+    const uint32_t regs_per_block = block_threads * regs_per_thread;
+    const uint32_t by_regs = regs_per_block == 0
+        ? by_blocks : device.registersPerSm / regs_per_block;
+
+    occupancy.blocksPerSm = std::min({by_threads, by_blocks, by_regs});
+    if (occupancy.blocksPerSm == by_regs &&
+        by_regs < std::min(by_threads, by_blocks)) {
+        occupancy.limiter = "registers";
+    } else if (occupancy.blocksPerSm == by_blocks &&
+               by_blocks < std::min(by_threads, by_regs)) {
+        occupancy.limiter = "blocks";
+    } else {
+        occupancy.limiter = "threads";
+    }
+
+    const uint32_t warps_per_block =
+        (block_threads + device.warpSize - 1) / device.warpSize;
+    occupancy.warpsPerSm = occupancy.blocksPerSm * warps_per_block;
+    const uint32_t max_warps = device.maxThreadsPerSm / device.warpSize;
+    occupancy.theoretical =
+        static_cast<double>(occupancy.warpsPerSm) /
+        static_cast<double>(max_warps);
+    return occupancy;
+}
+
+} // namespace pgb::gpusim

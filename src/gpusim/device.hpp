@@ -1,0 +1,59 @@
+/**
+ * @file
+ * GPU device model and occupancy calculator.
+ *
+ * No CUDA hardware is available in this reproduction, so the two GPU
+ * kernels (TSU, PGSGD-GPU) run on an execution-driven SIMT simulator
+ * (see DESIGN.md §1). DeviceSpec carries the RTX A6000 parameters the
+ * paper profiles on (Table 5); computeOccupancy implements the CUDA
+ * occupancy calculation, which reproduces the paper's §5.3 numbers
+ * exactly: block 32 -> 33.3% (block-limited), PGSGD's 1024 threads at
+ * 44 regs -> 66.7% (register-limited), 256 threads -> 83.3%.
+ */
+
+#ifndef PGB_GPUSIM_DEVICE_HPP
+#define PGB_GPUSIM_DEVICE_HPP
+
+#include <cstdint>
+
+namespace pgb::gpusim {
+
+/** Physical parameters of the simulated GPU. */
+struct DeviceSpec
+{
+    uint32_t warpSize = 32;
+    uint32_t smCount = 84;
+    uint32_t maxThreadsPerSm = 1536;
+    uint32_t maxBlocksPerSm = 16;
+    uint32_t registersPerSm = 65536;
+    uint32_t schedulersPerSm = 4;
+    double clockGhz = 1.80;
+    double memBandwidthGBs = 768.0;
+    double memLatencyCycles = 400.0;
+    uint32_t coalesceBytes = 128; ///< L1 transaction granule
+    uint32_t dramSectorBytes = 32; ///< DRAM fetch granularity (Ampere)
+
+    /** The paper's evaluation GPU (Table 5). */
+    static DeviceSpec rtxA6000();
+};
+
+/** Result of the occupancy calculation for one launch shape. */
+struct Occupancy
+{
+    uint32_t blocksPerSm = 0;
+    uint32_t warpsPerSm = 0;
+    double theoretical = 0.0; ///< warpsPerSm / maxWarpsPerSm
+    const char *limiter = "none";
+};
+
+/**
+ * CUDA-style occupancy: how many blocks of @p block_threads threads at
+ * @p regs_per_thread registers fit on one SM.
+ */
+Occupancy computeOccupancy(const DeviceSpec &device,
+                           uint32_t block_threads,
+                           uint32_t regs_per_thread);
+
+} // namespace pgb::gpusim
+
+#endif // PGB_GPUSIM_DEVICE_HPP

@@ -1,0 +1,211 @@
+#include "gpusim/launch.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_set>
+#include <vector>
+
+#include "core/logging.hpp"
+
+namespace pgb::gpusim {
+
+uint32_t
+WarpContext::popcount32(uint32_t x)
+{
+    return static_cast<uint32_t>(std::popcount(x));
+}
+
+void
+WarpContext::memAccess(std::span<const uint64_t> addresses,
+                       uint32_t bytes_per_lane)
+{
+    // The memory instruction itself occupies an issue slot; lanes with
+    // an address are the active ones.
+    ++issued_;
+    activeLaneSlots_ += addresses.size();
+
+    // Coalesce into transaction granules (128 B on the A6000).
+    const uint64_t granule = device_.coalesceBytes;
+    // Warps touch <= 32 lanes; a flat scan beats a hash set here.
+    uint64_t segments[64];
+    size_t n_segments = 0;
+    auto add_segment = [&](uint64_t segment) {
+        for (size_t i = 0; i < n_segments; ++i) {
+            if (segments[i] == segment)
+                return;
+        }
+        if (n_segments < 64)
+            segments[n_segments++] = segment;
+    };
+    for (uint64_t address : addresses) {
+        add_segment(address / granule);
+        if (bytes_per_lane > 1)
+            add_segment((address + bytes_per_lane - 1) / granule);
+    }
+    transactions_ += n_segments;
+    if (cache_ != nullptr) {
+        for (size_t i = 0; i < n_segments; ++i) {
+            // Replay each transaction through the GPU cache; misses at
+            // the last level reach DRAM.
+            const uint64_t before_l2_misses = cache_->stats(1).misses;
+            cache_->access(segments[i] * granule,
+                           static_cast<uint32_t>(granule));
+            dramTransactions_ +=
+                cache_->stats(1).misses - before_l2_misses;
+        }
+    } else {
+        dramTransactions_ += n_segments;
+    }
+}
+
+KernelStats
+launchKernel(
+    const DeviceSpec &device, const LaunchConfig &config,
+    const std::function<void(uint64_t warp_id, WarpContext &)> &warp_fn)
+{
+    if (config.totalWarps == 0)
+        core::fatal("launchKernel: zero warps");
+
+    KernelStats stats;
+    stats.occupancy = computeOccupancy(device, config.blockThreads,
+                                       config.regsPerThread);
+    if (stats.occupancy.blocksPerSm == 0)
+        core::fatal("launchKernel: launch shape does not fit on an SM");
+
+    prof::CacheSim cache = prof::CacheSim::gpuA6000();
+    prof::CacheSim *cache_ptr = config.modelCaches ? &cache : nullptr;
+
+    struct WarpCost
+    {
+        uint64_t issued;
+        uint64_t laneSlots;
+        uint64_t transactions;
+        uint64_t dram;
+    };
+    std::vector<WarpCost> costs;
+    costs.reserve(config.totalWarps);
+
+    uint64_t total_issued = 0, total_lane_slots = 0;
+    uint64_t total_transactions = 0, total_dram = 0;
+    for (uint64_t warp = 0; warp < config.totalWarps; ++warp) {
+        WarpContext context(device, cache_ptr);
+        warp_fn(warp, context);
+        costs.push_back({context.issued(), context.activeLaneSlots(),
+                         context.transactions(),
+                         context.dramTransactions()});
+        total_issued += context.issued();
+        total_lane_slots += context.activeLaneSlots();
+        total_transactions += context.transactions();
+        total_dram += context.dramTransactions();
+    }
+
+    stats.instructions = total_issued;
+    stats.transactions = total_transactions;
+    stats.warpUtilization = total_issued == 0
+        ? 0.0 : static_cast<double>(total_lane_slots) /
+                (static_cast<double>(total_issued) * device.warpSize);
+
+    // ---- Timing: waves of resident warps; each wave is bounded by
+    // issue throughput, DRAM bandwidth, and the longest warp's serial
+    // (latency-exposed) execution overlapped across resident warps.
+    const uint64_t resident_total = static_cast<uint64_t>(
+        stats.occupancy.warpsPerSm) * device.smCount;
+    const double schedulers = static_cast<double>(device.smCount) *
+                              device.schedulersPerSm;
+    const double bytes_per_cycle =
+        device.memBandwidthGBs * 1e9 / (device.clockGhz * 1e9);
+
+    // Latency constant for transactions served by the on-chip caches.
+    constexpr double kCacheHitLatency = 40.0;
+    // Outstanding memory requests a single warp overlaps (per-warp
+    // memory-level parallelism); its serial critical path divides by
+    // this.
+    constexpr double kWarpMlp = 8.0;
+    const double resident_per_scheduler =
+        static_cast<double>(stats.occupancy.warpsPerSm) /
+        device.schedulersPerSm;
+
+    double total_cycles = 0.0;
+    double resident_integral = 0.0; // warp-cycles of residency
+    for (uint64_t wave_start = 0; wave_start < costs.size();
+         wave_start += resident_total) {
+        const uint64_t wave_end = std::min<uint64_t>(
+            wave_start + resident_total, costs.size());
+        uint64_t wave_issued = 0, wave_dram = 0, wave_trans = 0;
+        double longest_serial = 0.0;
+        double serial_sum = 0.0;
+        // Residency balance uses a cache-state-independent weight so
+        // the cold-cache head warps don't masquerade as imbalance.
+        double balance_longest = 0.0, balance_sum = 0.0;
+        for (uint64_t w = wave_start; w < wave_end; ++w) {
+            wave_issued += costs[w].issued;
+            wave_dram += costs[w].dram;
+            wave_trans += costs[w].transactions;
+            const double serial =
+                static_cast<double>(costs[w].issued) +
+                (static_cast<double>(costs[w].dram) *
+                     device.memLatencyCycles +
+                 static_cast<double>(costs[w].transactions -
+                                     costs[w].dram) *
+                     kCacheHitLatency) / kWarpMlp;
+            longest_serial = std::max(longest_serial, serial);
+            serial_sum += serial;
+            const double weight =
+                static_cast<double>(costs[w].issued) +
+                static_cast<double>(costs[w].transactions);
+            balance_longest = std::max(balance_longest, weight);
+            balance_sum += weight;
+        }
+        const double wave_warps =
+            static_cast<double>(wave_end - wave_start);
+        const double throughput_cycles =
+            static_cast<double>(wave_issued) / schedulers;
+        const double dram_cycles =
+            static_cast<double>(wave_dram) * device.dramSectorBytes /
+            bytes_per_cycle;
+        // Latency term: each scheduler overlaps the memory latency of
+        // its resident warps; higher occupancy hides more of it (the
+        // §5.3 block-size effect).
+        const double wave_stall =
+            static_cast<double>(wave_dram) * device.memLatencyCycles +
+            static_cast<double>(wave_trans - wave_dram) *
+                kCacheHitLatency;
+        const double latency_cycles =
+            wave_stall / schedulers /
+            std::max(1.0, resident_per_scheduler);
+        const double wave_cycles = std::max(
+            {throughput_cycles, dram_cycles, latency_cycles,
+             longest_serial});
+        total_cycles += wave_cycles;
+        // Residency integral: warps stay resident until their share of
+        // the wave completes; approximate with work-proportional
+        // completion times.
+        resident_integral += wave_cycles > 0.0 && balance_longest > 0.0
+            ? balance_sum / balance_longest * wave_cycles
+            : wave_warps * wave_cycles;
+    }
+
+    stats.simSeconds = total_cycles / (device.clockGhz * 1e9);
+    stats.memBandwidthUtil = stats.simSeconds == 0.0
+        ? 0.0 : static_cast<double>(total_dram) * device.dramSectorBytes /
+                stats.simSeconds / (device.memBandwidthGBs * 1e9);
+    const uint64_t max_warps_total = static_cast<uint64_t>(
+        device.maxThreadsPerSm / device.warpSize) * device.smCount;
+    stats.achievedOccupancy = total_cycles == 0.0
+        ? 0.0 : std::min(stats.occupancy.theoretical,
+                         resident_integral / total_cycles /
+                             static_cast<double>(max_warps_total));
+    const double active_schedulers = std::min<double>(
+        schedulers, static_cast<double>(
+            std::min<uint64_t>(resident_total, config.totalWarps)));
+    stats.issueIntervalCycles = total_issued == 0
+        ? 0.0 : total_cycles * active_schedulers /
+                static_cast<double>(total_issued);
+    if (config.modelCaches) {
+        stats.l1HitRate = 1.0 - cache.stats(0).missRate();
+        stats.l2HitRate = 1.0 - cache.stats(1).missRate();
+    }
+    return stats;
+}
+
+} // namespace pgb::gpusim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Execution-driven SIMT kernel launches.
+ *
+ * GPU kernels are written as per-warp functions: the kernel body runs
+ * every lane of a warp in lockstep (plain C++, functionally exact) and
+ * reports each warp-instruction to its WarpContext — the active lane
+ * mask (divergence), and per-lane memory addresses (coalescing). The
+ * launcher aggregates those reports into the timing/utilization model
+ * and the Table 7 metrics:
+ *
+ *  - warp utilization = active lane-slots / (issued instructions x 32)
+ *  - memory transactions = distinct 128 B segments per access
+ *  - achieved occupancy = theoretical x issue-slot activity
+ *  - simulated time = max(issue-throughput, DRAM bandwidth,
+ *    latency-hiding limit) across the launch
+ *
+ * An optional CacheSim (A6000-like L1/L2) filters transactions to
+ * DRAM and reports the hit rates discussed in the paper's §5.3
+ * block-size study.
+ */
+
+#ifndef PGB_GPUSIM_LAUNCH_HPP
+#define PGB_GPUSIM_LAUNCH_HPP
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "gpusim/device.hpp"
+#include "prof/cache_sim.hpp"
+
+namespace pgb::gpusim {
+
+/** Shape of one kernel launch. */
+struct LaunchConfig
+{
+    uint32_t blockThreads = 32;
+    uint32_t regsPerThread = 40;
+    uint64_t totalWarps = 1; ///< grid size in warps
+    bool modelCaches = true; ///< run transactions through the GPU cache
+};
+
+/** Per-warp instruction/memory accounting interface. */
+class WarpContext
+{
+  public:
+    WarpContext(const DeviceSpec &device, prof::CacheSim *cache)
+        : device_(device), cache_(cache)
+    {
+    }
+
+    /**
+     * Issue one compute warp-instruction with @p active_mask lanes
+     * doing useful work (bit i = lane i).
+     */
+    void
+    issue(uint32_t active_mask)
+    {
+        ++issued_;
+        activeLaneSlots_ += popcount32(active_mask);
+    }
+
+    /** Issue @p count uniform (fully-active) warp-instructions. */
+    void
+    issueUniform(uint64_t count)
+    {
+        issued_ += count;
+        activeLaneSlots_ += count * device_.warpSize;
+    }
+
+    /**
+     * One memory warp-instruction: @p addresses holds one address per
+     * active lane (inactive lanes excluded by the caller);
+     * @p bytes_per_lane bytes each. Coalesced into transaction granules.
+     */
+    void memAccess(std::span<const uint64_t> addresses,
+                   uint32_t bytes_per_lane);
+
+    uint64_t issued() const { return issued_; }
+    uint64_t activeLaneSlots() const { return activeLaneSlots_; }
+    uint64_t transactions() const { return transactions_; }
+    uint64_t dramTransactions() const { return dramTransactions_; }
+
+  private:
+    static uint32_t popcount32(uint32_t x);
+
+    const DeviceSpec &device_;
+    prof::CacheSim *cache_;
+    uint64_t issued_ = 0;
+    uint64_t activeLaneSlots_ = 0;
+    uint64_t transactions_ = 0;
+    uint64_t dramTransactions_ = 0;
+
+    friend class Launcher;
+};
+
+/** Aggregated launch metrics (the Table 7 rows). */
+struct KernelStats
+{
+    Occupancy occupancy;
+    double achievedOccupancy = 0.0;
+    double warpUtilization = 0.0;     ///< fraction of lane slots useful
+    double memBandwidthUtil = 0.0;    ///< DRAM bytes/s over peak
+    double simSeconds = 0.0;
+    double issueIntervalCycles = 0.0; ///< avg cycles between issues/warp
+    uint64_t instructions = 0;
+    uint64_t transactions = 0;
+    double l1HitRate = 0.0;
+    double l2HitRate = 0.0;
+};
+
+/**
+ * Run @p warp_fn once per warp (sequentially, deterministic) and fold
+ * the per-warp accounting into launch-level metrics.
+ */
+KernelStats launchKernel(
+    const DeviceSpec &device, const LaunchConfig &config,
+    const std::function<void(uint64_t warp_id, WarpContext &)> &warp_fn);
+
+} // namespace pgb::gpusim
+
+#endif // PGB_GPUSIM_LAUNCH_HPP

@@ -1,0 +1,192 @@
+#include "graph/gfa.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "core/logging.hpp"
+
+namespace pgb::graph {
+
+using core::fatal;
+
+namespace {
+
+std::vector<std::string>
+splitTabs(const std::string &line)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    for (;;) {
+        const size_t tab = line.find('\t', start);
+        if (tab == std::string::npos) {
+            fields.push_back(line.substr(start));
+            return fields;
+        }
+        fields.push_back(line.substr(start, tab - start));
+        start = tab + 1;
+    }
+}
+
+/** Parse "name+" / "name-" into (name, reverse). */
+std::pair<std::string, bool>
+parseOriented(const std::string &token)
+{
+    if (token.size() < 2)
+        fatal("GFA: malformed oriented segment '", token, "'");
+    const char orient = token.back();
+    if (orient != '+' && orient != '-')
+        fatal("GFA: bad orientation in '", token, "'");
+    return {token.substr(0, token.size() - 1), orient == '-'};
+}
+
+} // namespace
+
+PanGraph
+readGfa(std::istream &input)
+{
+    PanGraph graph;
+    std::unordered_map<std::string, NodeId> names;
+    struct PendingLink
+    {
+        std::string from, to;
+        bool fromRev, toRev;
+    };
+    std::vector<PendingLink> links;
+    struct PendingPath
+    {
+        std::string name;
+        std::string steps;
+    };
+    std::vector<PendingPath> pending_paths;
+
+    std::string line;
+    while (std::getline(input, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        const auto fields = splitTabs(line);
+        switch (fields[0].empty() ? '\0' : fields[0][0]) {
+          case 'H':
+            break;
+          case 'S': {
+            if (fields.size() < 3)
+                fatal("GFA: S record needs name and sequence");
+            if (names.count(fields[1]) != 0)
+                fatal("GFA: duplicate segment '", fields[1], "'");
+            names[fields[1]] =
+                graph.addNode(seq::Sequence(fields[1], fields[2]));
+            break;
+          }
+          case 'L': {
+            if (fields.size() < 5)
+                fatal("GFA: L record needs 4 fields");
+            links.push_back({fields[1], fields[3],
+                             fields[2] == "-", fields[4] == "-"});
+            if (fields[2] != "+" && fields[2] != "-")
+                fatal("GFA: bad L orientation '", fields[2], "'");
+            if (fields[4] != "+" && fields[4] != "-")
+                fatal("GFA: bad L orientation '", fields[4], "'");
+            break;
+          }
+          case 'P': {
+            if (fields.size() < 3)
+                fatal("GFA: P record needs name and steps");
+            pending_paths.push_back({fields[1], fields[2]});
+            break;
+          }
+          default:
+            // Ignore record types we do not model (C, W, tags...).
+            break;
+        }
+    }
+
+    auto lookup = [&](const std::string &name) {
+        auto it = names.find(name);
+        if (it == names.end())
+            fatal("GFA: unknown segment '", name, "'");
+        return it->second;
+    };
+
+    for (const auto &link : links) {
+        graph.addEdge(Handle(lookup(link.from), link.fromRev),
+                      Handle(lookup(link.to), link.toRev));
+    }
+
+    for (const auto &path : pending_paths) {
+        std::vector<Handle> steps;
+        std::stringstream stream(path.steps);
+        std::string token;
+        while (std::getline(stream, token, ',')) {
+            const auto [name, reverse] = parseOriented(token);
+            steps.emplace_back(lookup(name), reverse);
+        }
+        graph.addPath(path.name, std::move(steps));
+    }
+    return graph;
+}
+
+PanGraph
+readGfaFile(const std::string &path)
+{
+    std::ifstream input(path);
+    if (!input)
+        fatal("GFA: cannot open '", path, "'");
+    return readGfa(input);
+}
+
+void
+writeGfa(std::ostream &output, const PanGraph &graph)
+{
+    output << "H\tVN:Z:1.0\n";
+    for (NodeId node = 0; node < graph.nodeCount(); ++node) {
+        output << "S\t" << (node + 1) << '\t'
+               << graph.nodeSequence(node).toString() << '\n';
+    }
+    // Emit each bidirected edge once, from its canonical orientation.
+    for (NodeId node = 0; node < graph.nodeCount(); ++node) {
+        for (bool reverse : {false, true}) {
+            const Handle from(node, reverse);
+            for (Handle to : graph.successors(from)) {
+                // Canonical form: emit when (from, to) <= its mirror.
+                const Handle mirror_from = to.flipped();
+                const Handle mirror_to = from.flipped();
+                const auto key = std::make_pair(from.packed(), to.packed());
+                const auto mirror_key = std::make_pair(
+                    mirror_from.packed(), mirror_to.packed());
+                if (key > mirror_key)
+                    continue;
+                output << "L\t" << (from.node() + 1) << '\t'
+                       << (from.isReverse() ? '-' : '+') << '\t'
+                       << (to.node() + 1) << '\t'
+                       << (to.isReverse() ? '-' : '+') << "\t0M\n";
+            }
+        }
+    }
+    for (PathId path = 0; path < graph.pathCount(); ++path) {
+        output << "P\t" << graph.pathName(path) << '\t';
+        const auto &steps = graph.pathSteps(path);
+        for (size_t i = 0; i < steps.size(); ++i) {
+            if (i != 0)
+                output << ',';
+            output << (steps[i].node() + 1)
+                   << (steps[i].isReverse() ? '-' : '+');
+        }
+        output << "\t*\n";
+    }
+}
+
+void
+writeGfaFile(const std::string &path, const PanGraph &graph)
+{
+    std::ofstream output(path);
+    if (!output)
+        fatal("GFA: cannot open '", path, "' for writing");
+    writeGfa(output, graph);
+}
+
+} // namespace pgb::graph

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * GFA v1 serialization for PanGraph.
+ *
+ * Supports the subset of GFA used by pangenome tools: S (segment),
+ * L (link, blunt 0M overlaps only), and P (path) records. Segment names
+ * may be arbitrary strings on input; output uses 1-based numeric names.
+ */
+
+#ifndef PGB_GRAPH_GFA_HPP
+#define PGB_GRAPH_GFA_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/pangraph.hpp"
+
+namespace pgb::graph {
+
+/** Parse a GFA v1 graph from @p input. */
+PanGraph readGfa(std::istream &input);
+
+/** Parse a GFA v1 graph from the file at @p path. */
+PanGraph readGfaFile(const std::string &path);
+
+/** Serialize @p graph as GFA v1. */
+void writeGfa(std::ostream &output, const PanGraph &graph);
+
+/** Serialize @p graph to the file at @p path. */
+void writeGfaFile(const std::string &path, const PanGraph &graph);
+
+} // namespace pgb::graph
+
+#endif // PGB_GRAPH_GFA_HPP

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Oriented node handles for bidirected sequence graphs.
+ *
+ * A pangenome graph is bidirected: each node can be traversed forward
+ * or in reverse complement. A Handle packs (node id, orientation) into
+ * 32 bits, following the convention used by libhandlegraph/vg.
+ */
+
+#ifndef PGB_GRAPH_HANDLE_HPP
+#define PGB_GRAPH_HANDLE_HPP
+
+#include <cstdint>
+#include <functional>
+
+namespace pgb::graph {
+
+/** Dense node identifier, 0-based. */
+using NodeId = uint32_t;
+
+/** An oriented reference to a node: (id << 1) | is_reverse. */
+class Handle
+{
+  public:
+    Handle() = default;
+
+    Handle(NodeId node, bool reverse)
+        : packed_((node << 1) | (reverse ? 1u : 0u))
+    {
+    }
+
+    /** Construct directly from the packed representation. */
+    static Handle
+    fromPacked(uint32_t packed)
+    {
+        Handle h;
+        h.packed_ = packed;
+        return h;
+    }
+
+    NodeId node() const { return packed_ >> 1; }
+    bool isReverse() const { return packed_ & 1; }
+    uint32_t packed() const { return packed_; }
+
+    /** The same node in the opposite orientation. */
+    Handle flipped() const { return fromPacked(packed_ ^ 1u); }
+
+    bool operator==(const Handle &other) const
+    {
+        return packed_ == other.packed_;
+    }
+    bool operator!=(const Handle &other) const
+    {
+        return packed_ != other.packed_;
+    }
+    bool operator<(const Handle &other) const
+    {
+        return packed_ < other.packed_;
+    }
+
+  private:
+    uint32_t packed_ = 0;
+};
+
+} // namespace pgb::graph
+
+namespace std {
+
+template <>
+struct hash<pgb::graph::Handle>
+{
+    size_t
+    operator()(const pgb::graph::Handle &h) const noexcept
+    {
+        return std::hash<uint32_t>()(h.packed());
+    }
+};
+
+} // namespace std
+
+#endif // PGB_GRAPH_HANDLE_HPP

@@ -1,0 +1,122 @@
+#include "graph/local_graph.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+#include "seq/sequence.hpp"
+
+namespace pgb::graph {
+
+uint32_t
+LocalGraph::addNode(std::vector<uint8_t> bases)
+{
+    totalBases_ += bases.size();
+    seqs_.push_back(std::move(bases));
+    finalized_ = false;
+    return static_cast<uint32_t>(seqs_.size() - 1);
+}
+
+uint32_t
+LocalGraph::addNode(const std::string &bases)
+{
+    return addNode(seq::encodeString(bases));
+}
+
+void
+LocalGraph::addEdge(uint32_t from, uint32_t to)
+{
+    if (from >= seqs_.size() || to >= seqs_.size())
+        core::fatal("LocalGraph::addEdge: node index out of range");
+    edges_.emplace_back(from, to);
+    finalized_ = false;
+}
+
+void
+LocalGraph::finalize()
+{
+    const auto n = static_cast<uint32_t>(seqs_.size());
+    std::sort(edges_.begin(), edges_.end());
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+    adjOffsets_.assign(n + 1, 0);
+    predOffsets_.assign(n + 1, 0);
+    for (const auto &[from, to] : edges_) {
+        ++adjOffsets_[from + 1];
+        ++predOffsets_[to + 1];
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+        adjOffsets_[i + 1] += adjOffsets_[i];
+        predOffsets_[i + 1] += predOffsets_[i];
+    }
+    adjTargets_.resize(edges_.size());
+    predTargets_.resize(edges_.size());
+    std::vector<uint32_t> adj_fill(adjOffsets_.begin(),
+                                   adjOffsets_.end() - 1);
+    std::vector<uint32_t> pred_fill(predOffsets_.begin(),
+                                    predOffsets_.end() - 1);
+    for (const auto &[from, to] : edges_) {
+        adjTargets_[adj_fill[from]++] = to;
+        predTargets_[pred_fill[to]++] = from;
+    }
+
+    // Kahn's algorithm: topological order exists iff the graph is a DAG.
+    topoOrder_.clear();
+    topoOrder_.reserve(n);
+    std::vector<uint32_t> indegree(n, 0);
+    for (const auto &[from, to] : edges_)
+        ++indegree[to];
+    std::vector<uint32_t> frontier;
+    for (uint32_t v = 0; v < n; ++v) {
+        if (indegree[v] == 0)
+            frontier.push_back(v);
+    }
+    // Process in ascending index order for determinism.
+    size_t head = 0;
+    std::sort(frontier.begin(), frontier.end());
+    while (head < frontier.size()) {
+        const uint32_t v = frontier[head++];
+        topoOrder_.push_back(v);
+        for (uint32_t child : successors(v)) {
+            if (--indegree[child] == 0)
+                frontier.push_back(child);
+        }
+    }
+    isDag_ = topoOrder_.size() == n;
+    if (!isDag_)
+        topoOrder_.clear();
+    finalized_ = true;
+}
+
+LocalGraph
+LocalGraph::splitTo1bp(std::vector<uint32_t> *first_base) const
+{
+    if (!finalized_)
+        core::panic("LocalGraph::splitTo1bp before finalize()");
+    LocalGraph out;
+    std::vector<uint32_t> first(seqs_.size(), 0);
+    std::vector<uint32_t> last(seqs_.size(), 0);
+    for (uint32_t v = 0; v < seqs_.size(); ++v) {
+        const auto &bases = seqs_[v];
+        if (bases.empty())
+            core::fatal("LocalGraph::splitTo1bp: empty node ", v);
+        uint32_t prev = 0;
+        for (size_t i = 0; i < bases.size(); ++i) {
+            const uint32_t id = out.addNode(
+                std::vector<uint8_t>{bases[i]});
+            if (i == 0)
+                first[v] = id;
+            else
+                out.addEdge(prev, id);
+            prev = id;
+        }
+        last[v] = prev;
+    }
+    for (const auto &[from, to] : edges_)
+        out.addEdge(last[from], first[to]);
+    out.finalize();
+    if (first_base != nullptr)
+        *first_base = std::move(first);
+    return out;
+}
+
+} // namespace pgb::graph

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * LocalGraph: the kernel-facing oriented sequence graph.
+ *
+ * Mapping kernels (GSSW, GBV, GWFA) do not run on the whole bidirected
+ * pangenome; they run on small oriented subgraphs extracted around seed
+ * hits (a key finding of the paper: these subgraphs are cache-friendly).
+ * LocalGraph is that extracted form: orientation is already resolved
+ * into node sequences, adjacency is CSR, and a topological order is
+ * available when the graph is acyclic.
+ */
+
+#ifndef PGB_GRAPH_LOCAL_GRAPH_HPP
+#define PGB_GRAPH_LOCAL_GRAPH_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pgb::graph {
+
+/** Oriented sequence graph in CSR form. Build, then finalize(). */
+class LocalGraph
+{
+  public:
+    /** Add a node with encoded @p bases. @return its index. */
+    uint32_t addNode(std::vector<uint8_t> bases);
+
+    /** Convenience: add a node from an ASCII string. */
+    uint32_t addNode(const std::string &bases);
+
+    /** Add a directed edge @p from -> @p to. */
+    void addEdge(uint32_t from, uint32_t to);
+
+    /**
+     * Freeze the topology: build CSR adjacency, predecessor lists, and
+     * (when acyclic) a topological order. Must be called before any
+     * query; edges added afterwards require re-finalizing.
+     */
+    void finalize();
+
+    size_t nodeCount() const { return seqs_.size(); }
+    size_t edgeCount() const { return edges_.size(); }
+
+    const std::vector<uint8_t> &nodeSeq(uint32_t node) const
+    {
+        return seqs_[node];
+    }
+    size_t nodeLength(uint32_t node) const { return seqs_[node].size(); }
+
+    /** Total bases across all nodes. */
+    size_t totalBases() const { return totalBases_; }
+
+    std::span<const uint32_t>
+    successors(uint32_t node) const
+    {
+        return {adjTargets_.data() + adjOffsets_[node],
+                adjOffsets_[node + 1] - adjOffsets_[node]};
+    }
+
+    std::span<const uint32_t>
+    predecessors(uint32_t node) const
+    {
+        return {predTargets_.data() + predOffsets_[node],
+                predOffsets_[node + 1] - predOffsets_[node]};
+    }
+
+    /** Whether the graph is a DAG (valid after finalize()). */
+    bool isDag() const { return isDag_; }
+
+    /**
+     * Topological order (node indices). Valid only when isDag(); empty
+     * otherwise.
+     */
+    const std::vector<uint32_t> &topoOrder() const { return topoOrder_; }
+
+    /**
+     * Expand into an equivalent graph whose nodes all carry exactly one
+     * base, as GraphAligner does before bit-vector alignment (GBV rows
+     * are one-base nodes, paper Figure 4b). Preserves cycles.
+     *
+     * @param[out] first_base optional map from original node index to
+     *        the index of its first base node in the result.
+     */
+    LocalGraph splitTo1bp(std::vector<uint32_t> *first_base = nullptr) const;
+
+  private:
+    std::vector<std::vector<uint8_t>> seqs_;
+    std::vector<std::pair<uint32_t, uint32_t>> edges_;
+
+    std::vector<uint32_t> adjOffsets_, adjTargets_;
+    std::vector<uint32_t> predOffsets_, predTargets_;
+    std::vector<uint32_t> topoOrder_;
+    size_t totalBases_ = 0;
+    bool isDag_ = false;
+    bool finalized_ = false;
+};
+
+} // namespace pgb::graph
+
+#endif // PGB_GRAPH_LOCAL_GRAPH_HPP

@@ -1,0 +1,319 @@
+#include "graph/pangraph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/logging.hpp"
+
+namespace pgb::graph {
+
+using core::fatal;
+
+NodeId
+PanGraph::addNode(seq::Sequence bases)
+{
+    if (bases.empty())
+        fatal("PanGraph::addNode: empty node sequence");
+    sequences_.push_back(std::move(bases));
+    adjacency_.resize(sequences_.size() * 2);
+    return static_cast<NodeId>(sequences_.size() - 1);
+}
+
+seq::Sequence
+PanGraph::sequenceOf(Handle handle) const
+{
+    const seq::Sequence &forward = sequences_[handle.node()];
+    return handle.isReverse() ? forward.reverseComplement() : forward;
+}
+
+uint8_t
+PanGraph::baseAt(Handle handle, size_t offset) const
+{
+    const seq::Sequence &forward = sequences_[handle.node()];
+    if (!handle.isReverse())
+        return forward[offset];
+    return seq::complementBase(forward[forward.size() - 1 - offset]);
+}
+
+void
+PanGraph::addEdge(Handle from, Handle to)
+{
+    if (from.node() >= nodeCount() || to.node() >= nodeCount())
+        fatal("PanGraph::addEdge: node out of range");
+    if (hasEdge(from, to))
+        return;
+    adjacency_[from.packed()].push_back(to);
+    // Bidirected mirror: traversing the edge in the opposite direction.
+    const Handle mirror_from = to.flipped();
+    const Handle mirror_to = from.flipped();
+    if (!(mirror_from == from && mirror_to == to))
+        adjacency_[mirror_from.packed()].push_back(mirror_to);
+    ++edgeCount_;
+}
+
+bool
+PanGraph::hasEdge(Handle from, Handle to) const
+{
+    const auto &out = adjacency_[from.packed()];
+    return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+std::vector<Handle>
+PanGraph::predecessors(Handle handle) const
+{
+    // Predecessors of h are the flips of the successors of h.flipped().
+    std::vector<Handle> preds;
+    for (Handle succ : adjacency_[handle.flipped().packed()])
+        preds.push_back(succ.flipped());
+    return preds;
+}
+
+PathId
+PanGraph::addPath(std::string name, std::vector<Handle> steps)
+{
+    if (steps.empty())
+        fatal("PanGraph::addPath: empty path '", name, "'");
+    for (size_t i = 0; i + 1 < steps.size(); ++i) {
+        if (!hasEdge(steps[i], steps[i + 1])) {
+            fatal("PanGraph::addPath: path '", name,
+                  "' step ", i, " is not connected by an edge");
+        }
+    }
+    if (pathIndex_.count(name) != 0)
+        fatal("PanGraph::addPath: duplicate path name '", name, "'");
+    paths_.push_back(std::move(steps));
+    pathNames_.push_back(name);
+    const auto id = static_cast<PathId>(paths_.size() - 1);
+    pathIndex_.emplace(std::move(name), id);
+    return id;
+}
+
+size_t
+PanGraph::pathLength(PathId path) const
+{
+    size_t length = 0;
+    for (Handle step : paths_[path])
+        length += nodeLength(step.node());
+    return length;
+}
+
+seq::Sequence
+PanGraph::pathSequence(PathId path) const
+{
+    seq::Sequence out;
+    out.setName(pathNames_[path]);
+    for (Handle step : paths_[path])
+        out.append(sequenceOf(step));
+    return out;
+}
+
+GraphStats
+PanGraph::stats() const
+{
+    GraphStats stats;
+    stats.nodeCount = nodeCount();
+    stats.edgeCount = edgeCount();
+    stats.pathCount = pathCount();
+    for (const auto &sequence : sequences_) {
+        stats.totalBases += sequence.size();
+        stats.maxNodeLength = std::max(stats.maxNodeLength,
+                                       sequence.size());
+    }
+    if (stats.nodeCount > 0) {
+        stats.avgNodeLength = static_cast<double>(stats.totalBases) /
+                              static_cast<double>(stats.nodeCount);
+        size_t out_degree = 0;
+        for (const auto &adjacent : adjacency_)
+            out_degree += adjacent.size();
+        stats.avgOutDegree = static_cast<double>(out_degree) /
+                             static_cast<double>(adjacency_.size());
+    }
+    return stats;
+}
+
+LocalGraph
+PanGraph::extractSubgraph(Handle start, size_t radius,
+                          uint32_t *origin) const
+{
+    // Dijkstra outward from `start` in both directions, distance in
+    // bases. A handle and its flip are distinct local nodes (reverse
+    // strand unrolling).
+    struct Entry
+    {
+        size_t dist;
+        uint32_t packed;
+        bool operator>(const Entry &other) const
+        {
+            return dist > other.dist;
+        }
+    };
+    std::unordered_map<uint32_t, size_t> dist;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+    dist[start.packed()] = 0;
+    queue.push({0, start.packed()});
+    std::vector<uint32_t> discovered; // in order of settling
+
+    while (!queue.empty()) {
+        const Entry entry = queue.top();
+        queue.pop();
+        auto it = dist.find(entry.packed);
+        if (it == dist.end() || it->second < entry.dist)
+            continue;
+        discovered.push_back(entry.packed);
+        const Handle handle = Handle::fromPacked(entry.packed);
+        const size_t step = nodeLength(handle.node());
+
+        auto relax = [&](Handle next, size_t next_dist) {
+            if (next_dist > radius)
+                return;
+            auto found = dist.find(next.packed());
+            if (found == dist.end() || next_dist < found->second) {
+                dist[next.packed()] = next_dist;
+                queue.push({next_dist, next.packed()});
+            }
+        };
+        for (Handle next : successors(handle))
+            relax(next, entry.dist + step);
+        for (Handle prev : predecessors(handle))
+            relax(prev, entry.dist + nodeLength(prev.node()));
+    }
+
+    // Deterministic local ids: sort settled handles by (distance, id).
+    std::sort(discovered.begin(), discovered.end(),
+              [&](uint32_t a, uint32_t b) {
+                  const size_t da = dist[a], db = dist[b];
+                  return da < db || (da == db && a < b);
+              });
+    std::unordered_map<uint32_t, uint32_t> local;
+    LocalGraph out;
+    for (uint32_t packed : discovered) {
+        const Handle handle = Handle::fromPacked(packed);
+        local[packed] = out.addNode(sequenceOf(handle).codes());
+    }
+
+    // Keep only edges that do not create cycles: an edge u->v survives
+    // when it respects the (distance, id) order, or when v is farther
+    // out. This DAG-ification mirrors vg's acyclic extraction for GSSW.
+    for (uint32_t packed : discovered) {
+        const Handle handle = Handle::fromPacked(packed);
+        for (Handle next : successors(handle)) {
+            auto it = local.find(next.packed());
+            if (it == local.end())
+                continue;
+            const uint32_t from = local[packed];
+            const uint32_t to = it->second;
+            if (from < to)
+                out.addEdge(from, to);
+        }
+    }
+    out.finalize();
+    if (origin != nullptr)
+        *origin = local[start.packed()];
+    return out;
+}
+
+PanGraph
+PanGraph::splitNodes(size_t max_length) const
+{
+    if (max_length == 0)
+        fatal("PanGraph::splitNodes: max_length must be positive");
+    PanGraph out;
+    std::vector<NodeId> first(nodeCount());
+    std::vector<NodeId> last(nodeCount());
+    for (NodeId node = 0; node < nodeCount(); ++node) {
+        const seq::Sequence &bases = sequences_[node];
+        NodeId prev = 0;
+        bool have_prev = false;
+        for (size_t offset = 0; offset < bases.size();
+             offset += max_length) {
+            const NodeId id = out.addNode(
+                bases.slice(offset, max_length));
+            if (!have_prev)
+                first[node] = id;
+            else
+                out.addEdge(Handle(prev, false), Handle(id, false));
+            prev = id;
+            have_prev = true;
+        }
+        last[node] = prev;
+    }
+
+    auto entry_of = [&](Handle h) {
+        return h.isReverse() ? Handle(last[h.node()], true)
+                             : Handle(first[h.node()], false);
+    };
+    auto exit_of = [&](Handle h) {
+        return h.isReverse() ? Handle(first[h.node()], true)
+                             : Handle(last[h.node()], false);
+    };
+
+    for (NodeId node = 0; node < nodeCount(); ++node) {
+        for (bool reverse : {false, true}) {
+            const Handle handle(node, reverse);
+            for (Handle next : successors(handle))
+                out.addEdge(exit_of(handle), entry_of(next));
+        }
+    }
+
+    for (PathId path = 0; path < pathCount(); ++path) {
+        std::vector<Handle> steps;
+        for (Handle step : paths_[path]) {
+            const NodeId node = step.node();
+            if (!step.isReverse()) {
+                for (NodeId sub = first[node]; sub <= last[node]; ++sub)
+                    steps.emplace_back(sub, false);
+            } else {
+                for (NodeId sub = last[node] + 1; sub-- > first[node];)
+                    steps.emplace_back(sub, true);
+            }
+        }
+        out.addPath(pathNames_[path], std::move(steps));
+    }
+    return out;
+}
+
+size_t
+PanGraph::shortestPathBases(Handle from, Handle to, size_t limit) const
+{
+    struct Entry
+    {
+        size_t dist;
+        uint32_t packed;
+        bool operator>(const Entry &other) const
+        {
+            return dist > other.dist;
+        }
+    };
+    std::unordered_map<uint32_t, size_t> dist;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+    for (Handle succ : successors(from)) {
+        dist[succ.packed()] = 0;
+        queue.push({0, succ.packed()});
+    }
+    while (!queue.empty()) {
+        const Entry entry = queue.top();
+        queue.pop();
+        auto it = dist.find(entry.packed);
+        if (it == dist.end() || it->second < entry.dist)
+            continue;
+        const Handle handle = Handle::fromPacked(entry.packed);
+        if (handle == to)
+            return entry.dist;
+        const size_t next_dist = entry.dist + nodeLength(handle.node());
+        if (next_dist > limit)
+            continue;
+        for (Handle next : successors(handle)) {
+            auto found = dist.find(next.packed());
+            if (found == dist.end() || next_dist < found->second) {
+                dist[next.packed()] = next_dist;
+                queue.push({next_dist, next.packed()});
+            }
+        }
+    }
+    return std::numeric_limits<size_t>::max();
+}
+
+} // namespace pgb::graph

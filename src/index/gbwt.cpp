@@ -1,0 +1,156 @@
+#include "index/gbwt.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/logging.hpp"
+#include "index/suffix_array.hpp"
+
+namespace pgb::index {
+
+GbwtIndex::GbwtIndex(const graph::PanGraph &graph, bool run_length_encode)
+    : rle_(run_length_encode)
+{
+    // Internal ids: 0 = end/start marker, handle.packed() + 1 otherwise.
+    const size_t id_space = graph.nodeCount() * 2 + 1;
+    records_.resize(id_space);
+
+    // ---- Concatenate the reversed paths, sentinel 0 after each.
+    std::vector<uint32_t> concat;
+    struct VisitRef
+    {
+        uint32_t concatPos;
+        uint32_t successor;
+    };
+    // visits[v] = all visits to internal node v (unordered yet)
+    std::vector<std::vector<VisitRef>> visits(id_space);
+
+    for (graph::PathId path = 0; path < graph.pathCount(); ++path) {
+        const auto &steps = graph.pathSteps(path);
+        const auto start = static_cast<uint32_t>(concat.size());
+        const auto len = steps.size();
+        for (size_t r = 0; r < len; ++r) {
+            // Reversed order: concat position start+r holds step
+            // len-1-r.
+            concat.push_back(toInternal(steps[len - 1 - r]));
+        }
+        concat.push_back(kEndMarker);
+        for (size_t i = 0; i < len; ++i) {
+            const auto j = static_cast<uint32_t>(start + (len - 1 - i));
+            const uint32_t successor =
+                i + 1 < len ? toInternal(steps[i + 1]) : kEndMarker;
+            visits[concat[j]].push_back({j, successor});
+        }
+    }
+    if (concat.empty())
+        return;
+
+    // ---- Order visits by reversed prefix: rank of the suffix at j+1.
+    const auto ranks = suffixRanks(buildSuffixArray(concat));
+    for (auto &list : visits) {
+        std::sort(list.begin(), list.end(),
+                  [&](const VisitRef &a, const VisitRef &b) {
+                      return ranks[a.concatPos + 1] <
+                             ranks[b.concatPos + 1];
+                  });
+    }
+
+    // ---- Predecessor-block offsets: within node w's sorted visit
+    // list, all visits sharing a predecessor are contiguous; record
+    // where each predecessor's block starts.
+    // blockOffset[w][u] = first index in w's list with predecessor u.
+    std::vector<std::map<uint32_t, uint32_t>> block_offset(id_space);
+    for (uint32_t w = 0; w < id_space; ++w) {
+        for (uint32_t i = 0; i < visits[w].size(); ++i) {
+            const uint32_t j = visits[w][i].concatPos;
+            const uint32_t pred = concat[j + 1]; // sentinel -> 0 marker
+            block_offset[w].try_emplace(pred, i);
+        }
+    }
+
+    // ---- Materialize records.
+    for (uint32_t v = 0; v < id_space; ++v) {
+        Record &record = records_[v];
+        record.size = static_cast<uint32_t>(visits[v].size());
+        if (record.size == 0)
+            continue;
+        // Sorted distinct successors.
+        std::vector<uint32_t> succs;
+        for (const VisitRef &visit : visits[v])
+            succs.push_back(visit.successor);
+        std::sort(succs.begin(), succs.end());
+        succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
+        record.edges = succs;
+        record.edgeOffsets.resize(succs.size());
+        for (size_t e = 0; e < succs.size(); ++e) {
+            const uint32_t w = succs[e];
+            if (w == kEndMarker) {
+                record.edgeOffsets[e] = 0; // never followed
+                continue;
+            }
+            auto it = block_offset[w].find(v);
+            if (it == block_offset[w].end())
+                core::panic("GbwtIndex: missing predecessor block");
+            record.edgeOffsets[e] = it->second;
+        }
+        // Body: successor edge-index per visit, in visit order.
+        auto edge_index = [&](uint32_t succ) {
+            const auto it = std::lower_bound(record.edges.begin(),
+                                             record.edges.end(), succ);
+            return static_cast<uint32_t>(it - record.edges.begin());
+        };
+        if (rle_) {
+            for (const VisitRef &visit : visits[v]) {
+                const uint32_t e = edge_index(visit.successor);
+                if (!record.runs.empty() && record.runs.back().first == e)
+                    ++record.runs.back().second;
+                else
+                    record.runs.emplace_back(e, 1);
+            }
+        } else {
+            for (const VisitRef &visit : visits[v])
+                record.plain.push_back(edge_index(visit.successor));
+        }
+    }
+}
+
+GbwtRange
+GbwtIndex::fullRange(graph::Handle handle) const
+{
+    const uint32_t v = toInternal(handle);
+    if (v >= records_.size())
+        return {};
+    GbwtRange range;
+    range.node = v;
+    range.begin = 0;
+    range.end = records_[v].size;
+    return range;
+}
+
+uint32_t
+GbwtIndex::visitCount(graph::Handle handle) const
+{
+    const uint32_t v = toInternal(handle);
+    return v < records_.size() ? records_[v].size : 0;
+}
+
+GbwtStats
+GbwtIndex::stats() const
+{
+    GbwtStats stats;
+    for (const Record &record : records_) {
+        if (record.size == 0)
+            continue;
+        ++stats.records;
+        stats.totalVisits += record.size;
+        stats.totalRuns += rle_ ? record.runs.size()
+                                : record.plain.size();
+    }
+    if (stats.totalRuns > 0) {
+        stats.avgRunLength = static_cast<double>(stats.totalVisits) /
+                             static_cast<double>(stats.totalRuns);
+    }
+    return stats;
+}
+
+} // namespace pgb::index

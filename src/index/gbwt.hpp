@@ -1,0 +1,289 @@
+/**
+ * @file
+ * GBWT: haplotype-aware graph index (Sirén et al.), the kernel the
+ * paper extracts from vg giraffe's filtering stage.
+ *
+ * A multi-string BWT over the haplotype paths, where the alphabet is
+ * oriented node identifiers. Each node owns a record: its sorted
+ * outgoing edges, for each edge the offset of this node's block inside
+ * the successor's visit list, and a run-length-encoded body giving the
+ * successor of every visit. find(S) walks the records with last-first
+ * mapping and returns the range of haplotypes containing S as a
+ * subpath; nextNodes() enumerates the haplotype-consistent extensions
+ * (paper Figure 4c: only paths that real haplotypes take survive).
+ *
+ * Construction orders the visits of each node by reversed path prefix
+ * via a suffix array of the reversed paths — the standard multi-string
+ * BWT ordering that makes every extension step map a contiguous range
+ * to a contiguous range.
+ */
+
+#ifndef PGB_INDEX_GBWT_HPP
+#define PGB_INDEX_GBWT_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/probe.hpp"
+#include "graph/pangraph.hpp"
+
+namespace pgb::index {
+
+/** A contiguous range of visits within one node's record. */
+struct GbwtRange
+{
+    uint32_t node = 0;  ///< internal oriented-node id (0 = invalid)
+    uint32_t begin = 0;
+    uint32_t end = 0;
+
+    bool empty() const { return begin >= end; }
+    uint32_t size() const { return empty() ? 0 : end - begin; }
+};
+
+/** GBWT build/query statistics. */
+struct GbwtStats
+{
+    size_t records = 0;
+    size_t totalVisits = 0;
+    size_t totalRuns = 0;   ///< run-length-encoded body size
+    double avgRunLength = 0.0;
+};
+
+/** Haplotype-aware multi-string BWT over a graph's embedded paths. */
+class GbwtIndex
+{
+  public:
+    /**
+     * Build from every path embedded in @p graph.
+     * @param run_length_encode store bodies as runs (the GBWT design);
+     *        false stores plain edge-index arrays (the ablation).
+     */
+    explicit GbwtIndex(const graph::PanGraph &graph,
+                       bool run_length_encode = true);
+
+    /** Range spanning every visit of @p handle. */
+    GbwtRange fullRange(graph::Handle handle) const;
+
+    /** Number of path visits to @p handle. */
+    uint32_t visitCount(graph::Handle handle) const;
+
+    /**
+     * Last-first extension: the subset of @p range whose next step is
+     * @p next, as a range within next's record.
+     */
+    template <typename Probe = core::NullProbe>
+    GbwtRange
+    extend(const GbwtRange &range, graph::Handle next, Probe &probe) const
+    {
+        if (range.empty())
+            return {};
+        const uint32_t target = toInternal(next);
+        const Record &record = records_[range.node];
+        probe.load(&record, 16); // record header fetch
+        probe.op(core::OpKind::kScalar, 6);
+        // Locate the edge (binary search over the sorted edge list).
+        probe.op(core::OpKind::kControl);
+        int32_t edge = -1;
+        {
+            int32_t lo = 0;
+            auto hi = static_cast<int32_t>(record.edges.size()) - 1;
+            while (lo <= hi) {
+                const int32_t mid = (lo + hi) / 2;
+                probe.load(record.edges.data() + mid, 4);
+                probe.branch(/* site */ 60,
+                             record.edges[mid] < target);
+                if (record.edges[mid] == target) {
+                    edge = mid;
+                    break;
+                }
+                if (record.edges[mid] < target)
+                    lo = mid + 1;
+                else
+                    hi = mid - 1;
+            }
+        }
+        if (edge < 0)
+            return {};
+        const uint32_t r_begin = bodyRank(
+            record, static_cast<uint32_t>(edge), range.begin, probe);
+        const uint32_t r_end = bodyRank(
+            record, static_cast<uint32_t>(edge), range.end, probe);
+        if (r_begin >= r_end)
+            return {};
+        GbwtRange out;
+        out.node = target;
+        out.begin = record.edgeOffsets[static_cast<size_t>(edge)] + r_begin;
+        out.end = record.edgeOffsets[static_cast<size_t>(edge)] + r_end;
+        return out;
+    }
+
+    /**
+     * The paper's representative kernel operation: search the node
+     * sequence @p steps and return the final range (empty when no
+     * haplotype contains the sequence as a subpath).
+     */
+    template <typename Probe = core::NullProbe>
+    GbwtRange
+    find(std::span<const graph::Handle> steps, Probe &probe) const
+    {
+        if (steps.empty())
+            return {};
+        GbwtRange range = fullRange(steps[0]);
+        for (size_t i = 1; i < steps.size() && !range.empty(); ++i)
+            range = extend(range, steps[i], probe);
+        return range;
+    }
+
+    /** Uninstrumented find. */
+    GbwtRange
+    find(std::span<const graph::Handle> steps) const
+    {
+        core::NullProbe probe;
+        return find(steps, probe);
+    }
+
+    /** Uninstrumented extend. */
+    GbwtRange
+    extend(const GbwtRange &range, graph::Handle next) const
+    {
+        core::NullProbe probe;
+        return extend(range, next, probe);
+    }
+
+    /** Uninstrumented nextNodes. */
+    std::vector<graph::Handle>
+    nextNodes(const GbwtRange &range) const
+    {
+        core::NullProbe probe;
+        return nextNodes(range, probe);
+    }
+
+    /**
+     * Haplotype-consistent next handles reachable from @p range (the
+     * seed-extension query giraffe issues during filtering).
+     */
+    template <typename Probe = core::NullProbe>
+    std::vector<graph::Handle>
+    nextNodes(const GbwtRange &range, Probe &probe) const
+    {
+        std::vector<graph::Handle> out;
+        if (range.empty())
+            return out;
+        const Record &record = records_[range.node];
+        // Collect the distinct edge indices present in body[begin, end).
+        std::vector<bool> present(record.edges.size(), false);
+        scanBody(record, range.begin, range.end, probe,
+                 [&](uint32_t edge_index, uint32_t /* run_len */) {
+                     present[edge_index] = true;
+                 });
+        for (size_t e = 0; e < record.edges.size(); ++e) {
+            if (present[e] && record.edges[e] != kEndMarker)
+                out.push_back(toHandle(record.edges[e]));
+        }
+        return out;
+    }
+
+    GbwtStats stats() const;
+
+    bool runLengthEncoded() const { return rle_; }
+
+  private:
+    static constexpr uint32_t kEndMarker = 0;
+
+    struct Record
+    {
+        std::vector<uint32_t> edges;       ///< sorted successor ids
+        std::vector<uint32_t> edgeOffsets; ///< block offset in successor
+        /// RLE body: (edge index, run length) pairs
+        std::vector<std::pair<uint32_t, uint32_t>> runs;
+        /// plain body (ablation): edge index per visit
+        std::vector<uint32_t> plain;
+        uint32_t size = 0;
+    };
+
+    static uint32_t
+    toInternal(graph::Handle handle)
+    {
+        return handle.packed() + 1;
+    }
+
+    static graph::Handle
+    toHandle(uint32_t internal)
+    {
+        return graph::Handle::fromPacked(internal - 1);
+    }
+
+    /** Occurrences of @p edge_index in body[0, pos). */
+    template <typename Probe>
+    uint32_t
+    bodyRank(const Record &record, uint32_t edge_index, uint32_t pos,
+             Probe &probe) const
+    {
+        uint32_t count = 0;
+        if (rle_) {
+            uint32_t covered = 0;
+            for (const auto &[edge, len] : record.runs) {
+                probe.load(&edge, 8);
+                probe.branch(/* site */ 61, covered >= pos);
+                if (covered >= pos)
+                    break;
+                const uint32_t take =
+                    covered + len > pos ? pos - covered : len;
+                probe.branch(/* site */ 62, edge == edge_index);
+                if (edge == edge_index)
+                    count += take;
+                covered += len;
+                // Run decode: bounds clamp, accumulate, advance.
+                probe.op(core::OpKind::kScalar, 6);
+            }
+        } else {
+            for (uint32_t i = 0; i < pos; ++i) {
+                probe.load(record.plain.data() + i, 4);
+                probe.branch(/* site */ 63,
+                             record.plain[i] == edge_index);
+                if (record.plain[i] == edge_index)
+                    ++count;
+                probe.op(core::OpKind::kScalar, 1);
+            }
+        }
+        return count;
+    }
+
+    /** Visit body[begin, end) as (edge_index, run_length) chunks. */
+    template <typename Probe, typename Fn>
+    void
+    scanBody(const Record &record, uint32_t begin, uint32_t end,
+             Probe &probe, Fn &&fn) const
+    {
+        if (rle_) {
+            uint32_t covered = 0;
+            for (const auto &[edge, len] : record.runs) {
+                probe.load(&edge, 8);
+                if (covered >= end)
+                    break;
+                const uint32_t run_begin = covered;
+                const uint32_t run_end = covered + len;
+                covered = run_end;
+                if (run_end <= begin)
+                    continue;
+                const uint32_t lo = run_begin > begin ? run_begin : begin;
+                const uint32_t hi = run_end < end ? run_end : end;
+                if (lo < hi)
+                    fn(edge, hi - lo);
+            }
+        } else {
+            for (uint32_t i = begin; i < end; ++i) {
+                probe.load(record.plain.data() + i, 4);
+                fn(record.plain[i], 1);
+            }
+        }
+    }
+
+    bool rle_;
+    std::vector<Record> records_; ///< indexed by internal id
+};
+
+} // namespace pgb::index
+
+#endif // PGB_INDEX_GBWT_HPP

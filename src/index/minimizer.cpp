@@ -1,0 +1,115 @@
+#include "index/minimizer.hpp"
+
+#include <algorithm>
+
+namespace pgb::index {
+
+std::vector<Minimizer>
+computeMinimizers(std::span<const uint8_t> bases, int k, int w)
+{
+    core::NullProbe probe;
+    return computeMinimizers(bases, k, w, probe);
+}
+
+MinimizerIndex::MinimizerIndex(const graph::PanGraph &graph, int k, int w)
+    : k_(k), w_(w)
+{
+    struct Entry
+    {
+        uint64_t hash;
+        GraphSeedHit hit;
+    };
+    std::vector<Entry> entries;
+
+    if (graph.pathCount() > 0) {
+        // Haplotype-based indexing (vg giraffe style): minimizers of
+        // every embedded path's spelled sequence, projected back to
+        // graph coordinates. Boundary-spanning k-mers anchor at the
+        // node containing their first base.
+        for (graph::PathId path = 0; path < graph.pathCount();
+             ++path) {
+            const auto &steps = graph.pathSteps(path);
+            const auto spelled = graph.pathSequence(path).codes();
+            // Path offset -> step lookup.
+            std::vector<uint64_t> starts;
+            starts.reserve(steps.size());
+            uint64_t offset = 0;
+            for (graph::Handle step : steps) {
+                starts.push_back(offset);
+                offset += graph.nodeLength(step.node());
+            }
+            for (const Minimizer &mini :
+                 computeMinimizers(spelled, k, w)) {
+                const auto it = std::upper_bound(
+                    starts.begin(), starts.end(), mini.position);
+                const auto step_index = static_cast<size_t>(
+                    it - starts.begin()) - 1;
+                const graph::Handle step = steps[step_index];
+                const auto in_step = static_cast<uint32_t>(
+                    mini.position - starts[step_index]);
+                const auto node_len = static_cast<uint32_t>(
+                    graph.nodeLength(step.node()));
+                GraphSeedHit hit;
+                hit.node = step.node();
+                // Forward-strand offset of the k-mer's first base.
+                hit.offset = step.isReverse()
+                    ? node_len - 1 - in_step : in_step;
+                hit.reverse = mini.reverse != step.isReverse();
+                entries.push_back({mini.hash, hit});
+            }
+        }
+    } else {
+        for (graph::NodeId node = 0; node < graph.nodeCount();
+             ++node) {
+            const auto &codes = graph.nodeSequence(node).codes();
+            for (const Minimizer &mini :
+                 computeMinimizers(codes, k, w)) {
+                entries.push_back(
+                    {mini.hash, {node, mini.position, mini.reverse}});
+            }
+        }
+    }
+
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.hash != b.hash)
+                      return a.hash < b.hash;
+                  if (a.hit.node != b.hit.node)
+                      return a.hit.node < b.hit.node;
+                  return a.hit.offset < b.hit.offset;
+              });
+    // Haplotypes share most of the graph: drop duplicate occurrences.
+    entries.erase(std::unique(entries.begin(), entries.end(),
+                              [](const Entry &a, const Entry &b) {
+                                  return a.hash == b.hash &&
+                                         a.hit.node == b.hit.node &&
+                                         a.hit.offset == b.hit.offset &&
+                                         a.hit.reverse == b.hit.reverse;
+                              }),
+                  entries.end());
+    hits_.reserve(entries.size());
+    for (size_t i = 0; i < entries.size();) {
+        size_t j = i;
+        while (j < entries.size() && entries[j].hash == entries[i].hash)
+            ++j;
+        table_.emplace(entries[i].hash,
+                       std::make_pair(static_cast<uint32_t>(hits_.size()),
+                                      static_cast<uint32_t>(
+                                          hits_.size() + (j - i))));
+        for (size_t t = i; t < j; ++t)
+            hits_.push_back(entries[t].hit);
+        i = j;
+    }
+}
+
+std::span<const GraphSeedHit>
+MinimizerIndex::occurrences(uint64_t hash) const
+{
+    auto it = table_.find(hash);
+    if (it == table_.end())
+        return {};
+    return {hits_.data() + it->second.first,
+            it->second.second - it->second.first};
+}
+
+} // namespace pgb::index

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Minimizer seeding: (w,k)-minimizers with canonical k-mers and an
+ * index over pangenome graph node sequences.
+ *
+ * All four Seq2Graph mapping tools the paper studies use minimizer
+ * seeding (paper §2.1: "same computation as Seq2Seq minimizers, but
+ * with larger memory requirements" since positions are graph
+ * coordinates). The index maps minimizer hashes to (node, offset,
+ * orientation) positions.
+ *
+ * Like vg's haplotype-based minimizer index, graphs with embedded
+ * paths are indexed along their path sequences, so k-mers spanning
+ * node boundaries (the common case in fine-grained graphs like the
+ * paper's Split-M-graph) are found; positions are projected back to
+ * (node, forward offset). Pathless graphs fall back to per-node
+ * indexing.
+ */
+
+#ifndef PGB_INDEX_MINIMIZER_HPP
+#define PGB_INDEX_MINIMIZER_HPP
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/probe.hpp"
+#include "graph/pangraph.hpp"
+
+namespace pgb::index {
+
+/** Invertible 64-bit mix (minimap2's hash64). */
+inline uint64_t
+hash64(uint64_t key, uint64_t mask)
+{
+    key = (~key + (key << 21)) & mask;
+    key = key ^ (key >> 24);
+    key = ((key + (key << 3)) + (key << 8)) & mask;
+    key = key ^ (key >> 14);
+    key = ((key + (key << 2)) + (key << 4)) & mask;
+    key = key ^ (key >> 28);
+    key = (key + (key << 31)) & mask;
+    return key;
+}
+
+/** One minimizer occurrence on a sequence. */
+struct Minimizer
+{
+    uint64_t hash = 0;
+    uint32_t position = 0; ///< start of the k-mer on the sequence
+    bool reverse = false;  ///< canonical strand of the k-mer
+};
+
+/**
+ * Compute the (w,k)-minimizers of @p bases (encoded). Canonical
+ * k-mers; windows containing N are skipped.
+ */
+template <typename Probe = core::NullProbe>
+std::vector<Minimizer>
+computeMinimizers(std::span<const uint8_t> bases, int k, int w,
+                  Probe &probe)
+{
+    std::vector<Minimizer> out;
+    const size_t n = bases.size();
+    if (n < static_cast<size_t>(k))
+        return out;
+    const uint64_t mask = k < 32 ? (1ull << (2 * k)) - 1 : ~0ull;
+    const int shift = 2 * (k - 1);
+
+    uint64_t fwd = 0, rev = 0;
+    int valid = 0; // consecutive non-N bases ending here
+
+    // Ring buffer of candidate (hash, pos, strand) for the window.
+    struct Cand
+    {
+        uint64_t hash;
+        uint32_t pos;
+        bool reverse;
+    };
+    std::vector<Cand> window;
+    window.reserve(n >= static_cast<size_t>(k) ?
+                   n - static_cast<size_t>(k) + 1 : 0);
+    auto emit_if_new = [&](const Cand &cand) {
+        if (out.empty() || out.back().hash != cand.hash ||
+            out.back().position != cand.pos) {
+            out.push_back({cand.hash, cand.pos, cand.reverse});
+        }
+    };
+
+    for (size_t i = 0; i < n; ++i) {
+        probe.load(bases.data() + i, 1);
+        const uint8_t base = bases[i];
+        if (base >= 4) {
+            valid = 0;
+            window.clear();
+            probe.branch(/* site */ 50, true);
+            continue;
+        }
+        fwd = ((fwd << 2) | base) & mask;
+        rev = (rev >> 2) |
+              (static_cast<uint64_t>(3 - base) << shift);
+        probe.op(core::OpKind::kScalar, 4);
+        ++valid;
+        if (valid < k)
+            continue;
+        // Canonical k-mer; skip palindromes (fwd == rev) like minimap2.
+        probe.branch(/* site */ 51, fwd == rev);
+        if (fwd == rev)
+            continue;
+        const bool reverse = rev < fwd;
+        const uint64_t hash = hash64(reverse ? rev : fwd, mask);
+        const auto pos = static_cast<uint32_t>(i + 1 - k);
+        window.push_back({hash, pos, reverse});
+
+        // Report the window minimum once the window is full.
+        if (pos + 1 >= static_cast<uint32_t>(w)) {
+            // Scan the last w candidates for the minimum hash.
+            Cand best = window.back();
+            const size_t lo = window.size() >= static_cast<size_t>(w)
+                ? window.size() - static_cast<size_t>(w) : 0;
+            for (size_t c = lo; c < window.size(); ++c) {
+                probe.load(&window[c], 8);
+                if (window[c].hash < best.hash)
+                    best = window[c];
+            }
+            emit_if_new(best);
+        }
+    }
+    return out;
+}
+
+/** Convenience overload without instrumentation. */
+std::vector<Minimizer> computeMinimizers(std::span<const uint8_t> bases,
+                                         int k, int w);
+
+/** One indexed occurrence of a minimizer in the graph. */
+struct GraphSeedHit
+{
+    uint32_t node = 0;
+    uint32_t offset = 0;  ///< k-mer start on the forward node sequence
+    bool reverse = false; ///< canonical strand on the node
+};
+
+/** Minimizer index over the node sequences of a PanGraph. */
+class MinimizerIndex
+{
+  public:
+    /** Build over @p graph with (w,k) minimizers. */
+    MinimizerIndex(const graph::PanGraph &graph, int k, int w);
+
+    int k() const { return k_; }
+    int w() const { return w_; }
+
+    /** Occurrences of minimizer @p hash (empty span if absent). */
+    std::span<const GraphSeedHit> occurrences(uint64_t hash) const;
+
+    /** Number of distinct minimizer hashes. */
+    size_t distinctMinimizers() const { return table_.size(); }
+
+    /** Total indexed occurrences. */
+    size_t totalOccurrences() const { return hits_.size(); }
+
+  private:
+    int k_, w_;
+    /// hash -> [begin, end) into hits_
+    std::unordered_map<uint64_t, std::pair<uint32_t, uint32_t>> table_;
+    std::vector<GraphSeedHit> hits_;
+};
+
+} // namespace pgb::index
+
+#endif // PGB_INDEX_MINIMIZER_HPP

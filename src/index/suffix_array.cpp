@@ -1,0 +1,57 @@
+#include "index/suffix_array.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pgb::index {
+
+std::vector<uint32_t>
+buildSuffixArray(const std::vector<uint32_t> &text)
+{
+    const size_t n = text.size();
+    std::vector<uint32_t> sa(n);
+    std::iota(sa.begin(), sa.end(), 0u);
+    if (n == 0)
+        return sa;
+
+    std::vector<uint64_t> rank(text.begin(), text.end());
+    std::vector<uint64_t> next_rank(n);
+
+    std::sort(sa.begin(), sa.end(), [&](uint32_t a, uint32_t b) {
+        return rank[a] < rank[b];
+    });
+
+    for (size_t k = 1;; k *= 2) {
+        // Composite key: (rank[i], rank[i + k]), shorter suffix first.
+        auto key = [&](uint32_t i) -> std::pair<uint64_t, uint64_t> {
+            const uint64_t second =
+                i + k < n ? rank[i + k] + 1 : 0;
+            return {rank[i], second};
+        };
+        std::sort(sa.begin(), sa.end(), [&](uint32_t a, uint32_t b) {
+            return key(a) < key(b);
+        });
+        next_rank[sa[0]] = 0;
+        bool all_distinct = true;
+        for (size_t r = 1; r < n; ++r) {
+            const bool equal = key(sa[r]) == key(sa[r - 1]);
+            next_rank[sa[r]] = next_rank[sa[r - 1]] + (equal ? 0 : 1);
+            all_distinct = all_distinct && !equal;
+        }
+        rank.swap(next_rank);
+        if (all_distinct || rank[sa[n - 1]] == n - 1)
+            break;
+    }
+    return sa;
+}
+
+std::vector<uint32_t>
+suffixRanks(const std::vector<uint32_t> &sa)
+{
+    std::vector<uint32_t> rank(sa.size());
+    for (uint32_t r = 0; r < sa.size(); ++r)
+        rank[sa[r]] = r;
+    return rank;
+}
+
+} // namespace pgb::index

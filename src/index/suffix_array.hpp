@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Suffix array over integer alphabets (prefix doubling, O(n log^2 n)).
+ *
+ * Used by the GBWT construction to order path visits by their reversed
+ * prefixes (the multi-string BWT ordering).
+ */
+
+#ifndef PGB_INDEX_SUFFIX_ARRAY_HPP
+#define PGB_INDEX_SUFFIX_ARRAY_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace pgb::index {
+
+/**
+ * Build the suffix array of @p text (any uint32 alphabet).
+ * @return sa with sa[r] = start position of the rank-r suffix.
+ */
+std::vector<uint32_t> buildSuffixArray(const std::vector<uint32_t> &text);
+
+/** Inverse permutation: rank[pos] = rank of the suffix at pos. */
+std::vector<uint32_t> suffixRanks(const std::vector<uint32_t> &sa);
+
+} // namespace pgb::index
+
+#endif // PGB_INDEX_SUFFIX_ARRAY_HPP

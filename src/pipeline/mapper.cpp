@@ -1,0 +1,602 @@
+#include "pipeline/mapper.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "align/gbv.hpp"
+#include "align/gssw.hpp"
+#include "align/gwfa.hpp"
+#include "align/ssw.hpp"
+#include "align/wfa.hpp"
+#include "core/logging.hpp"
+#include "core/thread_pool.hpp"
+
+namespace pgb::pipeline {
+
+const char *
+toolName(ToolProfile profile)
+{
+    switch (profile) {
+      case ToolProfile::kVgMap: return "VgMap";
+      case ToolProfile::kVgGiraffe: return "VgGiraffe";
+      case ToolProfile::kGraphAligner: return "GraphAligner";
+      case ToolProfile::kMinigraph: return "Minigraph";
+    }
+    return "?";
+}
+
+MapperConfig
+MapperConfig::forTool(ToolProfile tool)
+{
+    MapperConfig config;
+    config.profile = tool;
+    switch (tool) {
+      case ToolProfile::kVgMap:
+        config.maxAlignments = 4; // thorough: many candidate DPs
+        break;
+      case ToolProfile::kVgGiraffe:
+        config.maxAlignments = 1; // extension of the one survivor
+        config.radiusFactor = 0.7;
+        break;
+      case ToolProfile::kGraphAligner:
+        config.maxAlignments = 1;
+        config.radiusFactor = 1.05;
+        config.gbvBand = 48; // GraphAligner's banded bit-vector DP
+        break;
+      case ToolProfile::kMinigraph:
+        break;
+    }
+    return config;
+}
+
+Seq2GraphMapper::Seq2GraphMapper(const graph::PanGraph &graph,
+                                 MapperConfig config)
+    : graph_(graph), config_(config),
+      avgNodeLength_(std::max(1.0, graph.stats().avgNodeLength)),
+      linear_(graph), index_(graph, config.k, config.w)
+{
+    if (config_.profile == ToolProfile::kVgGiraffe)
+        gbwt_ = std::make_unique<index::GbwtIndex>(graph);
+}
+
+std::vector<Seq2GraphMapper::AlignTask>
+Seq2GraphMapper::planAlignments(const seq::Sequence &read,
+                                MappingStats &stats) const
+{
+    // ---- Seeding.
+    std::vector<Anchor> anchors;
+    {
+        core::StageTimers::Scope scope(stats.timers, "seed");
+        anchors = collectAnchors(read, index_, linear_);
+        stats.anchors += anchors.size();
+    }
+    if (anchors.empty())
+        return {};
+
+    // ---- Clustering / chaining.
+    std::vector<AnchorChain> chains;
+    {
+        core::StageTimers::Scope scope(stats.timers, "cluster_chain");
+        switch (config_.profile) {
+          case ToolProfile::kMinigraph: {
+            ChainParams params;
+            chains = chainAnchors(anchors, params);
+            break;
+          }
+          case ToolProfile::kGraphAligner:
+            // GraphAligner: lightweight clustering, wide bands.
+            chains = clusterAnchors(anchors, 512);
+            break;
+          default:
+            chains = clusterAnchors(anchors, 128);
+            break;
+        }
+        // Drop weak clusters.
+        chains.erase(
+            std::remove_if(chains.begin(), chains.end(),
+                           [&](const AnchorChain &chain) {
+                               return chain.anchorIds.size() <
+                                      config_.minClusterAnchors;
+                           }),
+            chains.end());
+        stats.clusters += chains.size();
+    }
+    if (chains.empty())
+        return {};
+
+    // Minigraph: GWFA gap bridging inside the chaining stage (the
+    // extracted kernel; paper: 47-75% of cluster/chain time).
+    if (config_.profile == ToolProfile::kMinigraph) {
+        core::StageTimers::Scope scope(stats.timers, "cluster_chain");
+        core::WallTimer kernel_timer;
+        const AnchorChain &best = chains.front();
+        const auto &codes = read.codes();
+        for (size_t i = 0; i + 1 < best.anchorIds.size(); ++i) {
+            const Anchor &a = anchors[best.anchorIds[i]];
+            const Anchor &b = anchors[best.anchorIds[i + 1]];
+            // Gap on the strand the alignment runs on; reverse chains
+            // retreat on forward-read coordinates.
+            const uint64_t query_gap = best.reverse
+                ? (a.queryPos > b.queryPos ? a.queryPos - b.queryPos
+                                           : 0)
+                : (b.queryPos > a.queryPos ? b.queryPos - a.queryPos
+                                           : 0);
+            if (query_gap < config_.gwfaGapThreshold)
+                continue;
+            // Bridge the anchors through the graph with GWFA.
+            uint32_t origin = 0;
+            graph::LocalGraph sub = graph_.extractSubgraph(
+                graph::Handle(a.node, false),
+                query_gap * 2 + 64, &origin);
+            std::vector<uint8_t> gap_query;
+            if (best.reverse) {
+                // The aligned strand is the reverse complement: the
+                // gap content is rc(read[b.q .. a.q)).
+                seq::Sequence tmp(std::vector<uint8_t>(
+                    codes.begin() + b.queryPos,
+                    codes.begin() + a.queryPos));
+                gap_query = tmp.reverseComplement().codes();
+            } else {
+                gap_query.assign(codes.begin() + a.queryPos,
+                                 codes.begin() + b.queryPos);
+            }
+            align::gwfaAlign(sub, gap_query, origin,
+                             static_cast<int32_t>(query_gap),
+                             a.nodeOffset);
+        }
+        stats.kernelSeconds += kernel_timer.seconds();
+        stats.kernelName = "GWFA";
+    }
+
+    // ---- Filtering (giraffe: GBWT haplotype-consistent extension).
+    std::vector<AlignTask> tasks;
+    {
+        core::StageTimers::Scope scope(stats.timers, "filter");
+        core::WallTimer kernel_timer;
+        size_t taken = 0;
+        for (const AnchorChain &chain : chains) {
+            if (taken >= config_.maxAlignments)
+                break;
+            const Anchor &mid =
+                anchors[chain.anchorIds[chain.anchorIds.size() / 2]];
+            // Minigraph starts its query-global walk at the chain's
+            // graph-first anchor.
+            const Anchor *first = &mid;
+            if (config_.profile == ToolProfile::kMinigraph) {
+                for (uint32_t id : chain.anchorIds) {
+                    if (anchors[id].linearPos < first->linearPos)
+                        first = &anchors[id];
+                }
+            }
+            if (config_.profile == ToolProfile::kVgGiraffe) {
+                // Extend every seed of the cluster along haplotypes;
+                // clusters whose seeds have no haplotype-consistent
+                // extension are filtered out (Figure 4c). This
+                // per-seed GBWT walking is the stage that dominates
+                // giraffe's runtime (paper Figure 2).
+                size_t supported = 0;
+                size_t tried = 0;
+                for (uint32_t anchor_id : chain.anchorIds) {
+                    if (++tried > 64)
+                        break;
+                    graph::Handle handle(
+                        anchors[anchor_id].node, false);
+                    index::GbwtRange range =
+                        gbwt_->fullRange(handle);
+                    size_t extended = 0;
+                    while (!range.empty() &&
+                           extended < config_.gbwtExtensionSteps) {
+                        const auto nexts = gbwt_->nextNodes(range);
+                        if (nexts.empty())
+                            break;
+                        // Follow the best-supported extension.
+                        index::GbwtRange best_next;
+                        for (graph::Handle next : nexts) {
+                            index::GbwtRange cand =
+                                gbwt_->extend(range, next);
+                            if (cand.size() > best_next.size())
+                                best_next = cand;
+                        }
+                        range = best_next;
+                        ++extended;
+                    }
+                    supported += extended > 0 ? 1 : 0;
+                }
+                if (supported == 0)
+                    continue; // no haplotype takes this cluster
+            }
+            AlignTask task;
+            if (config_.profile == ToolProfile::kMinigraph) {
+                task.seedHandle = graph::Handle(first->node, false);
+                task.seedOffset = first->nodeOffset;
+                task.linearLo = first->linearPos;
+                // Query position of the seed node's *start*, on the
+                // strand the alignment runs on.
+                const auto k = static_cast<uint32_t>(config_.k);
+                uint32_t qpos = first->queryPos;
+                if (chain.reverse) {
+                    const auto len =
+                        static_cast<uint32_t>(read.size());
+                    qpos = len >= qpos + k ? len - qpos - k : 0;
+                }
+                task.queryStart = qpos;
+            } else {
+                task.seedHandle = graph::Handle(mid.node, false);
+                task.seedOffset = mid.nodeOffset;
+                uint64_t lo = UINT64_MAX, hi = 0;
+                for (uint32_t id : chain.anchorIds) {
+                    lo = std::min(lo, anchors[id].linearPos);
+                    hi = std::max(hi, anchors[id].linearPos +
+                                          config_.k);
+                }
+                task.linearLo = lo;
+                task.linearHi = hi;
+            }
+            task.reverse = chain.reverse;
+            tasks.push_back(task);
+            ++taken;
+        }
+        if (config_.profile == ToolProfile::kVgGiraffe) {
+            stats.kernelSeconds += kernel_timer.seconds();
+            stats.kernelName = "GBWT";
+        }
+    }
+    return tasks;
+}
+
+size_t
+Seq2GraphMapper::taskRadius(const AlignTask &task,
+                            size_t read_length) const
+{
+    if (config_.profile == ToolProfile::kMinigraph) {
+        // Minigraph aligns the query-global suffix; span by length.
+        return static_cast<size_t>(
+            static_cast<double>(read_length) * config_.radiusFactor);
+    }
+    // Cluster span plus step-granular context (vg's context depth).
+    const uint64_t span = task.linearHi > task.linearLo
+        ? task.linearHi - task.linearLo : 0;
+    const auto context = static_cast<size_t>(
+        config_.contextSteps * avgNodeLength_);
+    const size_t base = std::max<size_t>(
+        span / 2, static_cast<size_t>(
+                      static_cast<double>(read_length) *
+                      config_.radiusFactor / 2.0));
+    return base + context;
+}
+
+ReadMapping
+Seq2GraphMapper::mapOne(const seq::Sequence &read,
+                        MappingStats &stats) const
+{
+    ReadMapping mapping;
+    const auto tasks = planAlignments(read, stats);
+    if (tasks.empty())
+        return mapping;
+
+    const seq::Sequence rc = read.reverseComplement();
+
+    core::StageTimers::Scope scope(stats.timers, "align");
+    core::WallTimer kernel_timer;
+    for (const AlignTask &task : tasks) {
+        ++stats.alignments;
+        const auto &query = task.reverse ? rc.codes() : read.codes();
+        uint32_t origin = 0;
+        graph::LocalGraph sub = graph_.extractSubgraph(
+            task.seedHandle, taskRadius(task, read.size()), &origin);
+        int32_t score = 0;
+        uint32_t node = task.seedHandle.node();
+        switch (config_.profile) {
+          case ToolProfile::kVgMap:
+          case ToolProfile::kVgGiraffe: {
+            align::GsswOptions options;
+            // giraffe's extension alignment avoids full traceback
+            // matrices; vg map keeps them.
+            options.keepMatrices =
+                config_.profile == ToolProfile::kVgMap;
+            const auto result = align::gsswAlign(
+                sub, query, align::ScoreParams::mappingDefaults(),
+                options);
+            score = result.best.score;
+            node = task.seedHandle.node();
+            break;
+          }
+          case ToolProfile::kGraphAligner: {
+            align::GbvOptions options;
+            options.band = config_.gbvBand;
+            const auto result = align::gbvAlign(sub, query, options);
+            // Convert edit distance to a score-like quantity.
+            score = static_cast<int32_t>(query.size()) -
+                    result.distance;
+            break;
+          }
+          case ToolProfile::kMinigraph: {
+            // Final base-level refinement with the wavefront kernel
+            // through the graph region: query-global from the chain's
+            // first anchor, so align the read suffix that starts at
+            // the seed node's start.
+            const size_t start = std::min<size_t>(task.queryStart,
+                                                  query.size() - 1);
+            const std::span<const uint8_t> suffix(
+                query.data() + start, query.size() - start);
+            const auto result = align::gwfaAlign(
+                sub, suffix, origin,
+                static_cast<int32_t>(suffix.size() / 2 + 32),
+                task.seedOffset);
+            score = result.reached
+                ? static_cast<int32_t>(suffix.size()) -
+                      result.distance
+                : 0;
+            break;
+          }
+        }
+        if (score > mapping.score) {
+            mapping.score = score;
+            mapping.node = node;
+            mapping.reverse = task.reverse;
+            mapping.mapped = true;
+        }
+    }
+    switch (config_.profile) {
+      case ToolProfile::kVgMap:
+        stats.kernelSeconds += kernel_timer.seconds();
+        stats.kernelName = "GSSW";
+        break;
+      case ToolProfile::kGraphAligner:
+        stats.kernelSeconds += kernel_timer.seconds();
+        stats.kernelName = "GBV";
+        break;
+      default:
+        break;
+    }
+    // Require a minimally convincing alignment.
+    if (mapping.score <
+        static_cast<int32_t>(read.size()) / 4) {
+        mapping.mapped = false;
+    }
+    return mapping;
+}
+
+MappingStats
+Seq2GraphMapper::mapReads(std::span<const seq::Sequence> reads) const
+{
+    MappingStats total;
+    total.reads = reads.size();
+
+    const unsigned threads = std::max(1u, config_.threads);
+    std::atomic<uint64_t> mapped(0);
+    std::mutex merge_lock;
+    core::parallelFor(0, reads.size(), threads, [&](size_t i) {
+        MappingStats local;
+        const ReadMapping mapping = mapOne(reads[i], local);
+        if (mapping.mapped)
+            mapped.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(merge_lock);
+        for (const auto &[stage, secs] : local.timers.stages())
+            total.timers.add(stage, secs);
+        total.kernelSeconds += local.kernelSeconds;
+        if (local.kernelName[0] != '\0')
+            total.kernelName = local.kernelName;
+        total.anchors += local.anchors;
+        total.clusters += local.clusters;
+        total.alignments += local.alignments;
+    });
+    total.mappedReads = mapped.load();
+    return total;
+}
+
+std::vector<GsswTrace>
+Seq2GraphMapper::captureAlignTraces(std::span<const seq::Sequence> reads,
+                                    size_t max_traces) const
+{
+    std::vector<GsswTrace> traces;
+    MappingStats stats;
+    for (const seq::Sequence &read : reads) {
+        if (traces.size() >= max_traces)
+            break;
+        const auto tasks = planAlignments(read, stats);
+        const seq::Sequence rc = read.reverseComplement();
+        for (const AlignTask &task : tasks) {
+            if (traces.size() >= max_traces)
+                break;
+            GsswTrace trace;
+            trace.subgraph = graph_.extractSubgraph(
+                task.seedHandle, taskRadius(task, read.size()));
+            trace.query = task.reverse ? rc.codes() : read.codes();
+            traces.push_back(std::move(trace));
+        }
+    }
+    return traces;
+}
+
+std::vector<GwfaTrace>
+Seq2GraphMapper::captureGwfaTraces(std::span<const seq::Sequence> reads,
+                                   size_t max_traces) const
+{
+    std::vector<GwfaTrace> traces;
+    MappingStats stats;
+    for (const seq::Sequence &read : reads) {
+        if (traces.size() >= max_traces)
+            break;
+        std::vector<Anchor> anchors = collectAnchors(read, index_,
+                                                     linear_);
+        if (anchors.empty())
+            continue;
+        ChainParams params;
+        const auto chains = chainAnchors(anchors, params);
+        if (chains.empty())
+            continue;
+        const AnchorChain &best = chains.front();
+        if (best.reverse)
+            continue; // forward-strand traces are representative
+        const auto &codes = read.codes();
+        for (size_t i = 0; i + 1 < best.anchorIds.size() &&
+                           traces.size() < max_traces; ++i) {
+            const Anchor &a = anchors[best.anchorIds[i]];
+            const Anchor &b = anchors[best.anchorIds[i + 1]];
+            const uint64_t query_gap =
+                b.queryPos > a.queryPos ? b.queryPos - a.queryPos : 0;
+            if (query_gap < config_.gwfaGapThreshold)
+                continue;
+            GwfaTrace trace;
+            trace.subgraph = graph_.extractSubgraph(
+                graph::Handle(a.node, false), query_gap * 2 + 64,
+                &trace.startNode);
+            trace.query.assign(
+                codes.begin() + a.queryPos,
+                codes.begin() + std::min<size_t>(b.queryPos,
+                                                 codes.size()));
+            traces.push_back(std::move(trace));
+        }
+    }
+    return traces;
+}
+
+// ---------------------------------------------------------------------
+// Seq2Seq baseline
+// ---------------------------------------------------------------------
+
+Seq2SeqMapper::Seq2SeqMapper(const seq::Sequence &reference, int k, int w)
+    : reference_(reference), k_(k), w_(w)
+{
+    for (const index::Minimizer &mini :
+         index::computeMinimizers(reference.codes(), k, w)) {
+        // Pack (position, canonical strand) per occurrence.
+        table_[mini.hash].push_back((mini.position << 1) |
+                                    (mini.reverse ? 1u : 0u));
+    }
+}
+
+Seq2SeqMapper::Window
+Seq2SeqMapper::bestWindow(const seq::Sequence &read,
+                          MappingStats *stats) const
+{
+    Window window;
+    MappingStats scratch;
+    MappingStats &target = stats != nullptr ? *stats : scratch;
+
+    // Same-strand hits vote on diagonals (t - q); opposite-strand
+    // hits vote on anti-diagonals (t + q), which are constant along a
+    // reverse-complement alignment.
+    std::unordered_map<int64_t, uint32_t> fwd_votes, rev_votes;
+    int64_t best_diag = 0;
+    uint32_t best_votes = 0;
+    bool best_reverse = false;
+    {
+        core::StageTimers::Scope scope(target.timers, "seed");
+        for (const index::Minimizer &mini :
+             index::computeMinimizers(read.codes(), k_, w_)) {
+            auto it = table_.find(mini.hash);
+            if (it == table_.end() || it->second.size() > 64)
+                continue;
+            ++target.anchors;
+            for (uint32_t packed : it->second) {
+                const uint32_t pos = packed >> 1;
+                const bool ref_strand = packed & 1;
+                const bool opposite = ref_strand != mini.reverse;
+                const int64_t diag = opposite
+                    ? static_cast<int64_t>(pos) + mini.position
+                    : static_cast<int64_t>(pos) - mini.position;
+                auto &votes_map = opposite ? rev_votes : fwd_votes;
+                const uint32_t votes = ++votes_map[diag / 64];
+                if (votes > best_votes) {
+                    best_votes = votes;
+                    best_diag = diag;
+                    best_reverse = opposite;
+                }
+            }
+        }
+    }
+    {
+        core::StageTimers::Scope scope(target.timers, "cluster_chain");
+        if (best_votes < 2)
+            return window;
+        const auto read_len = static_cast<int64_t>(read.size());
+        const int64_t margin = read_len / 8 + 32;
+        // For reverse mappings the window spans [antidiag - len,
+        // antidiag]; for forward ones [diag, diag + len].
+        int64_t begin = best_reverse ? best_diag - read_len - margin
+                                     : best_diag - margin;
+        int64_t end = begin + read_len + 2 * margin;
+        begin = std::max<int64_t>(begin, 0);
+        end = std::min<int64_t>(end,
+                                static_cast<int64_t>(reference_.size()));
+        if (begin >= end)
+            return window;
+        window.found = true;
+        window.begin = static_cast<uint64_t>(begin);
+        window.end = static_cast<uint64_t>(end);
+        window.reverse = best_reverse;
+    }
+    return window;
+}
+
+MappingStats
+Seq2SeqMapper::mapReads(std::span<const seq::Sequence> reads,
+                        unsigned threads) const
+{
+    MappingStats total;
+    total.reads = reads.size();
+    total.kernelName = "SSW";
+    std::atomic<uint64_t> mapped(0);
+    std::mutex merge_lock;
+    core::parallelFor(0, reads.size(), std::max(1u, threads),
+                      [&](size_t i) {
+        MappingStats local;
+        const seq::Sequence &read = reads[i];
+        // Canonical minimizers place reverse-strand reads too, so the
+        // window search runs once and both strands are aligned in it.
+        const Window window = bestWindow(read, &local);
+        bool read_mapped = false;
+        if (window.found) {
+            core::StageTimers::Scope scope(local.timers, "align");
+            const std::span<const uint8_t> ref_window(
+                reference_.codes().data() + window.begin,
+                window.end - window.begin);
+            const auto params = align::ScoreParams::mappingDefaults();
+            const seq::Sequence rc = read.reverseComplement();
+            const auto &strand =
+                window.reverse ? rc.codes() : read.codes();
+            const int32_t best =
+                align::sswAlign(strand, ref_window, params).score;
+            read_mapped = best > static_cast<int32_t>(read.size()) / 4;
+            ++local.alignments;
+        }
+        if (read_mapped)
+            mapped.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(merge_lock);
+        for (const auto &[stage, secs] : local.timers.stages())
+            total.timers.add(stage, secs);
+        total.anchors += local.anchors;
+        total.alignments += local.alignments;
+    });
+    total.mappedReads = mapped.load();
+    return total;
+}
+
+std::vector<Seq2SeqMapper::SswTrace>
+Seq2SeqMapper::captureSswTraces(std::span<const seq::Sequence> reads,
+                                size_t max_traces) const
+{
+    std::vector<SswTrace> traces;
+    for (const seq::Sequence &read : reads) {
+        if (traces.size() >= max_traces)
+            break;
+        const Window window = bestWindow(read, nullptr);
+        if (!window.found)
+            continue;
+        SswTrace trace;
+        trace.query = window.reverse
+            ? read.reverseComplement().codes() : read.codes();
+        trace.window.assign(
+            reference_.codes().begin() +
+                static_cast<ptrdiff_t>(window.begin),
+            reference_.codes().begin() +
+                static_cast<ptrdiff_t>(window.end));
+        traces.push_back(std::move(trace));
+    }
+    return traces;
+}
+
+} // namespace pgb::pipeline

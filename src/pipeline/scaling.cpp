@@ -1,0 +1,27 @@
+#include "pipeline/scaling.hpp"
+
+#include "core/timer.hpp"
+
+namespace pgb::pipeline {
+
+ScalingSeries
+measureScaling(std::string tool,
+               std::span<const unsigned> thread_counts,
+               const std::function<void(unsigned)> &body)
+{
+    ScalingSeries series;
+    series.tool = std::move(tool);
+    for (unsigned threads : thread_counts) {
+        core::WallTimer timer;
+        body(threads);
+        ScalingPoint point;
+        point.threads = threads;
+        point.seconds = timer.seconds();
+        point.speedup = series.points.empty()
+            ? 1.0 : series.points.front().seconds / point.seconds;
+        series.points.push_back(point);
+    }
+    return series;
+}
+
+} // namespace pgb::pipeline

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Thread-scaling measurement harness (paper Figure 5).
+ *
+ * Wall-times a tool closure at each requested thread count and reports
+ * speedups relative to the first point (the paper normalizes to 4
+ * threads).
+ */
+
+#ifndef PGB_PIPELINE_SCALING_HPP
+#define PGB_PIPELINE_SCALING_HPP
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pgb::pipeline {
+
+/** One measured point of a scaling curve. */
+struct ScalingPoint
+{
+    unsigned threads = 0;
+    double seconds = 0.0;
+    double speedup = 1.0; ///< relative to the first point
+};
+
+/** A tool's scaling curve. */
+struct ScalingSeries
+{
+    std::string tool;
+    std::vector<ScalingPoint> points;
+};
+
+/**
+ * Run @p body(threads) once per entry of @p thread_counts, wall-timing
+ * each run.
+ */
+ScalingSeries measureScaling(std::string tool,
+                             std::span<const unsigned> thread_counts,
+                             const std::function<void(unsigned)> &body);
+
+} // namespace pgb::pipeline
+
+#endif // PGB_PIPELINE_SCALING_HPP

@@ -1,0 +1,21 @@
+#include "prof/branch_sim.hpp"
+
+namespace pgb::prof {
+
+BranchSim::BranchSim(uint32_t table_bits, uint32_t history_bits)
+    : tableMask_((1u << table_bits) - 1),
+      historyMask_((1u << history_bits) - 1),
+      table_(1u << table_bits, 1) // weakly not-taken
+{
+}
+
+void
+BranchSim::reset()
+{
+    table_.assign(table_.size(), 1);
+    history_ = 0;
+    branches_ = 0;
+    mispredicts_ = 0;
+}
+
+} // namespace pgb::prof

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Gshare branch predictor simulator.
+ *
+ * Supplies the branch-misprediction input of the top-down model
+ * (paper Figure 6: BadSpeculationBound is "mostly branch misprediction
+ * in our workloads"). Branch sites are the static ids kernels pass to
+ * Probe::branch().
+ */
+
+#ifndef PGB_PROF_BRANCH_SIM_HPP
+#define PGB_PROF_BRANCH_SIM_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace pgb::prof {
+
+/** Gshare: global history XOR hashed site id indexing 2-bit counters. */
+class BranchSim
+{
+  public:
+    explicit BranchSim(uint32_t table_bits = 14, uint32_t history_bits = 12);
+
+    /** Record one dynamic branch; updates prediction state. */
+    void
+    record(uint32_t site, bool taken)
+    {
+        const uint32_t index =
+            (site * 2654435761u ^ history_) & tableMask_;
+        const uint8_t counter = table_[index];
+        const bool predicted = counter >= 2;
+        ++branches_;
+        if (predicted != taken)
+            ++mispredicts_;
+        // Saturating 2-bit update.
+        if (taken && counter < 3)
+            table_[index] = counter + 1;
+        else if (!taken && counter > 0)
+            table_[index] = counter - 1;
+        history_ = ((history_ << 1) | (taken ? 1u : 0u)) & historyMask_;
+    }
+
+    uint64_t branches() const { return branches_; }
+    uint64_t mispredicts() const { return mispredicts_; }
+
+    double
+    mispredictRate() const
+    {
+        return branches_ == 0
+            ? 0.0 : static_cast<double>(mispredicts_) /
+                    static_cast<double>(branches_);
+    }
+
+    void reset();
+
+  private:
+    uint32_t tableMask_;
+    uint32_t historyMask_;
+    uint32_t history_ = 0;
+    uint64_t branches_ = 0;
+    uint64_t mispredicts_ = 0;
+    std::vector<uint8_t> table_;
+};
+
+} // namespace pgb::prof
+
+#endif // PGB_PROF_BRANCH_SIM_HPP

@@ -1,0 +1,140 @@
+#include "prof/cache_sim.hpp"
+
+#include <bit>
+
+#include "core/logging.hpp"
+
+namespace pgb::prof {
+
+CacheSim::CacheSim(std::vector<CacheLevelConfig> levels)
+    : configs_(std::move(levels))
+{
+    if (configs_.empty())
+        core::fatal("CacheSim: at least one level required");
+    for (const CacheLevelConfig &config : configs_) {
+        const uint64_t lines = config.sizeBytes / config.lineBytes;
+        if (lines == 0 || lines % config.ways != 0)
+            core::fatal("CacheSim: bad geometry for ", config.name);
+        Level level;
+        level.ways = config.ways;
+        level.setCount = static_cast<uint32_t>(lines / config.ways);
+        if (!std::has_single_bit(static_cast<uint64_t>(level.setCount)))
+            core::fatal("CacheSim: set count must be a power of two for ",
+                        config.name, " (got ", level.setCount, ")");
+        level.lineShift = static_cast<uint32_t>(
+            std::countr_zero(static_cast<uint64_t>(config.lineBytes)));
+        level.sets.resize(level.setCount);
+        for (Set &set : level.sets) {
+            set.tags.assign(config.ways, ~0ull);
+            set.lastUse.assign(config.ways, 0);
+        }
+        levels_.push_back(std::move(level));
+    }
+    stats_.resize(configs_.size());
+}
+
+CacheSim
+CacheSim::machineB()
+{
+    // Table 5, Machine B (Xeon Gold 6326): 48KB/12w L1D, 1.25MB/20w L2,
+    // 24MB/12w L3. Set counts must be powers of two in this simulator,
+    // so L1 uses 64 sets x 12 ways = 48KB exactly; L2's 1.25MB/20w
+    // gives 1024 sets exactly; L3's 24MB/12w gives 32768 sets exactly.
+    return CacheSim({
+        {"L1", 48 * 1024, 12, 64},
+        {"L2", 1280 * 1024, 20, 64},
+        {"L3", 24ull * 1024 * 1024, 12, 64},
+    });
+}
+
+CacheSim
+CacheSim::gpuA6000()
+{
+    // Per-SM 128KB L1 and a 6MB device L2 (A6000), 128B lines; GPUs
+    // have no next-line prefetcher in this model.
+    return CacheSim({
+        {"L1", 128 * 1024, 4, 128, false},
+        {"L2", 6ull * 1024 * 1024, 12, 128, false},
+    });
+}
+
+bool
+CacheSim::accessLevel(Level &level, uint64_t line_address)
+{
+    const uint64_t set_index = line_address & (level.setCount - 1);
+    const uint64_t tag = line_address >> std::countr_zero(
+        static_cast<uint64_t>(level.setCount));
+    Set &set = level.sets[set_index];
+    ++tick_;
+    for (uint32_t way = 0; way < level.ways; ++way) {
+        if (set.tags[way] == tag) {
+            set.lastUse[way] = tick_;
+            return true;
+        }
+    }
+    // Miss: evict LRU.
+    uint32_t victim = 0;
+    for (uint32_t way = 1; way < level.ways; ++way) {
+        if (set.lastUse[way] < set.lastUse[victim])
+            victim = way;
+    }
+    set.tags[victim] = tag;
+    set.lastUse[victim] = tick_;
+    return false;
+}
+
+void
+CacheSim::access(uint64_t address, uint32_t bytes)
+{
+    const uint32_t line_bytes = configs_[0].lineBytes;
+    const uint64_t first_line = address / line_bytes;
+    const uint64_t last_line = (address + (bytes == 0 ? 0 : bytes - 1)) /
+                               line_bytes;
+    for (uint64_t line = first_line; line <= last_line; ++line) {
+        // Walk down the hierarchy until a hit.
+        for (size_t l = 0; l < levels_.size(); ++l) {
+            // Levels may differ in line size; renormalize.
+            const uint64_t level_line =
+                (line * line_bytes) >> levels_[l].lineShift;
+            ++stats_[l].accesses;
+            if (accessLevel(levels_[l], level_line))
+                break;
+            ++stats_[l].misses;
+            if (configs_[l].nextLinePrefetch)
+                accessLevel(levels_[l], level_line + 1);
+        }
+    }
+}
+
+double
+CacheSim::exclusiveMpki(size_t level, uint64_t instructions) const
+{
+    if (instructions == 0)
+        return 0.0;
+    // Misses at `level` that are served by the next level (or memory):
+    // level's misses minus the next level's misses... no: exclusive
+    // means an access missing through to memory is charged only to the
+    // last level. Misses served by level l+1 = misses(l) - misses(l+1).
+    const uint64_t misses_here = stats_[level].misses;
+    const uint64_t misses_below =
+        level + 1 < stats_.size() ? stats_[level + 1].misses : 0;
+    const uint64_t exclusive =
+        misses_here >= misses_below ? misses_here - misses_below : 0;
+    return static_cast<double>(exclusive) * 1000.0 /
+           static_cast<double>(instructions);
+}
+
+void
+CacheSim::reset()
+{
+    for (size_t l = 0; l < levels_.size(); ++l) {
+        for (Set &set : levels_[l].sets) {
+            set.tags.assign(levels_[l].ways, ~0ull);
+            set.lastUse.assign(levels_[l].ways, 0);
+        }
+        stats_[l] = {};
+    }
+    tick_ = 0;
+}
+
+} // namespace pgb::prof

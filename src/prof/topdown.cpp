@@ -1,0 +1,77 @@
+#include "prof/topdown.hpp"
+
+#include <algorithm>
+
+namespace pgb::prof {
+
+TopDownResult
+analyzeTopDown(const core::CountingProbe &counts, const CacheSim &cache,
+               const BranchSim &branches, const TopDownConfig &config)
+{
+    using core::OpKind;
+    auto count = [&](OpKind kind) {
+        return static_cast<double>(
+            counts.counts[static_cast<size_t>(kind)]);
+    };
+    const double vec = count(OpKind::kVector);
+    const double ctl = count(OpKind::kControl);
+    const double mem = count(OpKind::kMemory);
+    const double scalar = count(OpKind::kScalar) + count(OpKind::kRegister);
+    const double total = vec + ctl + mem + scalar;
+
+    TopDownResult result;
+    if (total <= 0.0)
+        return result;
+
+    // --- Issue/execute cycles: the binding execution resource.
+    const double width_cycles = total / config.issueWidth;
+    const double port_cycles = std::max({
+        vec / config.vectorPerCycle,
+        vec * config.vectorChainCycles,
+        scalar / config.scalarPerCycle,
+        mem / config.memoryPerCycle,
+        ctl / config.controlPerCycle,
+    });
+    const double exec_cycles = std::max(width_cycles, port_cycles);
+    // Core-bound stalls: execution-port pressure beyond ideal width.
+    const double core_stall = exec_cycles - width_cycles;
+
+    // --- Memory stalls from exclusive misses, discounted by MLP.
+    const uint64_t instructions = counts.totalOps();
+    const double l1_excl =
+        cache.exclusiveMpki(0, instructions) * total / 1000.0;
+    const double l2_excl = cache.levelCount() > 1
+        ? cache.exclusiveMpki(1, instructions) * total / 1000.0 : 0.0;
+    const double l3_excl = cache.levelCount() > 2
+        ? cache.exclusiveMpki(2, instructions) * total / 1000.0 : 0.0;
+    const double mem_stall =
+        (l1_excl * config.l1MissCycles + l2_excl * config.l2MissCycles +
+         l3_excl * config.l3MissCycles) / config.mlp;
+
+    // --- Bad speculation: flush cost of mispredicted branches.
+    const double bs_cycles =
+        static_cast<double>(branches.mispredicts()) *
+        config.mispredictCycles;
+
+    // --- Front end: fetch redirects on taken branches plus refill
+    // after mispredicts.
+    const double taken =
+        static_cast<double>(counts.branchesTaken);
+    const double fe_cycles = taken * config.takenBranchFrontEnd +
+        static_cast<double>(branches.mispredicts()) * 2.0;
+
+    const double cycles =
+        width_cycles + core_stall + mem_stall + bs_cycles + fe_cycles;
+    const double slots = cycles * config.issueWidth;
+
+    result.cycles = cycles;
+    result.ipc = total / cycles;
+    result.retiring = total / slots;
+    result.badSpeculation = bs_cycles * config.issueWidth / slots;
+    result.frontEndBound = fe_cycles * config.issueWidth / slots;
+    result.coreBound = core_stall * config.issueWidth / slots;
+    result.memoryBound = mem_stall * config.issueWidth / slots;
+    return result;
+}
+
+} // namespace pgb::prof

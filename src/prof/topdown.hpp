@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Top-down microarchitecture model (Yasin's methodology, paper
+ * Figure 6 / Table 6).
+ *
+ * An analytical 4-wide superscalar model that converts the
+ * characterization inputs — instruction mix, branch mispredictions,
+ * and per-level cache misses — into the five top-down buckets
+ * (Retiring, FrontEndBound, BadSpeculationBound, CoreBound,
+ * MemoryBound) and an IPC estimate. The paper collects these with
+ * VTune PMU counters on a Xeon Gold 6326; here they are a
+ * deterministic function of the same program properties, so the
+ * *ordering and dominant bucket per kernel* is the reproducible
+ * signal (see DESIGN.md §1).
+ */
+
+#ifndef PGB_PROF_TOPDOWN_HPP
+#define PGB_PROF_TOPDOWN_HPP
+
+#include <cstdint>
+
+#include "core/probe.hpp"
+#include "prof/branch_sim.hpp"
+#include "prof/cache_sim.hpp"
+
+namespace pgb::prof {
+
+/** Pipeline/latency constants for the analytical model. */
+struct TopDownConfig
+{
+    uint32_t issueWidth = 4;
+    /// execution port throughput per cycle
+    double vectorPerCycle = 1.6;
+    /**
+     * Dependency-chain cost per vector op: the DP kernels' cells
+     * depend on previous cells (paper: "compute-intensive kernels
+     * with complex data dependencies"), so SIMD throughput is bounded
+     * by latency chains, not just port width.
+     */
+    double vectorChainCycles = 0.9;
+    double scalarPerCycle = 3.0;
+    double memoryPerCycle = 2.0;
+    double controlPerCycle = 2.0;
+    /// exclusive miss latencies (cycles)
+    double l1MissCycles = 10.0;
+    double l2MissCycles = 28.0;
+    double l3MissCycles = 170.0;
+    /// average overlapped misses (memory-level parallelism)
+    double mlp = 4.0;
+    /// branch mispredict flush penalty (cycles)
+    double mispredictCycles = 16.0;
+    /// front-end redirect cost per taken branch (cycles)
+    double takenBranchFrontEnd = 0.15;
+};
+
+/** The five top-down buckets (fractions of issue slots) plus IPC. */
+struct TopDownResult
+{
+    double retiring = 0.0;
+    double frontEndBound = 0.0;
+    double badSpeculation = 0.0;
+    double coreBound = 0.0;
+    double memoryBound = 0.0;
+    double ipc = 0.0;
+    double cycles = 0.0;
+};
+
+/**
+ * Evaluate the model from a kernel's counting probe, cache simulator,
+ * and branch simulator state.
+ */
+TopDownResult analyzeTopDown(const core::CountingProbe &counts,
+                             const CacheSim &cache,
+                             const BranchSim &branches,
+                             const TopDownConfig &config = {});
+
+} // namespace pgb::prof
+
+#endif // PGB_PROF_TOPDOWN_HPP

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * TraceProbe: the full characterization probe.
+ *
+ * Extends CountingProbe (instruction mix, Figure 8) and streams every
+ * memory access into a CacheSim (Figure 7) and every branch into a
+ * BranchSim (feeding Figure 6's bad-speculation estimate). Plays the
+ * role VTune + PIN play in the paper, driven by the kernels' own
+ * probe hooks instead of hardware counters.
+ */
+
+#ifndef PGB_PROF_TRACE_PROBE_HPP
+#define PGB_PROF_TRACE_PROBE_HPP
+
+#include "core/probe.hpp"
+#include "prof/branch_sim.hpp"
+#include "prof/cache_sim.hpp"
+
+namespace pgb::prof {
+
+/** Counting probe that also drives the cache and branch simulators. */
+struct TraceProbe : core::CountingProbe
+{
+    CacheSim *cache = nullptr;
+    BranchSim *branches_sim = nullptr;
+
+    TraceProbe(CacheSim &cache_sim, BranchSim &branch_sim)
+        : cache(&cache_sim), branches_sim(&branch_sim)
+    {
+    }
+
+    void
+    load(const void *address, uint32_t bytes)
+    {
+        core::CountingProbe::load(address, bytes);
+        cache->access(reinterpret_cast<uint64_t>(address), bytes);
+    }
+
+    void
+    store(const void *address, uint32_t bytes)
+    {
+        core::CountingProbe::store(address, bytes);
+        cache->access(reinterpret_cast<uint64_t>(address), bytes);
+    }
+
+    void
+    branch(uint32_t site, bool taken)
+    {
+        core::CountingProbe::branch(site, taken);
+        branches_sim->record(site, taken);
+    }
+};
+
+} // namespace pgb::prof
+
+#endif // PGB_PROF_TRACE_PROBE_HPP

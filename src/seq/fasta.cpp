@@ -1,0 +1,121 @@
+#include "seq/fasta.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "core/logging.hpp"
+
+namespace pgb::seq {
+
+using core::fatal;
+
+std::vector<Sequence>
+readFasta(std::istream &input)
+{
+    std::vector<Sequence> records;
+    std::string line;
+    std::string name;
+    std::string bases;
+    bool in_record = false;
+
+    auto flush = [&]() {
+        if (in_record)
+            records.emplace_back(name, bases);
+    };
+
+    while (std::getline(input, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            flush();
+            in_record = true;
+            // Record name runs to the first whitespace.
+            const size_t space = line.find_first_of(" \t");
+            name = line.substr(1, space == std::string::npos
+                                      ? std::string::npos : space - 1);
+            bases.clear();
+        } else {
+            if (!in_record)
+                fatal("FASTA: sequence data before first '>' header");
+            bases += line;
+        }
+    }
+    flush();
+    return records;
+}
+
+std::vector<Sequence>
+readFastaFile(const std::string &path)
+{
+    std::ifstream input(path);
+    if (!input)
+        fatal("FASTA: cannot open '", path, "'");
+    return readFasta(input);
+}
+
+void
+writeFasta(std::ostream &output, const std::vector<Sequence> &sequences,
+           size_t width)
+{
+    for (const auto &sequence : sequences) {
+        output << '>' << sequence.name() << '\n';
+        const std::string bases = sequence.toString();
+        for (size_t i = 0; i < bases.size(); i += width)
+            output << bases.substr(i, width) << '\n';
+    }
+}
+
+void
+writeFastaFile(const std::string &path,
+               const std::vector<Sequence> &sequences, size_t width)
+{
+    std::ofstream output(path);
+    if (!output)
+        fatal("FASTA: cannot open '", path, "' for writing");
+    writeFasta(output, sequences, width);
+}
+
+std::vector<Sequence>
+readFastq(std::istream &input)
+{
+    std::vector<Sequence> records;
+    std::string header, bases, plus, quality;
+    while (std::getline(input, header)) {
+        if (header.empty())
+            continue;
+        if (header[0] != '@')
+            fatal("FASTQ: expected '@' header, got '", header, "'");
+        if (!std::getline(input, bases))
+            fatal("FASTQ: truncated record after header");
+        if (!std::getline(input, plus) || plus.empty() || plus[0] != '+')
+            fatal("FASTQ: expected '+' separator line");
+        if (!std::getline(input, quality))
+            fatal("FASTQ: truncated record before quality line");
+        if (quality.size() != bases.size())
+            fatal("FASTQ: quality length mismatch for record '", header, "'");
+        const size_t space = header.find_first_of(" \t");
+        records.emplace_back(
+            header.substr(1, space == std::string::npos
+                                 ? std::string::npos : space - 1),
+            bases);
+    }
+    return records;
+}
+
+void
+writeFastq(std::ostream &output, const std::vector<Sequence> &sequences,
+           char quality)
+{
+    for (const auto &sequence : sequences) {
+        output << '@' << sequence.name() << '\n'
+               << sequence.toString() << '\n'
+               << "+\n"
+               << std::string(sequence.size(), quality) << '\n';
+    }
+}
+
+} // namespace pgb::seq

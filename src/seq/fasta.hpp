@@ -1,0 +1,45 @@
+/**
+ * @file
+ * FASTA and FASTQ readers/writers.
+ *
+ * Minimal but strict line-based parsers sufficient for the suite's
+ * dataset interchange: multi-line FASTA records, four-line FASTQ
+ * records, with fatal() on malformed input.
+ */
+
+#ifndef PGB_SEQ_FASTA_HPP
+#define PGB_SEQ_FASTA_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace pgb::seq {
+
+/** Parse all FASTA records from @p input. */
+std::vector<Sequence> readFasta(std::istream &input);
+
+/** Parse all FASTA records from the file at @p path. */
+std::vector<Sequence> readFastaFile(const std::string &path);
+
+/** Write @p sequences as FASTA with @p width bases per line. */
+void writeFasta(std::ostream &output, const std::vector<Sequence> &sequences,
+                size_t width = 80);
+
+/** Write @p sequences to the file at @p path. */
+void writeFastaFile(const std::string &path,
+                    const std::vector<Sequence> &sequences,
+                    size_t width = 80);
+
+/** Parse all FASTQ records (qualities are validated then discarded). */
+std::vector<Sequence> readFastq(std::istream &input);
+
+/** Write @p sequences as FASTQ with constant quality @p quality. */
+void writeFastq(std::ostream &output, const std::vector<Sequence> &sequences,
+                char quality = 'I');
+
+} // namespace pgb::seq
+
+#endif // PGB_SEQ_FASTA_HPP

@@ -1,0 +1,98 @@
+#include "seq/read_sim.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core/logging.hpp"
+
+namespace pgb::seq {
+
+ReadProfile
+ReadProfile::shortRead()
+{
+    ReadProfile profile;
+    profile.readLength = 150;
+    profile.lengthJitter = 0.0;
+    profile.substitutionRate = 0.004;
+    profile.insertionRate = 0.0005;
+    profile.deletionRate = 0.0005;
+    return profile;
+}
+
+ReadProfile
+ReadProfile::longRead()
+{
+    ReadProfile profile;
+    profile.readLength = 15000;
+    profile.lengthJitter = 0.3;
+    profile.substitutionRate = 0.006;
+    profile.insertionRate = 0.002;
+    profile.deletionRate = 0.002;
+    return profile;
+}
+
+SimulatedRead
+ReadSimulator::sample(const Sequence &donor)
+{
+    // Choose the target length, clamped to the donor.
+    size_t length = profile_.readLength;
+    if (profile_.lengthJitter > 0.0) {
+        const auto jitter = static_cast<double>(profile_.readLength) *
+                            profile_.lengthJitter;
+        const double delta = (rng_.uniform() * 2.0 - 1.0) * jitter;
+        const auto target = static_cast<int64_t>(
+            static_cast<double>(profile_.readLength) + delta);
+        length = target < 50 ? 50 : static_cast<size_t>(target);
+    }
+    if (length > donor.size())
+        length = donor.size();
+    if (length == 0)
+        core::fatal("ReadSimulator: donor sequence is empty");
+
+    const size_t start = donor.size() == length
+        ? 0 : rng_.below(donor.size() - length + 1);
+
+    SimulatedRead result;
+    result.donorStart = start;
+    result.donorSpan = length;
+    result.reverse = profile_.reverseStrand && rng_.chance(0.5);
+
+    // Copy with errors applied against the forward donor orientation.
+    std::vector<uint8_t> bases;
+    bases.reserve(length + 16);
+    for (size_t i = 0; i < length; ++i) {
+        const uint8_t donor_base = donor[start + i];
+        if (rng_.chance(profile_.deletionRate))
+            continue; // skip the donor base
+        if (rng_.chance(profile_.insertionRate))
+            bases.push_back(static_cast<uint8_t>(rng_.below(kNumBases)));
+        if (rng_.chance(profile_.substitutionRate)) {
+            // Substitute with one of the three other bases.
+            const auto shift = static_cast<uint8_t>(1 + rng_.below(3));
+            bases.push_back(static_cast<uint8_t>(
+                (donor_base + shift) % kNumBases));
+        } else {
+            bases.push_back(donor_base);
+        }
+    }
+
+    Sequence read(std::move(bases));
+    if (result.reverse)
+        read = read.reverseComplement();
+    result.read = std::move(read);
+    return result;
+}
+
+std::vector<SimulatedRead>
+ReadSimulator::sampleMany(const Sequence &donor, size_t count)
+{
+    std::vector<SimulatedRead> reads;
+    reads.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        reads.push_back(sample(donor));
+        reads.back().read.setName("read_" + std::to_string(i));
+    }
+    return reads;
+}
+
+} // namespace pgb::seq

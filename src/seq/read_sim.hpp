@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Sequencing read simulator.
+ *
+ * Substitutes for the HG002 Illumina HiSeq and PacBio HiFi datasets
+ * used in the paper (Table 2): reads are sampled uniformly from a donor
+ * sequence (typically one haplotype of the synthetic pangenome) and
+ * corrupted with a configurable substitution/insertion/deletion error
+ * model. Two presets reproduce the paper's regimes: 150 bp short reads
+ * and 15 kb HiFi-like long reads.
+ */
+
+#ifndef PGB_SEQ_READ_SIM_HPP
+#define PGB_SEQ_READ_SIM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "seq/sequence.hpp"
+
+namespace pgb::seq {
+
+/** Error and length model for one sequencing technology. */
+struct ReadProfile
+{
+    size_t readLength = 150;       ///< mean read length (bases)
+    double lengthJitter = 0.0;     ///< +- fraction of readLength (uniform)
+    double substitutionRate = 0.002;
+    double insertionRate = 0.0005;
+    double deletionRate = 0.0005;
+    bool reverseStrand = true;     ///< sample both strands at random
+
+    /** Illumina-like 150 bp short reads (paper Table 2 rows 1-2). */
+    static ReadProfile shortRead();
+
+    /** PacBio HiFi-like 15 kb long reads (paper Table 2 rows 3-4). */
+    static ReadProfile longRead();
+};
+
+/** One simulated read with its ground-truth origin. */
+struct SimulatedRead
+{
+    Sequence read;
+    size_t donorStart = 0;  ///< origin offset on the donor sequence
+    size_t donorSpan = 0;   ///< bases of donor consumed
+    bool reverse = false;   ///< true if reverse-complemented
+};
+
+/** Samples error-corrupted reads from a donor sequence. */
+class ReadSimulator
+{
+  public:
+    ReadSimulator(ReadProfile profile, uint64_t seed)
+        : profile_(profile), rng_(seed)
+    {
+    }
+
+    /** Draw one read from @p donor. Donor must be >= the read length. */
+    SimulatedRead sample(const Sequence &donor);
+
+    /** Draw @p count reads from @p donor, named read_0..read_{n-1}. */
+    std::vector<SimulatedRead> sampleMany(const Sequence &donor,
+                                          size_t count);
+
+  private:
+    ReadProfile profile_;
+    core::Rng rng_;
+};
+
+} // namespace pgb::seq
+
+#endif // PGB_SEQ_READ_SIM_HPP

@@ -1,0 +1,358 @@
+#include "synth/pangenome_sim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+
+namespace pgb::synth {
+
+using core::Rng;
+using graph::Handle;
+using graph::NodeId;
+using graph::PanGraph;
+using seq::Sequence;
+
+seq::Sequence
+randomSequence(size_t length, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> codes;
+    codes.reserve(length);
+    for (size_t i = 0; i < length; ++i)
+        codes.push_back(static_cast<uint8_t>(rng.below(seq::kNumBases)));
+    return Sequence(std::move(codes));
+}
+
+PangenomeConfig
+mGraphLikeConfig(size_t base_length, uint64_t seed)
+{
+    PangenomeConfig config;
+    config.baseLength = base_length;
+    config.haplotypeCount = 14;
+    // Densities tuned so the average node length lands near the paper's
+    // M-graph value (27.22 bp) for the default haplotype count.
+    config.variants.snpRate = 0.018;
+    config.variants.smallIndelRate = 0.004;
+    config.variants.maxSmallIndel = 6;
+    config.variants.svRate = 0.00004;
+    config.variants.minSvLength = 50;
+    config.variants.maxSvLength = 400;
+    config.seed = seed;
+    return config;
+}
+
+namespace {
+
+/** Draw a population allele frequency skewed toward rare variants. */
+double
+drawFrequency(Rng &rng)
+{
+    const double u = rng.uniform();
+    return 0.05 + 0.9 * u * u;
+}
+
+std::vector<Variant>
+drawVariants(const PangenomeConfig &config, const Sequence &base, Rng &rng)
+{
+    std::vector<Variant> variants;
+    const double site_rate = config.variants.snpRate +
+                             config.variants.smallIndelRate +
+                             config.variants.svRate;
+    if (site_rate <= 0.0)
+        return variants;
+
+    size_t pos = 1;
+    while (pos + 1 < base.size()) {
+        // Geometric gap to the next variant site.
+        const double u = rng.uniform();
+        const auto gap = static_cast<size_t>(
+            1.0 + -std::log(1.0 - u) / site_rate);
+        pos += gap;
+        if (pos + 1 >= base.size())
+            break;
+
+        Variant v;
+        v.pos = pos;
+        const double pick = rng.uniform() * site_rate;
+        if (pick < config.variants.snpRate) {
+            v.type = Variant::Type::kSnp;
+            v.refSpan = 1;
+            const auto shift = static_cast<uint8_t>(1 + rng.below(3));
+            v.altSeq = {static_cast<uint8_t>(
+                (base[pos] + shift) % seq::kNumBases)};
+        } else if (pick < config.variants.snpRate +
+                              config.variants.smallIndelRate) {
+            const size_t length =
+                1 + rng.below(config.variants.maxSmallIndel);
+            if (rng.chance(0.5)) {
+                v.type = Variant::Type::kInsertion;
+                v.refSpan = 0;
+                for (size_t i = 0; i < length; ++i) {
+                    v.altSeq.push_back(static_cast<uint8_t>(
+                        rng.below(seq::kNumBases)));
+                }
+            } else {
+                v.type = Variant::Type::kDeletion;
+                v.refSpan = length;
+            }
+        } else {
+            const size_t span = config.variants.minSvLength +
+                rng.below(config.variants.maxSvLength -
+                          config.variants.minSvLength + 1);
+            if (rng.chance(config.variants.inversionFraction)) {
+                v.type = Variant::Type::kInversion;
+                v.refSpan = span;
+            } else if (rng.chance(0.5)) {
+                v.type = Variant::Type::kInsertion;
+                v.refSpan = 0;
+                for (size_t i = 0; i < span; ++i) {
+                    v.altSeq.push_back(static_cast<uint8_t>(
+                        rng.below(seq::kNumBases)));
+                }
+            } else {
+                v.type = Variant::Type::kDeletion;
+                v.refSpan = span;
+            }
+        }
+
+        // Clip events that would run past the end of the chromosome.
+        if (v.pos + v.refSpan + 1 >= base.size()) {
+            break;
+        }
+
+        v.frequency = drawFrequency(rng);
+        v.carriers.resize(config.haplotypeCount);
+        bool any = false;
+        for (size_t h = 0; h < config.haplotypeCount; ++h) {
+            const bool carries = rng.chance(v.frequency);
+            v.carriers[h] = carries;
+            any = any || carries;
+        }
+        if (!any && config.haplotypeCount > 0) {
+            // Force at least one carrier so every site is a real bubble.
+            v.carriers[rng.below(config.haplotypeCount)] = true;
+        }
+        variants.push_back(std::move(v));
+        // Leave at least one reference base between sites.
+        pos = variants.back().pos + variants.back().refSpan + 1;
+    }
+    return variants;
+}
+
+} // namespace
+
+Pangenome
+simulatePangenome(const PangenomeConfig &config)
+{
+    if (config.baseLength < 100)
+        core::fatal("simulatePangenome: baseLength must be >= 100");
+    Rng rng(config.seed);
+
+    Pangenome out;
+    out.reference = randomSequence(config.baseLength, config.seed ^ 0x5EED);
+    out.reference.setName("ref");
+    out.variants = drawVariants(config, out.reference, rng);
+
+    // --- Breakpoints: cut the reference at every variant boundary.
+    std::vector<size_t> breaks = {0, out.reference.size()};
+    for (const Variant &v : out.variants) {
+        breaks.push_back(v.pos);
+        breaks.push_back(v.pos + v.refSpan);
+    }
+    std::sort(breaks.begin(), breaks.end());
+    breaks.erase(std::unique(breaks.begin(), breaks.end()), breaks.end());
+
+    // --- Reference segment nodes.
+    PanGraph &graph = out.graph;
+    // segmentAt[b] = node covering [breaks[b], breaks[b+1])
+    std::vector<NodeId> segment_node(breaks.size() - 1);
+    std::map<size_t, size_t> break_index; // ref pos -> index in breaks
+    for (size_t b = 0; b + 1 < breaks.size(); ++b) {
+        break_index[breaks[b]] = b;
+        segment_node[b] = graph.addNode(
+            out.reference.slice(breaks[b], breaks[b + 1] - breaks[b]));
+    }
+    break_index[breaks.back()] = breaks.size() - 1;
+
+    // Reference backbone edges.
+    for (size_t b = 0; b + 2 < breaks.size(); ++b) {
+        graph.addEdge(Handle(segment_node[b], false),
+                      Handle(segment_node[b + 1], false));
+    }
+
+    // --- Alternate allele nodes and edges.
+    // For a variant at site index b (segment covering [pos, pos+span)):
+    //   SNP/deletion/inversion consume exactly one segment; insertion
+    //   sits on the boundary before segment b.
+    std::vector<NodeId> alt_node(out.variants.size(),
+                                 std::numeric_limits<NodeId>::max());
+    for (size_t i = 0; i < out.variants.size(); ++i) {
+        const Variant &v = out.variants[i];
+        const size_t b = break_index.at(v.pos);
+        switch (v.type) {
+          case Variant::Type::kSnp:
+          case Variant::Type::kInsertion: {
+            alt_node[i] = graph.addNode(Sequence(
+                std::vector<uint8_t>(v.altSeq)));
+            break;
+          }
+          case Variant::Type::kDeletion:
+          case Variant::Type::kInversion:
+            break;
+        }
+        const bool has_prev = b > 0;
+        const bool has_next = break_index.at(v.pos + v.refSpan) <
+                              segment_node.size();
+        const NodeId prev = has_prev ? segment_node[b - 1] : 0;
+        const size_t next_b = break_index.at(v.pos + v.refSpan);
+        const NodeId next = has_next ? segment_node[next_b] : 0;
+        switch (v.type) {
+          case Variant::Type::kSnp:
+          case Variant::Type::kInsertion:
+            if (has_prev)
+                graph.addEdge(Handle(prev, false),
+                              Handle(alt_node[i], false));
+            if (has_next)
+                graph.addEdge(Handle(alt_node[i], false),
+                              Handle(next, false));
+            break;
+          case Variant::Type::kDeletion:
+            if (has_prev && has_next)
+                graph.addEdge(Handle(prev, false), Handle(next, false));
+            break;
+          case Variant::Type::kInversion:
+            if (has_prev)
+                graph.addEdge(Handle(prev, false),
+                              Handle(segment_node[b], true));
+            if (has_next)
+                graph.addEdge(Handle(segment_node[b], true),
+                              Handle(next, false));
+            break;
+        }
+    }
+
+    // --- Reference path.
+    {
+        std::vector<Handle> steps;
+        for (NodeId node : segment_node)
+            steps.emplace_back(node, false);
+        out.referencePath = graph.addPath("ref", std::move(steps));
+    }
+
+    // --- Haplotype paths and spelled sequences.
+    for (size_t h = 0; h < config.haplotypeCount; ++h) {
+        std::vector<Handle> steps;
+        size_t b = 0;
+        size_t vi = 0;
+        while (b < segment_node.size()) {
+            // Is there a variant whose site starts at breaks[b]?
+            while (vi < out.variants.size() &&
+                   out.variants[vi].pos < breaks[b]) {
+                ++vi;
+            }
+            const bool at_site = vi < out.variants.size() &&
+                                 out.variants[vi].pos == breaks[b];
+            if (!at_site) {
+                steps.emplace_back(segment_node[b], false);
+                ++b;
+                continue;
+            }
+            const Variant &v = out.variants[vi];
+            const bool carries = v.carriers[h];
+            switch (v.type) {
+              case Variant::Type::kSnp:
+                steps.emplace_back(
+                    carries ? alt_node[vi] : segment_node[b],
+                    false);
+                ++b;
+                break;
+              case Variant::Type::kInsertion:
+                if (carries)
+                    steps.emplace_back(alt_node[vi], false);
+                // The insertion consumes no reference segment; fall
+                // through to walking the segment that starts here, which
+                // belongs to the next site or plain reference.
+                steps.emplace_back(segment_node[b], false);
+                ++b;
+                break;
+              case Variant::Type::kDeletion:
+                if (!carries)
+                    steps.emplace_back(segment_node[b], false);
+                ++b;
+                break;
+              case Variant::Type::kInversion:
+                steps.emplace_back(segment_node[b], carries);
+                ++b;
+                break;
+            }
+            ++vi;
+        }
+        const std::string name = "hap" + std::to_string(h);
+        const graph::PathId path = graph.addPath(name, std::move(steps));
+        out.haplotypePaths.push_back(path);
+        Sequence spelled = graph.pathSequence(path);
+        spelled.setName(name);
+        out.haplotypes.push_back(std::move(spelled));
+    }
+
+    return out;
+}
+
+std::vector<GroundTruthMatch>
+groundTruthMatches(const Pangenome &pangenome, uint32_t min_length)
+{
+    std::vector<GroundTruthMatch> matches;
+    const size_t ref_len = pangenome.reference.size();
+    for (size_t h = 0; h < pangenome.haplotypes.size(); ++h) {
+        uint64_t ref_pos = 0, hap_pos = 0;
+        uint64_t match_ref = 0, match_hap = 0; // current run start
+        auto emit = [&](uint64_t ref_end) {
+            if (ref_end > match_ref &&
+                ref_end - match_ref >= min_length) {
+                matches.push_back(
+                    {h, match_ref, match_hap,
+                     static_cast<uint32_t>(ref_end - match_ref)});
+            }
+        };
+        for (const Variant &v : pangenome.variants) {
+            const uint64_t inter = v.pos - ref_pos;
+            ref_pos = v.pos;
+            hap_pos += inter;
+            if (!v.carriers[h]) {
+                // Haplotype takes the reference allele: the exact run
+                // continues through the site (except inversions, where
+                // the reference route is identical anyway).
+                ref_pos += v.refSpan;
+                hap_pos += v.refSpan;
+                continue;
+            }
+            // Carrier: close the run at the site and restart after it.
+            emit(v.pos);
+            switch (v.type) {
+              case Variant::Type::kSnp:
+                ref_pos += 1;
+                hap_pos += 1;
+                break;
+              case Variant::Type::kInsertion:
+                hap_pos += v.altSeq.size();
+                break;
+              case Variant::Type::kDeletion:
+                ref_pos += v.refSpan;
+                break;
+              case Variant::Type::kInversion:
+                ref_pos += v.refSpan;
+                hap_pos += v.refSpan;
+                break;
+            }
+            match_ref = ref_pos;
+            match_hap = hap_pos;
+        }
+        emit(ref_len);
+    }
+    return matches;
+}
+
+} // namespace pgb::synth

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Synthetic pangenome generator.
+ *
+ * Substitutes for the HPRC chromosome-20 datasets the paper maps and
+ * builds against (Tables 2/3): a random base chromosome is mutated into
+ * a population of haplotypes sharing a pool of variants (SNPs, small
+ * indels, structural insertions/deletions, optional inversions), and the
+ * exact variation graph implied by those variants is constructed
+ * directly, with one embedded path per haplotype plus the reference.
+ *
+ * The graph's topology statistics (average node length, bubble density,
+ * haplotype count) are controlled by VariantProfile so workloads can be
+ * calibrated to the paper's reported graph shape (M-graph average node
+ * length 27.22 bp; Split-M-graph 6.89 bp via PanGraph::splitNodes).
+ */
+
+#ifndef PGB_SYNTH_PANGENOME_SIM_HPP
+#define PGB_SYNTH_PANGENOME_SIM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/pangraph.hpp"
+#include "seq/sequence.hpp"
+
+namespace pgb::synth {
+
+/** Variant density/shape parameters for the simulated population. */
+struct VariantProfile
+{
+    double snpRate = 0.004;          ///< SNP sites per base
+    double smallIndelRate = 0.0008;  ///< small indel sites per base
+    size_t maxSmallIndel = 6;        ///< max small indel length (bases)
+    double svRate = 0.00002;         ///< structural variant sites per base
+    size_t minSvLength = 50;
+    size_t maxSvLength = 500;
+    double inversionFraction = 0.0;  ///< fraction of SVs that are inversions
+};
+
+/** Top-level configuration of one synthetic pangenome. */
+struct PangenomeConfig
+{
+    size_t baseLength = 200000;   ///< reference chromosome length
+    size_t haplotypeCount = 14;   ///< haplotypes beside the reference
+    VariantProfile variants;
+    uint64_t seed = 42;
+};
+
+/** One site in the shared variant pool. */
+struct Variant
+{
+    enum class Type { kSnp, kInsertion, kDeletion, kInversion };
+
+    Type type = Type::kSnp;
+    size_t pos = 0;      ///< reference position of the site
+    size_t refSpan = 0;  ///< reference bases consumed (0 for insertion)
+    std::vector<uint8_t> altSeq; ///< SNP/insertion alternate bases
+    double frequency = 0.0;      ///< population allele frequency
+    std::vector<bool> carriers;  ///< per-haplotype carrier flags
+};
+
+/** A generated pangenome: graph, haplotypes, and provenance. */
+struct Pangenome
+{
+    graph::PanGraph graph;
+    seq::Sequence reference;            ///< the base chromosome
+    std::vector<seq::Sequence> haplotypes; ///< spelled haplotype sequences
+    std::vector<Variant> variants;      ///< the shared variant pool
+    graph::PathId referencePath = 0;    ///< path id of the reference walk
+    std::vector<graph::PathId> haplotypePaths;
+};
+
+/** Generate a pangenome from @p config (deterministic in the seed). */
+Pangenome simulatePangenome(const PangenomeConfig &config);
+
+/** Generate just a random DNA sequence of @p length. */
+seq::Sequence randomSequence(size_t length, uint64_t seed);
+
+/**
+ * Preset shaped like the paper's chromosome-20 M-graph workload, scaled
+ * to @p base_length reference bases (the real chr20 is ~64 Mb; tests and
+ * benches use 10^5..10^6).
+ */
+PangenomeConfig mGraphLikeConfig(size_t base_length, uint64_t seed = 42);
+
+/**
+ * An exact match between the reference and one haplotype, in local
+ * coordinates (refStart on the reference, hapStart on the haplotype).
+ */
+struct GroundTruthMatch
+{
+    size_t haplotype = 0;
+    uint64_t refStart = 0;
+    uint64_t hapStart = 0;
+    uint32_t length = 0;
+};
+
+/**
+ * Exact reference<->haplotype match segments implied by the variant
+ * pool: the maximal runs between carried variants. Substitutes for an
+ * aligner when generating transclosure kernel inputs from ground
+ * truth. Inversion variants break matches (no reverse-strand output).
+ */
+std::vector<GroundTruthMatch>
+groundTruthMatches(const Pangenome &pangenome,
+                   uint32_t min_length = 1);
+
+} // namespace pgb::synth
+
+#endif // PGB_SYNTH_PANGENOME_SIM_HPP

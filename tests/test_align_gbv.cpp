@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Tests for GBV (graph Myers bit-vector) against the per-cell
+ * reference, over linear, branching, reconverging, and cyclic graphs,
+ * plus the column expand/rebuild machinery and traceback sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/gbv.hpp"
+#include "core/rng.hpp"
+#include "graph/local_graph.hpp"
+#include "seq/sequence.hpp"
+
+namespace pgb::align {
+namespace {
+
+using core::Rng;
+using graph::LocalGraph;
+
+std::vector<uint8_t>
+randomBases(Rng &rng, size_t length)
+{
+    std::vector<uint8_t> bases;
+    for (size_t i = 0; i < length; ++i)
+        bases.push_back(static_cast<uint8_t>(rng.below(4)));
+    return bases;
+}
+
+/** Plain semi-global edit distance (query global, text free ends). */
+int32_t
+linearSemiGlobal(const std::vector<uint8_t> &query,
+                 const std::vector<uint8_t> &text)
+{
+    const size_t m = query.size();
+    std::vector<int32_t> col(m + 1);
+    for (size_t i = 0; i <= m; ++i)
+        col[i] = static_cast<int32_t>(i);
+    int32_t best = col[m];
+    for (uint8_t t : text) {
+        int32_t diag = col[0];
+        col[0] = 0; // free text start
+        for (size_t i = 1; i <= m; ++i) {
+            const int32_t sub = query[i - 1] == t ? 0 : 1;
+            const int32_t value =
+                std::min({diag + sub, col[i] + 1, col[i - 1] + 1});
+            diag = col[i];
+            col[i] = value;
+        }
+        best = std::min(best, col[m]);
+    }
+    return best;
+}
+
+// ----------------------------------------------- expand/rebuild
+
+TEST(GbvColumns, ExpandRebuildRoundTrip)
+{
+    Rng rng(70);
+    for (int round = 0; round < 20; ++round) {
+        const size_t m = 1 + rng.below(200);
+        const size_t words = (m + 63) / 64;
+        // Random unit-delta score vector starting from 0.
+        std::vector<int32_t> scores(m);
+        int32_t s = 0;
+        for (size_t i = 0; i < m; ++i) {
+            s += static_cast<int32_t>(rng.below(3)) - 1;
+            scores[i] = s;
+        }
+        const GbvColumn column = gbvdetail::rebuildColumn(scores, words);
+        std::vector<int32_t> out;
+        gbvdetail::expandScores(column, m, out);
+        ASSERT_EQ(out, scores) << "round " << round;
+        EXPECT_EQ(column.score, scores.back());
+    }
+}
+
+// ------------------------------------------------------------- GBV
+
+TEST(Gbv, PerfectMatchIsZero)
+{
+    LocalGraph g;
+    g.addNode("ACGTACGT");
+    g.finalize();
+    const auto query = seq::encodeString("GTAC");
+    const auto result = gbvAlign(g, query);
+    EXPECT_EQ(result.distance, 0);
+}
+
+TEST(Gbv, LinearGraphMatchesLinearMyers)
+{
+    Rng rng(71);
+    for (int round = 0; round < 20; ++round) {
+        const auto text = randomBases(rng, 20 + rng.below(150));
+        const auto query = randomBases(rng, 1 + rng.below(100));
+        LocalGraph g;
+        g.addNode(std::vector<uint8_t>(text));
+        g.finalize();
+        const auto result = gbvAlign(g, query);
+        ASSERT_EQ(result.distance, linearSemiGlobal(query, text))
+            << "round " << round;
+    }
+}
+
+TEST(Gbv, MultiWordQueries)
+{
+    Rng rng(72);
+    // Query lengths straddling the 64-bit word boundaries.
+    for (size_t m : {63u, 64u, 65u, 127u, 128u, 129u, 300u}) {
+        const auto text = randomBases(rng, 400);
+        std::vector<uint8_t> query(text.begin() + 50,
+                                   text.begin() + 50 + m);
+        // Two mismatches.
+        query[m / 3] = static_cast<uint8_t>((query[m / 3] + 1) % 4);
+        query[m / 2] = static_cast<uint8_t>((query[m / 2] + 2) % 4);
+        LocalGraph g;
+        g.addNode(std::vector<uint8_t>(text));
+        g.finalize();
+        const auto result = gbvAlign(g, query);
+        ASSERT_EQ(result.distance, linearSemiGlobal(query, text))
+            << "m=" << m;
+    }
+}
+
+TEST(Gbv, MatchesScalarOnRandomDags)
+{
+    Rng rng(73);
+    for (int round = 0; round < 20; ++round) {
+        LocalGraph g;
+        const size_t n_nodes = 2 + rng.below(10);
+        for (size_t v = 0; v < n_nodes; ++v)
+            g.addNode(randomBases(rng, 1 + rng.below(10)));
+        for (size_t v = 0; v + 1 < n_nodes; ++v) {
+            g.addEdge(static_cast<uint32_t>(v),
+                      static_cast<uint32_t>(v + 1));
+            if (v + 2 < n_nodes && rng.chance(0.4)) {
+                g.addEdge(static_cast<uint32_t>(v),
+                          static_cast<uint32_t>(
+                              v + 2 + rng.below(n_nodes - v - 2)));
+            }
+        }
+        g.finalize();
+        const auto query = randomBases(rng, 1 + rng.below(40));
+        const auto fast = gbvAlign(g, query);
+        const int32_t slow = gbvAlignScalar(g, query);
+        ASSERT_EQ(fast.distance, slow) << "round " << round;
+    }
+}
+
+TEST(Gbv, ReconvergingBubbleTakesBestBranch)
+{
+    LocalGraph g;
+    const uint32_t a = g.addNode("AC");
+    const uint32_t alt1 = g.addNode("G");
+    const uint32_t alt2 = g.addNode("T");
+    const uint32_t d = g.addNode("CA");
+    g.addEdge(a, alt1);
+    g.addEdge(a, alt2);
+    g.addEdge(alt1, d);
+    g.addEdge(alt2, d);
+    g.finalize();
+    EXPECT_EQ(gbvAlign(g, seq::encodeString("ACGCA")).distance, 0);
+    EXPECT_EQ(gbvAlign(g, seq::encodeString("ACTCA")).distance, 0);
+    EXPECT_EQ(gbvAlign(g, seq::encodeString("ACCCA")).distance, 1);
+}
+
+TEST(Gbv, CyclicGraphRequeuesAndConverges)
+{
+    // A -> B -> A cycle; query needs two trips around.
+    LocalGraph g;
+    const uint32_t a = g.addNode("ACG");
+    const uint32_t b = g.addNode("TT");
+    g.addEdge(a, b);
+    g.addEdge(b, a);
+    g.finalize();
+    const auto query = seq::encodeString("ACGTTACGTT");
+    const auto result = gbvAlign(g, query);
+    EXPECT_EQ(result.distance, 0);
+    EXPECT_GT(result.requeues, 0u);
+    EXPECT_EQ(result.distance, gbvAlignScalar(g, query));
+}
+
+TEST(Gbv, CyclicRandomGraphsMatchScalar)
+{
+    Rng rng(74);
+    for (int round = 0; round < 10; ++round) {
+        LocalGraph g;
+        const size_t n_nodes = 3 + rng.below(5);
+        for (size_t v = 0; v < n_nodes; ++v)
+            g.addNode(randomBases(rng, 1 + rng.below(4)));
+        for (size_t v = 0; v + 1 < n_nodes; ++v) {
+            g.addEdge(static_cast<uint32_t>(v),
+                      static_cast<uint32_t>(v + 1));
+        }
+        g.addEdge(static_cast<uint32_t>(n_nodes - 1),
+                  static_cast<uint32_t>(rng.below(n_nodes)));
+        g.finalize();
+        const auto query = randomBases(rng, 1 + rng.below(25));
+        const auto fast = gbvAlign(g, query);
+        const int32_t slow = gbvAlignScalar(g, query);
+        ASSERT_EQ(fast.distance, slow) << "round " << round;
+    }
+}
+
+TEST(Gbv, MergeCountIncreasesWithReconvergence)
+{
+    // Wide reconvergence: many parents into one node.
+    LocalGraph g;
+    const uint32_t src = g.addNode("A");
+    std::vector<uint32_t> mids;
+    for (int i = 0; i < 6; ++i) {
+        mids.push_back(g.addNode(std::string(1, "ACGT"[i % 4])));
+        g.addEdge(src, mids.back());
+    }
+    const uint32_t sink = g.addNode("T");
+    for (uint32_t mid : mids)
+        g.addEdge(mid, sink);
+    g.finalize();
+    const auto query = seq::encodeString("AAT");
+    const auto result = gbvAlign(g, query);
+    EXPECT_GT(result.merges, 0u);
+    EXPECT_EQ(result.distance, gbvAlignScalar(g, query));
+}
+
+TEST(Gbv, TracebackProducesConnectedWalk)
+{
+    LocalGraph g;
+    const uint32_t a = g.addNode("ACGT");
+    const uint32_t b = g.addNode("TTAA");
+    g.addEdge(a, b);
+    g.finalize();
+    const auto query = seq::encodeString("CGTTTA");
+    GbvOptions options;
+    options.traceback = true;
+    const auto result = gbvAlign(g, query, options);
+    EXPECT_EQ(result.distance, 0);
+    ASSERT_GE(result.traceWalk.size(), 2u);
+    // Consecutive walk nodes are connected in the 1 bp expansion.
+    const LocalGraph g1 = g.splitTo1bp();
+    for (size_t i = 0; i + 1 < result.traceWalk.size(); ++i) {
+        const auto succ = g1.successors(result.traceWalk[i]);
+        const bool connected =
+            std::find(succ.begin(), succ.end(),
+                      result.traceWalk[i + 1]) != succ.end();
+        EXPECT_TRUE(connected) << "walk step " << i;
+    }
+}
+
+TEST(GbvColumns, MinLowerBoundNeverExceedsTrueMin)
+{
+    Rng rng(75);
+    for (int round = 0; round < 30; ++round) {
+        const size_t m = 1 + rng.below(300);
+        std::vector<int32_t> scores(m);
+        int32_t s = 0;
+        for (size_t i = 0; i < m; ++i) {
+            s += static_cast<int32_t>(rng.below(3)) - 1;
+            scores[i] = s;
+        }
+        const auto column =
+            gbvdetail::rebuildColumn(scores, (m + 63) / 64);
+        const int32_t lb = gbvdetail::columnMinLowerBound(column);
+        int32_t true_min = 0;
+        for (int32_t v : scores)
+            true_min = std::min(true_min, v);
+        EXPECT_LE(lb, true_min) << "round " << round;
+        // The bound is word-granular: within 64 of the truth.
+        EXPECT_GE(lb, true_min - 64);
+    }
+}
+
+TEST(Gbv, WideBandMatchesExact)
+{
+    Rng rng(76);
+    for (int round = 0; round < 10; ++round) {
+        LocalGraph g;
+        const size_t n_nodes = 3 + rng.below(8);
+        for (size_t v = 0; v < n_nodes; ++v)
+            g.addNode(randomBases(rng, 1 + rng.below(10)));
+        for (size_t v = 0; v + 1 < n_nodes; ++v) {
+            g.addEdge(static_cast<uint32_t>(v),
+                      static_cast<uint32_t>(v + 1));
+        }
+        g.finalize();
+        const auto query = randomBases(rng, 5 + rng.below(40));
+        GbvOptions banded;
+        banded.band = 1 << 20; // wide: prunes nothing
+        const auto exact = gbvAlign(g, query);
+        const auto wide = gbvAlign(g, query, banded);
+        ASSERT_EQ(wide.distance, exact.distance) << round;
+        EXPECT_EQ(wide.columnsPruned, 0u);
+    }
+}
+
+TEST(Gbv, NarrowBandPrunesAndStaysNearExact)
+{
+    // A long backbone with a read matching one region: banding must
+    // prune far-away columns yet keep the (near-)optimal distance.
+    Rng rng(77);
+    const auto backbone = randomBases(rng, 2000);
+    LocalGraph g;
+    uint32_t prev = UINT32_MAX;
+    for (size_t i = 0; i < backbone.size(); i += 50) {
+        const uint32_t node = g.addNode(std::vector<uint8_t>(
+            backbone.begin() + static_cast<ptrdiff_t>(i),
+            backbone.begin() +
+                static_cast<ptrdiff_t>(std::min(i + 50,
+                                                backbone.size()))));
+        if (prev != UINT32_MAX)
+            g.addEdge(prev, node);
+        prev = node;
+    }
+    g.finalize();
+    std::vector<uint8_t> query(backbone.begin() + 900,
+                               backbone.begin() + 1100);
+    query[50] = static_cast<uint8_t>((query[50] + 1) % 4);
+
+    const auto exact = gbvAlign(g, query);
+    GbvOptions banded;
+    banded.band = 32;
+    const auto narrow = gbvAlign(g, query, banded);
+    EXPECT_GT(narrow.columnsPruned, 0u);
+    EXPECT_LT(narrow.columnsComputed, exact.columnsComputed);
+    // Banding is a heuristic; on this well-seeded case it is exact.
+    EXPECT_EQ(narrow.distance, exact.distance);
+}
+
+TEST(Gbv, RejectsEmptyQuery)
+{
+    LocalGraph g;
+    g.addNode("ACGT");
+    g.finalize();
+    const std::vector<uint8_t> empty;
+    EXPECT_THROW(gbvAlign(g, empty), core::FatalError);
+}
+
+TEST(Gbv, CountingProbeSeesBranchyMerges)
+{
+    LocalGraph g;
+    const uint32_t a = g.addNode("AC");
+    const uint32_t b = g.addNode("G");
+    const uint32_t c = g.addNode("T");
+    const uint32_t d = g.addNode("CA");
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.addEdge(b, d);
+    g.addEdge(c, d);
+    g.finalize();
+    const auto query = seq::encodeString("ACGCA");
+    core::CountingProbe probe;
+    GbvOptions options;
+    gbvAlign(g, query, options, probe);
+    EXPECT_GT(probe.branches, 0u);
+    EXPECT_GT(probe.counts[static_cast<size_t>(core::OpKind::kScalar)],
+              0u);
+}
+
+} // namespace
+} // namespace pgb::align

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for the wavefront kernels: WFA (vs Gotoh reference) and GWFA
+ * (vs full graph DP), including cyclic graphs and the cells-computed
+ * advantage the paper reports for GWFA.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/gwfa.hpp"
+#include "align/wfa.hpp"
+#include "core/rng.hpp"
+#include "graph/local_graph.hpp"
+#include "seq/sequence.hpp"
+
+namespace pgb::align {
+namespace {
+
+using core::Rng;
+using graph::LocalGraph;
+
+std::vector<uint8_t>
+randomBases(Rng &rng, size_t length)
+{
+    std::vector<uint8_t> bases;
+    for (size_t i = 0; i < length; ++i)
+        bases.push_back(static_cast<uint8_t>(rng.below(4)));
+    return bases;
+}
+
+std::vector<uint8_t>
+mutate(Rng &rng, std::vector<uint8_t> bases, double rate)
+{
+    std::vector<uint8_t> out;
+    for (uint8_t base : bases) {
+        if (rng.chance(rate / 3))
+            continue;
+        if (rng.chance(rate / 3))
+            out.push_back(static_cast<uint8_t>(rng.below(4)));
+        if (rng.chance(rate)) {
+            out.push_back(
+                static_cast<uint8_t>((base + 1 + rng.below(3)) % 4));
+        } else {
+            out.push_back(base);
+        }
+    }
+    if (out.empty())
+        out.push_back(0);
+    return out;
+}
+
+// -------------------------------------------------------------- WFA
+
+TEST(Wfa, IdenticalSequencesScoreZero)
+{
+    const auto s = seq::encodeString("ACGTACGTACGT");
+    const auto result = wfaAlign(s, s, WfaPenalties{});
+    EXPECT_TRUE(result.reached);
+    EXPECT_EQ(result.score, 0);
+}
+
+TEST(Wfa, SingleMismatchCostsX)
+{
+    const auto a = seq::encodeString("ACGTACGT");
+    const auto b = seq::encodeString("ACGAACGT");
+    WfaPenalties penalties;
+    const auto result = wfaAlign(a, b, penalties);
+    EXPECT_EQ(result.score, penalties.mismatch);
+}
+
+TEST(Wfa, GapCostIsAffine)
+{
+    const auto a = seq::encodeString("ACGTACGTACGT");
+    const auto b = seq::encodeString("ACGTACGT"); // 4-base deletion
+    WfaPenalties penalties;
+    const auto result = wfaAlign(a, b, penalties);
+    EXPECT_EQ(result.score,
+              penalties.gapOpen + 4 * penalties.gapExtend);
+}
+
+TEST(Wfa, EmptyAgainstNonEmptyIsOneGap)
+{
+    const std::vector<uint8_t> empty;
+    const auto b = seq::encodeString("ACGT");
+    WfaPenalties penalties;
+    const auto result = wfaAlign(empty, b, penalties);
+    EXPECT_EQ(result.score,
+              penalties.gapOpen + 4 * penalties.gapExtend);
+    const auto flipped = wfaAlign(b, empty, penalties);
+    EXPECT_EQ(flipped.score, result.score);
+}
+
+TEST(Wfa, MaxScoreGivesUpCleanly)
+{
+    Rng rng(50);
+    const auto a = randomBases(rng, 100);
+    const auto b = randomBases(rng, 100);
+    const auto result = wfaAlign(a, b, WfaPenalties{}, 3);
+    EXPECT_FALSE(result.reached);
+    EXPECT_EQ(result.score, -1);
+}
+
+struct WfaCase
+{
+    size_t lenA;
+    size_t lenB;
+    double errorRate; ///< <0: unrelated random sequences
+};
+
+class WfaEquivalence : public ::testing::TestWithParam<WfaCase>
+{
+};
+
+TEST_P(WfaEquivalence, MatchesGotohReference)
+{
+    const WfaCase param = GetParam();
+    Rng rng(param.lenA * 7919 + param.lenB);
+    const WfaPenalties penalty_sets[] = {
+        {4, 6, 2}, {1, 1, 1}, {2, 4, 1}, {5, 3, 3},
+    };
+    for (const WfaPenalties &penalties : penalty_sets) {
+        for (int round = 0; round < 5; ++round) {
+            const auto a = randomBases(rng, param.lenA);
+            std::vector<uint8_t> b;
+            if (param.errorRate < 0)
+                b = randomBases(rng, param.lenB);
+            else
+                b = mutate(rng, a, param.errorRate);
+            const auto wfa = wfaAlign(a, b, penalties);
+            const int32_t reference =
+                globalAffineScalar(a, b, penalties);
+            ASSERT_TRUE(wfa.reached);
+            ASSERT_EQ(wfa.score, reference)
+                << "lenA=" << a.size() << " lenB=" << b.size()
+                << " x=" << penalties.mismatch;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WfaEquivalence,
+    ::testing::Values(WfaCase{1, 1, -1}, WfaCase{5, 9, -1},
+                      WfaCase{30, 30, 0.05}, WfaCase{64, 64, 0.1},
+                      WfaCase{100, 90, 0.05}, WfaCase{200, 200, 0.02},
+                      WfaCase{40, 10, -1}, WfaCase{128, 128, 0.3}));
+
+TEST(Wfa, ExtendStepsBoundedByMatches)
+{
+    const auto a = seq::encodeString("ACGTACGTACGT");
+    const auto result = wfaAlign(a, a, WfaPenalties{});
+    EXPECT_EQ(result.extendSteps, a.size());
+    EXPECT_EQ(result.cellsComputed, 0u); // no Next needed
+}
+
+// ------------------------------------------------------------- GWFA
+
+/** Single-node graph: GWFA = plain semi-global edit distance. */
+TEST(Gwfa, SingleNodeMatchesFullDp)
+{
+    Rng rng(60);
+    for (int round = 0; round < 15; ++round) {
+        LocalGraph g;
+        g.addNode(randomBases(rng, 30 + rng.below(50)));
+        g.finalize();
+        const auto query = randomBases(rng, 5 + rng.below(40));
+        const auto fast = gwfaAlign(g, query, 0);
+        const auto slow = gwfaFullDp(g, query, 0);
+        ASSERT_TRUE(fast.reached);
+        ASSERT_EQ(fast.distance, slow.distance) << "round " << round;
+    }
+}
+
+TEST(Gwfa, PerfectPathScoresZero)
+{
+    LocalGraph g;
+    const uint32_t a = g.addNode("ACGT");
+    const uint32_t b = g.addNode("TTT");
+    const uint32_t c = g.addNode("GGG");
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.finalize();
+    const auto query = seq::encodeString("ACGTGGG");
+    const auto result = gwfaAlign(g, query, a);
+    EXPECT_TRUE(result.reached);
+    EXPECT_EQ(result.distance, 0);
+}
+
+TEST(Gwfa, ChoosesCheaperBranch)
+{
+    LocalGraph g;
+    const uint32_t a = g.addNode("AC");
+    const uint32_t b = g.addNode("GGGG"); // matches query
+    const uint32_t c = g.addNode("TTTT"); // 4 mismatches
+    const uint32_t d = g.addNode("CA");
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.addEdge(b, d);
+    g.addEdge(c, d);
+    g.finalize();
+    const auto query = seq::encodeString("ACGGGGCA");
+    const auto result = gwfaAlign(g, query, a);
+    EXPECT_EQ(result.distance, 0);
+}
+
+TEST(Gwfa, MatchesFullDpOnRandomDags)
+{
+    Rng rng(61);
+    for (int round = 0; round < 20; ++round) {
+        LocalGraph g;
+        const size_t n_nodes = 2 + rng.below(8);
+        for (size_t v = 0; v < n_nodes; ++v)
+            g.addNode(randomBases(rng, 1 + rng.below(12)));
+        for (size_t v = 0; v + 1 < n_nodes; ++v) {
+            g.addEdge(static_cast<uint32_t>(v),
+                      static_cast<uint32_t>(v + 1));
+            if (v + 2 < n_nodes && rng.chance(0.4)) {
+                g.addEdge(static_cast<uint32_t>(v),
+                          static_cast<uint32_t>(v + 2));
+            }
+        }
+        g.finalize();
+        const auto query = randomBases(rng, 3 + rng.below(25));
+        const auto fast = gwfaAlign(g, query, 0);
+        const auto slow = gwfaFullDp(g, query, 0);
+        ASSERT_EQ(fast.distance, slow.distance) << "round " << round;
+    }
+}
+
+TEST(Gwfa, HandlesCyclesAndTerminates)
+{
+    // Cycle A -> B -> A; query spells two loops.
+    LocalGraph g;
+    const uint32_t a = g.addNode("ACG");
+    const uint32_t b = g.addNode("TT");
+    g.addEdge(a, b);
+    g.addEdge(b, a);
+    g.finalize();
+    const auto query = seq::encodeString("ACGTTACGTT");
+    const auto fast = gwfaAlign(g, query, a);
+    EXPECT_TRUE(fast.reached);
+    EXPECT_EQ(fast.distance, 0);
+    const auto slow = gwfaFullDp(g, query, a);
+    EXPECT_EQ(slow.distance, 0);
+}
+
+TEST(Gwfa, CyclicRandomGraphsMatchFullDp)
+{
+    Rng rng(62);
+    for (int round = 0; round < 10; ++round) {
+        LocalGraph g;
+        const size_t n_nodes = 3 + rng.below(5);
+        for (size_t v = 0; v < n_nodes; ++v)
+            g.addNode(randomBases(rng, 1 + rng.below(6)));
+        for (size_t v = 0; v + 1 < n_nodes; ++v) {
+            g.addEdge(static_cast<uint32_t>(v),
+                      static_cast<uint32_t>(v + 1));
+        }
+        // One back edge makes it cyclic.
+        g.addEdge(static_cast<uint32_t>(n_nodes - 1), 0);
+        g.finalize();
+        const auto query = randomBases(rng, 3 + rng.below(20));
+        const auto fast = gwfaAlign(g, query, 0);
+        const auto slow = gwfaFullDp(g, query, 0);
+        ASSERT_EQ(fast.distance, slow.distance) << "round " << round;
+    }
+}
+
+TEST(Gwfa, EmptyQueryIsZero)
+{
+    LocalGraph g;
+    g.addNode("ACGT");
+    g.finalize();
+    const std::vector<uint8_t> empty;
+    const auto result = gwfaAlign(g, empty, 0);
+    EXPECT_EQ(result.distance, 0);
+}
+
+/**
+ * The paper: GWFA is fast because it computes far fewer cells than
+ * full DP. Verify the work accounting shows exactly that on a
+ * low-divergence alignment.
+ */
+TEST(Gwfa, ComputesFarFewerCellsThanFullDp)
+{
+    Rng rng(63);
+    const auto backbone = randomBases(rng, 400);
+    LocalGraph g;
+    uint32_t prev = UINT32_MAX;
+    for (size_t i = 0; i < backbone.size(); i += 40) {
+        const uint32_t node = g.addNode(std::vector<uint8_t>(
+            backbone.begin() + i,
+            backbone.begin() + std::min(i + 40, backbone.size())));
+        if (prev != UINT32_MAX)
+            g.addEdge(prev, node);
+        prev = node;
+    }
+    g.finalize();
+    const auto query = mutate(rng, backbone, 0.01);
+    const auto fast = gwfaAlign(g, query, 0);
+    const auto slow = gwfaFullDp(g, query, 0);
+    ASSERT_EQ(fast.distance, slow.distance);
+    EXPECT_LT(fast.cellsComputed * 10, slow.cellsComputed);
+}
+
+} // namespace
+} // namespace pgb::align

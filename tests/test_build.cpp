@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the transclosure kernel: catalog bookkeeping, closure
+ * correctness (paths must spell their inputs exactly), compaction,
+ * and the seqwish-style work accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "build/transclosure.hpp"
+#include "core/rng.hpp"
+#include "seq/sequence.hpp"
+#include "synth/pangenome_sim.hpp"
+
+namespace pgb::build {
+namespace {
+
+using core::Rng;
+using seq::Sequence;
+
+// --------------------------------------------------- SequenceCatalog
+
+TEST(SequenceCatalog, OffsetsAndLookup)
+{
+    std::vector<Sequence> seqs;
+    seqs.emplace_back("a", "ACGT");
+    seqs.emplace_back("b", "GG");
+    seqs.emplace_back("c", "TTTTT");
+    SequenceCatalog catalog(seqs);
+    EXPECT_EQ(catalog.sequenceCount(), 3u);
+    EXPECT_EQ(catalog.totalBases(), 11u);
+    EXPECT_EQ(catalog.start(1), 4u);
+    EXPECT_EQ(catalog.end(1), 6u);
+    EXPECT_EQ(catalog.globalOffset(2, 3), 9u);
+    EXPECT_EQ(catalog.sequenceOf(0), 0u);
+    EXPECT_EQ(catalog.sequenceOf(3), 0u);
+    EXPECT_EQ(catalog.sequenceOf(4), 1u);
+    EXPECT_EQ(catalog.sequenceOf(10), 2u);
+    EXPECT_EQ(catalog.baseAt(4), seq::encodeBase('G'));
+    EXPECT_EQ(catalog.name(2), "c");
+}
+
+// ------------------------------------------------------ Transclosure
+
+TEST(Transclosure, NoMatchesKeepsSequencesSeparate)
+{
+    std::vector<Sequence> seqs;
+    seqs.emplace_back("a", "ACGT");
+    seqs.emplace_back("b", "ACGT");
+    SequenceCatalog catalog(seqs);
+    const auto result = transclose(catalog, {});
+    // Two unmerged linear chains, compacted to one node each.
+    EXPECT_EQ(result.graph.nodeCount(), 2u);
+    EXPECT_EQ(result.closureClasses, 8u);
+    EXPECT_EQ(result.graph.pathSequence(0).toString(), "ACGT");
+    EXPECT_EQ(result.graph.pathSequence(1).toString(), "ACGT");
+}
+
+TEST(Transclosure, FullMatchMergesIdenticalSequences)
+{
+    std::vector<Sequence> seqs;
+    seqs.emplace_back("a", "ACGTACGT");
+    seqs.emplace_back("b", "ACGTACGT");
+    SequenceCatalog catalog(seqs);
+    std::vector<MatchSegment> matches = {{0, 8, 8}};
+    const auto result = transclose(catalog, matches);
+    EXPECT_EQ(result.closureClasses, 8u);
+    EXPECT_EQ(result.graph.nodeCount(), 1u);
+    EXPECT_EQ(result.graph.pathCount(), 2u);
+    EXPECT_EQ(result.graph.pathSequence(0).toString(), "ACGTACGT");
+    EXPECT_EQ(result.graph.pathSequence(1).toString(), "ACGTACGT");
+}
+
+TEST(Transclosure, SnpCreatesBubble)
+{
+    // Sequences differ at one base; matches cover the flanks.
+    std::vector<Sequence> seqs;
+    seqs.emplace_back("a", "ACGTAACGT");
+    seqs.emplace_back("b", "ACGTCACGT");
+    SequenceCatalog catalog(seqs);
+    std::vector<MatchSegment> matches = {
+        {0, 9, 4},   // left flank
+        {5, 14, 4},  // right flank
+    };
+    const auto result = transclose(catalog, matches);
+    // Left flank node, right flank node, two 1 bp alleles.
+    EXPECT_EQ(result.graph.nodeCount(), 4u);
+    EXPECT_EQ(result.graph.pathSequence(0).toString(), "ACGTAACGT");
+    EXPECT_EQ(result.graph.pathSequence(1).toString(), "ACGTCACGT");
+    EXPECT_EQ(result.closureClasses, 10u);
+}
+
+TEST(Transclosure, TransitivePropertyClosesChains)
+{
+    // a~b and b~c but no direct a~c match: the closure must still
+    // unite all three (paper Figure 4f's TC0 growing through M1).
+    std::vector<Sequence> seqs;
+    seqs.emplace_back("a", "ACGT");
+    seqs.emplace_back("b", "ACGT");
+    seqs.emplace_back("c", "ACGT");
+    SequenceCatalog catalog(seqs);
+    std::vector<MatchSegment> matches = {
+        {0, 4, 4},
+        {4, 8, 4},
+    };
+    const auto result = transclose(catalog, matches);
+    EXPECT_EQ(result.closureClasses, 4u);
+    EXPECT_EQ(result.graph.nodeCount(), 1u);
+    for (graph::PathId p = 0; p < 3; ++p)
+        EXPECT_EQ(result.graph.pathSequence(p).toString(), "ACGT");
+}
+
+TEST(Transclosure, PartialOverlapsOnlyMergeOverlappedBases)
+{
+    std::vector<Sequence> seqs;
+    seqs.emplace_back("a", "AAAACCCC");
+    seqs.emplace_back("b", "CCCCGGGG");
+    SequenceCatalog catalog(seqs);
+    // a's CCCC == b's CCCC.
+    std::vector<MatchSegment> matches = {{4, 8, 4}};
+    const auto result = transclose(catalog, matches);
+    EXPECT_EQ(result.closureClasses, 12u);
+    EXPECT_EQ(result.graph.pathSequence(0).toString(), "AAAACCCC");
+    EXPECT_EQ(result.graph.pathSequence(1).toString(), "CCCCGGGG");
+    // AAAA -> CCCC -> GGGG after compaction.
+    EXPECT_EQ(result.graph.nodeCount(), 3u);
+}
+
+TEST(Transclosure, WorkCountersPopulated)
+{
+    std::vector<Sequence> seqs;
+    seqs.emplace_back("a", "ACGTACGTACGT");
+    seqs.emplace_back("b", "ACGTACGTACGT");
+    SequenceCatalog catalog(seqs);
+    std::vector<MatchSegment> matches = {{0, 12, 12}};
+    core::CountingProbe probe;
+    const auto result = transclose(catalog, matches, {}, probe);
+    EXPECT_GT(result.treeQueries, 0u);
+    EXPECT_GT(result.unions, 0u);
+    EXPECT_GT(result.sweeps, 0u);
+    EXPECT_GT(probe.totalOps(), 0u);
+}
+
+TEST(Transclosure, ChunkSizeDoesNotChangeTheGraph)
+{
+    // Property: the induced graph is invariant to the sweep chunking.
+    const auto pangenome =
+        synth::simulatePangenome(synth::mGraphLikeConfig(5000, 21));
+    std::vector<Sequence> seqs;
+    seqs.push_back(pangenome.reference);
+    for (size_t h = 0; h < 3; ++h)
+        seqs.push_back(pangenome.haplotypes[h]);
+    SequenceCatalog catalog(seqs);
+
+    // Ground-truth exact matches between the reference and the three
+    // retained haplotypes.
+    std::vector<MatchSegment> matches;
+    for (const auto &m : synth::groundTruthMatches(pangenome)) {
+        if (m.haplotype >= 3)
+            continue;
+        matches.push_back({catalog.globalOffset(0, m.refStart),
+                           catalog.globalOffset(m.haplotype + 1,
+                                                m.hapStart),
+                           m.length});
+    }
+    ASSERT_FALSE(matches.empty());
+
+    TcOptions small;
+    small.chunkSize = 7;
+    TcOptions large;
+    large.chunkSize = 4096;
+    const auto g1 = transclose(catalog, matches, small);
+    const auto g2 = transclose(catalog, matches, large);
+    EXPECT_EQ(g1.closureClasses, g2.closureClasses);
+    EXPECT_EQ(g1.graph.nodeCount(), g2.graph.nodeCount());
+    for (graph::PathId p = 0; p < g1.graph.pathCount(); ++p) {
+        EXPECT_EQ(g1.graph.pathSequence(p).toString(),
+                  g2.graph.pathSequence(p).toString());
+    }
+    // And every path spells its input.
+    for (size_t s = 0; s < seqs.size(); ++s) {
+        EXPECT_EQ(g1.graph.pathSequence(static_cast<graph::PathId>(s))
+                      .toString(),
+                  seqs[s].toString());
+    }
+}
+
+TEST(Transclosure, FileBackedMatchesGiveIdenticalGraphs)
+{
+    // seqwish's mmap mode must be behaviorally invisible.
+    const auto pangenome =
+        synth::simulatePangenome(synth::mGraphLikeConfig(6000, 24));
+    std::vector<Sequence> seqs;
+    seqs.push_back(pangenome.reference);
+    for (size_t h = 0; h < 4; ++h)
+        seqs.push_back(pangenome.haplotypes[h]);
+    SequenceCatalog catalog(seqs);
+    std::vector<MatchSegment> matches;
+    for (const auto &m : synth::groundTruthMatches(pangenome)) {
+        if (m.haplotype >= 4)
+            continue;
+        matches.push_back({catalog.globalOffset(0, m.refStart),
+                           catalog.globalOffset(m.haplotype + 1,
+                                                m.hapStart),
+                           m.length});
+    }
+    TcOptions memory_mode;
+    TcOptions file_mode;
+    file_mode.fileBackedMatches = true;
+    const auto a = transclose(catalog, matches, memory_mode);
+    const auto b = transclose(catalog, matches, file_mode);
+    EXPECT_EQ(a.closureClasses, b.closureClasses);
+    EXPECT_EQ(a.graph.nodeCount(), b.graph.nodeCount());
+    EXPECT_EQ(a.graph.edgeCount(), b.graph.edgeCount());
+    for (graph::PathId p = 0; p < a.graph.pathCount(); ++p) {
+        EXPECT_EQ(a.graph.pathSequence(p).toString(),
+                  b.graph.pathSequence(p).toString());
+    }
+}
+
+TEST(Transclosure, GraphIsSmallerThanInputs)
+{
+    // With real shared variation, the graph's total bases must be far
+    // below the concatenated input size.
+    const auto pangenome =
+        synth::simulatePangenome(synth::mGraphLikeConfig(10000, 23));
+    std::vector<Sequence> seqs;
+    seqs.push_back(pangenome.reference);
+    for (const auto &hap : pangenome.haplotypes)
+        seqs.push_back(hap);
+    SequenceCatalog catalog(seqs);
+    std::vector<MatchSegment> matches;
+    for (const auto &m : synth::groundTruthMatches(pangenome)) {
+        matches.push_back({catalog.globalOffset(0, m.refStart),
+                           catalog.globalOffset(m.haplotype + 1,
+                                                m.hapStart),
+                           m.length});
+    }
+    const auto result = transclose(catalog, matches);
+    EXPECT_LT(result.graph.stats().totalBases,
+              catalog.totalBases() / 3);
+    // The induced graph spells every input sequence exactly.
+    for (size_t s = 0; s < seqs.size(); ++s) {
+        ASSERT_EQ(result.graph
+                      .pathSequence(static_cast<graph::PathId>(s))
+                      .toString(),
+                  seqs[s].toString());
+    }
+}
+
+} // namespace
+} // namespace pgb::build

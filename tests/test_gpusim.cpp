@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the SIMT simulator: the occupancy calculator (which must
+ * reproduce the paper's §5.3 numbers exactly), coalescing, divergence
+ * accounting, and the launch timing model's monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/logging.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/launch.hpp"
+
+namespace pgb::gpusim {
+namespace {
+
+// --------------------------------------------------------- Occupancy
+
+TEST(Occupancy, Tsu32ThreadBlocksAreBlockLimited)
+{
+    // Paper Table 7 / §5.3: TSU's 32-thread blocks cap at 16 blocks
+    // per SM = 512 threads of 1536 -> 33.3% theoretical.
+    const auto device = DeviceSpec::rtxA6000();
+    const auto occ = computeOccupancy(device, 32, 40);
+    EXPECT_EQ(occ.blocksPerSm, 16u);
+    EXPECT_EQ(occ.warpsPerSm, 16u);
+    EXPECT_NEAR(occ.theoretical, 1.0 / 3.0, 1e-9);
+    EXPECT_STREQ(occ.limiter, "blocks");
+}
+
+TEST(Occupancy, Pgsgd1024x44RegsIs66Percent)
+{
+    // Paper §5.3: 1024 threads x 44 registers -> one block per SM,
+    // theoretical occupancy 66.7%.
+    const auto device = DeviceSpec::rtxA6000();
+    const auto occ = computeOccupancy(device, 1024, 44);
+    EXPECT_EQ(occ.blocksPerSm, 1u);
+    EXPECT_EQ(occ.warpsPerSm, 32u);
+    EXPECT_NEAR(occ.theoretical, 2.0 / 3.0, 1e-9);
+}
+
+TEST(Occupancy, Pgsgd256x44RegsIs83Percent)
+{
+    // Paper §5.3: shrinking blocks to 256 threads fits five blocks
+    // per SM -> 83.3%.
+    const auto device = DeviceSpec::rtxA6000();
+    const auto occ = computeOccupancy(device, 256, 44);
+    EXPECT_EQ(occ.blocksPerSm, 5u);
+    EXPECT_EQ(occ.warpsPerSm, 40u);
+    EXPECT_NEAR(occ.theoretical, 5.0 / 6.0, 1e-9);
+    EXPECT_STREQ(occ.limiter, "registers");
+}
+
+TEST(Occupancy, RejectsEmptyBlock)
+{
+    const auto device = DeviceSpec::rtxA6000();
+    EXPECT_THROW(computeOccupancy(device, 0, 32), core::FatalError);
+}
+
+// -------------------------------------------------------- Coalescing
+
+TEST(WarpContext, ConsecutiveAddressesCoalesceToOneTransaction)
+{
+    const auto device = DeviceSpec::rtxA6000();
+    WarpContext warp(device, nullptr);
+    uint64_t addrs[32];
+    for (int lane = 0; lane < 32; ++lane)
+        addrs[lane] = 0x10000 + lane * 4; // 128 contiguous bytes
+    warp.memAccess({addrs, 32}, 4);
+    EXPECT_EQ(warp.transactions(), 1u);
+    EXPECT_EQ(warp.issued(), 1u);
+    EXPECT_EQ(warp.activeLaneSlots(), 32u);
+}
+
+TEST(WarpContext, StridedAddressesAreUncoalesced)
+{
+    const auto device = DeviceSpec::rtxA6000();
+    WarpContext warp(device, nullptr);
+    uint64_t addrs[32];
+    for (int lane = 0; lane < 32; ++lane)
+        addrs[lane] = 0x10000 + lane * 4096; // one segment per lane
+    warp.memAccess({addrs, 32}, 8);
+    EXPECT_EQ(warp.transactions(), 32u);
+}
+
+TEST(WarpContext, StraddlingAccessTouchesTwoSegments)
+{
+    const auto device = DeviceSpec::rtxA6000();
+    WarpContext warp(device, nullptr);
+    uint64_t addr = 127; // 8-byte access crosses the 128 B boundary
+    warp.memAccess({&addr, 1}, 8);
+    EXPECT_EQ(warp.transactions(), 2u);
+}
+
+TEST(WarpContext, DivergenceLowersLaneSlots)
+{
+    const auto device = DeviceSpec::rtxA6000();
+    WarpContext warp(device, nullptr);
+    warp.issue(0x1);        // one lane
+    warp.issue(0xFFFFFFFF); // full warp
+    EXPECT_EQ(warp.issued(), 2u);
+    EXPECT_EQ(warp.activeLaneSlots(), 33u);
+}
+
+// ------------------------------------------------------------ Launch
+
+TEST(LaunchKernel, WarpUtilizationReflectsActiveMasks)
+{
+    const auto device = DeviceSpec::rtxA6000();
+    LaunchConfig config;
+    config.totalWarps = 10;
+    config.modelCaches = false;
+    const auto stats = launchKernel(
+        device, config, [](uint64_t, WarpContext &warp) {
+            for (int i = 0; i < 100; ++i)
+                warp.issue(0xFFFF); // half the lanes active
+        });
+    EXPECT_NEAR(stats.warpUtilization, 0.5, 1e-9);
+    EXPECT_EQ(stats.instructions, 1000u);
+}
+
+TEST(LaunchKernel, MoreWorkTakesMoreSimTime)
+{
+    const auto device = DeviceSpec::rtxA6000();
+    LaunchConfig config;
+    config.totalWarps = 4;
+    config.modelCaches = false;
+    auto run = [&](int ops) {
+        return launchKernel(device, config,
+                            [ops](uint64_t, WarpContext &warp) {
+                                warp.issueUniform(
+                                    static_cast<uint64_t>(ops));
+                            })
+            .simSeconds;
+    };
+    EXPECT_GT(run(100000), run(100));
+}
+
+TEST(LaunchKernel, UncoalescedTrafficRaisesBandwidthPressure)
+{
+    const auto device = DeviceSpec::rtxA6000();
+    LaunchConfig config;
+    config.totalWarps = 8;
+    config.modelCaches = false;
+
+    auto traffic = [&](uint64_t stride) {
+        return launchKernel(
+            device, config,
+            [stride](uint64_t warp_id, WarpContext &warp) {
+                uint64_t addrs[32];
+                for (int rep = 0; rep < 50; ++rep) {
+                    for (int lane = 0; lane < 32; ++lane) {
+                        addrs[lane] = warp_id * (1 << 20) +
+                            static_cast<uint64_t>(rep) * 131072 +
+                            static_cast<uint64_t>(lane) * stride;
+                    }
+                    warp.memAccess({addrs, 32}, 8);
+                }
+            });
+    };
+    const auto coalesced = traffic(8);
+    const auto scattered = traffic(2048);
+    EXPECT_GT(scattered.transactions, coalesced.transactions * 8);
+    EXPECT_GE(scattered.simSeconds, coalesced.simSeconds);
+}
+
+TEST(LaunchKernel, AchievedOccupancyBoundedByTheoretical)
+{
+    const auto device = DeviceSpec::rtxA6000();
+    LaunchConfig config;
+    config.blockThreads = 1024;
+    config.regsPerThread = 44;
+    config.totalWarps = 32 * 84 * 2; // two full waves
+    config.modelCaches = false;
+    const auto stats = launchKernel(
+        device, config, [](uint64_t, WarpContext &warp) {
+            warp.issueUniform(50);
+        });
+    EXPECT_LE(stats.achievedOccupancy,
+              stats.occupancy.theoretical + 1e-9);
+    EXPECT_GT(stats.achievedOccupancy, 0.0);
+}
+
+TEST(LaunchKernel, CacheModelReportsHitRates)
+{
+    const auto device = DeviceSpec::rtxA6000();
+    LaunchConfig config;
+    config.totalWarps = 4;
+    config.modelCaches = true;
+    const auto stats = launchKernel(
+        device, config, [](uint64_t, WarpContext &warp) {
+            // Repeatedly touch the same 128 B line: near-perfect L1.
+            for (int i = 0; i < 100; ++i) {
+                uint64_t addr = 0x1000;
+                warp.memAccess({&addr, 1}, 4);
+            }
+        });
+    EXPECT_GT(stats.l1HitRate, 0.95);
+}
+
+TEST(LaunchKernel, RejectsZeroWarps)
+{
+    const auto device = DeviceSpec::rtxA6000();
+    LaunchConfig config;
+    config.totalWarps = 0;
+    EXPECT_THROW(
+        launchKernel(device, config, [](uint64_t, WarpContext &) {}),
+        core::FatalError);
+}
+
+} // namespace
+} // namespace pgb::gpusim

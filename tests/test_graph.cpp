@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Tests for src/graph: PanGraph topology/paths, GFA IO, subgraph
+ * extraction, node splitting, and LocalGraph.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/logging.hpp"
+#include "graph/gfa.hpp"
+#include "graph/local_graph.hpp"
+#include "graph/pangraph.hpp"
+
+namespace pgb::graph {
+namespace {
+
+using seq::Sequence;
+
+/** Diamond: 0 -> {1, 2} -> 3 with a path through 1. */
+PanGraph
+diamond()
+{
+    PanGraph g;
+    const NodeId a = g.addNode(Sequence("", "ACGT"));
+    const NodeId b = g.addNode(Sequence("", "T"));
+    const NodeId c = g.addNode(Sequence("", "G"));
+    const NodeId d = g.addNode(Sequence("", "CCAA"));
+    g.addEdge(Handle(a, false), Handle(b, false));
+    g.addEdge(Handle(a, false), Handle(c, false));
+    g.addEdge(Handle(b, false), Handle(d, false));
+    g.addEdge(Handle(c, false), Handle(d, false));
+    g.addPath("alt1", {Handle(a, false), Handle(b, false),
+                       Handle(d, false)});
+    g.addPath("alt2", {Handle(a, false), Handle(c, false),
+                       Handle(d, false)});
+    return g;
+}
+
+// ------------------------------------------------------------ Handle
+
+TEST(Handle, PackingAndFlip)
+{
+    Handle h(10, true);
+    EXPECT_EQ(h.node(), 10u);
+    EXPECT_TRUE(h.isReverse());
+    EXPECT_EQ(h.flipped().node(), 10u);
+    EXPECT_FALSE(h.flipped().isReverse());
+    EXPECT_EQ(h.flipped().flipped(), h);
+}
+
+// ---------------------------------------------------------- PanGraph
+
+TEST(PanGraph, NodesAndSequences)
+{
+    PanGraph g;
+    const NodeId a = g.addNode(Sequence("", "ACG"));
+    EXPECT_EQ(g.nodeCount(), 1u);
+    EXPECT_EQ(g.nodeLength(a), 3u);
+    EXPECT_EQ(g.sequenceOf(Handle(a, false)).toString(), "ACG");
+    EXPECT_EQ(g.sequenceOf(Handle(a, true)).toString(), "CGT");
+    EXPECT_EQ(g.baseAt(Handle(a, true), 0), seq::encodeBase('C'));
+}
+
+TEST(PanGraph, RejectsEmptyNode)
+{
+    PanGraph g;
+    EXPECT_THROW(g.addNode(Sequence("", "")), core::FatalError);
+}
+
+TEST(PanGraph, EdgesAreBidirectedWithMirror)
+{
+    PanGraph g;
+    const NodeId a = g.addNode(Sequence("", "A"));
+    const NodeId b = g.addNode(Sequence("", "C"));
+    g.addEdge(Handle(a, false), Handle(b, false));
+    EXPECT_TRUE(g.hasEdge(Handle(a, false), Handle(b, false)));
+    // The mirror edge b- -> a- exists automatically.
+    EXPECT_TRUE(g.hasEdge(Handle(b, true), Handle(a, true)));
+    EXPECT_EQ(g.edgeCount(), 1u);
+    // Duplicate insertion is a no-op.
+    g.addEdge(Handle(a, false), Handle(b, false));
+    EXPECT_EQ(g.edgeCount(), 1u);
+}
+
+TEST(PanGraph, PredecessorsAreFlippedSuccessors)
+{
+    const PanGraph g = diamond();
+    const auto preds = g.predecessors(Handle(3, false));
+    EXPECT_EQ(preds.size(), 2u);
+    for (Handle p : preds)
+        EXPECT_FALSE(p.isReverse());
+}
+
+TEST(PanGraph, PathValidationRejectsDisconnectedSteps)
+{
+    PanGraph g;
+    const NodeId a = g.addNode(Sequence("", "A"));
+    const NodeId b = g.addNode(Sequence("", "C"));
+    EXPECT_THROW(
+        g.addPath("bad", {Handle(a, false), Handle(b, false)}),
+        core::FatalError);
+}
+
+TEST(PanGraph, PathSequenceSpellsTheWalk)
+{
+    const PanGraph g = diamond();
+    EXPECT_EQ(g.pathSequence(0).toString(), "ACGTTCCAA");
+    EXPECT_EQ(g.pathSequence(1).toString(), "ACGTGCCAA");
+    EXPECT_EQ(g.pathLength(0), 9u);
+}
+
+TEST(PanGraph, DuplicatePathNameRejected)
+{
+    PanGraph g;
+    const NodeId a = g.addNode(Sequence("", "A"));
+    g.addPath("p", {Handle(a, false)});
+    EXPECT_THROW(g.addPath("p", {Handle(a, false)}),
+                 core::FatalError);
+}
+
+TEST(PanGraph, StatsAreConsistent)
+{
+    const PanGraph g = diamond();
+    const GraphStats stats = g.stats();
+    EXPECT_EQ(stats.nodeCount, 4u);
+    EXPECT_EQ(stats.edgeCount, 4u);
+    EXPECT_EQ(stats.pathCount, 2u);
+    EXPECT_EQ(stats.totalBases, 10u);
+    EXPECT_DOUBLE_EQ(stats.avgNodeLength, 2.5);
+    EXPECT_EQ(stats.maxNodeLength, 4u);
+}
+
+TEST(PanGraph, ShortestPathBases)
+{
+    const PanGraph g = diamond();
+    // From node 0 to node 3: through 1 or 2, one base either way.
+    EXPECT_EQ(g.shortestPathBases(Handle(0, false), Handle(3, false),
+                                  100),
+              1u);
+    // Direct successor distance is zero intermediate bases.
+    EXPECT_EQ(g.shortestPathBases(Handle(0, false), Handle(1, false),
+                                  100),
+              0u);
+    // Unreachable within limit.
+    EXPECT_EQ(g.shortestPathBases(Handle(3, false), Handle(0, false),
+                                  100),
+              SIZE_MAX);
+}
+
+// --------------------------------------------------------- Subgraphs
+
+TEST(PanGraph, ExtractSubgraphContainsNeighborhood)
+{
+    const PanGraph g = diamond();
+    uint32_t origin = 0;
+    const LocalGraph sub =
+        g.extractSubgraph(Handle(0, false), 100, &origin);
+    EXPECT_EQ(sub.nodeCount(), 4u);
+    EXPECT_TRUE(sub.isDag());
+    EXPECT_EQ(sub.nodeSeq(origin),
+              g.nodeSequence(0).codes());
+}
+
+TEST(PanGraph, ExtractSubgraphHonorsRadius)
+{
+    // Chain of 10-base nodes; radius 25 reaches ~3 hops.
+    PanGraph g;
+    std::vector<NodeId> chain;
+    for (int i = 0; i < 10; ++i)
+        chain.push_back(g.addNode(Sequence("", std::string(10, 'A'))));
+    for (int i = 0; i + 1 < 10; ++i)
+        g.addEdge(Handle(chain[i], false), Handle(chain[i + 1], false));
+    const LocalGraph sub = g.extractSubgraph(Handle(5, false), 25);
+    // Nodes within 25 bases in either direction: 5 +- 2 hops, plus the
+    // boundary nodes just reachable.
+    EXPECT_GE(sub.nodeCount(), 5u);
+    EXPECT_LE(sub.nodeCount(), 7u);
+}
+
+TEST(PanGraph, ExtractSubgraphIsAlwaysDag)
+{
+    // Cycle: 0 -> 1 -> 0.
+    PanGraph g;
+    const NodeId a = g.addNode(Sequence("", "AA"));
+    const NodeId b = g.addNode(Sequence("", "CC"));
+    g.addEdge(Handle(a, false), Handle(b, false));
+    g.addEdge(Handle(b, false), Handle(a, false));
+    const LocalGraph sub = g.extractSubgraph(Handle(a, false), 100);
+    EXPECT_TRUE(sub.isDag());
+}
+
+// -------------------------------------------------------- splitNodes
+
+TEST(PanGraph, SplitNodesPreservesPathSpelling)
+{
+    const PanGraph g = diamond();
+    const PanGraph split = g.splitNodes(2);
+    ASSERT_EQ(split.pathCount(), g.pathCount());
+    for (PathId p = 0; p < g.pathCount(); ++p) {
+        EXPECT_EQ(split.pathSequence(p).toString(),
+                  g.pathSequence(p).toString());
+    }
+    // Node lengths now bounded by 2.
+    EXPECT_EQ(split.stats().maxNodeLength, 2u);
+    EXPECT_GT(split.nodeCount(), g.nodeCount());
+}
+
+TEST(PanGraph, SplitNodesHandlesReversePathSteps)
+{
+    PanGraph g;
+    const NodeId a = g.addNode(Sequence("", "ACGTAC"));
+    const NodeId b = g.addNode(Sequence("", "TTT"));
+    g.addEdge(Handle(a, false), Handle(b, false));
+    g.addEdge(Handle(b, false), Handle(a, true));
+    g.addPath("loopy", {Handle(a, false), Handle(b, false),
+                        Handle(a, true)});
+    const std::string spelled = g.pathSequence(0).toString();
+    const PanGraph split = g.splitNodes(4);
+    EXPECT_EQ(split.pathSequence(0).toString(), spelled);
+}
+
+// -------------------------------------------------------------- GFA
+
+TEST(Gfa, RoundTripPreservesStructureAndPaths)
+{
+    const PanGraph g = diamond();
+    std::ostringstream out;
+    writeGfa(out, g);
+    std::istringstream in(out.str());
+    const PanGraph parsed = readGfa(in);
+    EXPECT_EQ(parsed.nodeCount(), g.nodeCount());
+    EXPECT_EQ(parsed.edgeCount(), g.edgeCount());
+    ASSERT_EQ(parsed.pathCount(), g.pathCount());
+    for (PathId p = 0; p < g.pathCount(); ++p) {
+        EXPECT_EQ(parsed.pathSequence(p).toString(),
+                  g.pathSequence(p).toString());
+    }
+}
+
+TEST(Gfa, ParsesReverseOrientations)
+{
+    std::istringstream in(
+        "H\tVN:Z:1.0\n"
+        "S\tx\tACGT\n"
+        "S\ty\tTT\n"
+        "L\tx\t+\ty\t-\t0M\n"
+        "P\tw\tx+,y-\t*\n");
+    const PanGraph g = readGfa(in);
+    EXPECT_EQ(g.nodeCount(), 2u);
+    EXPECT_EQ(g.pathSequence(0).toString(), "ACGTAA");
+}
+
+TEST(Gfa, RejectsUnknownSegment)
+{
+    std::istringstream in("S\tx\tACGT\nL\tx\t+\tz\t+\t0M\n");
+    EXPECT_THROW(readGfa(in), core::FatalError);
+}
+
+TEST(Gfa, RejectsDuplicateSegment)
+{
+    std::istringstream in("S\tx\tACGT\nS\tx\tAC\n");
+    EXPECT_THROW(readGfa(in), core::FatalError);
+}
+
+// -------------------------------------------------------- LocalGraph
+
+TEST(LocalGraph, CsrAdjacency)
+{
+    LocalGraph g;
+    const uint32_t a = g.addNode("AC");
+    const uint32_t b = g.addNode("GT");
+    const uint32_t c = g.addNode("A");
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.addEdge(b, c);
+    g.finalize();
+    EXPECT_EQ(g.nodeCount(), 3u);
+    EXPECT_EQ(g.edgeCount(), 3u);
+    EXPECT_EQ(g.successors(a).size(), 2u);
+    EXPECT_EQ(g.predecessors(c).size(), 2u);
+    EXPECT_TRUE(g.isDag());
+    EXPECT_EQ(g.topoOrder().size(), 3u);
+    EXPECT_EQ(g.totalBases(), 5u);
+}
+
+TEST(LocalGraph, DetectsCycles)
+{
+    LocalGraph g;
+    const uint32_t a = g.addNode("A");
+    const uint32_t b = g.addNode("C");
+    g.addEdge(a, b);
+    g.addEdge(b, a);
+    g.finalize();
+    EXPECT_FALSE(g.isDag());
+    EXPECT_TRUE(g.topoOrder().empty());
+}
+
+TEST(LocalGraph, TopoOrderRespectsEdges)
+{
+    LocalGraph g;
+    for (int i = 0; i < 6; ++i)
+        g.addNode("A");
+    g.addEdge(3, 1);
+    g.addEdge(1, 0);
+    g.addEdge(4, 2);
+    g.addEdge(0, 5);
+    g.finalize();
+    ASSERT_TRUE(g.isDag());
+    std::vector<uint32_t> position(6);
+    const auto &order = g.topoOrder();
+    for (uint32_t i = 0; i < order.size(); ++i)
+        position[order[i]] = i;
+    EXPECT_LT(position[3], position[1]);
+    EXPECT_LT(position[1], position[0]);
+    EXPECT_LT(position[4], position[2]);
+    EXPECT_LT(position[0], position[5]);
+}
+
+TEST(LocalGraph, SplitTo1bpPreservesSpelledWalks)
+{
+    LocalGraph g;
+    const uint32_t a = g.addNode("ACG");
+    const uint32_t b = g.addNode("TT");
+    g.addEdge(a, b);
+    g.finalize();
+    std::vector<uint32_t> first;
+    const LocalGraph split = g.splitTo1bp(&first);
+    EXPECT_EQ(split.nodeCount(), 5u);
+    EXPECT_EQ(split.edgeCount(), 4u); // 3 internal + 1 boundary
+    EXPECT_TRUE(split.isDag());
+    // Walk from first[a]: A -> C -> G -> T -> T.
+    std::string spelled;
+    uint32_t cur = first[a];
+    for (;;) {
+        spelled.push_back(seq::decodeBase(split.nodeSeq(cur)[0]));
+        const auto succ = split.successors(cur);
+        if (succ.empty())
+            break;
+        cur = succ[0];
+    }
+    EXPECT_EQ(spelled, "ACGTT");
+}
+
+TEST(LocalGraph, DuplicateEdgesCollapse)
+{
+    LocalGraph g;
+    g.addNode("A");
+    g.addNode("C");
+    g.addEdge(0, 1);
+    g.addEdge(0, 1);
+    g.finalize();
+    EXPECT_EQ(g.edgeCount(), 1u);
+}
+
+} // namespace
+} // namespace pgb::graph

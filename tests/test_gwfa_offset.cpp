@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for GWFA's anchored start (start_offset): the mapping
+ * pipelines start gap bridging and final alignment mid-node, at the
+ * seed anchor, rather than at a node boundary.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/gwfa.hpp"
+#include "core/rng.hpp"
+#include "graph/local_graph.hpp"
+#include "seq/sequence.hpp"
+
+namespace pgb::align {
+namespace {
+
+using core::Rng;
+using graph::LocalGraph;
+
+TEST(GwfaOffset, StartsMidNode)
+{
+    LocalGraph g;
+    g.addNode("AAAACGTACGT"); // query starts at offset 4
+    g.finalize();
+    const auto query = seq::encodeString("CGTACGT");
+    // From offset 0 the leading AAAA would cost 4 deletions...
+    const auto from_zero = gwfaAlign(g, query, 0, 1 << 20, 0);
+    // ...but anchored at offset 4 the walk is a perfect match.
+    const auto anchored = gwfaAlign(g, query, 0, 1 << 20, 4);
+    EXPECT_EQ(anchored.distance, 0);
+    EXPECT_GE(from_zero.distance, anchored.distance);
+}
+
+TEST(GwfaOffset, AnchoredAcrossNodeBoundary)
+{
+    LocalGraph g;
+    const uint32_t a = g.addNode("TTTTACGT");
+    const uint32_t b = g.addNode("GGCC");
+    g.addEdge(a, b);
+    g.finalize();
+    const auto query = seq::encodeString("ACGTGGCC");
+    const auto result = gwfaAlign(g, query, a, 1 << 20, 4);
+    EXPECT_TRUE(result.reached);
+    EXPECT_EQ(result.distance, 0);
+}
+
+TEST(GwfaOffset, MatchesFullAlignmentOfSuffixGraph)
+{
+    // Anchored alignment at offset o must equal aligning against the
+    // graph whose start node is truncated to its suffix from o.
+    Rng rng(120);
+    for (int round = 0; round < 15; ++round) {
+        std::vector<uint8_t> node_a, node_b;
+        const size_t len_a = 10 + rng.below(30);
+        for (size_t i = 0; i < len_a; ++i)
+            node_a.push_back(static_cast<uint8_t>(rng.below(4)));
+        for (size_t i = 0; i < 12; ++i)
+            node_b.push_back(static_cast<uint8_t>(rng.below(4)));
+        const uint32_t offset =
+            static_cast<uint32_t>(rng.below(len_a));
+
+        LocalGraph full;
+        const uint32_t a = full.addNode(node_a);
+        const uint32_t b = full.addNode(node_b);
+        full.addEdge(a, b);
+        full.finalize();
+
+        LocalGraph truncated;
+        const uint32_t ta = truncated.addNode(std::vector<uint8_t>(
+            node_a.begin() + offset, node_a.end()));
+        const uint32_t tb = truncated.addNode(node_b);
+        truncated.addEdge(ta, tb);
+        truncated.finalize();
+
+        std::vector<uint8_t> query;
+        for (int i = 0; i < 20; ++i)
+            query.push_back(static_cast<uint8_t>(rng.below(4)));
+
+        const auto anchored =
+            gwfaAlign(full, query, a, 1 << 20, offset);
+        const auto direct = gwfaAlign(truncated, query, ta);
+        ASSERT_EQ(anchored.distance, direct.distance)
+            << "round " << round << " offset " << offset;
+    }
+}
+
+} // namespace
+} // namespace pgb::align

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for PGSGD: path index bookkeeping, pair sampling, stress
+ * convergence (single-threaded and Hogwild!), and the locked-update
+ * ablation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "layout/pgsgd.hpp"
+#include "synth/pangenome_sim.hpp"
+
+namespace pgb::layout {
+namespace {
+
+using core::Rng;
+
+synth::Pangenome
+smallPangenome(uint64_t seed)
+{
+    return synth::simulatePangenome(
+        synth::mGraphLikeConfig(20000, seed));
+}
+
+// ---------------------------------------------------------- PathIndex
+
+TEST(PathIndex, OffsetsAreCumulativeNodeLengths)
+{
+    const auto pangenome = smallPangenome(30);
+    const PathIndex index(pangenome.graph);
+    EXPECT_EQ(index.pathCount(), pangenome.graph.pathCount());
+
+    for (size_t path = 0; path < index.pathCount(); ++path) {
+        const auto &steps = pangenome.graph.pathSteps(
+            static_cast<graph::PathId>(path));
+        ASSERT_EQ(index.pathSteps(path), steps.size());
+        uint64_t offset = 0;
+        for (size_t s = 0; s < steps.size(); ++s) {
+            const size_t flat = index.pathFirst(path) + s;
+            EXPECT_EQ(index.stepNode(flat), steps[s].node());
+            EXPECT_EQ(index.stepOffset(flat), offset);
+            offset += pangenome.graph.nodeLength(steps[s].node());
+        }
+    }
+}
+
+TEST(PathIndex, PathOfMapsStepsBack)
+{
+    const auto pangenome = smallPangenome(31);
+    const PathIndex index(pangenome.graph);
+    for (size_t path = 0; path < index.pathCount(); ++path) {
+        EXPECT_EQ(index.pathOf(index.pathFirst(path)), path);
+        EXPECT_EQ(index.pathOf(index.pathEnd(path) - 1), path);
+    }
+    EXPECT_EQ(index.pathEnd(index.pathCount() - 1),
+              index.totalSteps());
+}
+
+// ------------------------------------------------------------ Layout
+
+TEST(Layout, RandomInitIsDeterministic)
+{
+    Layout a(100, 7), b(100, 7);
+    for (size_t i = 0; i < a.points(); ++i) {
+        EXPECT_EQ(a.x(i), b.x(i));
+        EXPECT_EQ(a.y(i), b.y(i));
+    }
+    Layout c(100, 8);
+    EXPECT_NE(a.x(0), c.x(0));
+}
+
+// ----------------------------------------------------------- Sampling
+
+TEST(PgsgdSampling, PairsAreOnTheSamePath)
+{
+    const auto pangenome = smallPangenome(32);
+    const PathIndex index(pangenome.graph);
+    PgsgdParams params;
+    Rng rng(33);
+    core::NullProbe probe;
+    for (int i = 0; i < 1000; ++i) {
+        size_t a, b;
+        if (!pgsgddetail::samplePair(index, params, rng, probe, a, b))
+            continue;
+        EXPECT_NE(a, b);
+        EXPECT_EQ(index.pathOf(a), index.pathOf(b));
+    }
+}
+
+TEST(PgsgdSampling, ZipfBiasFavorsNearbyPairs)
+{
+    const auto pangenome = smallPangenome(34);
+    const PathIndex index(pangenome.graph);
+    PgsgdParams params;
+    params.zipfTheta = 0.99;
+    Rng rng(35);
+    core::NullProbe probe;
+    size_t near = 0, total = 0;
+    for (int i = 0; i < 5000; ++i) {
+        size_t a, b;
+        if (!pgsgddetail::samplePair(index, params, rng, probe, a, b))
+            continue;
+        const size_t dist = a > b ? a - b : b - a;
+        near += dist <= 10 ? 1 : 0;
+        ++total;
+    }
+    ASSERT_GT(total, 0u);
+    // Under uniform sampling over ~1000-step spans, P(dist <= 10)
+    // would be ~2%; the Zipf draw concentrates far more mass nearby.
+    EXPECT_GT(static_cast<double>(near) / total, 0.2);
+}
+
+// -------------------------------------------------------------- SGD
+
+TEST(Pgsgd, StressDropsSingleThread)
+{
+    const auto pangenome = smallPangenome(36);
+    const PathIndex index(pangenome.graph);
+    Layout layout(pangenome.graph.nodeCount(), 1);
+    PgsgdParams params;
+    params.iterations = 15;
+    params.threads = 1;
+    const auto result = pgsgdLayout(index, layout, params);
+    EXPECT_GT(result.updates, 0u);
+    EXPECT_LT(result.stressAfter, result.stressBefore * 0.2)
+        << "before " << result.stressBefore << " after "
+        << result.stressAfter;
+}
+
+TEST(Pgsgd, StressDropsHogwild)
+{
+    const auto pangenome = smallPangenome(37);
+    const PathIndex index(pangenome.graph);
+    Layout layout(pangenome.graph.nodeCount(), 2);
+    PgsgdParams params;
+    params.iterations = 15;
+    params.threads = 4;
+    const auto result = pgsgdLayout(index, layout, params);
+    EXPECT_LT(result.stressAfter, result.stressBefore * 0.2);
+}
+
+TEST(Pgsgd, LockedAblationAlsoConverges)
+{
+    const auto pangenome = smallPangenome(38);
+    const PathIndex index(pangenome.graph);
+    Layout layout(pangenome.graph.nodeCount(), 3);
+    PgsgdParams params;
+    params.iterations = 10;
+    params.threads = 4;
+    params.useLocks = true;
+    const auto result = pgsgdLayout(index, layout, params);
+    EXPECT_LT(result.stressAfter, result.stressBefore * 0.3);
+}
+
+TEST(Pgsgd, MoreIterationsMoreConvergence)
+{
+    const auto pangenome = smallPangenome(39);
+    const PathIndex index(pangenome.graph);
+    PgsgdParams params;
+    params.threads = 1;
+
+    Layout short_layout(pangenome.graph.nodeCount(), 4);
+    params.iterations = 2;
+    const auto short_run = pgsgdLayout(index, short_layout, params);
+
+    Layout long_layout(pangenome.graph.nodeCount(), 4);
+    params.iterations = 25;
+    const auto long_run = pgsgdLayout(index, long_layout, params);
+
+    EXPECT_LT(long_run.stressAfter, short_run.stressAfter);
+}
+
+TEST(Pgsgd, InstrumentedRunCountsMemoryTraffic)
+{
+    const auto pangenome = smallPangenome(40);
+    const PathIndex index(pangenome.graph);
+    Layout layout(pangenome.graph.nodeCount(), 5);
+    PgsgdParams params;
+    params.iterations = 2;
+    params.threads = 1;
+    core::CountingProbe probe;
+    pgsgdLayout(index, layout, params, probe);
+    EXPECT_GT(probe.loadOps, 0u);
+    EXPECT_GT(probe.storeOps, 0u);
+    // The paper's Figure 8 note: PGSGD's FP math is binned as vector.
+    EXPECT_GT(probe.counts[static_cast<size_t>(core::OpKind::kVector)],
+              probe.counts[static_cast<size_t>(
+                  core::OpKind::kRegister)]);
+}
+
+} // namespace
+} // namespace pgb::layout

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the POA (partial order alignment) substrate used by the
+ * graph-building pipelines' induction/polishing stages.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/poa.hpp"
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+#include "seq/sequence.hpp"
+
+namespace pgb::align {
+namespace {
+
+using core::Rng;
+
+std::vector<uint8_t>
+mutate(Rng &rng, const std::vector<uint8_t> &donor, double rate)
+{
+    std::vector<uint8_t> out;
+    for (uint8_t base : donor) {
+        if (rng.chance(rate / 3))
+            continue;
+        if (rng.chance(rate / 3))
+            out.push_back(static_cast<uint8_t>(rng.below(4)));
+        if (rng.chance(rate)) {
+            out.push_back(
+                static_cast<uint8_t>((base + 1 + rng.below(3)) % 4));
+        } else {
+            out.push_back(base);
+        }
+    }
+    if (out.empty())
+        out.push_back(0);
+    return out;
+}
+
+TEST(Poa, SeedingCreatesBackbone)
+{
+    PoaGraph poa;
+    const auto seq = seq::encodeString("ACGTACGT");
+    EXPECT_EQ(poa.addSequence(seq), 0);
+    EXPECT_EQ(poa.nodeCount(), 8u);
+    EXPECT_EQ(poa.sequenceCount(), 1u);
+    EXPECT_EQ(seq::decodeString(poa.consensus()), "ACGTACGT");
+}
+
+TEST(Poa, IdenticalSequencesFuseCompletely)
+{
+    PoaGraph poa;
+    const auto seq = seq::encodeString("ACGTACGTAC");
+    poa.addSequence(seq);
+    const int32_t score = poa.addSequence(seq);
+    // Full fusion: no new nodes, maximal score.
+    EXPECT_EQ(poa.nodeCount(), 10u);
+    EXPECT_EQ(score, 10 * 2); // match bonus 2 per base
+    EXPECT_EQ(seq::decodeString(poa.consensus()), "ACGTACGTAC");
+}
+
+TEST(Poa, MismatchCreatesBubble)
+{
+    PoaGraph poa;
+    poa.addSequence(seq::encodeString("ACGTA"));
+    poa.addSequence(seq::encodeString("ACCTA"));
+    // One branching base: 5 + 1 nodes.
+    EXPECT_EQ(poa.nodeCount(), 6u);
+}
+
+TEST(Poa, ConsensusRecoversCenterFromNoisyCopies)
+{
+    Rng rng(90);
+    std::vector<uint8_t> center;
+    for (int i = 0; i < 200; ++i)
+        center.push_back(static_cast<uint8_t>(rng.below(4)));
+    PoaGraph poa;
+    poa.addSequence(center);
+    for (int copy = 0; copy < 7; ++copy)
+        poa.addSequence(mutate(rng, center, 0.03));
+    const auto consensus = poa.consensus();
+    EXPECT_NEAR(static_cast<double>(consensus.size()),
+                static_cast<double>(center.size()), 15.0);
+    // Edit distance between consensus and center must be small
+    // relative to the ~3% per-copy noise.
+    std::vector<int32_t> row(center.size() + 1);
+    for (size_t i = 0; i <= center.size(); ++i)
+        row[i] = static_cast<int32_t>(i);
+    for (size_t j = 1; j <= consensus.size(); ++j) {
+        int32_t diag = row[0];
+        row[0] = static_cast<int32_t>(j);
+        for (size_t i = 1; i <= center.size(); ++i) {
+            const int32_t sub =
+                center[i - 1] == consensus[j - 1] ? 0 : 1;
+            const int32_t value =
+                std::min({diag + sub, row[i] + 1, row[i - 1] + 1});
+            diag = row[i];
+            row[i] = value;
+        }
+    }
+    EXPECT_LT(row[center.size()],
+              static_cast<int32_t>(center.size()) / 5);
+}
+
+TEST(Poa, CellsComputedGrowsWithSequences)
+{
+    PoaGraph poa;
+    const auto seq = seq::encodeString("ACGTACGTACGTACGT");
+    poa.addSequence(seq);
+    EXPECT_EQ(poa.cellsComputed(), 0u);
+    poa.addSequence(seq);
+    const uint64_t after_one = poa.cellsComputed();
+    EXPECT_GT(after_one, 0u);
+    poa.addSequence(seq);
+    EXPECT_GT(poa.cellsComputed(), after_one);
+}
+
+TEST(Poa, BandingReducesWork)
+{
+    Rng rng(91);
+    std::vector<uint8_t> center;
+    for (int i = 0; i < 300; ++i)
+        center.push_back(static_cast<uint8_t>(rng.below(4)));
+
+    PoaParams exact;
+    PoaGraph full(exact);
+    full.addSequence(center);
+    full.addSequence(mutate(rng, center, 0.02));
+
+    PoaParams banded;
+    banded.band = 32;
+    PoaGraph narrow(banded);
+    narrow.addSequence(center);
+    narrow.addSequence(mutate(rng, center, 0.02));
+
+    EXPECT_LT(narrow.cellsComputed(), full.cellsComputed());
+}
+
+TEST(Poa, RejectsEmptySequence)
+{
+    PoaGraph poa;
+    EXPECT_THROW(poa.addSequence(std::vector<uint8_t>{}),
+                 core::FatalError);
+}
+
+TEST(Poa, GraphStaysDagUnderManyInsertions)
+{
+    Rng rng(92);
+    std::vector<uint8_t> center;
+    for (int i = 0; i < 100; ++i)
+        center.push_back(static_cast<uint8_t>(rng.below(4)));
+    PoaGraph poa;
+    poa.addSequence(center);
+    for (int copy = 0; copy < 10; ++copy)
+        poa.addSequence(mutate(rng, center, 0.1));
+    // consensus() topo-sorts internally and panics on cycles.
+    EXPECT_NO_THROW(poa.consensus());
+    EXPECT_GE(poa.nodeCount(), center.size());
+}
+
+} // namespace
+} // namespace pgb::align

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Tests for the characterization substrate: cache simulator (LRU,
+ * exclusive MPKI), gshare branch simulator, trace probe plumbing, and
+ * the top-down model's bucket attribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "prof/branch_sim.hpp"
+#include "prof/cache_sim.hpp"
+#include "prof/topdown.hpp"
+#include "prof/trace_probe.hpp"
+
+namespace pgb::prof {
+namespace {
+
+using core::Rng;
+
+// ---------------------------------------------------------- CacheSim
+
+TEST(CacheSim, RepeatedLineHitsAfterFirstMiss)
+{
+    auto cache = CacheSim::machineB();
+    for (int i = 0; i < 100; ++i)
+        cache.access(0x1000, 4);
+    EXPECT_EQ(cache.stats(0).accesses, 100u);
+    EXPECT_EQ(cache.stats(0).misses, 1u);
+}
+
+/** Machine-B geometry without the stream prefetcher (exact counts). */
+CacheSim
+machineBNoPrefetch()
+{
+    return CacheSim({
+        {"L1", 48 * 1024, 12, 64, false},
+        {"L2", 1280 * 1024, 20, 64, false},
+        {"L3", 24ull * 1024 * 1024, 12, 64, false},
+    });
+}
+
+TEST(CacheSim, SequentialStreamMissesOncePerLine)
+{
+    auto cache = machineBNoPrefetch();
+    for (uint64_t addr = 0; addr < 64 * 100; addr += 4)
+        cache.access(addr, 4);
+    EXPECT_EQ(cache.stats(0).misses, 100u);
+}
+
+TEST(CacheSim, NextLinePrefetchHalvesSequentialMisses)
+{
+    auto cache = CacheSim::machineB();
+    for (uint64_t addr = 0; addr < 64 * 100; addr += 4)
+        cache.access(addr, 4);
+    EXPECT_EQ(cache.stats(0).misses, 50u);
+}
+
+TEST(CacheSim, PrefetchDoesNotHelpRandomAccess)
+{
+    auto with = CacheSim::machineB();
+    auto without = machineBNoPrefetch();
+    core::Rng rng(115);
+    for (int i = 0; i < 50000; ++i) {
+        const uint64_t addr = rng.below(1ull << 33);
+        with.access(addr, 8);
+        without.access(addr, 8);
+    }
+    // Prefetch cannot predict random lines; it only catches the
+    // second line of straddling accesses (~11% of 8 B accesses).
+    EXPECT_LE(with.stats(0).misses, without.stats(0).misses);
+    EXPECT_GE(static_cast<double>(with.stats(0).misses),
+              static_cast<double>(without.stats(0).misses) * 0.85);
+}
+
+TEST(CacheSim, LruEvictsOldest)
+{
+    // Tiny 2-way cache: lines A, B fill a set; touching C evicts A.
+    CacheSim cache({{"L1", 2 * 64, 2, 64}});
+    const uint64_t a = 0, b = 1 * 64, c = 2 * 64;
+    cache.access(a, 1); // miss
+    cache.access(b, 1); // miss
+    cache.access(c, 1); // miss, evicts a
+    cache.access(b, 1); // hit
+    cache.access(a, 1); // miss again
+    EXPECT_EQ(cache.stats(0).misses, 4u);
+    EXPECT_EQ(cache.stats(0).accesses, 5u);
+}
+
+TEST(CacheSim, StraddlingAccessTouchesTwoLines)
+{
+    auto cache = machineBNoPrefetch();
+    cache.access(60, 8); // crosses the 64 B boundary
+    EXPECT_EQ(cache.stats(0).accesses, 2u);
+    EXPECT_EQ(cache.stats(0).misses, 2u);
+}
+
+TEST(CacheSim, WorkingSetLargerThanL1FitsInL2)
+{
+    auto cache = machineBNoPrefetch();
+    // 256 KB working set: misses L1 on re-walk, hits L2.
+    const uint64_t span = 256 * 1024;
+    for (int pass = 0; pass < 4; ++pass) {
+        for (uint64_t addr = 0; addr < span; addr += 64)
+            cache.access(addr, 4);
+    }
+    const auto &l1 = cache.stats(0);
+    const auto &l2 = cache.stats(1);
+    EXPECT_GT(l1.missRate(), 0.9);
+    // After the cold pass, L2 serves nearly everything.
+    EXPECT_LT(l2.missRate(), 0.3);
+}
+
+TEST(CacheSim, ExclusiveMpkiSeparatesLevels)
+{
+    auto cache = CacheSim::machineB();
+    // 8 MB working set: misses L1 and L2 on every pass, but fits in
+    // the 24 MB L3, so after the cold pass the L3 serves everything.
+    const uint64_t span = 8ull * 1024 * 1024;
+    for (int pass = 0; pass < 4; ++pass) {
+        for (uint64_t addr = 0; addr < span; addr += 64)
+            cache.access(addr, 4);
+    }
+    const uint64_t instructions = 1000000;
+    const double l2 = cache.exclusiveMpki(1, instructions);
+    const double l3 = cache.exclusiveMpki(2, instructions);
+    EXPECT_GT(l2, l3 * 2); // re-walk misses are served by L3
+    EXPECT_GT(l3, 0.0);    // the cold pass reached memory
+}
+
+TEST(CacheSim, RandomHugeFootprintMissesEverywhere)
+{
+    auto cache = CacheSim::machineB();
+    Rng rng(110);
+    for (int i = 0; i < 200000; ++i)
+        cache.access(rng.below(1ull << 32), 8);
+    // Far beyond L3 capacity: high miss rate at every level.
+    EXPECT_GT(cache.stats(2).missRate(), 0.8);
+}
+
+TEST(CacheSim, ResetClearsState)
+{
+    auto cache = CacheSim::machineB();
+    cache.access(0x1000, 4);
+    cache.reset();
+    EXPECT_EQ(cache.stats(0).accesses, 0u);
+    cache.access(0x1000, 4);
+    EXPECT_EQ(cache.stats(0).misses, 1u);
+}
+
+// --------------------------------------------------------- BranchSim
+
+TEST(BranchSim, AlwaysTakenIsLearned)
+{
+    BranchSim sim;
+    for (int i = 0; i < 1000; ++i)
+        sim.record(1, true);
+    // Cold counters along the history warm-up mispredict a few times.
+    EXPECT_LT(sim.mispredictRate(), 0.02);
+}
+
+TEST(BranchSim, AlternatingPatternIsLearnedViaHistory)
+{
+    BranchSim sim;
+    for (int i = 0; i < 4000; ++i)
+        sim.record(7, i % 2 == 0);
+    // Gshare captures period-2 patterns through global history.
+    EXPECT_LT(sim.mispredictRate(), 0.1);
+}
+
+TEST(BranchSim, RandomBranchesMispredictHalfTheTime)
+{
+    BranchSim sim;
+    Rng rng(111);
+    for (int i = 0; i < 20000; ++i)
+        sim.record(3, rng.chance(0.5));
+    EXPECT_NEAR(sim.mispredictRate(), 0.5, 0.05);
+}
+
+TEST(BranchSim, CountsBranches)
+{
+    BranchSim sim;
+    sim.record(1, true);
+    sim.record(2, false);
+    EXPECT_EQ(sim.branches(), 2u);
+}
+
+// -------------------------------------------------------- TraceProbe
+
+TEST(TraceProbe, FeedsCacheAndBranchSims)
+{
+    auto cache = CacheSim::machineB();
+    BranchSim branches;
+    TraceProbe probe(cache, branches);
+    std::vector<uint8_t> buffer(1024);
+    for (size_t i = 0; i < buffer.size(); i += 8)
+        probe.load(buffer.data() + i, 8);
+    probe.store(buffer.data(), 8);
+    probe.branch(1, true);
+    EXPECT_EQ(probe.loadOps, 128u);
+    EXPECT_EQ(probe.storeOps, 1u);
+    EXPECT_EQ(cache.stats(0).accesses, 129u);
+    EXPECT_EQ(branches.branches(), 1u);
+}
+
+// ----------------------------------------------------------- TopDown
+
+core::CountingProbe
+mixProbe(uint64_t vec, uint64_t ctl, uint64_t mem, uint64_t scalar)
+{
+    core::CountingProbe probe;
+    probe.op(core::OpKind::kVector, vec);
+    probe.op(core::OpKind::kControl, ctl);
+    probe.op(core::OpKind::kMemory, mem);
+    probe.op(core::OpKind::kScalar, scalar);
+    return probe;
+}
+
+TEST(TopDown, BucketsSumToOne)
+{
+    auto cache = CacheSim::machineB();
+    BranchSim branches;
+    Rng rng(112);
+    for (int i = 0; i < 10000; ++i) {
+        cache.access(rng.below(1 << 26), 8);
+        branches.record(1, rng.chance(0.3));
+    }
+    const auto probe = mixProbe(1000, 5000, 10000, 20000);
+    const auto result = analyzeTopDown(probe, cache, branches);
+    const double sum = result.retiring + result.frontEndBound +
+                       result.badSpeculation + result.coreBound +
+                       result.memoryBound;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_GT(result.ipc, 0.0);
+    EXPECT_LE(result.ipc, 4.0);
+}
+
+TEST(TopDown, CacheHeavyWorkloadIsMemoryBound)
+{
+    auto cache = CacheSim::machineB();
+    BranchSim branches;
+    Rng rng(113);
+    // Every access is a random far miss.
+    for (int i = 0; i < 50000; ++i)
+        cache.access(rng.below(1ull << 34), 8);
+    core::CountingProbe probe = mixProbe(0, 0, 50000, 10000);
+    const auto result = analyzeTopDown(probe, cache, branches);
+    EXPECT_GT(result.memoryBound, result.coreBound);
+    EXPECT_GT(result.memoryBound, result.badSpeculation);
+    EXPECT_GT(result.memoryBound, 0.4);
+    EXPECT_LT(result.ipc, 1.5);
+}
+
+TEST(TopDown, CleanScalarStreamRetires)
+{
+    auto cache = CacheSim::machineB();
+    BranchSim branches;
+    // Sequential accesses: warm, near-zero misses.
+    for (uint64_t i = 0; i < 4096; ++i)
+        cache.access(i * 8 % 4096, 8);
+    core::CountingProbe probe = mixProbe(0, 1000, 4096, 40000);
+    for (int i = 0; i < 1000; ++i)
+        branches.record(2, true);
+    const auto result = analyzeTopDown(probe, cache, branches);
+    EXPECT_GT(result.retiring, 0.5);
+    EXPECT_GT(result.ipc, 2.0);
+}
+
+TEST(TopDown, BranchRandomnessDrivesBadSpeculation)
+{
+    auto cache = CacheSim::machineB();
+    BranchSim predictable, random;
+    Rng rng(114);
+    for (int i = 0; i < 20000; ++i) {
+        predictable.record(1, true);
+        random.record(1, rng.chance(0.5));
+    }
+    const auto probe = mixProbe(0, 20000, 0, 20000);
+    const auto good = analyzeTopDown(probe, cache, predictable);
+    const auto bad = analyzeTopDown(probe, cache, random);
+    EXPECT_GT(bad.badSpeculation, good.badSpeculation + 0.1);
+    EXPECT_LT(bad.ipc, good.ipc);
+}
+
+TEST(TopDown, PortPressureIsCoreBound)
+{
+    auto cache = CacheSim::machineB();
+    BranchSim branches;
+    // All-vector stream saturates the 2-wide vector ports.
+    const auto probe = mixProbe(40000, 0, 0, 0);
+    const auto result = analyzeTopDown(probe, cache, branches);
+    EXPECT_GT(result.coreBound, 0.2);
+    EXPECT_LT(result.ipc, 2.5);
+}
+
+TEST(TopDown, EmptyProbeIsAllZero)
+{
+    auto cache = CacheSim::machineB();
+    BranchSim branches;
+    core::CountingProbe probe;
+    const auto result = analyzeTopDown(probe, cache, branches);
+    EXPECT_EQ(result.ipc, 0.0);
+    EXPECT_EQ(result.retiring, 0.0);
+}
+
+} // namespace
+} // namespace pgb::prof

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for src/seq: alphabet, Sequence, FASTA/FASTQ IO, and the read
+ * simulator's error model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+#include "seq/alphabet.hpp"
+#include "seq/fasta.hpp"
+#include "seq/read_sim.hpp"
+#include "seq/sequence.hpp"
+
+namespace pgb::seq {
+namespace {
+
+// ---------------------------------------------------------- Alphabet
+
+TEST(Alphabet, EncodeDecodeRoundTrip)
+{
+    for (char c : {'A', 'C', 'G', 'T'})
+        EXPECT_EQ(decodeBase(encodeBase(c)), c);
+    EXPECT_EQ(decodeBase(encodeBase('a')), 'A');
+    EXPECT_EQ(decodeBase(encodeBase('N')), 'N');
+    EXPECT_EQ(decodeBase(encodeBase('x')), 'N');
+}
+
+TEST(Alphabet, ComplementPairs)
+{
+    EXPECT_EQ(complementChar('A'), 'T');
+    EXPECT_EQ(complementChar('T'), 'A');
+    EXPECT_EQ(complementChar('C'), 'G');
+    EXPECT_EQ(complementChar('G'), 'C');
+    EXPECT_EQ(complementChar('N'), 'N');
+}
+
+TEST(Alphabet, ComplementIsInvolution)
+{
+    for (uint8_t code = 0; code < kNumBases; ++code)
+        EXPECT_EQ(complementBase(complementBase(code)), code);
+}
+
+// ---------------------------------------------------------- Sequence
+
+TEST(Sequence, ConstructionAndAccess)
+{
+    Sequence s("read1", "ACGTN");
+    EXPECT_EQ(s.name(), "read1");
+    EXPECT_EQ(s.size(), 5u);
+    EXPECT_EQ(s[0], 0);
+    EXPECT_EQ(s[3], 3);
+    EXPECT_EQ(s[4], kBaseN);
+    EXPECT_EQ(s.toString(), "ACGTN");
+}
+
+TEST(Sequence, ReverseComplement)
+{
+    Sequence s("", "AACGT");
+    EXPECT_EQ(s.reverseComplement().toString(), "ACGTT");
+}
+
+TEST(Sequence, ReverseComplementIsInvolution)
+{
+    core::Rng rng(5);
+    for (int round = 0; round < 20; ++round) {
+        std::vector<uint8_t> codes;
+        const size_t len = 1 + rng.below(500);
+        for (size_t i = 0; i < len; ++i)
+            codes.push_back(static_cast<uint8_t>(rng.below(4)));
+        Sequence s(codes);
+        EXPECT_EQ(s.reverseComplement().reverseComplement(), s);
+    }
+}
+
+TEST(Sequence, SliceClampsToEnd)
+{
+    Sequence s("", "ACGTACGT");
+    EXPECT_EQ(s.slice(2, 3).toString(), "GTA");
+    EXPECT_EQ(s.slice(6, 100).toString(), "GT");
+    EXPECT_EQ(s.slice(8, 4).size(), 0u);
+}
+
+TEST(Sequence, Append)
+{
+    Sequence a("", "AC");
+    Sequence b("", "GT");
+    a.append(b);
+    EXPECT_EQ(a.toString(), "ACGT");
+}
+
+// ------------------------------------------------------------- FASTA
+
+TEST(Fasta, ParsesMultiRecordMultiLine)
+{
+    std::istringstream input(
+        ">chr1 description text\nACGT\nACGT\n>chr2\nTTTT\n");
+    const auto records = readFasta(input);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].name(), "chr1");
+    EXPECT_EQ(records[0].toString(), "ACGTACGT");
+    EXPECT_EQ(records[1].name(), "chr2");
+    EXPECT_EQ(records[1].toString(), "TTTT");
+}
+
+TEST(Fasta, RoundTrip)
+{
+    std::vector<Sequence> records;
+    records.emplace_back("a", "ACGTACGTACGT");
+    records.emplace_back("b", "GGGG");
+    std::ostringstream out;
+    writeFasta(out, records, 5);
+    std::istringstream in(out.str());
+    const auto parsed = readFasta(in);
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].toString(), records[0].toString());
+    EXPECT_EQ(parsed[1].toString(), records[1].toString());
+}
+
+TEST(Fasta, RejectsDataBeforeHeader)
+{
+    std::istringstream input("ACGT\n>x\nAC\n");
+    EXPECT_THROW(readFasta(input), core::FatalError);
+}
+
+TEST(Fastq, ParsesAndValidates)
+{
+    std::istringstream input("@r1\nACGT\n+\nIIII\n@r2\nGG\n+\nII\n");
+    const auto records = readFastq(input);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].name(), "r1");
+    EXPECT_EQ(records[1].toString(), "GG");
+}
+
+TEST(Fastq, RejectsQualityLengthMismatch)
+{
+    std::istringstream input("@r1\nACGT\n+\nII\n");
+    EXPECT_THROW(readFastq(input), core::FatalError);
+}
+
+TEST(Fastq, RoundTrip)
+{
+    std::vector<Sequence> records;
+    records.emplace_back("q", "ACACAC");
+    std::ostringstream out;
+    writeFastq(out, records);
+    std::istringstream in(out.str());
+    const auto parsed = readFastq(in);
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed[0].toString(), "ACACAC");
+}
+
+// ----------------------------------------------------- ReadSimulator
+
+TEST(ReadSimulator, DeterministicInSeed)
+{
+    Sequence donor("", std::string(2000, 'A'));
+    // Use a varied donor.
+    core::Rng rng(9);
+    for (auto &code : donor.codes())
+        code = static_cast<uint8_t>(rng.below(4));
+    ReadSimulator sim_a(ReadProfile::shortRead(), 77);
+    ReadSimulator sim_b(ReadProfile::shortRead(), 77);
+    for (int i = 0; i < 10; ++i) {
+        const auto a = sim_a.sample(donor);
+        const auto b = sim_b.sample(donor);
+        EXPECT_EQ(a.read, b.read);
+        EXPECT_EQ(a.donorStart, b.donorStart);
+    }
+}
+
+TEST(ReadSimulator, ShortReadLengthNearProfile)
+{
+    Sequence donor("", std::string(5000, 'C'));
+    ReadSimulator sim(ReadProfile::shortRead(), 1);
+    for (int i = 0; i < 50; ++i) {
+        const auto read = sim.sample(donor);
+        // Indels change length by a couple of bases at most.
+        EXPECT_NEAR(static_cast<double>(read.read.size()), 150.0, 6.0);
+        EXPECT_LE(read.donorStart + read.donorSpan, donor.size());
+    }
+}
+
+TEST(ReadSimulator, ErrorRateApproximatelyHonored)
+{
+    core::Rng rng(10);
+    std::vector<uint8_t> codes;
+    for (int i = 0; i < 100000; ++i)
+        codes.push_back(static_cast<uint8_t>(rng.below(4)));
+    Sequence donor(codes);
+
+    ReadProfile profile;
+    profile.readLength = 2000;
+    profile.substitutionRate = 0.02;
+    profile.insertionRate = 0.0;
+    profile.deletionRate = 0.0;
+    profile.reverseStrand = false;
+    ReadSimulator sim(profile, 3);
+
+    uint64_t mismatches = 0, bases = 0;
+    for (int r = 0; r < 50; ++r) {
+        const auto read = sim.sample(donor);
+        ASSERT_EQ(read.read.size(), 2000u);
+        for (size_t i = 0; i < read.read.size(); ++i) {
+            mismatches +=
+                read.read[i] != donor[read.donorStart + i] ? 1 : 0;
+            ++bases;
+        }
+    }
+    const double rate =
+        static_cast<double>(mismatches) / static_cast<double>(bases);
+    EXPECT_NEAR(rate, 0.02, 0.005);
+}
+
+TEST(ReadSimulator, ReverseStrandReadsMatchRcOfDonor)
+{
+    core::Rng rng(12);
+    std::vector<uint8_t> codes;
+    for (int i = 0; i < 3000; ++i)
+        codes.push_back(static_cast<uint8_t>(rng.below(4)));
+    Sequence donor(codes);
+
+    ReadProfile profile;
+    profile.readLength = 100;
+    profile.substitutionRate = 0.0;
+    profile.insertionRate = 0.0;
+    profile.deletionRate = 0.0;
+    ReadSimulator sim(profile, 5);
+    bool saw_reverse = false;
+    for (int r = 0; r < 40; ++r) {
+        const auto read = sim.sample(donor);
+        Sequence expected =
+            donor.slice(read.donorStart, read.donorSpan);
+        if (read.reverse) {
+            expected = expected.reverseComplement();
+            saw_reverse = true;
+        }
+        EXPECT_EQ(read.read, expected);
+    }
+    EXPECT_TRUE(saw_reverse);
+}
+
+TEST(ReadSimulator, LongReadProfileJittersLength)
+{
+    core::Rng rng(14);
+    std::vector<uint8_t> codes;
+    for (int i = 0; i < 200000; ++i)
+        codes.push_back(static_cast<uint8_t>(rng.below(4)));
+    Sequence donor(codes);
+    ReadSimulator sim(ReadProfile::longRead(), 8);
+    size_t min_len = SIZE_MAX, max_len = 0;
+    for (int r = 0; r < 30; ++r) {
+        const auto read = sim.sample(donor);
+        min_len = std::min(min_len, read.read.size());
+        max_len = std::max(max_len, read.read.size());
+    }
+    EXPECT_LT(min_len, 14000u);
+    EXPECT_GT(max_len, 16000u);
+}
+
+TEST(ReadSimulator, SampleManyNamesReads)
+{
+    Sequence donor("", std::string(1000, 'G'));
+    ReadSimulator sim(ReadProfile::shortRead(), 2);
+    const auto reads = sim.sampleMany(donor, 3);
+    ASSERT_EQ(reads.size(), 3u);
+    EXPECT_EQ(reads[0].read.name(), "read_0");
+    EXPECT_EQ(reads[2].read.name(), "read_2");
+}
+
+} // namespace
+} // namespace pgb::seq

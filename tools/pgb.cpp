@@ -1,0 +1,344 @@
+/**
+ * @file
+ * pgb: the PangenomicsBench command-line tool.
+ *
+ * Subcommands:
+ *   simulate  generate a synthetic pangenome (GFA + haplotype FASTA +
+ *             simulated reads FASTQ) — the dataset generator behind
+ *             every bench (the paper ships equivalent scripts so
+ *             researchers can build kernel datasets from their data)
+ *   stats     print graph statistics for a GFA
+ *   map       map FASTQ reads to a GFA graph with a chosen tool profile
+ *   build     build a pangenome graph from FASTA assemblies (pggb/mc)
+ *   layout    compute a PGSGD 2-D layout of a GFA, write TSV
+ *   split     the Split-M-Graph transform (§6.2): cap node length
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/deconstruct.hpp"
+#include "core/logging.hpp"
+#include "core/thread_pool.hpp"
+#include "core/timer.hpp"
+#include "graph/gfa.hpp"
+#include "layout/pgsgd.hpp"
+#include "pipeline/graph_build.hpp"
+#include "pipeline/mapper.hpp"
+#include "seq/fasta.hpp"
+#include "seq/read_sim.hpp"
+#include "synth/pangenome_sim.hpp"
+
+namespace {
+
+using namespace pgb;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "pgb — PangenomicsBench toolkit\n"
+        "\n"
+        "usage:\n"
+        "  pgb simulate <out-prefix> [bases] [haplotypes] [seed]\n"
+        "      writes <prefix>.gfa, <prefix>.fa, <prefix>.short.fq,\n"
+        "      <prefix>.long.fq\n"
+        "  pgb stats <graph.gfa>\n"
+        "  pgb map <graph.gfa> <reads.fq> [vgmap|giraffe|graphaligner|"
+        "minigraph] [threads]\n"
+        "  pgb build <assemblies.fa> <out.gfa> [pggb|mc] [threads]\n"
+        "  pgb layout <graph.gfa> <out.tsv> [iterations] [threads]\n"
+        "  pgb split <in.gfa> <out.gfa> [max-node-length]\n"
+        "  pgb deconstruct <graph.gfa> [ref-path-name]\n"
+        "      VCF-like variant records from the graph's bubbles\n");
+    return 2;
+}
+
+int
+cmdSimulate(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    const std::string prefix = argv[0];
+    const size_t bases =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
+    const size_t haplotypes =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 14;
+    const uint64_t seed =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+
+    synth::PangenomeConfig config = synth::mGraphLikeConfig(bases, seed);
+    config.haplotypeCount = haplotypes;
+    const auto pangenome = synth::simulatePangenome(config);
+
+    graph::writeGfaFile(prefix + ".gfa", pangenome.graph);
+    std::vector<seq::Sequence> fasta;
+    fasta.push_back(pangenome.reference);
+    for (const auto &hap : pangenome.haplotypes)
+        fasta.push_back(hap);
+    seq::writeFastaFile(prefix + ".fa", fasta);
+
+    seq::ReadSimulator short_sim(seq::ReadProfile::shortRead(),
+                                 seed ^ 0x51);
+    seq::ReadProfile long_profile = seq::ReadProfile::longRead();
+    long_profile.readLength = std::min<size_t>(15000, bases / 4);
+    seq::ReadSimulator long_sim(long_profile, seed ^ 0x52);
+    std::vector<seq::Sequence> short_reads, long_reads;
+    const size_t n_short = bases / 300 * haplotypes / 4 + 50;
+    const size_t n_long = bases / 30000 * haplotypes + 10;
+    for (size_t r = 0; r < n_short; ++r) {
+        auto read = short_sim.sample(
+            pangenome.haplotypes[r % haplotypes]);
+        read.read.setName("sr_" + std::to_string(r));
+        short_reads.push_back(std::move(read.read));
+    }
+    for (size_t r = 0; r < n_long; ++r) {
+        auto read =
+            long_sim.sample(pangenome.haplotypes[r % haplotypes]);
+        read.read.setName("lr_" + std::to_string(r));
+        long_reads.push_back(std::move(read.read));
+    }
+    {
+        std::ofstream out(prefix + ".short.fq");
+        seq::writeFastq(out, short_reads);
+    }
+    {
+        std::ofstream out(prefix + ".long.fq");
+        seq::writeFastq(out, long_reads);
+    }
+    const auto stats = pangenome.graph.stats();
+    std::printf("wrote %s.{gfa,fa,short.fq,long.fq}: %zu nodes, "
+                "%zu edges, %zu paths, %zu variants, %zu short + %zu "
+                "long reads\n",
+                prefix.c_str(), stats.nodeCount, stats.edgeCount,
+                stats.pathCount, pangenome.variants.size(),
+                short_reads.size(), long_reads.size());
+    return 0;
+}
+
+int
+cmdStats(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    const auto graph = graph::readGfaFile(argv[0]);
+    const auto stats = graph.stats();
+    std::printf("nodes          %zu\n", stats.nodeCount);
+    std::printf("edges          %zu\n", stats.edgeCount);
+    std::printf("paths          %zu\n", stats.pathCount);
+    std::printf("total bases    %zu\n", stats.totalBases);
+    std::printf("avg node len   %.2f\n", stats.avgNodeLength);
+    std::printf("max node len   %zu\n", stats.maxNodeLength);
+    std::printf("avg out-degree %.3f\n", stats.avgOutDegree);
+    for (graph::PathId p = 0; p < graph.pathCount(); ++p) {
+        std::printf("path %-12s %zu steps, %zu bases\n",
+                    graph.pathName(p).c_str(),
+                    graph.pathSteps(p).size(), graph.pathLength(p));
+    }
+    return 0;
+}
+
+pipeline::ToolProfile
+parseProfile(const char *name)
+{
+    const std::string s = name;
+    if (s == "vgmap")
+        return pipeline::ToolProfile::kVgMap;
+    if (s == "giraffe")
+        return pipeline::ToolProfile::kVgGiraffe;
+    if (s == "graphaligner")
+        return pipeline::ToolProfile::kGraphAligner;
+    if (s == "minigraph")
+        return pipeline::ToolProfile::kMinigraph;
+    core::fatal("unknown tool profile '", s, "'");
+}
+
+int
+cmdMap(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const auto graph = graph::readGfaFile(argv[0]);
+    std::ifstream reads_in(argv[1]);
+    if (!reads_in)
+        core::fatal("cannot open ", argv[1]);
+    const auto reads = seq::readFastq(reads_in);
+    auto config = pipeline::MapperConfig::forTool(
+        argc > 2 ? parseProfile(argv[2])
+                 : pipeline::ToolProfile::kVgMap);
+    config.threads = argc > 3
+        ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10))
+        : core::hardwareThreads();
+
+    pipeline::Seq2GraphMapper mapper(graph, config);
+    core::WallTimer timer;
+    const auto report = mapper.mapReads(reads);
+    std::printf("%s: mapped %llu/%llu reads in %.2fs (%u threads)\n",
+                pipeline::toolName(config.profile),
+                static_cast<unsigned long long>(report.mappedReads),
+                static_cast<unsigned long long>(report.reads),
+                timer.seconds(), config.threads);
+    for (const auto &[stage, secs] : report.timers.stages())
+        std::printf("  %-13s %8.3fs\n", stage.c_str(), secs);
+    return 0;
+}
+
+int
+cmdBuild(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const auto assemblies = seq::readFastaFile(argv[0]);
+    const bool mc = argc > 2 && std::strcmp(argv[2], "mc") == 0;
+    const unsigned threads = argc > 3
+        ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10))
+        : core::hardwareThreads();
+
+    pipeline::GraphBuildReport report;
+    if (mc) {
+        pipeline::McParams params;
+        params.threads = threads;
+        report = pipeline::buildMinigraphCactus(assemblies, params);
+    } else {
+        pipeline::PggbParams params;
+        params.threads = threads;
+        report = pipeline::buildPggb(assemblies, params);
+    }
+    graph::writeGfaFile(argv[1], report.graph);
+    const auto stats = report.graph.stats();
+    std::printf("%s: %zu nodes, %zu edges, %zu paths -> %s\n",
+                mc ? "minigraph-cactus" : "pggb", stats.nodeCount,
+                stats.edgeCount, stats.pathCount, argv[1]);
+    for (const auto &[stage, secs] : report.timers.stages())
+        std::printf("  %-14s %8.3fs\n", stage.c_str(), secs);
+    return 0;
+}
+
+int
+cmdLayout(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const auto graph = graph::readGfaFile(argv[0]);
+    const uint32_t iterations = argc > 2
+        ? static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10))
+        : 30;
+    const unsigned threads = argc > 3
+        ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10))
+        : core::hardwareThreads();
+
+    layout::PathIndex index(graph);
+    layout::Layout coords(graph.nodeCount(), 1);
+    layout::PgsgdParams params;
+    params.iterations = iterations;
+    params.threads = threads;
+    const auto result = layout::pgsgdLayout(index, coords, params);
+    std::ofstream out(argv[1]);
+    out << "node\tx_start\ty_start\tx_end\ty_end\n";
+    for (graph::NodeId node = 0; node < graph.nodeCount(); ++node) {
+        out << node << '\t'
+            << coords.x(layout::Layout::startPoint(node)) << '\t'
+            << coords.y(layout::Layout::startPoint(node)) << '\t'
+            << coords.x(layout::Layout::endPoint(node)) << '\t'
+            << coords.y(layout::Layout::endPoint(node)) << '\n';
+    }
+    std::printf("layout: stress %.4f -> %.4f over %llu updates -> %s\n",
+                result.stressBefore, result.stressAfter,
+                static_cast<unsigned long long>(result.updates),
+                argv[1]);
+    return 0;
+}
+
+int
+cmdSplit(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const auto graph = graph::readGfaFile(argv[0]);
+    const size_t max_len = argc > 2
+        ? std::strtoull(argv[2], nullptr, 10) : 8;
+    const auto split = graph.splitNodes(max_len);
+    graph::writeGfaFile(argv[1], split);
+    std::printf("split: avg node %.2f -> %.2f bp, %zu -> %zu nodes "
+                "-> %s\n",
+                graph.stats().avgNodeLength,
+                split.stats().avgNodeLength, graph.nodeCount(),
+                split.nodeCount(), argv[1]);
+    return 0;
+}
+
+int
+cmdDeconstruct(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    const auto graph = graph::readGfaFile(argv[0]);
+    graph::PathId ref_path = 0;
+    if (argc > 1) {
+        bool found = false;
+        for (graph::PathId p = 0; p < graph.pathCount(); ++p) {
+            if (graph.pathName(p) == argv[1]) {
+                ref_path = p;
+                found = true;
+            }
+        }
+        if (!found)
+            core::fatal("no path named '", argv[1], "'");
+    }
+    const auto variants =
+        analysis::deconstructVariants(graph, ref_path);
+    std::printf("#REF=%s\n#POS\tREF\tALT\tSUPPORT(ref;alts)\n",
+                graph.pathName(ref_path).c_str());
+    for (const auto &v : variants) {
+        std::string alts, supports;
+        for (size_t a = 0; a < v.altAlleles.size(); ++a) {
+            if (a != 0) {
+                alts += ',';
+                supports += ',';
+            }
+            alts += v.altAlleles[a].empty() ? "-" : v.altAlleles[a];
+            supports += std::to_string(v.altSupport[a]);
+        }
+        std::printf("%llu\t%s\t%s\t%u;%s\n",
+                    static_cast<unsigned long long>(v.refPosition),
+                    v.refAllele.empty() ? "-" : v.refAllele.c_str(),
+                    alts.c_str(), v.refSupport, supports.c_str());
+    }
+    std::fprintf(stderr, "%zu variant sites\n", variants.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    try {
+        if (command == "simulate")
+            return cmdSimulate(argc - 2, argv + 2);
+        if (command == "stats")
+            return cmdStats(argc - 2, argv + 2);
+        if (command == "map")
+            return cmdMap(argc - 2, argv + 2);
+        if (command == "build")
+            return cmdBuild(argc - 2, argv + 2);
+        if (command == "layout")
+            return cmdLayout(argc - 2, argv + 2);
+        if (command == "split")
+            return cmdSplit(argc - 2, argv + 2);
+        if (command == "deconstruct")
+            return cmdDeconstruct(argc - 2, argv + 2);
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "pgb %s: %s\n", command.c_str(),
+                     error.what());
+        return 1;
+    }
+    return usage();
+}
