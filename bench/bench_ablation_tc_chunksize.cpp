@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation: transclosure sweep chunk size and match-store backing.
+ *
+ * seqwish bounds the transitive-closure working set by sweeping the
+ * global sequence space in chunks (transclose-batch) and by keeping
+ * the match set in mmap'ed files. The induced graph is invariant to
+ * both knobs (property-tested in test_build.cpp); what changes is the
+ * work profile: small chunks multiply interval-tree queries and
+ * sweeps, file backing trades RAM for page-cache traffic. This bench
+ * quantifies that trade on the standard workload's TC inputs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "build/transclosure.hpp"
+
+namespace {
+
+using namespace pgb;
+using namespace pgb::bench;
+
+struct Setup
+{
+    std::unique_ptr<build::SequenceCatalog> catalog;
+    std::vector<build::MatchSegment> matches;
+};
+
+const Setup &
+setup()
+{
+    static const Setup s = [] {
+        Setup out;
+        const auto pangenome = synth::simulatePangenome(
+            synth::mGraphLikeConfig(smallScale() ? 20000 : 60000, 9));
+        std::vector<seq::Sequence> seqs;
+        seqs.push_back(pangenome.reference);
+        for (const auto &hap : pangenome.haplotypes)
+            seqs.push_back(hap);
+        out.catalog = std::make_unique<build::SequenceCatalog>(seqs);
+        for (const auto &m :
+             synth::groundTruthMatches(pangenome, 16)) {
+            out.matches.push_back(
+                {out.catalog->globalOffset(0, m.refStart),
+                 out.catalog->globalOffset(m.haplotype + 1, m.hapStart),
+                 m.length});
+        }
+        return out;
+    }();
+    return s;
+}
+
+void
+BM_TcChunkSize(benchmark::State &state)
+{
+    const Setup &s = setup();
+    build::TcOptions options;
+    options.chunkSize = static_cast<size_t>(state.range(0));
+    options.fileBackedMatches = state.range(1) != 0;
+    uint64_t classes = 0, tree_queries = 0, sweeps = 0, unions = 0;
+    for (auto _ : state) {
+        const auto result =
+            build::transclose(*s.catalog, s.matches, options);
+        classes = result.closureClasses;
+        tree_queries = result.treeQueries;
+        sweeps = result.sweeps;
+        unions = result.unions;
+        benchmark::DoNotOptimize(classes);
+    }
+    state.counters["closure_classes"] = static_cast<double>(classes);
+    state.counters["tree_queries"] = static_cast<double>(tree_queries);
+    state.counters["sweeps"] = static_cast<double>(sweeps);
+    state.counters["unions"] = static_cast<double>(unions);
+    state.SetLabel(std::string(options.fileBackedMatches
+                                   ? "file-backed matches"
+                                   : "in-memory matches") +
+                   ", chunk " + std::to_string(options.chunkSize));
+}
+BENCHMARK(BM_TcChunkSize)
+    ->ArgsProduct({{64, 1 << 10, 1 << 16}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

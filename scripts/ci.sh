@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification, exactly the ROADMAP.md line: configure, build,
+# run the test suite. Used by .github/workflows/ci.yml and locally.
+#
+# usage: scripts/ci.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)"

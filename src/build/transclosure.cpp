@@ -1,0 +1,48 @@
+#include "build/transclosure.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+#include "core/probe.hpp"
+
+namespace pgb::build {
+
+SequenceCatalog::SequenceCatalog(
+    const std::vector<seq::Sequence> &sequences)
+{
+    offsets_.reserve(sequences.size() + 1);
+    names_.reserve(sequences.size());
+    offsets_.push_back(0);
+    size_t total = 0;
+    for (const seq::Sequence &sequence : sequences)
+        total += sequence.size();
+    bases_.reserve(total);
+    for (const seq::Sequence &sequence : sequences) {
+        bases_.insert(bases_.end(), sequence.codes().begin(),
+                      sequence.codes().end());
+        offsets_.push_back(bases_.size());
+        names_.push_back(sequence.name());
+    }
+}
+
+size_t
+SequenceCatalog::sequenceOf(uint64_t global) const
+{
+    if (global >= totalBases())
+        core::fatal("SequenceCatalog::sequenceOf: position ", global,
+                    " past the ", totalBases(), "-base global space");
+    const auto it = std::upper_bound(offsets_.begin(), offsets_.end(),
+                                     global);
+    return static_cast<size_t>(it - offsets_.begin()) - 1;
+}
+
+TcResult
+transclose(const SequenceCatalog &catalog,
+           const std::vector<MatchSegment> &matches,
+           const TcOptions &options)
+{
+    core::NullProbe probe;
+    return tcdetail::transcloseImpl(catalog, matches, options, probe);
+}
+
+} // namespace pgb::build

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Transitive closure graph induction (the paper's TC kernel, from
+ * PGGB's seqwish stage).
+ *
+ * Input: a catalog of haplotype sequences laid out in one global
+ * coordinate space, plus exact-match segments between them (from
+ * wfmash or ground truth). The kernel unites matched characters into
+ * closure classes — transitively, so a~b and b~c puts all three into
+ * one class even without a direct a~c match — then emits one graph
+ * base per class, compacts non-branching runs into nodes, connects
+ * them with edges, and embeds one path per input sequence so every
+ * path spells its input exactly (paper §3, Figure 4f).
+ *
+ * The closure follows seqwish's structure on this repo's substrates:
+ * an implicit interval tree over the match set, chunked sweeps of the
+ * global sequence space, union-find with whole-range unions, and an
+ * atomic bitvector "seen" set during emission. TcOptions::
+ * fileBackedMatches reproduces seqwish's mmap mode by staging the
+ * match set in a file-backed core::Arena; the induced graph is
+ * identical either way, as is the graph under any sweep chunk size.
+ */
+
+#ifndef PGB_BUILD_TRANSCLOSURE_HPP
+#define PGB_BUILD_TRANSCLOSURE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/pangraph.hpp"
+#include "seq/sequence.hpp"
+
+namespace pgb::build {
+
+/**
+ * One exact match between two regions of the global sequence space:
+ * character aStart+k equals character bStart+k for k in [0, length).
+ */
+struct MatchSegment
+{
+    uint64_t aStart = 0; ///< global offset of the first copy
+    uint64_t bStart = 0; ///< global offset of the second copy
+    uint32_t length = 0; ///< run length in bases
+};
+
+/**
+ * Input sequences concatenated into one global coordinate space
+ * (seqwish's "seqidx"): sequence s occupies [start(s), end(s)).
+ */
+class SequenceCatalog
+{
+  public:
+    explicit SequenceCatalog(const std::vector<seq::Sequence> &sequences);
+
+    /** Number of catalogued sequences. */
+    size_t sequenceCount() const { return names_.size(); }
+
+    /** Total bases across all sequences (the global space size). */
+    uint64_t totalBases() const { return offsets_.back(); }
+
+    /** Global offset of the first base of sequence @p s. */
+    uint64_t start(size_t s) const { return offsets_[s]; }
+
+    /** Global offset one past the last base of sequence @p s. */
+    uint64_t end(size_t s) const { return offsets_[s + 1]; }
+
+    /** Global offset of local position @p offset in sequence @p s. */
+    uint64_t
+    globalOffset(size_t s, uint64_t offset) const
+    {
+        return offsets_[s] + offset;
+    }
+
+    /** Index of the sequence containing global position @p global. */
+    size_t sequenceOf(uint64_t global) const;
+
+    /** Base code at global position @p global. */
+    uint8_t baseAt(uint64_t global) const { return bases_[global]; }
+
+    /** Name of sequence @p s. */
+    const std::string &name(size_t s) const { return names_[s]; }
+
+  private:
+    std::vector<uint8_t> bases_;    ///< concatenated base codes
+    std::vector<uint64_t> offsets_; ///< sequenceCount()+1 fence posts
+    std::vector<std::string> names_;
+};
+
+/** Transclosure kernel options. */
+struct TcOptions
+{
+    /** Global positions swept per chunk (seqwish's transclose-batch). */
+    size_t chunkSize = 1 << 16;
+    /** Stage the match set in a file-backed Arena (seqwish mmap mode). */
+    bool fileBackedMatches = false;
+};
+
+/** Induced graph plus the kernel's seqwish-style work accounting. */
+struct TcResult
+{
+    graph::PanGraph graph;
+    uint64_t closureClasses = 0; ///< distinct classes == graph bases
+    uint64_t treeQueries = 0;    ///< interval-tree overlap queries
+    uint64_t unions = 0;         ///< union-find merges performed
+    uint64_t sweeps = 0;         ///< chunk sweeps over the global space
+};
+
+/** Uninstrumented transclosure (NullProbe). */
+TcResult transclose(const SequenceCatalog &catalog,
+                    const std::vector<MatchSegment> &matches,
+                    const TcOptions &options = {});
+
+/** Instrumented transclosure; see tcdetail::transcloseImpl. */
+template <typename Probe>
+TcResult transclose(const SequenceCatalog &catalog,
+                    const std::vector<MatchSegment> &matches,
+                    const TcOptions &options, Probe &probe);
+
+} // namespace pgb::build
+
+#include "build/transclosure_impl.hpp"
+
+#endif // PGB_BUILD_TRANSCLOSURE_HPP

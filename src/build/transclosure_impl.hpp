@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Probe-templated transclosure kernel body. Included by
+ * transclosure.hpp; the characterization benches include this header
+ * directly and instantiate tcdetail::transcloseImpl with their own
+ * probe types (prof::TraceProbe, core::CountingProbe).
+ */
+
+#ifndef PGB_BUILD_TRANSCLOSURE_IMPL_HPP
+#define PGB_BUILD_TRANSCLOSURE_IMPL_HPP
+
+#include "build/transclosure.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "core/arena.hpp"
+#include "core/bitvector.hpp"
+#include "core/interval_tree.hpp"
+#include "core/probe.hpp"
+#include "core/union_find.hpp"
+
+namespace pgb::build::tcdetail {
+
+/**
+ * The TC kernel (paper §3, Figure 4f): close the match set into
+ * character equivalence classes, emit one graph base per class,
+ * compact non-branching runs into nodes, and embed every catalog
+ * sequence as a path that spells it exactly.
+ */
+template <typename Probe>
+TcResult
+transcloseImpl(const SequenceCatalog &catalog,
+               const std::vector<MatchSegment> &matches,
+               const TcOptions &options, Probe &probe)
+{
+    TcResult result;
+    const uint64_t total = catalog.totalBases();
+    if (total == 0)
+        return result;
+
+    // ---- 1. Stage the match set in an arena, exactly as seqwish
+    // keeps its match mmmulti on disk in mmap mode.
+    core::Arena store(options.fileBackedMatches
+                          ? core::Arena::Mode::kFileBacked
+                          : core::Arena::Mode::kInMemory);
+    store.reserve(matches.size() * sizeof(MatchSegment));
+    for (const MatchSegment &match : matches) {
+        if (match.length > 0)
+            store.append(&match, sizeof(match));
+    }
+    const size_t stored = store.size() / sizeof(MatchSegment);
+    const auto matchAt = [&store](size_t index) {
+        MatchSegment match;
+        std::memcpy(&match, store.at(index * sizeof(MatchSegment)),
+                    sizeof(match));
+        return match;
+    };
+
+    // ---- 2. Implicit interval tree over both sides of every match;
+    // the payload encodes (match index << 1 | side).
+    core::ImplicitIntervalTree tree;
+    for (size_t i = 0; i < stored; ++i) {
+        const MatchSegment match = matchAt(i);
+        tree.add(match.aStart, match.aStart + match.length, i << 1);
+        tree.add(match.bStart, match.bStart + match.length,
+                 (i << 1) | 1);
+    }
+    tree.index();
+
+    // Scratch sized like the union-find parent array; its entries
+    // double as the instrumented addresses for the parent-chasing
+    // traffic, so the cache model sees the kernel's real 4 B/element
+    // random-access pattern.
+    constexpr uint32_t kUnassigned =
+        std::numeric_limits<uint32_t>::max();
+    std::vector<uint32_t> class_of(total, kUnassigned);
+
+    // ---- 3. Chunked sweeps of the global space uniting matched
+    // characters. Union-find makes sweep order irrelevant, so the
+    // induced graph is invariant to chunkSize (property-tested);
+    // chunking bounds the per-sweep working set the way seqwish's
+    // transclose-batch does.
+    core::UnionFind classes(total);
+    const uint64_t chunk = std::max<size_t>(1, options.chunkSize);
+    for (uint64_t lo = 0; lo < total; lo += chunk) {
+        const uint64_t hi = std::min<uint64_t>(total, lo + chunk);
+        ++result.sweeps;
+        ++result.treeQueries;
+        tree.visitOverlaps(lo, hi, [&](const core::Interval &iv) {
+            probe.load(store.at((iv.value >> 1) * sizeof(MatchSegment)),
+                       sizeof(MatchSegment));
+            const MatchSegment match = matchAt(iv.value >> 1);
+            const bool b_side = (iv.value & 1) != 0;
+            const uint64_t self = b_side ? match.bStart : match.aStart;
+            const uint64_t other = b_side ? match.aStart : match.bStart;
+            const uint64_t from = std::max(iv.start, lo);
+            const uint64_t to = std::min(iv.end, hi);
+            probe.op(core::OpKind::kScalar, 4);
+            for (uint64_t p = from; p < to; ++p) {
+                const uint64_t q = other + (p - self);
+                probe.load(class_of.data() + p, sizeof(uint32_t));
+                probe.load(class_of.data() + q, sizeof(uint32_t));
+                const size_t before = classes.setCount();
+                classes.unite(p, q);
+                const bool merged = classes.setCount() != before;
+                probe.branch(/* site */ 70, merged);
+                if (merged) {
+                    ++result.unions;
+                    probe.store(class_of.data() + q, sizeof(uint32_t));
+                }
+            }
+        });
+    }
+    result.closureClasses = classes.setCount();
+
+    // ---- 4. Emission: one graph base per closure class, ordered by
+    // first appearance in a forward scan of the global space. The
+    // atomic "seen" set marks emitted classes by representative.
+    core::AtomicBitVector seen(total);
+    std::vector<uint8_t> graph_bases;
+    graph_bases.reserve(result.closureClasses);
+    for (uint64_t p = 0; p < total; ++p) {
+        const size_t rep = classes.find(p);
+        probe.load(class_of.data() + rep, sizeof(uint32_t));
+        const bool fresh = seen.setIfClear(rep);
+        probe.branch(/* site */ 71, fresh);
+        if (fresh) {
+            class_of[rep] = static_cast<uint32_t>(graph_bases.size());
+            graph_bases.push_back(catalog.baseAt(p));
+            probe.store(class_of.data() + rep, sizeof(uint32_t));
+        }
+    }
+
+    // ---- 5. Node boundaries: a cut before any class where a path
+    // starts, after any class where one ends, and around every
+    // non-contiguous path transition. The runs between cuts are the
+    // compacted nodes, and every path walk decomposes into whole runs.
+    const auto n_classes = static_cast<uint32_t>(result.closureClasses);
+    core::BitVector boundary(n_classes + 1);
+    boundary.set(0);
+    boundary.set(n_classes);
+    const size_t n_seqs = catalog.sequenceCount();
+    const auto classAt = [&classes, &class_of](uint64_t p) {
+        return class_of[classes.find(p)];
+    };
+    for (size_t s = 0; s < n_seqs; ++s) {
+        const uint64_t s_begin = catalog.start(s);
+        const uint64_t s_end = catalog.end(s);
+        if (s_begin == s_end)
+            continue;
+        uint32_t prev = classAt(s_begin);
+        boundary.set(prev);
+        for (uint64_t p = s_begin + 1; p < s_end; ++p) {
+            const uint32_t cls = classAt(p);
+            const bool jump = cls != prev + 1;
+            probe.branch(/* site */ 72, jump);
+            if (jump) {
+                boundary.set(prev + 1);
+                boundary.set(cls);
+            }
+            prev = cls;
+        }
+        boundary.set(prev + 1);
+    }
+
+    // ---- 6. Emit the compacted nodes.
+    std::vector<uint32_t> node_of(n_classes);
+    std::vector<uint32_t> node_begin;
+    for (uint32_t c = 0; c < n_classes; ++c) {
+        if (boundary.get(c))
+            node_begin.push_back(c);
+        node_of[c] = static_cast<uint32_t>(node_begin.size() - 1);
+    }
+    for (size_t k = 0; k < node_begin.size(); ++k) {
+        const uint32_t node_end = k + 1 < node_begin.size()
+                                      ? node_begin[k + 1]
+                                      : n_classes;
+        result.graph.addNode(seq::Sequence(std::vector<uint8_t>(
+            graph_bases.begin() + node_begin[k],
+            graph_bases.begin() + node_end)));
+    }
+
+    // ---- 7. Edges and embedded paths. Cuts guarantee each sequence
+    // enters nodes at their first class and leaves at their last, so
+    // its path spells it exactly.
+    for (size_t s = 0; s < n_seqs; ++s) {
+        const uint64_t s_begin = catalog.start(s);
+        const uint64_t s_end = catalog.end(s);
+        if (s_begin == s_end)
+            continue;
+        std::vector<graph::Handle> steps;
+        uint32_t prev = kUnassigned;
+        for (uint64_t p = s_begin; p < s_end; ++p) {
+            const uint32_t cls = classAt(p);
+            if (steps.empty() || cls != prev + 1 ||
+                node_of[cls] != node_of[prev]) {
+                steps.emplace_back(node_of[cls], false);
+            }
+            prev = cls;
+        }
+        for (size_t i = 0; i + 1 < steps.size(); ++i)
+            result.graph.addEdge(steps[i], steps[i + 1]);
+        std::string name = catalog.name(s);
+        if (name.empty())
+            name = "seq" + std::to_string(s);
+        result.graph.addPath(std::move(name), std::move(steps));
+    }
+    return result;
+}
+
+} // namespace pgb::build::tcdetail
+
+namespace pgb::build {
+
+template <typename Probe>
+TcResult
+transclose(const SequenceCatalog &catalog,
+           const std::vector<MatchSegment> &matches,
+           const TcOptions &options, Probe &probe)
+{
+    return tcdetail::transcloseImpl(catalog, matches, options, probe);
+}
+
+} // namespace pgb::build
+
+#endif // PGB_BUILD_TRANSCLOSURE_IMPL_HPP

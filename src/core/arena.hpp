@@ -57,6 +57,9 @@ class Arena
 
     Mode mode() const { return mode_; }
 
+    /** Backing file path (empty in kInMemory mode). */
+    const std::string &path() const { return path_; }
+
   private:
     void grow(size_t min_capacity);
     void release();

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Supplementary transclosure-subsystem coverage: the TC-induced graph
+ * must survive a GFA serialization round trip, and the file-backed
+ * Arena that backs TcOptions::fileBackedMatches must clean up its
+ * temporary file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unistd.h>
+
+#include "build/transclosure.hpp"
+#include "core/arena.hpp"
+#include "graph/gfa.hpp"
+#include "synth/pangenome_sim.hpp"
+
+namespace pgb::build {
+namespace {
+
+using seq::Sequence;
+
+/** TC graph for a small simulated pangenome, from ground-truth matches. */
+TcResult
+closeSimulatedPangenome(size_t bases, uint64_t seed, size_t haplotypes,
+                        const TcOptions &options = {})
+{
+    const auto pangenome =
+        synth::simulatePangenome(synth::mGraphLikeConfig(bases, seed));
+    std::vector<Sequence> seqs;
+    seqs.push_back(pangenome.reference);
+    for (size_t h = 0; h < haplotypes; ++h)
+        seqs.push_back(pangenome.haplotypes[h]);
+    SequenceCatalog catalog(seqs);
+    std::vector<MatchSegment> matches;
+    for (const auto &m : synth::groundTruthMatches(pangenome)) {
+        if (m.haplotype >= haplotypes)
+            continue;
+        matches.push_back({catalog.globalOffset(0, m.refStart),
+                           catalog.globalOffset(m.haplotype + 1,
+                                                m.hapStart),
+                           m.length});
+    }
+    return transclose(catalog, matches, options);
+}
+
+TEST(TransclosureGfa, RoundTripPreservesTheGraph)
+{
+    const auto result = closeSimulatedPangenome(8000, 77, 3);
+    ASSERT_GT(result.graph.nodeCount(), 1u);
+
+    std::stringstream gfa;
+    graph::writeGfa(gfa, result.graph);
+    const auto reread = graph::readGfa(gfa);
+
+    const auto before = result.graph.stats();
+    const auto after = reread.stats();
+    EXPECT_EQ(after.nodeCount, before.nodeCount);
+    EXPECT_EQ(after.edgeCount, before.edgeCount);
+    EXPECT_EQ(after.pathCount, before.pathCount);
+    EXPECT_EQ(after.totalBases, before.totalBases);
+    EXPECT_EQ(after.maxNodeLength, before.maxNodeLength);
+    for (graph::PathId p = 0; p < result.graph.pathCount(); ++p) {
+        EXPECT_EQ(reread.pathName(p), result.graph.pathName(p));
+        EXPECT_EQ(reread.pathSequence(p).toString(),
+                  result.graph.pathSequence(p).toString());
+    }
+}
+
+TEST(TransclosureGfa, RoundTripOfFileBackedClosureMatchesMemoryMode)
+{
+    TcOptions file_mode;
+    file_mode.fileBackedMatches = true;
+    const auto memory = closeSimulatedPangenome(6000, 78, 2);
+    const auto file = closeSimulatedPangenome(6000, 78, 2, file_mode);
+
+    std::stringstream a, b;
+    graph::writeGfa(a, memory.graph);
+    graph::writeGfa(b, file.graph);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ArenaFileBacked, TempFileIsRemovedOnDestruction)
+{
+    std::string path;
+    {
+        core::Arena arena(core::Arena::Mode::kFileBacked);
+        const uint64_t payload = 0xDEADBEEFull;
+        arena.append(&payload, sizeof(payload));
+        path = arena.path();
+        ASSERT_FALSE(path.empty());
+        ASSERT_EQ(::access(path.c_str(), F_OK), 0)
+            << "backing file should exist while the arena lives";
+    }
+    EXPECT_NE(::access(path.c_str(), F_OK), 0)
+        << "backing file should be unlinked by ~Arena";
+}
+
+TEST(ArenaFileBacked, MoveTransfersCleanupResponsibility)
+{
+    std::string path;
+    {
+        core::Arena outer(core::Arena::Mode::kInMemory);
+        {
+            core::Arena inner(core::Arena::Mode::kFileBacked);
+            const uint32_t payload = 7;
+            inner.append(&payload, sizeof(payload));
+            path = inner.path();
+            outer = std::move(inner);
+        }
+        // The moved-from arena died; the file must still be alive.
+        EXPECT_EQ(::access(path.c_str(), F_OK), 0);
+    }
+    EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+} // namespace
+} // namespace pgb::build
