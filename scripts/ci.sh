@@ -2,11 +2,26 @@
 # Tier-1 verification, exactly the ROADMAP.md line: configure, build,
 # run the test suite. Used by .github/workflows/ci.yml and locally.
 #
-# usage: scripts/ci.sh [build-dir]
+# PGB_SANITIZE=1 rebuilds under ASan+UBSan (fail on first report) so
+# the fault-injection and robustness paths are exercised with memory
+# and UB checking on.
+#
+# usage: [PGB_SANITIZE=1] scripts/ci.sh [build-dir]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -S .
+CMAKE_ARGS=()
+if [ "${PGB_SANITIZE:-0}" = "1" ]; then
+    SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all \
+-fno-omit-frame-pointer"
+    CMAKE_ARGS+=(
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+        "-DCMAKE_CXX_FLAGS=${SAN_FLAGS}"
+        "-DCMAKE_EXE_LINKER_FLAGS=${SAN_FLAGS}"
+    )
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)"

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# CLI robustness harness: pgb must exit non-zero with a one-line
+# diagnostic — and never abort, segfault, or std::terminate — for every
+# broken corpus input, injected write failure, and garbage argument.
+#
+# usage: cli_robustness.sh <path-to-pgb> <corpus-dir>
+set -u
+
+PGB=${1:?usage: cli_robustness.sh <pgb> <corpus-dir>}
+CORPUS=${2:?usage: cli_robustness.sh <pgb> <corpus-dir>}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+failures=0
+
+# run <description> -- <cmd...>: expect clean non-zero exit + stderr.
+expect_fail() {
+    local what=$1
+    shift
+    local err="$WORK/stderr.txt"
+    "$@" >/dev/null 2> "$err"
+    local status=$?
+    if [ "$status" -eq 0 ]; then
+        echo "FAIL: $what: expected failure but exited 0" >&2
+        failures=$((failures + 1))
+    elif [ "$status" -ge 128 ]; then
+        # 134 = SIGABRT (std::terminate), 139 = SIGSEGV.
+        echo "FAIL: $what: killed by signal (exit $status)" >&2
+        failures=$((failures + 1))
+    elif ! [ -s "$err" ]; then
+        echo "FAIL: $what: no diagnostic on stderr" >&2
+        failures=$((failures + 1))
+    else
+        echo "ok: $what ($(head -n 1 "$err"))"
+    fi
+}
+
+expect_ok() {
+    local what=$1
+    shift
+    if ! "$@" >/dev/null 2> "$WORK/stderr.txt"; then
+        echo "FAIL: $what: expected success, got exit $?" >&2
+        sed 's/^/    /' "$WORK/stderr.txt" >&2
+        failures=$((failures + 1))
+    else
+        echo "ok: $what"
+    fi
+}
+
+# A small healthy dataset to drive the write-failure cases.
+expect_ok "simulate healthy dataset" \
+    "$PGB" simulate "$WORK/d" 2000 4 1
+
+# --- every corpus input fails cleanly in strict mode ----------------
+expect_fail "stats on duplicate segment" \
+    "$PGB" stats "$CORPUS/dup_segment.gfa"
+expect_fail "stats on bad orientation" \
+    "$PGB" stats "$CORPUS/bad_orientation.gfa"
+expect_fail "stats on unknown segment" \
+    "$PGB" stats "$CORPUS/unknown_segment.gfa"
+expect_fail "stats on empty GFA" \
+    "$PGB" stats "$CORPUS/empty.gfa"
+expect_fail "stats on missing file" \
+    "$PGB" stats "$CORPUS/no_such_file.gfa"
+expect_fail "map with truncated FASTQ" \
+    "$PGB" map "$WORK/d.gfa" "$CORPUS/truncated.fq"
+expect_fail "map with bad FASTQ header" \
+    "$PGB" map "$WORK/d.gfa" "$CORPUS/bad_header.fq"
+expect_fail "map with quality mismatch" \
+    "$PGB" map "$WORK/d.gfa" "$CORPUS/qual_mismatch.fq"
+expect_fail "build with non-ACGT FASTA" \
+    "$PGB" build "$CORPUS/bad_bases.fa" "$WORK/out.gfa"
+expect_fail "build with data before header" \
+    "$PGB" build "$CORPUS/data_before_header.fa" "$WORK/out.gfa"
+
+# CRLF input is legal, not an error.
+expect_ok "stats on CRLF GFA" "$PGB" stats "$CORPUS/crlf.gfa"
+
+# Lenient mode downgrades a recoverable error to a warning.
+expect_ok "lenient stats on bad orientation" \
+    env PGB_LENIENT_PARSE=1 "$PGB" stats "$CORPUS/bad_orientation.gfa"
+
+# --- injected write failures ---------------------------------------
+expect_fail "layout with injected flush failure" \
+    env PGB_FAULT=io.flush:1 \
+    "$PGB" layout "$WORK/d.gfa" "$WORK/layout.tsv" 2 1
+expect_fail "split with injected flush failure" \
+    env PGB_FAULT=io.flush:1 \
+    "$PGB" split "$WORK/d.gfa" "$WORK/split.gfa" 8
+expect_fail "layout to unwritable path" \
+    "$PGB" layout "$WORK/d.gfa" "$WORK/no-such-dir/layout.tsv" 2 1
+expect_fail "split to unwritable path" \
+    "$PGB" split "$WORK/d.gfa" "$WORK/no-such-dir/split.gfa" 8
+
+# --- injected worker faults surface as one-line errors -------------
+expect_fail "map with injected worker fault" \
+    env PGB_FAULT=mapper.read:1 \
+    "$PGB" map "$WORK/d.gfa" "$WORK/d.short.fq" vgmap 2
+
+# --- garbage numeric arguments -------------------------------------
+expect_fail "map with garbage thread count" \
+    "$PGB" map "$WORK/d.gfa" "$WORK/d.short.fq" vgmap banana
+expect_fail "map with zero threads" \
+    "$PGB" map "$WORK/d.gfa" "$WORK/d.short.fq" vgmap 0
+expect_fail "map with negative threads" \
+    "$PGB" map "$WORK/d.gfa" "$WORK/d.short.fq" vgmap -4
+expect_fail "layout with garbage iterations" \
+    "$PGB" layout "$WORK/d.gfa" "$WORK/layout.tsv" many
+expect_fail "simulate with out-of-range bases" \
+    "$PGB" simulate "$WORK/g" 7
+expect_fail "split with trailing junk length" \
+    "$PGB" split "$WORK/d.gfa" "$WORK/split.gfa" 8x
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures robustness check(s) failed" >&2
+    exit 1
+fi
+echo "all robustness checks passed"

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <utility>
 
+#include "core/fault.hpp"
 #include "core/logging.hpp"
 
 namespace pgb::core {
@@ -16,6 +17,10 @@ namespace pgb::core {
 namespace {
 
 constexpr size_t kInitialCapacity = 1 << 20;
+
+FaultSite faultArenaOpen("arena.open");
+FaultSite faultArenaTruncate("arena.ftruncate");
+FaultSite faultArenaMmap("arena.mmap");
 
 size_t
 roundUpPage(size_t bytes)
@@ -29,19 +34,29 @@ roundUpPage(size_t bytes)
 Arena::Arena(Mode mode, std::string path)
     : mode_(mode), path_(std::move(path))
 {
-    if (mode_ == Mode::kFileBacked) {
-        if (path_.empty()) {
-            const char *tmp = std::getenv("TMPDIR");
-            path_ = std::string(tmp ? tmp : "/tmp") + "/pgb_arena_XXXXXX";
-            fd_ = mkstemp(path_.data());
-            unlinkOnClose_ = true;
-        } else {
-            fd_ = open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
-        }
-        if (fd_ < 0) {
-            fatal("Arena: cannot open backing file '", path_, "': ",
-                  std::strerror(errno));
-        }
+    if (mode_ != Mode::kFileBacked)
+        return;
+    if (path_.empty()) {
+        const char *tmp = std::getenv("TMPDIR");
+        path_ = std::string(tmp ? tmp : "/tmp") + "/pgb_arena_XXXXXX";
+        fd_ = mkstemp(path_.data());
+        unlinkOnClose_ = true;
+    } else {
+        fd_ = open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+    }
+    if (fd_ >= 0 && faultArenaOpen.fire()) {
+        close(fd_);
+        if (unlinkOnClose_)
+            unlink(path_.c_str());
+        fd_ = -1;
+        errno = EIO;
+    }
+    if (fd_ < 0) {
+        warn("Arena: cannot open backing file '", path_, "': ",
+             std::strerror(errno), "; falling back to in-memory storage");
+        mode_ = Mode::kInMemory;
+        path_.clear();
+        unlinkOnClose_ = false;
     }
 }
 
@@ -101,6 +116,36 @@ Arena::release()
     }
 }
 
+/**
+ * Abandon the backing file and continue in memory with at least
+ * @p min_capacity bytes: the storage contract (contents, offsets)
+ * survives, only the RAM-overcommit advantage is lost.
+ */
+void
+Arena::degradeToMemory(size_t min_capacity)
+{
+    auto *mem = static_cast<uint8_t *>(std::malloc(min_capacity));
+    if (mem == nullptr) {
+        fatal("Arena: out of memory falling back from file-backed "
+              "storage (", min_capacity, " bytes)");
+    }
+    if (data_ != nullptr) {
+        std::memcpy(mem, data_, size_);
+        munmap(data_, capacity_);
+    }
+    if (fd_ >= 0) {
+        close(fd_);
+        fd_ = -1;
+        if (unlinkOnClose_)
+            unlink(path_.c_str());
+    }
+    mode_ = Mode::kInMemory;
+    path_.clear();
+    unlinkOnClose_ = false;
+    data_ = mem;
+    capacity_ = min_capacity;
+}
+
 void
 Arena::grow(size_t min_capacity)
 {
@@ -110,12 +155,28 @@ Arena::grow(size_t min_capacity)
     new_capacity = roundUpPage(new_capacity);
 
     if (mode_ == Mode::kFileBacked) {
-        if (ftruncate(fd_, static_cast<off_t>(new_capacity)) != 0)
-            fatal("Arena: ftruncate failed: ", std::strerror(errno));
+        if (ftruncate(fd_, static_cast<off_t>(new_capacity)) != 0 ||
+            faultArenaTruncate.fire()) {
+            warn("Arena: ftruncate('", path_, "') to ", new_capacity,
+                 " bytes failed: ", std::strerror(errno),
+                 "; falling back to in-memory storage");
+            degradeToMemory(new_capacity);
+            return;
+        }
         void *mapped = mmap(nullptr, new_capacity, PROT_READ | PROT_WRITE,
                             MAP_SHARED, fd_, 0);
-        if (mapped == MAP_FAILED)
-            fatal("Arena: mmap failed: ", std::strerror(errno));
+        if (mapped != MAP_FAILED && faultArenaMmap.fire()) {
+            munmap(mapped, new_capacity);
+            mapped = MAP_FAILED;
+            errno = ENOMEM;
+        }
+        if (mapped == MAP_FAILED) {
+            warn("Arena: mmap of '", path_, "' (", new_capacity,
+                 " bytes) failed: ", std::strerror(errno),
+                 "; falling back to in-memory storage");
+            degradeToMemory(new_capacity);
+            return;
+        }
         if (data_ != nullptr) {
             std::memcpy(mapped, data_, size_);
             munmap(data_, capacity_);

@@ -8,6 +8,12 @@
  * storage is an mmap'ed temporary file; in kInMemory mode it is a plain
  * allocation (used by unit tests). The access pattern through the arena
  * is identical either way.
+ *
+ * File-backed setup is best-effort: if mkstemp/open, ftruncate, or
+ * mmap fails (for real, or via the "arena.open" / "arena.ftruncate" /
+ * "arena.mmap" fault sites), the arena warn()s and degrades to
+ * in-memory storage with contents and offsets preserved, so callers
+ * like transclose() keep working with the same results.
  */
 
 #ifndef PGB_CORE_ARENA_HPP
@@ -26,7 +32,8 @@ class Arena
     enum class Mode { kInMemory, kFileBacked };
 
     /**
-     * @param mode storage mode
+     * @param mode storage mode (kFileBacked degrades to kInMemory with
+     *        a warning when the backing file cannot be set up)
      * @param path file path for kFileBacked (empty = anonymous temp file
      *        under $TMPDIR)
      */
@@ -55,6 +62,7 @@ class Arena
     /** Bytes appended so far. */
     size_t size() const { return size_; }
 
+    /** Current storage mode (kInMemory after a degraded fallback). */
     Mode mode() const { return mode_; }
 
     /** Backing file path (empty in kInMemory mode). */
@@ -62,6 +70,7 @@ class Arena
 
   private:
     void grow(size_t min_capacity);
+    void degradeToMemory(size_t min_capacity);
     void release();
 
     Mode mode_;

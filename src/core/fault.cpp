@@ -1,0 +1,191 @@
+#include "core/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "core/logging.hpp"
+
+namespace pgb::core {
+
+/**
+ * Process-wide site registry. Sites self-register from their static
+ * constructors; arms targeting not-yet-registered sites wait in
+ * `pending` so PGB_FAULT works regardless of static-init order.
+ */
+struct FaultRegistry
+{
+    std::mutex lock;
+    std::vector<FaultSite *> registered;
+    std::map<std::string, uint64_t> pending;
+
+    static FaultRegistry &
+    instance()
+    {
+        static FaultRegistry registry;
+        return registry;
+    }
+
+    FaultRegistry()
+    {
+        const char *spec = std::getenv("PGB_FAULT");
+        if (spec != nullptr)
+            applySpec(spec);
+    }
+
+    /** Parse "site[:n][,site[:n]...]"; bad entries warn and are skipped. */
+    void
+    applySpec(const std::string &spec)
+    {
+        size_t start = 0;
+        while (start <= spec.size()) {
+            size_t comma = spec.find(',', start);
+            if (comma == std::string::npos)
+                comma = spec.size();
+            const std::string entry = spec.substr(start, comma - start);
+            start = comma + 1;
+            if (entry.empty())
+                continue;
+            const size_t colon = entry.find(':');
+            const std::string name = entry.substr(0, colon);
+            uint64_t nth = 1;
+            if (colon != std::string::npos) {
+                const std::string count = entry.substr(colon + 1);
+                char *end = nullptr;
+                nth = std::strtoull(count.c_str(), &end, 10);
+                if (count.empty() || *end != '\0' || nth == 0) {
+                    warn("PGB_FAULT: bad trigger count in '", entry,
+                         "' (want site:n with n >= 1); entry ignored");
+                    continue;
+                }
+            }
+            armByName(name, nth);
+        }
+    }
+
+    void
+    armByName(const std::string &name, uint64_t nth)
+    {
+        std::lock_guard<std::mutex> guard(lock);
+        if (FaultSite *site = find(name))
+            armSite(*site, nth);
+        else
+            pending[name] = nth;
+    }
+
+    FaultSite *
+    find(const std::string &name) // lock held
+    {
+        for (FaultSite *site : registered) {
+            if (name == site->name_)
+                return site;
+        }
+        return nullptr;
+    }
+
+    static void
+    armSite(FaultSite &site, uint64_t nth) // lock held
+    {
+        site.remaining_.store(nth, std::memory_order_relaxed);
+        site.armed_.store(true, std::memory_order_release);
+    }
+
+    static void
+    disarmSite(FaultSite &site) // lock held
+    {
+        site.armed_.store(false, std::memory_order_relaxed);
+        site.remaining_.store(0, std::memory_order_relaxed);
+    }
+};
+
+FaultSite::FaultSite(const char *name) : name_(name)
+{
+    FaultRegistry &registry = FaultRegistry::instance();
+    std::lock_guard<std::mutex> guard(registry.lock);
+    registry.registered.push_back(this);
+    const auto it = registry.pending.find(name_);
+    if (it != registry.pending.end()) {
+        FaultRegistry::armSite(*this, it->second);
+        registry.pending.erase(it);
+    }
+}
+
+bool
+FaultSite::fireSlow()
+{
+    const uint64_t before =
+        remaining_.fetch_sub(1, std::memory_order_acq_rel);
+    if (before == 1) {
+        armed_.store(false, std::memory_order_relaxed);
+        return true;
+    }
+    if (before == 0) {
+        // Raced past the trigger after another thread fired it.
+        remaining_.store(0, std::memory_order_relaxed);
+        armed_.store(false, std::memory_order_relaxed);
+    }
+    return false;
+}
+
+namespace fault {
+
+void
+arm(const std::string &site, uint64_t nth)
+{
+    if (nth == 0)
+        fatal("fault::arm('", site, "'): trigger count must be >= 1");
+    FaultRegistry::instance().armByName(site, nth);
+}
+
+void
+disarm(const std::string &site)
+{
+    FaultRegistry &registry = FaultRegistry::instance();
+    std::lock_guard<std::mutex> guard(registry.lock);
+    if (FaultSite *found = registry.find(site))
+        FaultRegistry::disarmSite(*found);
+    registry.pending.erase(site);
+}
+
+void
+disarmAll()
+{
+    FaultRegistry &registry = FaultRegistry::instance();
+    std::lock_guard<std::mutex> guard(registry.lock);
+    for (FaultSite *site : registry.registered)
+        FaultRegistry::disarmSite(*site);
+    registry.pending.clear();
+}
+
+void
+configure(const std::string &spec)
+{
+    FaultRegistry::instance().applySpec(spec);
+}
+
+std::vector<std::string>
+sites()
+{
+    FaultRegistry &registry = FaultRegistry::instance();
+    std::lock_guard<std::mutex> guard(registry.lock);
+    std::vector<std::string> names;
+    names.reserve(registry.registered.size());
+    for (const FaultSite *site : registry.registered)
+        names.emplace_back(site->name());
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+bool
+armed(const std::string &site)
+{
+    FaultRegistry &registry = FaultRegistry::instance();
+    std::lock_guard<std::mutex> guard(registry.lock);
+    const FaultSite *found = registry.find(site);
+    return found != nullptr && found->isArmed();
+}
+
+} // namespace fault
+
+} // namespace pgb::core

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * A FaultSite is a named point where a failure can be injected on the
+ * Nth hit, so failure paths (worker-thread exceptions, mmap failures,
+ * full disks) can be exercised deterministically in tests and from the
+ * command line. Sites are declared at namespace scope next to the
+ * operation they guard and registered in a global registry:
+ *
+ *     namespace { core::FaultSite faultMmap("arena.mmap"); }
+ *     ...
+ *     if (mapped == MAP_FAILED || faultMmap.fire()) { <failure path> }
+ *
+ * Site names follow "subsystem.operation" (lowercase, dot-separated).
+ * A disarmed site costs one relaxed atomic load per fire() call, so
+ * sites may sit on warm paths. Arming is programmatic (fault::arm) or
+ * via the PGB_FAULT environment variable, parsed once at startup:
+ *
+ *     PGB_FAULT=site[:n][,site[:n]...]   fail site's nth hit (default 1)
+ *
+ * FaultSite objects must have static storage duration: the registry
+ * keeps raw pointers for the life of the process.
+ */
+
+#ifndef PGB_CORE_FAULT_HPP
+#define PGB_CORE_FAULT_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgb::core {
+
+/** A named point where a failure can be injected deterministically. */
+class FaultSite
+{
+  public:
+    /** Register the site under @p name (a string literal). */
+    explicit FaultSite(const char *name);
+
+    /**
+     * Count a hit against the armed trigger.
+     * @return true when this hit is the one configured to fail.
+     */
+    bool
+    fire()
+    {
+        if (!armed_.load(std::memory_order_relaxed))
+            return false;
+        return fireSlow();
+    }
+
+    const char *name() const { return name_; }
+
+    /** Whether a trigger is currently pending on this site. */
+    bool
+    isArmed() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend struct FaultRegistry;
+    bool fireSlow();
+
+    const char *name_;
+    std::atomic<bool> armed_{false};
+    std::atomic<uint64_t> remaining_{0};
+};
+
+namespace fault {
+
+/**
+ * Arm @p site to fail on its @p nth upcoming hit (1 = the next hit).
+ * A site not registered yet is armed the moment it registers.
+ */
+void arm(const std::string &site, uint64_t nth = 1);
+
+/** Disarm @p site without firing; no-op when not armed. */
+void disarm(const std::string &site);
+
+/** Disarm every site and drop any pending (unregistered) arms. */
+void disarmAll();
+
+/** Apply a PGB_FAULT-syntax spec ("site:n[,site:n...]"). */
+void configure(const std::string &spec);
+
+/** Names of all registered sites, sorted. */
+std::vector<std::string> sites();
+
+/** Whether @p site is registered and currently armed. */
+bool armed(const std::string &site);
+
+} // namespace fault
+
+} // namespace pgb::core
+
+#endif // PGB_CORE_FAULT_HPP

@@ -1,0 +1,61 @@
+#include "core/io.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <ios>
+
+#include "core/fault.hpp"
+#include "core/logging.hpp"
+
+namespace pgb::core {
+
+namespace {
+
+FaultSite faultFlush("io.flush");
+
+std::string
+errnoReason()
+{
+    return errno != 0 ? std::strerror(errno) : "stream error";
+}
+
+} // namespace
+
+CheckedWriter::CheckedWriter(const std::string &path)
+    : path_(path), file_(path)
+{
+    if (!file_) {
+        fatal("cannot open '", path_, "' for writing: ", errnoReason());
+    }
+}
+
+CheckedWriter::~CheckedWriter()
+{
+    if (!finished_ && file_.is_open()) {
+        warn("CheckedWriter: '", path_,
+             "' destroyed without finish(); contents unverified");
+    }
+}
+
+void
+CheckedWriter::finish()
+{
+    // Mark finished up front: whether we verify or throw below, the
+    // outcome has been reported and the destructor must stay silent.
+    finished_ = true;
+    errno = 0;
+    file_.flush();
+    if (faultFlush.fire()) {
+        file_.setstate(std::ios::failbit);
+        errno = EIO;
+    }
+    if (!file_) {
+        fatal("write to '", path_, "' failed: ", errnoReason(),
+              " (output is incomplete)");
+    }
+    file_.close();
+    if (file_.fail())
+        fatal("closing '", path_, "' failed: ", errnoReason());
+}
+
+} // namespace pgb::core

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared plumbing for the text readers (GFA, FASTA, FASTQ).
+ *
+ * Every reader reports malformed input as "<label>: line N: <what>"
+ * where the label is the file path (file readers) or the format name
+ * (stream readers). In strict mode (the default) the first malformed
+ * record is fatal(); in lenient mode malformed records are skipped
+ * with a warn() and counted in ParseStats::skipped, so a long
+ * characterization campaign survives a bad byte in one record.
+ */
+
+#ifndef PGB_CORE_PARSE_HPP
+#define PGB_CORE_PARSE_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "core/logging.hpp"
+
+namespace pgb::core {
+
+/** How the text readers treat malformed records. */
+struct ParseOptions
+{
+    /** Skip malformed records with a warn() instead of fatal(). */
+    bool lenient = false;
+};
+
+/** Filled by a reader when the caller passes one. */
+struct ParseStats
+{
+    size_t records = 0; ///< well-formed records kept
+    size_t skipped = 0; ///< malformed records dropped (lenient mode)
+};
+
+/**
+ * Error routing for one parse: strict mode throws a line-numbered
+ * FatalError, lenient mode warns, counts the skip, and tells the
+ * caller to drop the record.
+ */
+struct ParseErrors
+{
+    const std::string &label;
+    const ParseOptions &options;
+    size_t skipped = 0;
+
+    /** @return true when the record should be skipped (lenient). */
+    template <typename... Args>
+    bool
+    bad(size_t line, const Args &...what)
+    {
+        if (!options.lenient)
+            fatal(label, ": line ", line, ": ", what...);
+        warn(label, ": line ", line, ": ", what..., "; skipping record");
+        ++skipped;
+        return true;
+    }
+};
+
+} // namespace pgb::core
+
+#endif // PGB_CORE_PARSE_HPP

@@ -1,8 +1,76 @@
 #include "core/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <mutex>
+
+#include "core/fault.hpp"
+#include "core/logging.hpp"
 
 namespace pgb::core {
+
+namespace {
+
+FaultSite faultForWorker("threadpool.for");
+FaultSite faultRunWorker("threadpool.run");
+
+/**
+ * First-exception capture shared by a worker gang: the first failure
+ * is kept, later ones are dropped, and `stop` drains remaining work so
+ * the gang joins promptly instead of finishing a doomed batch.
+ */
+struct GangError
+{
+    std::atomic<bool> stop{false};
+    std::exception_ptr first;
+    std::mutex lock;
+
+    void
+    capture() noexcept
+    {
+        std::lock_guard<std::mutex> guard(lock);
+        if (!first)
+            first = std::current_exception();
+        stop.store(true, std::memory_order_relaxed);
+    }
+
+    void
+    rethrowIfSet()
+    {
+        if (first)
+            std::rethrow_exception(first);
+    }
+};
+
+/**
+ * Launch @p threads - 1 workers plus the calling thread, join them
+ * all, and rethrow the gang's first exception on the calling thread.
+ * Thread creation failure is itself a recoverable FatalError: already
+ * running workers are drained and joined first.
+ */
+template <typename Worker>
+void
+runGang(unsigned threads, GangError &error, const Worker &worker)
+{
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    try {
+        for (unsigned t = 1; t < threads; ++t)
+            pool.emplace_back(worker, t);
+    } catch (const std::system_error &spawn_error) {
+        error.stop.store(true, std::memory_order_relaxed);
+        for (auto &thread : pool)
+            thread.join();
+        fatal("thread pool: cannot spawn worker thread: ",
+              spawn_error.what());
+    }
+    worker(0u);
+    for (auto &thread : pool)
+        thread.join();
+    error.rethrowIfSet();
+}
+
+} // namespace
 
 void
 parallelFor(size_t begin, size_t end, unsigned threads,
@@ -10,47 +78,63 @@ parallelFor(size_t begin, size_t end, unsigned threads,
 {
     if (end <= begin)
         return;
+    chunk = std::max<size_t>(1, chunk);
     if (threads <= 1) {
-        for (size_t i = begin; i < end; ++i)
-            body(i);
+        // Inline path: fire the same site so injected worker faults
+        // behave identically at every thread count.
+        for (size_t i = begin; i < end; i += chunk) {
+            if (faultForWorker.fire())
+                fatal("parallelFor: injected worker fault at index ", i);
+            const size_t hi = std::min(i + chunk, end);
+            for (size_t j = i; j < hi; ++j)
+                body(j);
+        }
         return;
     }
 
     std::atomic<size_t> next(begin);
-    auto worker = [&]() {
-        for (;;) {
-            const size_t lo = next.fetch_add(chunk);
-            if (lo >= end)
-                return;
-            const size_t hi = std::min(lo + chunk, end);
-            for (size_t i = lo; i < hi; ++i)
-                body(i);
+    GangError error;
+    auto worker = [&](unsigned) {
+        try {
+            while (!error.stop.load(std::memory_order_relaxed)) {
+                const size_t lo = next.fetch_add(chunk);
+                if (lo >= end)
+                    return;
+                if (faultForWorker.fire()) {
+                    fatal("parallelFor: injected worker fault at index ",
+                          lo);
+                }
+                const size_t hi = std::min(lo + chunk, end);
+                for (size_t i = lo; i < hi; ++i)
+                    body(i);
+            }
+        } catch (...) {
+            error.capture();
         }
     };
-
-    std::vector<std::thread> pool;
-    pool.reserve(threads - 1);
-    for (unsigned t = 1; t < threads; ++t)
-        pool.emplace_back(worker);
-    worker();
-    for (auto &thread : pool)
-        thread.join();
+    runGang(threads, error, worker);
 }
 
 void
 parallelRun(unsigned threads, const std::function<void(unsigned)> &body)
 {
     if (threads <= 1) {
+        if (faultRunWorker.fire())
+            fatal("parallelRun: injected worker fault in thread 0");
         body(0);
         return;
     }
-    std::vector<std::thread> pool;
-    pool.reserve(threads - 1);
-    for (unsigned t = 1; t < threads; ++t)
-        pool.emplace_back([&body, t]() { body(t); });
-    body(0);
-    for (auto &thread : pool)
-        thread.join();
+    GangError error;
+    auto worker = [&](unsigned t) {
+        try {
+            if (faultRunWorker.fire())
+                fatal("parallelRun: injected worker fault in thread ", t);
+            body(t);
+        } catch (...) {
+            error.capture();
+        }
+    };
+    runGang(threads, error, worker);
 }
 
 unsigned

@@ -6,6 +6,13 @@
  * the PGSGD kernel uses raw worker launches for Hogwild! updates. The
  * pool is intentionally simple: work is split into contiguous chunks or
  * pulled from an atomic counter for dynamic balance.
+ *
+ * Both primitives are exception-safe: the first exception thrown by any
+ * worker is captured, remaining work is drained, all workers are
+ * joined, and the exception is rethrown on the calling thread — a
+ * fatal() inside a parallel region is catchable by the caller instead
+ * of hitting std::terminate. Fault sites "threadpool.for" and
+ * "threadpool.run" (core/fault.hpp) inject worker failures for tests.
  */
 
 #ifndef PGB_CORE_THREAD_POOL_HPP
@@ -22,7 +29,9 @@ namespace pgb::core {
 /**
  * Run @p body(index) for every index in [begin, end) across @p threads
  * worker threads using dynamic chunked scheduling. Runs inline when
- * threads <= 1. Blocks until all work completes.
+ * threads <= 1. Blocks until all work completes or, if a worker
+ * throws, until the gang drains and joins — the first worker exception
+ * is then rethrown here.
  */
 void parallelFor(size_t begin, size_t end, unsigned threads,
                  const std::function<void(size_t)> &body,
@@ -31,7 +40,8 @@ void parallelFor(size_t begin, size_t end, unsigned threads,
 /**
  * Launch @p threads workers each running @p body(thread_index) and join
  * them all. Used for Hogwild!-style kernels where every worker owns its
- * own loop.
+ * own loop. The first worker exception is rethrown on the calling
+ * thread after all workers join.
  */
 void parallelRun(unsigned threads,
                  const std::function<void(unsigned)> &body);

@@ -5,9 +5,12 @@
 #include <ostream>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "core/io.hpp"
 #include "core/logging.hpp"
+#include "seq/alphabet.hpp"
 
 namespace pgb::graph {
 
@@ -31,72 +34,108 @@ splitTabs(const std::string &line)
     }
 }
 
-/** Parse "name+" / "name-" into (name, reverse). */
-std::pair<std::string, bool>
-parseOriented(const std::string &token)
+/** Index of the first character outside ACGTNacgtn, or npos. */
+size_t
+firstInvalidBase(const std::string &bases)
 {
-    if (token.size() < 2)
-        fatal("GFA: malformed oriented segment '", token, "'");
-    const char orient = token.back();
-    if (orient != '+' && orient != '-')
-        fatal("GFA: bad orientation in '", token, "'");
-    return {token.substr(0, token.size() - 1), orient == '-'};
+    for (size_t i = 0; i < bases.size(); ++i) {
+        const char c = bases[i];
+        if (seq::encodeBase(c) == seq::kBaseN && c != 'N' && c != 'n')
+            return i;
+    }
+    return std::string::npos;
 }
 
-} // namespace
-
 PanGraph
-readGfa(std::istream &input)
+readGfaImpl(std::istream &input, const std::string &label,
+            const core::ParseOptions &options, core::ParseStats *stats)
 {
     PanGraph graph;
+    core::ParseErrors errors{label, options};
     std::unordered_map<std::string, NodeId> names;
     struct PendingLink
     {
         std::string from, to;
         bool fromRev, toRev;
+        size_t line;
     };
     std::vector<PendingLink> links;
     struct PendingPath
     {
         std::string name;
         std::string steps;
+        size_t line;
     };
     std::vector<PendingPath> pending_paths;
+    std::unordered_set<std::string> path_names;
+    size_t kept = 0;
 
     std::string line;
+    size_t line_no = 0;
     while (std::getline(input, line)) {
-        if (line.empty() || line[0] == '#')
-            continue;
+        ++line_no;
         if (!line.empty() && line.back() == '\r')
             line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
         const auto fields = splitTabs(line);
         switch (fields[0].empty() ? '\0' : fields[0][0]) {
           case 'H':
             break;
           case 'S': {
-            if (fields.size() < 3)
-                fatal("GFA: S record needs name and sequence");
-            if (names.count(fields[1]) != 0)
-                fatal("GFA: duplicate segment '", fields[1], "'");
+            if (fields.size() < 3 || fields[1].empty()) {
+                if (errors.bad(line_no, "S record needs name and "
+                                        "sequence"))
+                    continue;
+            }
+            if (names.count(fields[1]) != 0) {
+                if (errors.bad(line_no, "duplicate segment '",
+                               fields[1], "'"))
+                    continue;
+            }
+            if (fields[2].empty() || fields[2] == "*") {
+                if (errors.bad(line_no, "segment '", fields[1],
+                               "' has no sequence"))
+                    continue;
+            }
+            const size_t invalid = firstInvalidBase(fields[2]);
+            if (invalid != std::string::npos) {
+                if (errors.bad(line_no, "non-ACGTN character '",
+                               fields[2][invalid], "' in segment '",
+                               fields[1], "'"))
+                    continue;
+            }
             names[fields[1]] =
                 graph.addNode(seq::Sequence(fields[1], fields[2]));
+            ++kept;
             break;
           }
           case 'L': {
-            if (fields.size() < 5)
-                fatal("GFA: L record needs 4 fields");
-            links.push_back({fields[1], fields[3],
-                             fields[2] == "-", fields[4] == "-"});
-            if (fields[2] != "+" && fields[2] != "-")
-                fatal("GFA: bad L orientation '", fields[2], "'");
-            if (fields[4] != "+" && fields[4] != "-")
-                fatal("GFA: bad L orientation '", fields[4], "'");
+            if (fields.size() < 5) {
+                if (errors.bad(line_no, "L record needs 4 fields"))
+                    continue;
+            }
+            if (fields[2] != "+" && fields[2] != "-") {
+                if (errors.bad(line_no, "bad L orientation '",
+                               fields[2], "'"))
+                    continue;
+            }
+            if (fields[4] != "+" && fields[4] != "-") {
+                if (errors.bad(line_no, "bad L orientation '",
+                               fields[4], "'"))
+                    continue;
+            }
+            links.push_back({fields[1], fields[3], fields[2] == "-",
+                             fields[4] == "-", line_no});
             break;
           }
           case 'P': {
-            if (fields.size() < 3)
-                fatal("GFA: P record needs name and steps");
-            pending_paths.push_back({fields[1], fields[2]});
+            if (fields.size() < 3 || fields[1].empty() ||
+                fields[2].empty()) {
+                if (errors.bad(line_no, "P record needs name and steps"))
+                    continue;
+            }
+            pending_paths.push_back({fields[1], fields[2], line_no});
             break;
           }
           default:
@@ -105,38 +144,109 @@ readGfa(std::istream &input)
         }
     }
 
-    auto lookup = [&](const std::string &name) {
-        auto it = names.find(name);
-        if (it == names.end())
-            fatal("GFA: unknown segment '", name, "'");
-        return it->second;
-    };
+    if (names.empty()) {
+        if (!options.lenient)
+            fatal(label, ": empty input (no segments)");
+        core::warn(label, ": empty input (no segments)");
+    }
 
     for (const auto &link : links) {
-        graph.addEdge(Handle(lookup(link.from), link.fromRev),
-                      Handle(lookup(link.to), link.toRev));
+        const auto from = names.find(link.from);
+        const auto to = names.find(link.to);
+        if (from == names.end() || to == names.end()) {
+            const std::string &missing =
+                from == names.end() ? link.from : link.to;
+            if (errors.bad(link.line, "unknown segment '", missing,
+                           "' in L record"))
+                continue;
+        }
+        graph.addEdge(Handle(from->second, link.fromRev),
+                      Handle(to->second, link.toRev));
+        ++kept;
     }
 
     for (const auto &path : pending_paths) {
         std::vector<Handle> steps;
         std::stringstream stream(path.steps);
         std::string token;
-        while (std::getline(stream, token, ',')) {
-            const auto [name, reverse] = parseOriented(token);
-            steps.emplace_back(lookup(name), reverse);
+        bool dropped = false;
+        while (!dropped && std::getline(stream, token, ',')) {
+            if (token.size() < 2) {
+                dropped = errors.bad(path.line, "malformed oriented "
+                                     "segment '", token, "' in path '",
+                                     path.name, "'");
+                continue;
+            }
+            const char orient = token.back();
+            if (orient != '+' && orient != '-') {
+                dropped = errors.bad(path.line, "bad orientation in '",
+                                     token, "' in path '", path.name,
+                                     "'");
+                continue;
+            }
+            const std::string name = token.substr(0, token.size() - 1);
+            const auto it = names.find(name);
+            if (it == names.end()) {
+                dropped = errors.bad(path.line, "unknown segment '",
+                                     name, "' in path '", path.name,
+                                     "'");
+                continue;
+            }
+            steps.emplace_back(it->second, orient == '-');
         }
+        if (dropped)
+            continue;
+        if (steps.empty()) {
+            if (errors.bad(path.line, "path '", path.name,
+                           "' has no steps"))
+                continue;
+        }
+        // Pre-validate what addPath would reject, so path errors carry
+        // the P record's line number instead of a deep internal one.
+        if (path_names.count(path.name) != 0) {
+            if (errors.bad(path.line, "duplicate path '", path.name,
+                           "'"))
+                continue;
+        }
+        bool connected = true;
+        for (size_t i = 0; connected && i + 1 < steps.size(); ++i) {
+            if (!graph.hasEdge(steps[i], steps[i + 1])) {
+                connected = !errors.bad(
+                    path.line, "path '", path.name, "' step ", i,
+                    " is not connected by a link");
+            }
+        }
+        if (!connected)
+            continue;
+        path_names.insert(path.name);
         graph.addPath(path.name, std::move(steps));
+        ++kept;
+    }
+
+    if (stats != nullptr) {
+        stats->records = kept;
+        stats->skipped = errors.skipped;
     }
     return graph;
 }
 
+} // namespace
+
 PanGraph
-readGfaFile(const std::string &path)
+readGfa(std::istream &input, const core::ParseOptions &options,
+        core::ParseStats *stats)
+{
+    return readGfaImpl(input, "GFA", options, stats);
+}
+
+PanGraph
+readGfaFile(const std::string &path, const core::ParseOptions &options,
+            core::ParseStats *stats)
 {
     std::ifstream input(path);
     if (!input)
         fatal("GFA: cannot open '", path, "'");
-    return readGfa(input);
+    return readGfaImpl(input, path, options, stats);
 }
 
 void
@@ -183,10 +293,9 @@ writeGfa(std::ostream &output, const PanGraph &graph)
 void
 writeGfaFile(const std::string &path, const PanGraph &graph)
 {
-    std::ofstream output(path);
-    if (!output)
-        fatal("GFA: cannot open '", path, "' for writing");
-    writeGfa(output, graph);
+    core::CheckedWriter out(path);
+    writeGfa(out.stream(), graph);
+    out.finish();
 }
 
 } // namespace pgb::graph

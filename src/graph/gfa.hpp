@@ -5,6 +5,12 @@
  * Supports the subset of GFA used by pangenome tools: S (segment),
  * L (link, blunt 0M overlaps only), and P (path) records. Segment names
  * may be arbitrary strings on input; output uses 1-based numeric names.
+ *
+ * Parse errors carry the source label (file path or "GFA") and the
+ * 1-based line number; core::ParseOptions::lenient skips malformed
+ * records with a warning instead (counted in core::ParseStats). File
+ * output goes through core::CheckedWriter, so a full disk or an
+ * unwritable path is a catchable FatalError, not a silent truncation.
  */
 
 #ifndef PGB_GRAPH_GFA_HPP
@@ -13,20 +19,25 @@
 #include <iosfwd>
 #include <string>
 
+#include "core/parse.hpp"
 #include "graph/pangraph.hpp"
 
 namespace pgb::graph {
 
 /** Parse a GFA v1 graph from @p input. */
-PanGraph readGfa(std::istream &input);
+PanGraph readGfa(std::istream &input,
+                 const core::ParseOptions &options = {},
+                 core::ParseStats *stats = nullptr);
 
 /** Parse a GFA v1 graph from the file at @p path. */
-PanGraph readGfaFile(const std::string &path);
+PanGraph readGfaFile(const std::string &path,
+                     const core::ParseOptions &options = {},
+                     core::ParseStats *stats = nullptr);
 
 /** Serialize @p graph as GFA v1. */
 void writeGfa(std::ostream &output, const PanGraph &graph);
 
-/** Serialize @p graph to the file at @p path. */
+/** Serialize @p graph to the file at @p path (checked write). */
 void writeGfaFile(const std::string &path, const PanGraph &graph);
 
 } // namespace pgb::graph

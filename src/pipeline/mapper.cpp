@@ -9,10 +9,18 @@
 #include "align/gwfa.hpp"
 #include "align/ssw.hpp"
 #include "align/wfa.hpp"
+#include "core/fault.hpp"
 #include "core/logging.hpp"
 #include "core/thread_pool.hpp"
 
 namespace pgb::pipeline {
+
+namespace {
+
+/** Injects a per-read failure inside the mapping worker loop. */
+core::FaultSite faultMapRead("mapper.read");
+
+} // namespace
 
 const char *
 toolName(ToolProfile profile)
@@ -368,6 +376,10 @@ Seq2GraphMapper::mapReads(std::span<const seq::Sequence> reads) const
     std::atomic<uint64_t> mapped(0);
     std::mutex merge_lock;
     core::parallelFor(0, reads.size(), threads, [&](size_t i) {
+        if (faultMapRead.fire()) {
+            core::fatal("mapper: injected fault processing read '",
+                        reads[i].name(), "'");
+        }
         MappingStats local;
         const ReadMapping mapping = mapOne(reads[i], local);
         if (mapping.mapped)

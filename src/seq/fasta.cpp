@@ -5,27 +5,59 @@
 #include <ostream>
 #include <sstream>
 
+#include "core/io.hpp"
 #include "core/logging.hpp"
+#include "seq/alphabet.hpp"
 
 namespace pgb::seq {
 
 using core::fatal;
 
+namespace {
+
+/** Index of the first character outside ACGTNacgtn, or npos. */
+size_t
+firstInvalidBase(const std::string &bases)
+{
+    for (size_t i = 0; i < bases.size(); ++i) {
+        const char c = bases[i];
+        if (encodeBase(c) == kBaseN && c != 'N' && c != 'n')
+            return i;
+    }
+    return std::string::npos;
+}
+
 std::vector<Sequence>
-readFasta(std::istream &input)
+readFastaImpl(std::istream &input, const std::string &label,
+              const core::ParseOptions &options, core::ParseStats *stats)
 {
     std::vector<Sequence> records;
+    core::ParseErrors errors{label, options};
     std::string line;
     std::string name;
     std::string bases;
+    size_t line_no = 0;
+    size_t header_line = 0;
     bool in_record = false;
+    bool poisoned = false; ///< current record had a bad body line
 
     auto flush = [&]() {
-        if (in_record)
-            records.emplace_back(name, bases);
+        if (!in_record)
+            return;
+        if (poisoned) {
+            poisoned = false;
+            return;
+        }
+        if (bases.empty()) {
+            if (errors.bad(header_line, "record '", name,
+                           "' has no sequence"))
+                return;
+        }
+        records.emplace_back(name, bases);
     };
 
     while (std::getline(input, line)) {
+        ++line_no;
         if (!line.empty() && line.back() == '\r')
             line.pop_back();
         if (line.empty())
@@ -33,28 +65,139 @@ readFasta(std::istream &input)
         if (line[0] == '>') {
             flush();
             in_record = true;
+            header_line = line_no;
             // Record name runs to the first whitespace.
             const size_t space = line.find_first_of(" \t");
             name = line.substr(1, space == std::string::npos
                                       ? std::string::npos : space - 1);
             bases.clear();
+            if (name.empty()) {
+                poisoned = errors.bad(line_no, "empty record name");
+            }
         } else {
-            if (!in_record)
-                fatal("FASTA: sequence data before first '>' header");
+            if (!in_record) {
+                if (errors.bad(line_no,
+                               "sequence data before first '>' header"))
+                    continue;
+            }
+            if (poisoned)
+                continue;
+            const size_t invalid = firstInvalidBase(line);
+            if (invalid != std::string::npos) {
+                poisoned = errors.bad(line_no, "non-ACGTN character '",
+                                      line[invalid], "' in record '",
+                                      name, "'");
+                continue;
+            }
             bases += line;
         }
     }
     flush();
+
+    if (records.empty() && errors.skipped == 0) {
+        if (!options.lenient)
+            fatal(label, ": empty input (no records)");
+        core::warn(label, ": empty input (no records)");
+    }
+    if (stats != nullptr) {
+        stats->records = records.size();
+        stats->skipped = errors.skipped;
+    }
     return records;
 }
 
 std::vector<Sequence>
-readFastaFile(const std::string &path)
+readFastqImpl(std::istream &input, const std::string &label,
+              const core::ParseOptions &options, core::ParseStats *stats)
+{
+    std::vector<Sequence> records;
+    core::ParseErrors errors{label, options};
+    std::string header, bases, plus, quality;
+    size_t line_no = 0;
+
+    auto nextLine = [&](std::string &out) {
+        if (!std::getline(input, out))
+            return false;
+        ++line_no;
+        if (!out.empty() && out.back() == '\r')
+            out.pop_back();
+        return true;
+    };
+
+    while (nextLine(header)) {
+        if (header.empty())
+            continue;
+        const size_t record_line = line_no;
+        if (header[0] != '@') {
+            // Lenient: skip this one line and resync on the next '@'.
+            if (errors.bad(record_line, "expected '@' header, got '",
+                           header, "'"))
+                continue;
+        }
+        if (!nextLine(bases)) {
+            if (errors.bad(record_line, "truncated record after "
+                           "header '", header, "'"))
+                break;
+        }
+        if (!nextLine(plus) || plus.empty() || plus[0] != '+') {
+            if (errors.bad(record_line, "expected '+' separator line "
+                           "in record '", header, "'"))
+                continue;
+        }
+        if (!nextLine(quality)) {
+            if (errors.bad(record_line, "truncated record before "
+                           "quality line in '", header, "'"))
+                break;
+        }
+        if (quality.size() != bases.size()) {
+            if (errors.bad(record_line, "quality length ",
+                           quality.size(), " != sequence length ",
+                           bases.size(), " in record '", header, "'"))
+                continue;
+        }
+        const size_t invalid = firstInvalidBase(bases);
+        if (invalid != std::string::npos) {
+            if (errors.bad(record_line, "non-ACGTN character '",
+                           bases[invalid], "' in record '", header,
+                           "'"))
+                continue;
+        }
+        const size_t space = header.find_first_of(" \t");
+        records.emplace_back(
+            header.substr(1, space == std::string::npos
+                                 ? std::string::npos : space - 1),
+            bases);
+    }
+
+    if (records.empty() && errors.skipped == 0) {
+        if (!options.lenient)
+            fatal(label, ": empty input (no records)");
+        core::warn(label, ": empty input (no records)");
+    }
+    if (stats != nullptr) {
+        stats->records = records.size();
+        stats->skipped = errors.skipped;
+    }
+    return records;
+}
+
+} // namespace
+
+std::vector<Sequence>
+readFasta(std::istream &input, const core::ParseOptions &options,
+          core::ParseStats *stats)
+{
+    return readFastaImpl(input, "FASTA", options, stats);
+}
+
+std::vector<Sequence>
+readFastaFile(const std::string &path, const core::ParseOptions &options,
+              core::ParseStats *stats)
 {
     std::ifstream input(path);
     if (!input)
         fatal("FASTA: cannot open '", path, "'");
-    return readFasta(input);
+    return readFastaImpl(input, path, options, stats);
 }
 
 void
@@ -73,37 +216,26 @@ void
 writeFastaFile(const std::string &path,
                const std::vector<Sequence> &sequences, size_t width)
 {
-    std::ofstream output(path);
-    if (!output)
-        fatal("FASTA: cannot open '", path, "' for writing");
-    writeFasta(output, sequences, width);
+    core::CheckedWriter out(path);
+    writeFasta(out.stream(), sequences, width);
+    out.finish();
 }
 
 std::vector<Sequence>
-readFastq(std::istream &input)
+readFastq(std::istream &input, const core::ParseOptions &options,
+          core::ParseStats *stats)
 {
-    std::vector<Sequence> records;
-    std::string header, bases, plus, quality;
-    while (std::getline(input, header)) {
-        if (header.empty())
-            continue;
-        if (header[0] != '@')
-            fatal("FASTQ: expected '@' header, got '", header, "'");
-        if (!std::getline(input, bases))
-            fatal("FASTQ: truncated record after header");
-        if (!std::getline(input, plus) || plus.empty() || plus[0] != '+')
-            fatal("FASTQ: expected '+' separator line");
-        if (!std::getline(input, quality))
-            fatal("FASTQ: truncated record before quality line");
-        if (quality.size() != bases.size())
-            fatal("FASTQ: quality length mismatch for record '", header, "'");
-        const size_t space = header.find_first_of(" \t");
-        records.emplace_back(
-            header.substr(1, space == std::string::npos
-                                 ? std::string::npos : space - 1),
-            bases);
-    }
-    return records;
+    return readFastqImpl(input, "FASTQ", options, stats);
+}
+
+std::vector<Sequence>
+readFastqFile(const std::string &path, const core::ParseOptions &options,
+              core::ParseStats *stats)
+{
+    std::ifstream input(path);
+    if (!input)
+        fatal("FASTQ: cannot open '", path, "'");
+    return readFastqImpl(input, path, options, stats);
 }
 
 void
@@ -116,6 +248,15 @@ writeFastq(std::ostream &output, const std::vector<Sequence> &sequences,
                << "+\n"
                << std::string(sequence.size(), quality) << '\n';
     }
+}
+
+void
+writeFastqFile(const std::string &path,
+               const std::vector<Sequence> &sequences, char quality)
+{
+    core::CheckedWriter out(path);
+    writeFastq(out.stream(), sequences, quality);
+    out.finish();
 }
 
 } // namespace pgb::seq

@@ -4,7 +4,11 @@
  *
  * Minimal but strict line-based parsers sufficient for the suite's
  * dataset interchange: multi-line FASTA records, four-line FASTQ
- * records, with fatal() on malformed input.
+ * records. Parse errors carry the source label (file path or format
+ * name) and the 1-based line number; core::ParseOptions::lenient
+ * skips malformed records with a warning instead (counted in
+ * core::ParseStats). File output goes through core::CheckedWriter,
+ * so write failures surface as catchable FatalErrors.
  */
 
 #ifndef PGB_SEQ_FASTA_HPP
@@ -14,31 +18,48 @@
 #include <string>
 #include <vector>
 
+#include "core/parse.hpp"
 #include "seq/sequence.hpp"
 
 namespace pgb::seq {
 
 /** Parse all FASTA records from @p input. */
-std::vector<Sequence> readFasta(std::istream &input);
+std::vector<Sequence> readFasta(std::istream &input,
+                                const core::ParseOptions &options = {},
+                                core::ParseStats *stats = nullptr);
 
 /** Parse all FASTA records from the file at @p path. */
-std::vector<Sequence> readFastaFile(const std::string &path);
+std::vector<Sequence> readFastaFile(const std::string &path,
+                                    const core::ParseOptions &options = {},
+                                    core::ParseStats *stats = nullptr);
 
 /** Write @p sequences as FASTA with @p width bases per line. */
 void writeFasta(std::ostream &output, const std::vector<Sequence> &sequences,
                 size_t width = 80);
 
-/** Write @p sequences to the file at @p path. */
+/** Write @p sequences to the file at @p path (checked write). */
 void writeFastaFile(const std::string &path,
                     const std::vector<Sequence> &sequences,
                     size_t width = 80);
 
 /** Parse all FASTQ records (qualities are validated then discarded). */
-std::vector<Sequence> readFastq(std::istream &input);
+std::vector<Sequence> readFastq(std::istream &input,
+                                const core::ParseOptions &options = {},
+                                core::ParseStats *stats = nullptr);
+
+/** Parse all FASTQ records from the file at @p path. */
+std::vector<Sequence> readFastqFile(const std::string &path,
+                                    const core::ParseOptions &options = {},
+                                    core::ParseStats *stats = nullptr);
 
 /** Write @p sequences as FASTQ with constant quality @p quality. */
 void writeFastq(std::ostream &output, const std::vector<Sequence> &sequences,
                 char quality = 'I');
+
+/** Write @p sequences to the file at @p path (checked write). */
+void writeFastqFile(const std::string &path,
+                    const std::vector<Sequence> &sequences,
+                    char quality = 'I');
 
 } // namespace pgb::seq
 

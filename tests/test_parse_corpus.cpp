@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Broken-input corpus tests: every file in tests/corpus is parsed in
+ * strict mode (asserting the exact line-numbered diagnostic) and in
+ * lenient mode (asserting what is skipped and what survives).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/logging.hpp"
+#include "core/parse.hpp"
+#include "graph/gfa.hpp"
+#include "seq/fasta.hpp"
+
+#ifndef PGB_CORPUS_DIR
+#error "PGB_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace pgb {
+namespace {
+
+using core::FatalError;
+using core::ParseOptions;
+using core::ParseStats;
+
+std::string
+corpusPath(const std::string &name)
+{
+    return std::string(PGB_CORPUS_DIR) + "/" + name;
+}
+
+/** Slurp a corpus file so the stream readers see a fixed label. */
+std::string
+slurp(const std::string &name)
+{
+    std::ifstream input(corpusPath(name), std::ios::binary);
+    EXPECT_TRUE(input.good()) << "missing corpus file " << name;
+    std::ostringstream text;
+    text << input.rdbuf();
+    return text.str();
+}
+
+ParseOptions
+lenient()
+{
+    ParseOptions options;
+    options.lenient = true;
+    return options;
+}
+
+/** Expect a strict-mode FatalError whose what() is exactly @p message. */
+template <typename Parse>
+void
+expectStrictError(const Parse &parse, const std::string &message)
+{
+    try {
+        parse();
+        FAIL() << "expected FatalError: " << message;
+    } catch (const FatalError &error) {
+        EXPECT_STREQ(error.what(), message.c_str());
+    }
+}
+
+// --------------------------------------------------------- FASTQ
+
+TEST(ParseCorpus, TruncatedFastqStrict)
+{
+    std::istringstream input(slurp("truncated.fq"));
+    expectStrictError(
+        [&] { seq::readFastq(input); },
+        "fatal: FASTQ: line 1: truncated record before quality line "
+        "in '@r1'");
+}
+
+TEST(ParseCorpus, TruncatedFastqLenient)
+{
+    std::istringstream input(slurp("truncated.fq"));
+    ParseStats stats;
+    const auto records = seq::readFastq(input, lenient(), &stats);
+    EXPECT_TRUE(records.empty());
+    EXPECT_EQ(stats.skipped, 1u);
+}
+
+TEST(ParseCorpus, BadHeaderFastqStrict)
+{
+    std::istringstream input(slurp("bad_header.fq"));
+    expectStrictError(
+        [&] { seq::readFastq(input); },
+        "fatal: FASTQ: line 1: expected '@' header, got "
+        "'r1 no at-sign'");
+}
+
+TEST(ParseCorpus, BadHeaderFastqLenient)
+{
+    // Lenient resync skips line by line until the next '@' header;
+    // this corpus has none, so every line is skipped.
+    std::istringstream input(slurp("bad_header.fq"));
+    ParseStats stats;
+    const auto records = seq::readFastq(input, lenient(), &stats);
+    EXPECT_TRUE(records.empty());
+    EXPECT_EQ(stats.skipped, 4u);
+}
+
+TEST(ParseCorpus, QualityMismatchFastqStrict)
+{
+    std::istringstream input(slurp("qual_mismatch.fq"));
+    expectStrictError(
+        [&] { seq::readFastq(input); },
+        "fatal: FASTQ: line 1: quality length 3 != sequence length 5 "
+        "in record '@r1'");
+}
+
+TEST(ParseCorpus, QualityMismatchFastqLenient)
+{
+    std::istringstream input(slurp("qual_mismatch.fq"));
+    ParseStats stats;
+    const auto records = seq::readFastq(input, lenient(), &stats);
+    EXPECT_TRUE(records.empty());
+    EXPECT_EQ(stats.skipped, 1u);
+}
+
+// ----------------------------------------------------------- GFA
+
+TEST(ParseCorpus, BadOrientationGfaStrict)
+{
+    std::istringstream input(slurp("bad_orientation.gfa"));
+    expectStrictError([&] { graph::readGfa(input); },
+                      "fatal: GFA: line 4: bad L orientation '?'");
+}
+
+TEST(ParseCorpus, BadOrientationGfaLenient)
+{
+    std::istringstream input(slurp("bad_orientation.gfa"));
+    ParseStats stats;
+    const auto graph = graph::readGfa(input, lenient(), &stats);
+    EXPECT_EQ(graph.nodeCount(), 2u);
+    EXPECT_EQ(graph.edgeCount(), 0u);
+    EXPECT_EQ(stats.skipped, 1u);
+}
+
+TEST(ParseCorpus, DuplicateSegmentGfaStrict)
+{
+    std::istringstream input(slurp("dup_segment.gfa"));
+    expectStrictError([&] { graph::readGfa(input); },
+                      "fatal: GFA: line 2: duplicate segment '1'");
+}
+
+TEST(ParseCorpus, DuplicateSegmentGfaLenient)
+{
+    std::istringstream input(slurp("dup_segment.gfa"));
+    ParseStats stats;
+    const auto graph = graph::readGfa(input, lenient(), &stats);
+    EXPECT_EQ(graph.nodeCount(), 1u);
+    // The first definition wins; the duplicate is skipped.
+    EXPECT_EQ(graph.nodeSequence(0).toString(), "ACGT");
+    EXPECT_EQ(stats.skipped, 1u);
+}
+
+TEST(ParseCorpus, UnknownSegmentGfaStrict)
+{
+    std::istringstream input(slurp("unknown_segment.gfa"));
+    expectStrictError(
+        [&] { graph::readGfa(input); },
+        "fatal: GFA: line 2: unknown segment '9' in L record");
+}
+
+TEST(ParseCorpus, UnknownSegmentGfaLenient)
+{
+    std::istringstream input(slurp("unknown_segment.gfa"));
+    ParseStats stats;
+    const auto graph = graph::readGfa(input, lenient(), &stats);
+    EXPECT_EQ(graph.nodeCount(), 1u);
+    EXPECT_EQ(graph.edgeCount(), 0u);
+    EXPECT_EQ(stats.skipped, 1u);
+}
+
+TEST(ParseCorpus, CrlfGfaParsesCleanlyStrict)
+{
+    // Windows line endings are not an error in either mode.
+    std::istringstream input(slurp("crlf.gfa"));
+    ParseStats stats;
+    const auto graph = graph::readGfa(input, {}, &stats);
+    EXPECT_EQ(graph.nodeCount(), 2u);
+    EXPECT_EQ(graph.edgeCount(), 1u);
+    EXPECT_EQ(graph.pathCount(), 1u);
+    EXPECT_EQ(graph.nodeSequence(0).toString(), "ACGT");
+    EXPECT_EQ(stats.records, 4u);
+    EXPECT_EQ(stats.skipped, 0u);
+}
+
+TEST(ParseCorpus, EmptyGfaStrict)
+{
+    std::istringstream input(slurp("empty.gfa"));
+    expectStrictError([&] { graph::readGfa(input); },
+                      "fatal: GFA: empty input (no segments)");
+}
+
+TEST(ParseCorpus, EmptyGfaLenient)
+{
+    std::istringstream input(slurp("empty.gfa"));
+    const auto graph = graph::readGfa(input, lenient());
+    EXPECT_EQ(graph.nodeCount(), 0u);
+}
+
+// --------------------------------------------------------- FASTA
+
+TEST(ParseCorpus, BadBasesFastaStrict)
+{
+    std::istringstream input(slurp("bad_bases.fa"));
+    expectStrictError(
+        [&] { seq::readFasta(input); },
+        "fatal: FASTA: line 2: non-ACGTN character 'X' in record 'a'");
+}
+
+TEST(ParseCorpus, BadBasesFastaLenient)
+{
+    std::istringstream input(slurp("bad_bases.fa"));
+    ParseStats stats;
+    const auto records = seq::readFasta(input, lenient(), &stats);
+    EXPECT_TRUE(records.empty());
+    EXPECT_EQ(stats.skipped, 1u);
+}
+
+TEST(ParseCorpus, DataBeforeHeaderFastaStrict)
+{
+    std::istringstream input(slurp("data_before_header.fa"));
+    expectStrictError(
+        [&] { seq::readFasta(input); },
+        "fatal: FASTA: line 1: sequence data before first '>' header");
+}
+
+TEST(ParseCorpus, DataBeforeHeaderFastaLenient)
+{
+    std::istringstream input(slurp("data_before_header.fa"));
+    ParseStats stats;
+    const auto records = seq::readFasta(input, lenient(), &stats);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].name(), "a");
+    EXPECT_EQ(records[0].toString(), "ACGT");
+    EXPECT_EQ(stats.records, 1u);
+    EXPECT_EQ(stats.skipped, 1u);
+}
+
+// ------------------------------------------------ file-path labels
+
+TEST(ParseCorpus, FileReadersUseThePathAsTheLabel)
+{
+    const std::string path = corpusPath("dup_segment.gfa");
+    expectStrictError(
+        [&] { graph::readGfaFile(path); },
+        "fatal: " + path + ": line 2: duplicate segment '1'");
+}
+
+TEST(ParseCorpus, MissingFileIsFatal)
+{
+    const std::string path = corpusPath("no_such_file.gfa");
+    expectStrictError([&] { graph::readGfaFile(path); },
+                      "fatal: GFA: cannot open '" + path + "'");
+}
+
+} // namespace
+} // namespace pgb

@@ -50,7 +50,9 @@ makeWorkload(size_t base_length, size_t n_reads, size_t read_length,
         const auto &donor =
             w.pangenome.haplotypes[r % w.pangenome.haplotypes.size()];
         auto read = sim.sample(donor);
-        read.read.setName("r" + std::to_string(r));
+        std::string name = "r";
+        name += std::to_string(r);
+        read.read.setName(std::move(name));
         w.reads.push_back(std::move(read.read));
     }
     return w;

@@ -14,14 +14,17 @@
  *   split     the Split-M-Graph transform (§6.2): cap node length
  */
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "analysis/deconstruct.hpp"
+#include "core/io.hpp"
 #include "core/logging.hpp"
+#include "core/parse.hpp"
 #include "core/thread_pool.hpp"
 #include "core/timer.hpp"
 #include "graph/gfa.hpp"
@@ -35,6 +38,59 @@
 namespace {
 
 using namespace pgb;
+
+/**
+ * Parse a decimal count argument, rejecting non-numeric and
+ * out-of-range input instead of silently yielding 0 the way a raw
+ * strtoull would ("pgb map g.gfa r.fq vgmap banana" used to run).
+ */
+uint64_t
+parseCount(const char *text, const char *what, uint64_t min_value = 0,
+           uint64_t max_value = UINT64_MAX)
+{
+    if (text == nullptr || *text == '\0')
+        core::fatal(what, ": empty value");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || text[0] == '-') {
+        core::fatal(what, ": '", text,
+                    "' is not a non-negative integer");
+    }
+    if (errno == ERANGE || value < min_value || value > max_value) {
+        core::fatal(what, ": ", text, " is out of range [", min_value,
+                    ", ", max_value, "]");
+    }
+    return value;
+}
+
+/** Thread-count argument: at least 1, sanity-capped. */
+unsigned
+parseThreads(const char *text)
+{
+    return static_cast<unsigned>(parseCount(text, "threads", 1, 65536));
+}
+
+/** Lenient parsing is a CLI-wide knob (PGB_LENIENT_PARSE=1). */
+core::ParseOptions
+cliParseOptions()
+{
+    core::ParseOptions options;
+    const char *value = std::getenv("PGB_LENIENT_PARSE");
+    options.lenient = value != nullptr && *value != '\0' &&
+                      std::strcmp(value, "0") != 0;
+    return options;
+}
+
+/** Report skipped records after a lenient read. */
+void
+reportSkipped(const char *what, const core::ParseStats &stats)
+{
+    if (stats.skipped > 0) {
+        core::warn(what, ": skipped ", stats.skipped,
+                   " malformed record(s), kept ", stats.records);
+    }
+}
 
 int
 usage()
@@ -54,7 +110,12 @@ usage()
         "  pgb layout <graph.gfa> <out.tsv> [iterations] [threads]\n"
         "  pgb split <in.gfa> <out.gfa> [max-node-length]\n"
         "  pgb deconstruct <graph.gfa> [ref-path-name]\n"
-        "      VCF-like variant records from the graph's bubbles\n");
+        "      VCF-like variant records from the graph's bubbles\n"
+        "\n"
+        "environment:\n"
+        "  PGB_LENIENT_PARSE=1   skip malformed input records with a\n"
+        "                        warning instead of failing\n"
+        "  PGB_FAULT=site[:n]    deterministic fault injection (tests)\n");
     return 2;
 }
 
@@ -64,12 +125,12 @@ cmdSimulate(int argc, char **argv)
     if (argc < 1)
         return usage();
     const std::string prefix = argv[0];
-    const size_t bases =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
+    const size_t bases = argc > 1
+        ? parseCount(argv[1], "bases", 1000, 1ull << 40) : 100000;
     const size_t haplotypes =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 14;
+        argc > 2 ? parseCount(argv[2], "haplotypes", 1, 100000) : 14;
     const uint64_t seed =
-        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+        argc > 3 ? parseCount(argv[3], "seed") : 42;
 
     synth::PangenomeConfig config = synth::mGraphLikeConfig(bases, seed);
     config.haplotypeCount = haplotypes;
@@ -102,14 +163,8 @@ cmdSimulate(int argc, char **argv)
         read.read.setName("lr_" + std::to_string(r));
         long_reads.push_back(std::move(read.read));
     }
-    {
-        std::ofstream out(prefix + ".short.fq");
-        seq::writeFastq(out, short_reads);
-    }
-    {
-        std::ofstream out(prefix + ".long.fq");
-        seq::writeFastq(out, long_reads);
-    }
+    seq::writeFastqFile(prefix + ".short.fq", short_reads);
+    seq::writeFastqFile(prefix + ".long.fq", long_reads);
     const auto stats = pangenome.graph.stats();
     std::printf("wrote %s.{gfa,fa,short.fq,long.fq}: %zu nodes, "
                 "%zu edges, %zu paths, %zu variants, %zu short + %zu "
@@ -125,7 +180,10 @@ cmdStats(int argc, char **argv)
 {
     if (argc < 1)
         return usage();
-    const auto graph = graph::readGfaFile(argv[0]);
+    core::ParseStats parse_stats;
+    const auto graph =
+        graph::readGfaFile(argv[0], cliParseOptions(), &parse_stats);
+    reportSkipped("stats", parse_stats);
     const auto stats = graph.stats();
     std::printf("nodes          %zu\n", stats.nodeCount);
     std::printf("edges          %zu\n", stats.edgeCount);
@@ -162,17 +220,17 @@ cmdMap(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
-    const auto graph = graph::readGfaFile(argv[0]);
-    std::ifstream reads_in(argv[1]);
-    if (!reads_in)
-        core::fatal("cannot open ", argv[1]);
-    const auto reads = seq::readFastq(reads_in);
+    const auto parse_options = cliParseOptions();
+    const auto graph = graph::readGfaFile(argv[0], parse_options);
+    core::ParseStats read_stats;
+    const auto reads =
+        seq::readFastqFile(argv[1], parse_options, &read_stats);
+    reportSkipped("map", read_stats);
     auto config = pipeline::MapperConfig::forTool(
         argc > 2 ? parseProfile(argv[2])
                  : pipeline::ToolProfile::kVgMap);
-    config.threads = argc > 3
-        ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10))
-        : core::hardwareThreads();
+    config.threads =
+        argc > 3 ? parseThreads(argv[3]) : core::hardwareThreads();
 
     pipeline::Seq2GraphMapper mapper(graph, config);
     core::WallTimer timer;
@@ -192,11 +250,13 @@ cmdBuild(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
-    const auto assemblies = seq::readFastaFile(argv[0]);
+    core::ParseStats parse_stats;
+    const auto assemblies =
+        seq::readFastaFile(argv[0], cliParseOptions(), &parse_stats);
+    reportSkipped("build", parse_stats);
     const bool mc = argc > 2 && std::strcmp(argv[2], "mc") == 0;
-    const unsigned threads = argc > 3
-        ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10))
-        : core::hardwareThreads();
+    const unsigned threads =
+        argc > 3 ? parseThreads(argv[3]) : core::hardwareThreads();
 
     pipeline::GraphBuildReport report;
     if (mc) {
@@ -223,13 +283,13 @@ cmdLayout(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
-    const auto graph = graph::readGfaFile(argv[0]);
+    const auto graph = graph::readGfaFile(argv[0], cliParseOptions());
     const uint32_t iterations = argc > 2
-        ? static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10))
+        ? static_cast<uint32_t>(
+              parseCount(argv[2], "iterations", 1, 1u << 20))
         : 30;
-    const unsigned threads = argc > 3
-        ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10))
-        : core::hardwareThreads();
+    const unsigned threads =
+        argc > 3 ? parseThreads(argv[3]) : core::hardwareThreads();
 
     layout::PathIndex index(graph);
     layout::Layout coords(graph.nodeCount(), 1);
@@ -237,15 +297,18 @@ cmdLayout(int argc, char **argv)
     params.iterations = iterations;
     params.threads = threads;
     const auto result = layout::pgsgdLayout(index, coords, params);
-    std::ofstream out(argv[1]);
-    out << "node\tx_start\ty_start\tx_end\ty_end\n";
+    // A checked write: an unwritable path or full disk used to print
+    // the success line below and exit 0 with no (or a truncated) TSV.
+    core::CheckedWriter out(argv[1]);
+    out.stream() << "node\tx_start\ty_start\tx_end\ty_end\n";
     for (graph::NodeId node = 0; node < graph.nodeCount(); ++node) {
-        out << node << '\t'
+        out.stream() << node << '\t'
             << coords.x(layout::Layout::startPoint(node)) << '\t'
             << coords.y(layout::Layout::startPoint(node)) << '\t'
             << coords.x(layout::Layout::endPoint(node)) << '\t'
             << coords.y(layout::Layout::endPoint(node)) << '\n';
     }
+    out.finish();
     std::printf("layout: stress %.4f -> %.4f over %llu updates -> %s\n",
                 result.stressBefore, result.stressAfter,
                 static_cast<unsigned long long>(result.updates),
@@ -258,9 +321,9 @@ cmdSplit(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
-    const auto graph = graph::readGfaFile(argv[0]);
+    const auto graph = graph::readGfaFile(argv[0], cliParseOptions());
     const size_t max_len = argc > 2
-        ? std::strtoull(argv[2], nullptr, 10) : 8;
+        ? parseCount(argv[2], "max-node-length", 1, 1ull << 32) : 8;
     const auto split = graph.splitNodes(max_len);
     graph::writeGfaFile(argv[1], split);
     std::printf("split: avg node %.2f -> %.2f bp, %zu -> %zu nodes "
@@ -276,7 +339,7 @@ cmdDeconstruct(int argc, char **argv)
 {
     if (argc < 1)
         return usage();
-    const auto graph = graph::readGfaFile(argv[0]);
+    const auto graph = graph::readGfaFile(argv[0], cliParseOptions());
     graph::PathId ref_path = 0;
     if (argc > 1) {
         bool found = false;
@@ -338,6 +401,9 @@ main(int argc, char **argv)
     } catch (const std::exception &error) {
         std::fprintf(stderr, "pgb %s: %s\n", command.c_str(),
                      error.what());
+        return 1;
+    } catch (...) {
+        std::fprintf(stderr, "pgb %s: unknown error\n", command.c_str());
         return 1;
     }
     return usage();
