@@ -1,25 +1,35 @@
 /**
  * @file
  * Figure 5: end-to-end thread scaling of the tools at 4/14/28/56
- * threads, relative to 4 threads.
+ * threads, relative to 4 threads — plus a kernel-scaling sweep of the
+ * pool-parallel kernels (TC sweep, minimizer index, GBWT build) at
+ * 1/2/4/8 threads, relative to 1 thread.
  *
- * Two modes:
+ * Three modes:
  *  - measured wall-clock speedups (meaningful on a multicore host);
+ *  - the kernel sweep, exercising the persistent work-stealing pool
+ *    directly (every kernel produces identical output at every thread
+ *    count, so the sweep measures pure scheduling/scaling overhead);
  *  - an Amdahl projection from the measured single-thread serial
  *    fraction of each tool (tool-specific: odgi layout's sequential
- *    path-index build, seqwish's serial transclosure loop, the
- *    mappers' embarrassingly parallel read loops), which reproduces
- *    the figure's shape even on constrained CI hosts.
+ *    path-index build, seqwish's serial emission phases, the mappers'
+ *    embarrassingly parallel read loops), which reproduces the
+ *    figure's shape even on constrained CI hosts.
  *
  * Reproduction target (shape): mapping tools scale near-linearly to
  * 28 threads then flatten with hyperthreading; odgi layout scales but
  * sub-linearly; seqwish plateaus after ~4 threads; minigraph-cr is
  * single-threaded.
+ *
+ * Emits BENCH_fig5.json (tool + kernel series) next to the text table.
  */
 
 #include "bench_common.hpp"
 #include "build/transclosure.hpp"
+#include "core/io.hpp"
 #include "core/thread_pool.hpp"
+#include "index/gbwt.hpp"
+#include "index/minimizer.hpp"
 #include "layout/pgsgd.hpp"
 #include "pipeline/scaling.hpp"
 
@@ -123,9 +133,11 @@ main()
              params.threads = t;
              layout::pgsgdLayout(index, l, params);
          }},
-        {"Seqwish", 0.75, // serial transclosure + emission (paper)
-         [&](unsigned) {
-             build::transclose(catalog, matches);
+        {"Seqwish", 0.75, // serial emission phases dominate (paper)
+         [&](unsigned t) {
+             build::TcOptions tc_options;
+             tc_options.threads = t;
+             build::transclose(catalog, matches, tc_options);
          }},
     };
 
@@ -144,6 +156,76 @@ main()
         for (const auto &point : series.points)
             std::printf(" %5.2f", point.speedup);
         std::printf("\n");
+    }
+
+    // ---- Kernel scaling sweep: the pool-parallel kernels, speedup
+    // vs 1 thread. A small TC chunk size exposes enough chunks for 8
+    // runners; the induced graph is chunk-size-invariant.
+    const std::vector<unsigned> kernel_threads = {1, 2, 4, 8};
+    struct Kernel
+    {
+        const char *name;
+        std::function<void(unsigned)> run;
+    };
+    const Kernel kernels[] = {
+        {"tc-sweep",
+         [&](unsigned t) {
+             build::TcOptions tc_options;
+             tc_options.chunkSize = 1 << 14;
+             tc_options.threads = t;
+             build::transclose(catalog, matches, tc_options);
+         }},
+        {"minimizer",
+         [&](unsigned t) {
+             index::MinimizerIndex built(graph, 15, 10, t);
+         }},
+        {"gbwt",
+         [&](unsigned t) {
+             index::GbwtIndex built(graph, true, t);
+         }},
+    };
+    std::printf("\nkernel scaling on the persistent pool (speedup vs "
+                "1 thread; identical output at every count):\n");
+    std::printf("%-14s %24s | %s\n", "kernel", "seconds @1/2/4/8",
+                "speedup vs 1");
+    std::vector<pipeline::ScalingSeries> kernel_series;
+    for (const Kernel &kernel : kernels) {
+        auto series =
+            measureScaling(kernel.name, kernel_threads, kernel.run);
+        std::printf("%-14s %6.2f %5.2f %5.2f %5.2f |", kernel.name,
+                    series.points[0].seconds, series.points[1].seconds,
+                    series.points[2].seconds,
+                    series.points[3].seconds);
+        for (const auto &point : series.points)
+            std::printf(" %5.2f", point.speedup);
+        std::printf("\n");
+        kernel_series.push_back(std::move(series));
+    }
+
+    // ---- BENCH_fig5.json: the kernel series in machine-readable
+    // form for the driver's acceptance checks.
+    {
+        core::CheckedWriter json("BENCH_fig5.json");
+        auto &out = json.stream();
+        out << "{\n  \"kernels\": [\n";
+        for (size_t k = 0; k < kernel_series.size(); ++k) {
+            const auto &series = kernel_series[k];
+            out << "    {\"name\": \"" << series.tool
+                << "\", \"points\": [";
+            for (size_t p = 0; p < series.points.size(); ++p) {
+                const auto &point = series.points[p];
+                out << (p ? ", " : "") << "{\"threads\": "
+                    << point.threads << ", \"seconds\": "
+                    << point.seconds << ", \"speedup\": "
+                    << point.speedup << "}";
+            }
+            out << "]}" << (k + 1 < kernel_series.size() ? "," : "")
+                << "\n";
+        }
+        out << "  ],\n  \"hardware_threads\": "
+            << core::hardwareThreads() << "\n}\n";
+        json.finish();
+        std::printf("\nwrote BENCH_fig5.json\n");
     }
 
     std::printf("\nAmdahl projection from serial fractions "

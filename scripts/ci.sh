@@ -4,17 +4,28 @@
 #
 # PGB_SANITIZE=1 rebuilds under ASan+UBSan (fail on first report) so
 # the fault-injection and robustness paths are exercised with memory
-# and UB checking on.
+# and UB checking on. PGB_SANITIZE=tsan rebuilds under TSan instead,
+# for the work-stealing scheduler and the pool-parallel kernels.
 #
-# usage: [PGB_SANITIZE=1] scripts/ci.sh [build-dir]
+# PGB_CTEST_FILTER, when set, is passed to ctest as -R so a job can
+# run a subset of the suite (the TSan job runs the scheduler tests).
+#
+# usage: [PGB_SANITIZE=1|tsan] [PGB_CTEST_FILTER=regex] \
+#        scripts/ci.sh [build-dir]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 
 CMAKE_ARGS=()
+SAN_FLAGS=""
 if [ "${PGB_SANITIZE:-0}" = "1" ]; then
     SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all \
 -fno-omit-frame-pointer"
+elif [ "${PGB_SANITIZE:-0}" = "tsan" ]; then
+    SAN_FLAGS="-fsanitize=thread -fno-sanitize-recover=all \
+-fno-omit-frame-pointer"
+fi
+if [ -n "$SAN_FLAGS" ]; then
     CMAKE_ARGS+=(
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
         "-DCMAKE_CXX_FLAGS=${SAN_FLAGS}"
@@ -22,6 +33,11 @@ if [ "${PGB_SANITIZE:-0}" = "1" ]; then
     )
 fi
 
+CTEST_ARGS=(--output-on-failure -j"$(nproc)")
+if [ -n "${PGB_CTEST_FILTER:-}" ]; then
+    CTEST_ARGS+=(-R "$PGB_CTEST_FILTER")
+fi
+
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
 cmake --build "$BUILD_DIR" -j"$(nproc)"
-cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)"
+cd "$BUILD_DIR" && ctest "${CTEST_ARGS[@]}"

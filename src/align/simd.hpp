@@ -93,16 +93,18 @@ struct V8i16
         return tmp[i];
     }
 
-    /** Maximum lane value. */
+    /**
+     * Maximum lane value. log2(kLanes) shuffle/max rounds keep the
+     * reduction in registers instead of bouncing through the stack —
+     * this sits on the striped-SW inner loop.
+     */
     int16_t
     horizontalMax() const
     {
-        alignas(16) int16_t tmp[kLanes];
-        _mm_store_si128(reinterpret_cast<__m128i *>(tmp), v);
-        int16_t best = tmp[0];
-        for (int i = 1; i < kLanes; ++i)
-            best = tmp[i] > best ? tmp[i] : best;
-        return best;
+        __m128i m = _mm_max_epi16(v, _mm_srli_si128(v, 8));
+        m = _mm_max_epi16(m, _mm_srli_si128(m, 4));
+        m = _mm_max_epi16(m, _mm_srli_si128(m, 2));
+        return static_cast<int16_t>(_mm_extract_epi16(m, 0));
     }
 };
 

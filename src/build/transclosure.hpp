@@ -94,6 +94,14 @@ struct TcOptions
     size_t chunkSize = 1 << 16;
     /** Stage the match set in a file-backed Arena (seqwish mmap mode). */
     bool fileBackedMatches = false;
+    /**
+     * Sweep chunks concurrently on the shared pool with a lock-free
+     * union-find. The induced graph is identical at every thread count
+     * (the closure partition is interleaving-invariant); <= 1 keeps
+     * the exact serial code path. Instrumented probes always run
+     * serial regardless of this setting.
+     */
+    unsigned threads = 1;
 };
 
 /** Induced graph plus the kernel's seqwish-style work accounting. */

@@ -14,11 +14,13 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <type_traits>
 
 #include "core/arena.hpp"
 #include "core/bitvector.hpp"
 #include "core/interval_tree.hpp"
 #include "core/probe.hpp"
+#include "core/thread_pool.hpp"
 #include "core/union_find.hpp"
 
 namespace pgb::build::tcdetail {
@@ -84,7 +86,51 @@ transcloseImpl(const SequenceCatalog &catalog,
     // transclose-batch does.
     core::UnionFind classes(total);
     const uint64_t chunk = std::max<size_t>(1, options.chunkSize);
-    for (uint64_t lo = 0; lo < total; lo += chunk) {
+    bool swept_parallel = false;
+    // Concurrent sweep: chunks are claimed by pool runners and united
+    // through a lock-free forest. The closure partition is the
+    // connectivity closure of the match pairs — invariant to both
+    // sweep order and thread interleaving — so the induced graph is
+    // bit-identical to the serial sweep's (property-tested). Gated on
+    // NullProbe: instrumented probes record per-access traffic and
+    // must observe the serial access order.
+    if constexpr (std::is_same_v<Probe, core::NullProbe>) {
+        const unsigned tc_threads = core::clampThreads(options.threads);
+        if (tc_threads > 1 && total > 1) {
+            core::ConcurrentUnionFind shared(total);
+            const uint64_t n_chunks = (total + chunk - 1) / chunk;
+            core::parallelFor(
+                0, n_chunks, tc_threads,
+                [&](size_t chunk_index) {
+                    const uint64_t lo = chunk_index * chunk;
+                    const uint64_t hi =
+                        std::min<uint64_t>(total, lo + chunk);
+                    tree.visitOverlaps(
+                        lo, hi, [&](const core::Interval &iv) {
+                            const MatchSegment match =
+                                matchAt(iv.value >> 1);
+                            const bool b_side = (iv.value & 1) != 0;
+                            const uint64_t self =
+                                b_side ? match.bStart : match.aStart;
+                            const uint64_t other =
+                                b_side ? match.aStart : match.bStart;
+                            const uint64_t from =
+                                std::max(iv.start, lo);
+                            const uint64_t to = std::min(iv.end, hi);
+                            for (uint64_t p = from; p < to; ++p)
+                                shared.unite(p, other + (p - self));
+                        });
+                });
+            result.sweeps += n_chunks;
+            result.treeQueries += n_chunks;
+            classes.adoptFrom(shared);
+            // Every successful unite collapses exactly one set, so the
+            // merge count is recoverable from the final partition.
+            result.unions = total - classes.setCount();
+            swept_parallel = true;
+        }
+    }
+    for (uint64_t lo = 0; !swept_parallel && lo < total; lo += chunk) {
         const uint64_t hi = std::min<uint64_t>(total, lo + chunk);
         ++result.sweeps;
         ++result.treeQueries;

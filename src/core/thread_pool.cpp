@@ -1,8 +1,13 @@
 #include "core/thread_pool.hpp"
 
 #include <algorithm>
-#include <exception>
-#include <mutex>
+#include <array>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
 
 #include "core/fault.hpp"
 #include "core/logging.hpp"
@@ -14,63 +19,318 @@ namespace {
 FaultSite faultForWorker("threadpool.for");
 FaultSite faultRunWorker("threadpool.run");
 
-/**
- * First-exception capture shared by a worker gang: the first failure
- * is kept, later ones are dropped, and `stop` drains remaining work so
- * the gang joins promptly instead of finishing a doomed batch.
- */
-struct GangError
+/** Lifetime worker-spawn counter (tests assert it stays flat). */
+std::atomic<size_t> spawnedWorkers(0);
+
+/** Worker index of the current thread, -1 on non-pool threads. */
+thread_local int tlsWorker = -1;
+
+struct Task
 {
-    std::atomic<bool> stop{false};
-    std::exception_ptr first;
-    std::mutex lock;
-
-    void
-    capture() noexcept
-    {
-        std::lock_guard<std::mutex> guard(lock);
-        if (!first)
-            first = std::current_exception();
-        stop.store(true, std::memory_order_relaxed);
-    }
-
-    void
-    rethrowIfSet()
-    {
-        if (first)
-            std::rethrow_exception(first);
-    }
+    std::function<void()> fn;
+    TaskGroup *group;
 };
 
 /**
- * Launch @p threads - 1 workers plus the calling thread, join them
- * all, and rethrow the gang's first exception on the calling thread.
- * Thread creation failure is itself a recoverable FatalError: already
- * running workers are drained and joined first.
+ * Chase-Lev work-stealing deque (Le et al., "Correct and Efficient
+ * Work-Stealing for Weak Memory Models"), fixed-capacity variant: the
+ * owner pushes and pops at the bottom, thieves race on the top with a
+ * CAS. Orderings are kept at seq_cst on the top/bottom race (instead
+ * of standalone fences) so ThreadSanitizer models them precisely;
+ * submission is rare and coarse, so the cost is irrelevant. A full
+ * deque rejects the push and the pool falls back to its injector.
  */
-template <typename Worker>
-void
-runGang(unsigned threads, GangError &error, const Worker &worker)
+class WorkDeque
 {
-    std::vector<std::thread> pool;
-    pool.reserve(threads - 1);
-    try {
-        for (unsigned t = 1; t < threads; ++t)
-            pool.emplace_back(worker, t);
-    } catch (const std::system_error &spawn_error) {
-        error.stop.store(true, std::memory_order_relaxed);
-        for (auto &thread : pool)
-            thread.join();
-        fatal("thread pool: cannot spawn worker thread: ",
-              spawn_error.what());
+  public:
+    /** Owner-only bottom push; false when full. */
+    bool
+    push(Task *task)
+    {
+        const int64_t b = bottom_.load(std::memory_order_relaxed);
+        const int64_t t = top_.load(std::memory_order_acquire);
+        if (b - t >= static_cast<int64_t>(kCapacity))
+            return false;
+        slots_[static_cast<size_t>(b) & kMask].store(
+            task, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_release);
+        return true;
     }
-    worker(0u);
-    for (auto &thread : pool)
-        thread.join();
-    error.rethrowIfSet();
-}
+
+    /** Owner-only bottom pop; nullptr when empty or lost race. */
+    Task *
+    pop()
+    {
+        const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+        bottom_.store(b, std::memory_order_seq_cst);
+        int64_t t = top_.load(std::memory_order_seq_cst);
+        if (t > b) {
+            bottom_.store(b + 1, std::memory_order_relaxed);
+            return nullptr;
+        }
+        Task *task = slots_[static_cast<size_t>(b) & kMask].load(
+            std::memory_order_relaxed);
+        if (t == b) {
+            // Last element: race the thieves for it.
+            if (!top_.compare_exchange_strong(
+                    t, t + 1, std::memory_order_seq_cst,
+                    std::memory_order_relaxed)) {
+                task = nullptr;
+            }
+            bottom_.store(b + 1, std::memory_order_relaxed);
+        }
+        return task;
+    }
+
+    /** Thief top steal; nullptr when empty or lost race. */
+    Task *
+    steal()
+    {
+        int64_t t = top_.load(std::memory_order_seq_cst);
+        const int64_t b = bottom_.load(std::memory_order_seq_cst);
+        if (t >= b)
+            return nullptr;
+        Task *task = slots_[static_cast<size_t>(t) & kMask].load(
+            std::memory_order_relaxed);
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+            return nullptr;
+        }
+        return task;
+    }
+
+  private:
+    static constexpr size_t kCapacity = 4096;
+    static constexpr size_t kMask = kCapacity - 1;
+
+    std::atomic<int64_t> top_{0};
+    std::atomic<int64_t> bottom_{0};
+    std::array<std::atomic<Task *>, kCapacity> slots_{};
+};
 
 } // namespace
+
+/**
+ * The persistent pool: hardwareThreads() - 1 workers spawned on first
+ * use, each owning a WorkDeque; non-worker submissions land in the
+ * injector. Idle workers park on idleCv_ (no spinning when quiescent)
+ * and are woken by submission; waiters in helpWhile() park on the same
+ * condition variable and are woken by submission or group completion.
+ */
+class ThreadPool
+{
+  public:
+    static ThreadPool &
+    instance()
+    {
+        static ThreadPool pool;
+        return pool;
+    }
+
+    unsigned
+    workerCount() const
+    {
+        return workers_.load(std::memory_order_acquire);
+    }
+
+    void
+    submit(Task *task)
+    {
+        task->group->pending_.fetch_add(1, std::memory_order_acq_rel);
+        queued_.fetch_add(1, std::memory_order_release);
+        bool queued = false;
+        if (tlsWorker >= 0)
+            queued = deques_[static_cast<size_t>(tlsWorker)]->push(task);
+        if (!queued) {
+            std::lock_guard<std::mutex> guard(injectorMutex_);
+            injector_.push_back(task);
+        }
+        std::lock_guard<std::mutex> guard(idleMutex_);
+        idleCv_.notify_all();
+    }
+
+    /** Help-run tasks until @p group has none pending. */
+    void
+    helpWhile(TaskGroup &group)
+    {
+        while (group.pending_.load(std::memory_order_acquire) > 0) {
+            Task *task = acquire(tlsWorker);
+            if (task) {
+                runTask(task);
+                continue;
+            }
+            std::unique_lock<std::mutex> guard(idleMutex_);
+            idleCv_.wait(guard, [&] {
+                return group.pending_.load(std::memory_order_acquire) ==
+                           0 ||
+                       queued_.load(std::memory_order_relaxed) > 0;
+            });
+        }
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> guard(idleMutex_);
+            shutdown_ = true;
+        }
+        idleCv_.notify_all();
+        for (auto &thread : threads_)
+            thread.join();
+    }
+
+  private:
+    ThreadPool()
+    {
+        const unsigned target = hardwareThreads() - 1;
+        deques_.reserve(target);
+        for (unsigned t = 0; t < target; ++t)
+            deques_.push_back(std::make_unique<WorkDeque>());
+        threads_.reserve(target);
+        for (unsigned t = 0; t < target; ++t) {
+            try {
+                threads_.emplace_back(&ThreadPool::workerLoop, this, t);
+            } catch (const std::system_error &spawn_error) {
+                warn("thread pool: cannot spawn worker ", t, ": ",
+                     spawn_error.what(), "; continuing with ",
+                     threads_.size(), " workers");
+                break;
+            }
+            spawnedWorkers.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Already-running workers read this concurrently in acquire();
+        // until the store lands they just see fewer steal targets.
+        workers_.store(static_cast<unsigned>(threads_.size()),
+                       std::memory_order_release);
+    }
+
+    void
+    workerLoop(unsigned self)
+    {
+        tlsWorker = static_cast<int>(self);
+        for (;;) {
+            Task *task = acquire(static_cast<int>(self));
+            if (task) {
+                runTask(task);
+                continue;
+            }
+            std::unique_lock<std::mutex> guard(idleMutex_);
+            idleCv_.wait(guard, [&] {
+                return shutdown_ ||
+                       queued_.load(std::memory_order_relaxed) > 0;
+            });
+            if (shutdown_)
+                return;
+        }
+    }
+
+    /** Own deque, then the injector, then steal; nullptr when dry. */
+    Task *
+    acquire(int self)
+    {
+        Task *task = nullptr;
+        if (self >= 0)
+            task = deques_[static_cast<size_t>(self)]->pop();
+        if (!task) {
+            std::lock_guard<std::mutex> guard(injectorMutex_);
+            if (!injector_.empty()) {
+                task = injector_.front();
+                injector_.pop_front();
+            }
+        }
+        const unsigned workers =
+            workers_.load(std::memory_order_relaxed);
+        if (!task && workers > 0) {
+            const unsigned start =
+                self >= 0 ? static_cast<unsigned>(self) + 1 : 0;
+            for (unsigned i = 0; i < workers && !task; ++i)
+                task = deques_[(start + i) % workers]->steal();
+        }
+        if (task)
+            queued_.fetch_sub(1, std::memory_order_relaxed);
+        return task;
+    }
+
+    void
+    runTask(Task *task)
+    {
+        TaskGroup *group = task->group;
+        try {
+            task->fn();
+        } catch (...) {
+            group->capture();
+        }
+        delete task;
+        // fetch_sub is the final access to *group: waiters may return
+        // (and destroy the group) the moment they observe zero.
+        if (group->pending_.fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+            std::lock_guard<std::mutex> guard(idleMutex_);
+            idleCv_.notify_all();
+        }
+    }
+
+    std::vector<std::unique_ptr<WorkDeque>> deques_;
+    std::vector<std::thread> threads_;
+    std::atomic<unsigned> workers_{0};
+
+    /// Submitted-but-unclaimed tasks (may go transiently negative
+    /// between a claim and the matching submit-side increment).
+    std::atomic<int64_t> queued_{0};
+
+    std::mutex injectorMutex_;
+    std::deque<Task *> injector_;
+
+    std::mutex idleMutex_;
+    std::condition_variable idleCv_;
+    bool shutdown_ = false;
+};
+
+// ------------------------------------------------------- TaskGroup
+
+TaskGroup::~TaskGroup()
+{
+    if (pending_.load(std::memory_order_acquire) > 0)
+        ThreadPool::instance().helpWhile(*this);
+}
+
+void
+TaskGroup::submit(std::function<void()> fn)
+{
+    ThreadPool::instance().submit(new Task{std::move(fn), this});
+}
+
+void
+TaskGroup::wait()
+{
+    ThreadPool::instance().helpWhile(*this);
+    std::exception_ptr first;
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        std::swap(first, first_);
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+void
+TaskGroup::capture() noexcept
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    if (!first_)
+        first_ = std::current_exception();
+    stop_.store(true, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------ primitives
+
+size_t
+grainSize(size_t range, unsigned runners)
+{
+    const size_t lanes = std::max(1u, runners);
+    return std::clamp<size_t>(range / (lanes * 8), 1, 65536);
+}
 
 void
 parallelFor(size_t begin, size_t end, unsigned threads,
@@ -78,70 +338,104 @@ parallelFor(size_t begin, size_t end, unsigned threads,
 {
     if (end <= begin)
         return;
-    chunk = std::max<size_t>(1, chunk);
-    if (threads <= 1) {
+    const size_t range = end - begin;
+    threads = clampThreads(threads);
+    unsigned runners = 1;
+    if (threads > 1) {
+        // The calling thread always participates as one runner.
+        runners = std::min<unsigned>(
+            threads,
+            static_cast<unsigned>(ThreadPool::instance().workerCount()) +
+                1);
+    }
+    if (runners <= 1) {
         // Inline path: fire the same site so injected worker faults
         // behave identically at every thread count.
-        for (size_t i = begin; i < end; i += chunk) {
+        const size_t grain =
+            chunk > 0 ? chunk : grainSize(range, 1);
+        for (size_t i = begin; i < end; i += grain) {
             if (faultForWorker.fire())
                 fatal("parallelFor: injected worker fault at index ", i);
-            const size_t hi = std::min(i + chunk, end);
+            const size_t hi = std::min(i + grain, end);
             for (size_t j = i; j < hi; ++j)
                 body(j);
         }
         return;
     }
 
+    const size_t grain = chunk > 0 ? chunk : grainSize(range, runners);
     std::atomic<size_t> next(begin);
-    GangError error;
-    auto worker = [&](unsigned) {
-        try {
-            while (!error.stop.load(std::memory_order_relaxed)) {
-                const size_t lo = next.fetch_add(chunk);
-                if (lo >= end)
-                    return;
-                if (faultForWorker.fire()) {
-                    fatal("parallelFor: injected worker fault at index ",
-                          lo);
-                }
-                const size_t hi = std::min(lo + chunk, end);
-                for (size_t i = lo; i < hi; ++i)
-                    body(i);
-            }
-        } catch (...) {
-            error.capture();
+    TaskGroup group;
+    auto runner = [&group, &next, &body, end, grain]() {
+        while (!group.stopped()) {
+            const size_t lo = next.fetch_add(grain);
+            if (lo >= end)
+                return;
+            if (faultForWorker.fire())
+                fatal("parallelFor: injected worker fault at index ",
+                      lo);
+            const size_t hi = std::min(lo + grain, end);
+            for (size_t i = lo; i < hi; ++i)
+                body(i);
         }
     };
-    runGang(threads, error, worker);
+    for (unsigned t = 0; t < runners; ++t)
+        group.submit(runner);
+    group.wait();
 }
 
 void
 parallelRun(unsigned threads, const std::function<void(unsigned)> &body)
 {
+    threads = clampThreads(threads);
     if (threads <= 1) {
         if (faultRunWorker.fire())
             fatal("parallelRun: injected worker fault in thread 0");
         body(0);
         return;
     }
-    GangError error;
-    auto worker = [&](unsigned t) {
-        try {
-            if (faultRunWorker.fire())
-                fatal("parallelRun: injected worker fault in thread ", t);
+    TaskGroup group;
+    for (unsigned t = 0; t < threads; ++t) {
+        group.submit([&body, t]() {
+            if (faultRunWorker.fire()) {
+                fatal("parallelRun: injected worker fault in thread ",
+                      t);
+            }
             body(t);
-        } catch (...) {
-            error.capture();
-        }
-    };
-    runGang(threads, error, worker);
+        });
+    }
+    group.wait();
 }
 
 unsigned
 hardwareThreads()
 {
-    const unsigned n = std::thread::hardware_concurrency();
-    return n == 0 ? 4 : n;
+    static const unsigned cached = [] {
+        if (const char *env = std::getenv("PGB_THREADS")) {
+            char *parse_end = nullptr;
+            const unsigned long v = std::strtoul(env, &parse_end, 10);
+            if (parse_end != env && *parse_end == '\0' && v >= 1 &&
+                v <= 1024) {
+                return static_cast<unsigned>(v);
+            }
+            warn("PGB_THREADS: ignoring invalid value '", env, "'");
+        }
+        const unsigned n = std::thread::hardware_concurrency();
+        return n == 0 ? 4u : n;
+    }();
+    return cached;
+}
+
+size_t
+poolWorkersSpawned()
+{
+    return spawnedWorkers.load(std::memory_order_relaxed);
+}
+
+size_t
+poolWorkerCount()
+{
+    return ThreadPool::instance().workerCount();
 }
 
 } // namespace pgb::core

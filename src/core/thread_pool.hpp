@@ -1,18 +1,37 @@
 /**
  * @file
- * Minimal thread pool with a parallel-for primitive.
+ * Persistent work-stealing thread pool with parallel-for/parallel-run
+ * primitives.
  *
- * The pipelines use parallelFor for read-batch parallelism (mapping) and
- * the PGSGD kernel uses raw worker launches for Hogwild! updates. The
- * pool is intentionally simple: work is split into contiguous chunks or
- * pulled from an atomic counter for dynamic balance.
+ * The pool is lazily initialized on the first parallel call and then
+ * reused for the life of the process: `hardwareThreads() - 1` workers
+ * are spawned once (the calling thread always participates as the
+ * extra lane), each owning a Chase-Lev-style work-stealing deque.
+ * Quiescent workers park on a condition variable — no spin burn
+ * between parallel regions — and are woken by submission. Tasks
+ * submitted from non-worker threads go through a mutex-guarded
+ * injector queue; workers drain their own deque bottom first, then the
+ * injector, then steal from victims' tops.
  *
- * Both primitives are exception-safe: the first exception thrown by any
- * worker is captured, remaining work is drained, all workers are
- * joined, and the exception is rethrown on the calling thread — a
- * fatal() inside a parallel region is catchable by the caller instead
- * of hitting std::terminate. Fault sites "threadpool.for" and
- * "threadpool.run" (core/fault.hpp) inject worker failures for tests.
+ * `parallelFor` splits [begin, end) into chunks claimed from a shared
+ * atomic counter by up to `threads` concurrent runners (dynamic
+ * balance, identical to the pre-pool gang semantics); `parallelRun`
+ * executes body(t) for every t. `TaskGroup` exposes the underlying
+ * submit/wait machinery for nested or irregular work: `wait()` *helps*
+ * — the waiting thread executes pending tasks instead of blocking —
+ * so parallel regions nest without deadlock or thread explosion.
+ *
+ * Both primitives are exception-safe: the first exception thrown by
+ * any worker is captured, remaining work is drained, and the exception
+ * is rethrown on the calling thread — a fatal() inside a parallel
+ * region is catchable by the caller instead of hitting std::terminate.
+ * Fault sites "threadpool.for" and "threadpool.run" (core/fault.hpp)
+ * inject worker failures for tests.
+ *
+ * Thread-count policy is centralized here: `hardwareThreads()` honors
+ * the PGB_THREADS environment override, and `clampThreads()` maps the
+ * 0-means-serial convention callers used to hand-roll with
+ * `std::max(1u, threads)`.
  */
 
 #ifndef PGB_CORE_THREAD_POOL_HPP
@@ -20,34 +39,106 @@
 
 #include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
-#include <thread>
-#include <vector>
+#include <mutex>
 
 namespace pgb::core {
 
 /**
- * Run @p body(index) for every index in [begin, end) across @p threads
- * worker threads using dynamic chunked scheduling. Runs inline when
- * threads <= 1. Blocks until all work completes or, if a worker
- * throws, until the gang drains and joins — the first worker exception
- * is then rethrown here.
+ * Run @p body(index) for every index in [begin, end) across up to
+ * @p threads concurrent runners using dynamic chunked scheduling on
+ * the shared pool. Runs inline when threads <= 1. Blocks until all
+ * work completes or, if a worker throws, until in-flight chunks drain
+ * — the first worker exception is then rethrown here.
+ *
+ * @p chunk = 0 (the default) derives a grain size from the range
+ * length and runner count (see grainSize()); pass an explicit chunk
+ * to pin the granularity.
  */
 void parallelFor(size_t begin, size_t end, unsigned threads,
                  const std::function<void(size_t)> &body,
-                 size_t chunk = 64);
+                 size_t chunk = 0);
 
 /**
- * Launch @p threads workers each running @p body(thread_index) and join
- * them all. Used for Hogwild!-style kernels where every worker owns its
- * own loop. The first worker exception is rethrown on the calling
- * thread after all workers join.
+ * Execute @p body(thread_index) for every index in [0, threads) and
+ * join them all. Used for Hogwild!-style kernels where every worker
+ * owns its own loop. Concurrency is bounded by the pool width; extra
+ * bodies queue and run as lanes free up. The first worker exception
+ * is rethrown on the calling thread after all bodies complete.
  */
 void parallelRun(unsigned threads,
                  const std::function<void(unsigned)> &body);
 
-/** Hardware concurrency with a sane fallback. */
+/**
+ * Hardware concurrency with a sane fallback, overridable with the
+ * PGB_THREADS environment variable (clamped to [1, 1024]; read once).
+ */
 unsigned hardwareThreads();
+
+/** Centralized thread-count clamp: 0 requests mean 1 (serial). */
+inline unsigned
+clampThreads(unsigned requested)
+{
+    return requested == 0 ? 1u : requested;
+}
+
+/**
+ * Auto grain size for a parallel loop: targets ~8 chunks per runner
+ * for dynamic balance while bounding per-chunk claim overhead.
+ */
+size_t grainSize(size_t range, unsigned runners);
+
+/** Workers spawned over the process lifetime (flat after warm-up). */
+size_t poolWorkersSpawned();
+
+/** Persistent workers owned by the pool (excludes calling threads). */
+size_t poolWorkerCount();
+
+/**
+ * A handle over a set of submitted tasks. submit() enqueues work onto
+ * the shared pool; wait() executes pending tasks on the calling thread
+ * until every submitted task has finished, then rethrows the first
+ * captured exception. Safe to use from inside pool tasks (nested
+ * groups): waiting threads help instead of blocking, so the pool
+ * cannot deadlock on nesting depth.
+ */
+class TaskGroup
+{
+  public:
+    TaskGroup() = default;
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Waits for stragglers; exceptions from them are swallowed here. */
+    ~TaskGroup();
+
+    /** Enqueue @p fn; it may start immediately on another worker. */
+    void submit(std::function<void()> fn);
+
+    /**
+     * Help-run tasks until every submitted task completed, then
+     * rethrow the group's first captured exception (once).
+     */
+    void wait();
+
+    /** Whether any task of this group has thrown so far. */
+    bool
+    stopped() const
+    {
+        return stop_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class ThreadPool;
+
+    void capture() noexcept;
+
+    std::atomic<size_t> pending_{0};
+    std::atomic<bool> stop_{false};
+    std::exception_ptr first_;
+    std::mutex lock_;
+};
 
 } // namespace pgb::core
 

@@ -43,4 +43,89 @@ UnionFind::unite(size_t a, size_t b)
     return ra;
 }
 
+void
+UnionFind::adoptFrom(ConcurrentUnionFind &source)
+{
+    if (source.size() != parent_.size()) {
+        fatal("UnionFind::adoptFrom: size mismatch (", parent_.size(),
+              " vs ", source.size(), ")");
+    }
+    setCount_ = 0;
+    for (size_t i = 0; i < parent_.size(); ++i) {
+        const auto root = static_cast<uint32_t>(source.find(i));
+        parent_[i] = root;
+        if (root == i)
+            ++setCount_;
+    }
+}
+
+ConcurrentUnionFind::ConcurrentUnionFind(size_t size) : size_(size)
+{
+    if (size > 0xFFFFFFFFull) {
+        fatal("ConcurrentUnionFind supports at most 2^32-1 elements, "
+              "got ",
+              size);
+    }
+    parent_ = std::make_unique<std::atomic<uint32_t>[]>(size);
+    for (size_t i = 0; i < size; ++i)
+        parent_[i].store(static_cast<uint32_t>(i),
+                         std::memory_order_relaxed);
+}
+
+size_t
+ConcurrentUnionFind::find(size_t element)
+{
+    auto node = static_cast<uint32_t>(element);
+    for (;;) {
+        uint32_t p = parent_[node].load(std::memory_order_acquire);
+        if (p == node)
+            return p;
+        const uint32_t gp = parent_[p].load(std::memory_order_acquire);
+        if (gp == p)
+            return p;
+        // Path halving; losing the race just skips one shortcut.
+        parent_[node].compare_exchange_weak(p, gp,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed);
+        node = gp;
+    }
+}
+
+bool
+ConcurrentUnionFind::unite(size_t a, size_t b)
+{
+    auto ra = static_cast<uint32_t>(find(a));
+    auto rb = static_cast<uint32_t>(find(b));
+    for (;;) {
+        if (ra == rb)
+            return false;
+        // Deterministic link direction: the larger root is always
+        // re-parented under the smaller, so the surviving
+        // representative of every set is its minimum element no matter
+        // how threads interleave.
+        if (ra < rb)
+            std::swap(ra, rb);
+        uint32_t expected = ra;
+        if (parent_[ra].compare_exchange_strong(
+                expected, rb, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+            return true;
+        }
+        // ra gained a parent concurrently; chase the new roots.
+        ra = static_cast<uint32_t>(find(expected));
+        rb = static_cast<uint32_t>(find(rb));
+    }
+}
+
+size_t
+ConcurrentUnionFind::countSets()
+{
+    size_t roots = 0;
+    for (size_t i = 0; i < size_; ++i) {
+        if (parent_[i].load(std::memory_order_relaxed) == i)
+            ++roots;
+    }
+    return roots;
+}
+
 } // namespace pgb::core

@@ -8,11 +8,15 @@
 #ifndef PGB_CORE_UNION_FIND_HPP
 #define PGB_CORE_UNION_FIND_HPP
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace pgb::core {
+
+class ConcurrentUnionFind;
 
 /** Classic disjoint-set forest over dense element indices. */
 class UnionFind
@@ -43,10 +47,53 @@ class UnionFind
     /** Number of distinct sets remaining. */
     size_t setCount() const { return setCount_; }
 
+    /**
+     * Replace this forest with the quiescent state of @p source: every
+     * element's parent becomes its @p source root, and setCount() is
+     * recomputed. Both forests must have the same size. Used to hand a
+     * partition built by concurrent sweeps to serial consumers.
+     */
+    void adoptFrom(ConcurrentUnionFind &source);
+
   private:
     std::vector<uint32_t> parent_;
     std::vector<uint32_t> sizes_;
     size_t setCount_ = 0;
+};
+
+/**
+ * Lock-free disjoint-set forest for concurrent unite/find (Anderson &
+ * Woll style): roots are linked with a CAS, always larger root under
+ * smaller root, so the final representative of every set is its
+ * minimum element regardless of thread interleaving — and the final
+ * partition is the connectivity closure of the united pairs, which is
+ * interleaving-invariant by definition. find() applies path halving
+ * with benign CAS races. No setCount() is maintained during the run;
+ * call countSets() (or UnionFind::adoptFrom) once mutation stops.
+ */
+class ConcurrentUnionFind
+{
+  public:
+    /** Construct @p size singleton sets. */
+    explicit ConcurrentUnionFind(size_t size);
+
+    size_t size() const { return size_; }
+
+    /** Representative of the set containing @p element (thread-safe). */
+    size_t find(size_t element);
+
+    /**
+     * Merge the sets containing @p a and @p b (thread-safe).
+     * @return true when two distinct sets were merged.
+     */
+    bool unite(size_t a, size_t b);
+
+    /** Number of distinct sets; only meaningful once mutation stops. */
+    size_t countSets();
+
+  private:
+    std::unique_ptr<std::atomic<uint32_t>[]> parent_;
+    size_t size_ = 0;
 };
 
 } // namespace pgb::core

@@ -4,13 +4,16 @@
 #include <map>
 
 #include "core/logging.hpp"
+#include "core/thread_pool.hpp"
 #include "index/suffix_array.hpp"
 
 namespace pgb::index {
 
-GbwtIndex::GbwtIndex(const graph::PanGraph &graph, bool run_length_encode)
+GbwtIndex::GbwtIndex(const graph::PanGraph &graph,
+                     bool run_length_encode, unsigned threads)
     : rle_(run_length_encode)
 {
+    threads = core::clampThreads(threads);
     // Internal ids: 0 = end/start marker, handle.packed() + 1 otherwise.
     const size_t id_space = graph.nodeCount() * 2 + 1;
     records_.resize(id_space);
@@ -46,34 +49,39 @@ GbwtIndex::GbwtIndex(const graph::PanGraph &graph, bool run_length_encode)
         return;
 
     // ---- Order visits by reversed prefix: rank of the suffix at j+1.
+    // Nodes own disjoint visit lists and the rank comparator is a
+    // total order (concat positions are distinct), so the per-node
+    // sorts parallelize with identical results at any thread count.
     const auto ranks = suffixRanks(buildSuffixArray(concat));
-    for (auto &list : visits) {
+    core::parallelFor(0, id_space, threads, [&](size_t v) {
+        auto &list = visits[v];
         std::sort(list.begin(), list.end(),
                   [&](const VisitRef &a, const VisitRef &b) {
                       return ranks[a.concatPos + 1] <
                              ranks[b.concatPos + 1];
                   });
-    }
+    });
 
     // ---- Predecessor-block offsets: within node w's sorted visit
     // list, all visits sharing a predecessor are contiguous; record
     // where each predecessor's block starts.
     // blockOffset[w][u] = first index in w's list with predecessor u.
     std::vector<std::map<uint32_t, uint32_t>> block_offset(id_space);
-    for (uint32_t w = 0; w < id_space; ++w) {
+    core::parallelFor(0, id_space, threads, [&](size_t w) {
         for (uint32_t i = 0; i < visits[w].size(); ++i) {
             const uint32_t j = visits[w][i].concatPos;
             const uint32_t pred = concat[j + 1]; // sentinel -> 0 marker
             block_offset[w].try_emplace(pred, i);
         }
-    }
+    });
 
-    // ---- Materialize records.
-    for (uint32_t v = 0; v < id_space; ++v) {
+    // ---- Materialize records. Each record reads only its own visit
+    // list and the (now frozen) block-offset maps of its successors.
+    core::parallelFor(0, id_space, threads, [&](size_t v) {
         Record &record = records_[v];
         record.size = static_cast<uint32_t>(visits[v].size());
         if (record.size == 0)
-            continue;
+            return;
         // Sorted distinct successors.
         std::vector<uint32_t> succs;
         for (const VisitRef &visit : visits[v])
@@ -88,7 +96,7 @@ GbwtIndex::GbwtIndex(const graph::PanGraph &graph, bool run_length_encode)
                 record.edgeOffsets[e] = 0; // never followed
                 continue;
             }
-            auto it = block_offset[w].find(v);
+            auto it = block_offset[w].find(static_cast<uint32_t>(v));
             if (it == block_offset[w].end())
                 core::panic("GbwtIndex: missing predecessor block");
             record.edgeOffsets[e] = it->second;
@@ -111,7 +119,7 @@ GbwtIndex::GbwtIndex(const graph::PanGraph &graph, bool run_length_encode)
             for (const VisitRef &visit : visits[v])
                 record.plain.push_back(edge_index(visit.successor));
         }
-    }
+    });
 }
 
 GbwtRange

@@ -58,9 +58,16 @@ class GbwtIndex
      * Build from every path embedded in @p graph.
      * @param run_length_encode store bodies as runs (the GBWT design);
      *        false stores plain edge-index arrays (the ablation).
+     * @param threads run the per-node construction stages (visit
+     *        ordering, predecessor-block offsets, record
+     *        materialization) concurrently on the shared pool; nodes
+     *        are independent within each stage and the visit order is
+     *        a total order, so the index is identical at every thread
+     *        count.
      */
     explicit GbwtIndex(const graph::PanGraph &graph,
-                       bool run_length_encode = true);
+                       bool run_length_encode = true,
+                       unsigned threads = 1);
 
     /** Range spanning every visit of @p handle. */
     GbwtRange fullRange(graph::Handle handle) const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/thread_pool.hpp"
+
 namespace pgb::index {
 
 std::vector<Minimizer>
@@ -11,7 +13,8 @@ computeMinimizers(std::span<const uint8_t> bases, int k, int w)
     return computeMinimizers(bases, k, w, probe);
 }
 
-MinimizerIndex::MinimizerIndex(const graph::PanGraph &graph, int k, int w)
+MinimizerIndex::MinimizerIndex(const graph::PanGraph &graph, int k,
+                               int w, unsigned threads)
     : k_(k), w_(w)
 {
     struct Entry
@@ -20,53 +23,82 @@ MinimizerIndex::MinimizerIndex(const graph::PanGraph &graph, int k, int w)
         GraphSeedHit hit;
     };
     std::vector<Entry> entries;
+    threads = core::clampThreads(threads);
 
     if (graph.pathCount() > 0) {
         // Haplotype-based indexing (vg giraffe style): minimizers of
         // every embedded path's spelled sequence, projected back to
         // graph coordinates. Boundary-spanning k-mers anchor at the
-        // node containing their first base.
-        for (graph::PathId path = 0; path < graph.pathCount();
-             ++path) {
-            const auto &steps = graph.pathSteps(path);
-            const auto spelled = graph.pathSequence(path).codes();
-            // Path offset -> step lookup.
-            std::vector<uint64_t> starts;
-            starts.reserve(steps.size());
-            uint64_t offset = 0;
-            for (graph::Handle step : steps) {
-                starts.push_back(offset);
-                offset += graph.nodeLength(step.node());
-            }
-            for (const Minimizer &mini :
-                 computeMinimizers(spelled, k, w)) {
-                const auto it = std::upper_bound(
-                    starts.begin(), starts.end(), mini.position);
-                const auto step_index = static_cast<size_t>(
-                    it - starts.begin()) - 1;
-                const graph::Handle step = steps[step_index];
-                const auto in_step = static_cast<uint32_t>(
-                    mini.position - starts[step_index]);
-                const auto node_len = static_cast<uint32_t>(
-                    graph.nodeLength(step.node()));
-                GraphSeedHit hit;
-                hit.node = step.node();
-                // Forward-strand offset of the k-mer's first base.
-                hit.offset = step.isReverse()
-                    ? node_len - 1 - in_step : in_step;
-                hit.reverse = mini.reverse != step.isReverse();
-                entries.push_back({mini.hash, hit});
-            }
+        // node containing their first base. Paths are independent, so
+        // they scan in parallel into per-path buckets; concatenating
+        // the buckets in path order reproduces the serial pre-sort
+        // sequence exactly.
+        std::vector<std::vector<Entry>> per_path(graph.pathCount());
+        core::parallelFor(
+            0, graph.pathCount(), threads,
+            [&](size_t path_index) {
+                const auto path =
+                    static_cast<graph::PathId>(path_index);
+                std::vector<Entry> &bucket = per_path[path_index];
+                const auto &steps = graph.pathSteps(path);
+                const auto spelled =
+                    graph.pathSequence(path).codes();
+                // Path offset -> step lookup.
+                std::vector<uint64_t> starts;
+                starts.reserve(steps.size());
+                uint64_t offset = 0;
+                for (graph::Handle step : steps) {
+                    starts.push_back(offset);
+                    offset += graph.nodeLength(step.node());
+                }
+                for (const Minimizer &mini :
+                     computeMinimizers(spelled, k, w)) {
+                    const auto it = std::upper_bound(
+                        starts.begin(), starts.end(), mini.position);
+                    const auto step_index =
+                        static_cast<size_t>(it - starts.begin()) - 1;
+                    const graph::Handle step = steps[step_index];
+                    const auto in_step = static_cast<uint32_t>(
+                        mini.position - starts[step_index]);
+                    const auto node_len = static_cast<uint32_t>(
+                        graph.nodeLength(step.node()));
+                    GraphSeedHit hit;
+                    hit.node = step.node();
+                    // Forward-strand offset of the k-mer's first base.
+                    hit.offset = step.isReverse()
+                        ? node_len - 1 - in_step : in_step;
+                    hit.reverse = mini.reverse != step.isReverse();
+                    bucket.push_back({mini.hash, hit});
+                }
+            });
+        size_t total = 0;
+        for (const auto &bucket : per_path)
+            total += bucket.size();
+        entries.reserve(total);
+        for (auto &bucket : per_path) {
+            entries.insert(entries.end(), bucket.begin(), bucket.end());
         }
     } else {
-        for (graph::NodeId node = 0; node < graph.nodeCount();
-             ++node) {
-            const auto &codes = graph.nodeSequence(node).codes();
-            for (const Minimizer &mini :
-                 computeMinimizers(codes, k, w)) {
-                entries.push_back(
-                    {mini.hash, {node, mini.position, mini.reverse}});
-            }
+        std::vector<std::vector<Entry>> per_node(graph.nodeCount());
+        core::parallelFor(
+            0, graph.nodeCount(), threads,
+            [&](size_t node_index) {
+                const auto node =
+                    static_cast<graph::NodeId>(node_index);
+                const auto &codes = graph.nodeSequence(node).codes();
+                for (const Minimizer &mini :
+                     computeMinimizers(codes, k, w)) {
+                    per_node[node_index].push_back(
+                        {mini.hash,
+                         {node, mini.position, mini.reverse}});
+                }
+            });
+        size_t total = 0;
+        for (const auto &bucket : per_node)
+            total += bucket.size();
+        entries.reserve(total);
+        for (auto &bucket : per_node) {
+            entries.insert(entries.end(), bucket.begin(), bucket.end());
         }
     }
 

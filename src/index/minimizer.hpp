@@ -146,8 +146,15 @@ struct GraphSeedHit
 class MinimizerIndex
 {
   public:
-    /** Build over @p graph with (w,k) minimizers. */
-    MinimizerIndex(const graph::PanGraph &graph, int k, int w);
+    /**
+     * Build over @p graph with (w,k) minimizers. @p threads > 1
+     * computes per-path (or per-node) minimizers concurrently on the
+     * shared pool; occurrence lists are concatenated in path order
+     * before the sort, so the index is identical at every thread
+     * count.
+     */
+    MinimizerIndex(const graph::PanGraph &graph, int k, int w,
+                   unsigned threads = 1);
 
     int k() const { return k_; }
     int w() const { return w_; }

@@ -270,7 +270,7 @@ pgsgdLayout(const PathIndex &index, Layout &layout,
             core::Rng rng = core::Rng::forStream(
                 params.seed + iter, tid);
             const uint64_t mine =
-                updates_per_iter / std::max(1u, params.threads);
+                updates_per_iter / core::clampThreads(params.threads);
             for (uint64_t u = 0; u < mine; ++u) {
                 size_t step_a, step_b;
                 if (!pgsgddetail::samplePair(index, params, rng, probe,

@@ -7,6 +7,7 @@
 #include "align/poa.hpp"
 #include "build/transclosure.hpp"
 #include "core/logging.hpp"
+#include "core/thread_pool.hpp"
 #include "index/minimizer.hpp"
 #include "layout/pgsgd.hpp"
 #include "pipeline/mapper.hpp"
@@ -159,47 +160,66 @@ buildPggb(const std::vector<seq::Sequence> &haplotypes,
         report.matches = aligned.matches.size();
     }
 
-    // ---- 2. Induction: seqwish transclosure.
+    // ---- 2. Induction: seqwish transclosure (parallel sweep).
     {
         core::StageTimers::Scope scope(report.timers, "induction");
-        auto tc = build::transclose(catalog, aligned.matches);
+        build::TcOptions tc_options;
+        tc_options.threads = params.threads;
+        auto tc = build::transclose(catalog, aligned.matches,
+                                    tc_options);
         report.closureClasses = tc.closureClasses;
         report.graph = std::move(tc.graph);
     }
 
     // ---- 3. Polishing: smoothxg-style windowed POA (~80% of the
-    // stage is the POA kernel, as in the paper).
+    // stage is the POA kernel, as in the paper). Paths spell
+    // concurrently, then the windows — each owns a private PoaGraph
+    // over read-only spelled sequences — run on the pool; per-window
+    // cell counts reduce in window order so the total is identical at
+    // every thread count.
     {
         core::StageTimers::Scope scope(report.timers, "polishing");
-        std::vector<seq::Sequence> spelled;
-        for (graph::PathId p = 0; p < report.graph.pathCount(); ++p)
-            spelled.push_back(report.graph.pathSequence(p));
+        std::vector<seq::Sequence> spelled(report.graph.pathCount());
+        core::parallelFor(
+            0, report.graph.pathCount(), params.threads,
+            [&](size_t p) {
+                spelled[p] = report.graph.pathSequence(
+                    static_cast<graph::PathId>(p));
+            });
         size_t longest = 0;
         for (const auto &sequence : spelled)
             longest = std::max(longest, sequence.size());
-        for (size_t w0 = 0; w0 < longest; w0 += params.smoothWindow) {
-            // abPOA's adaptive band is the stage's performance lever.
-            align::PoaParams poa_params;
-            poa_params.band = 64;
-            align::PoaGraph poa(poa_params);
-            uint32_t added = 0;
-            for (const auto &sequence : spelled) {
-                if (added >= params.smoothMaxSeqs)
-                    break;
-                if (w0 >= sequence.size())
-                    continue;
-                const auto slice = sequence.slice(
-                    w0, params.smoothWindow);
-                if (slice.size() < 2)
-                    continue;
-                poa.addSequence(slice.codes());
-                ++added;
-            }
-            if (added > 0) {
-                poa.consensus();
-                report.poaCells += poa.cellsComputed();
-            }
-        }
+        const size_t window = std::max<size_t>(1, params.smoothWindow);
+        const size_t n_windows = (longest + window - 1) / window;
+        std::vector<uint64_t> window_cells(n_windows, 0);
+        core::parallelFor(
+            0, n_windows, params.threads, [&](size_t window_index) {
+                const size_t w0 = window_index * window;
+                // abPOA's adaptive band is the stage's performance
+                // lever.
+                align::PoaParams poa_params;
+                poa_params.band = 64;
+                align::PoaGraph poa(poa_params);
+                uint32_t added = 0;
+                for (const auto &sequence : spelled) {
+                    if (added >= params.smoothMaxSeqs)
+                        break;
+                    if (w0 >= sequence.size())
+                        continue;
+                    const auto slice = sequence.slice(
+                        w0, params.smoothWindow);
+                    if (slice.size() < 2)
+                        continue;
+                    poa.addSequence(slice.codes());
+                    ++added;
+                }
+                if (added > 0) {
+                    poa.consensus();
+                    window_cells[window_index] = poa.cellsComputed();
+                }
+            });
+        for (uint64_t cells : window_cells)
+            report.poaCells += cells;
     }
 
     // ---- 4. Visualization: odgi layout (PGSGD).
@@ -350,19 +370,27 @@ buildMinigraphCactus(const std::vector<seq::Sequence> &haplotypes,
     }
 
     // ---- 2. Induction: abPOA-style refinement of each bubble (align
-    // alleles; identical consensus alleles merge).
+    // alleles; identical consensus alleles merge). Bubbles are
+    // independent, so they align on the pool; per-variant cell counts
+    // reduce in variant order for a thread-count-invariant total.
     {
         core::StageTimers::Scope scope(report.timers, "induction");
-        for (Discovered &v : variants) {
-            if (v.alt.size() < 2 || v.refEnd <= v.refStart)
-                continue;
-            align::PoaGraph poa;
-            poa.addSequence(reference.slice(
-                v.refStart, v.refEnd - v.refStart).codes());
-            poa.addSequence(v.alt);
-            poa.consensus();
-            report.poaCells += poa.cellsComputed();
-        }
+        std::vector<uint64_t> variant_cells(variants.size(), 0);
+        core::parallelFor(
+            0, variants.size(), params.threads,
+            [&](size_t variant_index) {
+                const Discovered &v = variants[variant_index];
+                if (v.alt.size() < 2 || v.refEnd <= v.refStart)
+                    return;
+                align::PoaGraph poa;
+                poa.addSequence(reference.slice(
+                    v.refStart, v.refEnd - v.refStart).codes());
+                poa.addSequence(v.alt);
+                poa.consensus();
+                variant_cells[variant_index] = poa.cellsComputed();
+            });
+        for (uint64_t cells : variant_cells)
+            report.poaCells += cells;
     }
 
     // ---- 3. Polishing: GFAffix-like cleanup — drop no-op variants

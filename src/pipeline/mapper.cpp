@@ -62,10 +62,13 @@ Seq2GraphMapper::Seq2GraphMapper(const graph::PanGraph &graph,
                                  MapperConfig config)
     : graph_(graph), config_(config),
       avgNodeLength_(std::max(1.0, graph.stats().avgNodeLength)),
-      linear_(graph), index_(graph, config.k, config.w)
+      linear_(graph),
+      index_(graph, config.k, config.w, config.threads)
 {
-    if (config_.profile == ToolProfile::kVgGiraffe)
-        gbwt_ = std::make_unique<index::GbwtIndex>(graph);
+    if (config_.profile == ToolProfile::kVgGiraffe) {
+        gbwt_ = std::make_unique<index::GbwtIndex>(
+            graph, true, config_.threads);
+    }
 }
 
 std::vector<Seq2GraphMapper::AlignTask>
@@ -372,10 +375,9 @@ Seq2GraphMapper::mapReads(std::span<const seq::Sequence> reads) const
     MappingStats total;
     total.reads = reads.size();
 
-    const unsigned threads = std::max(1u, config_.threads);
     std::atomic<uint64_t> mapped(0);
     std::mutex merge_lock;
-    core::parallelFor(0, reads.size(), threads, [&](size_t i) {
+    core::parallelFor(0, reads.size(), config_.threads, [&](size_t i) {
         if (faultMapRead.fire()) {
             core::fatal("mapper: injected fault processing read '",
                         reads[i].name(), "'");
@@ -553,8 +555,7 @@ Seq2SeqMapper::mapReads(std::span<const seq::Sequence> reads,
     total.kernelName = "SSW";
     std::atomic<uint64_t> mapped(0);
     std::mutex merge_lock;
-    core::parallelFor(0, reads.size(), std::max(1u, threads),
-                      [&](size_t i) {
+    core::parallelFor(0, reads.size(), threads, [&](size_t i) {
         MappingStats local;
         const seq::Sequence &read = reads[i];
         // Canonical minimizers place reverse-strand reads too, so the

@@ -54,7 +54,7 @@ allToAllAlign(const build::SequenceCatalog &catalog,
     }
 
     std::mutex merge_lock;
-    core::parallelFor(0, pairs.size(), std::max(1u, params.threads),
+    core::parallelFor(0, pairs.size(), params.threads,
                       [&](size_t pair_index) {
         const auto [ai, bi] = pairs[pair_index];
         const uint64_t a_begin = catalog.start(ai);

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Scheduler tests: the persistent work-stealing pool behind
+ * parallelFor/parallelRun. Covers pool reuse (the worker-spawn counter
+ * stays flat after warm-up), auto grain sizing, nested TaskGroup
+ * submission, the exception contract, determinism of the pool-parallel
+ * kernels (transclosure, minimizer index, GBWT) against their serial
+ * outputs, and the threadpool.* fault sites' Nth-hit semantics.
+ *
+ * On single-core hosts the pool holds zero persistent workers and
+ * every parallel call degrades to the inline path; the tests assert
+ * behavior that must hold at any pool width. Run with PGB_THREADS=4
+ * (as the TSan CI job does) to force a real multi-worker pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <span>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "build/transclosure.hpp"
+#include "core/fault.hpp"
+#include "core/logging.hpp"
+#include "core/thread_pool.hpp"
+#include "core/union_find.hpp"
+#include "graph/gfa.hpp"
+#include "index/gbwt.hpp"
+#include "index/minimizer.hpp"
+#include "synth/pangenome_sim.hpp"
+
+namespace pgb {
+namespace {
+
+using core::FatalError;
+
+class SchedulerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { core::fault::disarmAll(); }
+    void TearDown() override { core::fault::disarmAll(); }
+};
+
+// ------------------------------------------------------ pool reuse
+
+TEST_F(SchedulerTest, SpawnCounterStaysFlatAcrossManyParallelFors)
+{
+    // Warm-up: the first parallel call initializes the pool.
+    std::atomic<uint64_t> sink(0);
+    core::parallelFor(0, 1000, 8, [&](size_t i) { sink += i; });
+    const size_t after_warmup = core::poolWorkersSpawned();
+    EXPECT_EQ(after_warmup, core::poolWorkerCount());
+
+    for (int call = 0; call < 100; ++call) {
+        core::parallelFor(0, 500, 8, [&](size_t i) { sink += i; });
+    }
+    // Persistent pool: no thread is ever created after warm-up.
+    EXPECT_EQ(core::poolWorkersSpawned(), after_warmup);
+
+    for (int call = 0; call < 10; ++call) {
+        core::parallelRun(4, [&](unsigned t) { sink += t; });
+    }
+    EXPECT_EQ(core::poolWorkersSpawned(), after_warmup);
+}
+
+// --------------------------------------------------- parallel for
+
+TEST_F(SchedulerTest, ParallelForVisitsEveryIndexExactlyOnce)
+{
+    constexpr size_t kRange = 10000;
+    std::vector<std::atomic<uint32_t>> visits(kRange);
+    core::parallelFor(0, kRange, 8, [&](size_t i) { ++visits[i]; });
+    for (size_t i = 0; i < kRange; ++i)
+        EXPECT_EQ(visits[i].load(), 1u) << "index " << i;
+}
+
+TEST_F(SchedulerTest, ParallelForMatchesSerialSum)
+{
+    constexpr size_t kRange = 50000;
+    uint64_t serial = 0;
+    for (size_t i = 0; i < kRange; ++i)
+        serial += i * i;
+    std::atomic<uint64_t> parallel(0);
+    core::parallelFor(0, kRange, 8,
+                      [&](size_t i) { parallel += i * i; });
+    EXPECT_EQ(parallel.load(), serial);
+}
+
+TEST_F(SchedulerTest, ParallelForHonorsExplicitChunk)
+{
+    std::vector<std::atomic<uint32_t>> visits(1000);
+    core::parallelFor(
+        0, 1000, 4, [&](size_t i) { ++visits[i]; }, /* chunk */ 7);
+    for (size_t i = 0; i < 1000; ++i)
+        EXPECT_EQ(visits[i].load(), 1u);
+}
+
+TEST_F(SchedulerTest, ParallelRunExecutesEveryThreadIndex)
+{
+    std::vector<std::atomic<uint32_t>> ran(16);
+    core::parallelRun(16, [&](unsigned t) { ++ran[t]; });
+    for (size_t t = 0; t < 16; ++t)
+        EXPECT_EQ(ran[t].load(), 1u) << "thread " << t;
+}
+
+// ------------------------------------------------------ grain size
+
+TEST_F(SchedulerTest, GrainSizeTargetsEightChunksPerRunner)
+{
+    EXPECT_EQ(core::grainSize(800, 1), 100u);
+    EXPECT_EQ(core::grainSize(800, 4), 25u);
+    // Never below one index per chunk.
+    EXPECT_EQ(core::grainSize(3, 8), 1u);
+    // Capped so one chunk cannot monopolize a runner forever.
+    EXPECT_EQ(core::grainSize(100'000'000, 1), 65536u);
+}
+
+TEST_F(SchedulerTest, ClampThreadsMapsZeroToOne)
+{
+    EXPECT_EQ(core::clampThreads(0), 1u);
+    EXPECT_EQ(core::clampThreads(1), 1u);
+    EXPECT_EQ(core::clampThreads(17), 17u);
+}
+
+TEST_F(SchedulerTest, HardwareThreadsIsPositiveAndStable)
+{
+    const unsigned first = core::hardwareThreads();
+    EXPECT_GE(first, 1u);
+    EXPECT_EQ(core::hardwareThreads(), first);
+}
+
+// ------------------------------------------------- nested submission
+
+TEST_F(SchedulerTest, NestedTaskGroupsCompleteWithoutDeadlock)
+{
+    std::atomic<uint64_t> inner_total(0);
+    core::TaskGroup outer;
+    for (int o = 0; o < 8; ++o) {
+        outer.submit([&inner_total] {
+            core::TaskGroup inner;
+            for (int i = 0; i < 8; ++i)
+                inner.submit([&inner_total] { ++inner_total; });
+            inner.wait();
+        });
+    }
+    outer.wait();
+    EXPECT_EQ(inner_total.load(), 64u);
+}
+
+TEST_F(SchedulerTest, NestedParallelForCompletesWithoutDeadlock)
+{
+    std::atomic<uint64_t> cells(0);
+    core::parallelFor(0, 16, 4, [&](size_t) {
+        core::parallelFor(0, 100, 4, [&](size_t) { ++cells; });
+    });
+    EXPECT_EQ(cells.load(), 1600u);
+}
+
+TEST_F(SchedulerTest, TaskGroupRethrowsFirstExceptionOnWait)
+{
+    core::TaskGroup group;
+    for (int i = 0; i < 4; ++i) {
+        group.submit([] { core::fatal("boom"); });
+    }
+    bool threw = false;
+    try {
+        group.wait();
+    } catch (const FatalError &error) {
+        threw = true;
+        EXPECT_NE(std::string(error.what()).find("boom"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(threw);
+    EXPECT_TRUE(group.stopped());
+}
+
+// ------------------------------------------- concurrent union-find
+
+TEST_F(SchedulerTest, ConcurrentUnionFindMatchesSerialPartition)
+{
+    constexpr size_t kElements = 20000;
+    // A pseudo-random pair set; both forests must induce the same
+    // partition no matter the unite order or interleaving.
+    std::vector<std::pair<size_t, size_t>> pairs;
+    uint64_t state = 12345;
+    for (size_t i = 0; i < 30000; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const size_t a = (state >> 20) % kElements;
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const size_t b = (state >> 20) % kElements;
+        pairs.emplace_back(a, b);
+    }
+    core::UnionFind serial(kElements);
+    for (const auto &[a, b] : pairs)
+        serial.unite(a, b);
+    core::ConcurrentUnionFind concurrent(kElements);
+    core::parallelFor(0, pairs.size(), 8, [&](size_t i) {
+        concurrent.unite(pairs[i].first, pairs[i].second);
+    });
+    EXPECT_EQ(concurrent.countSets(), serial.setCount());
+    // Same partition: elements agree on same-set membership. The
+    // concurrent representative is the set minimum by construction.
+    core::UnionFind adopted(kElements);
+    adopted.adoptFrom(concurrent);
+    EXPECT_EQ(adopted.setCount(), serial.setCount());
+    for (size_t i = 1; i < kElements; ++i) {
+        EXPECT_EQ(serial.same(i - 1, i), adopted.same(i - 1, i))
+            << "element " << i;
+        EXPECT_LE(adopted.find(i), i);
+    }
+}
+
+// -------------------------------------------- kernel determinism
+
+synth::Pangenome
+smallPangenome()
+{
+    return synth::simulatePangenome(
+        synth::mGraphLikeConfig(20000, /* seed */ 7));
+}
+
+TEST_F(SchedulerTest, TransclosureParallelSweepIsBitIdentical)
+{
+    const auto pangenome = smallPangenome();
+    std::vector<seq::Sequence> inputs;
+    inputs.push_back(pangenome.reference);
+    for (const auto &hap : pangenome.haplotypes)
+        inputs.push_back(hap);
+    build::SequenceCatalog catalog(inputs);
+    std::vector<build::MatchSegment> matches;
+    for (const auto &m : synth::groundTruthMatches(pangenome, 16)) {
+        matches.push_back({catalog.globalOffset(0, m.refStart),
+                           catalog.globalOffset(m.haplotype + 1,
+                                                m.hapStart),
+                           m.length});
+    }
+
+    build::TcOptions serial_options;
+    serial_options.threads = 1;
+    const auto serial =
+        build::transclose(catalog, matches, serial_options);
+
+    build::TcOptions parallel_options;
+    parallel_options.threads = 8;
+    // A small chunk gives the runners many chunks to race over.
+    parallel_options.chunkSize = 1 << 12;
+    const auto parallel =
+        build::transclose(catalog, matches, parallel_options);
+
+    EXPECT_EQ(parallel.closureClasses, serial.closureClasses);
+    EXPECT_EQ(parallel.unions, serial.unions);
+    std::ostringstream serial_gfa, parallel_gfa;
+    graph::writeGfa(serial_gfa, serial.graph);
+    graph::writeGfa(parallel_gfa, parallel.graph);
+    EXPECT_EQ(parallel_gfa.str(), serial_gfa.str());
+}
+
+TEST_F(SchedulerTest, MinimizerIndexParallelBuildIsIdentical)
+{
+    const auto pangenome = smallPangenome();
+    const index::MinimizerIndex serial(pangenome.graph, 15, 10, 1);
+    const index::MinimizerIndex parallel(pangenome.graph, 15, 10, 8);
+    ASSERT_EQ(parallel.distinctMinimizers(),
+              serial.distinctMinimizers());
+    ASSERT_EQ(parallel.totalOccurrences(), serial.totalOccurrences());
+    // Every hash that occurs on any path resolves to the same
+    // occurrence list in both indexes.
+    for (graph::PathId path = 0;
+         path < pangenome.graph.pathCount(); ++path) {
+        const auto spelled =
+            pangenome.graph.pathSequence(path).codes();
+        for (const auto &mini :
+             index::computeMinimizers(spelled, 15, 10)) {
+            const auto a = serial.occurrences(mini.hash);
+            const auto b = parallel.occurrences(mini.hash);
+            ASSERT_EQ(a.size(), b.size()) << "hash " << mini.hash;
+            for (size_t i = 0; i < a.size(); ++i) {
+                EXPECT_EQ(a[i].node, b[i].node);
+                EXPECT_EQ(a[i].offset, b[i].offset);
+                EXPECT_EQ(a[i].reverse, b[i].reverse);
+            }
+        }
+    }
+}
+
+TEST_F(SchedulerTest, GbwtParallelBuildIsIdentical)
+{
+    const auto pangenome = smallPangenome();
+    const index::GbwtIndex serial(pangenome.graph, true, 1);
+    const index::GbwtIndex parallel(pangenome.graph, true, 8);
+    const auto serial_stats = serial.stats();
+    const auto parallel_stats = parallel.stats();
+    EXPECT_EQ(parallel_stats.records, serial_stats.records);
+    EXPECT_EQ(parallel_stats.totalVisits, serial_stats.totalVisits);
+    EXPECT_EQ(parallel_stats.totalRuns, serial_stats.totalRuns);
+    // Haplotype subpath queries agree step by step.
+    for (graph::PathId path = 0;
+         path < pangenome.graph.pathCount(); ++path) {
+        const auto &steps = pangenome.graph.pathSteps(path);
+        const size_t span = std::min<size_t>(steps.size(), 12);
+        for (size_t start = 0; start + 2 <= span; ++start) {
+            const std::span<const graph::Handle> query(
+                steps.data() + start, span - start);
+            const auto a = serial.find(query);
+            const auto b = parallel.find(query);
+            EXPECT_EQ(a.node, b.node);
+            EXPECT_EQ(a.begin, b.begin);
+            EXPECT_EQ(a.end, b.end);
+        }
+    }
+}
+
+// ------------------------------------------------- fault sites
+
+TEST_F(SchedulerTest, ParallelForFaultSiteKeepsNthHitSemantics)
+{
+    // Inline path: chunk=1 makes hits count per index, so arming the
+    // 3rd hit must name index 2 in the diagnostic.
+    core::fault::arm("threadpool.for", 3);
+    bool threw = false;
+    try {
+        core::parallelFor(
+            0, 10, 1, [](size_t) {}, /* chunk */ 1);
+    } catch (const FatalError &error) {
+        threw = true;
+        EXPECT_NE(std::string(error.what())
+                      .find("injected worker fault at index 2"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(threw);
+    // One-shot: the site disarmed itself.
+    EXPECT_FALSE(core::fault::armed("threadpool.for"));
+    std::atomic<uint64_t> sink(0);
+    core::parallelFor(0, 100, 8, [&](size_t i) { sink += i; });
+}
+
+TEST_F(SchedulerTest, ParallelForFaultFiresOnPooledWorkers)
+{
+    core::fault::arm("threadpool.for", 2);
+    std::atomic<size_t> visited(0);
+    EXPECT_THROW(core::parallelFor(0, 100000, 8,
+                                   [&](size_t) { ++visited; }),
+                 FatalError);
+    // The faulted chunk never ran its body.
+    EXPECT_LT(visited.load(), 100000u);
+    EXPECT_FALSE(core::fault::armed("threadpool.for"));
+}
+
+TEST_F(SchedulerTest, ParallelRunFaultSiteKeepsNthHitSemantics)
+{
+    core::fault::arm("threadpool.run", 2);
+    std::atomic<unsigned> started(0);
+    EXPECT_THROW(core::parallelRun(4,
+                                   [&](unsigned) { ++started; }),
+                 FatalError);
+    EXPECT_LT(started.load(), 4u);
+    EXPECT_FALSE(core::fault::armed("threadpool.run"));
+    // The pool survives an injected fault: later runs are clean.
+    std::atomic<unsigned> again(0);
+    core::parallelRun(4, [&](unsigned) { ++again; });
+    EXPECT_EQ(again.load(), 4u);
+}
+
+} // namespace
+} // namespace pgb
