@@ -21,10 +21,12 @@
 
 #include <memory>
 
+#include "core/io.hpp"
 #include "core/probe.hpp"
 #include "core/rng.hpp"
 #include "core/timer.hpp"
 #include "layout/pgsgd.hpp"
+#include "obs/report.hpp"
 #include "pipeline/mapper.hpp"
 #include "prof/topdown.hpp"
 #include "prof/trace_probe.hpp"
@@ -142,6 +144,23 @@ makeLayoutChain(size_t n_nodes, uint64_t seed = 4242)
     chain.index = std::make_unique<layout::PathIndex>(big);
     chain.nodeCount = big.nodeCount();
     return chain;
+}
+
+/**
+ * Dump the process-wide runtime metrics next to a bench's result
+ * JSON, in the same "pgb.metrics.v1" schema the CLI's --metrics flag
+ * emits, so bench runs and production runs are comparable with the
+ * same tooling. Call once, at the end of main().
+ */
+inline void
+writeBenchMetrics(const char *bench_name)
+{
+    const std::string path =
+        std::string("BENCH_") + bench_name + ".metrics.json";
+    core::CheckedWriter out(path);
+    obs::Report::collect().write(out);
+    out.finish();
+    std::printf("runtime metrics -> %s\n", path.c_str());
 }
 
 /** Print a horizontal rule + title. */

@@ -248,5 +248,6 @@ main()
                 "(vs 4), flattening beyond; odgi layout sub-linear; "
                 "seqwish ~flat beyond 4 threads; minigraph-cr "
                 "single-threaded.\n");
+    writeBenchMetrics("fig5");
     return 0;
 }

@@ -51,5 +51,6 @@ main()
                 "GSSW 35s, GBWT 23s, GWFA-cr 16657s, GWFA-lr 720s, "
                 "PGSGD 285s, TC 755s on full chr20 data)\n",
                 static_cast<unsigned long long>(sink));
+    writeBenchMetrics("table4");
     return 0;
 }

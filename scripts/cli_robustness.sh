@@ -98,6 +98,28 @@ expect_fail "map with injected worker fault" \
     env PGB_FAULT=mapper.read:1 \
     "$PGB" map "$WORK/d.gfa" "$WORK/d.short.fq" vgmap 2
 
+# --- observability surface fails closed ----------------------------
+# An unwritable --metrics/--trace path must fail the whole run with a
+# one-line diagnostic and leave no partial file, even though the
+# command itself succeeded: a silently missing metrics file defeats
+# the point of asking for one.
+expect_fail "stats with --metrics to unwritable path" \
+    "$PGB" stats "$WORK/d.gfa" --metrics "$WORK/no-such-dir/m.json"
+if [ -e "$WORK/no-such-dir/m.json" ]; then
+    echo "FAIL: --metrics left a partial file on failure" >&2
+    failures=$((failures + 1))
+fi
+expect_fail "stats with --trace to unwritable path" \
+    "$PGB" stats "$WORK/d.gfa" --trace "$WORK/no-such-dir/t.json"
+expect_fail "metrics write with injected flush failure" \
+    env PGB_FAULT=io.flush:1 \
+    "$PGB" stats "$WORK/d.gfa" --metrics "$WORK/m.json"
+expect_fail "--metrics with missing value" \
+    "$PGB" stats "$WORK/d.gfa" --metrics
+expect_ok "stats with --metrics and --trace" \
+    "$PGB" stats "$WORK/d.gfa" --metrics "$WORK/ok-m.json" \
+    --trace "$WORK/ok-t.json"
+
 # --- garbage numeric arguments -------------------------------------
 expect_fail "map with garbage thread count" \
     "$PGB" map "$WORK/d.gfa" "$WORK/d.short.fq" vgmap banana

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Line-coverage job: build with --coverage, run the test suite, and
+# aggregate line coverage over src/ — then enforce the recorded floor
+# (scripts/coverage_baseline.txt) so coverage can only ratchet up.
+#
+# Usage: coverage.sh [build-dir]
+#
+# Environment:
+#   PGB_COVERAGE_WRITE_BASELINE=1  rewrite the baseline to the
+#                                  measured value minus a 2% margin
+#
+# Uses gcovr when installed; otherwise falls back to `gcov
+# --json-format` plus a python3 aggregator (the toolchain's gcov is
+# always present next to gcc).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT=$(pwd)
+BUILD=${1:-build-cov}
+BASELINE_FILE=scripts/coverage_baseline.txt
+
+cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="--coverage" \
+    -DCMAKE_EXE_LINKER_FLAGS="--coverage" >/dev/null
+cmake --build "$BUILD" -j "$(nproc)"
+(cd "$BUILD" && ctest --output-on-failure)
+
+if command -v gcovr >/dev/null 2>&1; then
+    PERCENT=$(gcovr -r "$ROOT" --filter "$ROOT/src/" \
+        --object-directory "$BUILD" --print-summary 2>/dev/null |
+        sed -n 's/^lines: \([0-9.]*\)%.*/\1/p')
+else
+    # gcov --json-format emits one JSON document per object file;
+    # aggregate per-source so headers included from many TUs count
+    # a line as covered if ANY inclusion executed it.
+    JSONL="$BUILD/coverage_gcov.jsonl"
+    : > "$JSONL"
+    find "$BUILD" -name '*.gcda' -print0 |
+        while IFS= read -r -d '' gcda; do
+            gcov -t --json-format "$gcda" >> "$JSONL" 2>/dev/null || true
+        done
+    PERCENT=$(python3 - "$ROOT" "$JSONL" <<'EOF'
+import json
+import sys
+
+root, jsonl = sys.argv[1], sys.argv[2]
+lines_all = {}   # source path -> set of instrumentable lines
+lines_hit = {}   # source path -> set of executed lines
+
+def documents(text):
+    # gcov's stdout layout varies; decode back-to-back JSON documents
+    # regardless of newlines.
+    decoder = json.JSONDecoder()
+    pos = 0
+    while pos < len(text):
+        while pos < len(text) and text[pos] in " \t\r\n":
+            pos += 1
+        if pos >= len(text):
+            break
+        try:
+            data, pos = decoder.raw_decode(text, pos)
+        except ValueError:
+            break
+        yield data
+
+with open(jsonl) as f:
+    text = f.read()
+for data in documents(text):
+    for unit in data.get("files", []):
+        path = unit["file"]
+        if not path.startswith("/"):
+            path = root + "/" + path
+        if "/src/" not in path:
+            continue
+        allset = lines_all.setdefault(path, set())
+        hitset = lines_hit.setdefault(path, set())
+        for line in unit.get("lines", []):
+            allset.add(line["line_number"])
+            if line.get("count", 0) > 0:
+                hitset.add(line["line_number"])
+total = sum(len(s) for s in lines_all.values())
+hit = sum(len(s) for s in lines_hit.values())
+if total == 0:
+    print("0.0")
+else:
+    print("%.1f" % (100.0 * hit / total))
+EOF
+)
+fi
+
+if [ -z "${PERCENT:-}" ]; then
+    echo "coverage: could not compute a line-coverage figure" >&2
+    exit 1
+fi
+echo "coverage: src/ line coverage ${PERCENT}%"
+
+if [ "${PGB_COVERAGE_WRITE_BASELINE:-0}" = "1" ]; then
+    FLOOR=$(python3 -c "print('%.1f' % (float('$PERCENT') - 2.0))")
+    echo "$FLOOR" > "$BASELINE_FILE"
+    echo "coverage: baseline floor rewritten to ${FLOOR}%"
+    exit 0
+fi
+
+FLOOR=$(cat "$BASELINE_FILE")
+python3 -c "
+import sys
+measured, floor = float('$PERCENT'), float('$FLOOR')
+if measured < floor:
+    print('coverage: FAIL: %.1f%% is below the %.1f%% floor'
+          % (measured, floor), file=sys.stderr)
+    sys.exit(1)
+print('coverage: OK (floor %.1f%%)' % floor)
+"

@@ -11,6 +11,7 @@
 
 #include "core/fault.hpp"
 #include "core/logging.hpp"
+#include "obs/metrics.hpp"
 
 namespace pgb::core {
 
@@ -21,6 +22,12 @@ constexpr size_t kInitialCapacity = 1 << 20;
 FaultSite faultArenaOpen("arena.open");
 FaultSite faultArenaTruncate("arena.ftruncate");
 FaultSite faultArenaMmap("arena.mmap");
+
+// An arena-degradation storm (every file-backed arena silently falling
+// back to RAM on a full scratch disk) is invisible without telemetry;
+// these counters surface it in every --metrics report.
+obs::Counter obsBytesMapped("arena.bytes_mapped");
+obs::Counter obsDegradations("arena.degradations");
 
 size_t
 roundUpPage(size_t bytes)
@@ -124,6 +131,7 @@ Arena::release()
 void
 Arena::degradeToMemory(size_t min_capacity)
 {
+    obsDegradations.add();
     auto *mem = static_cast<uint8_t *>(std::malloc(min_capacity));
     if (mem == nullptr) {
         fatal("Arena: out of memory falling back from file-backed "
@@ -181,6 +189,7 @@ Arena::grow(size_t min_capacity)
             std::memcpy(mapped, data_, size_);
             munmap(data_, capacity_);
         }
+        obsBytesMapped.add(new_capacity);
         data_ = static_cast<uint8_t *>(mapped);
     } else {
         auto *mem = static_cast<uint8_t *>(

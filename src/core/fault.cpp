@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "core/logging.hpp"
+#include "obs/metrics.hpp"
 
 namespace pgb::core {
 
@@ -32,6 +33,17 @@ struct FaultRegistry
         const char *spec = std::getenv("PGB_FAULT");
         if (spec != nullptr)
             applySpec(spec);
+        // Per-site hit counts ride into every metrics snapshot. Site
+        // names are dynamic, so this is a provider, not obs::Counters.
+        obs::registerProvider(
+            [this](std::vector<std::pair<std::string, int64_t>> &out) {
+                std::lock_guard<std::mutex> guard(lock);
+                for (const FaultSite *site : registered) {
+                    out.emplace_back(
+                        "fault." + std::string(site->name()) + ".hits",
+                        static_cast<int64_t>(site->hits()));
+                }
+            });
     }
 
     /** Parse "site[:n][,site[:n]...]"; bad entries warn and are skipped. */

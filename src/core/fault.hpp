@@ -47,12 +47,21 @@ class FaultSite
     bool
     fire()
     {
+        hits_.fetch_add(1, std::memory_order_relaxed);
         if (!armed_.load(std::memory_order_relaxed))
             return false;
         return fireSlow();
     }
 
     const char *name() const { return name_; }
+
+    /** Lifetime fire() calls, armed or not — each site doubles as a
+     *  hit counter for the obs metrics report ("fault.<site>.hits"). */
+    uint64_t
+    hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
 
     /** Whether a trigger is currently pending on this site. */
     bool
@@ -68,6 +77,7 @@ class FaultSite
     const char *name_;
     std::atomic<bool> armed_{false};
     std::atomic<uint64_t> remaining_{0};
+    std::atomic<uint64_t> hits_{0};
 };
 
 namespace fault {

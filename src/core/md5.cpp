@@ -1,0 +1,118 @@
+#include "core/md5.hpp"
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace pgb::core {
+
+namespace {
+
+/** RFC 1321 reference constants: per-round left-rotate amounts. */
+constexpr std::array<uint32_t, 64> kShift = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+/** RFC 1321 sine-table constants: floor(2^32 * abs(sin(i + 1))). */
+constexpr std::array<uint32_t, 64> kSine = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf,
+    0x4787c62a, 0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af,
+    0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e,
+    0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+    0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6,
+    0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039,
+    0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244, 0x432aff97,
+    0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d,
+    0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+uint32_t
+rotateLeft(uint32_t value, uint32_t bits)
+{
+    return (value << bits) | (value >> (32 - bits));
+}
+
+/** Process one 64-byte block into the running state. */
+void
+processBlock(const uint8_t *block, uint32_t state[4])
+{
+    uint32_t m[16];
+    for (int i = 0; i < 16; ++i)
+        std::memcpy(&m[i], block + i * 4, 4); // little-endian words
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    for (uint32_t i = 0; i < 64; ++i) {
+        uint32_t f;
+        uint32_t g;
+        if (i < 16) {
+            f = (b & c) | (~b & d);
+            g = i;
+        } else if (i < 32) {
+            f = (d & b) | (~d & c);
+            g = (5 * i + 1) % 16;
+        } else if (i < 48) {
+            f = b ^ c ^ d;
+            g = (3 * i + 5) % 16;
+        } else {
+            f = c ^ (b | ~d);
+            g = (7 * i) % 16;
+        }
+        const uint32_t temp = d;
+        d = c;
+        c = b;
+        b = b + rotateLeft(a + f + kSine[i] + m[g], kShift[i]);
+        a = temp;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+}
+
+} // namespace
+
+std::string
+md5Hex(std::string_view data)
+{
+    uint32_t state[4] = {0x67452301, 0xefcdab89, 0x98badcfe,
+                         0x10325476};
+
+    const auto *bytes = reinterpret_cast<const uint8_t *>(data.data());
+    size_t remaining = data.size();
+    while (remaining >= 64) {
+        processBlock(bytes, state);
+        bytes += 64;
+        remaining -= 64;
+    }
+
+    // Final block(s): 0x80 terminator, zero pad, 64-bit bit length.
+    uint8_t tail[128] = {0};
+    std::memcpy(tail, bytes, remaining);
+    tail[remaining] = 0x80;
+    const size_t tail_len = remaining + 9 <= 64 ? 64 : 128;
+    const uint64_t bit_length =
+        static_cast<uint64_t>(data.size()) * 8;
+    std::memcpy(tail + tail_len - 8, &bit_length, 8);
+    processBlock(tail, state);
+    if (tail_len == 128)
+        processBlock(tail + 64, state);
+
+    static const char kHex[] = "0123456789abcdef";
+    std::string hex;
+    hex.reserve(32);
+    for (const uint32_t word : state) {
+        for (int byte = 0; byte < 4; ++byte) {
+            const uint8_t v =
+                static_cast<uint8_t>(word >> (byte * 8));
+            hex.push_back(kHex[v >> 4]);
+            hex.push_back(kHex[v & 0xf]);
+        }
+    }
+    return hex;
+}
+
+} // namespace pgb::core

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * MD5 digests for golden-output regression tests.
+ *
+ * Not a security primitive: the suite uses MD5 purely as a compact,
+ * stable fingerprint of deterministic pipeline outputs (GFA text,
+ * per-read mapping records) so the golden tests can lock in the
+ * bit-identity guarantee across thread counts and PRs.
+ */
+
+#ifndef PGB_CORE_MD5_HPP
+#define PGB_CORE_MD5_HPP
+
+#include <string>
+#include <string_view>
+
+namespace pgb::core {
+
+/** Lowercase 32-hex-digit MD5 of @p data. */
+std::string md5Hex(std::string_view data);
+
+} // namespace pgb::core
+
+#endif // PGB_CORE_MD5_HPP

@@ -11,6 +11,7 @@
 
 #include "core/fault.hpp"
 #include "core/logging.hpp"
+#include "obs/metrics.hpp"
 
 namespace pgb::core {
 
@@ -18,6 +19,16 @@ namespace {
 
 FaultSite faultForWorker("threadpool.for");
 FaultSite faultRunWorker("threadpool.run");
+
+// Scheduler telemetry (obs/metrics.hpp). Tasks are coarse — one per
+// runner per parallel region — so a relaxed add per event is free
+// relative to the work a task carries.
+obs::Counter obsTasksSpawned("threadpool.tasks_spawned");
+obs::Counter obsTasksInjected("threadpool.tasks_injected");
+obs::Counter obsTasksStolen("threadpool.tasks_stolen");
+obs::Counter obsParks("threadpool.parks");
+obs::Counter obsUnparks("threadpool.unparks");
+obs::Gauge obsQueueDepth("threadpool.queue_depth");
 
 /** Lifetime worker-spawn counter (tests assert it stays flat). */
 std::atomic<size_t> spawnedWorkers(0);
@@ -139,10 +150,13 @@ class ThreadPool
     {
         task->group->pending_.fetch_add(1, std::memory_order_acq_rel);
         queued_.fetch_add(1, std::memory_order_release);
+        obsTasksSpawned.add();
+        obsQueueDepth.add();
         bool queued = false;
         if (tlsWorker >= 0)
             queued = deques_[static_cast<size_t>(tlsWorker)]->push(task);
         if (!queued) {
+            obsTasksInjected.add();
             std::lock_guard<std::mutex> guard(injectorMutex_);
             injector_.push_back(task);
         }
@@ -215,11 +229,13 @@ class ThreadPool
                 runTask(task);
                 continue;
             }
+            obsParks.add();
             std::unique_lock<std::mutex> guard(idleMutex_);
             idleCv_.wait(guard, [&] {
                 return shutdown_ ||
                        queued_.load(std::memory_order_relaxed) > 0;
             });
+            obsUnparks.add();
             if (shutdown_)
                 return;
         }
@@ -246,9 +262,13 @@ class ThreadPool
                 self >= 0 ? static_cast<unsigned>(self) + 1 : 0;
             for (unsigned i = 0; i < workers && !task; ++i)
                 task = deques_[(start + i) % workers]->steal();
+            if (task)
+                obsTasksStolen.add();
         }
-        if (task)
+        if (task) {
             queued_.fetch_sub(1, std::memory_order_relaxed);
+            obsQueueDepth.sub();
+        }
         return task;
     }
 

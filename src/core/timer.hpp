@@ -14,6 +14,20 @@
 
 namespace pgb::core {
 
+/**
+ * Nanoseconds on the monotonic clock, from an arbitrary epoch. The
+ * timestamp source for tracing spans (obs::Span): one steady_clock
+ * read, no formatting.
+ */
+inline uint64_t
+monotonicNanos()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
 /** Monotonic wall-clock stopwatch. */
 class WallTimer
 {

@@ -1,0 +1,115 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace pgb::obs {
+
+namespace {
+
+/**
+ * Process-wide metric registry. Counters and gauges self-register from
+ * their static constructors (the same pattern as core::FaultSite), so
+ * any translation unit may declare metrics without init-order
+ * coordination.
+ */
+struct Registry
+{
+    std::mutex lock;
+    std::vector<Counter *> counters;
+    std::vector<Gauge *> gauges;
+    std::vector<Provider> providers;
+
+    static Registry &
+    instance()
+    {
+        static Registry registry;
+        return registry;
+    }
+};
+
+} // namespace
+
+namespace detail {
+
+unsigned
+threadShard()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned shard =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return shard;
+}
+
+} // namespace detail
+
+Counter::Counter(const char *name) : name_(name)
+{
+    Registry &registry = Registry::instance();
+    std::lock_guard<std::mutex> guard(registry.lock);
+    registry.counters.push_back(this);
+}
+
+Gauge::Gauge(const char *name) : name_(name)
+{
+    Registry &registry = Registry::instance();
+    std::lock_guard<std::mutex> guard(registry.lock);
+    registry.gauges.push_back(this);
+}
+
+void
+registerProvider(Provider provider)
+{
+    Registry &registry = Registry::instance();
+    std::lock_guard<std::mutex> guard(registry.lock);
+    registry.providers.push_back(std::move(provider));
+}
+
+uint64_t
+MetricsSnapshot::counter(const std::string &name) const
+{
+    for (const auto &[entry_name, value] : counters) {
+        if (entry_name == name)
+            return value;
+    }
+    return 0;
+}
+
+int64_t
+MetricsSnapshot::gauge(const std::string &name) const
+{
+    for (const auto &[entry_name, value] : gauges) {
+        if (entry_name == name)
+            return value;
+    }
+    return 0;
+}
+
+MetricsSnapshot
+snapshot()
+{
+    Registry &registry = Registry::instance();
+    MetricsSnapshot out;
+    std::vector<std::pair<std::string, int64_t>> provided;
+    {
+        std::lock_guard<std::mutex> guard(registry.lock);
+        out.counters.reserve(registry.counters.size());
+        for (const Counter *counter : registry.counters)
+            out.counters.emplace_back(counter->name(), counter->value());
+        out.gauges.reserve(registry.gauges.size());
+        for (const Gauge *gauge : registry.gauges)
+            out.gauges.emplace_back(gauge->name(), gauge->value());
+        for (const Provider &provider : registry.providers)
+            provider(provided);
+    }
+    // Provider entries are counts too; report them with the counters
+    // so one flat "counters" object holds every event count.
+    for (auto &[name, value] : provided)
+        out.counters.emplace_back(std::move(name),
+                                  static_cast<uint64_t>(value));
+    std::sort(out.counters.begin(), out.counters.end());
+    std::sort(out.gauges.begin(), out.gauges.end());
+    return out;
+}
+
+} // namespace pgb::obs

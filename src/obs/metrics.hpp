@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Runtime metrics: process-wide counters and gauges.
+ *
+ * This is the *online* half of the observability layer (pgb::obs), as
+ * opposed to the *offline* characterization layer (pgb::prof): prof
+ * replays a kernel under an instrumented probe to model caches and
+ * branches; obs rides along inside production runs and must therefore
+ * be cheap enough to leave on permanently.
+ *
+ * A Counter is a monotonically increasing event count (tasks spawned,
+ * reads mapped, bytes mapped). add() is one relaxed fetch_add on a
+ * per-thread shard — cache-line-padded cells indexed by a thread-local
+ * shard id — so concurrent writers on hot paths do not contend.
+ * value() sums the shards; with all writers quiescent it is exact.
+ *
+ * A Gauge is a signed instantaneous level (queue depth): add()/sub()
+ * are one relaxed fetch_add on a single atomic; exactness under
+ * concurrency matters less than rough shape, so it is not sharded.
+ *
+ * Counters and Gauges self-register in a global registry by name
+ * ("subsystem.metric", lowercase, dot-separated, like fault sites) and
+ * must have static storage duration: the registry keeps raw pointers
+ * for the life of the process. Subsystems whose metrics are not plain
+ * counters (e.g. the fault registry's per-site hit counts) register a
+ * provider callback instead; providers are polled at snapshot time.
+ */
+
+#ifndef PGB_OBS_METRICS_HPP
+#define PGB_OBS_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pgb::obs {
+
+namespace detail {
+
+/** Small dense per-thread shard id (not std::thread::id). */
+unsigned threadShard();
+
+} // namespace detail
+
+/** A monotonically increasing, thread-sharded event counter. */
+class Counter
+{
+  public:
+    /** Register the counter under @p name (a string literal). */
+    explicit Counter(const char *name);
+
+    Counter(const Counter &) = delete;
+    Counter &operator=(const Counter &) = delete;
+
+    /** Count @p n events: one relaxed atomic add on this thread's
+     *  shard, unconditionally — there is no off switch to branch on. */
+    void
+    add(uint64_t n = 1)
+    {
+        cells_[detail::threadShard() & (kShards - 1)].value.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    /** Sum of all shards; exact once concurrent writers quiesce. */
+    uint64_t
+    value() const
+    {
+        uint64_t sum = 0;
+        for (const Cell &cell : cells_)
+            sum += cell.value.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+    const char *name() const { return name_; }
+
+  private:
+    static constexpr size_t kShards = 16;
+
+    struct alignas(64) Cell
+    {
+        std::atomic<uint64_t> value{0};
+    };
+
+    const char *name_;
+    Cell cells_[kShards];
+};
+
+/** A signed instantaneous level (queue depth, bytes outstanding). */
+class Gauge
+{
+  public:
+    /** Register the gauge under @p name (a string literal). */
+    explicit Gauge(const char *name);
+
+    Gauge(const Gauge &) = delete;
+    Gauge &operator=(const Gauge &) = delete;
+
+    void
+    add(int64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    void sub(int64_t n = 1) { add(-n); }
+
+    void
+    set(int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    const char *name() const { return name_; }
+
+  private:
+    const char *name_;
+    std::atomic<int64_t> value_{0};
+};
+
+/** Callback appending (name, value) pairs at snapshot time. */
+using Provider = std::function<void(
+    std::vector<std::pair<std::string, int64_t>> &)>;
+
+/** Register @p provider; polled by every snapshot() for the rest of
+ *  the process lifetime. */
+void registerProvider(Provider provider);
+
+/** A point-in-time copy of every registered metric, sorted by name. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> gauges;
+
+    /** Counter value by exact name; 0 when absent. */
+    uint64_t counter(const std::string &name) const;
+
+    /** Gauge (or provider entry) value by exact name; 0 when absent. */
+    int64_t gauge(const std::string &name) const;
+};
+
+/** Collect all counters, gauges, and provider entries. */
+MetricsSnapshot snapshot();
+
+} // namespace pgb::obs
+
+#endif // PGB_OBS_METRICS_HPP

@@ -1,0 +1,91 @@
+#include "obs/report.hpp"
+
+#include <sstream>
+
+#include "core/io.hpp"
+#include "obs/span.hpp"
+
+namespace pgb::obs {
+
+namespace {
+
+/** Escape a metric name for a JSON string literal. */
+void
+appendEscaped(std::ostream &out, const std::string &text)
+{
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out << '\\';
+        out << c;
+    }
+}
+
+template <typename Entries>
+void
+writeObject(std::ostream &out, const Entries &entries)
+{
+    out << "{";
+    bool first = true;
+    for (const auto &[name, value] : entries) {
+        if (!first)
+            out << ',';
+        first = false;
+        out << "\n    \"";
+        appendEscaped(out, name);
+        out << "\": " << value;
+    }
+    out << "\n  }";
+}
+
+} // namespace
+
+Report
+Report::collect()
+{
+    Report report;
+    report.metrics_ = snapshot();
+    return report;
+}
+
+std::string
+Report::toJson() const
+{
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"pgb.metrics.v1\",\n  \"counters\": ";
+    writeObject(out, metrics_.counters);
+    out << ",\n  \"gauges\": ";
+    writeObject(out, metrics_.gauges);
+    out << "\n}\n";
+    return out.str();
+}
+
+void
+Report::write(core::CheckedWriter &writer) const
+{
+    writer.stream() << toJson();
+}
+
+std::string
+Report::summaryLine() const
+{
+    std::ostringstream out;
+    out << "pgb metrics:";
+    bool any = false;
+    for (const auto &[name, value] : metrics_.counters) {
+        if (value == 0)
+            continue;
+        out << ' ' << name << '=' << value;
+        any = true;
+    }
+    if (!any)
+        out << " (no events recorded)";
+    return out.str();
+}
+
+void
+writeTrace(core::CheckedWriter &writer)
+{
+    writer.stream() << traceToJson();
+}
+
+} // namespace pgb::obs

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Metrics and trace export: the flat JSON report behind
+ * `pgb <cmd> --metrics out.json`, the chrome://tracing JSON behind
+ * `--trace trace.json`, and the PGB_METRICS=1 one-line summary.
+ *
+ * The metrics schema ("pgb.metrics.v1") is shared by the CLI and the
+ * benches (BENCH_*.metrics.json):
+ *
+ *     {
+ *       "schema": "pgb.metrics.v1",
+ *       "counters": {"threadpool.tasks_spawned": 123, ...},
+ *       "gauges": {"threadpool.queue_depth": 0, ...}
+ *     }
+ *
+ * Counter keys include the fault registry's per-site hit counts
+ * ("fault.<site>.hits") contributed through a snapshot provider.
+ */
+
+#ifndef PGB_OBS_REPORT_HPP
+#define PGB_OBS_REPORT_HPP
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace pgb::core {
+class CheckedWriter;
+} // namespace pgb::core
+
+namespace pgb::obs {
+
+/** A collected metrics snapshot, ready for export. */
+class Report
+{
+  public:
+    /** Snapshot every registered counter, gauge, and provider. */
+    static Report collect();
+
+    /** The flat metrics JSON (schema above). */
+    std::string toJson() const;
+
+    /** Write toJson() through @p writer (caller calls finish()). */
+    void write(core::CheckedWriter &writer) const;
+
+    /** One line for stderr: every nonzero counter, space-separated. */
+    std::string summaryLine() const;
+
+    const MetricsSnapshot &metrics() const { return metrics_; }
+
+  private:
+    MetricsSnapshot metrics_;
+};
+
+/** Write the recorded trace as chrome://tracing JSON through
+ *  @p writer (caller calls finish()). */
+void writeTrace(core::CheckedWriter &writer);
+
+} // namespace pgb::obs
+
+#endif // PGB_OBS_REPORT_HPP

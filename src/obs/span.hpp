@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tracing spans: nested, thread-local, chrome://tracing-exportable.
+ *
+ * A Span is an RAII scope that records {name, thread, start, duration,
+ * parent} into a thread-local event buffer when tracing is enabled.
+ * Nesting is tracked per thread with a thread-local span stack: a span
+ * opened while another span is live on the *same* thread records that
+ * span as its parent. Work that migrates across threads (a stolen pool
+ * task) is *reparented* by construction — it nests under whatever is
+ * live on the executing thread, which for a stolen task is nothing, so
+ * per-task spans appear as thread roots on the thief. That is exactly
+ * the shape chrome://tracing renders meaningfully.
+ *
+ * Cost contract: with tracing disabled (the default), constructing a
+ * Span is one relaxed atomic load and zero allocations — it may sit on
+ * per-read pipeline paths without distorting the timed benches. With
+ * tracing enabled, each span is two steady_clock reads plus one
+ * append to a pre-grown thread-local vector; buffers are capped
+ * (kMaxEventsPerThread) and overflow is counted, never reallocated
+ * unbounded.
+ *
+ * Span names must be string literals (or otherwise outlive the trace):
+ * the event buffer stores the pointer, not a copy.
+ */
+
+#ifndef PGB_OBS_SPAN_HPP
+#define PGB_OBS_SPAN_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgb::obs {
+
+namespace detail {
+
+extern std::atomic<bool> tracingEnabled;
+
+} // namespace detail
+
+/** Whether span recording is currently on. */
+inline bool
+tracingOn()
+{
+    return detail::tracingEnabled.load(std::memory_order_relaxed);
+}
+
+/** Turn span recording on or off (off drops no recorded events). */
+void enableTracing(bool on);
+
+/** One completed span, in its thread's recording order. */
+struct SpanEvent
+{
+    const char *name = nullptr;
+    uint64_t startNanos = 0;
+    uint64_t durationNanos = 0;
+    uint32_t thread = 0;   ///< dense trace-local thread id
+    int32_t parent = -1;   ///< index into the same thread's events
+    uint16_t depth = 0;    ///< nesting depth on the executing thread
+};
+
+/** RAII tracing scope; see the file comment for the cost contract. */
+class Span
+{
+  public:
+    explicit Span(const char *name)
+    {
+        if (tracingOn())
+            open(name);
+    }
+
+    ~Span()
+    {
+        if (live_)
+            close();
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    void open(const char *name);
+    void close();
+
+    bool live_ = false;
+    uint32_t generation_ = 0; ///< buffer generation at open time
+    uint32_t slot_ = 0;
+    uint64_t startNanos_ = 0;
+};
+
+/** Copy of every recorded event, grouped by thread, recording order. */
+std::vector<SpanEvent> traceEvents();
+
+/** Total recorded events across all threads. */
+size_t traceEventCount();
+
+/** Spans dropped because a thread's buffer hit its cap. */
+uint64_t traceDroppedCount();
+
+/** Drop all recorded events (buffers stay allocated). */
+void clearTrace();
+
+/**
+ * The recorded trace as chrome://tracing "traceEvents" JSON (complete
+ * "X" events, microsecond timestamps). Load the written file via
+ * chrome://tracing or https://ui.perfetto.dev.
+ */
+std::string traceToJson();
+
+} // namespace pgb::obs
+
+#endif // PGB_OBS_SPAN_HPP

@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+
 namespace pgb::pipeline {
+
+namespace {
+
+obs::Counter obsChainDpAnchors("chain.dp_anchors");
+
+} // namespace
 
 GraphLinearization::GraphLinearization(const graph::PanGraph &graph)
 {
@@ -75,6 +83,7 @@ clusterAnchors(std::span<const Anchor> anchors, uint64_t band_width)
 std::vector<AnchorChain>
 chainAnchors(std::span<const Anchor> anchors, const ChainParams &params)
 {
+    obsChainDpAnchors.add(anchors.size());
     // Sort anchor ids by (strand, linear position, query position).
     std::vector<uint32_t> order(anchors.size());
     for (uint32_t i = 0; i < anchors.size(); ++i)

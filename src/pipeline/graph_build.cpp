@@ -10,6 +10,7 @@
 #include "core/thread_pool.hpp"
 #include "index/minimizer.hpp"
 #include "layout/pgsgd.hpp"
+#include "obs/span.hpp"
 #include "pipeline/mapper.hpp"
 
 namespace pgb::pipeline {
@@ -23,6 +24,7 @@ runVisualization(const graph::PanGraph &graph, uint32_t iterations,
                  GraphBuildReport &report)
 {
     core::StageTimers::Scope scope(report.timers, "visualization");
+    obs::Span span("visualization");
     layout::PathIndex index(graph);
     layout::Layout layout(graph.nodeCount(), seed);
     layout::PgsgdParams params;
@@ -147,6 +149,7 @@ buildPggb(const std::vector<seq::Sequence> &haplotypes,
 {
     if (haplotypes.size() < 2)
         core::fatal("buildPggb: need at least two sequences");
+    obs::Span pipelineSpan("graph_build.pggb");
     GraphBuildReport report;
     build::SequenceCatalog catalog(haplotypes);
 
@@ -154,6 +157,7 @@ buildPggb(const std::vector<seq::Sequence> &haplotypes,
     WfmashResult aligned;
     {
         core::StageTimers::Scope scope(report.timers, "alignment");
+        obs::Span span("alignment");
         WfmashParams wfmash = params.wfmash;
         wfmash.threads = params.threads;
         aligned = allToAllAlign(catalog, wfmash);
@@ -163,6 +167,7 @@ buildPggb(const std::vector<seq::Sequence> &haplotypes,
     // ---- 2. Induction: seqwish transclosure (parallel sweep).
     {
         core::StageTimers::Scope scope(report.timers, "induction");
+        obs::Span span("induction");
         build::TcOptions tc_options;
         tc_options.threads = params.threads;
         auto tc = build::transclose(catalog, aligned.matches,
@@ -179,6 +184,7 @@ buildPggb(const std::vector<seq::Sequence> &haplotypes,
     // every thread count.
     {
         core::StageTimers::Scope scope(report.timers, "polishing");
+        obs::Span span("polishing");
         std::vector<seq::Sequence> spelled(report.graph.pathCount());
         core::parallelFor(
             0, report.graph.pathCount(), params.threads,
@@ -234,6 +240,7 @@ buildMinigraphCactus(const std::vector<seq::Sequence> &haplotypes,
 {
     if (haplotypes.empty())
         core::fatal("buildMinigraphCactus: need sequences");
+    obs::Span pipelineSpan("graph_build.mc");
     GraphBuildReport report;
     const seq::Sequence &reference = haplotypes[0];
     std::vector<std::string> names;
@@ -251,6 +258,7 @@ buildMinigraphCactus(const std::vector<seq::Sequence> &haplotypes,
     // in the chaining stage).
     {
         core::StageTimers::Scope scope(report.timers, "alignment");
+        obs::Span span("alignment");
 
         // Reference minimizer table for variant extraction.
         std::unordered_map<uint64_t, std::vector<uint32_t>> ref_table;
@@ -375,6 +383,7 @@ buildMinigraphCactus(const std::vector<seq::Sequence> &haplotypes,
     // reduce in variant order for a thread-count-invariant total.
     {
         core::StageTimers::Scope scope(report.timers, "induction");
+        obs::Span span("induction");
         std::vector<uint64_t> variant_cells(variants.size(), 0);
         core::parallelFor(
             0, variants.size(), params.threads,
@@ -397,6 +406,7 @@ buildMinigraphCactus(const std::vector<seq::Sequence> &haplotypes,
     // whose alt spells the reference interval.
     {
         core::StageTimers::Scope scope(report.timers, "polishing");
+        obs::Span span("polishing");
         variants.erase(
             std::remove_if(
                 variants.begin(), variants.end(),

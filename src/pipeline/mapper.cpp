@@ -12,6 +12,8 @@
 #include "core/fault.hpp"
 #include "core/logging.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace pgb::pipeline {
 
@@ -19,6 +21,12 @@ namespace {
 
 /** Injects a per-read failure inside the mapping worker loop. */
 core::FaultSite faultMapRead("mapper.read");
+
+obs::Counter obsReads("mapper.reads");
+obs::Counter obsReadsMapped("mapper.reads_mapped");
+obs::Counter obsAnchors("mapper.anchors");
+obs::Counter obsClusters("mapper.clusters");
+obs::Counter obsAlignments("mapper.alignments");
 
 } // namespace
 
@@ -79,8 +87,10 @@ Seq2GraphMapper::planAlignments(const seq::Sequence &read,
     std::vector<Anchor> anchors;
     {
         core::StageTimers::Scope scope(stats.timers, "seed");
+        obs::Span span("seed");
         anchors = collectAnchors(read, index_, linear_);
         stats.anchors += anchors.size();
+        obsAnchors.add(anchors.size());
     }
     if (anchors.empty())
         return {};
@@ -89,6 +99,7 @@ Seq2GraphMapper::planAlignments(const seq::Sequence &read,
     std::vector<AnchorChain> chains;
     {
         core::StageTimers::Scope scope(stats.timers, "cluster_chain");
+        obs::Span span("cluster_chain");
         switch (config_.profile) {
           case ToolProfile::kMinigraph: {
             ChainParams params;
@@ -112,6 +123,7 @@ Seq2GraphMapper::planAlignments(const seq::Sequence &read,
                            }),
             chains.end());
         stats.clusters += chains.size();
+        obsClusters.add(chains.size());
     }
     if (chains.empty())
         return {};
@@ -120,6 +132,7 @@ Seq2GraphMapper::planAlignments(const seq::Sequence &read,
     // extracted kernel; paper: 47-75% of cluster/chain time).
     if (config_.profile == ToolProfile::kMinigraph) {
         core::StageTimers::Scope scope(stats.timers, "cluster_chain");
+        obs::Span span("cluster_chain");
         core::WallTimer kernel_timer;
         const AnchorChain &best = chains.front();
         const auto &codes = read.codes();
@@ -164,6 +177,7 @@ Seq2GraphMapper::planAlignments(const seq::Sequence &read,
     std::vector<AlignTask> tasks;
     {
         core::StageTimers::Scope scope(stats.timers, "filter");
+        obs::Span span("filter");
         core::WallTimer kernel_timer;
         size_t taken = 0;
         for (const AnchorChain &chain : chains) {
@@ -289,9 +303,11 @@ Seq2GraphMapper::mapOne(const seq::Sequence &read,
     const seq::Sequence rc = read.reverseComplement();
 
     core::StageTimers::Scope scope(stats.timers, "align");
+    obs::Span span("align");
     core::WallTimer kernel_timer;
     for (const AlignTask &task : tasks) {
         ++stats.alignments;
+        obsAlignments.add();
         const auto &query = task.reverse ? rc.codes() : read.codes();
         uint32_t origin = 0;
         graph::LocalGraph sub = graph_.extractSubgraph(
@@ -374,6 +390,7 @@ Seq2GraphMapper::mapReads(std::span<const seq::Sequence> reads) const
 {
     MappingStats total;
     total.reads = reads.size();
+    obsReads.add(reads.size());
 
     std::atomic<uint64_t> mapped(0);
     std::mutex merge_lock;
@@ -382,10 +399,13 @@ Seq2GraphMapper::mapReads(std::span<const seq::Sequence> reads) const
             core::fatal("mapper: injected fault processing read '",
                         reads[i].name(), "'");
         }
+        obs::Span span("mapper.read");
         MappingStats local;
         const ReadMapping mapping = mapOne(reads[i], local);
-        if (mapping.mapped)
+        if (mapping.mapped) {
             mapped.fetch_add(1, std::memory_order_relaxed);
+            obsReadsMapped.add();
+        }
         std::lock_guard<std::mutex> lock(merge_lock);
         for (const auto &[stage, secs] : local.timers.stages())
             total.timers.add(stage, secs);

@@ -1,6 +1,7 @@
 #include "pipeline/scaling.hpp"
 
 #include "core/timer.hpp"
+#include "obs/span.hpp"
 
 namespace pgb::pipeline {
 
@@ -12,6 +13,7 @@ measureScaling(std::string tool,
     ScalingSeries series;
     series.tool = std::move(tool);
     for (unsigned threads : thread_counts) {
+        obs::Span span("scaling.point");
         core::WallTimer timer;
         body(threads);
         ScalingPoint point;

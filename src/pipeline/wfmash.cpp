@@ -8,10 +8,14 @@
 #include "core/thread_pool.hpp"
 #include "core/timer.hpp"
 #include "index/minimizer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace pgb::pipeline {
 
 namespace {
+
+obs::Counter obsMatches("wfmash.matches");
 
 /** Minimizer position table over one target sequence region. */
 struct TargetIndex
@@ -37,6 +41,7 @@ WfmashResult
 allToAllAlign(const build::SequenceCatalog &catalog,
               const WfmashParams &params)
 {
+    obs::Span span("wfmash.all_to_all");
     WfmashResult result;
     const size_t n = catalog.sequenceCount();
     if (n < 2)
@@ -211,6 +216,7 @@ allToAllAlign(const build::SequenceCatalog &catalog,
                                a.length == b.length;
                     }),
         result.matches.end());
+    obsMatches.add(result.matches.size());
     return result;
 }
 

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for pipeline/chain (anchor clustering and the minigraph-style
+ * 2-D chaining DP) and pipeline/scaling (the Figure 5 measurement
+ * harness) — the two pipeline helpers that previously had no direct
+ * coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "pipeline/chain.hpp"
+#include "pipeline/scaling.hpp"
+
+namespace {
+
+using namespace pgb;
+using pipeline::Anchor;
+using pipeline::AnchorChain;
+using pipeline::ChainParams;
+
+/** A colinear run of forward anchors with @p step query/graph spacing. */
+std::vector<Anchor>
+colinearRun(size_t count, uint32_t step, uint64_t linear_base,
+            bool reverse = false)
+{
+    std::vector<Anchor> anchors;
+    for (size_t i = 0; i < count; ++i) {
+        Anchor anchor;
+        anchor.queryPos = static_cast<uint32_t>(
+            reverse ? (count - 1 - i) * step : i * step);
+        anchor.linearPos = linear_base + i * step;
+        anchor.node = static_cast<uint32_t>(i);
+        anchor.reverse = reverse;
+        anchors.push_back(anchor);
+    }
+    return anchors;
+}
+
+TEST(Chain, ChainsAreColinear)
+{
+    // Two separated colinear runs plus noise anchors; every extracted
+    // chain must be monotone: increasing linearPos, and queryPos
+    // increasing (forward) or decreasing (reverse).
+    auto anchors = colinearRun(10, 20, 1000);
+    const auto far_run = colinearRun(8, 20, 50000);
+    anchors.insert(anchors.end(), far_run.begin(), far_run.end());
+    Anchor noise;
+    noise.queryPos = 5;
+    noise.linearPos = 30000;
+    anchors.push_back(noise);
+
+    const auto chains = pipeline::chainAnchors(anchors, ChainParams{});
+    ASSERT_FALSE(chains.empty());
+    for (const AnchorChain &chain : chains) {
+        for (size_t i = 1; i < chain.anchorIds.size(); ++i) {
+            const Anchor &prev = anchors[chain.anchorIds[i - 1]];
+            const Anchor &cur = anchors[chain.anchorIds[i]];
+            EXPECT_LT(prev.linearPos, cur.linearPos);
+            if (chain.reverse)
+                EXPECT_GT(prev.queryPos, cur.queryPos);
+            else
+                EXPECT_LT(prev.queryPos, cur.queryPos);
+        }
+    }
+}
+
+TEST(Chain, ChainsComeBestFirstAndFindTheLongRun)
+{
+    auto anchors = colinearRun(12, 20, 1000);
+    const auto short_run = colinearRun(3, 20, 80000);
+    anchors.insert(anchors.end(), short_run.begin(), short_run.end());
+
+    const auto chains = pipeline::chainAnchors(anchors, ChainParams{});
+    ASSERT_GE(chains.size(), 2u);
+    for (size_t i = 1; i < chains.size(); ++i)
+        EXPECT_GE(chains[i - 1].score, chains[i].score);
+    // The dominant colinear run wins and is fully recovered.
+    EXPECT_EQ(chains.front().anchorIds.size(), 12u);
+    EXPECT_FALSE(chains.front().reverse);
+}
+
+TEST(Chain, ReverseRunsChainOnTheReverseStrand)
+{
+    const auto anchors = colinearRun(8, 25, 4000, /*reverse=*/true);
+    const auto chains = pipeline::chainAnchors(anchors, ChainParams{});
+    ASSERT_FALSE(chains.empty());
+    EXPECT_TRUE(chains.front().reverse);
+    EXPECT_EQ(chains.front().anchorIds.size(), 8u);
+}
+
+TEST(Chain, MaxGapSplitsDistantRuns)
+{
+    // Two runs separated by far more than maxGap cannot be bridged
+    // into one chain.
+    auto anchors = colinearRun(5, 20, 0);
+    for (Anchor &anchor : colinearRun(5, 20, 100000)) {
+        anchor.queryPos += 200;
+        anchors.push_back(anchor);
+    }
+    ChainParams params;
+    params.maxGap = 1000;
+    const auto chains = pipeline::chainAnchors(anchors, params);
+    for (const AnchorChain &chain : chains)
+        EXPECT_LE(chain.anchorIds.size(), 5u);
+}
+
+TEST(Chain, ChainingIsDeterministic)
+{
+    auto anchors = colinearRun(10, 20, 1000);
+    const auto other = colinearRun(6, 30, 9000);
+    anchors.insert(anchors.end(), other.begin(), other.end());
+    const auto first = pipeline::chainAnchors(anchors, ChainParams{});
+    const auto second = pipeline::chainAnchors(anchors, ChainParams{});
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].anchorIds, second[i].anchorIds);
+        EXPECT_EQ(first[i].score, second[i].score);
+        EXPECT_EQ(first[i].reverse, second[i].reverse);
+    }
+}
+
+TEST(Chain, ClusteringPartitionsTheAnchors)
+{
+    // Every anchor lands in exactly one cluster, scores equal the
+    // cluster sizes, and clusters come best-first.
+    auto anchors = colinearRun(10, 20, 1000);
+    const auto far_run = colinearRun(4, 20, 500000);
+    anchors.insert(anchors.end(), far_run.begin(), far_run.end());
+
+    const auto clusters = pipeline::clusterAnchors(anchors, 128);
+    std::set<uint32_t> seen;
+    size_t total = 0;
+    for (const AnchorChain &cluster : clusters) {
+        EXPECT_EQ(cluster.score,
+                  static_cast<int64_t>(cluster.anchorIds.size()));
+        for (uint32_t id : cluster.anchorIds) {
+            EXPECT_TRUE(seen.insert(id).second)
+                << "anchor " << id << " in two clusters";
+            ++total;
+        }
+    }
+    EXPECT_EQ(total, anchors.size());
+    for (size_t i = 1; i < clusters.size(); ++i)
+        EXPECT_GE(clusters[i - 1].score, clusters[i].score);
+}
+
+TEST(Chain, EmptyInputYieldsNoChains)
+{
+    const std::vector<Anchor> none;
+    EXPECT_TRUE(pipeline::chainAnchors(none, ChainParams{}).empty());
+    EXPECT_TRUE(pipeline::clusterAnchors(none, 128).empty());
+}
+
+TEST(Scaling, SeriesRecordsEveryRequestedPoint)
+{
+    const unsigned counts[] = {1, 2, 4};
+    std::vector<unsigned> invoked;
+    const auto series = pipeline::measureScaling(
+        "tool", counts, [&](unsigned threads) {
+            invoked.push_back(threads);
+        });
+    EXPECT_EQ(series.tool, "tool");
+    ASSERT_EQ(series.points.size(), 3u);
+    EXPECT_EQ(invoked, (std::vector<unsigned>{1, 2, 4}));
+    for (size_t i = 0; i < series.points.size(); ++i) {
+        EXPECT_EQ(series.points[i].threads, counts[i]);
+        EXPECT_GE(series.points[i].seconds, 0.0);
+        EXPECT_GT(series.points[i].speedup, 0.0);
+    }
+    // Speedup is normalized to the first point by definition.
+    EXPECT_DOUBLE_EQ(series.points[0].speedup, 1.0);
+}
+
+TEST(Scaling, SpeedupIsRelativeToTheFirstPoint)
+{
+    // A body whose runtime we control only loosely still satisfies
+    // the algebraic identity speedup = first.seconds / point.seconds.
+    const unsigned counts[] = {1, 2};
+    const auto series = pipeline::measureScaling(
+        "algebra", counts, [](unsigned threads) {
+            volatile uint64_t x = 0;
+            const uint64_t spins = threads == 1 ? 400000 : 100000;
+            for (uint64_t i = 0; i < spins; ++i)
+                x = x + i;
+        });
+    ASSERT_EQ(series.points.size(), 2u);
+    ASSERT_GT(series.points[1].seconds, 0.0);
+    EXPECT_DOUBLE_EQ(series.points[1].speedup,
+                     series.points[0].seconds /
+                         series.points[1].seconds);
+}
+
+} // namespace

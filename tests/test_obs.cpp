@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Tests for the runtime observability layer (pgb::obs): counter
+ * exactness under the work-stealing pool, span nesting and
+ * reparenting, report schema, and the cost contract that lets the
+ * instrumentation sit on hot paths permanently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "core/thread_pool.hpp"
+#include "core/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
+
+namespace {
+
+using namespace pgb;
+
+// Static storage: the registry holds these for the process lifetime.
+obs::Counter testCounter("test.obs.counter");
+obs::Gauge testGauge("test.obs.gauge");
+obs::Counter overheadCounter("test.obs.overhead");
+core::FaultSite testSite("test.obs.site");
+
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        obs::enableTracing(false);
+        obs::clearTrace();
+    }
+
+    void
+    TearDown() override
+    {
+        obs::enableTracing(false);
+        obs::clearTrace();
+    }
+};
+
+TEST_F(ObsTest, CounterSnapshotIsExactUnderThePool)
+{
+    const uint64_t before = obs::snapshot().counter("test.obs.counter");
+    constexpr size_t kItems = 20000;
+    core::parallelFor(0, kItems, 8, [](size_t) { testCounter.add(); });
+    // Shards sum exactly once the parallelFor barrier has passed: no
+    // sampled/approximate counts, whatever the task interleaving was.
+    const uint64_t after = obs::snapshot().counter("test.obs.counter");
+    EXPECT_EQ(after - before, kItems);
+}
+
+TEST_F(ObsTest, CounterAddOfNCountsN)
+{
+    const uint64_t before = testCounter.value();
+    testCounter.add(41);
+    testCounter.add();
+    EXPECT_EQ(testCounter.value() - before, 42u);
+}
+
+TEST_F(ObsTest, GaugeTracksLevelNotVolume)
+{
+    testGauge.set(0);
+    testGauge.add(10);
+    testGauge.sub(3);
+    EXPECT_EQ(testGauge.value(), 7);
+    EXPECT_EQ(obs::snapshot().gauge("test.obs.gauge"), 7);
+    testGauge.set(0);
+}
+
+TEST_F(ObsTest, ProviderEntriesAppearInSnapshots)
+{
+    // The fault registry feeds per-site hit counts in via a provider;
+    // firing a site must be visible in the next snapshot's counters.
+    const auto before = obs::snapshot();
+    core::fault::disarmAll();
+    testSite.fire();
+    const auto after = obs::snapshot();
+    EXPECT_EQ(after.counter("fault.test.obs.site.hits"),
+              before.counter("fault.test.obs.site.hits") + 1);
+}
+
+TEST_F(ObsTest, DisabledSpansRecordNothingAndAllocateNothing)
+{
+    ASSERT_FALSE(obs::tracingOn());
+    const size_t before = obs::traceEventCount();
+    for (int i = 0; i < 1000; ++i) {
+        obs::Span span("test.disabled");
+        testCounter.add(0);
+    }
+    EXPECT_EQ(obs::traceEventCount(), before);
+}
+
+TEST_F(ObsTest, SpansNestOnOneThread)
+{
+    obs::enableTracing(true);
+    {
+        obs::Span outer("test.outer");
+        {
+            obs::Span middle("test.middle");
+            obs::Span inner("test.inner");
+        }
+        obs::Span sibling("test.sibling");
+    }
+    obs::enableTracing(false);
+
+    const auto events = obs::traceEvents();
+    std::map<std::string, obs::SpanEvent> by_name;
+    std::map<std::string, int32_t> index_of;
+    for (size_t i = 0; i < events.size(); ++i) {
+        by_name[events[i].name] = events[i];
+        index_of[events[i].name] = static_cast<int32_t>(i);
+    }
+    ASSERT_TRUE(by_name.count("test.outer"));
+    ASSERT_TRUE(by_name.count("test.middle"));
+    ASSERT_TRUE(by_name.count("test.inner"));
+    ASSERT_TRUE(by_name.count("test.sibling"));
+
+    EXPECT_EQ(by_name["test.outer"].parent, -1);
+    EXPECT_EQ(by_name["test.outer"].depth, 0);
+    EXPECT_EQ(by_name["test.middle"].parent, index_of["test.outer"]);
+    EXPECT_EQ(by_name["test.middle"].depth, 1);
+    EXPECT_EQ(by_name["test.inner"].parent, index_of["test.middle"]);
+    EXPECT_EQ(by_name["test.inner"].depth, 2);
+    EXPECT_EQ(by_name["test.sibling"].parent, index_of["test.outer"]);
+    EXPECT_EQ(by_name["test.sibling"].depth, 1);
+
+    // A parent's interval contains its child's.
+    const auto &outer = by_name["test.outer"];
+    const auto &inner = by_name["test.inner"];
+    EXPECT_GE(inner.startNanos, outer.startNanos);
+    EXPECT_LE(inner.startNanos + inner.durationNanos,
+              outer.startNanos + outer.durationNanos);
+}
+
+TEST_F(ObsTest, StolenTasksReparentAsThreadRoots)
+{
+    // Per-task spans on pool workers must not inherit a parent from
+    // the submitting thread's stack: each records on the executing
+    // thread, so it is a root (depth 0) wherever it actually ran.
+    obs::enableTracing(true);
+    {
+        obs::Span driver("test.driver");
+        core::parallelFor(0, 64, 8, [](size_t) {
+            obs::Span task("test.task");
+        });
+    }
+    obs::enableTracing(false);
+
+    const auto events = obs::traceEvents();
+    size_t tasks = 0;
+    for (const auto &event : events) {
+        if (std::string(event.name) != "test.task")
+            continue;
+        ++tasks;
+        if (event.thread != 0) {
+            // On a worker thread: nothing below it on that stack.
+            EXPECT_EQ(event.depth, 0) << "stolen task not a root";
+            EXPECT_EQ(event.parent, -1);
+        } else {
+            // Inline on the driver: nests under the live driver span.
+            EXPECT_EQ(event.depth, 1);
+        }
+    }
+    EXPECT_EQ(tasks, 64u);
+}
+
+TEST_F(ObsTest, ClearTraceInvalidatesOpenSpans)
+{
+    obs::enableTracing(true);
+    {
+        obs::Span span("test.cleared");
+        obs::clearTrace(); // span is now open against a dead buffer
+    } // closing must not touch (or corrupt) the new generation
+    EXPECT_EQ(obs::traceEventCount(), 0u);
+    {
+        obs::Span span("test.fresh");
+    }
+    EXPECT_EQ(obs::traceEventCount(), 1u);
+    obs::enableTracing(false);
+}
+
+TEST_F(ObsTest, TraceJsonIsWellFormedChromeTracing)
+{
+    obs::enableTracing(true);
+    {
+        obs::Span outer("test.json.outer");
+        obs::Span inner("test.json.inner");
+    }
+    obs::enableTracing(false);
+
+    const std::string json = obs::traceToJson();
+    EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.json.outer\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.json.inner\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    // Balanced braces/brackets => structurally sound for a format with
+    // no nested strings-containing-braces (names are identifiers).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+    EXPECT_EQ(json.back(), '\n');
+}
+
+TEST_F(ObsTest, ReportJsonCarriesSchemaAndKnownCounters)
+{
+    testCounter.add();
+    const obs::Report report = obs::Report::collect();
+    const std::string json = report.toJson();
+    EXPECT_NE(json.find("\"schema\": \"pgb.metrics.v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.obs.counter\""), std::string::npos);
+    EXPECT_NE(json.find("\"threadpool.tasks_spawned\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"fault.mapper.read.hits\""),
+              std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+
+    // The summary line names only nonzero counters.
+    const std::string summary = report.summaryLine();
+    EXPECT_NE(summary.find("pgb metrics:"), std::string::npos);
+    EXPECT_NE(summary.find("test.obs.counter="), std::string::npos);
+}
+
+TEST_F(ObsTest, SnapshotNamesAreSortedAndUnique)
+{
+    const auto snap = obs::snapshot();
+    ASSERT_FALSE(snap.counters.empty());
+    for (size_t i = 1; i < snap.counters.size(); ++i)
+        EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+    for (size_t i = 1; i < snap.gauges.size(); ++i)
+        EXPECT_LT(snap.gauges[i - 1].first, snap.gauges[i].first);
+}
+
+TEST_F(ObsTest, DroppedSpansAreCountedNotSilent)
+{
+    obs::enableTracing(true);
+    // Overflow one thread's buffer (cap is 1 << 16 events).
+    for (int i = 0; i < (1 << 16) + 100; ++i) {
+        obs::Span span("test.flood");
+    }
+    obs::enableTracing(false);
+    EXPECT_GT(obs::traceDroppedCount(), 0u);
+    EXPECT_LE(obs::traceEventCount(), size_t{1} << 16);
+    obs::clearTrace();
+}
+
+/** The timed kernel: enough arithmetic per iteration that one relaxed
+ *  add + one disabled-span check amortizes to noise. */
+uint64_t
+spinKernel(uint64_t seed, bool instrumented)
+{
+    uint64_t x = seed;
+    for (int i = 0; i < 2000; ++i) {
+        for (int j = 0; j < 64; ++j) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        if (instrumented) {
+            obs::Span span("test.overhead");
+            overheadCounter.add();
+        }
+    }
+    return x;
+}
+
+TEST_F(ObsTest, DisarmedInstrumentationCostsUnderFivePercent)
+{
+    ASSERT_FALSE(obs::tracingOn());
+    volatile uint64_t sink = 0;
+    // Best-of-N timing with retries: CI machines are noisy, and the
+    // contract is about the instruction cost, not scheduler luck.
+    double best_ratio = 1e9;
+    for (int attempt = 0; attempt < 5 && best_ratio > 1.05; ++attempt) {
+        double plain = 1e9, traced = 1e9;
+        for (int rep = 0; rep < 5; ++rep) {
+            core::WallTimer timer;
+            sink = sink ^ spinKernel(rep + 1, false);
+            plain = std::min(plain, timer.seconds());
+        }
+        for (int rep = 0; rep < 5; ++rep) {
+            core::WallTimer timer;
+            sink = sink ^ spinKernel(rep + 1, true);
+            traced = std::min(traced, timer.seconds());
+        }
+        best_ratio = std::min(best_ratio, traced / plain);
+    }
+    EXPECT_LE(best_ratio, 1.05)
+        << "disabled instrumentation costs more than 5% (sink "
+        << sink << ")";
+}
+
+} // namespace

@@ -29,6 +29,8 @@
 #include "core/timer.hpp"
 #include "graph/gfa.hpp"
 #include "layout/pgsgd.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "pipeline/graph_build.hpp"
 #include "pipeline/mapper.hpp"
 #include "seq/fasta.hpp"
@@ -112,10 +114,18 @@ usage()
         "  pgb deconstruct <graph.gfa> [ref-path-name]\n"
         "      VCF-like variant records from the graph's bubbles\n"
         "\n"
+        "global options (any subcommand):\n"
+        "  --metrics <out.json>  write runtime counters/gauges on exit\n"
+        "  --trace <out.json>    record spans, write chrome://tracing\n"
+        "                        JSON on exit\n"
+        "\n"
         "environment:\n"
         "  PGB_LENIENT_PARSE=1   skip malformed input records with a\n"
         "                        warning instead of failing\n"
-        "  PGB_FAULT=site[:n]    deterministic fault injection (tests)\n");
+        "  PGB_FAULT=site[:n]    deterministic fault injection (tests)\n"
+        "  PGB_METRICS=1         print a one-line metrics summary to\n"
+        "                        stderr on success\n"
+        "  PGB_THREADS=n         cap the worker pool size\n");
     return 2;
 }
 
@@ -375,29 +385,90 @@ cmdDeconstruct(int argc, char **argv)
     return 0;
 }
 
+int
+dispatch(const std::string &command, int argc, char **argv)
+{
+    if (command == "simulate")
+        return cmdSimulate(argc, argv);
+    if (command == "stats")
+        return cmdStats(argc, argv);
+    if (command == "map")
+        return cmdMap(argc, argv);
+    if (command == "build")
+        return cmdBuild(argc, argv);
+    if (command == "layout")
+        return cmdLayout(argc, argv);
+    if (command == "split")
+        return cmdSplit(argc, argv);
+    if (command == "deconstruct")
+        return cmdDeconstruct(argc, argv);
+    return usage();
+}
+
+/**
+ * Emit the end-of-run observability artifacts. Writes go through
+ * CheckedWriter, so an unwritable path or full disk fails the whole
+ * run (exit 1, no partial file) even though the command succeeded —
+ * a silently missing metrics file would defeat its purpose.
+ */
+void
+writeObservability(const std::string &metrics_path,
+                   const std::string &trace_path)
+{
+    const char *env = std::getenv("PGB_METRICS");
+    const bool summarize = env != nullptr && *env != '\0' &&
+                           std::strcmp(env, "0") != 0;
+    if (!metrics_path.empty() || summarize) {
+        const obs::Report report = obs::Report::collect();
+        if (!metrics_path.empty()) {
+            core::CheckedWriter out(metrics_path);
+            report.write(out);
+            out.finish();
+        }
+        if (summarize)
+            std::fprintf(stderr, "%s\n", report.summaryLine().c_str());
+    }
+    if (!trace_path.empty()) {
+        core::CheckedWriter out(trace_path);
+        obs::writeTrace(out);
+        out.finish();
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
-        return usage();
-    const std::string command = argv[1];
+    // Strip the global observability options before subcommand
+    // dispatch so every subcommand accepts them uniformly.
+    std::string command = argc > 1 ? argv[1] : "";
     try {
-        if (command == "simulate")
-            return cmdSimulate(argc - 2, argv + 2);
-        if (command == "stats")
-            return cmdStats(argc - 2, argv + 2);
-        if (command == "map")
-            return cmdMap(argc - 2, argv + 2);
-        if (command == "build")
-            return cmdBuild(argc - 2, argv + 2);
-        if (command == "layout")
-            return cmdLayout(argc - 2, argv + 2);
-        if (command == "split")
-            return cmdSplit(argc - 2, argv + 2);
-        if (command == "deconstruct")
-            return cmdDeconstruct(argc - 2, argv + 2);
+        std::string metrics_path;
+        std::string trace_path;
+        std::vector<char *> args;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--metrics" || arg == "--trace") {
+                if (i + 1 >= argc)
+                    core::fatal(arg, ": missing output path");
+                (arg == "--metrics" ? metrics_path
+                                    : trace_path) = argv[++i];
+                continue;
+            }
+            args.push_back(argv[i]);
+        }
+        if (args.empty())
+            return usage();
+        command = args[0];
+        if (!trace_path.empty())
+            obs::enableTracing(true);
+        const int rc = dispatch(command,
+                                static_cast<int>(args.size()) - 1,
+                                args.data() + 1);
+        if (rc == 0)
+            writeObservability(metrics_path, trace_path);
+        return rc;
     } catch (const std::exception &error) {
         std::fprintf(stderr, "pgb %s: %s\n", command.c_str(),
                      error.what());
@@ -406,5 +477,4 @@ main(int argc, char **argv)
         std::fprintf(stderr, "pgb %s: unknown error\n", command.c_str());
         return 1;
     }
-    return usage();
 }
