@@ -1,0 +1,100 @@
+/**
+ * @file
+ * pgb::store amortization: cold index construction (parse GFA text,
+ * build the minimizer index, build the GBWT) versus warm artifact
+ * loading (mmap + checksum verify + span reconstruction) on the
+ * standard workload — the build-once/map-many argument in numbers.
+ *
+ * Real pangenome tooling ships persisted indexes (vg's .xg/.gbwt,
+ * minigraph's rGFA) precisely because construction dominates serving;
+ * the acceptance bar here is warm >= 10x faster than cold.
+ *
+ * Emits BENCH_store.json {cold_seconds, warm_seconds, speedup,
+ * artifact_bytes} next to the text table.
+ */
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/io.hpp"
+#include "core/timer.hpp"
+#include "graph/gfa.hpp"
+#include "index/gbwt.hpp"
+#include "index/minimizer.hpp"
+#include "pipeline/context.hpp"
+#include "store/store.hpp"
+
+int
+main()
+{
+    using namespace pgb;
+    using namespace pgb::bench;
+
+    banner("pgb::store: cold rebuild vs warm .pgbi load");
+    const auto workload = makeStandardWorkload();
+    const auto &graph = workload.pangenome.graph;
+
+    // The cold path starts from GFA text, like `pgb map graph.gfa`.
+    std::ostringstream gfa_stream;
+    graph::writeGfa(gfa_stream, graph);
+    const std::string gfa_text = gfa_stream.str();
+
+    const std::string artifact_path = "BENCH_store.pgbi";
+    {
+        const index::MinimizerIndex minimizers(graph, 15, 10);
+        const index::GbwtIndex gbwt(graph);
+        store::writeArtifact(artifact_path, graph, minimizers, &gbwt);
+    }
+
+    const int rounds = smallScale() ? 3 : 5;
+    double cold_seconds = 0.0, warm_seconds = 0.0;
+    size_t artifact_bytes = 0;
+
+    for (int round = 0; round < rounds; ++round) {
+        {
+            core::WallTimer timer;
+            std::istringstream in(gfa_text);
+            graph::PanGraph cold = graph::readGfa(in);
+            const index::MinimizerIndex minimizers(cold, 15, 10);
+            const index::GbwtIndex gbwt(cold);
+            cold_seconds += timer.seconds();
+            if (minimizers.totalOccurrences() == 0)
+                return 1; // keep the build alive
+        }
+        {
+            core::WallTimer timer;
+            const auto artifact = store::Artifact::load(artifact_path);
+            warm_seconds += timer.seconds();
+            artifact_bytes = artifact->sizeBytes();
+            if (artifact->minimizers().totalOccurrences() == 0)
+                return 1;
+        }
+    }
+    cold_seconds /= rounds;
+    warm_seconds /= rounds;
+    const double speedup = cold_seconds / warm_seconds;
+
+    std::printf("%-28s %10s\n", "path", "seconds");
+    std::printf("%-28s %10.4f\n",
+                "cold (GFA + minimizer + GBWT)", cold_seconds);
+    std::printf("%-28s %10.4f\n", "warm (mmap .pgbi)", warm_seconds);
+    std::printf("%-28s %9.1fx\n", "speedup", speedup);
+    std::printf("artifact size: %zu bytes\n", artifact_bytes);
+
+    {
+        core::CheckedWriter json("BENCH_store.json");
+        auto &out = json.stream();
+        out << "{\n  \"cold_seconds\": " << cold_seconds
+            << ",\n  \"warm_seconds\": " << warm_seconds
+            << ",\n  \"speedup\": " << speedup
+            << ",\n  \"artifact_bytes\": " << artifact_bytes << "\n}\n";
+        json.finish();
+        std::printf("wrote BENCH_store.json\n");
+    }
+    std::remove(artifact_path.c_str());
+
+    writeBenchMetrics("store");
+    return 0;
+}

@@ -120,6 +120,47 @@ expect_ok "stats with --metrics and --trace" \
     "$PGB" stats "$WORK/d.gfa" --metrics "$WORK/ok-m.json" \
     --trace "$WORK/ok-t.json"
 
+# --- .pgbi artifact loading fails closed ---------------------------
+expect_ok "index healthy dataset" \
+    "$PGB" index "$WORK/d.gfa" -o "$WORK/d.pgbi"
+expect_ok "map via artifact" \
+    "$PGB" map --index "$WORK/d.pgbi" "$WORK/d.short.fq" vgmap 1
+expect_fail "map with missing artifact" \
+    "$PGB" map --index "$WORK/no_such.pgbi" "$WORK/d.short.fq"
+expect_fail "map with bad-magic artifact" \
+    "$PGB" map --index "$CORPUS/bad_magic.pgbi" "$WORK/d.short.fq"
+expect_fail "map with wrong-version artifact" \
+    "$PGB" map --index "$CORPUS/wrong_version.pgbi" "$WORK/d.short.fq"
+expect_fail "map with truncated artifact" \
+    "$PGB" map --index "$CORPUS/truncated.pgbi" "$WORK/d.short.fq"
+
+# A flipped payload byte must trip the section checksum.
+cp "$WORK/d.pgbi" "$WORK/bitrot.pgbi"
+printf '\x55' | dd of="$WORK/bitrot.pgbi" bs=1 seek=4096 \
+    conv=notrunc 2>/dev/null
+expect_fail "map with bit-flipped artifact" \
+    "$PGB" map --index "$WORK/bitrot.pgbi" "$WORK/d.short.fq"
+
+# Every store fault site surfaces as a one-line error.
+for site in store.open store.mmap store.section store.checksum; do
+    expect_fail "map with injected $site fault" \
+        env PGB_FAULT=$site:1 \
+        "$PGB" map --index "$WORK/d.pgbi" "$WORK/d.short.fq"
+done
+
+# A failed index write must not leave a partial artifact behind.
+expect_fail "index with injected flush failure" \
+    env PGB_FAULT=io.flush:1 \
+    "$PGB" index "$WORK/d.gfa" -o "$WORK/failed.pgbi"
+if [ -e "$WORK/failed.pgbi" ] || [ -e "$WORK/failed.pgbi.tmp" ]; then
+    echo "FAIL: failed index left a partial artifact" >&2
+    failures=$((failures + 1))
+fi
+expect_fail "index to unwritable path" \
+    "$PGB" index "$WORK/d.gfa" -o "$WORK/no-such-dir/d.pgbi"
+expect_fail "index without --output" \
+    "$PGB" index "$WORK/d.gfa"
+
 # --- garbage numeric arguments -------------------------------------
 expect_fail "map with garbage thread count" \
     "$PGB" map "$WORK/d.gfa" "$WORK/d.short.fq" vgmap banana

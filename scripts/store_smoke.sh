@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Build-once/map-many smoke test: simulate a pangenome, build a .pgbi
+# artifact with `pgb index`, then serve every mapping profile from the
+# same artifact with `pgb map --index` — the end-to-end workflow
+# README's "Build once, map many" section documents.
+#
+# usage: store_smoke.sh <path-to-pgb>
+set -eu
+
+PGB=${1:?usage: store_smoke.sh <pgb>}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+"$PGB" simulate "$WORK/d" 20000 4 11
+"$PGB" index "$WORK/d.gfa" -o "$WORK/d.pgbi" --threads 2
+test -s "$WORK/d.pgbi" || {
+    echo "FAIL: pgb index left no artifact" >&2
+    exit 1
+}
+
+# One artifact serves every profile (it always carries the GBWT).
+for profile in vgmap giraffe graphaligner; do
+    "$PGB" map --index "$WORK/d.pgbi" "$WORK/d.short.fq" "$profile" 2
+done
+"$PGB" map --index "$WORK/d.pgbi" "$WORK/d.long.fq" minigraph 2
+
+# The artifact path must agree with the in-memory path read for read.
+direct=$("$PGB" map "$WORK/d.gfa" "$WORK/d.short.fq" vgmap 1 |
+         grep -o 'mapped [0-9]*/[0-9]*')
+warm=$("$PGB" map --index "$WORK/d.pgbi" "$WORK/d.short.fq" vgmap 1 |
+       grep -o 'mapped [0-9]*/[0-9]*')
+if [ "$direct" != "$warm" ]; then
+    echo "FAIL: artifact path diverged: '$direct' vs '$warm'" >&2
+    exit 1
+fi
+
+echo "store smoke test passed ($warm via artifact)"

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -67,6 +68,61 @@ Arena::Arena(Mode mode, std::string path)
     }
 }
 
+Arena
+Arena::mapReadOnly(const std::string &path)
+{
+    Arena arena(Mode::kInMemory);
+    arena.mode_ = Mode::kReadOnlyMapped;
+    arena.path_ = path;
+    arena.fd_ = open(path.c_str(), O_RDONLY);
+    if (arena.fd_ < 0) {
+        fatal(path, ": cannot open: ", std::strerror(errno));
+    }
+    struct stat info = {};
+    if (fstat(arena.fd_, &info) != 0) {
+        const int err = errno;
+        close(arena.fd_);
+        arena.fd_ = -1;
+        fatal(path, ": cannot stat: ", std::strerror(err));
+    }
+    const auto bytes = static_cast<size_t>(info.st_size);
+    arena.size_ = bytes;
+    arena.capacity_ = bytes;
+    if (bytes == 0)
+        return arena;
+    void *mapped =
+        mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE, arena.fd_, 0);
+    if (mapped == MAP_FAILED) {
+        // The caller only needs the bytes; fall back to one bulk read.
+        warn("Arena: mmap of '", path, "' (", bytes,
+             " bytes) failed: ", std::strerror(errno),
+             "; reading into memory instead");
+        auto *mem = static_cast<uint8_t *>(std::malloc(bytes));
+        if (mem == nullptr)
+            fatal(path, ": out of memory reading ", bytes, " bytes");
+        size_t done = 0;
+        while (done < bytes) {
+            const ssize_t got =
+                pread(arena.fd_, mem + done, bytes - done,
+                      static_cast<off_t>(done));
+            if (got <= 0) {
+                std::free(mem);
+                fatal(path, ": short read at byte ", done, ": ",
+                      got < 0 ? std::strerror(errno) : "unexpected EOF");
+            }
+            done += static_cast<size_t>(got);
+        }
+        close(arena.fd_);
+        arena.fd_ = -1;
+        arena.mode_ = Mode::kInMemory;
+        arena.data_ = mem;
+        return arena;
+    }
+    obsBytesMapped.add(bytes);
+    arena.data_ = static_cast<uint8_t *>(mapped);
+    return arena;
+}
+
 Arena::~Arena()
 {
     release();
@@ -109,10 +165,10 @@ void
 Arena::release()
 {
     if (data_ != nullptr) {
-        if (mode_ == Mode::kFileBacked)
-            munmap(data_, capacity_);
-        else
+        if (mode_ == Mode::kInMemory)
             std::free(data_);
+        else
+            munmap(data_, capacity_);
         data_ = nullptr;
     }
     if (fd_ >= 0) {
@@ -157,6 +213,8 @@ Arena::degradeToMemory(size_t min_capacity)
 void
 Arena::grow(size_t min_capacity)
 {
+    if (mode_ == Mode::kReadOnlyMapped)
+        panic("Arena: cannot grow a read-only mapped arena");
     size_t new_capacity = capacity_ == 0 ? kInitialCapacity : capacity_;
     while (new_capacity < min_capacity)
         new_capacity *= 2;

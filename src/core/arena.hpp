@@ -29,7 +29,18 @@ namespace pgb::core {
 class Arena
 {
   public:
-    enum class Mode { kInMemory, kFileBacked };
+    enum class Mode { kInMemory, kFileBacked, kReadOnlyMapped };
+
+    /**
+     * Memory-map an existing file read-only (used by pgb::store to
+     * load `.pgbi` artifacts without slurping them). Unlike the
+     * best-effort file-backed write mode, loading fails closed:
+     * open/fstat failures are fatal(); an mmap failure degrades to a
+     * single bulk read into memory with a warn(), since the caller
+     * only needs the bytes, not the mapping. The file is never
+     * modified or unlinked. append()/reserve() on the result panic().
+     */
+    static Arena mapReadOnly(const std::string &path);
 
     /**
      * @param mode storage mode (kFileBacked degrades to kInMemory with

@@ -1,0 +1,201 @@
+#include "core/arg_parser.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "core/logging.hpp"
+
+namespace pgb::core {
+
+uint64_t
+parseUint(const std::string &text, const std::string &what,
+          uint64_t min_value, uint64_t max_value)
+{
+    if (text.empty())
+        fatal(what, ": empty value");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || text[0] == '-') {
+        fatal(what, ": '", text, "' is not a non-negative integer");
+    }
+    if (errno == ERANGE || value < min_value || value > max_value) {
+        fatal(what, ": ", text, " is out of range [", min_value, ", ",
+              max_value, "]");
+    }
+    return value;
+}
+
+ArgParser::ArgParser(std::string command, std::string operands,
+                     std::string summary)
+    : command_(std::move(command)), operands_(std::move(operands)),
+      summary_(std::move(summary))
+{
+}
+
+void
+ArgParser::flag(const std::string &name, const std::string &help)
+{
+    specs_.push_back({name, "", "", help});
+}
+
+void
+ArgParser::option(const std::string &name, const std::string &value_name,
+                  const std::string &help, const std::string &alias)
+{
+    specs_.push_back({name, alias, value_name, help});
+}
+
+const ArgParser::Spec *
+ArgParser::findSpec(const std::string &name) const
+{
+    for (const Spec &spec : specs_) {
+        if (spec.name == name || (!spec.alias.empty() &&
+                                  spec.alias == name)) {
+            return &spec;
+        }
+    }
+    return nullptr;
+}
+
+void
+ArgParser::failUsage(const std::string &what) const
+{
+    // main() prefixes "pgb <command>:", so the message itself starts
+    // with the complaint.
+    fatal(what, "\nusage: pgb ", command_, " ", operands_,
+          specs_.empty() ? "" : " [options]", "\n(see 'pgb ", command_,
+          " --help')");
+}
+
+bool
+ArgParser::parse(int argc, char **argv)
+{
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(helpText().c_str(), stdout);
+            return false;
+        }
+        if (arg.size() > 1 && arg[0] == '-') {
+            const Spec *spec = findSpec(arg);
+            if (spec == nullptr)
+                failUsage("unknown option '" + arg + "'");
+            if (spec->valueName.empty()) {
+                values_.emplace_back(spec->name, "");
+                continue;
+            }
+            if (i + 1 >= argc) {
+                failUsage(spec->name + ": missing value <" +
+                          spec->valueName + ">");
+            }
+            values_.emplace_back(spec->name, argv[++i]);
+            continue;
+        }
+        positionals_.push_back(arg);
+    }
+    return true;
+}
+
+bool
+ArgParser::has(const std::string &name) const
+{
+    for (const auto &[key, value] : values_) {
+        if (key == name)
+            return true;
+    }
+    return false;
+}
+
+std::string
+ArgParser::get(const std::string &name, const std::string &fallback) const
+{
+    for (const auto &[key, value] : values_) {
+        if (key == name)
+            return value;
+    }
+    return fallback;
+}
+
+uint64_t
+ArgParser::getUint(const std::string &name, uint64_t fallback,
+                   uint64_t min_value, uint64_t max_value) const
+{
+    if (!has(name))
+        return fallback;
+    return parseUint(get(name), name, min_value, max_value);
+}
+
+const std::string &
+ArgParser::positionalOr(size_t index, const char *what) const
+{
+    if (index >= positionals_.size())
+        failUsage(std::string("missing <") + what + ">");
+    return positionals_[index];
+}
+
+std::string
+ArgParser::positionalOr(size_t index, const std::string &fallback) const
+{
+    return index < positionals_.size() ? positionals_[index] : fallback;
+}
+
+uint64_t
+ArgParser::positionalUint(size_t index, const char *what,
+                          uint64_t fallback, uint64_t min_value,
+                          uint64_t max_value) const
+{
+    if (index >= positionals_.size())
+        return fallback;
+    return parseUint(positionals_[index], what, min_value, max_value);
+}
+
+void
+ArgParser::requirePositionals(size_t min_count, size_t max_count) const
+{
+    if (positionals_.size() < min_count ||
+        positionals_.size() > max_count) {
+        std::ostringstream what;
+        what << "expected ";
+        if (min_count == max_count)
+            what << min_count;
+        else
+            what << min_count << " to " << max_count;
+        what << " operand(s), got " << positionals_.size();
+        failUsage(what.str());
+    }
+}
+
+std::string
+ArgParser::helpText() const
+{
+    std::ostringstream out;
+    out << "usage: pgb " << command_ << " " << operands_;
+    if (!specs_.empty())
+        out << " [options]";
+    out << "\n  " << summary_ << "\n";
+    if (!specs_.empty()) {
+        out << "\noptions:\n";
+        for (const Spec &spec : specs_) {
+            std::string left = "  " + spec.name;
+            if (!spec.alias.empty())
+                left += ", " + spec.alias;
+            if (!spec.valueName.empty())
+                left += " <" + spec.valueName + ">";
+            out << left;
+            for (size_t pad = left.size(); pad < 26; ++pad)
+                out << ' ';
+            out << "  " << spec.help << "\n";
+        }
+    }
+    out << "\nglobal options (any subcommand):\n"
+           "  --metrics <out.json>      write runtime counters on exit\n"
+           "  --trace <out.json>        write chrome://tracing spans\n";
+    return out.str();
+}
+
+} // namespace pgb::core

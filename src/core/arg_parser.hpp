@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Typed command-line argument parsing for the pgb subcommands.
+ *
+ * Every subcommand used to scan argv by hand, so `--threads` on one
+ * command and a positional thread count on another validated (or
+ * failed to validate) differently. ArgParser centralizes the rules:
+ * declared boolean flags (`--verbose`), valued options (`--index
+ * art.pgbi`, with optional short aliases like `-o`), and positional
+ * operands accessed by index with typed, range-checked getters. Errors
+ * are one-line fatal()s ("<command>: <what>"), and `--help` prints an
+ * auto-generated usage block assembled from the declarations.
+ *
+ * Anything starting with '-' that is not a declared flag/option is an
+ * error — so garbage like a negative thread count fails loudly
+ * instead of being swallowed as a positional.
+ */
+
+#ifndef PGB_CORE_ARG_PARSER_HPP
+#define PGB_CORE_ARG_PARSER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgb::core {
+
+/**
+ * Parse a decimal count, rejecting non-numeric and out-of-range input
+ * instead of silently yielding 0 the way a raw strtoull would.
+ * fatal()s with @p what in the message on any violation.
+ */
+uint64_t parseUint(const std::string &text, const std::string &what,
+                   uint64_t min_value = 0,
+                   uint64_t max_value = UINT64_MAX);
+
+/** Declarative option/positional parser for one subcommand. */
+class ArgParser
+{
+  public:
+    /**
+     * @param command    subcommand name ("map"), used in diagnostics
+     * @param operands   positional usage text ("<graph.gfa> <reads.fq>")
+     * @param summary    one-line description for the help block
+     */
+    ArgParser(std::string command, std::string operands,
+              std::string summary);
+
+    /** Declare a boolean flag ("--verbose"). */
+    void flag(const std::string &name, const std::string &help);
+
+    /**
+     * Declare a valued option ("--index", value written as
+     * "--index <art.pgbi>"). @p alias is an optional short form
+     * ("-o"); empty = none.
+     */
+    void option(const std::string &name, const std::string &value_name,
+                const std::string &help, const std::string &alias = "");
+
+    /**
+     * Consume @p argv (the arguments after the subcommand name).
+     * Unknown dash-arguments and missing option values are fatal().
+     * @return false when `--help` was seen: the help block has been
+     *         printed and the caller should exit 0 without running.
+     */
+    bool parse(int argc, char **argv);
+
+    // ---- post-parse access -----------------------------------------
+
+    /** Whether the flag/option @p name was given. */
+    bool has(const std::string &name) const;
+
+    /** Value of option @p name, or @p fallback when absent. */
+    std::string get(const std::string &name,
+                    const std::string &fallback = "") const;
+
+    /** Range-checked integer value of option @p name. */
+    uint64_t getUint(const std::string &name, uint64_t fallback,
+                     uint64_t min_value, uint64_t max_value) const;
+
+    /** Number of positional operands seen. */
+    size_t positionalCount() const { return positionals_.size(); }
+
+    /** Positional @p index (must be < positionalCount()). */
+    const std::string &positional(size_t index) const
+    {
+        return positionals_[index];
+    }
+
+    /** Required positional: fatal() naming @p what when absent. */
+    const std::string &positionalOr(size_t index,
+                                    const char *what) const;
+
+    /** Optional positional with a default. */
+    std::string positionalOr(size_t index,
+                             const std::string &fallback) const;
+
+    /** Range-checked integer positional with a default. */
+    uint64_t positionalUint(size_t index, const char *what,
+                            uint64_t fallback, uint64_t min_value,
+                            uint64_t max_value) const;
+
+    /**
+     * fatal() unless the operand count lies in [min_count,
+     * max_count]; the message includes the usage line.
+     */
+    void requirePositionals(size_t min_count, size_t max_count) const;
+
+    /** The generated usage + option help block. */
+    std::string helpText() const;
+
+  private:
+    struct Spec
+    {
+        std::string name;      ///< canonical "--name"
+        std::string alias;     ///< optional short form, "" = none
+        std::string valueName; ///< "" = boolean flag
+        std::string help;
+    };
+
+    const Spec *findSpec(const std::string &name) const;
+    [[noreturn]] void failUsage(const std::string &what) const;
+
+    std::string command_;
+    std::string operands_;
+    std::string summary_;
+    std::vector<Spec> specs_;
+    std::vector<std::pair<std::string, std::string>> values_;
+    std::vector<std::string> positionals_;
+};
+
+} // namespace pgb::core
+
+#endif // PGB_CORE_ARG_PARSER_HPP

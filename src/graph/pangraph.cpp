@@ -316,4 +316,26 @@ PanGraph::shortestPathBases(Handle from, Handle to, size_t limit) const
     return std::numeric_limits<size_t>::max();
 }
 
+PanGraph
+PanGraph::restore(std::vector<seq::Sequence> sequences,
+                  std::vector<std::vector<Handle>> adjacency,
+                  size_t edge_count,
+                  std::vector<std::vector<Handle>> paths,
+                  std::vector<std::string> path_names)
+{
+    PanGraph graph;
+    if (adjacency.size() != sequences.size() * 2)
+        core::panic("PanGraph::restore: adjacency size mismatch");
+    if (paths.size() != path_names.size())
+        core::panic("PanGraph::restore: path name count mismatch");
+    graph.sequences_ = std::move(sequences);
+    graph.adjacency_ = std::move(adjacency);
+    graph.edgeCount_ = edge_count;
+    graph.paths_ = std::move(paths);
+    graph.pathNames_ = std::move(path_names);
+    for (PathId p = 0; p < graph.pathNames_.size(); ++p)
+        graph.pathIndex_.emplace(graph.pathNames_[p], p);
+    return graph;
+}
+
 } // namespace pgb::graph

@@ -143,6 +143,22 @@ class PanGraph
      */
     size_t shortestPathBases(Handle from, Handle to, size_t limit) const;
 
+    /**
+     * Reconstruct a graph directly from its serialized parts
+     * (pgb::store artifact loading). The inputs must come from a
+     * previously serialized graph: no edge mirroring, connectivity
+     * validation, or dedup runs, so restoring is one linear pass and
+     * the restored graph is bit-identical to the one written
+     * (node ids, adjacency order, and path order all preserved).
+     * Structural violations are panic()s, not fatal()s — the store
+     * layer checksums sections before calling.
+     */
+    static PanGraph restore(std::vector<seq::Sequence> sequences,
+                            std::vector<std::vector<Handle>> adjacency,
+                            size_t edge_count,
+                            std::vector<std::vector<Handle>> paths,
+                            std::vector<std::string> path_names);
+
   private:
     std::vector<seq::Sequence> sequences_;
     /// adjacency_[handle.packed()] = successor handles

@@ -142,6 +142,74 @@ GbwtIndex::visitCount(graph::Handle handle) const
     return v < records_.size() ? records_[v].size : 0;
 }
 
+GbwtIndex::FlatImage
+GbwtIndex::flatten() const
+{
+    FlatImage image;
+    image.rle = rle_;
+    image.recordHeaders.reserve(records_.size() * 4);
+    for (const Record &record : records_) {
+        image.recordHeaders.push_back(record.size);
+        image.recordHeaders.push_back(
+            static_cast<uint32_t>(record.edges.size()));
+        image.recordHeaders.push_back(
+            static_cast<uint32_t>(record.runs.size()));
+        image.recordHeaders.push_back(
+            static_cast<uint32_t>(record.plain.size()));
+        image.edges.insert(image.edges.end(), record.edges.begin(),
+                           record.edges.end());
+        image.edgeOffsets.insert(image.edgeOffsets.end(),
+                                 record.edgeOffsets.begin(),
+                                 record.edgeOffsets.end());
+        for (const auto &[edge, len] : record.runs) {
+            image.runs.push_back(edge);
+            image.runs.push_back(len);
+        }
+        image.plain.insert(image.plain.end(), record.plain.begin(),
+                           record.plain.end());
+    }
+    return image;
+}
+
+GbwtIndex
+GbwtIndex::restore(const FlatImage &image)
+{
+    GbwtIndex index;
+    index.rle_ = image.rle;
+    const size_t record_count = image.recordHeaders.size() / 4;
+    index.records_.resize(record_count);
+    size_t edge_at = 0, run_at = 0, plain_at = 0;
+    for (size_t r = 0; r < record_count; ++r) {
+        Record &record = index.records_[r];
+        record.size = image.recordHeaders[r * 4];
+        const uint32_t edge_count = image.recordHeaders[r * 4 + 1];
+        const uint32_t run_count = image.recordHeaders[r * 4 + 2];
+        const uint32_t plain_count = image.recordHeaders[r * 4 + 3];
+        record.edges.assign(image.edges.begin() +
+                                static_cast<ptrdiff_t>(edge_at),
+                            image.edges.begin() +
+                                static_cast<ptrdiff_t>(edge_at +
+                                                       edge_count));
+        record.edgeOffsets.assign(
+            image.edgeOffsets.begin() + static_cast<ptrdiff_t>(edge_at),
+            image.edgeOffsets.begin() +
+                static_cast<ptrdiff_t>(edge_at + edge_count));
+        edge_at += edge_count;
+        record.runs.reserve(run_count);
+        for (uint32_t i = 0; i < run_count; ++i) {
+            record.runs.emplace_back(image.runs[run_at + 2 * i],
+                                     image.runs[run_at + 2 * i + 1]);
+        }
+        run_at += 2 * run_count;
+        record.plain.assign(
+            image.plain.begin() + static_cast<ptrdiff_t>(plain_at),
+            image.plain.begin() +
+                static_cast<ptrdiff_t>(plain_at + plain_count));
+        plain_at += plain_count;
+    }
+    return index;
+}
+
 GbwtStats
 GbwtIndex::stats() const
 {

@@ -195,7 +195,33 @@ class GbwtIndex
 
     bool runLengthEncoded() const { return rle_; }
 
+    /**
+     * Flattened serialized image for pgb::store: per-record counters
+     * plus the concatenated record arrays, reconstructable with one
+     * linear pass. The nested per-record vectors make a true zero-copy
+     * view impossible, so loading is the §9 "single bulk copy"
+     * fallback — still orders of magnitude cheaper than rebuilding
+     * from the suffix array of the reversed paths.
+     */
+    struct FlatImage
+    {
+        bool rle = true;
+        /// per record: {size, edgeCount, runCount, plainCount}
+        std::vector<uint32_t> recordHeaders;
+        std::vector<uint32_t> edges;       ///< all records' edge lists
+        std::vector<uint32_t> edgeOffsets; ///< parallel to edges
+        std::vector<uint32_t> runs;        ///< (edge, len) pairs, flat
+        std::vector<uint32_t> plain;       ///< plain bodies, flat
+    };
+
+    FlatImage flatten() const;
+
+    /** Rebuild from a flattened image (validated by the caller). */
+    static GbwtIndex restore(const FlatImage &image);
+
   private:
+    GbwtIndex() = default;
+
     static constexpr uint32_t kEndMarker = 0;
 
     struct Record

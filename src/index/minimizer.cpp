@@ -134,14 +134,48 @@ MinimizerIndex::MinimizerIndex(const graph::PanGraph &graph, int k,
     }
 }
 
+MinimizerIndex::MinimizerIndex(int k, int w,
+                               std::span<const TableEntry> table,
+                               std::span<const GraphSeedHit> hits)
+    : k_(k), w_(w), viewMode_(true), tableView_(table), hitsView_(hits)
+{
+}
+
 std::span<const GraphSeedHit>
 MinimizerIndex::occurrences(uint64_t hash) const
 {
+    if (viewMode_) {
+        const auto it = std::lower_bound(
+            tableView_.begin(), tableView_.end(), hash,
+            [](const TableEntry &entry, uint64_t key) {
+                return entry.hash < key;
+            });
+        if (it == tableView_.end() || it->hash != hash)
+            return {};
+        return {hitsView_.data() + it->begin,
+                static_cast<size_t>(it->end - it->begin)};
+    }
     auto it = table_.find(hash);
     if (it == table_.end())
         return {};
     return {hits_.data() + it->second.first,
             it->second.second - it->second.first};
+}
+
+std::vector<MinimizerIndex::TableEntry>
+MinimizerIndex::flatTable() const
+{
+    if (viewMode_)
+        return {tableView_.begin(), tableView_.end()};
+    std::vector<TableEntry> flat;
+    flat.reserve(table_.size());
+    for (const auto &[hash, range] : table_)
+        flat.push_back({hash, range.first, range.second});
+    std::sort(flat.begin(), flat.end(),
+              [](const TableEntry &a, const TableEntry &b) {
+                  return a.hash < b.hash;
+              });
+    return flat;
 }
 
 } // namespace pgb::index

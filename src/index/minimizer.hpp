@@ -134,18 +134,43 @@ computeMinimizers(std::span<const uint8_t> bases, int k, int w,
 std::vector<Minimizer> computeMinimizers(std::span<const uint8_t> bases,
                                          int k, int w);
 
-/** One indexed occurrence of a minimizer in the graph. */
+/**
+ * One indexed occurrence of a minimizer in the graph.
+ *
+ * The layout is padding-free and deterministic (reverse is a u32, not
+ * a bool) because this struct doubles as the on-disk record of the
+ * `.pgbi` MHIT section: a loaded index views the mmap'ed section as a
+ * span of GraphSeedHit with no conversion copy.
+ */
 struct GraphSeedHit
 {
     uint32_t node = 0;
     uint32_t offset = 0;  ///< k-mer start on the forward node sequence
-    bool reverse = false; ///< canonical strand on the node
+    uint32_t reverse = 0; ///< canonical strand on the node (0/1)
 };
+
+static_assert(sizeof(GraphSeedHit) == 12,
+              "GraphSeedHit is a .pgbi on-disk record");
 
 /** Minimizer index over the node sequences of a PanGraph. */
 class MinimizerIndex
 {
   public:
+    /**
+     * One hash's occurrence range, sorted by hash — the flat,
+     * binary-searchable form of the lookup table and the on-disk
+     * record of the `.pgbi` MTAB section.
+     */
+    struct TableEntry
+    {
+        uint64_t hash = 0;
+        uint32_t begin = 0; ///< [begin, end) into the hit array
+        uint32_t end = 0;
+    };
+
+    static_assert(sizeof(TableEntry) == 16,
+                  "TableEntry is a .pgbi on-disk record");
+
     /**
      * Build over @p graph with (w,k) minimizers. @p threads > 1
      * computes per-path (or per-node) minimizers concurrently on the
@@ -156,6 +181,14 @@ class MinimizerIndex
     MinimizerIndex(const graph::PanGraph &graph, int k, int w,
                    unsigned threads = 1);
 
+    /**
+     * Zero-copy view over serialized sections (pgb::store): lookups
+     * binary-search @p table instead of hashing. The spans' backing
+     * memory (the mmap'ed artifact) must outlive the index.
+     */
+    MinimizerIndex(int k, int w, std::span<const TableEntry> table,
+                   std::span<const GraphSeedHit> hits);
+
     int k() const { return k_; }
     int w() const { return w_; }
 
@@ -163,16 +196,42 @@ class MinimizerIndex
     std::span<const GraphSeedHit> occurrences(uint64_t hash) const;
 
     /** Number of distinct minimizer hashes. */
-    size_t distinctMinimizers() const { return table_.size(); }
+    size_t
+    distinctMinimizers() const
+    {
+        return viewMode_ ? tableView_.size() : table_.size();
+    }
 
     /** Total indexed occurrences. */
-    size_t totalOccurrences() const { return hits_.size(); }
+    size_t
+    totalOccurrences() const
+    {
+        return viewMode_ ? hitsView_.size() : hits_.size();
+    }
+
+    /** Whether this index is a zero-copy view over an artifact. */
+    bool isView() const { return viewMode_; }
+
+    /** Flat sorted table for serialization (built or viewed). */
+    std::vector<TableEntry> flatTable() const;
+
+    /** All occurrences in table order (built or viewed). */
+    std::span<const GraphSeedHit>
+    allHits() const
+    {
+        return viewMode_ ? hitsView_ : std::span<const GraphSeedHit>(
+                                           hits_.data(), hits_.size());
+    }
 
   private:
     int k_, w_;
-    /// hash -> [begin, end) into hits_
+    bool viewMode_ = false;
+    /// hash -> [begin, end) into hits_ (build mode)
     std::unordered_map<uint64_t, std::pair<uint32_t, uint32_t>> table_;
     std::vector<GraphSeedHit> hits_;
+    /// zero-copy spans into a loaded artifact (view mode)
+    std::span<const TableEntry> tableView_;
+    std::span<const GraphSeedHit> hitsView_;
 };
 
 } // namespace pgb::index

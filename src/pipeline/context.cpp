@@ -1,0 +1,60 @@
+#include "pipeline/context.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+#include "pipeline/mapper.hpp"
+
+namespace pgb::pipeline {
+
+void
+MappingContext::finalize()
+{
+    linear_ = std::make_unique<GraphLinearization>(*graph_);
+    avgNodeLength_ = std::max(1.0, graph_->stats().avgNodeLength);
+}
+
+std::shared_ptr<const MappingContext>
+MappingContext::build(const graph::PanGraph &graph,
+                      const ContextBuildParams &params)
+{
+    auto context = std::shared_ptr<MappingContext>(new MappingContext());
+    context->graph_ = &graph;
+    context->k_ = params.k;
+    context->w_ = params.w;
+    context->ownedMinimizers_ = std::make_unique<index::MinimizerIndex>(
+        graph, params.k, params.w, params.threads);
+    context->minimizers_ = context->ownedMinimizers_.get();
+    if (params.buildGbwt) {
+        context->ownedGbwt_ = std::make_unique<index::GbwtIndex>(
+            graph, true, params.threads);
+        context->gbwt_ = context->ownedGbwt_.get();
+    }
+    context->finalize();
+    return context;
+}
+
+std::shared_ptr<const MappingContext>
+MappingContext::load(const std::string &artifact_path)
+{
+    auto context = std::shared_ptr<MappingContext>(new MappingContext());
+    context->artifact_ = store::Artifact::load(artifact_path);
+    const store::Artifact &artifact = *context->artifact_;
+    context->graph_ = &artifact.graph();
+    context->minimizers_ = &artifact.minimizers();
+    context->gbwt_ = artifact.gbwt();
+    context->k_ = artifact.k();
+    context->w_ = artifact.w();
+    context->finalize();
+    return context;
+}
+
+MappingStats
+mapBatch(const MappingContext &context, const MapperConfig &config,
+         std::span<const seq::Sequence> reads)
+{
+    const Seq2GraphMapper mapper(context, config);
+    return mapper.mapReads(reads);
+}
+
+} // namespace pgb::pipeline

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Immutable mapping context: the build-once half of the mapper API.
+ *
+ * Historically every Seq2GraphMapper rebuilt the minimizer index (and
+ * the GBWT for the giraffe profile) from the graph in its constructor,
+ * so each run — each bench iteration, each CLI invocation — paid full
+ * index construction. MappingContext splits that cost out: it bundles
+ * the graph, the minimizer index, the optional GBWT, and the graph
+ * linearization into one const-shareable object that is either built
+ * in memory (MappingContext::build) or loaded from a `.pgbi` artifact
+ * (MappingContext::load, backed by pgb::store's memory-mapped
+ * zero-copy views). Per-run knobs stay in MapperConfig; mapBatch()
+ * maps a batch of reads against a context without mutating it, so one
+ * context can serve any number of batches, configs, and threads.
+ */
+
+#ifndef PGB_PIPELINE_CONTEXT_HPP
+#define PGB_PIPELINE_CONTEXT_HPP
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "graph/pangraph.hpp"
+#include "index/gbwt.hpp"
+#include "index/minimizer.hpp"
+#include "pipeline/chain.hpp"
+#include "store/store.hpp"
+
+namespace pgb::pipeline {
+
+struct MapperConfig;
+struct MappingStats;
+
+/** Index-construction knobs for MappingContext::build. */
+struct ContextBuildParams
+{
+    int k = 15;
+    int w = 10;
+    unsigned threads = 1;
+    /** Build the GBWT too (required by the giraffe profile). */
+    bool buildGbwt = false;
+};
+
+/**
+ * Everything a mapping run shares and never mutates: graph, minimizer
+ * index, optional GBWT, linearization. Returned as
+ * shared_ptr<const MappingContext> so concurrent batches on different
+ * threads can hold the same context safely.
+ */
+class MappingContext
+{
+  public:
+    /**
+     * Build indexes in memory over @p graph. The caller's graph must
+     * outlive the context (the context references, not copies, it —
+     * matching the old Seq2GraphMapper constructor's contract).
+     */
+    static std::shared_ptr<const MappingContext>
+    build(const graph::PanGraph &graph, const ContextBuildParams &params);
+
+    /**
+     * Load a `.pgbi` artifact written by pgb::store. The context owns
+     * the mapping; the minimizer index is a zero-copy view into it.
+     * Throws FatalError on any validation failure (fails closed).
+     */
+    static std::shared_ptr<const MappingContext>
+    load(const std::string &artifact_path);
+
+    const graph::PanGraph &graph() const { return *graph_; }
+    const index::MinimizerIndex &minimizers() const
+    {
+        return *minimizers_;
+    }
+
+    /** GBWT, or nullptr when the context was built/stored without one. */
+    const index::GbwtIndex *gbwt() const { return gbwt_; }
+
+    const GraphLinearization &linearization() const { return *linear_; }
+
+    double avgNodeLength() const { return avgNodeLength_; }
+    int k() const { return k_; }
+    int w() const { return w_; }
+
+    /** Whether this context came from a `.pgbi` artifact. */
+    bool fromArtifact() const { return artifact_ != nullptr; }
+
+    /** The backing artifact, or nullptr for in-memory contexts. */
+    const store::Artifact *artifact() const { return artifact_.get(); }
+
+    MappingContext(const MappingContext &) = delete;
+    MappingContext &operator=(const MappingContext &) = delete;
+
+  private:
+    MappingContext() = default;
+
+    /** Shared by build()/load() once graph_/indexes are wired up. */
+    void finalize();
+
+    std::unique_ptr<store::Artifact> artifact_;
+    const graph::PanGraph *graph_ = nullptr;
+    std::unique_ptr<index::MinimizerIndex> ownedMinimizers_;
+    const index::MinimizerIndex *minimizers_ = nullptr;
+    std::unique_ptr<index::GbwtIndex> ownedGbwt_;
+    const index::GbwtIndex *gbwt_ = nullptr;
+    std::unique_ptr<GraphLinearization> linear_;
+    double avgNodeLength_ = 1.0;
+    int k_ = 0, w_ = 0;
+};
+
+/**
+ * Map @p reads against @p context with per-run knobs @p config.
+ * Stateless: builds nothing, mutates nothing shared; safe to call
+ * concurrently with the same context. config.k/w must match the
+ * context's index parameters (fatal otherwise), and the giraffe
+ * profile requires a context with a GBWT.
+ */
+MappingStats mapBatch(const MappingContext &context,
+                      const MapperConfig &config,
+                      std::span<const seq::Sequence> reads);
+
+} // namespace pgb::pipeline
+
+#endif // PGB_PIPELINE_CONTEXT_HPP

@@ -68,14 +68,48 @@ MapperConfig::forTool(ToolProfile tool)
 
 Seq2GraphMapper::Seq2GraphMapper(const graph::PanGraph &graph,
                                  MapperConfig config)
-    : graph_(graph), config_(config),
-      avgNodeLength_(std::max(1.0, graph.stats().avgNodeLength)),
-      linear_(graph),
-      index_(graph, config.k, config.w, config.threads)
+    : config_(config)
 {
-    if (config_.profile == ToolProfile::kVgGiraffe) {
-        gbwt_ = std::make_unique<index::GbwtIndex>(
-            graph, true, config_.threads);
+    ContextBuildParams params;
+    params.k = config.k;
+    params.w = config.w;
+    params.threads = config.threads;
+    params.buildGbwt = config.profile == ToolProfile::kVgGiraffe;
+    owned_ = MappingContext::build(graph, params);
+    context_ = owned_.get();
+    checkContext();
+}
+
+Seq2GraphMapper::Seq2GraphMapper(
+    std::shared_ptr<const MappingContext> context, MapperConfig config)
+    : owned_(std::move(context)), context_(owned_.get()),
+      config_(config)
+{
+    checkContext();
+}
+
+Seq2GraphMapper::Seq2GraphMapper(const MappingContext &context,
+                                 MapperConfig config)
+    : context_(&context), config_(config)
+{
+    checkContext();
+}
+
+void
+Seq2GraphMapper::checkContext() const
+{
+    if (context_ == nullptr)
+        core::fatal("mapper: null mapping context");
+    if (config_.k != context_->k() || config_.w != context_->w()) {
+        core::fatal("mapper: config k/w (", config_.k, "/", config_.w,
+                    ") do not match the context's index (",
+                    context_->k(), "/", context_->w(), ")");
+    }
+    if (config_.profile == ToolProfile::kVgGiraffe &&
+        context_->gbwt() == nullptr) {
+        core::fatal("mapper: the giraffe profile needs a GBWT, but "
+                    "the mapping context has none (build the context "
+                    "with a GBWT or re-run pgb index)");
     }
 }
 
@@ -88,7 +122,8 @@ Seq2GraphMapper::planAlignments(const seq::Sequence &read,
     {
         core::StageTimers::Scope scope(stats.timers, "seed");
         obs::Span span("seed");
-        anchors = collectAnchors(read, index_, linear_);
+        anchors = collectAnchors(read, context_->minimizers(),
+                                 context_->linearization());
         stats.anchors += anchors.size();
         obsAnchors.add(anchors.size());
     }
@@ -150,7 +185,7 @@ Seq2GraphMapper::planAlignments(const seq::Sequence &read,
                 continue;
             // Bridge the anchors through the graph with GWFA.
             uint32_t origin = 0;
-            graph::LocalGraph sub = graph_.extractSubgraph(
+            graph::LocalGraph sub = graph().extractSubgraph(
                 graph::Handle(a.node, false),
                 query_gap * 2 + 64, &origin);
             std::vector<uint8_t> gap_query;
@@ -208,18 +243,18 @@ Seq2GraphMapper::planAlignments(const seq::Sequence &read,
                     graph::Handle handle(
                         anchors[anchor_id].node, false);
                     index::GbwtRange range =
-                        gbwt_->fullRange(handle);
+                        context_->gbwt()->fullRange(handle);
                     size_t extended = 0;
                     while (!range.empty() &&
                            extended < config_.gbwtExtensionSteps) {
-                        const auto nexts = gbwt_->nextNodes(range);
+                        const auto nexts = context_->gbwt()->nextNodes(range);
                         if (nexts.empty())
                             break;
                         // Follow the best-supported extension.
                         index::GbwtRange best_next;
                         for (graph::Handle next : nexts) {
                             index::GbwtRange cand =
-                                gbwt_->extend(range, next);
+                                context_->gbwt()->extend(range, next);
                             if (cand.size() > best_next.size())
                                 best_next = cand;
                         }
@@ -283,7 +318,7 @@ Seq2GraphMapper::taskRadius(const AlignTask &task,
     const uint64_t span = task.linearHi > task.linearLo
         ? task.linearHi - task.linearLo : 0;
     const auto context = static_cast<size_t>(
-        config_.contextSteps * avgNodeLength_);
+        config_.contextSteps * context_->avgNodeLength());
     const size_t base = std::max<size_t>(
         span / 2, static_cast<size_t>(
                       static_cast<double>(read_length) *
@@ -310,7 +345,7 @@ Seq2GraphMapper::mapOne(const seq::Sequence &read,
         obsAlignments.add();
         const auto &query = task.reverse ? rc.codes() : read.codes();
         uint32_t origin = 0;
-        graph::LocalGraph sub = graph_.extractSubgraph(
+        graph::LocalGraph sub = graph().extractSubgraph(
             task.seedHandle, taskRadius(task, read.size()), &origin);
         int32_t score = 0;
         uint32_t node = task.seedHandle.node();
@@ -435,7 +470,7 @@ Seq2GraphMapper::captureAlignTraces(std::span<const seq::Sequence> reads,
             if (traces.size() >= max_traces)
                 break;
             GsswTrace trace;
-            trace.subgraph = graph_.extractSubgraph(
+            trace.subgraph = graph().extractSubgraph(
                 task.seedHandle, taskRadius(task, read.size()));
             trace.query = task.reverse ? rc.codes() : read.codes();
             traces.push_back(std::move(trace));
@@ -453,8 +488,8 @@ Seq2GraphMapper::captureGwfaTraces(std::span<const seq::Sequence> reads,
     for (const seq::Sequence &read : reads) {
         if (traces.size() >= max_traces)
             break;
-        std::vector<Anchor> anchors = collectAnchors(read, index_,
-                                                     linear_);
+        std::vector<Anchor> anchors = collectAnchors(
+            read, context_->minimizers(), context_->linearization());
         if (anchors.empty())
             continue;
         ChainParams params;
@@ -474,7 +509,7 @@ Seq2GraphMapper::captureGwfaTraces(std::span<const seq::Sequence> reads,
             if (query_gap < config_.gwfaGapThreshold)
                 continue;
             GwfaTrace trace;
-            trace.subgraph = graph_.extractSubgraph(
+            trace.subgraph = graph().extractSubgraph(
                 graph::Handle(a.node, false), query_gap * 2 + 64,
                 &trace.startNode);
             trace.query.assign(

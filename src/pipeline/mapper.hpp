@@ -32,6 +32,7 @@
 #include "index/gbwt.hpp"
 #include "index/minimizer.hpp"
 #include "pipeline/chain.hpp"
+#include "pipeline/context.hpp"
 #include "seq/sequence.hpp"
 
 namespace pgb::pipeline {
@@ -126,11 +127,35 @@ struct GwfaTrace
     uint32_t startNode = 0;
 };
 
-/** Seq2Graph mapping pipeline over a pangenome graph. */
+/**
+ * Seq2Graph mapping pipeline over a pangenome graph.
+ *
+ * The mapper itself is a thin per-run object: all shared immutable
+ * state (graph, indexes, linearization) lives in a MappingContext.
+ * The graph+config constructor keeps the historical build-per-mapper
+ * behavior; the context constructors map against prebuilt (or
+ * artifact-loaded) state without paying index construction.
+ */
 class Seq2GraphMapper
 {
   public:
+    /**
+     * Legacy one-shot form: builds a private MappingContext from
+     * @p graph using config.k/w/threads (plus a GBWT for the giraffe
+     * profile). Equivalent to build() + the context constructor.
+     */
     Seq2GraphMapper(const graph::PanGraph &graph, MapperConfig config);
+
+    /**
+     * Build-once/map-many form: share @p context across runs. The
+     * giraffe profile requires a context carrying a GBWT, and
+     * config.k/w must match the context's index (both fatal()).
+     */
+    Seq2GraphMapper(std::shared_ptr<const MappingContext> context,
+                    MapperConfig config);
+
+    /** Non-owning context form (caller keeps @p context alive). */
+    Seq2GraphMapper(const MappingContext &context, MapperConfig config);
 
     /** Map a batch of reads (thread-parallel over reads). */
     MappingStats mapReads(std::span<const seq::Sequence> reads) const;
@@ -153,9 +178,13 @@ class Seq2GraphMapper
     captureGwfaTraces(std::span<const seq::Sequence> reads,
                       size_t max_traces) const;
 
-    const index::MinimizerIndex &minimizerIndex() const { return index_; }
-    const index::GbwtIndex *gbwt() const { return gbwt_.get(); }
+    const index::MinimizerIndex &minimizerIndex() const
+    {
+        return context_->minimizers();
+    }
+    const index::GbwtIndex *gbwt() const { return context_->gbwt(); }
     const MapperConfig &config() const { return config_; }
+    const MappingContext &context() const { return *context_; }
 
   private:
     struct AlignTask
@@ -176,12 +205,14 @@ class Seq2GraphMapper
     /** Extraction radius for an alignment task (see contextSteps). */
     size_t taskRadius(const AlignTask &task, size_t read_length) const;
 
-    const graph::PanGraph &graph_;
+    /** Validate profile/parameter compatibility with the context. */
+    void checkContext() const;
+
+    const graph::PanGraph &graph() const { return context_->graph(); }
+
+    std::shared_ptr<const MappingContext> owned_; ///< may be null
+    const MappingContext *context_;
     MapperConfig config_;
-    double avgNodeLength_ = 1.0;
-    GraphLinearization linear_;
-    index::MinimizerIndex index_;
-    std::unique_ptr<index::GbwtIndex> gbwt_; ///< giraffe profile only
 };
 
 /** BWA-MEM2-like Seq2Seq baseline (Table 1's last column). */

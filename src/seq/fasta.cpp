@@ -106,14 +106,19 @@ readFastaImpl(std::istream &input, const std::string &label,
     return records;
 }
 
-std::vector<Sequence>
-readFastqImpl(std::istream &input, const std::string &label,
-              const core::ParseOptions &options, core::ParseStats *stats)
+/**
+ * Append up to @p max_records four-line FASTQ records from @p input
+ * to @p records. @p line_no advances continuously, so the same scanner
+ * serves the slurp readers (max_records = SIZE_MAX) and the batched
+ * FastqStreamReader with identical diagnostics.
+ * @return the number of records appended.
+ */
+size_t
+scanFastq(std::istream &input, core::ParseErrors &errors, size_t &line_no,
+          std::vector<Sequence> &records, size_t max_records)
 {
-    std::vector<Sequence> records;
-    core::ParseErrors errors{label, options};
+    const size_t start = records.size();
     std::string header, bases, plus, quality;
-    size_t line_no = 0;
 
     auto nextLine = [&](std::string &out) {
         if (!std::getline(input, out))
@@ -124,7 +129,7 @@ readFastqImpl(std::istream &input, const std::string &label,
         return true;
     };
 
-    while (nextLine(header)) {
+    while (records.size() - start < max_records && nextLine(header)) {
         if (header.empty())
             continue;
         const size_t record_line = line_no;
@@ -168,6 +173,17 @@ readFastqImpl(std::istream &input, const std::string &label,
                                  ? std::string::npos : space - 1),
             bases);
     }
+    return records.size() - start;
+}
+
+std::vector<Sequence>
+readFastqImpl(std::istream &input, const std::string &label,
+              const core::ParseOptions &options, core::ParseStats *stats)
+{
+    std::vector<Sequence> records;
+    core::ParseErrors errors{label, options};
+    size_t line_no = 0;
+    scanFastq(input, errors, line_no, records, SIZE_MAX);
 
     if (records.empty() && errors.skipped == 0) {
         if (!options.lenient)
@@ -236,6 +252,38 @@ readFastqFile(const std::string &path, const core::ParseOptions &options,
     if (!input)
         fatal("FASTQ: cannot open '", path, "'");
     return readFastqImpl(input, path, options, stats);
+}
+
+FastqStreamReader::FastqStreamReader(const std::string &path,
+                                     const core::ParseOptions &options)
+    : file_(path), label_(path), options_(options)
+{
+    if (!file_)
+        fatal("FASTQ: cannot open '", path, "'");
+}
+
+bool
+FastqStreamReader::nextBatch(std::vector<Sequence> &out,
+                             size_t max_records)
+{
+    out.clear();
+    if (exhausted_)
+        return false;
+    core::ParseErrors errors{label_, options_};
+    const size_t got =
+        scanFastq(file_, errors, lineNo_, out, max_records);
+    stats_.records += got;
+    stats_.skipped += errors.skipped;
+    if (got < max_records) {
+        exhausted_ = true;
+        // Match readFastq: a file with no records at all is an error.
+        if (stats_.records == 0 && stats_.skipped == 0) {
+            if (!options_.lenient)
+                fatal(label_, ": empty input (no records)");
+            core::warn(label_, ": empty input (no records)");
+        }
+    }
+    return got > 0;
 }
 
 void

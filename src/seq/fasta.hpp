@@ -14,6 +14,7 @@
 #ifndef PGB_SEQ_FASTA_HPP
 #define PGB_SEQ_FASTA_HPP
 
+#include <fstream>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -51,6 +52,43 @@ std::vector<Sequence> readFastq(std::istream &input,
 std::vector<Sequence> readFastqFile(const std::string &path,
                                     const core::ParseOptions &options = {},
                                     core::ParseStats *stats = nullptr);
+
+/**
+ * Bounded-memory FASTQ reader: pulls records in caller-sized batches
+ * instead of slurping the whole file, so `pgb map` holds one batch of
+ * reads at a time no matter how large the input is. Line numbers run
+ * continuously across batches, and error semantics match readFastq
+ * exactly (strict: first malformed record is a line-numbered fatal;
+ * lenient: skip + warn + count; a file with no records at all is
+ * fatal at EOF).
+ */
+class FastqStreamReader
+{
+  public:
+    /** Open @p path; fatal() when it cannot be opened. */
+    explicit FastqStreamReader(const std::string &path,
+                               const core::ParseOptions &options = {});
+
+    /**
+     * Replace @p out with the next batch of at most @p max_records
+     * records. @return false when the input is exhausted (out is
+     * empty then).
+     */
+    bool nextBatch(std::vector<Sequence> &out, size_t max_records);
+
+    /** Cumulative counts across all batches so far. */
+    const core::ParseStats &stats() const { return stats_; }
+
+    const std::string &path() const { return label_; }
+
+  private:
+    std::ifstream file_;
+    std::string label_;
+    core::ParseOptions options_;
+    core::ParseStats stats_;
+    size_t lineNo_ = 0;
+    bool exhausted_ = false;
+};
 
 /** Write @p sequences as FASTQ with constant quality @p quality. */
 void writeFastq(std::ostream &output, const std::vector<Sequence> &sequences,

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Build-once/map-many persistence: write and load `.pgbi` artifacts.
+ *
+ * Every `pgb map` used to re-parse GFA text and rebuild the minimizer
+ * index and GBWT from scratch, so index construction dominated any
+ * serving scenario. Real pangenome tooling persists its indexes
+ * (minigraph's rGFA graphs, ropebwt3's FM-indexes, vg's .xg/.gbwt
+ * files); `pgb::store` is the suite's equivalent: `writeArtifact`
+ * serializes a graph plus its two indexes into one versioned,
+ * checksummed container (format.hpp), and `Artifact::load`
+ * memory-maps it back. The minimizer table and hit sections are
+ * reconstructed as zero-copy std::span views over the mapping; the
+ * graph and GBWT (nested-vector layouts) take one linear bulk copy.
+ *
+ * Failure contract (DESIGN.md §6): writing goes through
+ * core::CheckedWriter into a temp file that is renamed over the
+ * target only after a verified flush, so a failed write never leaves
+ * a partial artifact. Loading fails closed: bad magic, wrong version,
+ * foreign endianness, truncation, an out-of-bounds section table, or
+ * a payload checksum mismatch are all one-line FatalErrors. Fault
+ * sites store.{open,mmap,section,checksum} inject each class.
+ */
+
+#ifndef PGB_STORE_STORE_HPP
+#define PGB_STORE_STORE_HPP
+
+#include <memory>
+#include <string>
+
+#include "core/arena.hpp"
+#include "graph/pangraph.hpp"
+#include "index/gbwt.hpp"
+#include "index/minimizer.hpp"
+
+namespace pgb::store {
+
+/**
+ * Serialize @p graph, @p minimizers, and optionally @p gbwt into the
+ * `.pgbi` artifact at @p path (atomic: temp file + rename). Throws
+ * FatalError on any write failure, leaving no partial file at @p path.
+ */
+void writeArtifact(const std::string &path,
+                   const graph::PanGraph &graph,
+                   const index::MinimizerIndex &minimizers,
+                   const index::GbwtIndex *gbwt);
+
+/** A loaded, immutable `.pgbi` artifact. */
+class Artifact
+{
+  public:
+    /**
+     * Map and validate the artifact at @p path. Throws FatalError
+     * ("<path>: <what>") on any structural or checksum violation.
+     */
+    static std::unique_ptr<Artifact> load(const std::string &path);
+
+    const graph::PanGraph &graph() const { return graph_; }
+
+    /** Zero-copy view index; valid for the artifact's lifetime. */
+    const index::MinimizerIndex &minimizers() const
+    {
+        return *minimizers_;
+    }
+
+    /** GBWT, or nullptr when the artifact was written without one. */
+    const index::GbwtIndex *gbwt() const { return gbwt_.get(); }
+
+    int k() const { return k_; }
+    int w() const { return w_; }
+    const std::string &path() const { return path_; }
+
+    /** Total mapped bytes (the file size). */
+    size_t sizeBytes() const { return arena_.size(); }
+
+    Artifact(const Artifact &) = delete;
+    Artifact &operator=(const Artifact &) = delete;
+
+  private:
+    Artifact() : arena_(core::Arena::Mode::kInMemory) {}
+
+    core::Arena arena_; ///< read-only mapping; spans point into it
+    std::string path_;
+    int k_ = 0, w_ = 0;
+    graph::PanGraph graph_;
+    std::unique_ptr<index::MinimizerIndex> minimizers_;
+    std::unique_ptr<index::GbwtIndex> gbwt_;
+};
+
+} // namespace pgb::store
+
+#endif // PGB_STORE_STORE_HPP

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * core::ArgParser tests: declared flags/options/aliases, typed
+ * range-checked getters, positional access, and the fail-loud
+ * contract for unknown dash-arguments and malformed numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/arg_parser.hpp"
+#include "core/logging.hpp"
+
+namespace {
+
+using namespace pgb;
+using core::ArgParser;
+
+/** Build argv from string literals and parse. */
+bool
+parseArgs(ArgParser &parser, std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    for (auto &arg : args)
+        argv.push_back(arg.data());
+    return parser.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+ArgParser
+mapLikeParser()
+{
+    ArgParser parser("map", "<graph.gfa> <reads.fq>", "map reads");
+    parser.option("--index", "art.pgbi", "load a prebuilt artifact");
+    parser.option("--threads", "n", "worker threads", "-t");
+    parser.flag("--verbose", "chatty output");
+    return parser;
+}
+
+TEST(ArgParser, PositionalsAndOptionsSeparate)
+{
+    auto parser = mapLikeParser();
+    ASSERT_TRUE(parseArgs(parser, {"g.gfa", "--threads", "4", "r.fq"}));
+    ASSERT_EQ(parser.positionalCount(), 2u);
+    EXPECT_EQ(parser.positional(0), "g.gfa");
+    EXPECT_EQ(parser.positional(1), "r.fq");
+    EXPECT_TRUE(parser.has("--threads"));
+    EXPECT_EQ(parser.get("--threads"), "4");
+    EXPECT_FALSE(parser.has("--index"));
+    EXPECT_FALSE(parser.has("--verbose"));
+}
+
+TEST(ArgParser, AliasResolvesToCanonicalName)
+{
+    auto parser = mapLikeParser();
+    ASSERT_TRUE(parseArgs(parser, {"-t", "8"}));
+    EXPECT_TRUE(parser.has("--threads"));
+    EXPECT_EQ(parser.getUint("--threads", 1, 1, 64), 8u);
+}
+
+TEST(ArgParser, FlagTakesNoValue)
+{
+    auto parser = mapLikeParser();
+    ASSERT_TRUE(parseArgs(parser, {"--verbose", "g.gfa"}));
+    EXPECT_TRUE(parser.has("--verbose"));
+    ASSERT_EQ(parser.positionalCount(), 1u);
+    EXPECT_EQ(parser.positional(0), "g.gfa");
+}
+
+TEST(ArgParser, UnknownOptionIsFatal)
+{
+    auto parser = mapLikeParser();
+    EXPECT_THROW(parseArgs(parser, {"--bogus"}), core::FatalError);
+    auto negative = mapLikeParser();
+    // A negative number is an unknown dash-argument, not a positional.
+    EXPECT_THROW(parseArgs(negative, {"-4"}), core::FatalError);
+}
+
+TEST(ArgParser, MissingOptionValueIsFatal)
+{
+    auto parser = mapLikeParser();
+    EXPECT_THROW(parseArgs(parser, {"--threads"}), core::FatalError);
+}
+
+TEST(ArgParser, HelpShortCircuitsAndMentionsEveryOption)
+{
+    auto parser = mapLikeParser();
+    EXPECT_FALSE(parseArgs(parser, {"--help"}));
+    const std::string help = parser.helpText();
+    EXPECT_NE(help.find("--index"), std::string::npos);
+    EXPECT_NE(help.find("--threads"), std::string::npos);
+    EXPECT_NE(help.find("-t"), std::string::npos);
+    EXPECT_NE(help.find("--verbose"), std::string::npos);
+    EXPECT_NE(help.find("usage: pgb map"), std::string::npos);
+}
+
+TEST(ArgParser, GetUintValidatesRange)
+{
+    auto parser = mapLikeParser();
+    ASSERT_TRUE(parseArgs(parser, {"--threads", "300"}));
+    EXPECT_THROW(parser.getUint("--threads", 1, 1, 256),
+                 core::FatalError);
+    EXPECT_EQ(parser.getUint("--index", 7, 0, 100), 7u)
+        << "absent option must yield the fallback";
+}
+
+TEST(ArgParser, GetUintRejectsGarbage)
+{
+    auto parser = mapLikeParser();
+    ASSERT_TRUE(parseArgs(parser, {"--threads", "banana"}));
+    EXPECT_THROW(parser.getUint("--threads", 1, 1, 64),
+                 core::FatalError);
+}
+
+TEST(ArgParser, PositionalAccessors)
+{
+    auto parser = mapLikeParser();
+    ASSERT_TRUE(parseArgs(parser, {"g.gfa", "r.fq", "12"}));
+    EXPECT_EQ(parser.positionalOr(0, "graph"), "g.gfa");
+    EXPECT_EQ(parser.positionalOr(3, std::string("fallback")),
+              "fallback");
+    EXPECT_EQ(parser.positionalUint(2, "threads", 1, 1, 64), 12u);
+    EXPECT_EQ(parser.positionalUint(5, "threads", 3, 1, 64), 3u);
+    EXPECT_THROW(parser.positionalOr(3, "missing-operand"),
+                 core::FatalError);
+    EXPECT_THROW(parser.positionalUint(2, "threads", 1, 1, 8),
+                 core::FatalError);
+}
+
+TEST(ArgParser, RequirePositionalsEnforcesBounds)
+{
+    auto parser = mapLikeParser();
+    ASSERT_TRUE(parseArgs(parser, {"g.gfa", "r.fq"}));
+    EXPECT_NO_THROW(parser.requirePositionals(1, 2));
+    EXPECT_NO_THROW(parser.requirePositionals(2, 2));
+    EXPECT_THROW(parser.requirePositionals(3, 4), core::FatalError);
+    EXPECT_THROW(parser.requirePositionals(0, 1), core::FatalError);
+}
+
+TEST(ArgParser, ParseUintEdgeCases)
+{
+    EXPECT_EQ(core::parseUint("0", "n"), 0u);
+    EXPECT_EQ(core::parseUint("18446744073709551615", "n"),
+              UINT64_MAX);
+    EXPECT_THROW(core::parseUint("", "n"), core::FatalError);
+    EXPECT_THROW(core::parseUint("-1", "n"), core::FatalError);
+    EXPECT_THROW(core::parseUint("1.5", "n"), core::FatalError);
+    EXPECT_THROW(core::parseUint("8x", "n"), core::FatalError);
+    EXPECT_THROW(core::parseUint("99999999999999999999999", "n"),
+                 core::FatalError);
+}
+
+} // namespace

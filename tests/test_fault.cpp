@@ -53,9 +53,11 @@ TEST_F(FaultTest, RegistryListsEveryProductionSite)
     // covering it here (and below) is a test failure by design.
     const auto sites = core::fault::sites();
     const std::vector<std::string> expected = {
-        "arena.ftruncate", "arena.mmap",  "arena.open",
-        "io.flush",        "mapper.read", "test.obs.site",
-        "test.site",       "threadpool.for", "threadpool.run",
+        "arena.ftruncate", "arena.mmap",     "arena.open",
+        "io.flush",        "mapper.read",    "store.checksum",
+        "store.mmap",      "store.open",     "store.section",
+        "test.obs.site",   "test.site",      "threadpool.for",
+        "threadpool.run",
     };
     EXPECT_EQ(sites, expected);
 }

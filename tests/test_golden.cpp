@@ -27,9 +27,13 @@
 
 #include "core/md5.hpp"
 #include "graph/gfa.hpp"
+#include "index/gbwt.hpp"
+#include "index/minimizer.hpp"
+#include "pipeline/context.hpp"
 #include "pipeline/graph_build.hpp"
 #include "pipeline/mapper.hpp"
 #include "seq/read_sim.hpp"
+#include "store/store.hpp"
 #include "synth/pangenome_sim.hpp"
 
 namespace {
@@ -182,6 +186,47 @@ TEST(Golden, PggbGraphIsThreadCountInvariant)
     EXPECT_EQ(one.poaCells, eight.poaCells);
 }
 
+/**
+ * The fixture graph serialized to a `.pgbi` artifact and loaded back
+ * as a MappingContext — the build-once/map-many path. Mapping through
+ * it must reproduce the same goldens as the in-memory path, at every
+ * thread count the harness runs (PGB_THREADS=1 and 8).
+ */
+std::shared_ptr<const pipeline::MappingContext>
+artifactContext()
+{
+    static std::shared_ptr<const pipeline::MappingContext> context =
+        [] {
+            const auto &graph = fixture().pangenome.graph;
+            const index::MinimizerIndex minimizers(graph, 15, 10);
+            const index::GbwtIndex gbwt(graph);
+            const std::string path =
+                testing::TempDir() + "golden_fixture.pgbi";
+            store::writeArtifact(path, graph, minimizers, &gbwt);
+            return pipeline::MappingContext::load(path);
+        }();
+    return context;
+}
+
+/** mappingDigest, but through a loaded artifact context. */
+std::string
+artifactMappingDigest(pipeline::ToolProfile tool,
+                      const std::vector<seq::Sequence> &reads)
+{
+    auto config = pipeline::MapperConfig::forTool(tool);
+    config.threads = 1;
+    const pipeline::Seq2GraphMapper mapper(artifactContext(), config);
+    pipeline::MappingStats stats;
+    std::ostringstream out;
+    for (const seq::Sequence &read : reads) {
+        const auto mapping = mapper.mapOne(read, stats);
+        out << read.name() << '\t' << mapping.mapped << '\t'
+            << mapping.node << '\t' << mapping.score << '\t'
+            << mapping.reverse << '\n';
+    }
+    return core::md5Hex(out.str());
+}
+
 TEST(Golden, ShortReadMappingsMatchGolden)
 {
     checkGolden("short_reads_vgmap.md5",
@@ -196,6 +241,41 @@ TEST(Golden, LongReadMappingsMatchGolden)
                 mappingDigest(fixture().pangenome.graph,
                               pipeline::ToolProfile::kMinigraph,
                               fixture().longReads));
+}
+
+TEST(Golden, ShortReadMappingsViaArtifactMatchGolden)
+{
+    // The .pgbi round trip is invisible to the mapper: the same
+    // golden digest as the in-memory ShortReadMappingsMatchGolden.
+    checkGolden("short_reads_vgmap.md5",
+                artifactMappingDigest(pipeline::ToolProfile::kVgMap,
+                                      fixture().shortReads));
+}
+
+TEST(Golden, LongReadMappingsViaArtifactMatchGolden)
+{
+    checkGolden("long_reads_minigraph.md5",
+                artifactMappingDigest(
+                    pipeline::ToolProfile::kMinigraph,
+                    fixture().longReads));
+}
+
+TEST(Golden, MapBatchViaArtifactAggregatesMatchInMemory)
+{
+    // The stateless batch entry point over a loaded artifact agrees
+    // with the in-memory mapper's aggregates.
+    auto config =
+        pipeline::MapperConfig::forTool(pipeline::ToolProfile::kVgMap);
+    config.threads = 2;
+    const pipeline::Seq2GraphMapper inMemory(fixture().pangenome.graph,
+                                             config);
+    const auto direct = inMemory.mapReads(fixture().shortReads);
+    const auto batched = pipeline::mapBatch(*artifactContext(), config,
+                                            fixture().shortReads);
+    EXPECT_EQ(direct.mappedReads, batched.mappedReads);
+    EXPECT_EQ(direct.anchors, batched.anchors);
+    EXPECT_EQ(direct.clusters, batched.clusters);
+    EXPECT_EQ(direct.alignments, batched.alignments);
 }
 
 TEST(Golden, ParallelMapReadsAggregatesAreThreadCountInvariant)

@@ -3,18 +3,24 @@
  * pgb: the PangenomicsBench command-line tool.
  *
  * Subcommands:
- *   simulate  generate a synthetic pangenome (GFA + haplotype FASTA +
- *             simulated reads FASTQ) — the dataset generator behind
- *             every bench (the paper ships equivalent scripts so
- *             researchers can build kernel datasets from their data)
- *   stats     print graph statistics for a GFA
- *   map       map FASTQ reads to a GFA graph with a chosen tool profile
- *   build     build a pangenome graph from FASTA assemblies (pggb/mc)
- *   layout    compute a PGSGD 2-D layout of a GFA, write TSV
- *   split     the Split-M-Graph transform (§6.2): cap node length
+ *   simulate    generate a synthetic pangenome (GFA + haplotype FASTA +
+ *               simulated reads FASTQ) — the dataset generator behind
+ *               every bench (the paper ships equivalent scripts so
+ *               researchers can build kernel datasets from their data)
+ *   stats       print graph statistics for a GFA
+ *   index       build mapping indexes once, write a .pgbi artifact
+ *   map         map FASTQ reads to a GFA graph (or a .pgbi artifact)
+ *               with a chosen tool profile
+ *   build       build a pangenome graph from FASTA assemblies (pggb/mc)
+ *   layout      compute a PGSGD 2-D layout of a GFA, write TSV
+ *   split       the Split-M-Graph transform (§6.2): cap node length
+ *   deconstruct VCF-like variant records from the graph's bubbles
+ *
+ * Every subcommand parses its arguments through core::ArgParser, so
+ * flags, option values, and positional counts validate identically
+ * everywhere, and `pgb <cmd> --help` prints a generated usage block.
  */
 
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,56 +28,29 @@
 #include <vector>
 
 #include "analysis/deconstruct.hpp"
+#include "core/arg_parser.hpp"
 #include "core/io.hpp"
 #include "core/logging.hpp"
 #include "core/parse.hpp"
 #include "core/thread_pool.hpp"
 #include "core/timer.hpp"
 #include "graph/gfa.hpp"
+#include "index/gbwt.hpp"
+#include "index/minimizer.hpp"
 #include "layout/pgsgd.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
+#include "pipeline/context.hpp"
 #include "pipeline/graph_build.hpp"
 #include "pipeline/mapper.hpp"
 #include "seq/fasta.hpp"
 #include "seq/read_sim.hpp"
+#include "store/store.hpp"
 #include "synth/pangenome_sim.hpp"
 
 namespace {
 
 using namespace pgb;
-
-/**
- * Parse a decimal count argument, rejecting non-numeric and
- * out-of-range input instead of silently yielding 0 the way a raw
- * strtoull would ("pgb map g.gfa r.fq vgmap banana" used to run).
- */
-uint64_t
-parseCount(const char *text, const char *what, uint64_t min_value = 0,
-           uint64_t max_value = UINT64_MAX)
-{
-    if (text == nullptr || *text == '\0')
-        core::fatal(what, ": empty value");
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long value = std::strtoull(text, &end, 10);
-    if (end == text || *end != '\0' || text[0] == '-') {
-        core::fatal(what, ": '", text,
-                    "' is not a non-negative integer");
-    }
-    if (errno == ERANGE || value < min_value || value > max_value) {
-        core::fatal(what, ": ", text, " is out of range [", min_value,
-                    ", ", max_value, "]");
-    }
-    return value;
-}
-
-/** Thread-count argument: at least 1, sanity-capped. */
-unsigned
-parseThreads(const char *text)
-{
-    return static_cast<unsigned>(parseCount(text, "threads", 1, 65536));
-}
 
 /** Lenient parsing is a CLI-wide knob (PGB_LENIENT_PARSE=1). */
 core::ParseOptions
@@ -94,6 +73,22 @@ reportSkipped(const char *what, const core::ParseStats &stats)
     }
 }
 
+/**
+ * Thread count for a subcommand: --threads wins, then the historical
+ * trailing positional, then every core.
+ */
+unsigned
+resolveThreads(const core::ArgParser &parser, size_t positional_index)
+{
+    if (parser.has("--threads")) {
+        return static_cast<unsigned>(
+            parser.getUint("--threads", 1, 1, 65536));
+    }
+    return static_cast<unsigned>(parser.positionalUint(
+        positional_index, "threads", core::hardwareThreads(), 1,
+        65536));
+}
+
 int
 usage()
 {
@@ -101,13 +96,16 @@ usage()
         stderr,
         "pgb — PangenomicsBench toolkit\n"
         "\n"
-        "usage:\n"
+        "usage (run `pgb <command> --help` for details):\n"
         "  pgb simulate <out-prefix> [bases] [haplotypes] [seed]\n"
         "      writes <prefix>.gfa, <prefix>.fa, <prefix>.short.fq,\n"
         "      <prefix>.long.fq\n"
         "  pgb stats <graph.gfa>\n"
+        "  pgb index <graph.gfa> -o <out.pgbi> [--k K] [--w W]\n"
+        "      build the mapping indexes once, write a .pgbi artifact\n"
         "  pgb map <graph.gfa> <reads.fq> [vgmap|giraffe|graphaligner|"
         "minigraph] [threads]\n"
+        "  pgb map --index <art.pgbi> <reads.fq> [profile] [threads]\n"
         "  pgb build <assemblies.fa> <out.gfa> [pggb|mc] [threads]\n"
         "  pgb layout <graph.gfa> <out.tsv> [iterations] [threads]\n"
         "  pgb split <in.gfa> <out.gfa> [max-node-length]\n"
@@ -132,15 +130,20 @@ usage()
 int
 cmdSimulate(int argc, char **argv)
 {
-    if (argc < 1)
-        return usage();
-    const std::string prefix = argv[0];
-    const size_t bases = argc > 1
-        ? parseCount(argv[1], "bases", 1000, 1ull << 40) : 100000;
+    core::ArgParser parser(
+        "simulate", "<out-prefix> [bases] [haplotypes] [seed]",
+        "generate a synthetic pangenome: GFA graph, haplotype FASTA, "
+        "and simulated short/long read FASTQs");
+    if (!parser.parse(argc, argv))
+        return 0;
+    parser.requirePositionals(1, 4);
+    const std::string prefix = parser.positional(0);
+    const size_t bases =
+        parser.positionalUint(1, "bases", 100000, 1000, 1ull << 40);
     const size_t haplotypes =
-        argc > 2 ? parseCount(argv[2], "haplotypes", 1, 100000) : 14;
+        parser.positionalUint(2, "haplotypes", 14, 1, 100000);
     const uint64_t seed =
-        argc > 3 ? parseCount(argv[3], "seed") : 42;
+        parser.positionalUint(3, "seed", 42, 0, UINT64_MAX);
 
     synth::PangenomeConfig config = synth::mGraphLikeConfig(bases, seed);
     config.haplotypeCount = haplotypes;
@@ -188,11 +191,15 @@ cmdSimulate(int argc, char **argv)
 int
 cmdStats(int argc, char **argv)
 {
-    if (argc < 1)
-        return usage();
+    core::ArgParser parser("stats", "<graph.gfa>",
+                           "print graph statistics for a GFA");
+    if (!parser.parse(argc, argv))
+        return 0;
+    parser.requirePositionals(1, 1);
     core::ParseStats parse_stats;
-    const auto graph =
-        graph::readGfaFile(argv[0], cliParseOptions(), &parse_stats);
+    const auto graph = graph::readGfaFile(parser.positional(0),
+                                          cliParseOptions(),
+                                          &parse_stats);
     reportSkipped("stats", parse_stats);
     const auto stats = graph.stats();
     std::printf("nodes          %zu\n", stats.nodeCount);
@@ -211,46 +218,148 @@ cmdStats(int argc, char **argv)
 }
 
 pipeline::ToolProfile
-parseProfile(const char *name)
+parseProfile(const std::string &name)
 {
-    const std::string s = name;
-    if (s == "vgmap")
+    if (name == "vgmap")
         return pipeline::ToolProfile::kVgMap;
-    if (s == "giraffe")
+    if (name == "giraffe")
         return pipeline::ToolProfile::kVgGiraffe;
-    if (s == "graphaligner")
+    if (name == "graphaligner")
         return pipeline::ToolProfile::kGraphAligner;
-    if (s == "minigraph")
+    if (name == "minigraph")
         return pipeline::ToolProfile::kMinigraph;
-    core::fatal("unknown tool profile '", s, "'");
+    core::fatal("unknown tool profile '", name, "'");
+}
+
+int
+cmdIndex(int argc, char **argv)
+{
+    core::ArgParser parser(
+        "index", "<graph.gfa> -o <out.pgbi>",
+        "build the minimizer index and GBWT once and write a "
+        "versioned .pgbi artifact for `pgb map --index`");
+    parser.option("--output", "out.pgbi",
+                  "artifact output path (required)", "-o");
+    parser.option("--k", "k", "minimizer length (default 15)");
+    parser.option("--w", "w", "minimizer window (default 10)");
+    parser.option("--threads", "n",
+                  "worker threads (default: all cores)");
+    if (!parser.parse(argc, argv))
+        return 0;
+    parser.requirePositionals(1, 1);
+    const std::string out_path = parser.get("--output");
+    if (out_path.empty())
+        core::fatal("index: missing required --output/-o <out.pgbi>");
+    const auto k =
+        static_cast<int>(parser.getUint("--k", 15, 4, 31));
+    const auto w =
+        static_cast<int>(parser.getUint("--w", 10, 1, 1024));
+    const unsigned threads = parser.has("--threads")
+        ? static_cast<unsigned>(parser.getUint("--threads", 1, 1, 65536))
+        : core::hardwareThreads();
+
+    core::ParseStats parse_stats;
+    const auto graph = graph::readGfaFile(parser.positional(0),
+                                          cliParseOptions(),
+                                          &parse_stats);
+    reportSkipped("index", parse_stats);
+
+    core::WallTimer timer;
+    const index::MinimizerIndex minimizers(graph, k, w, threads);
+    // Always include the GBWT so the artifact serves every profile,
+    // giraffe included.
+    const index::GbwtIndex gbwt(graph, true, threads);
+    const double build_seconds = timer.seconds();
+    store::writeArtifact(out_path, graph, minimizers, &gbwt);
+
+    const auto stats = graph.stats();
+    std::printf("index: %zu nodes, %zu edges, %zu paths; k=%d w=%d; "
+                "built in %.2fs -> %s\n",
+                stats.nodeCount, stats.edgeCount, stats.pathCount, k,
+                w, build_seconds, out_path.c_str());
+    return 0;
 }
 
 int
 cmdMap(int argc, char **argv)
 {
-    if (argc < 2)
-        return usage();
-    const auto parse_options = cliParseOptions();
-    const auto graph = graph::readGfaFile(argv[0], parse_options);
-    core::ParseStats read_stats;
-    const auto reads =
-        seq::readFastqFile(argv[1], parse_options, &read_stats);
-    reportSkipped("map", read_stats);
-    auto config = pipeline::MapperConfig::forTool(
-        argc > 2 ? parseProfile(argv[2])
-                 : pipeline::ToolProfile::kVgMap);
-    config.threads =
-        argc > 3 ? parseThreads(argv[3]) : core::hardwareThreads();
+    core::ArgParser parser(
+        "map",
+        "(<graph.gfa> | --index <art.pgbi>) <reads.fq> [profile] "
+        "[threads]",
+        "map FASTQ reads to a pangenome graph; profile is one of "
+        "vgmap, giraffe, graphaligner, minigraph (default vgmap)");
+    parser.option("--index", "art.pgbi",
+                  "map against a prebuilt artifact (pgb index) "
+                  "instead of rebuilding indexes from a GFA");
+    parser.option("--threads", "n",
+                  "worker threads (default: all cores)");
+    parser.option("--batch", "reads",
+                  "stream reads in batches of this many (default "
+                  "4096), bounding memory on large FASTQs");
+    if (!parser.parse(argc, argv))
+        return 0;
 
-    pipeline::Seq2GraphMapper mapper(graph, config);
+    // With --index the graph positional disappears and everything
+    // shifts left: map --index art.pgbi reads.fq [profile] [threads].
+    const bool from_artifact = parser.has("--index");
+    const size_t base = from_artifact ? 0 : 1;
+    parser.requirePositionals(base + 1, base + 3);
+    const std::string reads_path = parser.positional(base);
+
+    const auto parse_options = cliParseOptions();
+    auto config = pipeline::MapperConfig::forTool(
+        parseProfile(parser.positionalOr(base + 1,
+                                         std::string("vgmap"))));
+    config.threads = resolveThreads(parser, base + 2);
+
+    graph::PanGraph graph; ///< kept alive for the in-memory context
+    std::shared_ptr<const pipeline::MappingContext> context;
+    if (from_artifact) {
+        context = pipeline::MappingContext::load(parser.get("--index"));
+        // The artifact dictates the index geometry.
+        config.k = context->k();
+        config.w = context->w();
+    } else {
+        graph = graph::readGfaFile(parser.positional(0), parse_options);
+        pipeline::ContextBuildParams params;
+        params.k = config.k;
+        params.w = config.w;
+        params.threads = config.threads;
+        params.buildGbwt =
+            config.profile == pipeline::ToolProfile::kVgGiraffe;
+        context = pipeline::MappingContext::build(graph, params);
+    }
+
+    // Stream the FASTQ in bounded batches; aggregate one report.
+    const size_t batch_size =
+        parser.getUint("--batch", 4096, 1, 1u << 20);
+    seq::FastqStreamReader reader(reads_path, parse_options);
+    std::vector<seq::Sequence> batch;
+    pipeline::MappingStats total;
     core::WallTimer timer;
-    const auto report = mapper.mapReads(reads);
-    std::printf("%s: mapped %llu/%llu reads in %.2fs (%u threads)\n",
+    while (reader.nextBatch(batch, batch_size)) {
+        const auto part = pipeline::mapBatch(*context, config, batch);
+        total.reads += part.reads;
+        total.mappedReads += part.mappedReads;
+        total.anchors += part.anchors;
+        total.clusters += part.clusters;
+        total.alignments += part.alignments;
+        total.kernelSeconds += part.kernelSeconds;
+        if (part.kernelName[0] != '\0')
+            total.kernelName = part.kernelName;
+        for (const auto &[stage, secs] : part.timers.stages())
+            total.timers.add(stage, secs);
+    }
+    reportSkipped("map", reader.stats());
+
+    std::printf("%s: mapped %llu/%llu reads in %.2fs (%u threads%s)\n",
                 pipeline::toolName(config.profile),
-                static_cast<unsigned long long>(report.mappedReads),
-                static_cast<unsigned long long>(report.reads),
-                timer.seconds(), config.threads);
-    for (const auto &[stage, secs] : report.timers.stages())
+                static_cast<unsigned long long>(total.mappedReads),
+                static_cast<unsigned long long>(total.reads),
+                timer.seconds(), config.threads,
+                from_artifact ? ", from artifact" : "");
+    for (const auto &[stage, secs] : total.timers.stages())
         std::printf("  %-13s %8.3fs\n", stage.c_str(), secs);
     return 0;
 }
@@ -258,15 +367,26 @@ cmdMap(int argc, char **argv)
 int
 cmdBuild(int argc, char **argv)
 {
-    if (argc < 2)
-        return usage();
+    core::ArgParser parser(
+        "build", "<assemblies.fa> <out.gfa> [pggb|mc] [threads]",
+        "build a pangenome graph from FASTA assemblies with the pggb "
+        "(default) or minigraph-cactus pipeline");
+    parser.option("--threads", "n",
+                  "worker threads (default: all cores)");
+    if (!parser.parse(argc, argv))
+        return 0;
+    parser.requirePositionals(2, 4);
     core::ParseStats parse_stats;
-    const auto assemblies =
-        seq::readFastaFile(argv[0], cliParseOptions(), &parse_stats);
+    const auto assemblies = seq::readFastaFile(
+        parser.positional(0), cliParseOptions(), &parse_stats);
     reportSkipped("build", parse_stats);
-    const bool mc = argc > 2 && std::strcmp(argv[2], "mc") == 0;
-    const unsigned threads =
-        argc > 3 ? parseThreads(argv[3]) : core::hardwareThreads();
+    const std::string tool =
+        parser.positionalOr(2, std::string("pggb"));
+    if (tool != "pggb" && tool != "mc")
+        core::fatal("build: unknown pipeline '", tool,
+                    "' (expected pggb or mc)");
+    const bool mc = tool == "mc";
+    const unsigned threads = resolveThreads(parser, 3);
 
     pipeline::GraphBuildReport report;
     if (mc) {
@@ -278,11 +398,12 @@ cmdBuild(int argc, char **argv)
         params.threads = threads;
         report = pipeline::buildPggb(assemblies, params);
     }
-    graph::writeGfaFile(argv[1], report.graph);
+    graph::writeGfaFile(parser.positional(1), report.graph);
     const auto stats = report.graph.stats();
     std::printf("%s: %zu nodes, %zu edges, %zu paths -> %s\n",
                 mc ? "minigraph-cactus" : "pggb", stats.nodeCount,
-                stats.edgeCount, stats.pathCount, argv[1]);
+                stats.edgeCount, stats.pathCount,
+                parser.positional(1).c_str());
     for (const auto &[stage, secs] : report.timers.stages())
         std::printf("  %-14s %8.3fs\n", stage.c_str(), secs);
     return 0;
@@ -291,15 +412,20 @@ cmdBuild(int argc, char **argv)
 int
 cmdLayout(int argc, char **argv)
 {
-    if (argc < 2)
-        return usage();
-    const auto graph = graph::readGfaFile(argv[0], cliParseOptions());
-    const uint32_t iterations = argc > 2
-        ? static_cast<uint32_t>(
-              parseCount(argv[2], "iterations", 1, 1u << 20))
-        : 30;
-    const unsigned threads =
-        argc > 3 ? parseThreads(argv[3]) : core::hardwareThreads();
+    core::ArgParser parser(
+        "layout", "<graph.gfa> <out.tsv> [iterations] [threads]",
+        "compute a PGSGD 2-D layout of a GFA, write node coordinates "
+        "as TSV");
+    parser.option("--threads", "n",
+                  "worker threads (default: all cores)");
+    if (!parser.parse(argc, argv))
+        return 0;
+    parser.requirePositionals(2, 4);
+    const auto graph = graph::readGfaFile(parser.positional(0),
+                                          cliParseOptions());
+    const auto iterations = static_cast<uint32_t>(
+        parser.positionalUint(2, "iterations", 30, 1, 1u << 20));
+    const unsigned threads = resolveThreads(parser, 3);
 
     layout::PathIndex index(graph);
     layout::Layout coords(graph.nodeCount(), 1);
@@ -309,7 +435,7 @@ cmdLayout(int argc, char **argv)
     const auto result = layout::pgsgdLayout(index, coords, params);
     // A checked write: an unwritable path or full disk used to print
     // the success line below and exit 0 with no (or a truncated) TSV.
-    core::CheckedWriter out(argv[1]);
+    core::CheckedWriter out(parser.positional(1));
     out.stream() << "node\tx_start\ty_start\tx_end\ty_end\n";
     for (graph::NodeId node = 0; node < graph.nodeCount(); ++node) {
         out.stream() << node << '\t'
@@ -322,45 +448,58 @@ cmdLayout(int argc, char **argv)
     std::printf("layout: stress %.4f -> %.4f over %llu updates -> %s\n",
                 result.stressBefore, result.stressAfter,
                 static_cast<unsigned long long>(result.updates),
-                argv[1]);
+                parser.positional(1).c_str());
     return 0;
 }
 
 int
 cmdSplit(int argc, char **argv)
 {
-    if (argc < 2)
-        return usage();
-    const auto graph = graph::readGfaFile(argv[0], cliParseOptions());
-    const size_t max_len = argc > 2
-        ? parseCount(argv[2], "max-node-length", 1, 1ull << 32) : 8;
+    core::ArgParser parser(
+        "split", "<in.gfa> <out.gfa> [max-node-length]",
+        "split long nodes so none exceeds max-node-length bases "
+        "(default 8), rewriting edges and paths");
+    if (!parser.parse(argc, argv))
+        return 0;
+    parser.requirePositionals(2, 3);
+    const auto graph = graph::readGfaFile(parser.positional(0),
+                                          cliParseOptions());
+    const size_t max_len = parser.positionalUint(
+        2, "max-node-length", 8, 1, 1ull << 32);
     const auto split = graph.splitNodes(max_len);
-    graph::writeGfaFile(argv[1], split);
+    graph::writeGfaFile(parser.positional(1), split);
     std::printf("split: avg node %.2f -> %.2f bp, %zu -> %zu nodes "
                 "-> %s\n",
                 graph.stats().avgNodeLength,
                 split.stats().avgNodeLength, graph.nodeCount(),
-                split.nodeCount(), argv[1]);
+                split.nodeCount(), parser.positional(1).c_str());
     return 0;
 }
 
 int
 cmdDeconstruct(int argc, char **argv)
 {
-    if (argc < 1)
-        return usage();
-    const auto graph = graph::readGfaFile(argv[0], cliParseOptions());
+    core::ArgParser parser(
+        "deconstruct", "<graph.gfa> [ref-path-name]",
+        "emit VCF-like variant records from the graph's bubbles "
+        "against a reference path (default: the first path)");
+    if (!parser.parse(argc, argv))
+        return 0;
+    parser.requirePositionals(1, 2);
+    const auto graph = graph::readGfaFile(parser.positional(0),
+                                          cliParseOptions());
     graph::PathId ref_path = 0;
-    if (argc > 1) {
+    if (parser.positionalCount() > 1) {
+        const std::string &name = parser.positional(1);
         bool found = false;
         for (graph::PathId p = 0; p < graph.pathCount(); ++p) {
-            if (graph.pathName(p) == argv[1]) {
+            if (graph.pathName(p) == name) {
                 ref_path = p;
                 found = true;
             }
         }
         if (!found)
-            core::fatal("no path named '", argv[1], "'");
+            core::fatal("no path named '", name, "'");
     }
     const auto variants =
         analysis::deconstructVariants(graph, ref_path);
@@ -392,6 +531,8 @@ dispatch(const std::string &command, int argc, char **argv)
         return cmdSimulate(argc, argv);
     if (command == "stats")
         return cmdStats(argc, argv);
+    if (command == "index")
+        return cmdIndex(argc, argv);
     if (command == "map")
         return cmdMap(argc, argv);
     if (command == "build")
