@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Serving latency/throughput characterization of the `pgb serve`
+ * daemon (DESIGN.md §10): one in-process daemon over the standard
+ * workload's context, driven by the loadgen library.
+ *
+ * Methodology: first a closed-loop saturation run establishes the
+ * daemon's capacity (requests/second with one request outstanding per
+ * connection), then open-loop Poisson runs at fractions of that
+ * capacity trace the latency-vs-load curve — client-side p50/p99/p999
+ * from exact order statistics, measured from each request's scheduled
+ * arrival so queueing delay is charged to the server (no coordinated
+ * omission). This is the standard serving-benchmark shape (cf.
+ * closed- vs open-loop methodology in serving papers), applied to
+ * the paper's dominant kernel: short-read mapping.
+ *
+ * Emits BENCH_serve.json: the saturation point plus one entry per
+ * arrival rate with {rate_rps, throughput_rps, p50_ms, p99_ms,
+ * p999_ms, max_ms, ok, overloaded}.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/io.hpp"
+#include "pipeline/context.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+
+int
+main()
+{
+    using namespace pgb;
+    using namespace pgb::bench;
+
+    banner("pgb serve: latency and throughput under load");
+    const auto workload = makeStandardWorkload();
+
+    pipeline::ContextBuildParams params;
+    params.threads = core::hardwareThreads();
+    params.buildGbwt = false;
+    auto context =
+        pipeline::MappingContext::build(workload.pangenome.graph,
+                                        params);
+
+    // sun_path caps at ~107 bytes; /tmp keeps the path short no
+    // matter how deep the build tree is.
+    const std::string socket_path =
+        "/tmp/pgb_bench_serve_" + std::to_string(::getpid()) + ".sock";
+    ::unlink(socket_path.c_str());
+
+    serve::ServeConfig serve_config;
+    serve_config.socketPath = socket_path;
+    serve_config.maxBatchReads = 64;
+    serve_config.maxWaitUs = 1000;
+    serve_config.queueDepth = 512;
+    serve::Server server(context, serve_config);
+    std::thread daemon([&server] { server.run(); });
+    if (!server.waitReady(10000)) {
+        std::fprintf(stderr, "daemon failed to start\n");
+        return 1;
+    }
+
+    const size_t requests = smallScale() ? 200 : 1000;
+    const size_t connections = 4;
+
+    serve::LoadgenConfig base;
+    base.socketPath = socket_path;
+    base.connections = connections;
+    base.requests = requests;
+    base.readsPerRequest = 2;
+
+    // Closed loop first: the saturation throughput the open-loop
+    // rates are scaled from.
+    const serve::LoadgenReport saturation =
+        serve::runLoadgen(base, workload.shortReads);
+    std::printf("closed loop (%zu conn): %10.1f ok/s, p50 %.3f ms, "
+                "p99 %.3f ms\n",
+                connections, saturation.throughputRps,
+                static_cast<double>(saturation.p50Nanos) / 1e6,
+                static_cast<double>(saturation.p99Nanos) / 1e6);
+
+    struct Point
+    {
+        double rate = 0.0;
+        serve::LoadgenReport report;
+    };
+    std::vector<Point> points;
+    const double fractions[] = {0.25, 0.5, 0.8};
+    std::printf("%10s %12s %10s %10s %10s %6s %6s\n", "rate(rps)",
+                "thru(ok/s)", "p50(ms)", "p99(ms)", "p999(ms)", "ok",
+                "shed");
+    for (const double fraction : fractions) {
+        serve::LoadgenConfig config = base;
+        config.rate = saturation.throughputRps * fraction;
+        if (config.rate < 1.0)
+            config.rate = 1.0;
+        Point point;
+        point.rate = config.rate;
+        point.report = serve::runLoadgen(config, workload.shortReads);
+        std::printf(
+            "%10.1f %12.1f %10.3f %10.3f %10.3f %6llu %6llu\n",
+            point.rate, point.report.throughputRps,
+            static_cast<double>(point.report.p50Nanos) / 1e6,
+            static_cast<double>(point.report.p99Nanos) / 1e6,
+            static_cast<double>(point.report.p999Nanos) / 1e6,
+            static_cast<unsigned long long>(point.report.ok),
+            static_cast<unsigned long long>(
+                point.report.overloaded));
+        points.push_back(point);
+    }
+
+    server.stop();
+    daemon.join();
+
+    {
+        core::CheckedWriter json("BENCH_serve.json");
+        auto &out = json.stream();
+        out << "{\n  \"closed_loop\": {\n"
+            << "    \"connections\": " << connections << ",\n"
+            << "    \"throughput_rps\": " << saturation.throughputRps
+            << ",\n    \"p50_ms\": "
+            << static_cast<double>(saturation.p50Nanos) / 1e6
+            << ",\n    \"p99_ms\": "
+            << static_cast<double>(saturation.p99Nanos) / 1e6
+            << ",\n    \"p999_ms\": "
+            << static_cast<double>(saturation.p999Nanos) / 1e6
+            << "\n  },\n  \"open_loop\": [\n";
+        for (size_t i = 0; i < points.size(); ++i) {
+            const Point &p = points[i];
+            out << "    {\"rate_rps\": " << p.rate
+                << ", \"throughput_rps\": " << p.report.throughputRps
+                << ", \"p50_ms\": "
+                << static_cast<double>(p.report.p50Nanos) / 1e6
+                << ", \"p99_ms\": "
+                << static_cast<double>(p.report.p99Nanos) / 1e6
+                << ", \"p999_ms\": "
+                << static_cast<double>(p.report.p999Nanos) / 1e6
+                << ", \"max_ms\": "
+                << static_cast<double>(p.report.maxNanos) / 1e6
+                << ", \"ok\": " << p.report.ok
+                << ", \"overloaded\": " << p.report.overloaded << "}"
+                << (i + 1 < points.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+        json.finish();
+        std::printf("wrote BENCH_serve.json\n");
+    }
+
+    writeBenchMetrics("serve");
+    return 0;
+}

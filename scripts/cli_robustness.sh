@@ -161,6 +161,51 @@ expect_fail "index to unwritable path" \
 expect_fail "index without --output" \
     "$PGB" index "$WORK/d.gfa"
 
+# --- serve/loadgen environment errors fail closed ------------------
+expect_fail "serve without --index" \
+    "$PGB" serve --socket "$WORK/s.sock"
+expect_fail "serve with missing artifact" \
+    "$PGB" serve --index "$WORK/no_such.pgbi" --socket "$WORK/s.sock"
+expect_fail "serve with bad-magic artifact" \
+    "$PGB" serve --index "$CORPUS/bad_magic.pgbi" \
+    --socket "$WORK/s.sock"
+expect_fail "serve with neither --socket nor --stdio" \
+    "$PGB" serve --index "$WORK/d.pgbi"
+expect_fail "serve with both --socket and --stdio" \
+    "$PGB" serve --index "$WORK/d.pgbi" --socket "$WORK/s.sock" --stdio
+# An existing file at the socket path is a collision, not ours to
+# delete: the daemon must refuse, not clobber.
+touch "$WORK/collide.sock"
+expect_fail "serve with socket path collision" \
+    "$PGB" serve --index "$WORK/d.pgbi" --socket "$WORK/collide.sock"
+if ! [ -e "$WORK/collide.sock" ]; then
+    echo "FAIL: serve removed a colliding socket path" >&2
+    failures=$((failures + 1))
+fi
+long_path="$WORK/$(printf 'x%.0s' $(seq 1 200)).sock"
+expect_fail "serve with over-long socket path" \
+    "$PGB" serve --index "$WORK/d.pgbi" --socket "$long_path"
+
+# A malformed frame on stdio transport is fatal (the sole peer's
+# stream is gone); the process must exit 1, not die on a signal.
+expect_fail "serve stdio with malformed frame" \
+    bash -c "printf 'garbagegarbagegarbage' | \
+        '$PGB' serve --index '$WORK/d.pgbi' --stdio"
+# Empty stdio input is a clean no-op session.
+expect_ok "serve stdio with empty input" \
+    bash -c "'$PGB' serve --index '$WORK/d.pgbi' --stdio < /dev/null"
+
+expect_fail "loadgen without --socket" \
+    "$PGB" loadgen "$WORK/d.short.fq"
+expect_fail "loadgen against dead socket" \
+    "$PGB" loadgen --socket "$WORK/nobody-home.sock" "$WORK/d.short.fq"
+expect_fail "loadgen with garbage rate" \
+    "$PGB" loadgen --socket "$WORK/nobody-home.sock" \
+    "$WORK/d.short.fq" --rate fast
+expect_fail "loadgen with missing reads file" \
+    "$PGB" loadgen --socket "$WORK/nobody-home.sock" \
+    "$WORK/no_such.fq"
+
 # --- garbage numeric arguments -------------------------------------
 expect_fail "map with garbage thread count" \
     "$PGB" map "$WORK/d.gfa" "$WORK/d.short.fq" vgmap banana

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Serving smoke test (DESIGN.md §10): simulate a pangenome, build a
+# .pgbi artifact, start the `pgb serve` daemon on a Unix socket, map
+# the read set through it with `pgb loadgen`, and require the served
+# responses to be byte-identical to a direct `pgb map --dump` run over
+# the same artifact. Then exercise an open-loop run and a clean
+# SIGTERM shutdown (exit 0, socket file removed).
+#
+# usage: serve_smoke.sh <path-to-pgb>
+set -eu
+
+PGB=${1:?usage: serve_smoke.sh <pgb>}
+
+WORK=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -9 "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$PGB" simulate "$WORK/d" 20000 4 11
+"$PGB" index "$WORK/d.gfa" -o "$WORK/d.pgbi" --threads 2
+
+SOCK="$WORK/pgb.sock"
+"$PGB" serve --index "$WORK/d.pgbi" --socket "$SOCK" \
+    --max-batch 32 --max-wait-us 500 2> "$WORK/serve.log" &
+DAEMON_PID=$!
+
+# Sanitized builds start slowly; wait for the listener, not a guess.
+for _ in $(seq 1 300); do
+    [ -S "$SOCK" ] && break
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        echo "FAIL: daemon died during startup" >&2
+        cat "$WORK/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+test -S "$SOCK" || {
+    echo "FAIL: daemon never created $SOCK" >&2
+    exit 1
+}
+
+# The acceptance bar: served output is digest-identical to a direct
+# mapBatch run over the same artifact and reads.
+"$PGB" map --index "$WORK/d.pgbi" "$WORK/d.short.fq" vgmap 2 \
+    --dump "$WORK/direct.tsv" > /dev/null
+"$PGB" loadgen --socket "$SOCK" "$WORK/d.short.fq" \
+    --connections 2 --reads-per-request 5 --dump "$WORK/served.tsv"
+if ! cmp -s "$WORK/direct.tsv" "$WORK/served.tsv"; then
+    echo "FAIL: served responses differ from direct mapBatch" >&2
+    exit 1
+fi
+test -s "$WORK/direct.tsv" || {
+    echo "FAIL: empty mapping dump" >&2
+    exit 1
+}
+
+# Open-loop run: the daemon must absorb a Poisson arrival schedule.
+"$PGB" loadgen --socket "$SOCK" "$WORK/d.short.fq" \
+    --requests 100 --rate 200 --connections 2
+
+# Clean shutdown: SIGTERM -> exit 0, socket unlinked, summary logged.
+kill -TERM "$DAEMON_PID"
+status=0
+wait "$DAEMON_PID" || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: daemon exited $status on SIGTERM" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+fi
+DAEMON_PID=""
+if [ -e "$SOCK" ]; then
+    echo "FAIL: daemon left its socket file behind" >&2
+    exit 1
+fi
+grep -q "^serve: " "$WORK/serve.log" || {
+    echo "FAIL: daemon wrote no summary line" >&2
+    exit 1
+}
+
+echo "serve smoke test passed"

@@ -11,6 +11,8 @@
 
 #include "core/fault.hpp"
 #include "core/logging.hpp"
+#include "core/timer.hpp"
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 
 namespace pgb::core {
@@ -29,6 +31,12 @@ obs::Counter obsTasksStolen("threadpool.tasks_stolen");
 obs::Counter obsParks("threadpool.parks");
 obs::Counter obsUnparks("threadpool.unparks");
 obs::Gauge obsQueueDepth("threadpool.queue_depth");
+
+// Task execution latency distribution: tasks are coarse (one runner
+// per parallel region), so two clock reads per task are free relative
+// to the work a task carries, and the p99/max expose stragglers the
+// plain event counters cannot.
+obs::Histogram obsTaskNanos("threadpool.task_nanos");
 
 /** Lifetime worker-spawn counter (tests assert it stays flat). */
 std::atomic<size_t> spawnedWorkers(0);
@@ -276,11 +284,13 @@ class ThreadPool
     runTask(Task *task)
     {
         TaskGroup *group = task->group;
+        const uint64_t start = monotonicNanos();
         try {
             task->fn();
         } catch (...) {
             group->capture();
         }
+        obsTaskNanos.record(monotonicNanos() - start);
         delete task;
         // fetch_sub is the final access to *group: waiters may return
         // (and destroy the group) the moment they observe zero.

@@ -1,0 +1,83 @@
+#include "obs/histogram.hpp"
+
+#include <cmath>
+
+namespace pgb::obs {
+
+namespace detail {
+
+// Defined in metrics.cpp, next to the Counter/Gauge registry.
+void registerHistogram(Histogram *histogram);
+
+} // namespace detail
+
+Histogram::Histogram(const char *name) : name_(name)
+{
+    detail::registerHistogram(this);
+}
+
+void
+Histogram::merge(uint64_t (&merged)[kBuckets]) const
+{
+    for (size_t b = 0; b < kBuckets; ++b)
+        merged[b] = 0;
+    for (const Shard &shard : shards_) {
+        for (size_t b = 0; b < kBuckets; ++b) {
+            merged[b] +=
+                shard.buckets[b].load(std::memory_order_relaxed);
+        }
+    }
+}
+
+uint64_t
+Histogram::count() const
+{
+    uint64_t merged[kBuckets];
+    merge(merged);
+    uint64_t total = 0;
+    for (size_t b = 0; b < kBuckets; ++b)
+        total += merged[b];
+    return total;
+}
+
+uint64_t
+Histogram::valueAtQuantile(double q) const
+{
+    uint64_t merged[kBuckets];
+    merge(merged);
+    uint64_t total = 0;
+    for (size_t b = 0; b < kBuckets; ++b)
+        total += merged[b];
+    if (total == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // The sample of rank ceil(q * total) (1-based) covers fraction q.
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    if (rank == 0)
+        rank = 1;
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+        seen += merged[b];
+        if (seen >= rank)
+            return bucketUpperBound(b);
+    }
+    return bucketUpperBound(kBuckets - 1);
+}
+
+uint64_t
+Histogram::max() const
+{
+    uint64_t merged[kBuckets];
+    merge(merged);
+    for (size_t b = kBuckets; b-- > 0;) {
+        if (merged[b] != 0)
+            return bucketUpperBound(b);
+    }
+    return 0;
+}
+
+} // namespace pgb::obs

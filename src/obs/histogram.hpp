@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Runtime latency histogram: log-bucketed, thread-sharded quantiles.
+ *
+ * A Histogram records value distributions (task latencies, request
+ * latencies, batch sizes) cheaply enough to sit on hot paths: like
+ * obs::Counter, record() is one relaxed fetch_add on a per-thread
+ * shard, so concurrent writers do not contend. Buckets are
+ * log-linear (HdrHistogram-style): values below 2^kSubBits are exact,
+ * larger values land in one of 2^kSubBits sub-buckets per power of
+ * two, bounding the quantile error at ~12.5% — plenty for the p50/
+ * p99/p999 the serving and scheduler layers report, with no dynamic
+ * allocation and no locks.
+ *
+ * Histograms self-register in the same global registry as Counter and
+ * Gauge and must have static storage duration. Every snapshot()
+ * reports "<name>.count" with the counters and "<name>.p50"/".p99"/
+ * ".p999"/".max" with the gauges, so histogram quantiles ride through
+ * the existing `--metrics` JSON and PGB_METRICS summary unchanged.
+ *
+ * Quantiles are computed at read time by merging the shards; like
+ * Counter::value(), the result is exact (up to bucket width) once
+ * concurrent writers quiesce, which is when anyone reads it.
+ */
+
+#ifndef PGB_OBS_HISTOGRAM_HPP
+#define PGB_OBS_HISTOGRAM_HPP
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace pgb::obs {
+
+/** A log-bucketed, thread-sharded value distribution. */
+class Histogram
+{
+  public:
+    /** Sub-bucket resolution: 2^3 = 8 sub-buckets per octave. */
+    static constexpr unsigned kSubBits = 3;
+    static constexpr size_t kBuckets =
+        ((64 - kSubBits) << kSubBits) + (1u << kSubBits);
+
+    /** Register the histogram under @p name (a string literal). */
+    explicit Histogram(const char *name);
+
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    /** Record one sample: a single relaxed add on this thread's
+     *  shard, like Counter::add(). */
+    void
+    record(uint64_t value)
+    {
+        shards_[detail::threadShard() & (kShards - 1)]
+            .buckets[bucketFor(value)]
+            .fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Total samples recorded; exact once writers quiesce. */
+    uint64_t count() const;
+
+    /**
+     * Smallest bucket upper bound covering fraction @p q of all
+     * samples (0 < q <= 1); 0 when the histogram is empty. The
+     * answer overestimates the true quantile by at most one
+     * sub-bucket width (~12.5%).
+     */
+    uint64_t valueAtQuantile(double q) const;
+
+    /** Upper bound of the highest non-empty bucket; 0 when empty. */
+    uint64_t max() const;
+
+    const char *name() const { return name_; }
+
+    /** Bucket index for @p value (log-linear; exposed for tests). */
+    static constexpr size_t
+    bucketFor(uint64_t value)
+    {
+        if (value < (uint64_t{1} << kSubBits))
+            return static_cast<size_t>(value);
+        const unsigned msb =
+            63u - static_cast<unsigned>(std::countl_zero(value));
+        const uint64_t sub = (value >> (msb - kSubBits)) &
+                             ((uint64_t{1} << kSubBits) - 1);
+        return static_cast<size_t>(
+            ((static_cast<uint64_t>(msb) - kSubBits + 1) << kSubBits) +
+            sub);
+    }
+
+    /** Largest value mapping to @p bucket (inverse of bucketFor). */
+    static constexpr uint64_t
+    bucketUpperBound(size_t bucket)
+    {
+        // Buckets below 2^(kSubBits+1) hold exactly one value each.
+        if (bucket < (size_t{2} << kSubBits))
+            return bucket;
+        const unsigned msb = static_cast<unsigned>(bucket >> kSubBits) +
+                             kSubBits - 1;
+        const uint64_t sub = bucket & ((uint64_t{1} << kSubBits) - 1);
+        const uint64_t lower = ((uint64_t{1} << kSubBits) + sub)
+                               << (msb - kSubBits);
+        return lower + ((uint64_t{1} << (msb - kSubBits)) - 1);
+    }
+
+  private:
+    static constexpr size_t kShards = 8;
+
+    struct alignas(64) Shard
+    {
+        std::atomic<uint64_t> buckets[kBuckets];
+    };
+
+    /** Shard-merged copy of every bucket. */
+    void merge(uint64_t (&merged)[kBuckets]) const;
+
+    const char *name_;
+    Shard shards_[kShards] = {};
+};
+
+} // namespace pgb::obs
+
+#endif // PGB_OBS_HISTOGRAM_HPP

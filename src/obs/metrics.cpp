@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <mutex>
 
+#include "obs/histogram.hpp"
+
 namespace pgb::obs {
 
 namespace {
@@ -18,6 +20,7 @@ struct Registry
     std::mutex lock;
     std::vector<Counter *> counters;
     std::vector<Gauge *> gauges;
+    std::vector<Histogram *> histograms;
     std::vector<Provider> providers;
 
     static Registry &
@@ -39,6 +42,14 @@ threadShard()
     thread_local const unsigned shard =
         next.fetch_add(1, std::memory_order_relaxed);
     return shard;
+}
+
+void
+registerHistogram(Histogram *histogram)
+{
+    Registry &registry = Registry::instance();
+    std::lock_guard<std::mutex> guard(registry.lock);
+    registry.histograms.push_back(histogram);
 }
 
 } // namespace detail
@@ -99,6 +110,22 @@ snapshot()
         out.gauges.reserve(registry.gauges.size());
         for (const Gauge *gauge : registry.gauges)
             out.gauges.emplace_back(gauge->name(), gauge->value());
+        // Histogram quantiles flatten into the same two objects: the
+        // sample count with the counters, the distribution summary
+        // (level-style values) with the gauges.
+        for (const Histogram *histogram : registry.histograms) {
+            const std::string base = histogram->name();
+            out.counters.emplace_back(base + ".count",
+                                      histogram->count());
+            const auto level = [&](const char *suffix, uint64_t value) {
+                out.gauges.emplace_back(base + suffix,
+                                        static_cast<int64_t>(value));
+            };
+            level(".p50", histogram->valueAtQuantile(0.50));
+            level(".p99", histogram->valueAtQuantile(0.99));
+            level(".p999", histogram->valueAtQuantile(0.999));
+            level(".max", histogram->max());
+        }
         for (const Provider &provider : registry.providers)
             provider(provided);
     }

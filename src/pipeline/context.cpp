@@ -57,4 +57,13 @@ mapBatch(const MappingContext &context, const MapperConfig &config,
     return mapper.mapReads(reads);
 }
 
+MappingStats
+mapBatch(const MappingContext &context, const MapperConfig &config,
+         std::span<const seq::Sequence> reads,
+         std::vector<ReadMapping> &mappings)
+{
+    const Seq2GraphMapper mapper(context, config);
+    return mapper.mapReads(reads, &mappings);
+}
+
 } // namespace pgb::pipeline

@@ -32,6 +32,7 @@ namespace pgb::pipeline {
 
 struct MapperConfig;
 struct MappingStats;
+struct ReadMapping;
 
 /** Index-construction knobs for MappingContext::build. */
 struct ContextBuildParams
@@ -119,6 +120,17 @@ class MappingContext
 MappingStats mapBatch(const MappingContext &context,
                       const MapperConfig &config,
                       std::span<const seq::Sequence> reads);
+
+/**
+ * mapBatch, also collecting per-read outcomes: @p mappings is resized
+ * to reads.size() with mappings[i] holding read i's result, in input
+ * order at every thread count. The `pgb serve` response records and
+ * `pgb map --dump` are built from this form.
+ */
+MappingStats mapBatch(const MappingContext &context,
+                      const MapperConfig &config,
+                      std::span<const seq::Sequence> reads,
+                      std::vector<ReadMapping> &mappings);
 
 } // namespace pgb::pipeline
 

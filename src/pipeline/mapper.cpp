@@ -423,9 +423,18 @@ Seq2GraphMapper::mapOne(const seq::Sequence &read,
 MappingStats
 Seq2GraphMapper::mapReads(std::span<const seq::Sequence> reads) const
 {
+    return mapReads(reads, nullptr);
+}
+
+MappingStats
+Seq2GraphMapper::mapReads(std::span<const seq::Sequence> reads,
+                          std::vector<ReadMapping> *mappings) const
+{
     MappingStats total;
     total.reads = reads.size();
     obsReads.add(reads.size());
+    if (mappings != nullptr)
+        mappings->assign(reads.size(), ReadMapping{});
 
     std::atomic<uint64_t> mapped(0);
     std::mutex merge_lock;
@@ -437,6 +446,8 @@ Seq2GraphMapper::mapReads(std::span<const seq::Sequence> reads) const
         obs::Span span("mapper.read");
         MappingStats local;
         const ReadMapping mapping = mapOne(reads[i], local);
+        if (mappings != nullptr)
+            (*mappings)[i] = mapping;
         if (mapping.mapped) {
             mapped.fetch_add(1, std::memory_order_relaxed);
             obsReadsMapped.add();

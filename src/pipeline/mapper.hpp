@@ -160,6 +160,15 @@ class Seq2GraphMapper
     /** Map a batch of reads (thread-parallel over reads). */
     MappingStats mapReads(std::span<const seq::Sequence> reads) const;
 
+    /**
+     * mapReads, also collecting the per-read outcome: @p mappings is
+     * resized to reads.size() and mappings[i] is read i's result, so
+     * the order is input order at every thread count — the serving
+     * layer's response records and the golden digests rely on that.
+     */
+    MappingStats mapReads(std::span<const seq::Sequence> reads,
+                          std::vector<ReadMapping> *mappings) const;
+
     /** Map one read; stage times charged to @p stats. */
     ReadMapping mapOne(const seq::Sequence &read,
                        MappingStats &stats) const;

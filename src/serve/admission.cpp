@@ -1,0 +1,125 @@
+#include "serve/admission.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace pgb::serve {
+
+namespace {
+
+// Queue telemetry: the depth gauge is the live backpressure signal;
+// the shed counter is the load-shedding audit trail.
+obs::Gauge obsQueueDepth("serve.queue_depth");
+obs::Counter obsAdmitted("serve.admitted");
+obs::Counter obsShed("serve.shed");
+
+} // namespace
+
+AdmissionQueue::AdmissionQueue(size_t depth)
+    : depthBound_(depth == 0 ? 1 : depth)
+{
+}
+
+AdmissionQueue::~AdmissionQueue()
+{
+    // The gauge must not leak this queue's residue into the next one.
+    std::lock_guard<std::mutex> guard(lock_);
+    obsQueueDepth.sub(static_cast<int64_t>(items_.size()));
+}
+
+AdmissionQueue::Push
+AdmissionQueue::push(Pending item)
+{
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        if (closed_)
+            return Push::kClosed;
+        if (items_.size() >= depthBound_) {
+            obsShed.add();
+            return Push::kShed;
+        }
+        weight_ += item.reads.size();
+        items_.push_back(std::move(item));
+        obsAdmitted.add();
+        obsQueueDepth.add();
+    }
+    ready_.notify_all();
+    return Push::kAccepted;
+}
+
+bool
+AdmissionQueue::waitNonEmpty()
+{
+    std::unique_lock<std::mutex> guard(lock_);
+    ready_.wait(guard, [&] { return closed_ || !items_.empty(); });
+    return !items_.empty();
+}
+
+void
+AdmissionQueue::waitUntil(
+    const std::function<bool(size_t depth, size_t weight)> &done,
+    std::chrono::steady_clock::time_point deadline)
+{
+    std::unique_lock<std::mutex> guard(lock_);
+    ready_.wait_until(guard, deadline, [&] {
+        return closed_ || done(items_.size(), weight_);
+    });
+}
+
+std::vector<Pending>
+AdmissionQueue::drain(size_t maxWeight)
+{
+    std::vector<Pending> out;
+    std::lock_guard<std::mutex> guard(lock_);
+    size_t taken = 0;
+    while (!items_.empty()) {
+        const size_t next = items_.front().reads.size();
+        if (!out.empty() && taken + next > maxWeight)
+            break;
+        taken += next;
+        weight_ -= next;
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        obsQueueDepth.sub();
+    }
+    return out;
+}
+
+uint64_t
+AdmissionQueue::frontEnqueueNanos() const
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    return items_.empty() ? 0 : items_.front().enqueueNanos;
+}
+
+void
+AdmissionQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        closed_ = true;
+    }
+    ready_.notify_all();
+}
+
+bool
+AdmissionQueue::closed() const
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    return closed_;
+}
+
+size_t
+AdmissionQueue::depth() const
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    return items_.size();
+}
+
+size_t
+AdmissionQueue::weight() const
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    return weight_;
+}
+
+} // namespace pgb::serve

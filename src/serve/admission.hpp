@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Admission control for the mapping daemon: a bounded request queue
+ * that sheds load instead of buffering without bound.
+ *
+ * Connection readers push decoded requests; the batcher pops them.
+ * The queue holds at most `depth` requests: a push against a full
+ * queue returns kShed immediately — the caller answers the client
+ * with an explicit OVERLOADED response — so a traffic burst costs the
+ * *client* a fast rejection instead of costing the *server* unbounded
+ * memory and every other client unbounded latency. This is the
+ * standard bounded-queue/backpressure contract of serving systems;
+ * the paper's characterization motivates it directly (read mapping is
+ * the dominant, memory-bound stage — queueing more of it behind a
+ * saturated pool only grows RSS and tail latency).
+ *
+ * The queue tracks two sizes: depth() in requests (the admission
+ * bound, exported as the `serve.queue_depth` gauge) and weight() in
+ * reads (what a mapBatch() call actually costs), which the batcher's
+ * size window is measured in.
+ */
+
+#ifndef PGB_SERVE_ADMISSION_HPP
+#define PGB_SERVE_ADMISSION_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace pgb::serve {
+
+/** One admitted mapping request, waiting for a batch window. */
+struct Pending
+{
+    uint64_t id = 0;
+    std::vector<seq::Sequence> reads;
+    /** Opaque handle to the submitting connection (the server stores
+     *  its Connection; tests leave it null). */
+    std::shared_ptr<void> client;
+    /** monotonicNanos() at admission, for the latency histogram and
+     *  the batcher's time window. */
+    uint64_t enqueueNanos = 0;
+};
+
+/** Bounded MPSC request queue with explicit shed. */
+class AdmissionQueue
+{
+  public:
+    enum class Push
+    {
+        kAccepted,
+        kShed,   ///< queue at depth bound; answer OVERLOADED
+        kClosed, ///< shutting down; answer nothing
+    };
+
+    /** @param depth maximum queued requests before shedding. */
+    explicit AdmissionQueue(size_t depth);
+
+    ~AdmissionQueue();
+
+    AdmissionQueue(const AdmissionQueue &) = delete;
+    AdmissionQueue &operator=(const AdmissionQueue &) = delete;
+
+    /** Admit or shed @p item; never blocks. */
+    Push push(Pending item);
+
+    /**
+     * Block until the queue is non-empty or closed.
+     * @return false when closed *and* drained (the consumer's exit
+     *         condition); queued items are still delivered first.
+     */
+    bool waitNonEmpty();
+
+    /**
+     * Block until @p done(depth, weight) holds, @p deadline passes,
+     * or the queue closes. @p done is evaluated under the queue lock.
+     */
+    void waitUntil(
+        const std::function<bool(size_t depth, size_t weight)> &done,
+        std::chrono::steady_clock::time_point deadline);
+
+    /**
+     * Pop whole requests until the next would push the popped weight
+     * past @p maxWeight; always pops at least one when non-empty (a
+     * single oversized request forms its own batch).
+     */
+    std::vector<Pending> drain(size_t maxWeight);
+
+    /** enqueueNanos of the oldest queued request; 0 when empty. */
+    uint64_t frontEnqueueNanos() const;
+
+    /** Stop admitting; wake every waiter. Idempotent. */
+    void close();
+
+    bool closed() const;
+
+    /** Queued requests (the admission bound's unit). */
+    size_t depth() const;
+
+    /** Queued reads (the batch window's unit). */
+    size_t weight() const;
+
+  private:
+    const size_t depthBound_;
+    mutable std::mutex lock_;
+    std::condition_variable ready_;
+    std::deque<Pending> items_;
+    size_t weight_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace pgb::serve
+
+#endif // PGB_SERVE_ADMISSION_HPP

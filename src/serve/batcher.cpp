@@ -1,0 +1,66 @@
+#include "serve/batcher.hpp"
+
+#include <chrono>
+
+#include "core/timer.hpp"
+#include "obs/metrics.hpp"
+
+namespace pgb::serve {
+
+namespace {
+
+obs::Counter obsBatches("serve.batches");
+obs::Counter obsBatchedReads("serve.batched_reads");
+
+} // namespace
+
+Batcher::Batcher(AdmissionQueue &queue, size_t maxBatchReads,
+                 uint64_t maxWaitUs)
+    : queue_(queue), maxBatchReads_(maxBatchReads == 0 ? 1
+                                                       : maxBatchReads),
+      maxWaitUs_(maxWaitUs)
+{
+}
+
+bool
+Batcher::nextBatch(std::vector<Pending> &out)
+{
+    out.clear();
+    for (;;) {
+        if (!queue_.waitNonEmpty())
+            return false; // closed and drained
+
+        // The time window is anchored on the oldest request's
+        // admission timestamp (monotonicNanos, i.e. steady_clock):
+        // a request that already waited its window out — e.g. behind
+        // a long mapBatch call — flushes immediately.
+        const uint64_t frontNanos = queue_.frontEnqueueNanos();
+        if (frontNanos != 0) {
+            const uint64_t windowEnd = frontNanos + maxWaitUs_ * 1000;
+            const uint64_t now = core::monotonicNanos();
+            const uint64_t remaining =
+                windowEnd > now ? windowEnd - now : 0;
+            if (remaining > 0) {
+                queue_.waitUntil(
+                    [this](size_t, size_t weight) {
+                        return weight >= maxBatchReads_;
+                    },
+                    std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(remaining));
+            }
+        }
+
+        out = queue_.drain(maxBatchReads_);
+        if (!out.empty()) {
+            obsBatches.add();
+            size_t reads = 0;
+            for (const Pending &item : out)
+                reads += item.reads.size();
+            obsBatchedReads.add(reads);
+            return true;
+        }
+        // Lost the items to a close() race; re-evaluate from the top.
+    }
+}
+
+} // namespace pgb::serve

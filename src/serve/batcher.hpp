@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Time/size-windowed request coalescing for the mapping daemon.
+ *
+ * One mapBatch() call amortizes its fixed costs (mapper construction,
+ * parallel-region setup, pool wake) over every read it carries, and
+ * the work-stealing pool only load-balances *within* a batch — so the
+ * daemon wants batches as large as the latency budget allows, and no
+ * larger. The Batcher implements the classic two-trigger window over
+ * the AdmissionQueue:
+ *
+ *   - **size**: flush as soon as >= maxBatchReads reads are queued
+ *     (a saturated daemon runs back-to-back full batches and the
+ *     window adds zero latency);
+ *   - **time**: otherwise flush maxWaitUs after the *oldest* queued
+ *     request was admitted (an idle daemon answers a lone request
+ *     within the wait bound — the window never holds a request
+ *     hostage waiting for company that is not coming).
+ *
+ * The deadline is anchored on the oldest request's admission time,
+ * not on when the batcher got around to looking: if a long mapBatch
+ * call left requests waiting past their window, the next batch
+ * flushes immediately.
+ *
+ * Batches respect request boundaries (a response is built from
+ * exactly one batch); a single request larger than maxBatchReads
+ * forms its own oversized batch.
+ */
+
+#ifndef PGB_SERVE_BATCHER_HPP
+#define PGB_SERVE_BATCHER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/admission.hpp"
+
+namespace pgb::serve {
+
+/** Coalesces admitted requests into mapBatch-sized windows. */
+class Batcher
+{
+  public:
+    /**
+     * @param queue        the admission queue to consume
+     * @param maxBatchReads size trigger, in reads
+     * @param maxWaitUs    time trigger, microseconds from admission
+     *                     of the oldest queued request
+     */
+    Batcher(AdmissionQueue &queue, size_t maxBatchReads,
+            uint64_t maxWaitUs);
+
+    /**
+     * Block for the next flush window and fill @p out with the
+     * batch's requests (admission order).
+     * @return false when the queue is closed and fully drained —
+     *         the consumer loop's exit condition. During shutdown
+     *         remaining requests still come out as final batches.
+     */
+    bool nextBatch(std::vector<Pending> &out);
+
+    size_t maxBatchReads() const { return maxBatchReads_; }
+    uint64_t maxWaitUs() const { return maxWaitUs_; }
+
+  private:
+    AdmissionQueue &queue_;
+    const size_t maxBatchReads_;
+    const uint64_t maxWaitUs_;
+};
+
+} // namespace pgb::serve
+
+#endif // PGB_SERVE_BATCHER_HPP

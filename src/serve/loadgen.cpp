@@ -1,0 +1,430 @@
+#include "serve/loadgen.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "core/io.hpp"
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+#include "core/timer.hpp"
+#include "serve/protocol.hpp"
+
+namespace pgb::serve {
+
+namespace {
+
+/** One pre-built request: its encoded frame and, for the open loop,
+ *  its scheduled arrival offset from the run start. */
+struct RequestSpec
+{
+    uint64_t id = 0;
+    std::string frame;
+    uint64_t scheduledOffsetNanos = 0;
+};
+
+/** Render @p reads as the FASTQ payload of one request. */
+std::string
+formatFastq(const std::vector<seq::Sequence> &reads, size_t first,
+            size_t count)
+{
+    std::ostringstream out;
+    for (size_t i = 0; i < count; ++i) {
+        const seq::Sequence &read = reads[(first + i) % reads.size()];
+        const std::string bases = read.toString();
+        out << '@' << read.name() << '\n'
+            << bases << "\n+\n"
+            << std::string(bases.size(), 'I') << '\n';
+    }
+    return out.str();
+}
+
+int
+connectTo(const std::string &path)
+{
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(address.sun_path)) {
+        core::fatal("loadgen: socket path '", path, "' must be 1-",
+                    sizeof(address.sun_path) - 1, " characters");
+    }
+    std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        core::fatal("loadgen: cannot create socket: ",
+                    std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&address),
+                  sizeof(address)) < 0) {
+        const int connectErrno = errno;
+        ::close(fd);
+        core::fatal("loadgen: cannot connect to '", path,
+                    "': ", std::strerror(connectErrno),
+                    " (is the daemon running?)");
+    }
+    return fd;
+}
+
+/** Full write with EINTR handling. @return false on error. */
+bool
+writeAll(int fd, const std::string &bytes)
+{
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t wrote =
+            ::write(fd, bytes.data() + sent, bytes.size() - sent);
+        if (wrote < 0 && errno == EINTR)
+            continue;
+        if (wrote <= 0)
+            return false;
+        sent += static_cast<size_t>(wrote);
+    }
+    return true;
+}
+
+void
+sleepUntilNanos(uint64_t targetNanos)
+{
+    for (;;) {
+        const uint64_t now = core::monotonicNanos();
+        if (now >= targetNanos)
+            return;
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(targetNanos - now));
+    }
+}
+
+/** Shared measurement state, written by connection workers. */
+struct RunState
+{
+    uint64_t startNanos = 0;
+    bool dump = false;
+    std::vector<uint64_t> scheduledNanos; ///< absolute, by request id
+
+    std::mutex lock;
+    std::vector<uint64_t> latencies; ///< OK responses only
+    std::vector<std::string> bodies; ///< by request id, when dump
+    uint64_t sent = 0;
+    uint64_t ok = 0;
+    uint64_t overloaded = 0;
+    uint64_t errors = 0;
+    std::string failure; ///< first worker-fatal condition
+};
+
+/** Record a decoded response; @return false to stop the connection. */
+bool
+recordResponse(RunState &state, const std::string &payload)
+{
+    Response response;
+    std::string error;
+    if (!decodeResponse(payload, response, error)) {
+        std::lock_guard<std::mutex> guard(state.lock);
+        if (state.failure.empty())
+            state.failure = "loadgen: malformed response: " + error;
+        return false;
+    }
+    const uint64_t now = core::monotonicNanos();
+    std::lock_guard<std::mutex> guard(state.lock);
+    switch (response.status) {
+    case Status::kOk:
+        ++state.ok;
+        if (response.id < state.scheduledNanos.size()) {
+            state.latencies.push_back(
+                now - state.scheduledNanos[response.id]);
+        }
+        if (state.dump && response.id < state.bodies.size())
+            state.bodies[response.id] = std::move(response.body);
+        break;
+    case Status::kOverloaded:
+        ++state.overloaded;
+        break;
+    case Status::kError:
+        ++state.errors;
+        break;
+    }
+    return true;
+}
+
+/** Drain @p fd until @p expected responses arrive or the stream dies. */
+void
+receiveLoop(int fd, size_t expected, RunState &state)
+{
+    FrameDecoder decoder;
+    std::string payload;
+    char buffer[64 * 1024];
+    size_t received = 0;
+    while (received < expected) {
+        const ssize_t got = ::read(fd, buffer, sizeof(buffer));
+        if (got < 0 && errno == EINTR)
+            continue;
+        if (got <= 0) {
+            std::lock_guard<std::mutex> guard(state.lock);
+            if (state.failure.empty()) {
+                state.failure =
+                    got == 0
+                        ? "loadgen: daemon closed the connection mid-run"
+                        : std::string("loadgen: read failed: ") +
+                              std::strerror(errno);
+            }
+            return;
+        }
+        decoder.feed(buffer, static_cast<size_t>(got));
+        while (decoder.next(payload)) {
+            if (!recordResponse(state, payload))
+                return;
+            ++received;
+        }
+        if (decoder.error()) {
+            std::lock_guard<std::mutex> guard(state.lock);
+            if (state.failure.empty()) {
+                state.failure = "loadgen: malformed response frame: " +
+                                decoder.errorMessage();
+            }
+            return;
+        }
+    }
+}
+
+/**
+ * Closed loop: one request outstanding — send, await, repeat. Latency
+ * runs from the actual send (scheduledNanos is stamped here).
+ */
+void
+closedLoopWorker(int fd, const std::vector<RequestSpec> &specs,
+                 RunState &state)
+{
+    FrameDecoder decoder;
+    std::string payload;
+    char buffer[64 * 1024];
+    for (const RequestSpec &spec : specs) {
+        state.scheduledNanos[spec.id] = core::monotonicNanos();
+        if (!writeAll(fd, spec.frame)) {
+            std::lock_guard<std::mutex> guard(state.lock);
+            if (state.failure.empty()) {
+                state.failure = std::string("loadgen: write failed: ") +
+                                std::strerror(errno);
+            }
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> guard(state.lock);
+            ++state.sent;
+        }
+        bool answered = false;
+        while (!answered) {
+            const ssize_t got = ::read(fd, buffer, sizeof(buffer));
+            if (got < 0 && errno == EINTR)
+                continue;
+            if (got <= 0) {
+                std::lock_guard<std::mutex> guard(state.lock);
+                if (state.failure.empty()) {
+                    state.failure =
+                        got == 0 ? "loadgen: daemon closed the "
+                                   "connection mid-run"
+                                 : std::string(
+                                       "loadgen: read failed: ") +
+                                       std::strerror(errno);
+                }
+                return;
+            }
+            decoder.feed(buffer, static_cast<size_t>(got));
+            while (decoder.next(payload)) {
+                if (!recordResponse(state, payload))
+                    return;
+                answered = true;
+            }
+            if (decoder.error()) {
+                std::lock_guard<std::mutex> guard(state.lock);
+                if (state.failure.empty()) {
+                    state.failure =
+                        "loadgen: malformed response frame: " +
+                        decoder.errorMessage();
+                }
+                return;
+            }
+        }
+    }
+}
+
+/**
+ * Open loop: a sender thread fires each request at its scheduled
+ * (Poisson) arrival time whether or not earlier responses are back;
+ * this thread receives. Latency runs from the *scheduled* time, so
+ * server-induced queueing is charged to the server (no coordinated
+ * omission).
+ */
+void
+openLoopWorker(int fd, const std::vector<RequestSpec> &specs,
+               RunState &state)
+{
+    std::thread sender([fd, &specs, &state] {
+        for (const RequestSpec &spec : specs) {
+            sleepUntilNanos(state.scheduledNanos[spec.id]);
+            if (!writeAll(fd, spec.frame)) {
+                std::lock_guard<std::mutex> guard(state.lock);
+                if (state.failure.empty()) {
+                    state.failure =
+                        std::string("loadgen: write failed: ") +
+                        std::strerror(errno);
+                }
+                return;
+            }
+            std::lock_guard<std::mutex> guard(state.lock);
+            ++state.sent;
+        }
+    });
+    receiveLoop(fd, specs.size(), state);
+    sender.join();
+}
+
+uint64_t
+exactQuantile(const std::vector<uint64_t> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    if (rank == 0)
+        rank = 1;
+    if (rank > sorted.size())
+        rank = sorted.size();
+    return sorted[rank - 1];
+}
+
+} // namespace
+
+LoadgenReport
+runLoadgen(const LoadgenConfig &config,
+           const std::vector<seq::Sequence> &reads)
+{
+    if (reads.empty())
+        core::fatal("loadgen: no reads to send");
+    const size_t connections = std::max<size_t>(1, config.connections);
+    const size_t readsPerRequest =
+        std::max<size_t>(1, config.readsPerRequest);
+
+    // Total request count: explicit, or (digest mode) one sequential
+    // pass over the read set.
+    const size_t total =
+        config.requests > 0
+            ? config.requests
+            : (reads.size() + readsPerRequest - 1) / readsPerRequest;
+
+    // Pre-build every frame so measurement excludes payload
+    // formatting; ids are dense [0, total) and double as indices.
+    std::vector<RequestSpec> specs(total);
+    for (size_t i = 0; i < total; ++i) {
+        Request request;
+        request.id = i;
+        // Load mode cycles the read set; digest mode is one exact
+        // pass, so its final request may carry fewer reads.
+        const size_t first = i * readsPerRequest;
+        const size_t count =
+            config.requests > 0
+                ? readsPerRequest
+                : std::min(readsPerRequest, reads.size() - first);
+        request.fastq = formatFastq(reads, first, count);
+        specs[i].id = i;
+        specs[i].frame = encodeRequest(request);
+    }
+
+    // Open loop: Poisson arrivals at config.rate across the whole run.
+    if (config.rate > 0.0) {
+        core::Xoshiro256StarStar rng(config.seed);
+        double clock = 0.0;
+        for (size_t i = 0; i < total; ++i) {
+            const double u = rng.uniform();
+            clock += -std::log(1.0 - u) / config.rate;
+            specs[i].scheduledOffsetNanos =
+                static_cast<uint64_t>(clock * 1e9);
+        }
+    }
+
+    // A daemon that hangs up mid-run must surface as a write error on
+    // this side, not SIGPIPE death.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    // Connect on this thread so a dead socket is a clean fatal before
+    // any worker exists.
+    std::vector<int> fds(connections, -1);
+    for (size_t c = 0; c < connections; ++c)
+        fds[c] = connectTo(config.socketPath);
+
+    // Round-robin assignment keeps per-connection schedules ordered.
+    std::vector<std::vector<RequestSpec>> perConnection(connections);
+    for (size_t i = 0; i < total; ++i)
+        perConnection[i % connections].push_back(specs[i]);
+
+    RunState state;
+    state.dump = !config.dumpPath.empty();
+    state.scheduledNanos.assign(total, 0);
+    if (state.dump)
+        state.bodies.assign(total, std::string());
+    state.latencies.reserve(total);
+    state.startNanos = core::monotonicNanos();
+    if (config.rate > 0.0) {
+        for (size_t i = 0; i < total; ++i) {
+            state.scheduledNanos[i] =
+                state.startNanos + specs[i].scheduledOffsetNanos;
+        }
+    }
+
+    std::vector<std::thread> workers;
+    workers.reserve(connections);
+    for (size_t c = 0; c < connections; ++c) {
+        const std::vector<RequestSpec> &mine = perConnection[c];
+        const int fd = fds[c];
+        workers.emplace_back([fd, &mine, &state, &config] {
+            if (config.rate > 0.0)
+                openLoopWorker(fd, mine, state);
+            else
+                closedLoopWorker(fd, mine, state);
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+    const uint64_t endNanos = core::monotonicNanos();
+    for (int fd : fds)
+        ::close(fd);
+
+    if (!state.failure.empty())
+        core::fatal(state.failure);
+
+    if (state.dump) {
+        core::CheckedWriter writer(config.dumpPath);
+        for (const std::string &body : state.bodies)
+            writer.stream() << body;
+        writer.finish();
+    }
+
+    LoadgenReport report;
+    report.sent = state.sent;
+    report.ok = state.ok;
+    report.overloaded = state.overloaded;
+    report.errors = state.errors;
+    report.wallSeconds =
+        static_cast<double>(endNanos - state.startNanos) / 1e9;
+    report.throughputRps =
+        report.wallSeconds > 0.0
+            ? static_cast<double>(report.ok) / report.wallSeconds
+            : 0.0;
+    std::sort(state.latencies.begin(), state.latencies.end());
+    report.p50Nanos = exactQuantile(state.latencies, 0.50);
+    report.p99Nanos = exactQuantile(state.latencies, 0.99);
+    report.p999Nanos = exactQuantile(state.latencies, 0.999);
+    report.maxNanos =
+        state.latencies.empty() ? 0 : state.latencies.back();
+    return report;
+}
+
+} // namespace pgb::serve

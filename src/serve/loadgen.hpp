@@ -1,0 +1,96 @@
+/**
+ * @file
+ * `pgb loadgen`: a closed/open-loop load generator for the mapping
+ * daemon, with client-side latency measurement.
+ *
+ * Two arrival disciplines, following the standard serving-benchmark
+ * taxonomy:
+ *
+ *   - **closed loop** (rate = 0): each connection keeps exactly one
+ *     request outstanding — send, wait, repeat. Measures best-case
+ *     latency and saturation throughput, but suffers coordinated
+ *     omission: a slow response *delays subsequent arrivals*, hiding
+ *     queueing delay.
+ *   - **open loop** (rate > 0): requests arrive on a Poisson schedule
+ *     at `rate` requests/second across all connections, regardless of
+ *     how fast responses come back. Latency is measured from each
+ *     request's *scheduled* arrival time, so a stalled server accrues
+ *     the queueing delay it caused — the methodology that makes tail
+ *     latency (p99/p999) meaningful under load.
+ *
+ * Quantiles are computed exactly from the recorded per-request sample
+ * vector (not from log-spaced buckets): BENCH_serve.json's p999 is a
+ * real order statistic.
+ *
+ * With `requests = 0` the generator instead makes one sequential pass
+ * over the read set (one request per batch of `readsPerRequest`),
+ * which — combined with `dumpPath` — is the digest-comparison mode:
+ * the concatenated OK bodies, in request order, are byte-identical to
+ * `pgb map --dump` output over the same reads iff the daemon's
+ * batching changed nothing.
+ */
+
+#ifndef PGB_SERVE_LOADGEN_HPP
+#define PGB_SERVE_LOADGEN_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace pgb::serve {
+
+/** Load-generator configuration (`pgb loadgen` flags). */
+struct LoadgenConfig
+{
+    /** Daemon socket path to connect to. */
+    std::string socketPath;
+    /** Concurrent connections. */
+    size_t connections = 1;
+    /** Total requests across all connections; 0 = one sequential
+     *  pass over the read set (digest mode). */
+    size_t requests = 0;
+    /** Reads bundled into each request. */
+    size_t readsPerRequest = 1;
+    /** Open-loop arrival rate, requests/second across all
+     *  connections; 0 = closed loop. */
+    double rate = 0.0;
+    /** RNG seed for the Poisson schedule and read sampling. */
+    uint64_t seed = 42;
+    /** When non-empty, write concatenated OK bodies (request order)
+     *  here — the served-output digest artifact. */
+    std::string dumpPath;
+};
+
+/** What one loadgen run measured (client side). */
+struct LoadgenReport
+{
+    uint64_t sent = 0;
+    uint64_t ok = 0;
+    uint64_t overloaded = 0;
+    uint64_t errors = 0;
+    double wallSeconds = 0.0;
+    /** OK responses per wall second. */
+    double throughputRps = 0.0;
+    /** Exact order statistics over per-request latency, nanoseconds.
+     *  Open loop measures from scheduled arrival (coordinated
+     *  omission corrected); closed loop from the actual send. */
+    uint64_t p50Nanos = 0;
+    uint64_t p99Nanos = 0;
+    uint64_t p999Nanos = 0;
+    uint64_t maxNanos = 0;
+};
+
+/**
+ * Run the workload described by @p config against a live daemon,
+ * drawing request payloads from @p reads (cycled as needed).
+ * fatal()s when the socket cannot be connected, a response cannot be
+ * decoded, or the daemon hangs up mid-run.
+ */
+LoadgenReport runLoadgen(const LoadgenConfig &config,
+                         const std::vector<seq::Sequence> &reads);
+
+} // namespace pgb::serve
+
+#endif // PGB_SERVE_LOADGEN_HPP

@@ -1,0 +1,193 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace pgb::serve {
+
+namespace {
+
+/** Fixed payload bytes before the FASTQ text: id + type. */
+constexpr size_t kRequestHeaderBytes = 8 + 1;
+/** Fixed payload bytes before the body: id + type + status. */
+constexpr size_t kResponseHeaderBytes = 8 + 1 + 1;
+
+void
+putU32(std::string &out, uint32_t value)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(static_cast<char>((value >> shift) & 0xff));
+}
+
+void
+putU64(std::string &out, uint64_t value)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<char>((value >> shift) & 0xff));
+}
+
+uint32_t
+getU32(const char *data)
+{
+    uint32_t value = 0;
+    for (int b = 3; b >= 0; --b)
+        value = (value << 8) | static_cast<uint8_t>(data[b]);
+    return value;
+}
+
+uint64_t
+getU64(const char *data)
+{
+    uint64_t value = 0;
+    for (int b = 7; b >= 0; --b)
+        value = (value << 8) | static_cast<uint8_t>(data[b]);
+    return value;
+}
+
+std::string
+frame(const std::string &payload)
+{
+    std::string framed;
+    framed.reserve(4 + payload.size());
+    putU32(framed, static_cast<uint32_t>(payload.size()));
+    framed += payload;
+    return framed;
+}
+
+} // namespace
+
+const char *
+statusName(Status status)
+{
+    switch (status) {
+    case Status::kOk:
+        return "OK";
+    case Status::kOverloaded:
+        return "OVERLOADED";
+    case Status::kError:
+        return "ERROR";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+encodeRequest(const Request &request)
+{
+    std::string payload;
+    payload.reserve(kRequestHeaderBytes + request.fastq.size());
+    putU64(payload, request.id);
+    payload.push_back(static_cast<char>(MsgType::kMapRequest));
+    payload += request.fastq;
+    return frame(payload);
+}
+
+std::string
+encodeResponse(const Response &response)
+{
+    std::string payload;
+    payload.reserve(kResponseHeaderBytes + response.body.size());
+    putU64(payload, response.id);
+    payload.push_back(static_cast<char>(MsgType::kMapResponse));
+    payload.push_back(static_cast<char>(response.status));
+    payload += response.body;
+    return frame(payload);
+}
+
+void
+FrameDecoder::feed(const char *data, size_t size)
+{
+    if (error())
+        return;
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection does not grow its buffer without bound.
+    if (cursor_ > 0 && cursor_ >= buffer_.size() / 2) {
+        buffer_.erase(0, cursor_);
+        cursor_ = 0;
+    }
+    buffer_.append(data, size);
+}
+
+bool
+FrameDecoder::next(std::string &payload)
+{
+    if (error())
+        return false;
+    if (buffer_.size() - cursor_ < 4)
+        return false;
+    const uint32_t length = getU32(buffer_.data() + cursor_);
+    if (length > kMaxFrameBytes) {
+        std::ostringstream what;
+        what << "frame declares " << length << " bytes (cap "
+             << kMaxFrameBytes << ")";
+        error_ = what.str();
+        return false;
+    }
+    if (length < kRequestHeaderBytes) {
+        std::ostringstream what;
+        what << "frame declares " << length
+             << " bytes, below the fixed header";
+        error_ = what.str();
+        return false;
+    }
+    if (buffer_.size() - cursor_ < 4 + static_cast<size_t>(length))
+        return false;
+    payload.assign(buffer_, cursor_ + 4, length);
+    cursor_ += 4 + static_cast<size_t>(length);
+    return true;
+}
+
+bool
+decodeRequest(std::string_view payload, Request &out,
+              std::string &error)
+{
+    if (payload.size() < kRequestHeaderBytes) {
+        error = "request payload shorter than its fixed header";
+        return false;
+    }
+    if (payload[8] != static_cast<char>(MsgType::kMapRequest)) {
+        error = "unexpected message type (want MapRequest)";
+        return false;
+    }
+    out.id = getU64(payload.data());
+    out.fastq.assign(payload.substr(kRequestHeaderBytes));
+    return true;
+}
+
+bool
+decodeResponse(std::string_view payload, Response &out,
+               std::string &error)
+{
+    if (payload.size() < kResponseHeaderBytes) {
+        error = "response payload shorter than its fixed header";
+        return false;
+    }
+    if (payload[8] != static_cast<char>(MsgType::kMapResponse)) {
+        error = "unexpected message type (want MapResponse)";
+        return false;
+    }
+    const auto status = static_cast<uint8_t>(payload[9]);
+    if (status > static_cast<uint8_t>(Status::kError)) {
+        error = "unknown response status";
+        return false;
+    }
+    out.id = getU64(payload.data());
+    out.status = static_cast<Status>(status);
+    out.body.assign(payload.substr(kResponseHeaderBytes));
+    return true;
+}
+
+std::string
+formatMappings(std::span<const seq::Sequence> reads,
+               std::span<const pipeline::ReadMapping> mappings)
+{
+    std::ostringstream out;
+    for (size_t i = 0; i < reads.size() && i < mappings.size(); ++i) {
+        const pipeline::ReadMapping &mapping = mappings[i];
+        out << reads[i].name() << '\t' << mapping.mapped << '\t'
+            << mapping.node << '\t' << mapping.score << '\t'
+            << mapping.reverse << '\n';
+    }
+    return out.str();
+}
+
+} // namespace pgb::serve

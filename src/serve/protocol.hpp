@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The `pgb serve` wire protocol: length-prefixed binary frames.
+ *
+ * Both directions carry the same framing over a byte stream (a
+ * Unix-domain socket, or stdin/stdout in `--stdio` mode):
+ *
+ *     uint32-LE payloadLength | payload bytes
+ *
+ * A request payload is
+ *
+ *     uint64-LE requestId | uint8 type=kMapRequest | FASTQ text
+ *
+ * and a response payload is
+ *
+ *     uint64-LE requestId | uint8 type=kMapResponse | uint8 status |
+ *     body text
+ *
+ * where an OK body holds one TSV mapping record per read, in request
+ * order, in exactly the golden-digest schema
+ * (`name\tmapped\tnode\tscore\treverse\n`) — so served output can be
+ * compared byte-for-byte against a direct mapBatch() run. An
+ * OVERLOADED response (admission control shed the request) and an
+ * ERROR response (e.g. malformed FASTQ inside a well-formed frame)
+ * carry a diagnostic message as the body.
+ *
+ * FrameDecoder is an incremental parser fed arbitrary byte chunks —
+ * torn and partial reads are the normal case on a socket — and fails
+ * closed: a frame that declares a length over kMaxFrameBytes or under
+ * the fixed header size poisons the decoder (error()), because after
+ * a framing violation the stream position can never be trusted again.
+ * The server drops that one connection; the process keeps serving.
+ */
+
+#ifndef PGB_SERVE_PROTOCOL_HPP
+#define PGB_SERVE_PROTOCOL_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "pipeline/mapper.hpp"
+#include "seq/sequence.hpp"
+
+namespace pgb::serve {
+
+/** Refuse frames larger than this (a garbage length must not drive
+ *  allocation). Generous: ~4M of 150 bp FASTQ records per request. */
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/** Frame payload kinds. */
+enum class MsgType : uint8_t
+{
+    kMapRequest = 1,
+    kMapResponse = 2,
+};
+
+/** Response disposition. */
+enum class Status : uint8_t
+{
+    kOk = 0,
+    kOverloaded = 1, ///< admission control shed the request
+    kError = 2,      ///< request-level failure (e.g. bad FASTQ)
+};
+
+/** Printable status name ("OK", "OVERLOADED", "ERROR"). */
+const char *statusName(Status status);
+
+/** A decoded mapping request. */
+struct Request
+{
+    uint64_t id = 0;
+    std::string fastq; ///< FASTQ text, one or more records
+};
+
+/** A decoded (or to-be-encoded) response. */
+struct Response
+{
+    uint64_t id = 0;
+    Status status = Status::kOk;
+    std::string body; ///< TSV mapping records, or a diagnostic
+};
+
+/** Encode a complete request frame (length prefix included). */
+std::string encodeRequest(const Request &request);
+
+/** Encode a complete response frame (length prefix included). */
+std::string encodeResponse(const Response &response);
+
+/**
+ * Incremental frame extractor over an arbitrary chunking of the byte
+ * stream. feed() appends received bytes; next() yields complete
+ * payloads in order. A framing violation (impossible declared length)
+ * sets error() permanently — the caller must drop the stream.
+ */
+class FrameDecoder
+{
+  public:
+    /** Append @p size received bytes. */
+    void feed(const char *data, size_t size);
+
+    /**
+     * Extract the next complete frame's payload into @p payload.
+     * @return false when more bytes are needed (or after error()).
+     */
+    bool next(std::string &payload);
+
+    bool error() const { return !error_.empty(); }
+    const std::string &errorMessage() const { return error_; }
+
+    /** Bytes buffered but not yet consumed by next(). */
+    size_t buffered() const { return buffer_.size() - cursor_; }
+
+  private:
+    std::string buffer_;
+    size_t cursor_ = 0;
+    std::string error_;
+};
+
+/**
+ * Decode a request payload. @return false (with @p error set) on a
+ * malformed payload; the connection should be dropped.
+ */
+bool decodeRequest(std::string_view payload, Request &out,
+                   std::string &error);
+
+/** Decode a response payload (the client side of decodeRequest). */
+bool decodeResponse(std::string_view payload, Response &out,
+                    std::string &error);
+
+/**
+ * The OK response body: one TSV record per read, request order —
+ * byte-identical to the golden-digest mapping records.
+ * reads.size() must equal mappings.size().
+ */
+std::string formatMappings(std::span<const seq::Sequence> reads,
+                           std::span<const pipeline::ReadMapping>
+                               mappings);
+
+} // namespace pgb::serve
+
+#endif // PGB_SERVE_PROTOCOL_HPP

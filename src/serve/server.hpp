@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The `pgb serve` daemon: a long-lived, batching, backpressured
+ * read-mapping server over one immutable MappingContext.
+ *
+ * This is the subsystem the build-once/map-many split (PR 5) was
+ * built for: every prior way to run the mapper paid per-invocation
+ * process startup and index load, which PangenomicsBench's own
+ * characterization shows is the wrong shape for the dominant,
+ * memory-bound kernel of the pipeline. The Server loads one
+ * shared_ptr<const MappingContext> (typically mmap-loaded from a
+ * `.pgbi` artifact in milliseconds) and serves mapping requests
+ * until told to stop:
+ *
+ *   client frames ──> per-connection reader ──> AdmissionQueue
+ *       (bounded; full => OVERLOADED)  ──> Batcher (time/size window)
+ *       ──> mapBatch() on the work-stealing pool ──> response frames
+ *
+ * Transport is a Unix-domain stream socket (one reader thread per
+ * connection), or stdin/stdout with `stdio = true` — the same framed
+ * protocol, one implicit connection, EOF-terminated.
+ *
+ * Error-handling contract (DESIGN.md §6): connection-level failures —
+ * an injected or real accept()/read()/write() failure (fault sites
+ * `serve.accept`, `serve.read`, `serve.write`), a framing violation,
+ * a peer disconnect — cost exactly that connection, with a one-line
+ * warn(); the daemon keeps serving. Request-level failures (malformed
+ * FASTQ inside a valid frame, a mapping fault) cost one ERROR
+ * response. Only environment errors at startup (unusable socket path,
+ * bad artifact) and stdio framing violations (the sole peer is gone)
+ * are fatal().
+ *
+ * Everything is observable through pgb::obs: serve.{connections,
+ * requests,responses,admitted,shed,batches,batched_reads,bad_frames,
+ * bad_requests,errors} counters, the serve.queue_depth gauge, and the
+ * serve.request_nanos latency histogram (admission to response
+ * written), plus serve.batch / serve.request tracing spans.
+ */
+
+#ifndef PGB_SERVE_SERVER_HPP
+#define PGB_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/context.hpp"
+#include "pipeline/mapper.hpp"
+#include "serve/admission.hpp"
+#include "serve/protocol.hpp"
+
+namespace pgb::serve {
+
+/** Daemon configuration (`pgb serve` flags). */
+struct ServeConfig
+{
+    /** Unix-domain socket path to create (socket mode). */
+    std::string socketPath;
+    /** Serve the framed protocol over fds 0/1 instead of a socket. */
+    bool stdio = false;
+    /** Batch size trigger, in reads (see Batcher). */
+    size_t maxBatchReads = 256;
+    /** Batch time trigger, microseconds from oldest admission. */
+    uint64_t maxWaitUs = 2000;
+    /** Admission bound, in queued requests; beyond it, shed. */
+    size_t queueDepth = 256;
+    /** mapBatch() width; 0 = hardwareThreads(). */
+    unsigned threads = 0;
+    /** Mapping tool profile served. */
+    pipeline::ToolProfile profile = pipeline::ToolProfile::kVgMap;
+    /**
+     * Invoked once the daemon is actually accepting work (socket
+     * bound and listening, or stdio loop entered) — the right place
+     * for a "ready" banner, so a failed bind never claims readiness.
+     */
+    std::function<void()> onReady;
+};
+
+/** A running (or runnable) mapping daemon. */
+class Server
+{
+  public:
+    /**
+     * Validates the profile against the context (the giraffe profile
+     * requires a GBWT — fatal here, not per batch) and adopts the
+     * context's index geometry.
+     */
+    Server(std::shared_ptr<const pipeline::MappingContext> context,
+           ServeConfig config);
+
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Serve until stop() (socket mode) or stdin EOF (stdio mode),
+     * then shut down cleanly: stop accepting, drain the queue into
+     * final batches, answer everything answerable, join all threads.
+     * fatal()s on environment errors (socket path collision, path
+     * too long) and, in stdio mode, on a framing violation.
+     */
+    void run();
+
+    /**
+     * Request shutdown. Only touches atomics, so it is safe to call
+     * from a signal handler; run() notices within its 100 ms poll.
+     */
+    void stop() { stop_.store(true, std::memory_order_release); }
+
+    /**
+     * Block until run() is accepting work (listening, or stdio loop
+     * entered). @return false if the timeout passed first.
+     */
+    bool waitReady(uint64_t timeout_ms) const;
+
+    /** Lifetime totals, for the daemon's exit summary line. */
+    struct Totals
+    {
+        uint64_t connections = 0;
+        uint64_t requests = 0; ///< well-formed requests received
+        uint64_t responses = 0;
+        uint64_t shed = 0;
+        uint64_t batches = 0;
+        uint64_t reads = 0;
+        uint64_t badFrames = 0;
+    };
+
+    Totals totals() const;
+
+  private:
+    struct Connection;
+
+    void runStdio();
+    void runSocket();
+    void readerLoop(const std::shared_ptr<Connection> &connection);
+    void handlePayload(const std::shared_ptr<Connection> &connection,
+                       const std::string &payload);
+    void batcherLoop();
+    void respond(const std::shared_ptr<Connection> &connection,
+                 uint64_t id, Status status, std::string body);
+    bool writeFrame(Connection &connection, const std::string &bytes);
+    void markReady();
+
+    std::shared_ptr<const pipeline::MappingContext> context_;
+    ServeConfig config_;
+    pipeline::MapperConfig mapperConfig_;
+    AdmissionQueue queue_;
+
+    std::atomic<bool> stop_{false};
+    mutable std::mutex readyLock_;
+    mutable std::condition_variable readyCv_;
+    bool ready_ = false;
+
+    /** Set by a stdio framing violation; rethrown as fatal by run(). */
+    std::string stdioError_;
+
+    std::mutex connectionsLock_;
+    std::vector<std::weak_ptr<Connection>> connections_;
+    std::vector<std::thread> readers_;
+    /** Reader slots finished and ready to join (reaped by accept). */
+    std::vector<size_t> finishedReaders_;
+
+    std::atomic<uint64_t> connectionCount_{0};
+    std::atomic<uint64_t> requestCount_{0};
+    std::atomic<uint64_t> responseCount_{0};
+    std::atomic<uint64_t> shedCount_{0};
+    std::atomic<uint64_t> batchCount_{0};
+    std::atomic<uint64_t> readCount_{0};
+    std::atomic<uint64_t> badFrameCount_{0};
+};
+
+} // namespace pgb::serve
+
+#endif // PGB_SERVE_SERVER_HPP

@@ -54,7 +54,8 @@ TEST_F(FaultTest, RegistryListsEveryProductionSite)
     const auto sites = core::fault::sites();
     const std::vector<std::string> expected = {
         "arena.ftruncate", "arena.mmap",     "arena.open",
-        "io.flush",        "mapper.read",    "store.checksum",
+        "io.flush",        "mapper.read",    "serve.accept",
+        "serve.read",      "serve.write",    "store.checksum",
         "store.mmap",      "store.open",     "store.section",
         "test.obs.site",   "test.site",      "threadpool.for",
         "threadpool.run",

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -19,6 +20,7 @@
 #include "core/fault.hpp"
 #include "core/thread_pool.hpp"
 #include "core/timer.hpp"
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
@@ -32,6 +34,9 @@ obs::Counter testCounter("test.obs.counter");
 obs::Gauge testGauge("test.obs.gauge");
 obs::Counter overheadCounter("test.obs.overhead");
 core::FaultSite testSite("test.obs.site");
+obs::Histogram testHistogram("test.obs.histogram");
+obs::Histogram poolHistogram("test.obs.pool_histogram");
+obs::Histogram precisionHistogram("test.obs.histogram_precision");
 
 class ObsTest : public ::testing::Test
 {
@@ -306,6 +311,80 @@ TEST_F(ObsTest, DisarmedInstrumentationCostsUnderFivePercent)
     EXPECT_LE(best_ratio, 1.05)
         << "disabled instrumentation costs more than 5% (sink "
         << sink << ")";
+}
+
+// ---- histograms --------------------------------------------------------
+
+TEST_F(ObsTest, HistogramSmallValuesAreExact)
+{
+    // Values below 2^kSubBits land in unit-width buckets: quantiles
+    // of small values come back exact, not just within bucket error.
+    for (uint64_t v = 0; v < 8; ++v)
+        testHistogram.record(v);
+    EXPECT_EQ(testHistogram.count(), 8u);
+    EXPECT_EQ(testHistogram.valueAtQuantile(0.125), 0u);
+    EXPECT_EQ(testHistogram.valueAtQuantile(0.5), 3u);
+    EXPECT_EQ(testHistogram.valueAtQuantile(1.0), 7u);
+    EXPECT_EQ(testHistogram.max(), 7u);
+}
+
+TEST_F(ObsTest, HistogramQuantilesWithinBucketPrecision)
+{
+    // Log-bucketed with 8 sub-buckets per octave: any reported
+    // quantile overestimates the true value by at most 12.5%.
+    const uint64_t values[] = {100,    1000,    5000,      10000,
+                               100000, 1000000, 123456789, 5};
+    for (uint64_t v : values)
+        precisionHistogram.record(v);
+    EXPECT_EQ(precisionHistogram.count(), 8u);
+    for (double q : {0.25, 0.5, 0.9, 1.0}) {
+        const size_t rank = static_cast<size_t>(
+            std::ceil(q * 8.0)) - 1;
+        uint64_t sorted[8];
+        std::copy(std::begin(values), std::end(values), sorted);
+        std::sort(std::begin(sorted), std::end(sorted));
+        const uint64_t truth = sorted[rank];
+        const uint64_t reported =
+            precisionHistogram.valueAtQuantile(q);
+        EXPECT_GE(reported, truth);
+        EXPECT_LE(static_cast<double>(reported),
+                  static_cast<double>(truth) * 1.125 + 1.0)
+            << "q=" << q;
+    }
+}
+
+TEST_F(ObsTest, HistogramCountIsExactUnderThePool)
+{
+    const uint64_t before = poolHistogram.count();
+    constexpr size_t kItems = 20000;
+    core::parallelFor(0, kItems, 8, [](size_t i) {
+        poolHistogram.record(i % 1000);
+    });
+    // Sharded like Counter: recording races never lose samples.
+    EXPECT_EQ(poolHistogram.count() - before, kItems);
+}
+
+TEST_F(ObsTest, HistogramAppearsInSnapshotAndPoolIsInstrumented)
+{
+    testHistogram.record(42);
+    const auto snap = obs::snapshot();
+    EXPECT_GE(snap.counter("test.obs.histogram.count"), 1u);
+    // Quantiles export as gauges so any metrics consumer sees them.
+    EXPECT_GE(snap.gauge("test.obs.histogram.max"), 0);
+
+    // The pool's task-latency histogram is wired in: running work
+    // must grow its sample count. Only meaningful when parallelFor
+    // actually dispatches to the pool — on a single hardware thread
+    // (no PGB_THREADS override) it runs inline; the obs_pool8 ctest
+    // entry re-runs this suite under PGB_THREADS=8 to pin it.
+    if (core::hardwareThreads() > 1) {
+        const uint64_t before =
+            obs::snapshot().counter("threadpool.task_nanos.count");
+        core::parallelFor(0, 4096, 8, [](size_t) {});
+        const uint64_t after =
+            obs::snapshot().counter("threadpool.task_nanos.count");
+        EXPECT_GT(after, before);
+    }
 }
 
 } // namespace

@@ -1,0 +1,685 @@
+/**
+ * @file
+ * Tests for the serving subsystem (DESIGN.md §10): wire-protocol
+ * framing under torn reads, the batcher's time/size windows,
+ * admission-control shedding, and — the acceptance bar — that a
+ * response served through the daemon is byte-identical to a direct
+ * mapBatch() call over the same reads. The ctest harness re-runs the
+ * ServeServer digest tests under PGB_THREADS=1 and PGB_THREADS=8
+ * (serve_threads_1/serve_threads_8), so batching through the daemon
+ * inherits the scheduler's thread-count-invariance guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "core/md5.hpp"
+#include "core/thread_pool.hpp"
+#include "core/timer.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/mapper.hpp"
+#include "seq/read_sim.hpp"
+#include "serve/admission.hpp"
+#include "serve/batcher.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "synth/pangenome_sim.hpp"
+
+namespace {
+
+using namespace pgb;
+
+// ---- protocol framing --------------------------------------------------
+
+TEST(ServeProtocol, RequestRoundTrip)
+{
+    serve::Request request;
+    request.id = 0x1122334455667788ull;
+    request.fastq = "@r1\nACGT\n+\nIIII\n";
+    const std::string frame = serve::encodeRequest(request);
+
+    serve::FrameDecoder decoder;
+    decoder.feed(frame.data(), frame.size());
+    std::string payload;
+    ASSERT_TRUE(decoder.next(payload));
+    serve::Request decoded;
+    std::string error;
+    ASSERT_TRUE(serve::decodeRequest(payload, decoded, error)) << error;
+    EXPECT_EQ(decoded.id, request.id);
+    EXPECT_EQ(decoded.fastq, request.fastq);
+    EXPECT_FALSE(decoder.next(payload));
+    EXPECT_FALSE(decoder.error());
+}
+
+TEST(ServeProtocol, ResponseRoundTrip)
+{
+    serve::Response response;
+    response.id = 42;
+    response.status = serve::Status::kOverloaded;
+    response.body = "request queue full";
+    const std::string frame = serve::encodeResponse(response);
+
+    serve::FrameDecoder decoder;
+    decoder.feed(frame.data(), frame.size());
+    std::string payload;
+    ASSERT_TRUE(decoder.next(payload));
+    serve::Response decoded;
+    std::string error;
+    ASSERT_TRUE(serve::decodeResponse(payload, decoded, error)) << error;
+    EXPECT_EQ(decoded.id, 42u);
+    EXPECT_EQ(decoded.status, serve::Status::kOverloaded);
+    EXPECT_EQ(decoded.body, "request queue full");
+}
+
+TEST(ServeProtocol, TornReadsReassemble)
+{
+    // A stream socket may deliver frames in arbitrary fragments; the
+    // decoder must reassemble them byte by byte, across frame
+    // boundaries, without losing or duplicating messages.
+    std::string stream;
+    for (uint64_t i = 0; i < 5; ++i) {
+        serve::Request request;
+        request.id = i;
+        request.fastq = "@r" + std::to_string(i) + "\nAC\n+\nII\n";
+        stream += serve::encodeRequest(request);
+    }
+
+    serve::FrameDecoder decoder;
+    std::string payload;
+    std::vector<uint64_t> ids;
+    for (size_t i = 0; i < stream.size(); ++i) {
+        decoder.feed(stream.data() + i, 1);
+        while (decoder.next(payload)) {
+            serve::Request decoded;
+            std::string error;
+            ASSERT_TRUE(serve::decodeRequest(payload, decoded, error));
+            ids.push_back(decoded.id);
+        }
+    }
+    EXPECT_FALSE(decoder.error());
+    EXPECT_EQ(ids, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(ServeProtocol, OversizedFrameFailsClosed)
+{
+    // 0xFFFFFFFF declared bytes is far past kMaxFrameBytes: the
+    // decoder must fail permanently instead of trying to buffer 4 GiB.
+    const char bad[] = {'\xff', '\xff', '\xff', '\xff', 'x'};
+    serve::FrameDecoder decoder;
+    decoder.feed(bad, sizeof(bad));
+    std::string payload;
+    EXPECT_FALSE(decoder.next(payload));
+    EXPECT_TRUE(decoder.error());
+    EXPECT_FALSE(decoder.errorMessage().empty());
+    // Once broken, always broken: later valid bytes must not revive it.
+    const std::string frame = serve::encodeRequest(serve::Request{});
+    decoder.feed(frame.data(), frame.size());
+    EXPECT_FALSE(decoder.next(payload));
+    EXPECT_TRUE(decoder.error());
+}
+
+TEST(ServeProtocol, RuntFrameFailsClosed)
+{
+    // A frame shorter than the request header cannot be a message.
+    const char runt[] = {2, 0, 0, 0, 'a', 'b'};
+    serve::FrameDecoder decoder;
+    decoder.feed(runt, sizeof(runt));
+    std::string payload;
+    EXPECT_FALSE(decoder.next(payload));
+    EXPECT_TRUE(decoder.error());
+}
+
+TEST(ServeProtocol, DecodeRejectsWrongType)
+{
+    serve::Request request;
+    request.fastq = "@r\nA\n+\nI\n";
+    const std::string frame = serve::encodeRequest(request);
+    // Strip the length prefix to get the payload, then misuse it as a
+    // response payload: the type byte must be rejected.
+    const std::string payload = frame.substr(4);
+    serve::Response response;
+    std::string error;
+    EXPECT_FALSE(serve::decodeResponse(payload, response, error));
+    EXPECT_FALSE(error.empty());
+}
+
+// ---- admission control -------------------------------------------------
+
+serve::Pending
+pendingWithReads(uint64_t id, size_t reads)
+{
+    serve::Pending pending;
+    pending.id = id;
+    for (size_t i = 0; i < reads; ++i) {
+        // += instead of operator+ chains: GCC 12's -Wrestrict trips a
+        // false positive (PR105329) on char* + to_string temporaries.
+        std::string name = "r";
+        name += std::to_string(i);
+        pending.reads.emplace_back(name, "ACGT");
+    }
+    pending.enqueueNanos = core::monotonicNanos();
+    return pending;
+}
+
+TEST(ServeAdmission, ShedsAtDepthBound)
+{
+    serve::AdmissionQueue queue(2);
+    EXPECT_EQ(queue.push(pendingWithReads(0, 1)),
+              serve::AdmissionQueue::Push::kAccepted);
+    EXPECT_EQ(queue.push(pendingWithReads(1, 1)),
+              serve::AdmissionQueue::Push::kAccepted);
+    EXPECT_EQ(queue.push(pendingWithReads(2, 1)),
+              serve::AdmissionQueue::Push::kShed);
+    EXPECT_EQ(queue.depth(), 2u);
+
+    // Draining frees capacity: admission resumes.
+    const auto drained = queue.drain(100);
+    EXPECT_EQ(drained.size(), 2u);
+    EXPECT_EQ(queue.push(pendingWithReads(3, 1)),
+              serve::AdmissionQueue::Push::kAccepted);
+
+    queue.close();
+    EXPECT_EQ(queue.push(pendingWithReads(4, 1)),
+              serve::AdmissionQueue::Push::kClosed);
+}
+
+TEST(ServeAdmission, DrainRespectsRequestBoundaries)
+{
+    serve::AdmissionQueue queue(16);
+    queue.push(pendingWithReads(0, 3));
+    queue.push(pendingWithReads(1, 3));
+    queue.push(pendingWithReads(2, 3));
+
+    // 3 + 3 fits in 7; adding the third request would exceed it.
+    auto first = queue.drain(7);
+    ASSERT_EQ(first.size(), 2u);
+    EXPECT_EQ(first[0].id, 0u);
+    EXPECT_EQ(first[1].id, 1u);
+
+    // An oversized lone request still comes out (progress guarantee).
+    auto second = queue.drain(1);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].id, 2u);
+    EXPECT_EQ(queue.weight(), 0u);
+}
+
+// ---- batching windows --------------------------------------------------
+
+TEST(ServeBatcher, SizeWindowFlushesWithoutWaiting)
+{
+    serve::AdmissionQueue queue(64);
+    // Wait bound far beyond the test timeout: if the size trigger
+    // does not fire, the test hangs and fails loudly.
+    serve::Batcher batcher(queue, 4, 60u * 1000 * 1000);
+    queue.push(pendingWithReads(0, 2));
+    queue.push(pendingWithReads(1, 2));
+
+    std::vector<serve::Pending> batch;
+    core::WallTimer timer;
+    ASSERT_TRUE(batcher.nextBatch(batch));
+    EXPECT_LT(timer.seconds(), 10.0);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0].id, 0u);
+    EXPECT_EQ(batch[1].id, 1u);
+}
+
+TEST(ServeBatcher, TimeWindowFlushesPartialBatch)
+{
+    serve::AdmissionQueue queue(64);
+    serve::Batcher batcher(queue, 1000, 20000); // 20 ms window
+    queue.push(pendingWithReads(7, 1));
+
+    std::vector<serve::Pending> batch;
+    core::WallTimer timer;
+    ASSERT_TRUE(batcher.nextBatch(batch));
+    const double waited = timer.seconds();
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].id, 7u);
+    // The lone request must not be held hostage for the size window;
+    // generous upper bound to stay robust on loaded CI machines.
+    EXPECT_LT(waited, 10.0);
+}
+
+TEST(ServeBatcher, CloseDrainsThenEnds)
+{
+    serve::AdmissionQueue queue(64);
+    serve::Batcher batcher(queue, 2, 1000);
+    queue.push(pendingWithReads(0, 1));
+    queue.push(pendingWithReads(1, 1));
+    queue.push(pendingWithReads(2, 1));
+    queue.close();
+
+    std::vector<serve::Pending> batch;
+    size_t seen = 0;
+    while (batcher.nextBatch(batch))
+        seen += batch.size();
+    EXPECT_EQ(seen, 3u);
+    ASSERT_FALSE(batcher.nextBatch(batch));
+}
+
+// ---- end-to-end: served output vs direct mapBatch ----------------------
+
+/** Small fixed-seed pangenome + reads + mapping context. */
+struct ServeFixture
+{
+    synth::Pangenome pangenome;
+    std::vector<seq::Sequence> reads;
+    std::shared_ptr<const pipeline::MappingContext> context;
+
+    ServeFixture()
+    {
+        synth::PangenomeConfig config =
+            synth::mGraphLikeConfig(12000, 7);
+        config.haplotypeCount = 4;
+        pangenome = synth::simulatePangenome(config);
+        seq::ReadSimulator sim(seq::ReadProfile::shortRead(), 0x5eed);
+        for (size_t r = 0; r < 30; ++r) {
+            auto read = sim.sample(
+                pangenome.haplotypes[r % pangenome.haplotypes.size()]);
+            read.read.setName("sr_" + std::to_string(r));
+            reads.push_back(std::move(read.read));
+        }
+        pipeline::ContextBuildParams params;
+        params.buildGbwt = true;
+        context = pipeline::MappingContext::build(pangenome.graph,
+                                                  params);
+    }
+};
+
+const ServeFixture &
+serveFixture()
+{
+    static ServeFixture instance;
+    return instance;
+}
+
+std::string
+socketPathFor(const char *name)
+{
+    // sun_path caps at ~107 bytes and gtest temp dirs can be long;
+    // /tmp + pid keeps it short and per-process unique.
+    return std::string("/tmp/pgb_test_") + name + "_" +
+           std::to_string(::getpid()) + ".sock";
+}
+
+/** Raw test client: connect, send frames, decode responses. */
+struct TestClient
+{
+    int fd = -1;
+    serve::FrameDecoder decoder;
+
+    explicit TestClient(const std::string &path)
+    {
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        sockaddr_un address{};
+        address.sun_family = AF_UNIX;
+        std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+        EXPECT_EQ(::connect(fd,
+                            reinterpret_cast<const sockaddr *>(&address),
+                            sizeof(address)),
+                  0)
+            << std::strerror(errno);
+    }
+
+    ~TestClient()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    void
+    send(const std::string &bytes)
+    {
+        ASSERT_EQ(::write(fd, bytes.data(), bytes.size()),
+                  static_cast<ssize_t>(bytes.size()));
+    }
+
+    serve::Response
+    awaitResponse()
+    {
+        std::string payload;
+        char buffer[4096];
+        while (!decoder.next(payload)) {
+            const ssize_t got = ::read(fd, buffer, sizeof(buffer));
+            if (got <= 0) {
+                ADD_FAILURE() << "connection died awaiting response";
+                return {};
+            }
+            decoder.feed(buffer, static_cast<size_t>(got));
+        }
+        serve::Response response;
+        std::string error;
+        EXPECT_TRUE(serve::decodeResponse(payload, response, error))
+            << error;
+        return response;
+    }
+};
+
+std::string
+fastqText(const std::vector<seq::Sequence> &reads, size_t first,
+          size_t count)
+{
+    std::string out;
+    for (size_t i = first; i < first + count; ++i) {
+        const std::string bases = reads[i].toString();
+        out += '@' + reads[i].name() + '\n' + bases + "\n+\n" +
+               std::string(bases.size(), 'I') + '\n';
+    }
+    return out;
+}
+
+TEST(ServeServer, ServedEqualsDirectMapBatch)
+{
+    const ServeFixture &fx = serveFixture();
+
+    // Direct path: one mapBatch over all reads, formatted.
+    pipeline::MapperConfig config = pipeline::MapperConfig::forTool(
+        pipeline::ToolProfile::kVgMap);
+    config.k = fx.context->k();
+    config.w = fx.context->w();
+    config.threads = core::hardwareThreads();
+    std::vector<pipeline::ReadMapping> mappings;
+    pipeline::mapBatch(*fx.context, config, fx.reads, mappings);
+    const std::string direct =
+        serve::formatMappings(fx.reads, mappings);
+
+    // Served path: loadgen digest mode (one sequential pass), with a
+    // batch window small enough that requests actually coalesce.
+    const std::string socket_path = socketPathFor("digest");
+    ::unlink(socket_path.c_str());
+    serve::ServeConfig serve_config;
+    serve_config.socketPath = socket_path;
+    serve_config.maxBatchReads = 8;
+    serve_config.maxWaitUs = 500;
+    serve::Server server(fx.context, serve_config);
+    std::thread daemon([&server] { server.run(); });
+    ASSERT_TRUE(server.waitReady(10000));
+
+    const std::string dump_path =
+        testing::TempDir() + "pgb_served_dump.tsv";
+    serve::LoadgenConfig loadgen;
+    loadgen.socketPath = socket_path;
+    loadgen.connections = 2;
+    loadgen.readsPerRequest = 3;
+    loadgen.dumpPath = dump_path;
+    const serve::LoadgenReport report =
+        serve::runLoadgen(loadgen, fx.reads);
+    EXPECT_EQ(report.ok, (fx.reads.size() + 2) / 3);
+    EXPECT_EQ(report.overloaded, 0u);
+    EXPECT_EQ(report.errors, 0u);
+
+    server.stop();
+    daemon.join();
+
+    std::ifstream dumped(dump_path, std::ios::binary);
+    ASSERT_TRUE(dumped.good());
+    std::stringstream served;
+    served << dumped.rdbuf();
+
+    // The acceptance bar: identical bytes, hence identical digests,
+    // no matter how the daemon batched the requests.
+    EXPECT_EQ(served.str(), direct);
+    EXPECT_EQ(core::md5Hex(served.str()), core::md5Hex(direct));
+    const serve::Server::Totals totals = server.totals();
+    EXPECT_EQ(totals.reads, fx.reads.size());
+    EXPECT_EQ(totals.badFrames, 0u);
+}
+
+TEST(ServeServer, OverloadedRequestsGetShedResponse)
+{
+    const ServeFixture &fx = serveFixture();
+    const std::string socket_path = socketPathFor("shed");
+    ::unlink(socket_path.c_str());
+
+    // depth 1 + a long time window + a size window far above one
+    // request: the first request parks in the queue for the full
+    // window, so a second request deterministically finds it full.
+    serve::ServeConfig serve_config;
+    serve_config.socketPath = socket_path;
+    serve_config.maxBatchReads = 1000;
+    serve_config.maxWaitUs = 500 * 1000; // 500 ms
+    serve_config.queueDepth = 1;
+    serve::Server server(fx.context, serve_config);
+    std::thread daemon([&server] { server.run(); });
+    ASSERT_TRUE(server.waitReady(10000));
+    {
+        TestClient client(socket_path);
+        serve::Request first;
+        first.id = 1;
+        first.fastq = fastqText(fx.reads, 0, 1);
+        client.send(serve::encodeRequest(first));
+        // Give the daemon time to admit #1 before #2 arrives.
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        serve::Request second;
+        second.id = 2;
+        second.fastq = fastqText(fx.reads, 1, 1);
+        client.send(serve::encodeRequest(second));
+
+        // Responses: #2 is shed immediately, #1 maps after the window.
+        const serve::Response shed = client.awaitResponse();
+        EXPECT_EQ(shed.id, 2u);
+        EXPECT_EQ(shed.status, serve::Status::kOverloaded);
+        const serve::Response ok = client.awaitResponse();
+        EXPECT_EQ(ok.id, 1u);
+        EXPECT_EQ(ok.status, serve::Status::kOk);
+    }
+    server.stop();
+    daemon.join();
+    EXPECT_EQ(server.totals().shed, 1u);
+}
+
+TEST(ServeServer, MalformedFastqGetsErrorResponseOnly)
+{
+    const ServeFixture &fx = serveFixture();
+    const std::string socket_path = socketPathFor("badfq");
+    ::unlink(socket_path.c_str());
+    serve::ServeConfig serve_config;
+    serve_config.socketPath = socket_path;
+    serve_config.maxWaitUs = 500;
+    serve::Server server(fx.context, serve_config);
+    std::thread daemon([&server] { server.run(); });
+    ASSERT_TRUE(server.waitReady(10000));
+    {
+        TestClient client(socket_path);
+        serve::Request bad;
+        bad.id = 9;
+        bad.fastq = "this is not fastq\n";
+        client.send(serve::encodeRequest(bad));
+        const serve::Response error = client.awaitResponse();
+        EXPECT_EQ(error.id, 9u);
+        EXPECT_EQ(error.status, serve::Status::kError);
+        EXPECT_FALSE(error.body.empty());
+
+        // The connection survives a request-level error: a valid
+        // request on the same connection still maps.
+        serve::Request good;
+        good.id = 10;
+        good.fastq = fastqText(fx.reads, 0, 2);
+        client.send(serve::encodeRequest(good));
+        const serve::Response ok = client.awaitResponse();
+        EXPECT_EQ(ok.id, 10u);
+        EXPECT_EQ(ok.status, serve::Status::kOk);
+    }
+    server.stop();
+    daemon.join();
+}
+
+TEST(ServeServer, MalformedFrameDropsOnlyThatConnection)
+{
+    const ServeFixture &fx = serveFixture();
+    const std::string socket_path = socketPathFor("badframe");
+    ::unlink(socket_path.c_str());
+    serve::ServeConfig serve_config;
+    serve_config.socketPath = socket_path;
+    serve_config.maxWaitUs = 500;
+    serve::Server server(fx.context, serve_config);
+    std::thread daemon([&server] { server.run(); });
+    ASSERT_TRUE(server.waitReady(10000));
+    {
+        // Connection A sends garbage: an impossible frame length.
+        TestClient bad(socket_path);
+        bad.send(std::string("\xff\xff\xff\xffgarbage", 11));
+        char buffer[64];
+        // The daemon severs A: read eventually returns 0 (EOF).
+        ssize_t got;
+        do {
+            got = ::read(bad.fd, buffer, sizeof(buffer));
+        } while (got > 0 || (got < 0 && errno == EINTR));
+        EXPECT_EQ(got, 0) << std::strerror(errno);
+
+        // Connection B, after A's violation, works untouched.
+        TestClient good(socket_path);
+        serve::Request request;
+        request.id = 77;
+        request.fastq = fastqText(fx.reads, 0, 1);
+        good.send(serve::encodeRequest(request));
+        const serve::Response ok = good.awaitResponse();
+        EXPECT_EQ(ok.id, 77u);
+        EXPECT_EQ(ok.status, serve::Status::kOk);
+    }
+    server.stop();
+    daemon.join();
+    EXPECT_GE(server.totals().badFrames, 1u);
+}
+
+// ---- injected connection faults degrade per DESIGN.md §6 ---------------
+
+/** Reads until EOF/error; returns the final read() result. */
+ssize_t
+drainToEof(int fd)
+{
+    char buffer[256];
+    ssize_t got;
+    do {
+        got = ::read(fd, buffer, sizeof(buffer));
+    } while (got > 0 || (got < 0 && errno == EINTR));
+    return got;
+}
+
+TEST(ServeServer, InjectedReadFaultDropsOnlyThatConnection)
+{
+    const ServeFixture &fx = serveFixture();
+    const std::string socket_path = socketPathFor("readfault");
+    ::unlink(socket_path.c_str());
+    serve::ServeConfig serve_config;
+    serve_config.socketPath = socket_path;
+    serve_config.maxWaitUs = 500;
+    serve::Server server(fx.context, serve_config);
+    std::thread daemon([&server] { server.run(); });
+    ASSERT_TRUE(server.waitReady(10000));
+
+    core::fault::disarmAll();
+    core::fault::arm("serve.read", 1);
+    {
+        // The victim's first read() faults: its connection is severed
+        // (EOF on our side), and nothing else is harmed.
+        TestClient victim(socket_path);
+        serve::Request request;
+        request.id = 1;
+        request.fastq = fastqText(fx.reads, 0, 1);
+        victim.send(serve::encodeRequest(request));
+        EXPECT_EQ(drainToEof(victim.fd), 0) << std::strerror(errno);
+
+        TestClient survivor(socket_path);
+        serve::Request retry;
+        retry.id = 2;
+        retry.fastq = fastqText(fx.reads, 0, 1);
+        survivor.send(serve::encodeRequest(retry));
+        const serve::Response ok = survivor.awaitResponse();
+        EXPECT_EQ(ok.id, 2u);
+        EXPECT_EQ(ok.status, serve::Status::kOk);
+    }
+    core::fault::disarmAll();
+    server.stop();
+    daemon.join();
+}
+
+TEST(ServeServer, InjectedWriteFaultDropsOnlyThatConnection)
+{
+    const ServeFixture &fx = serveFixture();
+    const std::string socket_path = socketPathFor("writefault");
+    ::unlink(socket_path.c_str());
+    serve::ServeConfig serve_config;
+    serve_config.socketPath = socket_path;
+    serve_config.maxWaitUs = 500;
+    serve::Server server(fx.context, serve_config);
+    std::thread daemon([&server] { server.run(); });
+    ASSERT_TRUE(server.waitReady(10000));
+
+    core::fault::disarmAll();
+    core::fault::arm("serve.write", 1);
+    {
+        // The victim's response write faults: it sees EOF instead of
+        // a response. The one-shot fault is then spent, so a second
+        // connection round-trips normally.
+        TestClient victim(socket_path);
+        serve::Request request;
+        request.id = 1;
+        request.fastq = fastqText(fx.reads, 0, 1);
+        victim.send(serve::encodeRequest(request));
+        EXPECT_EQ(drainToEof(victim.fd), 0) << std::strerror(errno);
+
+        TestClient survivor(socket_path);
+        serve::Request retry;
+        retry.id = 2;
+        retry.fastq = fastqText(fx.reads, 0, 1);
+        survivor.send(serve::encodeRequest(retry));
+        const serve::Response ok = survivor.awaitResponse();
+        EXPECT_EQ(ok.id, 2u);
+        EXPECT_EQ(ok.status, serve::Status::kOk);
+    }
+    core::fault::disarmAll();
+    server.stop();
+    daemon.join();
+}
+
+TEST(ServeServer, InjectedAcceptFaultDropsOnlyThatPendingConnection)
+{
+    const ServeFixture &fx = serveFixture();
+    const std::string socket_path = socketPathFor("acceptfault");
+    ::unlink(socket_path.c_str());
+    serve::ServeConfig serve_config;
+    serve_config.socketPath = socket_path;
+    serve_config.maxWaitUs = 500;
+    serve::Server server(fx.context, serve_config);
+    std::thread daemon([&server] { server.run(); });
+    ASSERT_TRUE(server.waitReady(10000));
+
+    core::fault::disarmAll();
+    core::fault::arm("serve.accept", 1);
+    {
+        // connect() succeeds against the listen backlog, but the
+        // faulted accept closes the fd immediately: EOF, no service.
+        TestClient victim(socket_path);
+        EXPECT_EQ(drainToEof(victim.fd), 0) << std::strerror(errno);
+
+        TestClient survivor(socket_path);
+        serve::Request request;
+        request.id = 3;
+        request.fastq = fastqText(fx.reads, 0, 1);
+        survivor.send(serve::encodeRequest(request));
+        const serve::Response ok = survivor.awaitResponse();
+        EXPECT_EQ(ok.id, 3u);
+        EXPECT_EQ(ok.status, serve::Status::kOk);
+    }
+    core::fault::disarmAll();
+    server.stop();
+    daemon.join();
+}
+
+} // namespace

@@ -15,15 +15,19 @@
  *   layout      compute a PGSGD 2-D layout of a GFA, write TSV
  *   split       the Split-M-Graph transform (§6.2): cap node length
  *   deconstruct VCF-like variant records from the graph's bubbles
+ *   serve       mapping daemon over a .pgbi artifact (DESIGN.md §10)
+ *   loadgen     load generator + latency reporter for `pgb serve`
  *
  * Every subcommand parses its arguments through core::ArgParser, so
  * flags, option values, and positional counts validate identically
  * everywhere, and `pgb <cmd> --help` prints a generated usage block.
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +49,9 @@
 #include "pipeline/mapper.hpp"
 #include "seq/fasta.hpp"
 #include "seq/read_sim.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "store/store.hpp"
 #include "synth/pangenome_sim.hpp"
 
@@ -111,6 +118,10 @@ usage()
         "  pgb split <in.gfa> <out.gfa> [max-node-length]\n"
         "  pgb deconstruct <graph.gfa> [ref-path-name]\n"
         "      VCF-like variant records from the graph's bubbles\n"
+        "  pgb serve --index <art.pgbi> (--socket <path> | --stdio)\n"
+        "      batching mapping daemon; SIGTERM stops it cleanly\n"
+        "  pgb loadgen --socket <path> <reads.fq> [options]\n"
+        "      drive a daemon, report throughput and latency\n"
         "\n"
         "global options (any subcommand):\n"
         "  --metrics <out.json>  write runtime counters/gauges on exit\n"
@@ -297,6 +308,10 @@ cmdMap(int argc, char **argv)
     parser.option("--batch", "reads",
                   "stream reads in batches of this many (default "
                   "4096), bounding memory on large FASTQs");
+    parser.option("--dump", "out.tsv",
+                  "write per-read mappings as TSV (name, mapped, "
+                  "node, score, reverse) — comparable byte-for-byte "
+                  "with `pgb loadgen --dump` output");
     if (!parser.parse(argc, argv))
         return 0;
 
@@ -337,9 +352,21 @@ cmdMap(int argc, char **argv)
     seq::FastqStreamReader reader(reads_path, parse_options);
     std::vector<seq::Sequence> batch;
     pipeline::MappingStats total;
+    const std::string dump_path = parser.get("--dump");
+    std::unique_ptr<core::CheckedWriter> dump;
+    if (!dump_path.empty())
+        dump = std::make_unique<core::CheckedWriter>(dump_path);
+    std::vector<pipeline::ReadMapping> mappings;
     core::WallTimer timer;
     while (reader.nextBatch(batch, batch_size)) {
-        const auto part = pipeline::mapBatch(*context, config, batch);
+        pipeline::MappingStats part;
+        if (dump) {
+            part = pipeline::mapBatch(*context, config, batch,
+                                      mappings);
+            dump->stream() << serve::formatMappings(batch, mappings);
+        } else {
+            part = pipeline::mapBatch(*context, config, batch);
+        }
         total.reads += part.reads;
         total.mappedReads += part.mappedReads;
         total.anchors += part.anchors;
@@ -352,6 +379,8 @@ cmdMap(int argc, char **argv)
             total.timers.add(stage, secs);
     }
     reportSkipped("map", reader.stats());
+    if (dump)
+        dump->finish();
 
     std::printf("%s: mapped %llu/%llu reads in %.2fs (%u threads%s)\n",
                 pipeline::toolName(config.profile),
@@ -524,6 +553,182 @@ cmdDeconstruct(int argc, char **argv)
     return 0;
 }
 
+/** The daemon SIGTERM/SIGINT handlers may only touch atomics; they
+ *  route through Server::stop(), which honors that. */
+serve::Server *activeServer = nullptr;
+
+extern "C" void
+handleServeSignal(int)
+{
+    if (activeServer != nullptr)
+        activeServer->stop();
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    core::ArgParser parser(
+        "serve", "--index <art.pgbi> (--socket <path> | --stdio)",
+        "run the mapping daemon: load the artifact once, serve "
+        "framed mapping requests with batching and admission "
+        "control until SIGTERM (DESIGN.md §10)");
+    parser.option("--index", "art.pgbi",
+                  "prebuilt artifact to serve (required; pgb index)");
+    parser.option("--socket", "path",
+                  "Unix-domain socket path to listen on");
+    parser.flag("--stdio",
+                "serve one framed connection on stdin/stdout "
+                "instead of a socket");
+    parser.option("--profile", "name",
+                  "tool profile: vgmap (default), giraffe, "
+                  "graphaligner, minigraph");
+    parser.option("--max-batch", "reads",
+                  "batch size trigger in reads (default 256)");
+    parser.option("--max-wait-us", "us",
+                  "batch time trigger in microseconds (default 2000)");
+    parser.option("--queue-depth", "requests",
+                  "admission bound; beyond it requests are shed "
+                  "with OVERLOADED (default 256)");
+    parser.option("--threads", "n",
+                  "mapping threads per batch (default: all cores)");
+    if (!parser.parse(argc, argv))
+        return 0;
+    parser.requirePositionals(0, 0);
+    const std::string index_path = parser.get("--index");
+    if (index_path.empty())
+        core::fatal("serve: missing required --index <art.pgbi>");
+
+    serve::ServeConfig config;
+    config.socketPath = parser.get("--socket");
+    config.stdio = parser.has("--stdio");
+    if (config.stdio == !config.socketPath.empty())
+        core::fatal("serve: need exactly one of --socket <path> or "
+                    "--stdio");
+    config.profile =
+        parseProfile(parser.get("--profile", "vgmap"));
+    config.maxBatchReads =
+        parser.getUint("--max-batch", 256, 1, 1u << 20);
+    config.maxWaitUs =
+        parser.getUint("--max-wait-us", 2000, 0, 60u * 1000 * 1000);
+    config.queueDepth =
+        parser.getUint("--queue-depth", 256, 1, 1u << 20);
+    if (parser.has("--threads")) {
+        config.threads = static_cast<unsigned>(
+            parser.getUint("--threads", 1, 1, 65536));
+    }
+
+    if (!config.stdio) {
+        // Scripts wait for this line (or the socket file) to appear;
+        // it fires from inside run() only once the bind succeeded.
+        const std::string socket_path = config.socketPath;
+        config.onReady = [socket_path] {
+            std::fprintf(stderr, "serve: ready on %s\n",
+                         socket_path.c_str());
+        };
+    }
+
+    auto context = pipeline::MappingContext::load(index_path);
+    serve::Server server(std::move(context), config);
+
+    activeServer = &server;
+    std::signal(SIGTERM, handleServeSignal);
+    std::signal(SIGINT, handleServeSignal);
+    server.run();
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    activeServer = nullptr;
+
+    const serve::Server::Totals totals = server.totals();
+    std::fprintf(stderr,
+                 "serve: %llu connection(s), %llu request(s), "
+                 "%llu response(s), %llu shed, %llu batch(es), "
+                 "%llu read(s), %llu bad frame(s)\n",
+                 static_cast<unsigned long long>(totals.connections),
+                 static_cast<unsigned long long>(totals.requests),
+                 static_cast<unsigned long long>(totals.responses),
+                 static_cast<unsigned long long>(totals.shed),
+                 static_cast<unsigned long long>(totals.batches),
+                 static_cast<unsigned long long>(totals.reads),
+                 static_cast<unsigned long long>(totals.badFrames));
+    return 0;
+}
+
+int
+cmdLoadgen(int argc, char **argv)
+{
+    core::ArgParser parser(
+        "loadgen", "--socket <path> <reads.fq>",
+        "drive a running `pgb serve` daemon with mapping requests "
+        "and report throughput and client-side latency quantiles");
+    parser.option("--socket", "path",
+                  "daemon socket to connect to (required)");
+    parser.option("--connections", "n",
+                  "concurrent connections (default 1)");
+    parser.option("--requests", "n",
+                  "total requests; 0 (default) = one sequential pass "
+                  "over the reads");
+    parser.option("--reads-per-request", "n",
+                  "reads bundled per request (default 1)");
+    parser.option("--rate", "rps",
+                  "open-loop Poisson arrival rate in requests/second "
+                  "across all connections; 0 (default) = closed loop");
+    parser.option("--seed", "n",
+                  "schedule/sampling RNG seed (default 42)");
+    parser.option("--dump", "out.tsv",
+                  "write OK response bodies in request order — "
+                  "comparable byte-for-byte with `pgb map --dump`");
+    if (!parser.parse(argc, argv))
+        return 0;
+    parser.requirePositionals(1, 1);
+
+    serve::LoadgenConfig config;
+    config.socketPath = parser.get("--socket");
+    if (config.socketPath.empty())
+        core::fatal("loadgen: missing required --socket <path>");
+    config.connections =
+        parser.getUint("--connections", 1, 1, 4096);
+    config.requests =
+        parser.getUint("--requests", 0, 0, 1ull << 32);
+    config.readsPerRequest =
+        parser.getUint("--reads-per-request", 1, 1, 1u << 20);
+    config.seed = parser.getUint("--seed", 42, 0, UINT64_MAX);
+    config.dumpPath = parser.get("--dump");
+    const std::string rate_text = parser.get("--rate", "0");
+    char *rate_end = nullptr;
+    config.rate = std::strtod(rate_text.c_str(), &rate_end);
+    if (rate_end == rate_text.c_str() || *rate_end != '\0' ||
+        config.rate < 0.0) {
+        core::fatal("loadgen: --rate must be a non-negative number, "
+                    "got '", rate_text, "'");
+    }
+
+    core::ParseStats parse_stats;
+    const auto reads = seq::readFastqFile(
+        parser.positional(0), cliParseOptions(), &parse_stats);
+    reportSkipped("loadgen", parse_stats);
+
+    const serve::LoadgenReport report =
+        serve::runLoadgen(config, reads);
+    std::printf("loadgen: %llu sent, %llu ok, %llu overloaded, "
+                "%llu error(s) in %.2fs (%s)\n",
+                static_cast<unsigned long long>(report.sent),
+                static_cast<unsigned long long>(report.ok),
+                static_cast<unsigned long long>(report.overloaded),
+                static_cast<unsigned long long>(report.errors),
+                report.wallSeconds,
+                config.rate > 0.0 ? "open loop" : "closed loop");
+    std::printf("  throughput %10.1f ok/s\n", report.throughputRps);
+    std::printf("  p50  %12.3f ms\n",
+                static_cast<double>(report.p50Nanos) / 1e6);
+    std::printf("  p99  %12.3f ms\n",
+                static_cast<double>(report.p99Nanos) / 1e6);
+    std::printf("  p999 %12.3f ms\n",
+                static_cast<double>(report.p999Nanos) / 1e6);
+    std::printf("  max  %12.3f ms\n",
+                static_cast<double>(report.maxNanos) / 1e6);
+    return 0;
+}
+
 int
 dispatch(const std::string &command, int argc, char **argv)
 {
@@ -543,6 +748,10 @@ dispatch(const std::string &command, int argc, char **argv)
         return cmdSplit(argc, argv);
     if (command == "deconstruct")
         return cmdDeconstruct(argc, argv);
+    if (command == "serve")
+        return cmdServe(argc, argv);
+    if (command == "loadgen")
+        return cmdLoadgen(argc, argv);
     return usage();
 }
 
