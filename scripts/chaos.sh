@@ -1,0 +1,199 @@
+#!/usr/bin/env bash
+# Seeded chaos harness (DESIGN.md §6): run the full build -> index ->
+# serve -> loadgen pipeline under PGB_FAULT_CHAOS, where every fault
+# site fails each hit with a small seeded probability, and assert the
+# survivability contract for every seed in a fixed matrix:
+#
+#   - no signal death: the daemon and the loadgen may fail, but only
+#     through the documented paths — exit 0 or a clean non-zero exit,
+#     never an uncaught signal (exit >= 128);
+#   - no hang: the daemon answers SIGTERM within a bounded wait even
+#     when chaos wedged a batch (the watchdog kills a true stall);
+#   - no wrong answers: every OK response the daemon served is
+#     byte-identical to the direct `pgb map --dump` line for the same
+#     read — chaos may shed or fail requests, never corrupt them.
+#
+# The matrix is fixed so a failure reproduces from the seed alone:
+# the per-(site, hit) decision is a pure hash of (seed, site, hit).
+#
+# A final no-chaos case drives hot reload under open-loop load:
+# SIGHUP swaps the index mid-run and not one in-flight request may be
+# dropped or answered differently.
+#
+# usage: chaos.sh <path-to-pgb>
+set -eu
+
+PGB=${1:?usage: chaos.sh <pgb>}
+
+SEEDS="1 7 42 1337 90210"
+CHAOS_P=0.01
+STALL_BUDGET_MS=2000
+SHUTDOWN_WAIT_S=30
+
+WORK=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -9 "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+# The dataset and the reference answer are built WITHOUT chaos: the
+# oracle must be clean or the byte-identity check means nothing.
+"$PGB" simulate "$WORK/d" 20000 4 11 > /dev/null
+"$PGB" index "$WORK/d.gfa" -o "$WORK/d.pgbi" --threads 2 \
+    2> /dev/null
+"$PGB" map --index "$WORK/d.pgbi" "$WORK/d.short.fq" vgmap 2 \
+    --dump "$WORK/direct.tsv" > /dev/null 2>&1
+test -s "$WORK/direct.tsv" || fail "empty reference mapping dump"
+
+# Wait for the daemon's socket, tolerating a daemon that chaos killed
+# during startup (a clean exit 1 is within the contract).
+# Sets DAEMON_UP=1 when the socket appeared.
+await_socket() {
+    sock=$1
+    DAEMON_UP=0
+    for _ in $(seq 1 300); do
+        if [ -S "$sock" ]; then
+            DAEMON_UP=1
+            return 0
+        fi
+        kill -0 "$DAEMON_PID" 2>/dev/null || return 0
+        sleep 0.1
+    done
+    return 0
+}
+
+# Reap the daemon: SIGTERM, bounded wait, assert no signal death and
+# no hang. Must run in this shell (wait only sees its own children);
+# leaves the exit status in DAEMON_STATUS.
+reap_daemon() {
+    log=$1
+    if kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -TERM "$DAEMON_PID" 2>/dev/null || true
+    fi
+    waited=0
+    while kill -0 "$DAEMON_PID" 2>/dev/null; do
+        if [ "$waited" -ge $((SHUTDOWN_WAIT_S * 10)) ]; then
+            kill -9 "$DAEMON_PID" 2>/dev/null || true
+            cat "$log" >&2
+            fail "daemon hung past the watchdog budget on shutdown"
+        fi
+        sleep 0.1
+        waited=$((waited + 1))
+    done
+    DAEMON_STATUS=0
+    wait "$DAEMON_PID" 2>/dev/null || DAEMON_STATUS=$?
+    DAEMON_PID=""
+    if [ "$DAEMON_STATUS" -ge 128 ]; then
+        cat "$log" >&2
+        fail "daemon died of signal (exit $DAEMON_STATUS) — not a clean path"
+    fi
+}
+
+# Every OK line the daemon served must equal the reference line for
+# the same read name; chaos may drop requests, never corrupt them.
+check_subset() {
+    python3 - "$WORK/direct.tsv" "$1" <<'EOF'
+import sys
+
+direct = {}
+for line in open(sys.argv[1]):
+    direct.setdefault(line.split("\t", 1)[0], []).append(line)
+
+served_count = 0
+for line in open(sys.argv[2]):
+    served_count += 1
+    name = line.split("\t", 1)[0]
+    if line not in direct.get(name, []):
+        sys.exit(f"served line for read '{name}' does not match the "
+                 f"direct mapBatch reference:\n  {line.rstrip()}")
+print(f"  {served_count} served line(s), all byte-identical")
+EOF
+}
+
+for seed in $SEEDS; do
+    echo "== chaos seed $seed (p=$CHAOS_P)"
+    SOCK="$WORK/chaos_$seed.sock"
+    LOG="$WORK/chaos_$seed.log"
+    rm -f "$SOCK"
+    PGB_FAULT_CHAOS="$seed:$CHAOS_P" "$PGB" serve \
+        --index "$WORK/d.pgbi" --socket "$SOCK" \
+        --max-batch 16 --max-wait-us 500 \
+        --stall-budget-ms "$STALL_BUDGET_MS" 2> "$LOG" &
+    DAEMON_PID=$!
+    await_socket "$SOCK"
+
+    if [ "$DAEMON_UP" -eq 1 ]; then
+        # The loadgen itself runs clean (no chaos env): deadlines and
+        # OVERLOADED retries are its survivability story. It may exit
+        # 1 when chaos kills the daemon under it — that is clean too.
+        SERVED="$WORK/served_$seed.tsv"
+        lg_status=0
+        "$PGB" loadgen --socket "$SOCK" "$WORK/d.short.fq" \
+            --connections 2 --reads-per-request 5 \
+            --timeout-us 2000000 --retries 3 \
+            --dump "$SERVED" > "$WORK/loadgen_$seed.log" 2>&1 \
+            || lg_status=$?
+        if [ "$lg_status" -ge 128 ]; then
+            cat "$WORK/loadgen_$seed.log" >&2
+            fail "loadgen died of signal (exit $lg_status)"
+        fi
+        [ -s "$SERVED" ] && check_subset "$SERVED"
+    else
+        echo "  daemon exited during startup (allowed under chaos)"
+    fi
+
+    reap_daemon "$LOG"
+    echo "  daemon exit $DAEMON_STATUS"
+done
+
+# Hot reload under open-loop load, no chaos: SIGHUP swaps the index
+# repeatedly while requests are in flight; none may be dropped.
+echo "== hot reload under open-loop load"
+SOCK="$WORK/reload.sock"
+LOG="$WORK/reload.log"
+"$PGB" serve --index "$WORK/d.pgbi" --socket "$SOCK" \
+    --max-batch 16 --max-wait-us 500 \
+    --stall-budget-ms "$STALL_BUDGET_MS" 2> "$LOG" &
+DAEMON_PID=$!
+await_socket "$SOCK"
+[ "$DAEMON_UP" -eq 1 ] || fail "reload-case daemon never came up"
+
+"$PGB" loadgen --socket "$SOCK" "$WORK/d.short.fq" \
+    --requests 400 --rate 400 --connections 2 --reads-per-request 3 \
+    > "$WORK/reload_loadgen.log" 2>&1 &
+LOADGEN_PID=$!
+for _ in $(seq 1 8); do
+    sleep 0.1
+    kill -HUP "$DAEMON_PID" 2>/dev/null || true
+done
+lg_status=0
+wait "$LOADGEN_PID" || lg_status=$?
+[ "$lg_status" -eq 0 ] || {
+    cat "$WORK/reload_loadgen.log" >&2
+    fail "loadgen failed during hot reload (exit $lg_status)"
+}
+grep -q "serve: reloaded index" "$LOG" || {
+    cat "$LOG" >&2
+    fail "daemon logged no successful reload"
+}
+grep -qE " 0 error\(s\)" "$WORK/reload_loadgen.log" || {
+    cat "$WORK/reload_loadgen.log" >&2
+    fail "requests were dropped or failed during hot reload"
+}
+grep -qE "loadgen: 400 sent, 400 ok" "$WORK/reload_loadgen.log" || {
+    cat "$WORK/reload_loadgen.log" >&2
+    fail "not every in-flight request was answered OK"
+}
+reap_daemon "$LOG"
+[ "$DAEMON_STATUS" -eq 0 ] || fail "reload-case daemon exited $DAEMON_STATUS"
+
+echo "chaos harness passed ($(echo $SEEDS | wc -w) seeds + reload under load)"

@@ -161,6 +161,36 @@ expect_fail "index to unwritable path" \
 expect_fail "index without --output" \
     "$PGB" index "$WORK/d.gfa"
 
+# --- fault-site inventory ------------------------------------------
+# `pgb fault-sites` prints the registered injection points so an
+# operator can discover what PGB_FAULT / PGB_FAULT_CHAOS can target.
+expect_ok "fault-sites lists the registry" "$PGB" fault-sites
+"$PGB" fault-sites > "$WORK/sites.txt" 2>/dev/null
+for site in serve.read serve.reload serve.stall store.checksum \
+            io.flush; do
+    if ! grep -q "^$site " "$WORK/sites.txt"; then
+        echo "FAIL: fault-sites output is missing $site" >&2
+        failures=$((failures + 1))
+    fi
+done
+expect_fail "fault-sites with stray positional" \
+    "$PGB" fault-sites extra
+
+# A malformed chaos spec must warn and run clean, never arm a bogus
+# schedule: chaos is an opt-in test harness, not a footgun.
+expect_ok "malformed PGB_FAULT_CHAOS warns but runs" \
+    env PGB_FAULT_CHAOS=banana "$PGB" stats "$WORK/d.gfa"
+env PGB_FAULT_CHAOS=banana "$PGB" stats "$WORK/d.gfa" \
+    > /dev/null 2> "$WORK/chaos_warn.txt" || true
+if ! grep -q "PGB_FAULT_CHAOS" "$WORK/chaos_warn.txt"; then
+    echo "FAIL: malformed PGB_FAULT_CHAOS produced no warning" >&2
+    failures=$((failures + 1))
+else
+    echo "ok: malformed PGB_FAULT_CHAOS warns on stderr"
+fi
+expect_ok "well-formed PGB_FAULT_CHAOS at p=0 is a no-op" \
+    env PGB_FAULT_CHAOS=7:0 "$PGB" stats "$WORK/d.gfa"
+
 # --- serve/loadgen environment errors fail closed ------------------
 expect_fail "serve without --index" \
     "$PGB" serve --socket "$WORK/s.sock"
@@ -205,6 +235,12 @@ expect_fail "loadgen with garbage rate" \
 expect_fail "loadgen with missing reads file" \
     "$PGB" loadgen --socket "$WORK/nobody-home.sock" \
     "$WORK/no_such.fq"
+expect_fail "loadgen with garbage timeout" \
+    "$PGB" loadgen --socket "$WORK/nobody-home.sock" \
+    "$WORK/d.short.fq" --timeout-us soon
+expect_fail "loadgen with garbage retry count" \
+    "$PGB" loadgen --socket "$WORK/nobody-home.sock" \
+    "$WORK/d.short.fq" --retries always
 
 # --- garbage numeric arguments -------------------------------------
 expect_fail "map with garbage thread count" \

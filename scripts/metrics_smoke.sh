@@ -63,6 +63,13 @@ if not any(counters[k] > 0 for k in fault_hits):
     fail("every fault site reports zero hits; provider looks dead")
 if "threadpool.queue_depth" not in gauges:
     fail("threadpool.queue_depth gauge missing")
+# The serving survivability counters register at static init, so they
+# must ride into every snapshot (zero-valued here: nothing served).
+for name in ("serve.deadline_exceeded", "serve.retries_observed",
+             "serve.reloads_ok", "serve.reloads_failed",
+             "serve.watchdog_stalls"):
+    if name not in counters:
+        fail("%s counter missing from the report" % name)
 
 with open("trace.json") as f:
     trace = json.load(f)

@@ -63,6 +63,32 @@ test -s "$WORK/direct.tsv" || {
 "$PGB" loadgen --socket "$SOCK" "$WORK/d.short.fq" \
     --requests 100 --rate 200 --connections 2
 
+# Health + hot reload through `pgb ctl`: ping answers pong, status
+# returns a metrics snapshot, reload swaps the index in place and the
+# daemon keeps serving byte-identical responses afterwards.
+"$PGB" ctl --socket "$SOCK" ping | grep -q "^pong$" || {
+    echo "FAIL: ctl ping did not answer pong" >&2
+    exit 1
+}
+"$PGB" ctl --socket "$SOCK" status | grep -q "pgb.metrics.v1" || {
+    echo "FAIL: ctl status returned no metrics snapshot" >&2
+    exit 1
+}
+"$PGB" ctl --socket "$SOCK" reload | grep -q "reloaded" || {
+    echo "FAIL: ctl reload did not confirm the swap" >&2
+    exit 1
+}
+grep -q "serve: reloaded index" "$WORK/serve.log" || {
+    echo "FAIL: daemon logged no reload line" >&2
+    exit 1
+}
+"$PGB" loadgen --socket "$SOCK" "$WORK/d.short.fq" \
+    --connections 1 --reads-per-request 5 --dump "$WORK/reloaded.tsv"
+if ! cmp -s "$WORK/direct.tsv" "$WORK/reloaded.tsv"; then
+    echo "FAIL: responses differ after hot reload" >&2
+    exit 1
+fi
+
 # Clean shutdown: SIGTERM -> exit 0, socket unlinked, summary logged.
 kill -TERM "$DAEMON_PID"
 status=0
@@ -81,5 +107,51 @@ grep -q "^serve: " "$WORK/serve.log" || {
     echo "FAIL: daemon wrote no summary line" >&2
     exit 1
 }
+
+# Forced teardown: a second SIGTERM during a wedged drain must not be
+# ignored. serve.stall:1 + a disabled watchdog wedges the first batch
+# for seconds; the first SIGTERM starts a drain that cannot finish
+# behind it, and the second must force immediate teardown — exit 1,
+# socket unlinked, a one-line explanation on stderr.
+SOCK2="$WORK/pgb2.sock"
+PGB_FAULT=serve.stall:1 "$PGB" serve --index "$WORK/d.pgbi" \
+    --socket "$SOCK2" --max-wait-us 500 --stall-budget-ms 0 \
+    2> "$WORK/serve2.log" &
+DAEMON_PID=$!
+for _ in $(seq 1 300); do
+    [ -S "$SOCK2" ] && break
+    sleep 0.1
+done
+test -S "$SOCK2" || {
+    echo "FAIL: second daemon never created $SOCK2" >&2
+    exit 1
+}
+# Park one request in the wedged batch; this loadgen dies with the
+# daemon, so let it fail in the background.
+"$PGB" loadgen --socket "$SOCK2" "$WORK/d.short.fq" \
+    --reads-per-request 5 > /dev/null 2>&1 &
+LOADGEN_PID=$!
+sleep 1
+kill -TERM "$DAEMON_PID"
+sleep 0.5
+kill -TERM "$DAEMON_PID"
+status=0
+wait "$DAEMON_PID" || status=$?
+wait "$LOADGEN_PID" 2>/dev/null || true
+if [ "$status" -ne 1 ]; then
+    echo "FAIL: forced teardown exited $status, want 1" >&2
+    cat "$WORK/serve2.log" >&2
+    exit 1
+fi
+DAEMON_PID=""
+grep -q "second signal during drain" "$WORK/serve2.log" || {
+    echo "FAIL: no forced-teardown diagnostic on stderr" >&2
+    cat "$WORK/serve2.log" >&2
+    exit 1
+}
+if [ -e "$SOCK2" ]; then
+    echo "FAIL: forced teardown left the socket file behind" >&2
+    exit 1
+fi
 
 echo "serve smoke test passed"

@@ -20,9 +20,12 @@ namespace {
 
 constexpr size_t kInitialCapacity = 1 << 20;
 
-FaultSite faultArenaOpen("arena.open");
-FaultSite faultArenaTruncate("arena.ftruncate");
-FaultSite faultArenaMmap("arena.mmap");
+FaultSite faultArenaOpen(
+    "arena.open", "warn + in-memory fallback; results unchanged");
+FaultSite faultArenaTruncate(
+    "arena.ftruncate", "warn + in-memory fallback; results unchanged");
+FaultSite faultArenaMmap(
+    "arena.mmap", "warn + in-memory fallback; results unchanged");
 
 // An arena-degradation storm (every file-backed arena silently falling
 // back to RAM on a full scratch disk) is invisible without telemetry;

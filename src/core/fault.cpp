@@ -10,6 +10,44 @@
 
 namespace pgb::core {
 
+namespace fault::detail {
+
+std::atomic<bool> chaosOn{false};
+
+namespace {
+
+// Chaos schedule parameters. Written only under the registry lock and
+// strictly before chaosOn flips true; read relaxed on the fire() path.
+std::atomic<uint64_t> chaosSeed{0};
+std::atomic<uint64_t> chaosThreshold{0};
+
+/** splitmix64 finalizer: a cheap, well-mixed 64-bit hash. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+bool
+chaosFire(uint64_t nameHash, uint64_t hit)
+{
+    const uint64_t threshold =
+        chaosThreshold.load(std::memory_order_relaxed);
+    if (threshold == 0)
+        return false;
+    const uint64_t seed = chaosSeed.load(std::memory_order_relaxed);
+    const uint64_t draw =
+        mix64(seed ^ nameHash ^ (hit * 0x2545f4914f6cdd1dull));
+    return draw < threshold;
+}
+
+} // namespace fault::detail
+
 /**
  * Process-wide site registry. Sites self-register from their static
  * constructors; arms targeting not-yet-registered sites wait in
@@ -33,16 +71,27 @@ struct FaultRegistry
         const char *spec = std::getenv("PGB_FAULT");
         if (spec != nullptr)
             applySpec(spec);
+        const char *chaosSpec = std::getenv("PGB_FAULT_CHAOS");
+        if (chaosSpec != nullptr)
+            applyChaosSpec(chaosSpec);
         // Per-site hit counts ride into every metrics snapshot. Site
         // names are dynamic, so this is a provider, not obs::Counters.
+        // Sites sharing a name are one logical site (the chaos tests
+        // rely on this); their hits merge so snapshot names stay
+        // unique.
         obs::registerProvider(
             [this](std::vector<std::pair<std::string, int64_t>> &out) {
-                std::lock_guard<std::mutex> guard(lock);
-                for (const FaultSite *site : registered) {
-                    out.emplace_back(
-                        "fault." + std::string(site->name()) + ".hits",
-                        static_cast<int64_t>(site->hits()));
+                std::map<std::string, int64_t> merged;
+                {
+                    std::lock_guard<std::mutex> guard(lock);
+                    for (const FaultSite *site : registered) {
+                        merged["fault." + std::string(site->name()) +
+                               ".hits"] +=
+                            static_cast<int64_t>(site->hits());
+                    }
                 }
+                for (auto &[name, hits] : merged)
+                    out.emplace_back(name, hits);
             });
     }
 
@@ -74,6 +123,35 @@ struct FaultRegistry
             }
             armByName(name, nth);
         }
+    }
+
+    /** Parse "seed:p"; a bad spec warns and leaves chaos off. */
+    void
+    applyChaosSpec(const std::string &spec)
+    {
+        const size_t colon = spec.find(':');
+        bool ok = colon != std::string::npos && colon > 0 &&
+                  colon + 1 < spec.size();
+        uint64_t seed = 0;
+        double probability = 0.0;
+        if (ok) {
+            const std::string seedText = spec.substr(0, colon);
+            const std::string probText = spec.substr(colon + 1);
+            char *end = nullptr;
+            seed = std::strtoull(seedText.c_str(), &end, 10);
+            ok = end != nullptr && *end == '\0';
+            if (ok) {
+                probability = std::strtod(probText.c_str(), &end);
+                ok = end != nullptr && *end == '\0' &&
+                     probability >= 0.0 && probability <= 1.0;
+            }
+        }
+        if (!ok) {
+            warn("PGB_FAULT_CHAOS: bad spec '", spec,
+                 "' (want seed:p with p in [0,1]); chaos disabled");
+            return;
+        }
+        fault::chaos(seed, probability);
     }
 
     void
@@ -111,7 +189,9 @@ struct FaultRegistry
     }
 };
 
-FaultSite::FaultSite(const char *name) : name_(name)
+FaultSite::FaultSite(const char *name, const char *recovery)
+    : name_(name), recovery_(recovery),
+      nameHash_(fault::detail::nameHash(name))
 {
     FaultRegistry &registry = FaultRegistry::instance();
     std::lock_guard<std::mutex> guard(registry.lock);
@@ -176,6 +256,40 @@ configure(const std::string &spec)
     FaultRegistry::instance().applySpec(spec);
 }
 
+void
+chaos(uint64_t seed, double probability)
+{
+    // Touches only atomics — callable from the registry constructor
+    // (PGB_FAULT_CHAOS parsing) without re-entering instance().
+    probability = std::clamp(probability, 0.0, 1.0);
+    // p maps onto a uint64 threshold: draw < p * 2^64 fires. p == 1
+    // saturates (2^64 does not fit); p == 0 keeps the schedule active
+    // but never firing — chaosEnabled() reports the operator's intent,
+    // not whether any draw can succeed.
+    uint64_t threshold = 0;
+    if (probability >= 1.0)
+        threshold = UINT64_MAX;
+    else
+        threshold = static_cast<uint64_t>(
+            probability * 18446744073709551616.0);
+    detail::chaosSeed.store(seed, std::memory_order_relaxed);
+    detail::chaosThreshold.store(threshold, std::memory_order_relaxed);
+    detail::chaosOn.store(true, std::memory_order_release);
+}
+
+void
+chaosOff()
+{
+    detail::chaosOn.store(false, std::memory_order_relaxed);
+    detail::chaosThreshold.store(0, std::memory_order_relaxed);
+}
+
+bool
+chaosEnabled()
+{
+    return detail::chaosOn.load(std::memory_order_relaxed);
+}
+
 std::vector<std::string>
 sites()
 {
@@ -187,6 +301,22 @@ sites()
         names.emplace_back(site->name());
     std::sort(names.begin(), names.end());
     return names;
+}
+
+std::vector<SiteInfo>
+siteInfos()
+{
+    FaultRegistry &registry = FaultRegistry::instance();
+    std::lock_guard<std::mutex> guard(registry.lock);
+    std::vector<SiteInfo> infos;
+    infos.reserve(registry.registered.size());
+    for (const FaultSite *site : registry.registered)
+        infos.push_back({site->name(), site->recovery()});
+    std::sort(infos.begin(), infos.end(),
+              [](const SiteInfo &a, const SiteInfo &b) {
+                  return a.name < b.name;
+              });
+    return infos;
 }
 
 bool

@@ -8,7 +8,8 @@
  * command line. Sites are declared at namespace scope next to the
  * operation they guard and registered in a global registry:
  *
- *     namespace { core::FaultSite faultMmap("arena.mmap"); }
+ *     namespace { core::FaultSite faultMmap("arena.mmap",
+ *                                           "fatal; rerun the build"); }
  *     ...
  *     if (mapped == MAP_FAILED || faultMmap.fire()) { <failure path> }
  *
@@ -18,6 +19,18 @@
  * via the PGB_FAULT environment variable, parsed once at startup:
  *
  *     PGB_FAULT=site[:n][,site[:n]...]   fail site's nth hit (default 1)
+ *
+ * On top of the deterministic one-shot triggers there is a seeded
+ * random schedule — chaos mode — for randomized fault storms:
+ *
+ *     PGB_FAULT_CHAOS=seed:p    every registered site fails each hit
+ *                               independently with probability p
+ *
+ * The per-hit decision is a pure hash of (seed, site name, hit index),
+ * so a chaos run is reproducible from its seed alone: the kth hit of a
+ * given site fires identically across runs regardless of thread
+ * interleaving or which other sites exist. Chaos layers under the
+ * one-shot triggers; both can be active at once.
  *
  * FaultSite objects must have static storage duration: the registry
  * keeps raw pointers for the life of the process.
@@ -33,27 +46,58 @@
 
 namespace pgb::core {
 
+namespace fault::detail {
+
+/** Chaos-mode fast-path flag; set only via fault::chaos(). */
+extern std::atomic<bool> chaosOn;
+
+/** Seeded per-(site, hit) chaos decision; pure in its arguments. */
+bool chaosFire(uint64_t nameHash, uint64_t hit);
+
+/** FNV-1a 64 over the site name (stable hash for chaos decisions). */
+constexpr uint64_t
+nameHash(const char *name)
+{
+    uint64_t hash = 14695981039346656037ull;
+    for (const char *c = name; *c != '\0'; ++c) {
+        hash ^= static_cast<uint8_t>(*c);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+} // namespace fault::detail
+
 /** A named point where a failure can be injected deterministically. */
 class FaultSite
 {
   public:
-    /** Register the site under @p name (a string literal). */
-    explicit FaultSite(const char *name);
+    /**
+     * Register the site under @p name (a string literal). @p recovery
+     * is one line of operator documentation: what the failure path
+     * does and how the process recovers (shown by `pgb fault-sites`).
+     */
+    explicit FaultSite(const char *name, const char *recovery = "");
 
     /**
-     * Count a hit against the armed trigger.
-     * @return true when this hit is the one configured to fail.
+     * Count a hit against the armed trigger and the chaos schedule.
+     * @return true when this hit is configured (or drawn) to fail.
      */
     bool
     fire()
     {
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        const uint64_t hit =
+            hits_.fetch_add(1, std::memory_order_relaxed);
+        if (fault::detail::chaosOn.load(std::memory_order_relaxed) &&
+            fault::detail::chaosFire(nameHash_, hit))
+            return true;
         if (!armed_.load(std::memory_order_relaxed))
             return false;
         return fireSlow();
     }
 
     const char *name() const { return name_; }
+    const char *recovery() const { return recovery_; }
 
     /** Lifetime fire() calls, armed or not — each site doubles as a
      *  hit counter for the obs metrics report ("fault.<site>.hits"). */
@@ -75,6 +119,8 @@ class FaultSite
     bool fireSlow();
 
     const char *name_;
+    const char *recovery_;
+    uint64_t nameHash_;
     std::atomic<bool> armed_{false};
     std::atomic<uint64_t> remaining_{0};
     std::atomic<uint64_t> hits_{0};
@@ -91,14 +137,39 @@ void arm(const std::string &site, uint64_t nth = 1);
 /** Disarm @p site without firing; no-op when not armed. */
 void disarm(const std::string &site);
 
-/** Disarm every site and drop any pending (unregistered) arms. */
+/** Disarm every site and drop any pending (unregistered) arms.
+ *  Does not touch the chaos schedule (see chaosOff()). */
 void disarmAll();
 
 /** Apply a PGB_FAULT-syntax spec ("site:n[,site:n...]"). */
 void configure(const std::string &spec);
 
+/**
+ * Enable the seeded random fault schedule: every registered site fails
+ * each hit independently with probability @p probability (clamped to
+ * [0, 1]), decided by a pure hash of (seed, site, hit index) so a run
+ * is reproducible from @p seed alone.
+ */
+void chaos(uint64_t seed, double probability);
+
+/** Disable the chaos schedule. */
+void chaosOff();
+
+/** Whether a chaos schedule is active. */
+bool chaosEnabled();
+
 /** Names of all registered sites, sorted. */
 std::vector<std::string> sites();
+
+/** A registered site and its documented failure-path recovery. */
+struct SiteInfo
+{
+    std::string name;
+    std::string recovery;
+};
+
+/** All registered sites with recovery docs, sorted by name. */
+std::vector<SiteInfo> siteInfos();
 
 /** Whether @p site is registered and currently armed. */
 bool armed(const std::string &site);

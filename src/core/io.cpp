@@ -11,7 +11,8 @@ namespace pgb::core {
 
 namespace {
 
-FaultSite faultFlush("io.flush");
+FaultSite faultFlush(
+    "io.flush", "FatalError, non-zero CLI exit; no partial output kept");
 
 std::string
 errnoReason()

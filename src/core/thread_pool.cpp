@@ -19,8 +19,12 @@ namespace pgb::core {
 
 namespace {
 
-FaultSite faultForWorker("threadpool.for");
-FaultSite faultRunWorker("threadpool.run");
+FaultSite faultForWorker(
+    "threadpool.for",
+    "FatalError on the calling thread; pool survives for later regions");
+FaultSite faultRunWorker(
+    "threadpool.run",
+    "FatalError on the calling thread; pool survives for later regions");
 
 // Scheduler telemetry (obs/metrics.hpp). Tasks are coarse — one per
 // runner per parallel region — so a relaxed add per event is free

@@ -20,7 +20,8 @@ namespace pgb::pipeline {
 namespace {
 
 /** Injects a per-read failure inside the mapping worker loop. */
-core::FaultSite faultMapRead("mapper.read");
+core::FaultSite faultMapRead(
+    "mapper.read", "FatalError on the calling thread; run fails closed");
 
 obs::Counter obsReads("mapper.reads");
 obs::Counter obsReadsMapped("mapper.reads_mapped");

@@ -47,6 +47,10 @@ struct Pending
     /** monotonicNanos() at admission, for the latency histogram and
      *  the batcher's time window. */
     uint64_t enqueueNanos = 0;
+    /** Absolute monotonicNanos() deadline; 0 = no deadline. A request
+     *  past its deadline is answered DEADLINE_EXCEEDED (at admission
+     *  or by the batcher) and never reaches mapBatch(). */
+    uint64_t deadlineNanos = 0;
 };
 
 /** Bounded MPSC request queue with explicit shed. */

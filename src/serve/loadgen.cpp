@@ -9,21 +9,30 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <csignal>
 #include <cstring>
 #include <mutex>
+#include <optional>
+#include <queue>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
 
 #include "core/io.hpp"
 #include "core/logging.hpp"
 #include "core/rng.hpp"
 #include "core/timer.hpp"
+#include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
 
 namespace pgb::serve {
 
 namespace {
+
+/** Client-observed retries, exported so a `--metrics` loadgen run
+ *  carries its backoff behavior into the snapshot. */
+obs::Counter obsRetries("serve.retries_observed");
 
 /** One pre-built request: its encoded frame and, for the open loop,
  *  its scheduled arrival offset from the run start. */
@@ -104,12 +113,33 @@ sleepUntilNanos(uint64_t targetNanos)
     }
 }
 
+/**
+ * Exponential backoff with jitter for attempt N (1-based): base * 2^N
+ * capped at 50 ms, then jittered into its top half so synchronized
+ * retries from many connections decorrelate.
+ */
+uint64_t
+backoffNanos(uint64_t attempt, uint64_t baseUs,
+             core::Xoshiro256StarStar &rng)
+{
+    const uint64_t shift = attempt < 10 ? attempt - 1 : 9;
+    double capUs =
+        static_cast<double>(baseUs) *
+        static_cast<double>(static_cast<uint64_t>(1) << shift);
+    capUs = std::min(capUs, 50000.0);
+    const double delayUs = capUs * (0.5 + 0.5 * rng.uniform());
+    return static_cast<uint64_t>(delayUs * 1000.0);
+}
+
 /** Shared measurement state, written by connection workers. */
 struct RunState
 {
     uint64_t startNanos = 0;
     bool dump = false;
     std::vector<uint64_t> scheduledNanos; ///< absolute, by request id
+    /** OVERLOADED resends so far, by request id. Each id is owned by
+     *  exactly one connection's response path — no lock needed. */
+    std::vector<uint32_t> attempts;
 
     std::mutex lock;
     std::vector<uint64_t> latencies; ///< OK responses only
@@ -118,27 +148,31 @@ struct RunState
     uint64_t ok = 0;
     uint64_t overloaded = 0;
     uint64_t errors = 0;
+    uint64_t expired = 0;
+    uint64_t retries = 0;
     std::string failure; ///< first worker-fatal condition
 };
 
-/** Record a decoded response; @return false to stop the connection. */
-bool
-recordResponse(RunState &state, const std::string &payload)
+void
+setFailure(RunState &state, std::string message)
 {
-    Response response;
-    std::string error;
-    if (!decodeResponse(payload, response, error)) {
-        std::lock_guard<std::mutex> guard(state.lock);
-        if (state.failure.empty())
-            state.failure = "loadgen: malformed response: " + error;
-        return false;
-    }
+    std::lock_guard<std::mutex> guard(state.lock);
+    if (state.failure.empty())
+        state.failure = std::move(message);
+}
+
+/** Count a response that will not be retried. */
+void
+countTerminal(RunState &state, Response &response)
+{
     const uint64_t now = core::monotonicNanos();
     std::lock_guard<std::mutex> guard(state.lock);
     switch (response.status) {
     case Status::kOk:
         ++state.ok;
         if (response.id < state.scheduledNanos.size()) {
+            // Retries keep the original stamp: the latency of a
+            // request that needed resends is its full observed wait.
             state.latencies.push_back(
                 now - state.scheduledNanos[response.id]);
         }
@@ -151,139 +185,257 @@ recordResponse(RunState &state, const std::string &payload)
     case Status::kError:
         ++state.errors;
         break;
+    case Status::kDeadlineExceeded:
+        ++state.expired;
+        break;
     }
+}
+
+/**
+ * Whether @p response should be resent (OVERLOADED with budget left).
+ * Books the retry when so.
+ */
+bool
+wantRetry(RunState &state, const LoadgenConfig &config,
+          const Response &response)
+{
+    if (response.status != Status::kOverloaded)
+        return false;
+    if (response.id >= state.attempts.size() ||
+        state.attempts[response.id] >= config.maxRetries)
+        return false;
+    ++state.attempts[response.id];
+    {
+        std::lock_guard<std::mutex> guard(state.lock);
+        ++state.retries;
+    }
+    obsRetries.add();
     return true;
 }
 
-/** Drain @p fd until @p expected responses arrive or the stream dies. */
-void
-receiveLoop(int fd, size_t expected, RunState &state)
+/**
+ * Read until one complete response decodes. @return nullopt (with the
+ * run failure set) when the stream dies or frames are malformed.
+ */
+std::optional<Response>
+awaitOne(int fd, FrameDecoder &decoder, RunState &state)
 {
-    FrameDecoder decoder;
     std::string payload;
     char buffer[64 * 1024];
-    size_t received = 0;
-    while (received < expected) {
+    for (;;) {
+        if (decoder.next(payload)) {
+            Response response;
+            std::string error;
+            if (!decodeResponse(payload, response, error)) {
+                setFailure(state,
+                           "loadgen: malformed response: " + error);
+                return std::nullopt;
+            }
+            return response;
+        }
+        if (decoder.error()) {
+            setFailure(state, "loadgen: malformed response frame: " +
+                                  decoder.errorMessage());
+            return std::nullopt;
+        }
         const ssize_t got = ::read(fd, buffer, sizeof(buffer));
         if (got < 0 && errno == EINTR)
             continue;
         if (got <= 0) {
-            std::lock_guard<std::mutex> guard(state.lock);
-            if (state.failure.empty()) {
-                state.failure =
-                    got == 0
-                        ? "loadgen: daemon closed the connection mid-run"
-                        : std::string("loadgen: read failed: ") +
-                              std::strerror(errno);
-            }
-            return;
+            setFailure(
+                state,
+                got == 0
+                    ? "loadgen: daemon closed the connection mid-run"
+                    : std::string("loadgen: read failed: ") +
+                          std::strerror(errno));
+            return std::nullopt;
         }
         decoder.feed(buffer, static_cast<size_t>(got));
-        while (decoder.next(payload)) {
-            if (!recordResponse(state, payload))
-                return;
-            ++received;
-        }
-        if (decoder.error()) {
-            std::lock_guard<std::mutex> guard(state.lock);
-            if (state.failure.empty()) {
-                state.failure = "loadgen: malformed response frame: " +
-                                decoder.errorMessage();
-            }
-            return;
-        }
     }
 }
 
 /**
- * Closed loop: one request outstanding — send, await, repeat. Latency
- * runs from the actual send (scheduledNanos is stamped here).
+ * Closed loop: one request outstanding — send, await, repeat; an
+ * OVERLOADED response backs off and resends in place. Latency runs
+ * from the first actual send (scheduledNanos is stamped here).
  */
 void
 closedLoopWorker(int fd, const std::vector<RequestSpec> &specs,
-                 RunState &state)
+                 RunState &state, const LoadgenConfig &config,
+                 uint64_t rngSeed)
 {
+    core::Xoshiro256StarStar rng(rngSeed);
     FrameDecoder decoder;
-    std::string payload;
-    char buffer[64 * 1024];
     for (const RequestSpec &spec : specs) {
         state.scheduledNanos[spec.id] = core::monotonicNanos();
-        if (!writeAll(fd, spec.frame)) {
-            std::lock_guard<std::mutex> guard(state.lock);
-            if (state.failure.empty()) {
-                state.failure = std::string("loadgen: write failed: ") +
-                                std::strerror(errno);
+        for (;;) {
+            if (!writeAll(fd, spec.frame)) {
+                setFailure(state,
+                           std::string("loadgen: write failed: ") +
+                               std::strerror(errno));
+                return;
             }
-            return;
-        }
-        {
-            std::lock_guard<std::mutex> guard(state.lock);
-            ++state.sent;
-        }
-        bool answered = false;
-        while (!answered) {
-            const ssize_t got = ::read(fd, buffer, sizeof(buffer));
-            if (got < 0 && errno == EINTR)
+            {
+                std::lock_guard<std::mutex> guard(state.lock);
+                ++state.sent;
+            }
+            std::optional<Response> response =
+                awaitOne(fd, decoder, state);
+            if (!response)
+                return;
+            if (wantRetry(state, config, *response)) {
+                sleepUntilNanos(core::monotonicNanos() +
+                                backoffNanos(state.attempts[spec.id],
+                                             config.retryBaseUs, rng));
                 continue;
-            if (got <= 0) {
-                std::lock_guard<std::mutex> guard(state.lock);
-                if (state.failure.empty()) {
-                    state.failure =
-                        got == 0 ? "loadgen: daemon closed the "
-                                   "connection mid-run"
-                                 : std::string(
-                                       "loadgen: read failed: ") +
-                                       std::strerror(errno);
-                }
-                return;
             }
-            decoder.feed(buffer, static_cast<size_t>(got));
-            while (decoder.next(payload)) {
-                if (!recordResponse(state, payload))
-                    return;
-                answered = true;
-            }
-            if (decoder.error()) {
-                std::lock_guard<std::mutex> guard(state.lock);
-                if (state.failure.empty()) {
-                    state.failure =
-                        "loadgen: malformed response frame: " +
-                        decoder.errorMessage();
-                }
-                return;
-            }
+            countTerminal(state, *response);
+            break;
         }
     }
 }
+
+/** Pending resends for one open-loop connection, min-heap by due
+ *  time, merged into the sender's Poisson schedule. */
+struct RetryQueue
+{
+    std::mutex lock;
+    std::condition_variable cv;
+    using Entry = std::pair<uint64_t, uint64_t>; ///< {dueNanos, id}
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        heap;
+    bool done = false;
+};
 
 /**
  * Open loop: a sender thread fires each request at its scheduled
  * (Poisson) arrival time whether or not earlier responses are back;
- * this thread receives. Latency runs from the *scheduled* time, so
- * server-induced queueing is charged to the server (no coordinated
- * omission).
+ * this thread receives and schedules bounded OVERLOADED resends back
+ * through the sender. Latency runs from the *scheduled* time, so
+ * server-induced queueing — and retry backoff — is charged to the
+ * server (no coordinated omission).
  */
 void
 openLoopWorker(int fd, const std::vector<RequestSpec> &specs,
-               RunState &state)
+               RunState &state, const LoadgenConfig &config,
+               uint64_t rngSeed)
 {
-    std::thread sender([fd, &specs, &state] {
-        for (const RequestSpec &spec : specs) {
-            sleepUntilNanos(state.scheduledNanos[spec.id]);
-            if (!writeAll(fd, spec.frame)) {
-                std::lock_guard<std::mutex> guard(state.lock);
-                if (state.failure.empty()) {
-                    state.failure =
-                        std::string("loadgen: write failed: ") +
-                        std::strerror(errno);
-                }
+    std::unordered_map<uint64_t, const std::string *> frameOf;
+    frameOf.reserve(specs.size());
+    for (const RequestSpec &spec : specs)
+        frameOf.emplace(spec.id, &spec.frame);
+
+    RetryQueue retry;
+    std::thread sender([fd, &specs, &state, &retry, &frameOf] {
+        size_t next = 0;
+        std::unique_lock<std::mutex> guard(retry.lock);
+        for (;;) {
+            if (retry.done)
+                return;
+            // The next event is the earlier of the schedule head and
+            // the retry heap head.
+            uint64_t due = UINT64_MAX;
+            uint64_t id = 0;
+            bool fromHeap = false;
+            if (next < specs.size()) {
+                id = specs[next].id;
+                due = state.scheduledNanos[id];
+            }
+            if (!retry.heap.empty() && retry.heap.top().first < due) {
+                due = retry.heap.top().first;
+                id = retry.heap.top().second;
+                fromHeap = true;
+            }
+            if (due == UINT64_MAX) {
+                // Schedule exhausted; wait for a late retry or done.
+                retry.cv.wait(guard);
+                continue;
+            }
+            const uint64_t now = core::monotonicNanos();
+            if (now < due) {
+                // Sleep interruptibly: a retry due sooner (or done)
+                // re-evaluates the next event.
+                retry.cv.wait_for(guard,
+                                  std::chrono::nanoseconds(due - now));
+                continue;
+            }
+            const std::string &frame =
+                fromHeap ? *frameOf.at(id) : specs[next].frame;
+            if (fromHeap)
+                retry.heap.pop();
+            else
+                ++next;
+            guard.unlock();
+            if (!writeAll(fd, frame)) {
+                setFailure(state,
+                           std::string("loadgen: write failed: ") +
+                               std::strerror(errno));
+                guard.lock();
                 return;
             }
-            std::lock_guard<std::mutex> guard(state.lock);
-            ++state.sent;
+            {
+                std::lock_guard<std::mutex> count(state.lock);
+                ++state.sent;
+            }
+            guard.lock();
         }
     });
-    receiveLoop(fd, specs.size(), state);
+
+    core::Xoshiro256StarStar rng(rngSeed);
+    FrameDecoder decoder;
+    std::string payload;
+    char buffer[64 * 1024];
+    size_t terminal = 0;
+    bool dead = false;
+    while (terminal < specs.size() && !dead) {
+        const ssize_t got = ::read(fd, buffer, sizeof(buffer));
+        if (got < 0 && errno == EINTR)
+            continue;
+        if (got <= 0) {
+            setFailure(
+                state,
+                got == 0
+                    ? "loadgen: daemon closed the connection mid-run"
+                    : std::string("loadgen: read failed: ") +
+                          std::strerror(errno));
+            break;
+        }
+        decoder.feed(buffer, static_cast<size_t>(got));
+        while (decoder.next(payload)) {
+            Response response;
+            std::string error;
+            if (!decodeResponse(payload, response, error)) {
+                setFailure(state,
+                           "loadgen: malformed response: " + error);
+                dead = true;
+                break;
+            }
+            if (wantRetry(state, config, response)) {
+                const uint64_t due =
+                    core::monotonicNanos() +
+                    backoffNanos(state.attempts[response.id],
+                                 config.retryBaseUs, rng);
+                {
+                    std::lock_guard<std::mutex> guard(retry.lock);
+                    retry.heap.emplace(due, response.id);
+                }
+                retry.cv.notify_all();
+                continue;
+            }
+            countTerminal(state, response);
+            ++terminal;
+        }
+        if (decoder.error()) {
+            setFailure(state, "loadgen: malformed response frame: " +
+                                  decoder.errorMessage());
+            break;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> guard(retry.lock);
+        retry.done = true;
+    }
+    retry.cv.notify_all();
     sender.join();
 }
 
@@ -326,6 +478,10 @@ runLoadgen(const LoadgenConfig &config,
     for (size_t i = 0; i < total; ++i) {
         Request request;
         request.id = i;
+        if (config.timeoutUs > 0) {
+            request.hasDeadline = true;
+            request.deadlineUs = config.timeoutUs;
+        }
         // Load mode cycles the read set; digest mode is one exact
         // pass, so its final request may carry fewer reads.
         const size_t first = i * readsPerRequest;
@@ -368,6 +524,7 @@ runLoadgen(const LoadgenConfig &config,
     RunState state;
     state.dump = !config.dumpPath.empty();
     state.scheduledNanos.assign(total, 0);
+    state.attempts.assign(total, 0);
     if (state.dump)
         state.bodies.assign(total, std::string());
     state.latencies.reserve(total);
@@ -384,11 +541,15 @@ runLoadgen(const LoadgenConfig &config,
     for (size_t c = 0; c < connections; ++c) {
         const std::vector<RequestSpec> &mine = perConnection[c];
         const int fd = fds[c];
-        workers.emplace_back([fd, &mine, &state, &config] {
+        // Distinct backoff-jitter streams per connection, derived
+        // from the run seed so the whole run replays from one value.
+        const uint64_t rngSeed =
+            config.seed ^ (0x9e3779b97f4a7c15ull * (c + 1));
+        workers.emplace_back([fd, &mine, &state, &config, rngSeed] {
             if (config.rate > 0.0)
-                openLoopWorker(fd, mine, state);
+                openLoopWorker(fd, mine, state, config, rngSeed);
             else
-                closedLoopWorker(fd, mine, state);
+                closedLoopWorker(fd, mine, state, config, rngSeed);
         });
     }
     for (std::thread &worker : workers)
@@ -412,6 +573,8 @@ runLoadgen(const LoadgenConfig &config,
     report.ok = state.ok;
     report.overloaded = state.overloaded;
     report.errors = state.errors;
+    report.deadlineExceeded = state.expired;
+    report.retries = state.retries;
     report.wallSeconds =
         static_cast<double>(endNanos - state.startNanos) / 1e9;
     report.throughputRps =
@@ -425,6 +588,48 @@ runLoadgen(const LoadgenConfig &config,
     report.maxNanos =
         state.latencies.empty() ? 0 : state.latencies.back();
     return report;
+}
+
+Response
+runControl(const std::string &socketPath, MsgType type)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    const int fd = connectTo(socketPath);
+    if (!writeAll(fd, encodeControl(type, 0))) {
+        const int writeErrno = errno;
+        ::close(fd);
+        core::fatal("ctl: write failed: ", std::strerror(writeErrno));
+    }
+    FrameDecoder decoder;
+    std::string payload;
+    char buffer[64 * 1024];
+    for (;;) {
+        if (decoder.next(payload)) {
+            Response response;
+            std::string error;
+            if (!decodeResponse(payload, response, error)) {
+                ::close(fd);
+                core::fatal("ctl: malformed response: ", error);
+            }
+            ::close(fd);
+            return response;
+        }
+        if (decoder.error()) {
+            const std::string what = decoder.errorMessage();
+            ::close(fd);
+            core::fatal("ctl: malformed response frame: ", what);
+        }
+        const ssize_t got = ::read(fd, buffer, sizeof(buffer));
+        if (got < 0 && errno == EINTR)
+            continue;
+        if (got <= 0) {
+            ::close(fd);
+            core::fatal(got == 0 ? "ctl: daemon closed the connection "
+                                   "before answering"
+                                 : "ctl: read failed");
+        }
+        decoder.feed(buffer, static_cast<size_t>(got));
+    }
 }
 
 } // namespace pgb::serve

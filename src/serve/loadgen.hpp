@@ -28,6 +28,14 @@
  * the concatenated OK bodies, in request order, are byte-identical to
  * `pgb map --dump` output over the same reads iff the daemon's
  * batching changed nothing.
+ *
+ * Survivability knobs: `timeoutUs` stamps every request with a
+ * deadline budget (the daemon answers DEADLINE_EXCEEDED once it
+ * lapses), and `maxRetries` retries OVERLOADED responses with
+ * exponential backoff + jitter — capped, and *without* restarting the
+ * latency clock, so a retried request's tail latency still charges
+ * the full client-observed wait (no coordinated omission through the
+ * retry path either).
  */
 
 #ifndef PGB_SERVE_LOADGEN_HPP
@@ -38,6 +46,7 @@
 #include <vector>
 
 #include "seq/sequence.hpp"
+#include "serve/protocol.hpp"
 
 namespace pgb::serve {
 
@@ -61,6 +70,13 @@ struct LoadgenConfig
     /** When non-empty, write concatenated OK bodies (request order)
      *  here — the served-output digest artifact. */
     std::string dumpPath;
+    /** Per-request deadline budget, microseconds; 0 = no deadline. */
+    uint64_t timeoutUs = 0;
+    /** Retries per request on OVERLOADED (exponential backoff +
+     *  jitter); 0 = report the shed as-is. */
+    size_t maxRetries = 0;
+    /** Backoff base, microseconds (doubles per attempt, capped). */
+    uint64_t retryBaseUs = 1000;
 };
 
 /** What one loadgen run measured (client side). */
@@ -68,8 +84,10 @@ struct LoadgenReport
 {
     uint64_t sent = 0;
     uint64_t ok = 0;
-    uint64_t overloaded = 0;
+    uint64_t overloaded = 0; ///< terminally shed (retries exhausted)
     uint64_t errors = 0;
+    uint64_t deadlineExceeded = 0;
+    uint64_t retries = 0; ///< resends after an OVERLOADED response
     double wallSeconds = 0.0;
     /** OK responses per wall second. */
     double throughputRps = 0.0;
@@ -90,6 +108,13 @@ struct LoadgenReport
  */
 LoadgenReport runLoadgen(const LoadgenConfig &config,
                          const std::vector<seq::Sequence> &reads);
+
+/**
+ * Send one control frame (kPing / kStatus / kReload) to a live daemon
+ * and return its response — the client half of `pgb ctl`. fatal()s on
+ * connection or framing failures.
+ */
+Response runControl(const std::string &socketPath, MsgType type);
 
 } // namespace pgb::serve
 

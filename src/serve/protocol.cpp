@@ -7,10 +7,14 @@ namespace pgb::serve {
 
 namespace {
 
-/** Fixed payload bytes before the FASTQ text: id + type. */
-constexpr size_t kRequestHeaderBytes = 8 + 1;
+/** Fixed payload bytes before the FASTQ text:
+ *  id + type + hasDeadline + deadlineUs. */
+constexpr size_t kRequestHeaderBytes = 8 + 1 + 1 + 8;
 /** Fixed payload bytes before the body: id + type + status. */
 constexpr size_t kResponseHeaderBytes = 8 + 1 + 1;
+/** The smallest payload legal in either direction (the response
+ *  header) — the framing floor; the decoder is direction-agnostic. */
+constexpr size_t kMinPayloadBytes = kResponseHeaderBytes;
 
 void
 putU32(std::string &out, uint32_t value)
@@ -66,6 +70,8 @@ statusName(Status status)
         return "OVERLOADED";
     case Status::kError:
         return "ERROR";
+    case Status::kDeadlineExceeded:
+        return "DEADLINE_EXCEEDED";
     }
     return "UNKNOWN";
 }
@@ -76,9 +82,20 @@ encodeRequest(const Request &request)
     std::string payload;
     payload.reserve(kRequestHeaderBytes + request.fastq.size());
     putU64(payload, request.id);
-    payload.push_back(static_cast<char>(MsgType::kMapRequest));
+    payload.push_back(static_cast<char>(request.type));
+    payload.push_back(request.hasDeadline ? '\1' : '\0');
+    putU64(payload, request.hasDeadline ? request.deadlineUs : 0);
     payload += request.fastq;
     return frame(payload);
+}
+
+std::string
+encodeControl(MsgType type, uint64_t id)
+{
+    Request request;
+    request.id = id;
+    request.type = type;
+    return encodeRequest(request);
 }
 
 std::string
@@ -122,7 +139,7 @@ FrameDecoder::next(std::string &payload)
         error_ = what.str();
         return false;
     }
-    if (length < kRequestHeaderBytes) {
+    if (length < kMinPayloadBytes) {
         std::ostringstream what;
         what << "frame declares " << length
              << " bytes, below the fixed header";
@@ -144,11 +161,20 @@ decodeRequest(std::string_view payload, Request &out,
         error = "request payload shorter than its fixed header";
         return false;
     }
-    if (payload[8] != static_cast<char>(MsgType::kMapRequest)) {
-        error = "unexpected message type (want MapRequest)";
+    const auto type = static_cast<uint8_t>(payload[8]);
+    const bool known =
+        type == static_cast<uint8_t>(MsgType::kMapRequest) ||
+        type == static_cast<uint8_t>(MsgType::kPing) ||
+        type == static_cast<uint8_t>(MsgType::kStatus) ||
+        type == static_cast<uint8_t>(MsgType::kReload);
+    if (!known) {
+        error = "unexpected message type (want a request frame)";
         return false;
     }
     out.id = getU64(payload.data());
+    out.type = static_cast<MsgType>(type);
+    out.hasDeadline = payload[9] != '\0';
+    out.deadlineUs = getU64(payload.data() + 10);
     out.fastq.assign(payload.substr(kRequestHeaderBytes));
     return true;
 }
@@ -166,7 +192,7 @@ decodeResponse(std::string_view payload, Response &out,
         return false;
     }
     const auto status = static_cast<uint8_t>(payload[9]);
-    if (status > static_cast<uint8_t>(Status::kError)) {
+    if (status > static_cast<uint8_t>(Status::kDeadlineExceeded)) {
         error = "unknown response status";
         return false;
     }

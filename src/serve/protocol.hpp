@@ -9,9 +9,18 @@
  *
  * A request payload is
  *
- *     uint64-LE requestId | uint8 type=kMapRequest | FASTQ text
+ *     uint64-LE requestId | uint8 type | uint8 hasDeadline |
+ *     uint64-LE deadlineUs | body
  *
- * and a response payload is
+ * where type is kMapRequest (body = FASTQ text) or a bodyless control
+ * frame: kPing (liveness), kStatus (obs metrics snapshot), kReload
+ * (hot index reload). hasDeadline != 0 gives the request a relative
+ * budget of deadlineUs microseconds, measured from the moment the
+ * daemon decodes the frame; a request whose budget lapses before its
+ * batch is assembled is shed with DEADLINE_EXCEEDED instead of being
+ * mapped. hasDeadline == 0 means no deadline (deadlineUs ignored).
+ *
+ * A response payload is
  *
  *     uint64-LE requestId | uint8 type=kMapResponse | uint8 status |
  *     body text
@@ -20,16 +29,21 @@
  * order, in exactly the golden-digest schema
  * (`name\tmapped\tnode\tscore\treverse\n`) — so served output can be
  * compared byte-for-byte against a direct mapBatch() run. An
- * OVERLOADED response (admission control shed the request) and an
- * ERROR response (e.g. malformed FASTQ inside a well-formed frame)
- * carry a diagnostic message as the body.
+ * OVERLOADED response (admission control shed the request), an
+ * ERROR response (e.g. malformed FASTQ inside a well-formed frame),
+ * and a DEADLINE_EXCEEDED response (the deadline lapsed before
+ * mapping) carry a diagnostic message as the body. Control frames are
+ * answered with the same response framing: PING → OK "pong", STATUS →
+ * OK with the metrics JSON as the body, RELOAD → OK/ERROR once the
+ * reload completes.
  *
  * FrameDecoder is an incremental parser fed arbitrary byte chunks —
  * torn and partial reads are the normal case on a socket — and fails
  * closed: a frame that declares a length over kMaxFrameBytes or under
- * the fixed header size poisons the decoder (error()), because after
- * a framing violation the stream position can never be trusted again.
- * The server drops that one connection; the process keeps serving.
+ * the smallest legal payload poisons the decoder (error()), because
+ * after a framing violation the stream position can never be trusted
+ * again. The server drops that one connection; the process keeps
+ * serving.
  */
 
 #ifndef PGB_SERVE_PROTOCOL_HPP
@@ -54,24 +68,32 @@ enum class MsgType : uint8_t
 {
     kMapRequest = 1,
     kMapResponse = 2,
+    kPing = 3,   ///< liveness probe; answered OK "pong"
+    kStatus = 4, ///< answered OK with an obs metrics snapshot body
+    kReload = 5, ///< hot index reload; answered once the load settles
 };
 
 /** Response disposition. */
 enum class Status : uint8_t
 {
     kOk = 0,
-    kOverloaded = 1, ///< admission control shed the request
-    kError = 2,      ///< request-level failure (e.g. bad FASTQ)
+    kOverloaded = 1,       ///< admission control shed the request
+    kError = 2,            ///< request-level failure (e.g. bad FASTQ)
+    kDeadlineExceeded = 3, ///< the deadline lapsed before mapping
 };
 
-/** Printable status name ("OK", "OVERLOADED", "ERROR"). */
+/** Printable status name ("OK", "OVERLOADED", ...). */
 const char *statusName(Status status);
 
-/** A decoded mapping request. */
+/** A decoded request (mapping or control). */
 struct Request
 {
     uint64_t id = 0;
-    std::string fastq; ///< FASTQ text, one or more records
+    MsgType type = MsgType::kMapRequest;
+    bool hasDeadline = false;
+    uint64_t deadlineUs = 0; ///< relative budget; meaningful only when
+                             ///< hasDeadline is set (0 = already due)
+    std::string fastq;       ///< FASTQ text; empty for control frames
 };
 
 /** A decoded (or to-be-encoded) response. */
@@ -84,6 +106,9 @@ struct Response
 
 /** Encode a complete request frame (length prefix included). */
 std::string encodeRequest(const Request &request);
+
+/** Encode a bodyless control request frame (kPing/kStatus/kReload). */
+std::string encodeControl(MsgType type, uint64_t id);
 
 /** Encode a complete response frame (length prefix included). */
 std::string encodeResponse(const Response &response);

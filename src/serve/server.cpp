@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <utility>
@@ -18,6 +20,7 @@
 #include "core/timer.hpp"
 #include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/span.hpp"
 #include "seq/fasta.hpp"
 #include "serve/batcher.hpp"
@@ -30,9 +33,21 @@ namespace {
 // DESIGN.md §6 fault sites: each injects the corresponding syscall
 // failure, and each must cost exactly one connection (accept: the
 // pending one), never the daemon.
-core::FaultSite faultAccept("serve.accept");
-core::FaultSite faultRead("serve.read");
-core::FaultSite faultWrite("serve.write");
+core::FaultSite faultAccept(
+    "serve.accept",
+    "warn + drop that one pending connection; daemon keeps serving");
+core::FaultSite faultRead(
+    "serve.read",
+    "warn + drop that connection; others unaffected");
+core::FaultSite faultWrite(
+    "serve.write",
+    "warn + drop that connection; the daemon never dies for a peer");
+core::FaultSite faultReload(
+    "serve.reload",
+    "warn + keep serving the previous index; reloads_failed counter");
+core::FaultSite faultStall(
+    "serve.stall",
+    "batch stalls past the watchdog budget; diagnostic dump + exit 1");
 
 obs::Counter obsConnections("serve.connections");
 obs::Counter obsRequests("serve.requests");
@@ -40,6 +55,10 @@ obs::Counter obsResponses("serve.responses");
 obs::Counter obsBadFrames("serve.bad_frames");
 obs::Counter obsBadRequests("serve.bad_requests");
 obs::Counter obsErrors("serve.errors");
+obs::Counter obsDeadlineExceeded("serve.deadline_exceeded");
+obs::Counter obsReloadsOk("serve.reloads_ok");
+obs::Counter obsReloadsFailed("serve.reloads_failed");
+obs::Counter obsWatchdogStalls("serve.watchdog_stalls");
 /** Admission-to-response-written latency, the server-side view the
  *  loadgen's client-side quantiles are compared against. */
 obs::Histogram obsRequestNanos("serve.request_nanos");
@@ -99,7 +118,22 @@ Server::Server(std::shared_ptr<const pipeline::MappingContext> context,
     (void)probe;
 }
 
-Server::~Server() = default;
+Server::~Server() { joinReloader(); }
+
+void
+Server::joinReloader()
+{
+    std::lock_guard<std::mutex> guard(reloaderLock_);
+    if (reloader_.joinable())
+        reloader_.join();
+}
+
+Server::ServingIndex
+Server::currentIndex() const
+{
+    std::lock_guard<std::mutex> guard(indexLock_);
+    return {context_, mapperConfig_};
+}
 
 void
 Server::markReady()
@@ -133,6 +167,12 @@ Server::totals() const
     t.batches = batchCount_.load(std::memory_order_relaxed);
     t.reads = readCount_.load(std::memory_order_relaxed);
     t.badFrames = badFrameCount_.load(std::memory_order_relaxed);
+    t.deadlineExceeded =
+        deadlineExceededCount_.load(std::memory_order_relaxed);
+    t.reloadsOk = reloadOkCount_.load(std::memory_order_relaxed);
+    t.reloadsFailed = reloadFailedCount_.load(std::memory_order_relaxed);
+    t.watchdogStalls =
+        watchdogStallCount_.load(std::memory_order_relaxed);
     return t;
 }
 
@@ -143,10 +183,24 @@ Server::run()
     // write (one dropped connection, §6), not as SIGPIPE process
     // death.
     std::signal(SIGPIPE, SIG_IGN);
-    if (config_.stdio)
-        runStdio();
-    else
-        runSocket();
+    monitorStop_.store(false, std::memory_order_release);
+    std::thread monitor([this] { monitorLoop(); });
+    // The transport loops fatal() on environment errors and stdio
+    // framing violations; the monitor must be joined on every path.
+    try {
+        if (config_.stdio)
+            runStdio();
+        else
+            runSocket();
+    } catch (...) {
+        monitorStop_.store(true, std::memory_order_release);
+        monitor.join();
+        joinReloader();
+        throw;
+    }
+    monitorStop_.store(true, std::memory_order_release);
+    monitor.join();
+    joinReloader();
 }
 
 void
@@ -378,6 +432,23 @@ Server::handlePayload(const std::shared_ptr<Connection> &connection,
     requestCount_.fetch_add(1, std::memory_order_relaxed);
     obsRequests.add();
 
+    // Control frames bypass admission entirely: a health probe or an
+    // operator's reload must not be sheddable behind mapping load.
+    switch (request.type) {
+    case MsgType::kPing:
+        respond(connection, request.id, Status::kOk, "pong");
+        return;
+    case MsgType::kStatus:
+        respond(connection, request.id, Status::kOk,
+                obs::Report::collect().toJson());
+        return;
+    case MsgType::kReload:
+        startReload(connection, request.id);
+        return;
+    default:
+        break; // kMapRequest falls through to the mapping path
+    }
+
     // A well-formed frame carrying malformed FASTQ is a *request*
     // error: one ERROR response, connection unharmed.
     Pending pending;
@@ -392,6 +463,25 @@ Server::handlePayload(const std::shared_ptr<Connection> &connection,
     }
     pending.client = connection;
     pending.enqueueNanos = core::monotonicNanos();
+    if (request.hasDeadline) {
+        // The budget is relative to decode time; saturate rather than
+        // wrap on absurd values.
+        const uint64_t budgetNanos =
+            request.deadlineUs < UINT64_MAX / 1000
+                ? request.deadlineUs * 1000
+                : UINT64_MAX - pending.enqueueNanos;
+        pending.deadlineNanos = pending.enqueueNanos + budgetNanos;
+        // A zero (or already-lapsed) budget sheds at admission: the
+        // client asked for work it no longer wants.
+        if (pending.enqueueNanos >= pending.deadlineNanos) {
+            deadlineExceededCount_.fetch_add(1,
+                                             std::memory_order_relaxed);
+            obsDeadlineExceeded.add();
+            respond(connection, request.id, Status::kDeadlineExceeded,
+                    "deadline expired at admission");
+            return;
+        }
+    }
 
     switch (queue_.push(std::move(pending))) {
     case AdmissionQueue::Push::kAccepted:
@@ -416,6 +506,36 @@ Server::batcherLoop()
     std::vector<pipeline::ReadMapping> mappings;
 
     while (batcher.nextBatch(batch)) {
+        // Shed requests whose deadline lapsed in the queue *before*
+        // composing the batch: a request nobody is waiting for must
+        // never consume mapBatch() work.
+        const uint64_t shedNow = core::monotonicNanos();
+        size_t kept = 0;
+        for (size_t i = 0; i < batch.size(); ++i) {
+            Pending &item = batch[i];
+            if (item.deadlineNanos != 0 &&
+                shedNow >= item.deadlineNanos) {
+                deadlineExceededCount_.fetch_add(
+                    1, std::memory_order_relaxed);
+                obsDeadlineExceeded.add();
+                respond(std::static_pointer_cast<Connection>(item.client),
+                        item.id, Status::kDeadlineExceeded,
+                        "deadline expired while queued");
+                obsRequestNanos.record(shedNow - item.enqueueNanos);
+                continue;
+            }
+            if (kept != i)
+                batch[kept] = std::move(item);
+            ++kept;
+        }
+        batch.resize(kept);
+        if (batch.empty())
+            continue;
+
+        // The index is picked up at composition time: a hot reload
+        // swaps it between batches, never under a running one.
+        const ServingIndex serving = currentIndex();
+
         obs::Span span("serve.batch");
         batchCount_.fetch_add(1, std::memory_order_relaxed);
 
@@ -426,10 +546,24 @@ Server::batcherLoop()
         }
         readCount_.fetch_add(reads.size(), std::memory_order_relaxed);
 
+        batchStartNanos_.store(core::monotonicNanos(),
+                               std::memory_order_release);
+        if (faultStall.fire()) {
+            const uint64_t holdMs = config_.stallBudgetMs > 0
+                                        ? config_.stallBudgetMs * 2
+                                        : 5000;
+            core::warn("serve: injected stall (serve.stall): holding "
+                       "the batch ",
+                       holdMs, " ms");
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(holdMs));
+        }
+
         bool mapFailed = false;
         std::string mapError;
         try {
-            pipeline::mapBatch(*context_, mapperConfig_, reads, mappings);
+            pipeline::mapBatch(*serving.context, serving.config, reads,
+                               mappings);
         } catch (const std::exception &batchError) {
             // §6 request-level failure: every request in the batch
             // gets an ERROR response; the daemon keeps serving.
@@ -440,6 +574,7 @@ Server::batcherLoop()
                        " request(s) failed: ", mapError,
                        "; still serving");
         }
+        batchStartNanos_.store(0, std::memory_order_release);
 
         size_t offset = 0;
         for (const Pending &item : batch) {
@@ -475,6 +610,145 @@ Server::respond(const std::shared_ptr<Connection> &connection, uint64_t id,
         responseCount_.fetch_add(1, std::memory_order_relaxed);
         obsResponses.add();
     }
+}
+
+void
+Server::monitorLoop()
+{
+    const uint64_t budgetNanos = config_.stallBudgetMs * 1000000ull;
+    // A stall already acted upon must not re-trigger every tick while
+    // a test's onStall hook lets the batch finish.
+    uint64_t handledStart = 0;
+    while (!monitorStop_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+        if (reloadRequested_.exchange(false, std::memory_order_acq_rel))
+            startReload(nullptr, 0);
+
+        if (budgetNanos == 0)
+            continue;
+        const uint64_t start =
+            batchStartNanos_.load(std::memory_order_acquire);
+        if (start == 0 || start == handledStart)
+            continue;
+        const uint64_t now = core::monotonicNanos();
+        if (now - start <= budgetNanos)
+            continue;
+        handledStart = start;
+        watchdogStallCount_.fetch_add(1, std::memory_order_relaxed);
+        obsWatchdogStalls.add();
+        const std::string dump = stallDump(now - start);
+        if (config_.onStall) {
+            config_.onStall(dump);
+        } else {
+            // Crash-only: a wedged daemon dies loudly with a clean
+            // non-zero exit instead of hanging every client. _Exit,
+            // not exit — running static destructors under a wedged
+            // batch thread is how a diagnostic exit turns into a
+            // second hang.
+            std::fputs(dump.c_str(), stderr);
+            std::fputc('\n', stderr);
+            std::fflush(stderr);
+            std::_Exit(1);
+        }
+    }
+}
+
+std::string
+Server::stallDump(uint64_t stalledNanos) const
+{
+    const uint64_t front = queue_.frontEnqueueNanos();
+    const uint64_t now = core::monotonicNanos();
+    std::ostringstream out;
+    out << "serve: watchdog: batch stalled "
+        << stalledNanos / 1000000ull << " ms (budget "
+        << config_.stallBudgetMs << " ms); open connections "
+        << liveConnections() << "; queue depth " << queue_.depth()
+        << "; oldest admission age "
+        << (front == 0 ? 0 : (now - front) / 1000000ull) << " ms";
+    return out.str();
+}
+
+size_t
+Server::liveConnections() const
+{
+    std::lock_guard<std::mutex> guard(connectionsLock_);
+    size_t live = 0;
+    for (const std::weak_ptr<Connection> &weak : connections_) {
+        if (auto connection = weak.lock()) {
+            if (connection->alive.load(std::memory_order_acquire))
+                ++live;
+        }
+    }
+    return live;
+}
+
+void
+Server::startReload(std::shared_ptr<Connection> connection, uint64_t id)
+{
+    if (reloadInFlight_.exchange(true, std::memory_order_acq_rel)) {
+        // One reload at a time; a concurrent request is refused, not
+        // queued — the operator can simply retry.
+        respond(connection, id, Status::kError,
+                "reload already in progress");
+        return;
+    }
+    std::lock_guard<std::mutex> guard(reloaderLock_);
+    if (reloader_.joinable())
+        reloader_.join();
+    reloader_ = std::thread(
+        [this, connection = std::move(connection), id]() mutable {
+            runReload(std::move(connection), id);
+        });
+}
+
+void
+Server::runReload(std::shared_ptr<Connection> connection, uint64_t id)
+{
+    obs::Span span("serve.reload");
+    try {
+        if (config_.indexPath.empty()) {
+            core::fatal("no .pgbi artifact to reload (daemon was "
+                        "started without --index)");
+        }
+        if (faultReload.fire())
+            core::fatal("injected fault (serve.reload)");
+
+        // Load and fully validate off-thread: the artifact's own
+        // checksummed load, then geometry/profile validation via a
+        // probe mapper — exactly the constructor's startup checks.
+        auto fresh = pipeline::MappingContext::load(config_.indexPath);
+        pipeline::MapperConfig freshConfig =
+            pipeline::MapperConfig::forTool(config_.profile);
+        freshConfig.k = fresh->k();
+        freshConfig.w = fresh->w();
+        {
+            std::lock_guard<std::mutex> guard(indexLock_);
+            freshConfig.threads = mapperConfig_.threads;
+        }
+        pipeline::Seq2GraphMapper probe(*fresh, freshConfig);
+        (void)probe;
+
+        {
+            std::lock_guard<std::mutex> guard(indexLock_);
+            context_ = std::move(fresh);
+            mapperConfig_ = freshConfig;
+        }
+        reloadOkCount_.fetch_add(1, std::memory_order_relaxed);
+        obsReloadsOk.add();
+        core::inform("serve: reloaded index '", config_.indexPath,
+                     "' (k=", freshConfig.k, ", w=", freshConfig.w,
+                     "); in-flight batches finish on the old index");
+        respond(connection, id, Status::kOk,
+                "reloaded " + config_.indexPath);
+    } catch (const std::exception &loadError) {
+        reloadFailedCount_.fetch_add(1, std::memory_order_relaxed);
+        obsReloadsFailed.add();
+        core::warn("serve: reload failed: ", loadError.what(),
+                   "; still serving the previous index");
+        respond(connection, id, Status::kError, loadError.what());
+    }
+    reloadInFlight_.store(false, std::memory_order_release);
 }
 
 bool

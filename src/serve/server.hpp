@@ -1,7 +1,7 @@
 /**
  * @file
  * The `pgb serve` daemon: a long-lived, batching, backpressured
- * read-mapping server over one immutable MappingContext.
+ * read-mapping server over a hot-swappable MappingContext.
  *
  * This is the subsystem the build-once/map-many split (PR 5) was
  * built for: every prior way to run the mapper paid per-invocation
@@ -20,6 +20,28 @@
  * connection), or stdin/stdout with `stdio = true` — the same framed
  * protocol, one implicit connection, EOF-terminated.
  *
+ * Survivability layer (this file's reason to exist beyond PR 6):
+ *
+ *  - Deadlines: a request may carry a µs budget; once it lapses the
+ *    request is answered DEADLINE_EXCEEDED — at admission, or by the
+ *    batcher before composition — and never consumes mapBatch() work.
+ *  - Hot reload: requestReload() (wired to SIGHUP by the CLI) or an
+ *    admin RELOAD frame loads and fully validates config_.indexPath
+ *    off-thread, then swaps the context atomically *between* batches;
+ *    in-flight batches finish on the old context, and a failed load
+ *    warns and keeps serving the old index (graceful degradation,
+ *    DESIGN.md §6). serve.reload is the injectable failure.
+ *  - Health: PING answers OK "pong"; STATUS answers OK with a full
+ *    obs metrics snapshot (pgb.metrics.v1 JSON) as the body. Control
+ *    frames bypass the admission queue — a health check must not be
+ *    sheddable.
+ *  - Watchdog: a monitor thread checks, every poll tick, that no
+ *    batch has been inside mapBatch() longer than stallBudgetMs; on a
+ *    stall it emits a diagnostic dump (open connections, queue depth,
+ *    oldest admission age) and force-exits 1 — crash-only serving —
+ *    unless onStall overrides the action (tests). serve.stall injects
+ *    a stall.
+ *
  * Error-handling contract (DESIGN.md §6): connection-level failures —
  * an injected or real accept()/read()/write() failure (fault sites
  * `serve.accept`, `serve.read`, `serve.write`), a framing violation,
@@ -32,9 +54,11 @@
  *
  * Everything is observable through pgb::obs: serve.{connections,
  * requests,responses,admitted,shed,batches,batched_reads,bad_frames,
- * bad_requests,errors} counters, the serve.queue_depth gauge, and the
+ * bad_requests,errors,deadline_exceeded,reloads_ok,reloads_failed,
+ * watchdog_stalls} counters, the serve.queue_depth gauge, and the
  * serve.request_nanos latency histogram (admission to response
- * written), plus serve.batch / serve.request tracing spans.
+ * written), plus serve.batch / serve.request / serve.reload tracing
+ * spans.
  */
 
 #ifndef PGB_SERVE_SERVER_HPP
@@ -74,6 +98,25 @@ struct ServeConfig
     unsigned threads = 0;
     /** Mapping tool profile served. */
     pipeline::ToolProfile profile = pipeline::ToolProfile::kVgMap;
+    /**
+     * `.pgbi` artifact (re)loaded by a hot reload (SIGHUP / RELOAD
+     * frame). Empty = reload unsupported; a reload attempt then fails
+     * gracefully (ERROR response / warn) and keeps serving.
+     */
+    std::string indexPath;
+    /**
+     * Watchdog stall budget for one batch, in milliseconds; a batch
+     * inside mapBatch() longer than this triggers the stall action.
+     * 0 disables the watchdog.
+     */
+    uint64_t stallBudgetMs = 20000;
+    /**
+     * Stall action override. Default (unset): write the diagnostic
+     * dump to stderr and _Exit(1) — a wedged daemon must die loudly
+     * with a clean non-zero exit, not hang its clients. Tests install
+     * a hook to observe the dump without dying.
+     */
+    std::function<void(const std::string &dump)> onStall;
     /**
      * Invoked once the daemon is actually accepting work (socket
      * bound and listening, or stdio loop entered) — the right place
@@ -115,6 +158,19 @@ class Server
     void stop() { stop_.store(true, std::memory_order_release); }
 
     /**
+     * Request a hot index reload of config_.indexPath. Only touches
+     * an atomic, so it is safe to call from a SIGHUP handler; the
+     * monitor thread picks it up within one poll tick. The new index
+     * is loaded and validated off-thread and swapped in between
+     * batches; on failure the old index keeps serving.
+     */
+    void
+    requestReload()
+    {
+        reloadRequested_.store(true, std::memory_order_release);
+    }
+
+    /**
      * Block until run() is accepting work (listening, or stdio loop
      * entered). @return false if the timeout passed first.
      */
@@ -130,6 +186,10 @@ class Server
         uint64_t batches = 0;
         uint64_t reads = 0;
         uint64_t badFrames = 0;
+        uint64_t deadlineExceeded = 0;
+        uint64_t reloadsOk = 0;
+        uint64_t reloadsFailed = 0;
+        uint64_t watchdogStalls = 0;
     };
 
     Totals totals() const;
@@ -137,12 +197,27 @@ class Server
   private:
     struct Connection;
 
+    /** The context/config pair one batch maps against; swapped as a
+     *  unit by a hot reload, copied per batch by the batcher. */
+    struct ServingIndex
+    {
+        std::shared_ptr<const pipeline::MappingContext> context;
+        pipeline::MapperConfig config;
+    };
+
     void runStdio();
     void runSocket();
     void readerLoop(const std::shared_ptr<Connection> &connection);
     void handlePayload(const std::shared_ptr<Connection> &connection,
                        const std::string &payload);
     void batcherLoop();
+    void monitorLoop();
+    void startReload(std::shared_ptr<Connection> connection, uint64_t id);
+    void runReload(std::shared_ptr<Connection> connection, uint64_t id);
+    void joinReloader();
+    ServingIndex currentIndex() const;
+    std::string stallDump(uint64_t stalledNanos) const;
+    size_t liveConnections() const;
     void respond(const std::shared_ptr<Connection> &connection,
                  uint64_t id, Status status, std::string body);
     bool writeFrame(Connection &connection, const std::string &bytes);
@@ -153,6 +228,18 @@ class Server
     pipeline::MapperConfig mapperConfig_;
     AdmissionQueue queue_;
 
+    /** Guards context_/mapperConfig_ against the hot-reload swap. */
+    mutable std::mutex indexLock_;
+    std::atomic<bool> reloadRequested_{false};
+    std::atomic<bool> reloadInFlight_{false};
+    std::mutex reloaderLock_;
+    std::thread reloader_;
+
+    std::atomic<bool> monitorStop_{false};
+    /** monotonicNanos() when the running batch entered mapBatch();
+     *  0 = no batch in flight. The watchdog's stall signal. */
+    std::atomic<uint64_t> batchStartNanos_{0};
+
     std::atomic<bool> stop_{false};
     mutable std::mutex readyLock_;
     mutable std::condition_variable readyCv_;
@@ -161,7 +248,7 @@ class Server
     /** Set by a stdio framing violation; rethrown as fatal by run(). */
     std::string stdioError_;
 
-    std::mutex connectionsLock_;
+    mutable std::mutex connectionsLock_;
     std::vector<std::weak_ptr<Connection>> connections_;
     std::vector<std::thread> readers_;
     /** Reader slots finished and ready to join (reaped by accept). */
@@ -174,6 +261,10 @@ class Server
     std::atomic<uint64_t> batchCount_{0};
     std::atomic<uint64_t> readCount_{0};
     std::atomic<uint64_t> badFrameCount_{0};
+    std::atomic<uint64_t> deadlineExceededCount_{0};
+    std::atomic<uint64_t> reloadOkCount_{0};
+    std::atomic<uint64_t> reloadFailedCount_{0};
+    std::atomic<uint64_t> watchdogStallCount_{0};
 };
 
 } // namespace pgb::serve

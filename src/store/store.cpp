@@ -17,10 +17,14 @@ namespace {
 
 using core::fatal;
 
-core::FaultSite faultOpen("store.open");
-core::FaultSite faultMmap("store.mmap");
-core::FaultSite faultSection("store.section");
-core::FaultSite faultChecksum("store.checksum");
+core::FaultSite faultOpen(
+    "store.open", "FatalError, non-zero CLI exit; artifact untouched");
+core::FaultSite faultMmap(
+    "store.mmap", "FatalError, non-zero CLI exit; artifact untouched");
+core::FaultSite faultSection(
+    "store.section", "FatalError, non-zero CLI exit; fails closed");
+core::FaultSite faultChecksum(
+    "store.checksum", "FatalError, non-zero CLI exit; fails closed");
 
 obs::Counter obsWrites("store.artifacts_written");
 obs::Counter obsLoads("store.artifacts_loaded");

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -53,14 +54,27 @@ TEST_F(FaultTest, RegistryListsEveryProductionSite)
     // covering it here (and below) is a test failure by design.
     const auto sites = core::fault::sites();
     const std::vector<std::string> expected = {
-        "arena.ftruncate", "arena.mmap",     "arena.open",
-        "io.flush",        "mapper.read",    "serve.accept",
-        "serve.read",      "serve.write",    "store.checksum",
-        "store.mmap",      "store.open",     "store.section",
-        "test.obs.site",   "test.site",      "threadpool.for",
-        "threadpool.run",
+        "arena.ftruncate",  "arena.mmap",      "arena.open",
+        "io.flush",         "mapper.read",     "serve.accept",
+        "serve.read",       "serve.reload",    "serve.stall",
+        "serve.write",      "store.checksum",  "store.mmap",
+        "store.open",       "store.section",   "test.chaos.other",
+        "test.chaos.twin",  "test.chaos.twin", "test.obs.site",
+        "test.site",        "threadpool.for",  "threadpool.run",
     };
     EXPECT_EQ(sites, expected);
+}
+
+TEST_F(FaultTest, EveryProductionSiteDocumentsItsRecovery)
+{
+    // `pgb fault-sites` is operator documentation; an empty recovery
+    // column would make the catalog useless for the sites that matter.
+    for (const auto &info : core::fault::siteInfos()) {
+        if (info.name.rfind("test.", 0) == 0)
+            continue; // test-owned sites need no operator docs
+        EXPECT_FALSE(info.recovery.empty())
+            << info.name << " has no recovery documentation";
+    }
 }
 
 TEST_F(FaultTest, DisarmedSiteNeverFires)
@@ -377,6 +391,120 @@ TEST_F(FaultTest, WriteFastqFilePropagatesInjectedWriteFailure)
     core::fault::arm("io.flush", 1);
     EXPECT_THROW(seq::writeFastqFile(path, records), FatalError);
     std::remove(path.c_str());
+}
+
+// --------------------------------------------------------- chaos
+
+/** Two independently-counting sites with the same name: the chaos
+ *  decision must depend only on (seed, name, hit index), never on
+ *  object identity — that is what makes runs reproducible. */
+FaultSite chaosSiteA("test.chaos.twin");
+FaultSite chaosSiteB("test.chaos.twin");
+FaultSite chaosSiteOther("test.chaos.other");
+
+class ChaosSchedule : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        core::fault::disarmAll();
+        core::fault::chaosOff();
+    }
+    void
+    TearDown() override
+    {
+        core::fault::disarmAll();
+        core::fault::chaosOff();
+    }
+
+    /** Record which of the next @p n hits on @p site fire. */
+    static std::vector<bool>
+    pattern(FaultSite &site, size_t n)
+    {
+        std::vector<bool> fired(n);
+        for (size_t i = 0; i < n; ++i)
+            fired[i] = site.fire();
+        return fired;
+    }
+};
+
+TEST_F(ChaosSchedule, DisabledByDefault)
+{
+    EXPECT_FALSE(core::fault::chaosEnabled());
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(chaosSiteOther.fire());
+}
+
+TEST_F(ChaosSchedule, ProbabilityZeroNeverFires)
+{
+    core::fault::chaos(1234, 0.0);
+    EXPECT_TRUE(core::fault::chaosEnabled());
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_FALSE(chaosSiteOther.fire());
+}
+
+TEST_F(ChaosSchedule, ProbabilityOneAlwaysFires)
+{
+    core::fault::chaos(1234, 1.0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(chaosSiteOther.fire());
+}
+
+TEST_F(ChaosSchedule, SameSeedSameSiteNameSamePattern)
+{
+    // chaosSiteA and chaosSiteB share a name but count hits
+    // separately, so over the same hit-index range they must produce
+    // bit-identical fire patterns — the reproducibility contract.
+    core::fault::chaos(0xC0FFEE, 0.25);
+    const auto a = pattern(chaosSiteA, 512);
+    const auto b = pattern(chaosSiteB, 512);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+}
+
+TEST_F(ChaosSchedule, DifferentSeedsDecorrelate)
+{
+    core::fault::chaos(1, 0.25);
+    const auto a = pattern(chaosSiteA, 512);
+    core::fault::chaosOff();
+    core::fault::chaos(2, 0.25);
+    const auto b = pattern(chaosSiteB, 512);
+    EXPECT_NE(a, b);
+}
+
+TEST_F(ChaosSchedule, FireRateTracksProbabilityLoosely)
+{
+    core::fault::chaos(77, 0.1);
+    size_t fired = 0;
+    const size_t trials = 20000;
+    for (size_t i = 0; i < trials; ++i)
+        fired += chaosSiteOther.fire() ? 1 : 0;
+    // 0.1 ± a wide margin: this guards gross miscalibration (e.g.
+    // threshold math off by 2x), not the distribution's quality.
+    EXPECT_GT(fired, trials / 20);   // > 0.05
+    EXPECT_LT(fired, trials * 3 / 20); // < 0.15
+}
+
+TEST_F(ChaosSchedule, OneShotTriggersStillFireUnderChaos)
+{
+    // Chaos layers under the deterministic one-shot triggers: arming
+    // a site keeps its guarantee even with p = 0.
+    core::fault::chaos(99, 0.0);
+    core::fault::arm("test.chaos.other", 2);
+    EXPECT_FALSE(chaosSiteOther.fire());
+    EXPECT_TRUE(chaosSiteOther.fire());
+    EXPECT_FALSE(chaosSiteOther.fire());
+}
+
+TEST_F(ChaosSchedule, ChaosOffRestoresQuiet)
+{
+    core::fault::chaos(5, 1.0);
+    EXPECT_TRUE(chaosSiteOther.fire());
+    core::fault::chaosOff();
+    EXPECT_FALSE(core::fault::chaosEnabled());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(chaosSiteOther.fire());
 }
 
 } // namespace

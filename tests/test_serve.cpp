@@ -16,10 +16,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -27,6 +29,9 @@
 
 #include "core/fault.hpp"
 #include "core/md5.hpp"
+#include "index/gbwt.hpp"
+#include "index/minimizer.hpp"
+#include "store/store.hpp"
 #include "core/thread_pool.hpp"
 #include "core/timer.hpp"
 #include "pipeline/context.hpp"
@@ -156,6 +161,91 @@ TEST(ServeProtocol, DecodeRejectsWrongType)
     std::string error;
     EXPECT_FALSE(serve::decodeResponse(payload, response, error));
     EXPECT_FALSE(error.empty());
+}
+
+TEST(ServeProtocol, RequestDeadlineRoundTrips)
+{
+    serve::Request request;
+    request.id = 7;
+    request.fastq = "@r\nACGT\n+\nIIII\n";
+    request.hasDeadline = true;
+    request.deadlineUs = 2500;
+    const std::string frame = serve::encodeRequest(request);
+
+    serve::FrameDecoder decoder;
+    decoder.feed(frame.data(), frame.size());
+    std::string payload;
+    ASSERT_TRUE(decoder.next(payload));
+    serve::Request decoded;
+    std::string error;
+    ASSERT_TRUE(serve::decodeRequest(payload, decoded, error)) << error;
+    EXPECT_TRUE(decoded.hasDeadline);
+    EXPECT_EQ(decoded.deadlineUs, 2500u);
+    EXPECT_EQ(decoded.fastq, request.fastq);
+}
+
+TEST(ServeProtocol, AbsentDeadlineIsDistinctFromZeroBudget)
+{
+    // hasDeadline=false must survive the wire even though the budget
+    // field is still transmitted: "no deadline" and "a deadline of
+    // zero" are different requests (the latter sheds at admission).
+    serve::Request none;
+    none.fastq = "@r\nA\n+\nI\n";
+    serve::Request zero = none;
+    zero.hasDeadline = true;
+    zero.deadlineUs = 0;
+
+    for (const auto *request : {&none, &zero}) {
+        const std::string frame = serve::encodeRequest(*request);
+        serve::FrameDecoder decoder;
+        decoder.feed(frame.data(), frame.size());
+        std::string payload;
+        ASSERT_TRUE(decoder.next(payload));
+        serve::Request decoded;
+        std::string error;
+        ASSERT_TRUE(serve::decodeRequest(payload, decoded, error));
+        EXPECT_EQ(decoded.hasDeadline, request->hasDeadline);
+        EXPECT_EQ(decoded.deadlineUs, 0u);
+    }
+}
+
+TEST(ServeProtocol, ControlFrameRoundTrips)
+{
+    for (const auto type : {serve::MsgType::kPing,
+                            serve::MsgType::kStatus,
+                            serve::MsgType::kReload}) {
+        const std::string frame = serve::encodeControl(type, 31);
+        serve::FrameDecoder decoder;
+        decoder.feed(frame.data(), frame.size());
+        std::string payload;
+        ASSERT_TRUE(decoder.next(payload));
+        serve::Request decoded;
+        std::string error;
+        ASSERT_TRUE(serve::decodeRequest(payload, decoded, error))
+            << error;
+        EXPECT_EQ(decoded.type, type);
+        EXPECT_EQ(decoded.id, 31u);
+        EXPECT_TRUE(decoded.fastq.empty());
+    }
+}
+
+TEST(ServeProtocol, DeadlineExceededStatusRoundTrips)
+{
+    serve::Response response;
+    response.id = 9;
+    response.status = serve::Status::kDeadlineExceeded;
+    response.body = "deadline expired while queued";
+    const std::string frame = serve::encodeResponse(response);
+    serve::FrameDecoder decoder;
+    decoder.feed(frame.data(), frame.size());
+    std::string payload;
+    ASSERT_TRUE(decoder.next(payload));
+    serve::Response decoded;
+    std::string error;
+    ASSERT_TRUE(serve::decodeResponse(payload, decoded, error)) << error;
+    EXPECT_EQ(decoded.status, serve::Status::kDeadlineExceeded);
+    EXPECT_STREQ(serve::statusName(decoded.status),
+                 "DEADLINE_EXCEEDED");
 }
 
 // ---- admission control -------------------------------------------------
@@ -680,6 +770,449 @@ TEST(ServeServer, InjectedAcceptFaultDropsOnlyThatPendingConnection)
     core::fault::disarmAll();
     server.stop();
     daemon.join();
+}
+
+// ---- deadlines ---------------------------------------------------------
+
+TEST(ServeServer, ZeroDeadlineShedsAtAdmission)
+{
+    const ServeFixture &fx = serveFixture();
+    const std::string socket_path = socketPathFor("deadline0");
+    ::unlink(socket_path.c_str());
+    serve::ServeConfig serve_config;
+    serve_config.socketPath = socket_path;
+    serve_config.maxWaitUs = 500;
+    serve::Server server(fx.context, serve_config);
+    std::thread daemon([&server] { server.run(); });
+    ASSERT_TRUE(server.waitReady(10000));
+    {
+        TestClient client(socket_path);
+        serve::Request request;
+        request.id = 1;
+        request.fastq = fastqText(fx.reads, 0, 1);
+        request.hasDeadline = true;
+        request.deadlineUs = 0;
+        client.send(serve::encodeRequest(request));
+        const serve::Response shed = client.awaitResponse();
+        EXPECT_EQ(shed.id, 1u);
+        EXPECT_EQ(shed.status, serve::Status::kDeadlineExceeded);
+
+        // The same request without the lapsed deadline still maps —
+        // the shed was the deadline's doing, nothing else's.
+        serve::Request live = request;
+        live.id = 2;
+        live.hasDeadline = false;
+        client.send(serve::encodeRequest(live));
+        const serve::Response ok = client.awaitResponse();
+        EXPECT_EQ(ok.id, 2u);
+        EXPECT_EQ(ok.status, serve::Status::kOk);
+    }
+    server.stop();
+    daemon.join();
+    EXPECT_EQ(server.totals().deadlineExceeded, 1u);
+    EXPECT_EQ(server.totals().reads, 1u); // only the live request
+}
+
+TEST(ServeServer, DeadlineShorterThanBatchWindowExpiresInQueue)
+{
+    const ServeFixture &fx = serveFixture();
+    const std::string socket_path = socketPathFor("deadlineq");
+    ::unlink(socket_path.c_str());
+    // The batch window (300 ms) dwarfs the deadline (20 ms): the
+    // request is admitted alive but must be shed when the batcher
+    // composes, without ever reaching mapBatch().
+    serve::ServeConfig serve_config;
+    serve_config.socketPath = socket_path;
+    serve_config.maxBatchReads = 1000;
+    serve_config.maxWaitUs = 300 * 1000;
+    serve::Server server(fx.context, serve_config);
+    std::thread daemon([&server] { server.run(); });
+    ASSERT_TRUE(server.waitReady(10000));
+    {
+        TestClient client(socket_path);
+        serve::Request request;
+        request.id = 4;
+        request.fastq = fastqText(fx.reads, 0, 2);
+        request.hasDeadline = true;
+        request.deadlineUs = 20 * 1000;
+        client.send(serve::encodeRequest(request));
+        const serve::Response shed = client.awaitResponse();
+        EXPECT_EQ(shed.id, 4u);
+        EXPECT_EQ(shed.status, serve::Status::kDeadlineExceeded);
+        EXPECT_EQ(shed.body, "deadline expired while queued");
+    }
+    server.stop();
+    daemon.join();
+    // The proof the expired request never reached mapBatch(): the
+    // daemon mapped zero reads.
+    EXPECT_EQ(server.totals().reads, 0u);
+    EXPECT_EQ(server.totals().deadlineExceeded, 1u);
+}
+
+TEST(ServeServer, ExpiredMidQueueRequestsAreShedOutOfMixedBatches)
+{
+    const ServeFixture &fx = serveFixture();
+    const std::string socket_path = socketPathFor("deadlinemix");
+    ::unlink(socket_path.c_str());
+    serve::ServeConfig serve_config;
+    serve_config.socketPath = socket_path;
+    serve_config.maxBatchReads = 1000;
+    serve_config.maxWaitUs = 300 * 1000;
+    serve::Server server(fx.context, serve_config);
+    std::thread daemon([&server] { server.run(); });
+    ASSERT_TRUE(server.waitReady(10000));
+    {
+        TestClient client(socket_path);
+        // Two requests share the batch window; only one has a
+        // deadline shorter than it. The batch that reaches mapBatch()
+        // must contain exactly the survivor's reads.
+        serve::Request doomed;
+        doomed.id = 1;
+        doomed.fastq = fastqText(fx.reads, 0, 2);
+        doomed.hasDeadline = true;
+        doomed.deadlineUs = 20 * 1000;
+        client.send(serve::encodeRequest(doomed));
+        serve::Request survivor;
+        survivor.id = 2;
+        survivor.fastq = fastqText(fx.reads, 2, 3);
+        client.send(serve::encodeRequest(survivor));
+
+        const serve::Response shed = client.awaitResponse();
+        EXPECT_EQ(shed.id, 1u);
+        EXPECT_EQ(shed.status, serve::Status::kDeadlineExceeded);
+        const serve::Response ok = client.awaitResponse();
+        EXPECT_EQ(ok.id, 2u);
+        EXPECT_EQ(ok.status, serve::Status::kOk);
+    }
+    server.stop();
+    daemon.join();
+    EXPECT_EQ(server.totals().reads, 3u); // the survivor's, only
+    EXPECT_EQ(server.totals().deadlineExceeded, 1u);
+}
+
+// ---- health + control frames -------------------------------------------
+
+TEST(ServeServer, PingAnswersPongWithoutQueueing)
+{
+    const ServeFixture &fx = serveFixture();
+    const std::string socket_path = socketPathFor("ping");
+    ::unlink(socket_path.c_str());
+    // A huge batch window: if PING went through the admission queue
+    // it would sit there for the window; answered inline it is
+    // immediate — the test's 300 s ctest timeout is the backstop.
+    serve::ServeConfig serve_config;
+    serve_config.socketPath = socket_path;
+    serve_config.maxWaitUs = 60u * 1000 * 1000;
+    serve::Server server(fx.context, serve_config);
+    std::thread daemon([&server] { server.run(); });
+    ASSERT_TRUE(server.waitReady(10000));
+    {
+        TestClient client(socket_path);
+        client.send(serve::encodeControl(serve::MsgType::kPing, 11));
+        const serve::Response pong = client.awaitResponse();
+        EXPECT_EQ(pong.id, 11u);
+        EXPECT_EQ(pong.status, serve::Status::kOk);
+        EXPECT_EQ(pong.body, "pong");
+    }
+    server.stop();
+    daemon.join();
+}
+
+TEST(ServeServer, StatusAnswersMetricsSnapshot)
+{
+    const ServeFixture &fx = serveFixture();
+    const std::string socket_path = socketPathFor("status");
+    ::unlink(socket_path.c_str());
+    serve::ServeConfig serve_config;
+    serve_config.socketPath = socket_path;
+    serve_config.maxWaitUs = 500;
+    serve::Server server(fx.context, serve_config);
+    std::thread daemon([&server] { server.run(); });
+    ASSERT_TRUE(server.waitReady(10000));
+    {
+        // runControl is the `pgb ctl` client path; exercising it here
+        // covers frame encode, the inline dispatch, and decode.
+        const serve::Response status =
+            serve::runControl(socket_path, serve::MsgType::kStatus);
+        EXPECT_EQ(status.status, serve::Status::kOk);
+        EXPECT_NE(status.body.find("pgb.metrics.v1"),
+                  std::string::npos);
+        EXPECT_NE(status.body.find("serve.requests"),
+                  std::string::npos);
+    }
+    server.stop();
+    daemon.join();
+}
+
+// ---- hot index reload --------------------------------------------------
+
+/** A `.pgbi` artifact over the shared fixture's graph, plus a context
+ *  loaded from it — what a reloadable daemon serves. */
+struct ArtifactFixture
+{
+    std::string path;
+    std::shared_ptr<const pipeline::MappingContext> context;
+
+    ArtifactFixture()
+    {
+        const ServeFixture &fx = serveFixture();
+        path = testing::TempDir() + "pgb_serve_reload.pgbi";
+        const index::MinimizerIndex minimizers(fx.pangenome.graph, 15,
+                                               10, 1);
+        const index::GbwtIndex gbwt(fx.pangenome.graph, true, 1);
+        store::writeArtifact(path, fx.pangenome.graph, minimizers,
+                             &gbwt);
+        context = pipeline::MappingContext::load(path);
+    }
+};
+
+const ArtifactFixture &
+artifactFixture()
+{
+    static ArtifactFixture instance;
+    return instance;
+}
+
+TEST(ServeServer, ReloadFrameSwapsIndexAndKeepsServing)
+{
+    const ServeFixture &fx = serveFixture();
+    const ArtifactFixture &art = artifactFixture();
+    const std::string socket_path = socketPathFor("reload");
+    ::unlink(socket_path.c_str());
+    serve::ServeConfig serve_config;
+    serve_config.socketPath = socket_path;
+    serve_config.maxWaitUs = 500;
+    serve_config.indexPath = art.path;
+    serve::Server server(art.context, serve_config);
+    std::thread daemon([&server] { server.run(); });
+    ASSERT_TRUE(server.waitReady(10000));
+    {
+        TestClient client(socket_path);
+        serve::Request before;
+        before.id = 1;
+        before.fastq = fastqText(fx.reads, 0, 2);
+        client.send(serve::encodeRequest(before));
+        const serve::Response first = client.awaitResponse();
+        EXPECT_EQ(first.status, serve::Status::kOk);
+
+        client.send(serve::encodeControl(serve::MsgType::kReload, 2));
+        const serve::Response reloaded = client.awaitResponse();
+        EXPECT_EQ(reloaded.id, 2u);
+        EXPECT_EQ(reloaded.status, serve::Status::kOk);
+        EXPECT_NE(reloaded.body.find("reloaded"), std::string::npos);
+
+        // Mapping on the swapped index matches the pre-reload answer:
+        // same artifact, so byte-identical output.
+        serve::Request after;
+        after.id = 3;
+        after.fastq = before.fastq;
+        client.send(serve::encodeRequest(after));
+        const serve::Response second = client.awaitResponse();
+        EXPECT_EQ(second.status, serve::Status::kOk);
+        EXPECT_EQ(second.body, first.body);
+    }
+    server.stop();
+    daemon.join();
+    EXPECT_EQ(server.totals().reloadsOk, 1u);
+    EXPECT_EQ(server.totals().reloadsFailed, 0u);
+}
+
+TEST(ServeServer, FailedReloadKeepsServingOldIndex)
+{
+    const ServeFixture &fx = serveFixture();
+    const ArtifactFixture &art = artifactFixture();
+    const std::string socket_path = socketPathFor("reloadfail");
+    ::unlink(socket_path.c_str());
+    serve::ServeConfig serve_config;
+    serve_config.socketPath = socket_path;
+    serve_config.maxWaitUs = 500;
+    serve_config.indexPath = art.path;
+    serve::Server server(art.context, serve_config);
+    std::thread daemon([&server] { server.run(); });
+    ASSERT_TRUE(server.waitReady(10000));
+
+    core::fault::disarmAll();
+    core::fault::arm("serve.reload", 1);
+    {
+        TestClient client(socket_path);
+        client.send(serve::encodeControl(serve::MsgType::kReload, 1));
+        const serve::Response failed = client.awaitResponse();
+        EXPECT_EQ(failed.id, 1u);
+        EXPECT_EQ(failed.status, serve::Status::kError);
+        EXPECT_FALSE(failed.body.empty());
+
+        // Graceful degradation: the old index keeps serving.
+        serve::Request request;
+        request.id = 2;
+        request.fastq = fastqText(fx.reads, 0, 1);
+        client.send(serve::encodeRequest(request));
+        const serve::Response ok = client.awaitResponse();
+        EXPECT_EQ(ok.id, 2u);
+        EXPECT_EQ(ok.status, serve::Status::kOk);
+    }
+    core::fault::disarmAll();
+    server.stop();
+    daemon.join();
+    EXPECT_EQ(server.totals().reloadsFailed, 1u);
+    EXPECT_EQ(server.totals().reloadsOk, 0u);
+}
+
+TEST(ServeServer, ReloadWithoutArtifactFailsGracefully)
+{
+    const ServeFixture &fx = serveFixture();
+    const std::string socket_path = socketPathFor("reloadnone");
+    ::unlink(socket_path.c_str());
+    // In-memory context, no indexPath: reload is unsupported and must
+    // say so without disturbing service.
+    serve::ServeConfig serve_config;
+    serve_config.socketPath = socket_path;
+    serve_config.maxWaitUs = 500;
+    serve::Server server(fx.context, serve_config);
+    std::thread daemon([&server] { server.run(); });
+    ASSERT_TRUE(server.waitReady(10000));
+    {
+        const serve::Response refused =
+            serve::runControl(socket_path, serve::MsgType::kReload);
+        EXPECT_EQ(refused.status, serve::Status::kError);
+        EXPECT_NE(refused.body.find("without --index"),
+                  std::string::npos);
+
+        TestClient client(socket_path);
+        serve::Request request;
+        request.id = 1;
+        request.fastq = fastqText(fx.reads, 0, 1);
+        client.send(serve::encodeRequest(request));
+        EXPECT_EQ(client.awaitResponse().status, serve::Status::kOk);
+    }
+    server.stop();
+    daemon.join();
+    EXPECT_EQ(server.totals().reloadsFailed, 1u);
+}
+
+TEST(ServeServer, ReloadUnderLoadKeepsDigestIdentity)
+{
+    // The acceptance bar for hot reload: swapping the index mid-run
+    // (same artifact) must not change a single served byte, at every
+    // pool width (this suite runs under serve_threads_1/8), and no
+    // in-flight request may be dropped.
+    const ServeFixture &fx = serveFixture();
+    const ArtifactFixture &art = artifactFixture();
+
+    pipeline::MapperConfig config = pipeline::MapperConfig::forTool(
+        pipeline::ToolProfile::kVgMap);
+    config.k = art.context->k();
+    config.w = art.context->w();
+    config.threads = core::hardwareThreads();
+    std::vector<pipeline::ReadMapping> mappings;
+    pipeline::mapBatch(*art.context, config, fx.reads, mappings);
+    const std::string direct =
+        serve::formatMappings(fx.reads, mappings);
+
+    const std::string socket_path = socketPathFor("reloadload");
+    ::unlink(socket_path.c_str());
+    serve::ServeConfig serve_config;
+    serve_config.socketPath = socket_path;
+    serve_config.maxBatchReads = 8;
+    serve_config.maxWaitUs = 500;
+    serve_config.indexPath = art.path;
+    serve::Server server(art.context, serve_config);
+    std::thread daemon([&server] { server.run(); });
+    ASSERT_TRUE(server.waitReady(10000));
+
+    std::atomic<bool> done{false};
+    std::thread reloader([&] {
+        while (!done.load()) {
+            const serve::Response response = serve::runControl(
+                socket_path, serve::MsgType::kReload);
+            // OK, or ERROR("reload already in progress") when we
+            // outpace the loader — both are contract-clean.
+            if (response.status != serve::Status::kOk) {
+                EXPECT_NE(response.body.find("in progress"),
+                          std::string::npos)
+                    << response.body;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+    });
+
+    const std::string dump_path =
+        testing::TempDir() + "pgb_reload_dump.tsv";
+    serve::LoadgenConfig loadgen;
+    loadgen.socketPath = socket_path;
+    loadgen.connections = 2;
+    loadgen.readsPerRequest = 3;
+    loadgen.dumpPath = dump_path;
+    const serve::LoadgenReport report =
+        serve::runLoadgen(loadgen, fx.reads);
+    done.store(true);
+    reloader.join();
+    server.stop();
+    daemon.join();
+
+    // No dropped in-flight requests, and byte-identical output.
+    EXPECT_EQ(report.ok, (fx.reads.size() + 2) / 3);
+    EXPECT_EQ(report.errors, 0u);
+    EXPECT_EQ(report.overloaded, 0u);
+    std::ifstream dumped(dump_path, std::ios::binary);
+    ASSERT_TRUE(dumped.good());
+    std::stringstream served;
+    served << dumped.rdbuf();
+    EXPECT_EQ(served.str(), direct);
+    EXPECT_GE(server.totals().reloadsOk, 1u);
+}
+
+// ---- watchdog ----------------------------------------------------------
+
+TEST(ServeServer, WatchdogReportsStalledBatchWithDiagnostics)
+{
+    const ServeFixture &fx = serveFixture();
+    const std::string socket_path = socketPathFor("watchdog");
+    ::unlink(socket_path.c_str());
+    serve::ServeConfig serve_config;
+    serve_config.socketPath = socket_path;
+    serve_config.maxWaitUs = 500;
+    serve_config.stallBudgetMs = 50;
+    std::promise<std::string> dumped;
+    std::atomic<bool> fired{false};
+    serve_config.onStall = [&](const std::string &dump) {
+        if (!fired.exchange(true))
+            dumped.set_value(dump);
+    };
+    serve::Server server(fx.context, serve_config);
+    std::thread daemon([&server] { server.run(); });
+    ASSERT_TRUE(server.waitReady(10000));
+
+    core::fault::disarmAll();
+    core::fault::arm("serve.stall", 1);
+    {
+        TestClient client(socket_path);
+        serve::Request request;
+        request.id = 1;
+        request.fastq = fastqText(fx.reads, 0, 1);
+        client.send(serve::encodeRequest(request));
+
+        auto future = dumped.get_future();
+        ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+                  std::future_status::ready)
+            << "watchdog never fired";
+        const std::string dump = future.get();
+        EXPECT_NE(dump.find("watchdog"), std::string::npos) << dump;
+        EXPECT_NE(dump.find("open connections"), std::string::npos);
+        EXPECT_NE(dump.find("queue depth"), std::string::npos);
+        EXPECT_NE(dump.find("oldest admission age"),
+                  std::string::npos);
+
+        // With the test hook installed the daemon survives the stall
+        // and still answers once the injected hold ends.
+        const serve::Response ok = client.awaitResponse();
+        EXPECT_EQ(ok.id, 1u);
+        EXPECT_EQ(ok.status, serve::Status::kOk);
+    }
+    core::fault::disarmAll();
+    server.stop();
+    daemon.join();
+    EXPECT_GE(server.totals().watchdogStalls, 1u);
 }
 
 } // namespace

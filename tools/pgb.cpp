@@ -23,6 +23,10 @@
  * everywhere, and `pgb <cmd> --help` prints a generated usage block.
  */
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +37,7 @@
 
 #include "analysis/deconstruct.hpp"
 #include "core/arg_parser.hpp"
+#include "core/fault.hpp"
 #include "core/io.hpp"
 #include "core/logging.hpp"
 #include "core/parse.hpp"
@@ -119,9 +124,16 @@ usage()
         "  pgb deconstruct <graph.gfa> [ref-path-name]\n"
         "      VCF-like variant records from the graph's bubbles\n"
         "  pgb serve --index <art.pgbi> (--socket <path> | --stdio)\n"
-        "      batching mapping daemon; SIGTERM stops it cleanly\n"
+        "      batching mapping daemon; SIGTERM drains and stops,\n"
+        "      a second SIGTERM forces teardown, SIGHUP hot-reloads\n"
+        "      the index\n"
         "  pgb loadgen --socket <path> <reads.fq> [options]\n"
         "      drive a daemon, report throughput and latency\n"
+        "      (--timeout-us deadlines, --retries backoff)\n"
+        "  pgb ctl --socket <path> (ping|status|reload)\n"
+        "      health-check or hot-reload a running daemon\n"
+        "  pgb fault-sites\n"
+        "      list fault-injection sites and their recovery docs\n"
         "\n"
         "global options (any subcommand):\n"
         "  --metrics <out.json>  write runtime counters/gauges on exit\n"
@@ -132,6 +144,10 @@ usage()
         "  PGB_LENIENT_PARSE=1   skip malformed input records with a\n"
         "                        warning instead of failing\n"
         "  PGB_FAULT=site[:n]    deterministic fault injection (tests)\n"
+        "  PGB_FAULT_CHAOS=seed:p\n"
+        "                        seeded random fault schedule: every\n"
+        "                        site fails each hit with probability\n"
+        "                        p, reproducible from the seed\n"
         "  PGB_METRICS=1         print a one-line metrics summary to\n"
         "                        stderr on success\n"
         "  PGB_THREADS=n         cap the worker pool size\n");
@@ -553,15 +569,44 @@ cmdDeconstruct(int argc, char **argv)
     return 0;
 }
 
-/** The daemon SIGTERM/SIGINT handlers may only touch atomics; they
- *  route through Server::stop(), which honors that. */
+/** The daemon signal handlers may only touch atomics and make
+ *  async-signal-safe calls; Server::stop()/requestReload() honor
+ *  that. */
 serve::Server *activeServer = nullptr;
+std::atomic<int> serveSignalCount{0};
+/** Socket path copied before signals are installed, so the forced
+ *  teardown can unlink() it from the handler (no std::string ops). */
+char serveSocketPath[108] = {0};
 
 extern "C" void
 handleServeSignal(int)
 {
+    if (serveSignalCount.fetch_add(1) == 0) {
+        // First signal: graceful drain — stop intake, answer what was
+        // admitted, exit 0.
+        if (activeServer != nullptr)
+            activeServer->stop();
+        return;
+    }
+    // Second signal during the drain: the operator means NOW. Force
+    // immediate teardown with only async-signal-safe calls: unlink
+    // the socket so restarts do not hit EADDRINUSE, say why on
+    // stderr, exit 1.
+    if (serveSocketPath[0] != '\0')
+        unlink(serveSocketPath);
+    const char message[] =
+        "serve: second signal during drain; forced teardown\n";
+    const ssize_t ignored =
+        write(STDERR_FILENO, message, sizeof(message) - 1);
+    (void)ignored;
+    _exit(1);
+}
+
+extern "C" void
+handleServeHup(int)
+{
     if (activeServer != nullptr)
-        activeServer->stop();
+        activeServer->requestReload();
 }
 
 int
@@ -591,6 +636,10 @@ cmdServe(int argc, char **argv)
                   "with OVERLOADED (default 256)");
     parser.option("--threads", "n",
                   "mapping threads per batch (default: all cores)");
+    parser.option("--stall-budget-ms", "ms",
+                  "watchdog: a batch stuck in mapBatch longer than "
+                  "this dumps diagnostics and exits 1 (default "
+                  "20000; 0 disables)");
     if (!parser.parse(argc, argv))
         return 0;
     parser.requirePositionals(0, 0);
@@ -616,6 +665,9 @@ cmdServe(int argc, char **argv)
         config.threads = static_cast<unsigned>(
             parser.getUint("--threads", 1, 1, 65536));
     }
+    config.indexPath = index_path;
+    config.stallBudgetMs = parser.getUint("--stall-budget-ms", 20000,
+                                          0, 3600u * 1000);
 
     if (!config.stdio) {
         // Scripts wait for this line (or the socket file) to appear;
@@ -631,25 +683,41 @@ cmdServe(int argc, char **argv)
     serve::Server server(std::move(context), config);
 
     activeServer = &server;
+    serveSignalCount.store(0);
+    serveSocketPath[0] = '\0';
+    if (!config.stdio) {
+        std::strncpy(serveSocketPath, config.socketPath.c_str(),
+                     sizeof(serveSocketPath) - 1);
+        serveSocketPath[sizeof(serveSocketPath) - 1] = '\0';
+    }
     std::signal(SIGTERM, handleServeSignal);
     std::signal(SIGINT, handleServeSignal);
+    std::signal(SIGHUP, handleServeHup);
     server.run();
     std::signal(SIGTERM, SIG_DFL);
     std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGHUP, SIG_DFL);
     activeServer = nullptr;
 
     const serve::Server::Totals totals = server.totals();
     std::fprintf(stderr,
                  "serve: %llu connection(s), %llu request(s), "
                  "%llu response(s), %llu shed, %llu batch(es), "
-                 "%llu read(s), %llu bad frame(s)\n",
+                 "%llu read(s), %llu bad frame(s), "
+                 "%llu deadline-exceeded, %llu reload(s) ok, "
+                 "%llu reload(s) failed\n",
                  static_cast<unsigned long long>(totals.connections),
                  static_cast<unsigned long long>(totals.requests),
                  static_cast<unsigned long long>(totals.responses),
                  static_cast<unsigned long long>(totals.shed),
                  static_cast<unsigned long long>(totals.batches),
                  static_cast<unsigned long long>(totals.reads),
-                 static_cast<unsigned long long>(totals.badFrames));
+                 static_cast<unsigned long long>(totals.badFrames),
+                 static_cast<unsigned long long>(
+                     totals.deadlineExceeded),
+                 static_cast<unsigned long long>(totals.reloadsOk),
+                 static_cast<unsigned long long>(
+                     totals.reloadsFailed));
     return 0;
 }
 
@@ -677,6 +745,16 @@ cmdLoadgen(int argc, char **argv)
     parser.option("--dump", "out.tsv",
                   "write OK response bodies in request order — "
                   "comparable byte-for-byte with `pgb map --dump`");
+    parser.option("--timeout-us", "us",
+                  "per-request deadline budget in microseconds; the "
+                  "daemon sheds lapsed requests with "
+                  "DEADLINE_EXCEEDED (default 0 = none)");
+    parser.option("--retries", "n",
+                  "retries per request on OVERLOADED, with "
+                  "exponential backoff + jitter (default 0)");
+    parser.option("--retry-base-us", "us",
+                  "backoff base in microseconds; doubles per attempt, "
+                  "capped at 50ms (default 1000)");
     if (!parser.parse(argc, argv))
         return 0;
     parser.requirePositionals(1, 1);
@@ -693,6 +771,11 @@ cmdLoadgen(int argc, char **argv)
         parser.getUint("--reads-per-request", 1, 1, 1u << 20);
     config.seed = parser.getUint("--seed", 42, 0, UINT64_MAX);
     config.dumpPath = parser.get("--dump");
+    config.timeoutUs =
+        parser.getUint("--timeout-us", 0, 0, 3600ull * 1000 * 1000);
+    config.maxRetries = parser.getUint("--retries", 0, 0, 1000);
+    config.retryBaseUs =
+        parser.getUint("--retry-base-us", 1000, 1, 60ull * 1000 * 1000);
     const std::string rate_text = parser.get("--rate", "0");
     char *rate_end = nullptr;
     config.rate = std::strtod(rate_text.c_str(), &rate_end);
@@ -710,11 +793,15 @@ cmdLoadgen(int argc, char **argv)
     const serve::LoadgenReport report =
         serve::runLoadgen(config, reads);
     std::printf("loadgen: %llu sent, %llu ok, %llu overloaded, "
-                "%llu error(s) in %.2fs (%s)\n",
+                "%llu error(s), %llu expired, %llu retry(ies) "
+                "in %.2fs (%s)\n",
                 static_cast<unsigned long long>(report.sent),
                 static_cast<unsigned long long>(report.ok),
                 static_cast<unsigned long long>(report.overloaded),
                 static_cast<unsigned long long>(report.errors),
+                static_cast<unsigned long long>(
+                    report.deadlineExceeded),
+                static_cast<unsigned long long>(report.retries),
                 report.wallSeconds,
                 config.rate > 0.0 ? "open loop" : "closed loop");
     std::printf("  throughput %10.1f ok/s\n", report.throughputRps);
@@ -727,6 +814,70 @@ cmdLoadgen(int argc, char **argv)
     std::printf("  max  %12.3f ms\n",
                 static_cast<double>(report.maxNanos) / 1e6);
     return 0;
+}
+
+int
+cmdFaultSites(int argc, char **argv)
+{
+    core::ArgParser parser(
+        "fault-sites", "",
+        "list every registered fault-injection site with its "
+        "documented recovery behavior — the PGB_FAULT / "
+        "PGB_FAULT_CHAOS site catalog (DESIGN.md §6)");
+    if (!parser.parse(argc, argv))
+        return 0;
+    parser.requirePositionals(0, 0);
+
+    const auto sites = core::fault::siteInfos();
+    size_t width = 0;
+    for (const auto &site : sites)
+        width = std::max(width, site.name.size());
+    for (const auto &site : sites) {
+        std::printf("%-*s  %s\n", static_cast<int>(width),
+                    site.name.c_str(),
+                    site.recovery.empty() ? "-"
+                                          : site.recovery.c_str());
+    }
+    std::fprintf(stderr, "%zu fault site(s)\n", sites.size());
+    return 0;
+}
+
+int
+cmdCtl(int argc, char **argv)
+{
+    core::ArgParser parser(
+        "ctl", "--socket <path> (ping|status|reload)",
+        "send one control frame to a running daemon: ping "
+        "(liveness), status (obs metrics snapshot), reload "
+        "(hot-swap the .pgbi index)");
+    parser.option("--socket", "path",
+                  "daemon socket to connect to (required)");
+    if (!parser.parse(argc, argv))
+        return 0;
+    parser.requirePositionals(1, 1);
+    const std::string socket_path = parser.get("--socket");
+    if (socket_path.empty())
+        core::fatal("ctl: missing required --socket <path>");
+    const std::string verb = parser.positional(0);
+
+    serve::MsgType type;
+    if (verb == "ping")
+        type = serve::MsgType::kPing;
+    else if (verb == "status")
+        type = serve::MsgType::kStatus;
+    else if (verb == "reload")
+        type = serve::MsgType::kReload;
+    else
+        core::fatal("ctl: unknown verb '", verb,
+                    "' (want ping, status, or reload)");
+
+    const serve::Response response =
+        serve::runControl(socket_path, type);
+    std::fprintf(stderr, "ctl: %s -> %s\n", verb.c_str(),
+                 serve::statusName(response.status));
+    if (!response.body.empty())
+        std::printf("%s\n", response.body.c_str());
+    return response.status == serve::Status::kOk ? 0 : 1;
 }
 
 int
@@ -752,6 +903,10 @@ dispatch(const std::string &command, int argc, char **argv)
         return cmdServe(argc, argv);
     if (command == "loadgen")
         return cmdLoadgen(argc, argv);
+    if (command == "ctl")
+        return cmdCtl(argc, argv);
+    if (command == "fault-sites")
+        return cmdFaultSites(argc, argv);
     return usage();
 }
 
