@@ -6,6 +6,7 @@
  * reproducible signal: GWFA-cr >> TC > PGSGD > GBV > GSSW > GBWT).
  */
 
+#include "align/dispatch.hpp"
 #include "bench_common.hpp"
 #include "kernel_runners.hpp"
 
@@ -16,6 +17,8 @@ main()
     using namespace pgb::bench;
 
     banner("Table 4: kernel execution time (uninstrumented)");
+    std::printf("simd dispatch: %s\n",
+                align::simdLevelName(align::activeSimdLevel()));
     const auto workload = makeStandardWorkload();
     const auto inputs = captureKernelInputs(workload);
     core::NullProbe null_probe;

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Record the mapping-kernel wall times in the perf trajectory.
+#
+# Runs bench_table4_kernel_times PGB_BENCH_REPEATS times (default 3),
+# keeps the per-kernel minimum, and appends a labeled entry to
+# BENCH_kernels.json at the repo root with the metadata that makes the
+# numbers comparable across commits: git revision, SIMD dispatch level,
+# and thread count. Re-running with the same label replaces the entry,
+# so the script is idempotent.
+#
+# Usage: scripts/bench_kernels.sh [label]
+# Knobs: PGB_BENCH_BIN, PGB_BENCH_OUT, PGB_BENCH_REPEATS, PGB_THREADS,
+#        PGB_SIMD, PGB_BENCH_SCALE (all forwarded to the bench binary).
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BENCH_BIN="${PGB_BENCH_BIN:-$REPO_ROOT/build/bench/bench_table4_kernel_times}"
+OUT="${PGB_BENCH_OUT:-$REPO_ROOT/BENCH_kernels.json}"
+LABEL="${1:-run}"
+REPEATS="${PGB_BENCH_REPEATS:-3}"
+THREADS="${PGB_THREADS:-1}"
+
+if [ ! -x "$BENCH_BIN" ]; then
+    echo "bench_kernels: $BENCH_BIN not built (cmake --build build)" >&2
+    exit 1
+fi
+
+RUNS_FILE="$(mktemp)"
+trap 'rm -f "$RUNS_FILE"' EXIT
+for ((r = 0; r < REPEATS; ++r)); do
+    PGB_THREADS="$THREADS" "$BENCH_BIN" >>"$RUNS_FILE"
+done
+
+GIT_REV="$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if ! git -C "$REPO_ROOT" diff --quiet 2>/dev/null; then
+    GIT_REV="$GIT_REV-dirty"
+fi
+
+python3 - "$RUNS_FILE" "$OUT" "$LABEL" "$GIT_REV" "$THREADS" "$REPEATS" <<'EOF'
+import json, re, sys
+
+runs_file, out_path, label, git_rev, threads, repeats = sys.argv[1:7]
+kernels = {}
+simd = "sse2"  # binaries predating runtime dispatch never print a level
+for line in open(runs_file):
+    m = re.match(r"simd dispatch:\s+(\S+)", line)
+    if m:
+        simd = m.group(1)
+    m = re.match(r"([A-Z][A-Za-z-]+)\s+([0-9.]+)\s", line)
+    if m and m.group(1) != "Table":
+        name, ms = m.group(1), float(m.group(2))
+        kernels[name] = min(kernels.get(name, ms), ms)
+if not kernels:
+    sys.exit("bench_kernels: no kernel rows parsed from bench output")
+
+entry = {
+    "label": label,
+    "git_rev": git_rev,
+    "simd": simd,
+    "threads": int(threads),
+    "repeats": int(repeats),
+    "kernel_ms": kernels,
+}
+try:
+    entries = json.load(open(out_path))
+except (FileNotFoundError, json.JSONDecodeError):
+    entries = []
+entries = [e for e in entries if e.get("label") != label]
+entries.append(entry)
+json.dump(entries, open(out_path, "w"), indent=2)
+open(out_path, "a").write("\n")
+print(f"bench_kernels: wrote entry '{label}' ({simd}, "
+      f"{threads} threads) to {out_path}")
+EOF

@@ -1,0 +1,130 @@
+#include "align/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/logging.hpp"
+#include "obs/metrics.hpp"
+
+namespace pgb::align {
+
+namespace {
+
+obs::Gauge gSimdLevel("align.simd_level");
+
+/** -1 = not yet detected; otherwise a SimdLevel value. */
+std::atomic<int> cachedLevel{-1};
+
+bool
+cpuHasAvx2()
+{
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+constexpr bool
+buildHasAvx2()
+{
+#if defined(PGB_HAVE_AVX2_BUILD)
+    return true;
+#else
+    return false;
+#endif
+}
+
+constexpr bool
+buildHasSse2()
+{
+#if defined(__SSE2__)
+    return true;
+#else
+    return false;
+#endif
+}
+
+SimdLevel
+bestAvailable()
+{
+    if (buildHasAvx2() && cpuHasAvx2())
+        return SimdLevel::kAvx2;
+    if (buildHasSse2())
+        return SimdLevel::kSse2;
+    return SimdLevel::kScalar;
+}
+
+SimdLevel
+detectLevel()
+{
+    const SimdLevel best = bestAvailable();
+    const char *env = std::getenv("PGB_SIMD");
+    if (env == nullptr || *env == '\0')
+        return best;
+    if (std::strcmp(env, "scalar") == 0)
+        return SimdLevel::kScalar;
+    if (std::strcmp(env, "sse2") == 0) {
+        if (best < SimdLevel::kSse2) {
+            core::warn("PGB_SIMD=sse2 requested but this build has no "
+                       "SSE2; using the lane-exact scalar backend");
+            return SimdLevel::kScalar;
+        }
+        return SimdLevel::kSse2;
+    }
+    if (std::strcmp(env, "avx2") == 0) {
+        if (best < SimdLevel::kAvx2) {
+            core::warn("PGB_SIMD=avx2 requested but ",
+                       buildHasAvx2() ? "this CPU does not support it"
+                                      : "this build has no AVX2 "
+                                        "translation unit",
+                       "; falling back to ", simdLevelName(best));
+            return best;
+        }
+        return SimdLevel::kAvx2;
+    }
+    core::warn("unknown PGB_SIMD value '", env,
+               "' (expected scalar|sse2|avx2); auto-detecting");
+    return best;
+}
+
+} // namespace
+
+bool
+cpuSupportsAvx2()
+{
+    return cpuHasAvx2();
+}
+
+SimdLevel
+activeSimdLevel()
+{
+    int level = cachedLevel.load(std::memory_order_acquire);
+    if (level < 0) {
+        level = static_cast<int>(detectLevel());
+        cachedLevel.store(level, std::memory_order_release);
+        gSimdLevel.set(level);
+    }
+    return static_cast<SimdLevel>(level);
+}
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::kScalar: return "scalar";
+      case SimdLevel::kSse2: return "sse2";
+      case SimdLevel::kAvx2: return "avx2";
+    }
+    return "?";
+}
+
+void
+refreshSimdLevel()
+{
+    cachedLevel.store(-1, std::memory_order_release);
+}
+
+} // namespace pgb::align

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Runtime SIMD dispatch for the striped alignment kernels.
+ *
+ * The build compiles every kernel at the widths the compiler supports
+ * (scalar and SSE2 everywhere; AVX2 in the separate -mavx2 translation
+ * unit align/ssw_avx2.cpp when the toolchain has the flag). At runtime
+ * the widest level the CPU supports is picked once via cpuid and cached;
+ * the PGB_SIMD environment variable (scalar|sse2|avx2) overrides the
+ * choice for ablations and tests. Requests the host or build cannot
+ * honor degrade to the best available level with a warning.
+ *
+ * Every backend is lane-exact (see align/simd.hpp) and the kernels'
+ * result recovery is layout-invariant, so mapping output is
+ * bit-identical at every level — the golden digests enforce this.
+ *
+ * The chosen level is published as the obs gauge `align.simd_level`
+ * (0 scalar, 1 sse2, 2 avx2) so --metrics output and bench JSONs are
+ * self-describing.
+ */
+
+#ifndef PGB_ALIGN_DISPATCH_HPP
+#define PGB_ALIGN_DISPATCH_HPP
+
+namespace pgb::align {
+
+/** SIMD level, ordered by width. */
+enum class SimdLevel
+{
+    kScalar = 0, ///< lane-exact scalar emulation (8 lanes)
+    kSse2 = 1,   ///< 8 x int16 hardware vectors
+    kAvx2 = 2,   ///< 16 x int16 hardware vectors
+};
+
+/** The level the kernels dispatch to (cached after the first call). */
+SimdLevel activeSimdLevel();
+
+/** Lane count of striped profiles built for @p level. */
+inline int
+simdLevelLanes(SimdLevel level)
+{
+    return level == SimdLevel::kAvx2 ? 16 : 8;
+}
+
+/** Lane count of the active level's striped profiles. */
+inline int
+simdDispatchLanes()
+{
+    return simdLevelLanes(activeSimdLevel());
+}
+
+/** Stable lowercase name ("scalar" | "sse2" | "avx2"). */
+const char *simdLevelName(SimdLevel level);
+
+/** True when the host CPU executes AVX2 (independent of PGB_SIMD). */
+bool cpuSupportsAvx2();
+
+/**
+ * Drop the cached level so the next activeSimdLevel() re-reads
+ * PGB_SIMD and cpuid. Test hook: production code never changes the
+ * environment mid-process.
+ */
+void refreshSimdLevel();
+
+} // namespace pgb::align
+
+#endif // PGB_ALIGN_DISPATCH_HPP

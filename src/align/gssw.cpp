@@ -5,6 +5,16 @@
 
 namespace pgb::align {
 
+namespace detail {
+
+GsswWorkspace &
+gsswWorkspace()
+{
+    return core::threadScratch<GsswWorkspace>();
+}
+
+} // namespace detail
+
 GsswResult
 gsswAlign(const graph::LocalGraph &graph, std::span<const uint8_t> query,
           const ScoreParams &params, const GsswOptions &options)
@@ -104,15 +114,21 @@ gsswTraceback(const graph::LocalGraph &graph,
     if (result.best.queryEnd < 0)
         core::fatal("gsswTraceback: no alignment to trace");
 
-    const auto m = static_cast<int32_t>(query.size());
     // H lookup over the retained matrices; row -1 is the local-
-    // alignment boundary (zero).
+    // alignment boundary (zero). Handles both layouts (see
+    // GsswMatrixLayout).
     auto h_at = [&](uint32_t node, int32_t i, int32_t j) -> int32_t {
         if (i < 0)
             return 0;
+        if (result.matrixLayout == GsswMatrixLayout::kStriped) {
+            const auto s = static_cast<size_t>(result.matrixSegLen);
+            const auto w = static_cast<size_t>(result.matrixLanes);
+            const auto row = static_cast<size_t>(i);
+            return result.matrices[node][static_cast<size_t>(j) * s * w +
+                                         (row % s) * w + row / s];
+        }
         const auto len =
             static_cast<int32_t>(graph.nodeLength(node));
-        (void)m;
         return result.matrices[node][static_cast<size_t>(i) *
                                          static_cast<size_t>(len) +
                                      static_cast<size_t>(j)];

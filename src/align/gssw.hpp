@@ -11,10 +11,23 @@
  *
  * When GsswOptions::keepMatrices is set (the default, matching the
  * gssw library which retains all matrices for traceback), every column
- * is also written back un-striped into a per-node row-major DP matrix.
- * These strided "swizzle" stores are the memory bottleneck the paper's
- * §6.1 case study attributes GSSW's extra memory stalls to; switching
- * keepMatrices off implements the optimization proposed there.
+ * is also retained in a per-node DP matrix. On instrumented runs that
+ * matrix is row-major, written through the strided "swizzle" stores
+ * that are the memory bottleneck the paper's §6.1 case study
+ * attributes GSSW's extra memory stalls to. Timed runs keep the
+ * kernel's native striped columns instead, streamed out with
+ * non-temporal stores — the swizzle disappears from the hot loop and
+ * moves into gsswTraceback's index math (see GsswMatrixLayout).
+ * Switching keepMatrices off implements the further optimization §6.1
+ * proposes. The matrices skip their zero-fill (every cell is written
+ * back), and per-alignment temporaries — the striped profile and the
+ * per-node final states — live in a thread-local workspace, so
+ * repeated alignments do not touch malloc.
+ *
+ * Like sswAlign, the uninstrumented (NullProbe) entry dispatches to
+ * the 16-lane AVX2 kernel when the runtime level allows; instrumented
+ * probes keep the 8-lane layout the paper characterizes. Results are
+ * bit-identical across levels.
  */
 
 #ifndef PGB_ALIGN_GSSW_HPP
@@ -22,12 +35,15 @@
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
+#include "align/dispatch.hpp"
 #include "align/score.hpp"
 #include "align/ssw.hpp"
 #include "core/logging.hpp"
 #include "core/probe.hpp"
+#include "core/scratch.hpp"
 #include "graph/local_graph.hpp"
 
 namespace pgb::align {
@@ -39,54 +55,106 @@ struct GsswOptions
     bool keepMatrices = true;
 };
 
+/**
+ * H matrix of one node. Default-initialized on resize: the writeback
+ * stores every cell, so zero-filling was pure cost.
+ */
+using GsswMatrix =
+    std::vector<int16_t, core::DefaultInitAlloc<int16_t>>;
+
+/** Memory layout of the retained per-node DP matrices. */
+enum class GsswMatrixLayout : uint8_t
+{
+    /**
+     * H(i, j) at i * nodeLength + j, gssw's own layout, kept on
+     * instrumented runs: writing it un-stripes every column through
+     * the strided "swizzle" stores the paper's §6.1 characterizes.
+     */
+    kRowMajor,
+    /**
+     * The SIMD kernel's native striped layout, kept on timed runs:
+     * column j occupies segLen*lanes contiguous int16 starting at
+     * j * segLen * lanes, with H(i, j) in vector (i % segLen), lane
+     * (i / segLen) — so the writeback is a straight streaming copy of
+     * the live column, and the swizzle cost moves to the (rare)
+     * traceback index math. Columns include the padded rows i >= m.
+     */
+    kStriped,
+};
+
 /** GSSW result: best local hit plus work/footprint accounting. */
 struct GsswResult
 {
     GraphLocalHit best;
     uint64_t cellsComputed = 0; ///< DP cells evaluated (padded rows excl.)
-    /** Row-major m x nodeLength H matrix per node (empty when off). */
-    std::vector<std::vector<int16_t>> matrices;
+    /**
+     * H matrix per node (empty when keepMatrices is off), in
+     * `matrixLayout` order. gsswTraceback handles both layouts.
+     */
+    std::vector<GsswMatrix> matrices;
+    /** Layout of `matrices` (see GsswMatrixLayout). */
+    GsswMatrixLayout matrixLayout = GsswMatrixLayout::kRowMajor;
+    int matrixSegLen = 0; ///< striped-layout segment length
+    int matrixLanes = 0;  ///< striped-layout lane count
 };
 
-/**
- * Align @p query to the DAG @p graph with local (Smith-Waterman)
- * semantics.
- *
- * @param graph finalized acyclic LocalGraph (fatal otherwise)
- */
-template <typename Probe = core::NullProbe>
+namespace detail {
+
+/** Thread-local buffers reused across gsswAlign calls. */
+struct GsswWorkspace
+{
+    StripedProfile profile;
+    /** Final (H, E) striped state per node, consumed by children. */
+    std::vector<StripedState> finalStates;
+    /** Striped H of the best column so far (query-end recovery). */
+    std::vector<int16_t> bestH;
+};
+
+/** The calling thread's GSSW workspace. */
+GsswWorkspace &gsswWorkspace();
+
+/** Graph striped alignment with an explicit vector backend. */
+template <typename Vec, typename Probe>
 GsswResult
-gsswAlign(const graph::LocalGraph &graph, std::span<const uint8_t> query,
-          const ScoreParams &params, const GsswOptions &options,
-          Probe &probe)
+gsswAlignT(const graph::LocalGraph &graph, std::span<const uint8_t> query,
+           const ScoreParams &params, const GsswOptions &options,
+           Probe &probe)
 {
     if (!graph.isDag())
         core::fatal("gsswAlign: graph must be acyclic");
     if (query.empty())
         core::fatal("gsswAlign: empty query");
 
-    const StripedProfile profile(query, params);
+    GsswWorkspace &ws = gsswWorkspace();
+    ws.profile.reset(query, params, Vec::kWidth);
+    const StripedProfile &profile = ws.profile;
     const size_t m = profile.queryLength();
     const auto n_nodes = static_cast<uint32_t>(graph.nodeCount());
 
     GsswResult result;
+    result.matrixLayout = Probe::enabled ? GsswMatrixLayout::kRowMajor
+                                         : GsswMatrixLayout::kStriped;
+    result.matrixSegLen = profile.segLen();
+    result.matrixLanes = profile.lanes();
     if (options.keepMatrices)
         result.matrices.resize(n_nodes);
 
-    // Final (H, E) striped state of each processed node, consumed by
-    // its children. Indexed by node id.
-    std::vector<StripedState> final_states(n_nodes);
+    // Final (H, E) striped state of each processed node, indexed by
+    // node id. Reused allocations from the workspace.
+    if (ws.finalStates.size() < n_nodes)
+        ws.finalStates.resize(n_nodes);
+    std::vector<StripedState> &final_states = ws.finalStates;
 
     for (uint32_t node : graph.topoOrder()) {
-        StripedState state;
+        StripedState &state = final_states[node];
         const auto preds = graph.predecessors(node);
         if (preds.empty()) {
-            state.reset(profile.segLen());
+            state.reset(profile.segLen(), profile.lanes());
         } else {
             // Node initialization: element-wise max over parents' final
             // columns. These are the indirect graph accesses.
             probe.load(&preds[0], 4);
-            state = final_states[preds[0]];
+            state.assignFrom(final_states[preds[0]]);
             probe.op(core::OpKind::kMemory,
                      static_cast<uint64_t>(state.h.size() / kLanes));
             for (size_t p = 1; p < preds.size(); ++p) {
@@ -98,42 +166,102 @@ gsswAlign(const graph::LocalGraph &graph, std::span<const uint8_t> query,
         }
 
         const auto &bases = graph.nodeSeq(node);
+        const size_t len = bases.size();
+
+        // Instrumented runs keep gssw's row-major matrices — the
+        // strided swizzle stores the paper's §6.1 blames — written
+        // in-kernel through the probe. Timed runs keep the kernel's
+        // native striped columns instead, copied out with straight
+        // vector stores (see GsswMatrixLayout::kStriped).
+        constexpr bool striped_keep = !Probe::enabled;
+        const size_t sw =
+            static_cast<size_t>(profile.segLen()) * profile.lanes();
         int16_t *matrix = nullptr;
         if (options.keepMatrices) {
-            result.matrices[node].assign(m * bases.size(), 0);
+            result.matrices[node].resize((striped_keep ? sw : m) * len);
             matrix = result.matrices[node].data();
         }
 
-        for (size_t j = 0; j < bases.size(); ++j) {
+        for (size_t j = 0; j < len; ++j) {
             probe.load(bases.data() + j, 1);
-            const int16_t col_max = stripedColumn(
-                profile, params, state, bases[j], probe,
-                matrix == nullptr ? nullptr : matrix + j, bases.size());
+            int16_t *column_out = nullptr;
+            if (matrix != nullptr && !striped_keep)
+                column_out = matrix + j;
+            const int16_t col_max = stripedColumnT<Vec>(
+                profile, params, state, bases[j], probe, column_out,
+                len);
+            if (striped_keep && matrix != nullptr) {
+                storeStripedColumn<Vec>(state.h.data(),
+                                        profile.segLen(),
+                                        matrix + j * sw);
+            }
             result.cellsComputed += m;
             probe.branch(/* site */ 10, col_max > result.best.score);
             if (col_max > result.best.score) {
                 result.best.score = col_max;
                 result.best.node = node;
                 result.best.nodeOffset = static_cast<int32_t>(j);
-                const int seg_len = profile.segLen();
-                for (int t = 0; t < seg_len; ++t) {
-                    for (int lane = 0; lane < kLanes; ++lane) {
-                        if (state.h[t * kLanes + lane] == col_max) {
-                            const auto i = static_cast<int32_t>(
-                                t + lane * seg_len);
-                            if (i < static_cast<int32_t>(m)) {
-                                result.best.queryEnd = i;
-                                t = seg_len;
-                                break;
-                            }
-                        }
-                    }
-                }
+                // The winning column is needed once at the end for
+                // query-end recovery; when the striped matrices are
+                // kept it is already retained there, otherwise
+                // snapshot it (one vector copy per improvement).
+                if (!(striped_keep && options.keepMatrices))
+                    ws.bestH.assign(state.h.begin(), state.h.end());
             }
         }
-        final_states[node] = std::move(state);
     }
+    if (result.best.score > 0) {
+        const size_t sw =
+            static_cast<size_t>(profile.segLen()) * profile.lanes();
+        const int16_t *best_col =
+            (!Probe::enabled && options.keepMatrices)
+                ? result.matrices[result.best.node].data() +
+                      static_cast<size_t>(result.best.nodeOffset) * sw
+                : ws.bestH.data();
+        result.best.queryEnd = stripedQueryEnd(
+            profile.segLen(), profile.lanes(), m, best_col,
+            static_cast<int16_t>(result.best.score));
+    }
+    if (result.best.score >= kScoreSaturated)
+        noteScoreSaturation();
     return result;
+}
+
+#if defined(PGB_HAVE_AVX2_BUILD)
+/** 16-lane kernel, compiled with -mavx2 (align/ssw_avx2.cpp). */
+GsswResult gsswAlignAvx2(const graph::LocalGraph &graph,
+                         std::span<const uint8_t> query,
+                         const ScoreParams &params,
+                         const GsswOptions &options);
+#endif
+
+} // namespace detail
+
+/**
+ * Align @p query to the DAG @p graph with local (Smith-Waterman)
+ * semantics. Dispatches on the runtime SIMD level; instrumented
+ * probes stay on the 8-lane layout.
+ *
+ * @param graph finalized acyclic LocalGraph (fatal otherwise)
+ */
+template <typename Probe = core::NullProbe>
+GsswResult
+gsswAlign(const graph::LocalGraph &graph, std::span<const uint8_t> query,
+          const ScoreParams &params, const GsswOptions &options,
+          Probe &probe)
+{
+#if defined(PGB_HAVE_AVX2_BUILD)
+    if constexpr (std::is_same_v<Probe, core::NullProbe>) {
+        if (activeSimdLevel() == SimdLevel::kAvx2)
+            return detail::gsswAlignAvx2(graph, query, params, options);
+    }
+#endif
+    if (activeSimdLevel() == SimdLevel::kScalar) {
+        return detail::gsswAlignT<VScalar<8>>(graph, query, params,
+                                              options, probe);
+    }
+    return detail::gsswAlignT<V8i16>(graph, query, params, options,
+                                     probe);
 }
 
 /** Convenience overload without instrumentation. */

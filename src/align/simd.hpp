@@ -1,11 +1,24 @@
 /**
  * @file
- * 8-lane 16-bit SIMD vector used by the striped Smith-Waterman kernels.
+ * Width-templated 16-bit SIMD vectors for the striped Smith-Waterman
+ * kernels.
  *
- * V8i16 wraps SSE2 when available and a lane-exact scalar emulation
- * otherwise. Both backends produce bit-identical results, so the unit
- * tests can verify the SIMD semantics on any host, and the scalar
- * backend doubles as the "no hand vectorization" ablation.
+ * Three interchangeable backends share one op vocabulary (zero/set1/
+ * load/store/adds/subs/vmax/anyGt/cmpEq/cmpGt/vand/blend/shiftLanesUp/
+ * lane/horizontalMax):
+ *
+ *  - VScalar<N>: lane-exact scalar emulation at any width. Bit-identical
+ *    to the hardware backends, so the unit tests can verify the SIMD
+ *    semantics on any host and the backend doubles as the "no hand
+ *    vectorization" ablation (PGB_SIMD=scalar).
+ *  - VSse2: 8 x int16 on SSE2 (the paper's Machine B baseline).
+ *  - VAvx2: 16 x int16 on AVX2. Only visible in translation units
+ *    compiled with -mavx2 (align/ssw_avx2.cpp); everything else
+ *    reaches it through the runtime dispatch in align/dispatch.hpp.
+ *
+ * Saturation semantics are part of the contract: adds/subs clamp to
+ * [INT16_MIN, INT16_MAX] in every backend, which is what lets the
+ * kernels detect int16 score overflow (see align.score_saturated).
  */
 
 #ifndef PGB_ALIGN_SIMD_HPP
@@ -22,113 +35,46 @@
 #define PGB_HAVE_SSE2 0
 #endif
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 namespace pgb::align {
 
-/** Number of 16-bit lanes per vector. */
+/** Lane count of the default (8-wide) striped vector. */
 constexpr int kLanes = 8;
 
-#if PGB_HAVE_SSE2
+/** Lane count of the AVX2 striped vector. */
+constexpr int kLanesAvx2 = 16;
 
-/** 8 x int16 vector, SSE2 backend. */
-struct V8i16
+/** N x int16 vector, portable lane-exact backend. */
+template <int N>
+struct VScalar
 {
-    __m128i v;
+    static constexpr int kWidth = N;
 
-    static V8i16 zero() { return {_mm_setzero_si128()}; }
-    static V8i16 set1(int16_t x) { return {_mm_set1_epi16(x)}; }
+    std::array<int16_t, N> v;
 
-    static V8i16
-    load(const int16_t *p)
+    static VScalar
+    zero()
     {
-        return {_mm_loadu_si128(reinterpret_cast<const __m128i *>(p))};
-    }
-
-    void
-    store(int16_t *p) const
-    {
-        _mm_storeu_si128(reinterpret_cast<__m128i *>(p), v);
-    }
-
-    /** Saturating add. */
-    friend V8i16
-    adds(V8i16 a, V8i16 b)
-    {
-        return {_mm_adds_epi16(a.v, b.v)};
-    }
-
-    /** Saturating subtract. */
-    friend V8i16
-    subs(V8i16 a, V8i16 b)
-    {
-        return {_mm_subs_epi16(a.v, b.v)};
-    }
-
-    friend V8i16
-    vmax(V8i16 a, V8i16 b)
-    {
-        return {_mm_max_epi16(a.v, b.v)};
-    }
-
-    /** True if any lane of a is strictly greater than b's lane. */
-    friend bool
-    anyGt(V8i16 a, V8i16 b)
-    {
-        return _mm_movemask_epi8(_mm_cmpgt_epi16(a.v, b.v)) != 0;
-    }
-
-    /** Shift all lanes up by one (lane 0 filled with @p fill). */
-    V8i16
-    shiftLanesUp(int16_t fill) const
-    {
-        V8i16 out{_mm_slli_si128(v, 2)};
-        out = {_mm_insert_epi16(out.v, fill, 0)};
+        VScalar out;
+        out.v.fill(0);
         return out;
     }
 
-    int16_t
-    lane(int i) const
-    {
-        alignas(16) int16_t tmp[kLanes];
-        _mm_store_si128(reinterpret_cast<__m128i *>(tmp), v);
-        return tmp[i];
-    }
-
-    /**
-     * Maximum lane value. log2(kLanes) shuffle/max rounds keep the
-     * reduction in registers instead of bouncing through the stack —
-     * this sits on the striped-SW inner loop.
-     */
-    int16_t
-    horizontalMax() const
-    {
-        __m128i m = _mm_max_epi16(v, _mm_srli_si128(v, 8));
-        m = _mm_max_epi16(m, _mm_srli_si128(m, 4));
-        m = _mm_max_epi16(m, _mm_srli_si128(m, 2));
-        return static_cast<int16_t>(_mm_extract_epi16(m, 0));
-    }
-};
-
-#else // !PGB_HAVE_SSE2
-
-/** 8 x int16 vector, portable lane-exact backend. */
-struct V8i16
-{
-    std::array<int16_t, kLanes> v;
-
-    static V8i16 zero() { return {{0, 0, 0, 0, 0, 0, 0, 0}}; }
-
-    static V8i16
+    static VScalar
     set1(int16_t x)
     {
-        V8i16 out;
+        VScalar out;
         out.v.fill(x);
         return out;
     }
 
-    static V8i16
+    static VScalar
     load(const int16_t *p)
     {
-        V8i16 out;
+        VScalar out;
         std::memcpy(out.v.data(), p, sizeof(out.v));
         return out;
     }
@@ -141,49 +87,93 @@ struct V8i16
         return x > 32767 ? 32767 : (x < -32768 ? -32768 : int16_t(x));
     }
 
-    friend V8i16
-    adds(V8i16 a, V8i16 b)
+    /** Saturating add. */
+    friend VScalar
+    adds(VScalar a, VScalar b)
     {
-        V8i16 out;
-        for (int i = 0; i < kLanes; ++i)
+        VScalar out;
+        for (int i = 0; i < N; ++i)
             out.v[i] = sat(int32_t(a.v[i]) + b.v[i]);
         return out;
     }
 
-    friend V8i16
-    subs(V8i16 a, V8i16 b)
+    /** Saturating subtract. */
+    friend VScalar
+    subs(VScalar a, VScalar b)
     {
-        V8i16 out;
-        for (int i = 0; i < kLanes; ++i)
+        VScalar out;
+        for (int i = 0; i < N; ++i)
             out.v[i] = sat(int32_t(a.v[i]) - b.v[i]);
         return out;
     }
 
-    friend V8i16
-    vmax(V8i16 a, V8i16 b)
+    friend VScalar
+    vmax(VScalar a, VScalar b)
     {
-        V8i16 out;
-        for (int i = 0; i < kLanes; ++i)
+        VScalar out;
+        for (int i = 0; i < N; ++i)
             out.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
         return out;
     }
 
+    /** True if any lane of a is strictly greater than b's lane. */
     friend bool
-    anyGt(V8i16 a, V8i16 b)
+    anyGt(VScalar a, VScalar b)
     {
-        for (int i = 0; i < kLanes; ++i) {
+        for (int i = 0; i < N; ++i) {
             if (a.v[i] > b.v[i])
                 return true;
         }
         return false;
     }
 
-    V8i16
+    /** Per-lane equality mask (all-ones where equal). */
+    friend VScalar
+    cmpEq(VScalar a, VScalar b)
+    {
+        VScalar out;
+        for (int i = 0; i < N; ++i)
+            out.v[i] = a.v[i] == b.v[i] ? int16_t(-1) : int16_t(0);
+        return out;
+    }
+
+    /** Per-lane signed greater-than mask (all-ones where a > b). */
+    friend VScalar
+    cmpGt(VScalar a, VScalar b)
+    {
+        VScalar out;
+        for (int i = 0; i < N; ++i)
+            out.v[i] = a.v[i] > b.v[i] ? int16_t(-1) : int16_t(0);
+        return out;
+    }
+
+    friend VScalar
+    vand(VScalar a, VScalar b)
+    {
+        VScalar out;
+        for (int i = 0; i < N; ++i)
+            out.v[i] = static_cast<int16_t>(a.v[i] & b.v[i]);
+        return out;
+    }
+
+    /** Per-lane select: mask lane all-ones picks a, zero picks b. */
+    friend VScalar
+    blend(VScalar mask, VScalar a, VScalar b)
+    {
+        VScalar out;
+        for (int i = 0; i < N; ++i)
+            out.v[i] = static_cast<int16_t>((mask.v[i] & a.v[i]) |
+                                            (~mask.v[i] & b.v[i]));
+        return out;
+    }
+
+    /** Shift all lanes up by one (lane 0 filled with @p fill). */
+    VScalar
     shiftLanesUp(int16_t fill) const
     {
-        V8i16 out;
+        VScalar out;
         out.v[0] = fill;
-        for (int i = 1; i < kLanes; ++i)
+        for (int i = 1; i < N; ++i)
             out.v[i] = v[i - 1];
         return out;
     }
@@ -194,13 +184,247 @@ struct V8i16
     horizontalMax() const
     {
         int16_t best = v[0];
-        for (int i = 1; i < kLanes; ++i)
+        for (int i = 1; i < N; ++i)
             best = v[i] > best ? v[i] : best;
         return best;
     }
+
+};
+
+#if PGB_HAVE_SSE2
+
+/** 8 x int16 vector, SSE2 backend. */
+struct VSse2
+{
+    static constexpr int kWidth = 8;
+
+    __m128i v;
+
+    static VSse2 zero() { return {_mm_setzero_si128()}; }
+    static VSse2 set1(int16_t x) { return {_mm_set1_epi16(x)}; }
+
+    static VSse2
+    load(const int16_t *p)
+    {
+        return {_mm_loadu_si128(reinterpret_cast<const __m128i *>(p))};
+    }
+
+    void
+    store(int16_t *p) const
+    {
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(p), v);
+    }
+
+    /** Saturating add. */
+    friend VSse2
+    adds(VSse2 a, VSse2 b)
+    {
+        return {_mm_adds_epi16(a.v, b.v)};
+    }
+
+    /** Saturating subtract. */
+    friend VSse2
+    subs(VSse2 a, VSse2 b)
+    {
+        return {_mm_subs_epi16(a.v, b.v)};
+    }
+
+    friend VSse2
+    vmax(VSse2 a, VSse2 b)
+    {
+        return {_mm_max_epi16(a.v, b.v)};
+    }
+
+    /** True if any lane of a is strictly greater than b's lane. */
+    friend bool
+    anyGt(VSse2 a, VSse2 b)
+    {
+        return _mm_movemask_epi8(_mm_cmpgt_epi16(a.v, b.v)) != 0;
+    }
+
+    /** Per-lane equality mask (all-ones where equal). */
+    friend VSse2
+    cmpEq(VSse2 a, VSse2 b)
+    {
+        return {_mm_cmpeq_epi16(a.v, b.v)};
+    }
+
+    /** Per-lane signed greater-than mask (all-ones where a > b). */
+    friend VSse2
+    cmpGt(VSse2 a, VSse2 b)
+    {
+        return {_mm_cmpgt_epi16(a.v, b.v)};
+    }
+
+    friend VSse2
+    vand(VSse2 a, VSse2 b)
+    {
+        return {_mm_and_si128(a.v, b.v)};
+    }
+
+    /** Per-lane select: mask lane all-ones picks a, zero picks b. */
+    friend VSse2
+    blend(VSse2 mask, VSse2 a, VSse2 b)
+    {
+        return {_mm_or_si128(_mm_and_si128(mask.v, a.v),
+                             _mm_andnot_si128(mask.v, b.v))};
+    }
+
+    /** Shift all lanes up by one (lane 0 filled with @p fill). */
+    VSse2
+    shiftLanesUp(int16_t fill) const
+    {
+        VSse2 out{_mm_slli_si128(v, 2)};
+        out = {_mm_insert_epi16(out.v, fill, 0)};
+        return out;
+    }
+
+    int16_t
+    lane(int i) const
+    {
+        alignas(16) int16_t tmp[kWidth];
+        _mm_store_si128(reinterpret_cast<__m128i *>(tmp), v);
+        return tmp[i];
+    }
+
+    /**
+     * Maximum lane value. log2(kWidth) shuffle/max rounds keep the
+     * reduction in registers instead of bouncing through the stack —
+     * this sits on the striped-SW inner loop.
+     */
+    int16_t
+    horizontalMax() const
+    {
+        __m128i m = _mm_max_epi16(v, _mm_srli_si128(v, 8));
+        m = _mm_max_epi16(m, _mm_srli_si128(m, 4));
+        m = _mm_max_epi16(m, _mm_srli_si128(m, 2));
+        return static_cast<int16_t>(_mm_extract_epi16(m, 0));
+    }
+
 };
 
 #endif // PGB_HAVE_SSE2
+
+#if defined(__AVX2__)
+
+/** 16 x int16 vector, AVX2 backend (ssw_avx2.cpp only). */
+struct VAvx2
+{
+    static constexpr int kWidth = 16;
+
+    __m256i v;
+
+    static VAvx2 zero() { return {_mm256_setzero_si256()}; }
+    static VAvx2 set1(int16_t x) { return {_mm256_set1_epi16(x)}; }
+
+    static VAvx2
+    load(const int16_t *p)
+    {
+        return {_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p))};
+    }
+
+    void
+    store(int16_t *p) const
+    {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+    }
+
+    /** Saturating add. */
+    friend VAvx2
+    adds(VAvx2 a, VAvx2 b)
+    {
+        return {_mm256_adds_epi16(a.v, b.v)};
+    }
+
+    /** Saturating subtract. */
+    friend VAvx2
+    subs(VAvx2 a, VAvx2 b)
+    {
+        return {_mm256_subs_epi16(a.v, b.v)};
+    }
+
+    friend VAvx2
+    vmax(VAvx2 a, VAvx2 b)
+    {
+        return {_mm256_max_epi16(a.v, b.v)};
+    }
+
+    /** True if any lane of a is strictly greater than b's lane. */
+    friend bool
+    anyGt(VAvx2 a, VAvx2 b)
+    {
+        return _mm256_movemask_epi8(_mm256_cmpgt_epi16(a.v, b.v)) != 0;
+    }
+
+    /** Per-lane equality mask (all-ones where equal). */
+    friend VAvx2
+    cmpEq(VAvx2 a, VAvx2 b)
+    {
+        return {_mm256_cmpeq_epi16(a.v, b.v)};
+    }
+
+    /** Per-lane signed greater-than mask (all-ones where a > b). */
+    friend VAvx2
+    cmpGt(VAvx2 a, VAvx2 b)
+    {
+        return {_mm256_cmpgt_epi16(a.v, b.v)};
+    }
+
+    friend VAvx2
+    vand(VAvx2 a, VAvx2 b)
+    {
+        return {_mm256_and_si256(a.v, b.v)};
+    }
+
+    /** Per-lane select: mask lane all-ones picks a, zero picks b. */
+    friend VAvx2
+    blend(VAvx2 mask, VAvx2 a, VAvx2 b)
+    {
+        return {_mm256_blendv_epi8(b.v, a.v, mask.v)};
+    }
+
+    /** Shift all lanes up by one (lane 0 filled with @p fill). */
+    VAvx2
+    shiftLanesUp(int16_t fill) const
+    {
+        // Byte-shift across the 128-bit halves: carry = [0, low half],
+        // then align so the low half's top bytes enter the high half.
+        const __m256i carry = _mm256_permute2x128_si256(v, v, 0x08);
+        VAvx2 out{_mm256_alignr_epi8(v, carry, 14)};
+        out = {_mm256_insert_epi16(out.v, fill, 0)};
+        return out;
+    }
+
+    int16_t
+    lane(int i) const
+    {
+        alignas(32) int16_t tmp[kWidth];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(tmp), v);
+        return tmp[i];
+    }
+
+    int16_t
+    horizontalMax() const
+    {
+        __m128i m = _mm_max_epi16(_mm256_castsi256_si128(v),
+                                  _mm256_extracti128_si256(v, 1));
+        m = _mm_max_epi16(m, _mm_srli_si128(m, 8));
+        m = _mm_max_epi16(m, _mm_srli_si128(m, 4));
+        m = _mm_max_epi16(m, _mm_srli_si128(m, 2));
+        return static_cast<int16_t>(_mm_extract_epi16(m, 0));
+    }
+
+};
+
+#endif // __AVX2__
+
+/** Default 8-lane vector (SSE2 when the build has it). */
+#if PGB_HAVE_SSE2
+using V8i16 = VSse2;
+#else
+using V8i16 = VScalar<8>;
+#endif
 
 } // namespace pgb::align
 

@@ -1,0 +1,24 @@
+#include "align/simd_table.hpp"
+
+#include "align/dispatch.hpp"
+#include "align/simd.hpp"
+
+namespace pgb::align {
+
+std::vector<SimdOpsTable>
+simdOpsTables()
+{
+    std::vector<SimdOpsTable> tables;
+    tables.push_back(detail::makeSimdOpsTable<VScalar<8>>("scalar8"));
+    tables.push_back(detail::makeSimdOpsTable<VScalar<16>>("scalar16"));
+#if PGB_HAVE_SSE2
+    tables.push_back(detail::makeSimdOpsTable<VSse2>("sse2"));
+#endif
+#if defined(PGB_HAVE_AVX2_BUILD)
+    if (cpuSupportsAvx2())
+        tables.push_back(detail::simdOpsTableAvx2());
+#endif
+    return tables;
+}
+
+} // namespace pgb::align

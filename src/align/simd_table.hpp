@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Function-pointer view of the SIMD backends for lane-exact property
+ * tests.
+ *
+ * VAvx2 only exists inside the -mavx2 translation unit, so the tests
+ * cannot name it. Each backend instead exports a SimdOpsTable whose
+ * entries round-trip one op through ordinary int16 arrays; the tests
+ * compare every backend against the VScalar ground truth of the same
+ * width, op by op, lane by lane.
+ */
+
+#ifndef PGB_ALIGN_SIMD_TABLE_HPP
+#define PGB_ALIGN_SIMD_TABLE_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace pgb::align {
+
+/** One backend's ops over lane arrays of length `width`. */
+struct SimdOpsTable
+{
+    const char *name = "";
+    int width = 0;
+    void (*adds)(const int16_t *a, const int16_t *b, int16_t *out);
+    void (*subs)(const int16_t *a, const int16_t *b, int16_t *out);
+    void (*vmax)(const int16_t *a, const int16_t *b, int16_t *out);
+    void (*cmpEq)(const int16_t *a, const int16_t *b, int16_t *out);
+    void (*cmpGt)(const int16_t *a, const int16_t *b, int16_t *out);
+    void (*vand)(const int16_t *a, const int16_t *b, int16_t *out);
+    void (*blend)(const int16_t *mask, const int16_t *a,
+                  const int16_t *b, int16_t *out);
+    void (*shiftLanesUp)(const int16_t *a, int16_t fill, int16_t *out);
+    bool (*anyGt)(const int16_t *a, const int16_t *b);
+    int16_t (*lane)(const int16_t *a, int i);
+    int16_t (*horizontalMax)(const int16_t *a);
+};
+
+namespace detail {
+
+/** Build a table for @p Vec (captureless lambdas decay to pointers). */
+template <typename Vec>
+SimdOpsTable
+makeSimdOpsTable(const char *name)
+{
+    using i16 = int16_t;
+    SimdOpsTable t;
+    t.name = name;
+    t.width = Vec::kWidth;
+    t.adds = [](const i16 *a, const i16 *b, i16 *out) {
+        adds(Vec::load(a), Vec::load(b)).store(out);
+    };
+    t.subs = [](const i16 *a, const i16 *b, i16 *out) {
+        subs(Vec::load(a), Vec::load(b)).store(out);
+    };
+    t.vmax = [](const i16 *a, const i16 *b, i16 *out) {
+        vmax(Vec::load(a), Vec::load(b)).store(out);
+    };
+    t.cmpEq = [](const i16 *a, const i16 *b, i16 *out) {
+        cmpEq(Vec::load(a), Vec::load(b)).store(out);
+    };
+    t.cmpGt = [](const i16 *a, const i16 *b, i16 *out) {
+        cmpGt(Vec::load(a), Vec::load(b)).store(out);
+    };
+    t.vand = [](const i16 *a, const i16 *b, i16 *out) {
+        vand(Vec::load(a), Vec::load(b)).store(out);
+    };
+    t.blend = [](const i16 *mask, const i16 *a, const i16 *b, i16 *out) {
+        blend(Vec::load(mask), Vec::load(a), Vec::load(b)).store(out);
+    };
+    t.shiftLanesUp = [](const i16 *a, i16 fill, i16 *out) {
+        Vec::load(a).shiftLanesUp(fill).store(out);
+    };
+    t.anyGt = [](const i16 *a, const i16 *b) {
+        return anyGt(Vec::load(a), Vec::load(b));
+    };
+    t.lane = [](const i16 *a, int i) { return Vec::load(a).lane(i); };
+    t.horizontalMax = [](const i16 *a) {
+        return Vec::load(a).horizontalMax();
+    };
+    return t;
+}
+
+#if defined(PGB_HAVE_AVX2_BUILD)
+/** AVX2 table, built inside the -mavx2 TU (align/ssw_avx2.cpp). */
+SimdOpsTable simdOpsTableAvx2();
+#endif
+
+} // namespace detail
+
+/**
+ * Every backend this build and CPU can execute: VScalar<8>,
+ * VScalar<16>, VSse2 (when compiled in), VAvx2 (when compiled in and
+ * the CPU supports it). Independent of PGB_SIMD.
+ */
+std::vector<SimdOpsTable> simdOpsTables();
+
+} // namespace pgb::align
+
+#endif // PGB_ALIGN_SIMD_TABLE_HPP

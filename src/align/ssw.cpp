@@ -1,23 +1,54 @@
 #include "align/ssw.hpp"
 
+#include <atomic>
+
 #include "core/logging.hpp"
+#include "core/scratch.hpp"
+#include "obs/metrics.hpp"
 
 namespace pgb::align {
 
-StripedProfile::StripedProfile(std::span<const uint8_t> query,
-                               const ScoreParams &params)
-    : queryLength_(query.size()),
-      segLen_(static_cast<int>((query.size() + kLanes - 1) / kLanes))
+namespace {
+
+obs::Counter gScoreSaturated("align.score_saturated");
+std::atomic<bool> gSaturationWarned{false};
+
+} // namespace
+
+namespace detail {
+
+void
+noteScoreSaturation()
+{
+    gScoreSaturated.add(1);
+    if (!gSaturationWarned.exchange(true)) {
+        core::warn("alignment score saturated at int16 max (",
+                   kScoreSaturated, "); the reported score is clamped "
+                   "(counted in align.score_saturated)");
+    }
+}
+
+} // namespace detail
+
+void
+StripedProfile::reset(std::span<const uint8_t> query,
+                      const ScoreParams &params, int lanes)
 {
     if (query.empty())
         core::fatal("StripedProfile: empty query");
-    const size_t row_size = static_cast<size_t>(segLen_) * kLanes;
+    if (lanes != kLanes && lanes != kLanesAvx2)
+        core::fatal("StripedProfile: unsupported lane count ", lanes);
+    queryLength_ = query.size();
+    lanes_ = lanes;
+    segLen_ = static_cast<int>((query.size() + lanes - 1) /
+                               static_cast<size_t>(lanes));
+    const size_t row_size = static_cast<size_t>(segLen_) * lanes_;
     // kNumBases concrete rows plus one row for N (always mismatch).
     data_.assign(row_size * (seq::kNumBases + 1), 0);
     for (uint8_t base = 0; base <= seq::kNumBases; ++base) {
         int16_t *row = data_.data() + static_cast<size_t>(base) * row_size;
         for (int t = 0; t < segLen_; ++t) {
-            for (int lane = 0; lane < kLanes; ++lane) {
+            for (int lane = 0; lane < lanes_; ++lane) {
                 const size_t i = static_cast<size_t>(t) +
                     static_cast<size_t>(lane) * segLen_;
                 int16_t score;
@@ -29,19 +60,30 @@ StripedProfile::StripedProfile(std::span<const uint8_t> query,
                 } else {
                     score = static_cast<int16_t>(-params.mismatch);
                 }
-                row[t * kLanes + lane] = score;
+                row[t * lanes_ + lane] = score;
             }
         }
     }
 }
 
+namespace {
+
+/** Per-thread profile reused by the convenience entry point. */
+struct SswScratch
+{
+    StripedProfile profile;
+};
+
+} // namespace
+
 LocalHit
 sswAlign(std::span<const uint8_t> query, std::span<const uint8_t> reference,
          const ScoreParams &params)
 {
-    StripedProfile profile(query, params);
+    SswScratch &ws = core::threadScratch<SswScratch>();
+    ws.profile.reset(query, params, simdDispatchLanes());
     core::NullProbe probe;
-    return sswAlign(profile, reference, params, probe);
+    return sswAlign(ws.profile, reference, params, probe);
 }
 
 } // namespace pgb::align

@@ -1,0 +1,80 @@
+#include "align/ssw_batch.hpp"
+
+#include "core/logging.hpp"
+#include "core/thread_pool.hpp"
+
+namespace pgb::align {
+
+namespace detail {
+
+void
+sswAlignBatchPack(std::span<const BatchJob> jobs,
+                  std::span<const uint32_t> lane_jobs,
+                  const ScoreParams &params, std::span<LocalHit> results)
+{
+    switch (activeSimdLevel()) {
+      case SimdLevel::kScalar:
+        sswAlignBatchPackT<VScalar<8>>(jobs, lane_jobs, params, results);
+        return;
+#if defined(PGB_HAVE_AVX2_BUILD)
+      case SimdLevel::kAvx2:
+        sswAlignBatchPackAvx2(jobs, lane_jobs, params, results);
+        return;
+#endif
+      default:
+        sswAlignBatchPackT<V8i16>(jobs, lane_jobs, params, results);
+        return;
+    }
+}
+
+} // namespace detail
+
+void
+sswAlignBatch(std::span<const BatchJob> jobs, const ScoreParams &params,
+              std::span<LocalHit> results, unsigned threads)
+{
+    if (results.size() < jobs.size())
+        core::fatal("sswAlignBatch: results span too small");
+    if (jobs.empty())
+        return;
+
+    // Split oversized jobs out (per-job striped fallback) and sort the
+    // rest by query length, longest first, index-stable — packs then
+    // hold similar-length reads and are independent of thread count.
+    std::vector<uint32_t> packable;
+    std::vector<uint32_t> oversized;
+    packable.reserve(jobs.size());
+    for (uint32_t i = 0; i < jobs.size(); ++i) {
+        const BatchJob &job = jobs[i];
+        if (job.query.size() > kBatchMaxLen ||
+            job.reference.size() > kBatchMaxLen) {
+            oversized.push_back(i);
+        } else {
+            packable.push_back(i);
+        }
+    }
+    std::stable_sort(packable.begin(), packable.end(),
+                     [&jobs](uint32_t a, uint32_t b) {
+                         return jobs[a].query.size() >
+                                jobs[b].query.size();
+                     });
+
+    const auto lanes = static_cast<size_t>(simdDispatchLanes());
+    const size_t n_packs = (packable.size() + lanes - 1) / lanes;
+    core::parallelFor(0, n_packs, threads, [&](size_t p) {
+        const size_t begin = p * lanes;
+        const size_t count = std::min(lanes, packable.size() - begin);
+        detail::sswAlignBatchPack(
+            jobs, std::span<const uint32_t>(packable).subspan(begin, count),
+            params, results);
+    });
+
+    for (uint32_t i : oversized) {
+        const BatchJob &job = jobs[i];
+        results[i] = job.query.empty()
+                         ? LocalHit{}
+                         : sswAlign(job.query, job.reference, params);
+    }
+}
+
+} // namespace pgb::align

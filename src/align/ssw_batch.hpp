@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Inter-sequence batched Smith-Waterman: one SIMD pass aligns 8 (SSE2)
+ * or 16 (AVX2) independent (query, reference) pairs, one pair per
+ * lane.
+ *
+ * The striped kernel (align/ssw.hpp) vectorizes *within* one
+ * alignment and pays for it with the lazy-F repair loop and a
+ * horizontal max per column. When the mapper has a whole batch of
+ * short reads, packing different reads into the lanes removes both:
+ * every lane runs the textbook column-major recurrence independently,
+ * F is exact in-loop, and there is no horizontal reduction until the
+ * very end. Jobs are bucketed by query length (longest first) so the
+ * lanes of a pack run out of rows together and padding work stays
+ * small.
+ *
+ * Results are bit-identical to per-job sswAlign(): same saturating
+ * int16 arithmetic, same first-(column, row) tie-breaking for the
+ * reported maximum. Packs are formed by a deterministic sort, so the
+ * output is also independent of the thread count.
+ *
+ * Lane bookkeeping (row/column indices) uses int16 vectors; jobs
+ * longer than kBatchMaxLen on either side fall back to per-job
+ * sswAlign.
+ */
+
+#ifndef PGB_ALIGN_SSW_BATCH_HPP
+#define PGB_ALIGN_SSW_BATCH_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "align/dispatch.hpp"
+#include "align/score.hpp"
+#include "align/simd.hpp"
+#include "align/ssw.hpp"
+#include "core/scratch.hpp"
+#include "seq/alphabet.hpp"
+
+namespace pgb::align {
+
+/** One independent (query, reference) alignment of a batch. */
+struct BatchJob
+{
+    std::span<const uint8_t> query;
+    std::span<const uint8_t> reference;
+};
+
+/** Longest sequence the packed kernel's int16 indices can address. */
+constexpr size_t kBatchMaxLen = 30000;
+
+namespace detail {
+
+/**
+ * Lane codes chosen so a single cmpEq decides match/mismatch:
+ * real bases keep 0..3; query N and query padding map to 4; reference
+ * N maps to 5 and reference padding to 6, so no padded or ambiguous
+ * cell can ever compare equal.
+ */
+constexpr int16_t kQueryPadCode = 4;
+constexpr int16_t kRefNCode = 5;
+constexpr int16_t kRefPadCode = 6;
+
+/** Thread-local buffers of the packed kernel. */
+struct BatchScratch
+{
+    std::vector<int16_t> qcodes; ///< m_max x W interleaved query codes
+    std::vector<int16_t> rcodes; ///< n_max x W interleaved ref codes
+    std::vector<int16_t> h;      ///< (m_max+1) x W running H column
+    std::vector<int16_t> e;      ///< (m_max+1) x W running E column
+};
+
+/**
+ * Align up to Vec::kWidth jobs — @p lane_jobs indexes into @p jobs —
+ * in one packed pass, writing results[lane_jobs[k]].
+ */
+template <typename Vec>
+void
+sswAlignBatchPackT(std::span<const BatchJob> jobs,
+                   std::span<const uint32_t> lane_jobs,
+                   const ScoreParams &params, std::span<LocalHit> results)
+{
+    constexpr int kW = Vec::kWidth;
+    const int n_lanes = static_cast<int>(lane_jobs.size());
+
+    size_t m_max = 0, n_max = 0;
+    alignas(32) int16_t qlen16[kW] = {};
+    alignas(32) int16_t rlen16[kW] = {};
+    for (int k = 0; k < n_lanes; ++k) {
+        const BatchJob &job = jobs[lane_jobs[k]];
+        m_max = std::max(m_max, job.query.size());
+        n_max = std::max(n_max, job.reference.size());
+        qlen16[k] = static_cast<int16_t>(job.query.size());
+        rlen16[k] = static_cast<int16_t>(job.reference.size());
+    }
+    for (int k = 0; k < n_lanes; ++k)
+        results[lane_jobs[k]] = LocalHit{};
+    if (m_max == 0 || n_max == 0)
+        return;
+
+    BatchScratch &ws = core::threadScratch<BatchScratch>();
+    ws.qcodes.assign(m_max * kW, kQueryPadCode);
+    ws.rcodes.assign(n_max * kW, kRefPadCode);
+    for (int k = 0; k < n_lanes; ++k) {
+        const BatchJob &job = jobs[lane_jobs[k]];
+        for (size_t i = 0; i < job.query.size(); ++i) {
+            const uint8_t q = job.query[i];
+            ws.qcodes[i * kW + k] =
+                q < seq::kNumBases ? static_cast<int16_t>(q)
+                                   : kQueryPadCode;
+        }
+        for (size_t j = 0; j < job.reference.size(); ++j) {
+            const uint8_t r = job.reference[j];
+            ws.rcodes[j * kW + k] =
+                r < seq::kNumBases ? static_cast<int16_t>(r) : kRefNCode;
+        }
+    }
+    ws.h.assign((m_max + 1) * kW, 0);
+    ws.e.assign((m_max + 1) * kW, kNegInf16);
+    int16_t *h_arr = ws.h.data();
+    int16_t *e_arr = ws.e.data();
+
+    const Vec v_zero = Vec::zero();
+    const Vec v_open = Vec::set1(params.gapOpen);
+    const Vec v_ext = Vec::set1(params.gapExtend);
+    const Vec v_match = Vec::set1(params.match);
+    const Vec v_mismatch = Vec::set1(
+        static_cast<int16_t>(-params.mismatch));
+    const Vec v_qlen = Vec::load(qlen16);
+    const Vec v_rlen = Vec::load(rlen16);
+
+    Vec v_best = v_zero;
+    Vec v_qend = Vec::set1(-1);
+    Vec v_rend = Vec::set1(-1);
+
+    for (size_t j = 0; j < n_max; ++j) {
+        const Vec v_j = Vec::set1(static_cast<int16_t>(j));
+        // Lane valid while j < rlen (all-ones mask).
+        const Vec col_valid = cmpGt(v_rlen, v_j);
+        const Vec v_r = Vec::load(ws.rcodes.data() + j * kW);
+        Vec v_h_diag = v_zero;  // H(i-1, j-1); boundary row is 0
+        Vec v_h_above = v_zero; // H(i-1, j)
+        Vec v_f = Vec::set1(kNegInf16);
+        for (size_t i = 1; i <= m_max; ++i) {
+            // E(i,j) = max(E(i,j-1) - ext, H(i,j-1) - open), in place.
+            const Vec v_e = vmax(subs(Vec::load(e_arr + i * kW), v_ext),
+                                 subs(Vec::load(h_arr + i * kW), v_open));
+            v_e.store(e_arr + i * kW);
+            v_f = vmax(subs(v_f, v_ext), subs(v_h_above, v_open));
+            const Vec v_q = Vec::load(ws.qcodes.data() + (i - 1) * kW);
+            const Vec v_sub = blend(cmpEq(v_q, v_r), v_match, v_mismatch);
+            Vec v_score = vmax(adds(v_h_diag, v_sub), v_e);
+            v_score = vmax(v_score, vmax(v_f, v_zero));
+            v_h_diag = Vec::load(h_arr + i * kW);
+            v_score.store(h_arr + i * kW);
+            v_h_above = v_score;
+
+            // Track the first strictly-greater cell in (j, i) order —
+            // exactly sswAlign's tie-breaking. Padded cells decay and
+            // cannot win, but mask them anyway so degenerate scoring
+            // parameters (zero penalties) stay exact.
+            const Vec v_im1 = Vec::set1(static_cast<int16_t>(i - 1));
+            const Vec valid = vand(col_valid, cmpGt(v_qlen, v_im1));
+            const Vec upd = vand(cmpGt(v_score, v_best), valid);
+            v_best = blend(upd, v_score, v_best);
+            v_qend = blend(upd, v_im1, v_qend);
+            v_rend = blend(upd, v_j, v_rend);
+        }
+    }
+
+    for (int k = 0; k < n_lanes; ++k) {
+        LocalHit &hit = results[lane_jobs[k]];
+        hit.score = v_best.lane(k);
+        hit.queryEnd = v_qend.lane(k);
+        hit.refEnd = v_rend.lane(k);
+        if (hit.score >= kScoreSaturated)
+            noteScoreSaturation();
+    }
+}
+
+#if defined(PGB_HAVE_AVX2_BUILD)
+/** 16-lane pack kernel, compiled with -mavx2 (align/ssw_avx2.cpp). */
+void sswAlignBatchPackAvx2(std::span<const BatchJob> jobs,
+                           std::span<const uint32_t> lane_jobs,
+                           const ScoreParams &params,
+                           std::span<LocalHit> results);
+#endif
+
+/** Run one pack at the active SIMD level. */
+void sswAlignBatchPack(std::span<const BatchJob> jobs,
+                       std::span<const uint32_t> lane_jobs,
+                       const ScoreParams &params,
+                       std::span<LocalHit> results);
+
+} // namespace detail
+
+/**
+ * Align every job of @p jobs independently, packing
+ * simdDispatchLanes() jobs per SIMD pass. results[i] corresponds to
+ * jobs[i] and is bit-identical to sswAlign(jobs[i].query,
+ * jobs[i].reference, params). Packs run in parallel over @p threads;
+ * pack formation is deterministic, so results do not depend on the
+ * thread count.
+ */
+void sswAlignBatch(std::span<const BatchJob> jobs,
+                   const ScoreParams &params, std::span<LocalHit> results,
+                   unsigned threads = 1);
+
+} // namespace pgb::align
+
+#endif // PGB_ALIGN_SSW_BATCH_HPP

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Portable software-prefetch shim.
+ *
+ * The minimizer bucket probe and the GBWT last-first walk are
+ * MPKI-dominated (paper Figure 7): each step's next cache line is
+ * data-dependent but computable one iteration ahead. prefetchRead()
+ * lowers to __builtin_prefetch where the compiler has it and to a
+ * no-op elsewhere, so hot loops can hide that latency without any
+ * platform ifdefs at the call site. Prefetching is advisory — wrong
+ * or out-of-range addresses are harmless — so call sites may issue it
+ * speculatively.
+ */
+
+#ifndef PGB_CORE_PREFETCH_HPP
+#define PGB_CORE_PREFETCH_HPP
+
+namespace pgb::core {
+
+#if defined(__GNUC__) || defined(__clang__)
+
+/** Hint that @p address will be read soon (temporal locality 0-3). */
+inline void
+prefetchRead(const void *address, int locality = 3)
+{
+    switch (locality) {
+      case 0: __builtin_prefetch(address, 0, 0); break;
+      case 1: __builtin_prefetch(address, 0, 1); break;
+      case 2: __builtin_prefetch(address, 0, 2); break;
+      default: __builtin_prefetch(address, 0, 3); break;
+    }
+}
+
+#else
+
+inline void
+prefetchRead(const void *, int = 3)
+{
+}
+
+#endif
+
+} // namespace pgb::core
+
+#endif // PGB_CORE_PREFETCH_HPP

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Scratch reuse for hot paths: thread-local workspaces and
+ * default-initializing vectors.
+ *
+ * The mapping pipeline used to allocate fresh std::vectors for every
+ * read's anchors, chains, DP states, and gap queries — malloc traffic
+ * the paper's hot-path characterization charges straight to the
+ * kernels. Two tools kill it:
+ *
+ *  - threadScratch<W>(): one W per (thread, W type) for the process
+ *    lifetime. A workspace is a plain struct of containers; callers
+ *    clear()/assign() members per task (a "generation"), which keeps
+ *    the heap allocations and only resets sizes. Safe under the work-
+ *    stealing pool because a task runs on exactly one thread; the
+ *    workspace must never escape the task that borrowed it.
+ *
+ *  - DefaultInitAlloc: a vector allocator that default-initializes
+ *    (i.e. leaves POD elements uninitialized) on resize, for buffers
+ *    whose every element is overwritten before being read — e.g. the
+ *    GSSW per-node DP matrices, where the zero-fill was pure waste.
+ */
+
+#ifndef PGB_CORE_SCRATCH_HPP
+#define PGB_CORE_SCRATCH_HPP
+
+#include <memory>
+
+namespace pgb::core {
+
+/**
+ * Allocator that skips value-initialization: vector<T, DefaultInitAlloc
+ * <T>> resize leaves new POD elements uninitialized. Only use for
+ * buffers that are fully overwritten before any read.
+ */
+template <typename T>
+struct DefaultInitAlloc : std::allocator<T>
+{
+    template <typename U>
+    struct rebind
+    {
+        using other = DefaultInitAlloc<U>;
+    };
+
+    DefaultInitAlloc() = default;
+
+    template <typename U>
+    constexpr DefaultInitAlloc(const DefaultInitAlloc<U> &) noexcept
+    {
+    }
+
+    template <typename U>
+    void
+    construct(U *p) noexcept(noexcept(::new (static_cast<void *>(p)) U))
+    {
+        ::new (static_cast<void *>(p)) U;
+    }
+
+    template <typename U, typename... Args>
+    void
+    construct(U *p, Args &&...args)
+    {
+        std::allocator<T> base;
+        std::allocator_traits<std::allocator<T>>::construct(
+            base, p, std::forward<Args>(args)...);
+    }
+};
+
+/**
+ * The calling thread's scratch workspace of type @p W (constructed on
+ * first use, reused for the thread's lifetime). Treat the reference as
+ * task-local: re-fetch it in every task and never store it across a
+ * parallelFor boundary.
+ */
+template <typename W>
+W &
+threadScratch()
+{
+    thread_local W workspace;
+    return workspace;
+}
+
+} // namespace pgb::core
+
+#endif // PGB_CORE_SCRATCH_HPP

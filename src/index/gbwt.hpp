@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "core/prefetch.hpp"
 #include "core/probe.hpp"
 #include "graph/pangraph.hpp"
 
@@ -137,8 +138,14 @@ class GbwtIndex
         if (steps.empty())
             return {};
         GbwtRange range = fullRange(steps[0]);
-        for (size_t i = 1; i < steps.size() && !range.empty(); ++i)
+        for (size_t i = 1; i < steps.size() && !range.empty(); ++i) {
+            // extend() reads records_[range.node]; the record the
+            // *next* iteration dereferences is steps[i]'s, known one
+            // step ahead — fetch its header under the current step's
+            // rank work (the walk's data-dependent miss, Figure 7).
+            core::prefetchRead(&records_[toInternal(steps[i])]);
             range = extend(range, steps[i], probe);
+        }
         return range;
     }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/prefetch.hpp"
 #include "core/thread_pool.hpp"
 
 namespace pgb::index {
@@ -145,19 +146,36 @@ std::span<const GraphSeedHit>
 MinimizerIndex::occurrences(uint64_t hash) const
 {
     if (viewMode_) {
-        const auto it = std::lower_bound(
-            tableView_.begin(), tableView_.end(), hash,
-            [](const TableEntry &entry, uint64_t key) {
-                return entry.hash < key;
-            });
-        if (it == tableView_.end() || it->hash != hash)
+        // Hand-rolled lower_bound: every probe's two possible
+        // successors are known before the compare resolves, so both
+        // candidate midpoints are prefetched a step ahead — the bucket
+        // probe is otherwise a chain of data-dependent misses over a
+        // table far larger than cache (paper Figure 7).
+        const TableEntry *base = tableView_.data();
+        size_t lo = 0;
+        size_t len = tableView_.size();
+        while (len > 0) {
+            const size_t half = len / 2;
+            core::prefetchRead(base + lo + half / 2, 0);
+            core::prefetchRead(base + lo + half + (len - half) / 2, 0);
+            if (base[lo + half].hash < hash) {
+                lo += half + 1;
+                len -= half + 1;
+            } else {
+                len = half;
+            }
+        }
+        if (lo == tableView_.size() || base[lo].hash != hash)
             return {};
-        return {hitsView_.data() + it->begin,
-                static_cast<size_t>(it->end - it->begin)};
+        // The caller iterates the hits next; start that fetch now.
+        core::prefetchRead(hitsView_.data() + base[lo].begin);
+        return {hitsView_.data() + base[lo].begin,
+                static_cast<size_t>(base[lo].end - base[lo].begin)};
     }
     auto it = table_.find(hash);
     if (it == table_.end())
         return {};
+    core::prefetchRead(hits_.data() + it->second.first);
     return {hits_.data() + it->second.first,
             it->second.second - it->second.first};
 }

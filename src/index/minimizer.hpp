@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/probe.hpp"
+#include "core/scratch.hpp"
 #include "graph/pangraph.hpp"
 
 namespace pgb::index {
@@ -52,19 +53,41 @@ struct Minimizer
     bool reverse = false;  ///< canonical strand of the k-mer
 };
 
+namespace detail {
+
+/** One window candidate of the minimizer scan. */
+struct MinimizerCand
+{
+    uint64_t hash;
+    uint32_t pos;
+    bool reverse;
+};
+
+/** Thread-local candidate buffer reused across scans. */
+struct MinimizerWindowScratch
+{
+    std::vector<MinimizerCand> cands;
+};
+
+} // namespace detail
+
 /**
- * Compute the (w,k)-minimizers of @p bases (encoded). Canonical
- * k-mers; windows containing N are skipped.
+ * Compute the (w,k)-minimizers of @p bases (encoded) into @p out
+ * (cleared first, capacity reused). Canonical k-mers; windows
+ * containing N are skipped. The window candidate buffer lives in a
+ * thread-local scratch, so per-read calls on the mapping hot path do
+ * not touch malloc once warm.
  */
 template <typename Probe = core::NullProbe>
-std::vector<Minimizer>
-computeMinimizers(std::span<const uint8_t> bases, int k, int w,
-                  Probe &probe)
+void
+computeMinimizersInto(std::span<const uint8_t> bases, int k, int w,
+                      std::vector<Minimizer> &out, Probe &probe)
 {
-    std::vector<Minimizer> out;
+    using detail::MinimizerCand;
+    out.clear();
     const size_t n = bases.size();
     if (n < static_cast<size_t>(k))
-        return out;
+        return;
     const uint64_t mask = k < 32 ? (1ull << (2 * k)) - 1 : ~0ull;
     const int shift = 2 * (k - 1);
 
@@ -72,16 +95,12 @@ computeMinimizers(std::span<const uint8_t> bases, int k, int w,
     int valid = 0; // consecutive non-N bases ending here
 
     // Ring buffer of candidate (hash, pos, strand) for the window.
-    struct Cand
-    {
-        uint64_t hash;
-        uint32_t pos;
-        bool reverse;
-    };
-    std::vector<Cand> window;
+    std::vector<MinimizerCand> &window =
+        core::threadScratch<detail::MinimizerWindowScratch>().cands;
+    window.clear();
     window.reserve(n >= static_cast<size_t>(k) ?
                    n - static_cast<size_t>(k) + 1 : 0);
-    auto emit_if_new = [&](const Cand &cand) {
+    auto emit_if_new = [&](const MinimizerCand &cand) {
         if (out.empty() || out.back().hash != cand.hash ||
             out.back().position != cand.pos) {
             out.push_back({cand.hash, cand.pos, cand.reverse});
@@ -116,7 +135,7 @@ computeMinimizers(std::span<const uint8_t> bases, int k, int w,
         // Report the window minimum once the window is full.
         if (pos + 1 >= static_cast<uint32_t>(w)) {
             // Scan the last w candidates for the minimum hash.
-            Cand best = window.back();
+            MinimizerCand best = window.back();
             const size_t lo = window.size() >= static_cast<size_t>(w)
                 ? window.size() - static_cast<size_t>(w) : 0;
             for (size_t c = lo; c < window.size(); ++c) {
@@ -127,6 +146,16 @@ computeMinimizers(std::span<const uint8_t> bases, int k, int w,
             emit_if_new(best);
         }
     }
+}
+
+/** Returning variant of computeMinimizersInto. */
+template <typename Probe = core::NullProbe>
+std::vector<Minimizer>
+computeMinimizers(std::span<const uint8_t> bases, int k, int w,
+                  Probe &probe)
+{
+    std::vector<Minimizer> out;
+    computeMinimizersInto(bases, k, w, out, probe);
     return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/scratch.hpp"
 #include "obs/metrics.hpp"
 
 namespace pgb::pipeline {
@@ -10,6 +11,21 @@ namespace pgb::pipeline {
 namespace {
 
 obs::Counter obsChainDpAnchors("chain.dp_anchors");
+
+/**
+ * Thread-local buffers of the seed/cluster/chain stages. Cleared (not
+ * freed) per read, so the steady-state hot path never mallocs.
+ */
+struct ChainScratch
+{
+    std::vector<index::Minimizer> minimizers;
+    std::unordered_map<uint64_t, AnchorChain> buckets;
+    std::vector<uint32_t> order;
+    std::vector<int64_t> dp;
+    std::vector<int64_t> parent;
+    std::vector<size_t> byScore;
+    std::vector<char> used;
+};
 
 } // namespace
 
@@ -24,14 +40,18 @@ GraphLinearization::GraphLinearization(const graph::PanGraph &graph)
     total_ = running;
 }
 
-std::vector<Anchor>
-collectAnchors(const seq::Sequence &read,
-               const index::MinimizerIndex &index,
-               const GraphLinearization &linear, size_t max_occurrences)
+void
+collectAnchorsInto(const seq::Sequence &read,
+                   const index::MinimizerIndex &index,
+                   const GraphLinearization &linear,
+                   std::vector<Anchor> &anchors, size_t max_occurrences)
 {
-    std::vector<Anchor> anchors;
-    const auto minimizers =
-        index::computeMinimizers(read.codes(), index.k(), index.w());
+    anchors.clear();
+    std::vector<index::Minimizer> &minimizers =
+        core::threadScratch<ChainScratch>().minimizers;
+    core::NullProbe probe;
+    index::computeMinimizersInto(read.codes(), index.k(), index.w(),
+                                 minimizers, probe);
     for (const index::Minimizer &mini : minimizers) {
         const auto hits = index.occurrences(mini.hash);
         if (hits.empty() || hits.size() > max_occurrences)
@@ -48,15 +68,28 @@ collectAnchors(const seq::Sequence &read,
             anchors.push_back(anchor);
         }
     }
+}
+
+std::vector<Anchor>
+collectAnchors(const seq::Sequence &read,
+               const index::MinimizerIndex &index,
+               const GraphLinearization &linear, size_t max_occurrences)
+{
+    std::vector<Anchor> anchors;
+    collectAnchorsInto(read, index, linear, anchors, max_occurrences);
     return anchors;
 }
 
-std::vector<AnchorChain>
-clusterAnchors(std::span<const Anchor> anchors, uint64_t band_width)
+void
+clusterAnchorsInto(std::span<const Anchor> anchors, uint64_t band_width,
+                   std::vector<AnchorChain> &clusters)
 {
+    clusters.clear();
     // Bucket by (strand, diagonal band). Reverse-strand alignments
     // are colinear along anti-diagonals (linear + query constant).
-    std::unordered_map<uint64_t, AnchorChain> buckets;
+    std::unordered_map<uint64_t, AnchorChain> &buckets =
+        core::threadScratch<ChainScratch>().buckets;
+    buckets.clear();
     for (uint32_t i = 0; i < anchors.size(); ++i) {
         const Anchor &anchor = anchors[i];
         const uint64_t diag = anchor.reverse
@@ -69,7 +102,6 @@ clusterAnchors(std::span<const Anchor> anchors, uint64_t band_width)
         chain.reverse = anchor.reverse;
         ++chain.score;
     }
-    std::vector<AnchorChain> clusters;
     clusters.reserve(buckets.size());
     for (auto &[key, chain] : buckets)
         clusters.push_back(std::move(chain));
@@ -77,15 +109,27 @@ clusterAnchors(std::span<const Anchor> anchors, uint64_t band_width)
               [](const AnchorChain &a, const AnchorChain &b) {
                   return a.score > b.score;
               });
-    return clusters;
 }
 
 std::vector<AnchorChain>
-chainAnchors(std::span<const Anchor> anchors, const ChainParams &params)
+clusterAnchors(std::span<const Anchor> anchors, uint64_t band_width)
 {
+    std::vector<AnchorChain> clusters;
+    clusterAnchorsInto(anchors, band_width, clusters);
+    return clusters;
+}
+
+void
+chainAnchorsInto(std::span<const Anchor> anchors,
+                 const ChainParams &params,
+                 std::vector<AnchorChain> &chains)
+{
+    chains.clear();
     obsChainDpAnchors.add(anchors.size());
+    ChainScratch &ws = core::threadScratch<ChainScratch>();
     // Sort anchor ids by (strand, linear position, query position).
-    std::vector<uint32_t> order(anchors.size());
+    std::vector<uint32_t> &order = ws.order;
+    order.resize(anchors.size());
     for (uint32_t i = 0; i < anchors.size(); ++i)
         order[i] = i;
     std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
@@ -97,8 +141,10 @@ chainAnchors(std::span<const Anchor> anchors, const ChainParams &params)
     });
 
     const size_t n = order.size();
-    std::vector<int64_t> dp(n, 0);
-    std::vector<int64_t> parent(n, -1);
+    std::vector<int64_t> &dp = ws.dp;
+    std::vector<int64_t> &parent = ws.parent;
+    dp.assign(n, 0);
+    parent.assign(n, -1);
     for (size_t i = 0; i < n; ++i) {
         const Anchor &cur = anchors[order[i]];
         dp[i] = params.matchBonus;
@@ -135,21 +181,22 @@ chainAnchors(std::span<const Anchor> anchors, const ChainParams &params)
     }
 
     // Extract chains best-first over unused anchors.
-    std::vector<size_t> by_score(n);
+    std::vector<size_t> &by_score = ws.byScore;
+    by_score.resize(n);
     for (size_t i = 0; i < n; ++i)
         by_score[i] = i;
     std::sort(by_score.begin(), by_score.end(),
               [&](size_t a, size_t b) { return dp[a] > dp[b]; });
-    std::vector<bool> used(n, false);
-    std::vector<AnchorChain> chains;
+    std::vector<char> &used = ws.used;
+    used.assign(n, 0);
     for (size_t head : by_score) {
-        if (used[head])
+        if (used[head] != 0)
             continue;
         AnchorChain chain;
         chain.score = dp[head];
         int64_t walk = static_cast<int64_t>(head);
-        while (walk >= 0 && !used[static_cast<size_t>(walk)]) {
-            used[static_cast<size_t>(walk)] = true;
+        while (walk >= 0 && used[static_cast<size_t>(walk)] == 0) {
+            used[static_cast<size_t>(walk)] = 1;
             chain.anchorIds.push_back(order[static_cast<size_t>(walk)]);
             chain.reverse =
                 anchors[order[static_cast<size_t>(walk)]].reverse;
@@ -158,6 +205,13 @@ chainAnchors(std::span<const Anchor> anchors, const ChainParams &params)
         std::reverse(chain.anchorIds.begin(), chain.anchorIds.end());
         chains.push_back(std::move(chain));
     }
+}
+
+std::vector<AnchorChain>
+chainAnchors(std::span<const Anchor> anchors, const ChainParams &params)
+{
+    std::vector<AnchorChain> chains;
+    chainAnchorsInto(anchors, params, chains);
     return chains;
 }
 

@@ -54,7 +54,19 @@ class GraphLinearization
     uint64_t total_ = 0;
 };
 
-/** Collect anchors for @p read (both strands) from the index. */
+/**
+ * Collect anchors for @p read (both strands) into @p anchors (cleared
+ * first, capacity reused). Minimizer and window temporaries live in
+ * thread-local scratch — the per-read hot path allocates nothing once
+ * warm.
+ */
+void collectAnchorsInto(const seq::Sequence &read,
+                        const index::MinimizerIndex &index,
+                        const GraphLinearization &linear,
+                        std::vector<Anchor> &anchors,
+                        size_t max_occurrences = 64);
+
+/** Returning variant of collectAnchorsInto. */
 std::vector<Anchor> collectAnchors(const seq::Sequence &read,
                                    const index::MinimizerIndex &index,
                                    const GraphLinearization &linear,
@@ -70,8 +82,14 @@ struct AnchorChain
 
 /**
  * Cheap diagonal clustering: bucket anchors by strand and
- * (linearPos - queryPos) band, score = anchor count.
+ * (linearPos - queryPos) band, score = anchor count. Writes into
+ * @p clusters (cleared first); the bucket table is thread-local.
  */
+void clusterAnchorsInto(std::span<const Anchor> anchors,
+                        uint64_t band_width,
+                        std::vector<AnchorChain> &clusters);
+
+/** Returning variant of clusterAnchorsInto. */
 std::vector<AnchorChain> clusterAnchors(std::span<const Anchor> anchors,
                                         uint64_t band_width = 128);
 
@@ -86,8 +104,14 @@ struct ChainParams
 
 /**
  * Minigraph's 2-D chaining DP over anchors (sorted internally); the
- * stage GWFA was extracted from. Returns chains best-first.
+ * stage GWFA was extracted from. Writes chains best-first into
+ * @p chains (cleared first); the DP arrays are thread-local.
  */
+void chainAnchorsInto(std::span<const Anchor> anchors,
+                      const ChainParams &params,
+                      std::vector<AnchorChain> &chains);
+
+/** Returning variant of chainAnchorsInto. */
 std::vector<AnchorChain> chainAnchors(std::span<const Anchor> anchors,
                                       const ChainParams &params);
 

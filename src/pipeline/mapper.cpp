@@ -8,9 +8,11 @@
 #include "align/gssw.hpp"
 #include "align/gwfa.hpp"
 #include "align/ssw.hpp"
+#include "align/ssw_batch.hpp"
 #include "align/wfa.hpp"
 #include "core/fault.hpp"
 #include "core/logging.hpp"
+#include "core/scratch.hpp"
 #include "core/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -118,13 +120,25 @@ std::vector<Seq2GraphMapper::AlignTask>
 Seq2GraphMapper::planAlignments(const seq::Sequence &read,
                                 MappingStats &stats) const
 {
+    // Per-read planning buffers, one set per thread for the process
+    // lifetime (core::threadScratch): anchors and chains are cleared
+    // per read but keep their heap allocations, so the steady-state
+    // planning path stays off malloc. AlignTask copies plain values,
+    // so nothing escapes the borrowing task.
+    struct PlanScratch
+    {
+        std::vector<Anchor> anchors;
+        std::vector<AnchorChain> chains;
+    };
+    PlanScratch &ws = core::threadScratch<PlanScratch>();
+
     // ---- Seeding.
-    std::vector<Anchor> anchors;
+    std::vector<Anchor> &anchors = ws.anchors;
     {
         core::StageTimers::Scope scope(stats.timers, "seed");
         obs::Span span("seed");
-        anchors = collectAnchors(read, context_->minimizers(),
-                                 context_->linearization());
+        collectAnchorsInto(read, context_->minimizers(),
+                           context_->linearization(), anchors);
         stats.anchors += anchors.size();
         obsAnchors.add(anchors.size());
     }
@@ -132,22 +146,22 @@ Seq2GraphMapper::planAlignments(const seq::Sequence &read,
         return {};
 
     // ---- Clustering / chaining.
-    std::vector<AnchorChain> chains;
+    std::vector<AnchorChain> &chains = ws.chains;
     {
         core::StageTimers::Scope scope(stats.timers, "cluster_chain");
         obs::Span span("cluster_chain");
         switch (config_.profile) {
           case ToolProfile::kMinigraph: {
             ChainParams params;
-            chains = chainAnchors(anchors, params);
+            chainAnchorsInto(anchors, params, chains);
             break;
           }
           case ToolProfile::kGraphAligner:
             // GraphAligner: lightweight clustering, wide bands.
-            chains = clusterAnchors(anchors, 512);
+            clusterAnchorsInto(anchors, 512, chains);
             break;
           default:
-            chains = clusterAnchors(anchors, 128);
+            clusterAnchorsInto(anchors, 128, chains);
             break;
         }
         // Drop weak clusters.
@@ -620,38 +634,68 @@ Seq2SeqMapper::mapReads(std::span<const seq::Sequence> reads,
     MappingStats total;
     total.reads = reads.size();
     total.kernelName = "SSW";
-    std::atomic<uint64_t> mapped(0);
+
+    // Phase 1 (parallel): window search and strand selection per read.
+    // Canonical minimizers place reverse-strand reads too, so the
+    // window search runs once and the right strand is aligned in it.
+    // Plans are preallocated so workers fill disjoint slots.
+    struct ReadPlan
+    {
+        Window window;
+        std::vector<uint8_t> rc; ///< reverse-complement codes, if used
+    };
+    std::vector<ReadPlan> plans(reads.size());
     std::mutex merge_lock;
     core::parallelFor(0, reads.size(), threads, [&](size_t i) {
         MappingStats local;
-        const seq::Sequence &read = reads[i];
-        // Canonical minimizers place reverse-strand reads too, so the
-        // window search runs once and both strands are aligned in it.
-        const Window window = bestWindow(read, &local);
-        bool read_mapped = false;
-        if (window.found) {
-            core::StageTimers::Scope scope(local.timers, "align");
-            const std::span<const uint8_t> ref_window(
-                reference_.codes().data() + window.begin,
-                window.end - window.begin);
-            const auto params = align::ScoreParams::mappingDefaults();
-            const seq::Sequence rc = read.reverseComplement();
-            const auto &strand =
-                window.reverse ? rc.codes() : read.codes();
-            const int32_t best =
-                align::sswAlign(strand, ref_window, params).score;
-            read_mapped = best > static_cast<int32_t>(read.size()) / 4;
-            ++local.alignments;
-        }
-        if (read_mapped)
-            mapped.fetch_add(1, std::memory_order_relaxed);
+        ReadPlan &plan = plans[i];
+        plan.window = bestWindow(reads[i], &local);
+        if (plan.window.found && plan.window.reverse)
+            plan.rc = reads[i].reverseComplement().codes();
         std::lock_guard<std::mutex> lock(merge_lock);
         for (const auto &[stage, secs] : local.timers.stages())
             total.timers.add(stage, secs);
         total.anchors += local.anchors;
-        total.alignments += local.alignments;
     });
-    total.mappedReads = mapped.load();
+
+    // Phase 2: one inter-sequence batched SSW pass over every read
+    // that found a window. The batch packs length-bucketed reads into
+    // the SIMD lanes (align/ssw_batch.hpp), so lane occupancy no
+    // longer depends on any single read's length; results land in job
+    // order regardless of thread count.
+    std::vector<align::BatchJob> jobs;
+    std::vector<size_t> job_read;
+    jobs.reserve(reads.size());
+    job_read.reserve(reads.size());
+    for (size_t i = 0; i < reads.size(); ++i) {
+        const ReadPlan &plan = plans[i];
+        if (!plan.window.found)
+            continue;
+        align::BatchJob job;
+        job.query = plan.window.reverse
+            ? std::span<const uint8_t>(plan.rc)
+            : std::span<const uint8_t>(reads[i].codes());
+        job.reference = std::span<const uint8_t>(
+            reference_.codes().data() + plan.window.begin,
+            plan.window.end - plan.window.begin);
+        jobs.push_back(job);
+        job_read.push_back(i);
+    }
+    std::vector<align::LocalHit> hits(jobs.size());
+    {
+        core::StageTimers::Scope scope(total.timers, "align");
+        align::sswAlignBatch(jobs,
+                             align::ScoreParams::mappingDefaults(),
+                             hits, threads);
+    }
+    uint64_t mapped = 0;
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        const auto read_size = reads[job_read[j]].size();
+        if (hits[j].score > static_cast<int32_t>(read_size) / 4)
+            ++mapped;
+    }
+    total.alignments = jobs.size();
+    total.mappedReads = mapped;
     return total;
 }
 

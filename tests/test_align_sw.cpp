@@ -292,8 +292,14 @@ TEST(Gssw, KeepMatricesStoresFullDp)
     const auto result = gsswAlign(
         g, query, ScoreParams::mappingDefaults(), options);
     ASSERT_EQ(result.matrices.size(), 2u);
-    EXPECT_EQ(result.matrices[0].size(), query.size() * 8);
-    EXPECT_EQ(result.matrices[1].size(), query.size() * 4);
+    // Uninstrumented runs keep the kernel's striped columns: one
+    // segLen x lanes block per reference base, padding included.
+    ASSERT_EQ(result.matrixLayout, GsswMatrixLayout::kStriped);
+    const size_t col = static_cast<size_t>(result.matrixSegLen) *
+                       static_cast<size_t>(result.matrixLanes);
+    EXPECT_GE(col, query.size());
+    EXPECT_EQ(result.matrices[0].size(), col * 8);
+    EXPECT_EQ(result.matrices[1].size(), col * 4);
     EXPECT_EQ(result.cellsComputed, query.size() * 12);
 
     GsswOptions no_matrices;

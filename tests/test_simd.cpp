@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Tests for the width-templated SIMD layer and its runtime dispatch:
+ * lane-exact property tests of every compiled backend against the
+ * VScalar ground truth (via the simdOpsTables() function-pointer
+ * view), bit-identical kernel results across PGB_SIMD levels, the
+ * inter-sequence batch kernel against per-job sswAlign, and the int16
+ * saturation clamp with its align.score_saturated counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "align/dispatch.hpp"
+#include "align/gssw.hpp"
+#include "align/simd.hpp"
+#include "align/simd_table.hpp"
+#include "align/ssw.hpp"
+#include "align/ssw_batch.hpp"
+#include "core/rng.hpp"
+#include "graph/local_graph.hpp"
+#include "obs/metrics.hpp"
+#include "seq/sequence.hpp"
+
+namespace pgb::align {
+namespace {
+
+using core::Rng;
+using graph::LocalGraph;
+
+// ------------------------------------------------- lane properties
+
+/** Saturating int16 arithmetic, the scalar ground truth. */
+int16_t
+satAdd(int16_t a, int16_t b)
+{
+    const int32_t sum = static_cast<int32_t>(a) + b;
+    return static_cast<int16_t>(
+        std::min<int32_t>(INT16_MAX, std::max<int32_t>(INT16_MIN, sum)));
+}
+
+int16_t
+satSub(int16_t a, int16_t b)
+{
+    const int32_t diff = static_cast<int32_t>(a) - b;
+    return static_cast<int16_t>(
+        std::min<int32_t>(INT16_MAX, std::max<int32_t>(INT16_MIN, diff)));
+}
+
+/**
+ * Lane inputs stressing the saturation and comparison edges plus
+ * deterministic pseudo-random fill.
+ */
+std::vector<int16_t>
+laneInputs(uint64_t seed, size_t count)
+{
+    static constexpr int16_t kEdges[] = {
+        INT16_MIN, INT16_MIN + 1, -30000, -1, 0, 1,
+        30000,     INT16_MAX - 1, INT16_MAX,
+    };
+    std::vector<int16_t> values;
+    values.reserve(count);
+    Rng rng(seed);
+    for (size_t i = 0; i < count; ++i) {
+        if (rng.chance(0.3)) {
+            values.push_back(
+                kEdges[rng.below(sizeof(kEdges) / sizeof(kEdges[0]))]);
+        } else {
+            values.push_back(static_cast<int16_t>(
+                static_cast<int32_t>(rng.below(65536)) - 32768));
+        }
+    }
+    return values;
+}
+
+TEST(SimdOps, EveryBackendMatchesScalarGroundTruth)
+{
+    const auto tables = simdOpsTables();
+    ASSERT_GE(tables.size(), 2u); // at least VScalar<8> and VScalar<16>
+    constexpr int kRounds = 200;
+    for (const SimdOpsTable &table : tables) {
+        SCOPED_TRACE(table.name);
+        const int w = table.width;
+        ASSERT_TRUE(w == 8 || w == 16);
+        for (int round = 0; round < kRounds; ++round) {
+            const auto a = laneInputs(round * 2 + 1, w);
+            const auto b = laneInputs(round * 2 + 2, w);
+            std::vector<int16_t> out(w, 0);
+
+            table.adds(a.data(), b.data(), out.data());
+            for (int i = 0; i < w; ++i)
+                ASSERT_EQ(out[i], satAdd(a[i], b[i])) << "lane " << i;
+            table.subs(a.data(), b.data(), out.data());
+            for (int i = 0; i < w; ++i)
+                ASSERT_EQ(out[i], satSub(a[i], b[i])) << "lane " << i;
+            table.vmax(a.data(), b.data(), out.data());
+            for (int i = 0; i < w; ++i)
+                ASSERT_EQ(out[i], std::max(a[i], b[i])) << "lane " << i;
+            table.cmpEq(a.data(), b.data(), out.data());
+            for (int i = 0; i < w; ++i)
+                ASSERT_EQ(out[i], a[i] == b[i] ? -1 : 0) << "lane " << i;
+            table.cmpGt(a.data(), b.data(), out.data());
+            for (int i = 0; i < w; ++i)
+                ASSERT_EQ(out[i], a[i] > b[i] ? -1 : 0) << "lane " << i;
+            table.vand(a.data(), b.data(), out.data());
+            for (int i = 0; i < w; ++i) {
+                ASSERT_EQ(out[i], static_cast<int16_t>(a[i] & b[i]))
+                    << "lane " << i;
+            }
+
+            // blend: mask lanes are all-ones or all-zero in kernel use.
+            std::vector<int16_t> mask(w);
+            for (int i = 0; i < w; ++i)
+                mask[i] = (a[i] > b[i]) ? -1 : 0;
+            table.blend(mask.data(), a.data(), b.data(), out.data());
+            for (int i = 0; i < w; ++i)
+                ASSERT_EQ(out[i], mask[i] != 0 ? a[i] : b[i])
+                    << "lane " << i;
+
+            const int16_t fill = b[0];
+            table.shiftLanesUp(a.data(), fill, out.data());
+            ASSERT_EQ(out[0], fill);
+            for (int i = 1; i < w; ++i)
+                ASSERT_EQ(out[i], a[i - 1]) << "lane " << i;
+
+            bool any = false;
+            for (int i = 0; i < w; ++i)
+                any = any || a[i] > b[i];
+            ASSERT_EQ(table.anyGt(a.data(), b.data()), any);
+
+            int16_t hmax = a[0];
+            for (int i = 1; i < w; ++i)
+                hmax = std::max(hmax, a[i]);
+            ASSERT_EQ(table.horizontalMax(a.data()), hmax);
+            for (int i = 0; i < w; ++i)
+                ASSERT_EQ(table.lane(a.data(), i), a[i]) << "lane " << i;
+        }
+    }
+}
+
+TEST(SimdOps, TablesCoverTheDispatchableLevels)
+{
+    const auto tables = simdOpsTables();
+    bool scalar8 = false, scalar16 = false;
+    for (const SimdOpsTable &table : tables) {
+        if (std::string(table.name) == "scalar8")
+            scalar8 = true;
+        if (std::string(table.name) == "scalar16")
+            scalar16 = true;
+    }
+    EXPECT_TRUE(scalar8);
+    EXPECT_TRUE(scalar16);
+}
+
+// ------------------------------------------- cross-level dispatch
+
+/** RAII PGB_SIMD override; restores the prior value and dispatch. */
+class SimdLevelOverride
+{
+  public:
+    explicit SimdLevelOverride(const char *level)
+    {
+        const char *prev = std::getenv("PGB_SIMD");
+        had_ = prev != nullptr;
+        if (had_)
+            prev_ = prev;
+        ::setenv("PGB_SIMD", level, 1);
+        refreshSimdLevel();
+    }
+
+    ~SimdLevelOverride()
+    {
+        if (had_)
+            ::setenv("PGB_SIMD", prev_.c_str(), 1);
+        else
+            ::unsetenv("PGB_SIMD");
+        refreshSimdLevel();
+    }
+
+  private:
+    bool had_ = false;
+    std::string prev_;
+};
+
+std::vector<uint8_t>
+randomBases(Rng &rng, size_t length)
+{
+    std::vector<uint8_t> bases;
+    bases.reserve(length);
+    for (size_t i = 0; i < length; ++i)
+        bases.push_back(static_cast<uint8_t>(rng.below(4)));
+    return bases;
+}
+
+TEST(SimdDispatch, SswBitIdenticalAcrossLevels)
+{
+    const auto params = ScoreParams::mappingDefaults();
+    Rng rng(42);
+    for (int round = 0; round < 20; ++round) {
+        const auto query = randomBases(rng, 30 + rng.below(200));
+        const auto reference = randomBases(rng, 50 + rng.below(400));
+
+        std::vector<LocalHit> hits;
+        for (const char *level : {"scalar", "sse2", "avx2"}) {
+            SimdLevelOverride guard(level);
+            hits.push_back(sswAlign(query, reference, params));
+        }
+        for (size_t i = 1; i < hits.size(); ++i) {
+            EXPECT_EQ(hits[i].score, hits[0].score) << "round " << round;
+            EXPECT_EQ(hits[i].queryEnd, hits[0].queryEnd);
+            EXPECT_EQ(hits[i].refEnd, hits[0].refEnd);
+        }
+    }
+}
+
+TEST(SimdDispatch, GsswBitIdenticalAcrossLevels)
+{
+    const auto params = ScoreParams::mappingDefaults();
+    Rng rng(43);
+    for (int round = 0; round < 10; ++round) {
+        const auto reference = randomBases(rng, 120 + rng.below(200));
+        const auto query = randomBases(rng, 40 + rng.below(80));
+        LocalGraph g;
+        uint32_t prev = UINT32_MAX;
+        for (size_t i = 0; i < reference.size(); i += 17) {
+            const size_t end = std::min(i + 17, reference.size());
+            const uint32_t node = g.addNode(std::vector<uint8_t>(
+                reference.begin() + i, reference.begin() + end));
+            if (prev != UINT32_MAX)
+                g.addEdge(prev, node);
+            prev = node;
+        }
+        g.finalize();
+
+        std::vector<GraphLocalHit> hits;
+        for (const char *level : {"scalar", "sse2", "avx2"}) {
+            SimdLevelOverride guard(level);
+            hits.push_back(gsswAlign(g, query, params).best);
+        }
+        for (size_t i = 1; i < hits.size(); ++i) {
+            EXPECT_EQ(hits[i].score, hits[0].score) << "round " << round;
+            EXPECT_EQ(hits[i].queryEnd, hits[0].queryEnd);
+            EXPECT_EQ(hits[i].node, hits[0].node);
+            EXPECT_EQ(hits[i].nodeOffset, hits[0].nodeOffset);
+        }
+    }
+}
+
+// ------------------------------------------------- batched kernel
+
+TEST(SswBatch, MatchesPerJobSswAlignAtEveryLevel)
+{
+    const auto params = ScoreParams::mappingDefaults();
+    Rng rng(44);
+    // Mixed lengths so packs span buckets and leave partial lanes.
+    std::vector<std::vector<uint8_t>> queries, references;
+    for (int i = 0; i < 37; ++i) {
+        queries.push_back(randomBases(rng, 20 + rng.below(300)));
+        references.push_back(randomBases(rng, 40 + rng.below(600)));
+    }
+    std::vector<BatchJob> jobs(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+        jobs[i].query = queries[i];
+        jobs[i].reference = references[i];
+    }
+
+    for (const char *level : {"scalar", "sse2", "avx2"}) {
+        SCOPED_TRACE(level);
+        SimdLevelOverride guard(level);
+        std::vector<LocalHit> batched(jobs.size());
+        sswAlignBatch(jobs, params, batched, /* threads */ 3);
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            const LocalHit solo =
+                sswAlign(jobs[i].query, jobs[i].reference, params);
+            EXPECT_EQ(batched[i].score, solo.score) << "job " << i;
+            EXPECT_EQ(batched[i].queryEnd, solo.queryEnd) << "job " << i;
+            EXPECT_EQ(batched[i].refEnd, solo.refEnd) << "job " << i;
+        }
+    }
+}
+
+// ----------------------------------------------------- saturation
+
+TEST(SswSaturation, ClampsAndCountsInt16Overflow)
+{
+    // match=8 over ~5000 identical bases drives the running score
+    // past INT16_MAX: the kernel must clamp at the saturation
+    // sentinel (not wrap) and bump align.score_saturated.
+    ScoreParams params;
+    params.match = 8;
+    Rng rng(45);
+    const auto bases = randomBases(rng, 5000);
+
+    const uint64_t before =
+        obs::snapshot().counter("align.score_saturated");
+    const LocalHit hit = sswAlign(bases, bases, params);
+    const uint64_t after =
+        obs::snapshot().counter("align.score_saturated");
+
+    EXPECT_EQ(hit.score, kScoreSaturated);
+    EXPECT_GT(after, before);
+}
+
+TEST(SswSaturation, NormalScoresDoNotTripTheCounter)
+{
+    Rng rng(46);
+    const auto query = randomBases(rng, 100);
+    const uint64_t before =
+        obs::snapshot().counter("align.score_saturated");
+    const LocalHit hit =
+        sswAlign(query, query, ScoreParams::mappingDefaults());
+    const uint64_t after =
+        obs::snapshot().counter("align.score_saturated");
+    EXPECT_EQ(hit.score, 100);
+    EXPECT_EQ(after, before);
+}
+
+} // namespace
+} // namespace pgb::align

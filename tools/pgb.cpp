@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "align/dispatch.hpp"
 #include "analysis/deconstruct.hpp"
 #include "core/arg_parser.hpp"
 #include "core/fault.hpp"
@@ -924,6 +925,9 @@ writeObservability(const std::string &metrics_path,
     const bool summarize = env != nullptr && *env != '\0' &&
                            std::strcmp(env, "0") != 0;
     if (!metrics_path.empty() || summarize) {
+        // Force SIMD detection so align.simd_level reports the level
+        // the run would dispatch to, even if no kernel actually ran.
+        align::activeSimdLevel();
         const obs::Report report = obs::Report::collect();
         if (!metrics_path.empty()) {
             core::CheckedWriter out(metrics_path);
