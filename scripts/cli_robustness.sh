@@ -134,6 +134,35 @@ expect_fail "map with wrong-version artifact" \
 expect_fail "map with truncated artifact" \
     "$PGB" map --index "$CORPUS/truncated.pgbi" "$WORK/d.short.fq"
 
+# --- seeder selection fails closed ---------------------------------
+# d.pgbi was built without --seeder=mem, so it has no FM sections:
+# asking for MEM seeding against it must be a one-line fatal telling
+# the user to rebuild, not a crash or a silent minimizer fallback.
+expect_fail "map --seeder=mem without FM sections" \
+    "$PGB" map --index "$WORK/d.pgbi" --seeder=mem "$WORK/d.short.fq"
+expect_fail "serve --seeder=mem without FM sections" \
+    "$PGB" serve --index "$WORK/d.pgbi" --seeder=mem \
+    --socket "$WORK/s.sock"
+expect_fail "map with garbage --seeder" \
+    "$PGB" map --index "$WORK/d.pgbi" --seeder=banana "$WORK/d.short.fq"
+expect_fail "index with garbage --seeder" \
+    "$PGB" index "$WORK/d.gfa" -o "$WORK/d2.pgbi" --seeder=banana
+expect_ok "index with FM sections" \
+    "$PGB" index "$WORK/d.gfa" -o "$WORK/dm.pgbi" --seeder=mem
+expect_ok "map --seeder=mem via FM artifact" \
+    "$PGB" map --index "$WORK/dm.pgbi" --seeder=mem \
+    "$WORK/d.short.fq" vgmap 1
+# A corrupted FM section is corruption even for a minimizer-seeded
+# load: the artifact fails closed either way.
+expect_fail "map with FM bad-checksum artifact" \
+    "$PGB" map --index "$CORPUS/fm_bad_checksum.pgbi" "$WORK/d.short.fq"
+expect_fail "map --seeder=mem with FM-truncated artifact" \
+    "$PGB" map --index "$CORPUS/fm_truncated.pgbi" --seeder=mem \
+    "$WORK/d.short.fq"
+expect_fail "map --seeder=mem with FM bad-meta artifact" \
+    "$PGB" map --index "$CORPUS/fm_bad_meta.pgbi" --seeder=mem \
+    "$WORK/d.short.fq"
+
 # A flipped payload byte must trip the section checksum.
 cp "$WORK/d.pgbi" "$WORK/bitrot.pgbi"
 printf '\x55' | dd of="$WORK/bitrot.pgbi" bs=1 seek=4096 \

@@ -82,11 +82,21 @@ ArgParser::parse(int argc, char **argv)
             return false;
         }
         if (arg.size() > 1 && arg[0] == '-') {
-            const Spec *spec = findSpec(arg);
+            // GNU-style `--opt=value` splits at the first '='.
+            const size_t eq = arg.find('=');
+            const std::string name =
+                eq == std::string::npos ? arg : arg.substr(0, eq);
+            const Spec *spec = findSpec(name);
             if (spec == nullptr)
-                failUsage("unknown option '" + arg + "'");
+                failUsage("unknown option '" + name + "'");
             if (spec->valueName.empty()) {
+                if (eq != std::string::npos)
+                    failUsage(spec->name + " takes no value");
                 values_.emplace_back(spec->name, "");
+                continue;
+            }
+            if (eq != std::string::npos) {
+                values_.emplace_back(spec->name, arg.substr(eq + 1));
                 continue;
             }
             if (i + 1 >= argc) {

@@ -1,0 +1,250 @@
+#include "index/fm_index.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/logging.hpp"
+#include "index/suffix_array.hpp"
+#include "seq/alphabet.hpp"
+
+namespace pgb::index {
+
+namespace {
+
+/** FM symbol of a base code (sentinel 0 is reserved). */
+inline uint8_t
+symbolOf(uint8_t base_code)
+{
+    return static_cast<uint8_t>(base_code + 1);
+}
+
+} // namespace
+
+FmIndex::FmIndex(const graph::PanGraph &graph, uint32_t sample_rate)
+    : sampleRate_(sample_rate == 0 ? 1 : sample_rate)
+{
+    if (graph.pathCount() == 0)
+        core::fatal("FM-index construction needs embedded haplotype "
+                    "paths, and the graph has none");
+
+    // Text: each path's spelled sequence followed by one sentinel.
+    // All sentinels are equal; suffixes that hit one still order
+    // deterministically (shorter-suffix-first, the suffix_array
+    // convention), and patterns never contain the sentinel, so
+    // backward search is exact for any base-code query.
+    ownedPathOffsets_.reserve(graph.pathCount() + 1);
+    uint64_t total = 0;
+    ownedPathOffsets_.push_back(0);
+    for (graph::PathId p = 0; p < graph.pathCount(); ++p) {
+        total += graph.pathLength(p) + 1;
+        ownedPathOffsets_.push_back(total);
+    }
+    if (total >= UINT32_MAX)
+        core::fatal("FM-index text too large for the uint32 suffix "
+                    "array (", total, " symbols)");
+
+    std::vector<uint32_t> text;
+    text.reserve(total);
+    for (graph::PathId p = 0; p < graph.pathCount(); ++p) {
+        const seq::Sequence spelled = graph.pathSequence(p);
+        for (uint8_t code : spelled.codes())
+            text.push_back(symbolOf(code));
+        text.push_back(0);
+    }
+
+    const std::vector<uint32_t> sa = buildSuffixArray(text);
+    const uint64_t n = text.size();
+
+    ownedBwt_.resize(n);
+    for (uint64_t r = 0; r < n; ++r) {
+        const uint32_t pos = sa[r];
+        ownedBwt_[r] = static_cast<uint8_t>(
+            pos == 0 ? text[n - 1] : text[pos - 1]);
+    }
+
+    // Occ checkpoints: running symbol counts at every block start,
+    // including one final checkpoint at the (possibly partial) end so
+    // the C array can be derived from it on load.
+    const uint64_t blocks = n / kOccBlock + 1;
+    ownedOcc_.assign(blocks * kAlphabet, 0);
+    uint32_t running[kAlphabet] = {};
+    for (uint64_t r = 0; r < n; ++r) {
+        if (r % kOccBlock == 0)
+            for (uint32_t c = 0; c < kAlphabet; ++c)
+                ownedOcc_[(r / kOccBlock) * kAlphabet + c] = running[c];
+        ++running[ownedBwt_[r]];
+    }
+    if (n % kOccBlock == 0)
+        for (uint32_t c = 0; c < kAlphabet; ++c)
+            ownedOcc_[(n / kOccBlock) * kAlphabet + c] = running[c];
+
+    // Sampled SA: mark ranks whose text position is a multiple of the
+    // sample rate, plus every path start, so locate()'s LF walk stops
+    // before it would cross a sentinel into the previous path.
+    std::vector<uint8_t> is_start(n, 0);
+    for (size_t p = 0; p + 1 < ownedPathOffsets_.size(); ++p)
+        is_start[ownedPathOffsets_[p]] = 1;
+    ownedMarks_.assign((n + 63) / 64, 0);
+    for (uint64_t r = 0; r < n; ++r) {
+        const uint32_t pos = sa[r];
+        if (pos % sampleRate_ == 0 || is_start[pos]) {
+            ownedMarks_[r / 64] |= uint64_t{1} << (r % 64);
+            ownedSamples_.push_back(pos);
+        }
+    }
+
+    bwt_ = ownedBwt_;
+    occ_ = ownedOcc_;
+    samples_ = ownedSamples_;
+    marks_ = ownedMarks_;
+    pathOffsets_ = ownedPathOffsets_;
+    initDerived();
+}
+
+FmIndex::FmIndex(uint32_t sample_rate, std::span<const uint8_t> bwt,
+                 std::span<const uint32_t> occ,
+                 std::span<const uint32_t> samples,
+                 std::span<const uint64_t> marks,
+                 std::span<const uint64_t> path_offsets)
+    : sampleRate_(sample_rate == 0 ? 1 : sample_rate), viewMode_(true),
+      bwt_(bwt), occ_(occ), samples_(samples), marks_(marks),
+      pathOffsets_(path_offsets)
+{
+    initDerived();
+}
+
+void
+FmIndex::initDerived()
+{
+    // C[] from the final occ checkpoint plus the tail block: symbol
+    // counts over the whole BWT, which is a permutation of the text.
+    const uint64_t n = bwt_.size();
+    uint64_t counts[kAlphabet] = {};
+    const uint64_t last_block = n / kOccBlock;
+    for (uint32_t c = 0; c < kAlphabet; ++c)
+        counts[c] = occ_[last_block * kAlphabet + c];
+    for (uint64_t r = last_block * kOccBlock; r < n; ++r)
+        ++counts[bwt_[r]];
+    cumulative_[0] = 0;
+    for (uint32_t c = 0; c < kAlphabet; ++c)
+        cumulative_[c + 1] = cumulative_[c] + counts[c];
+
+    markRankWords_.resize(marks_.size());
+    uint64_t seen = 0;
+    for (size_t w = 0; w < marks_.size(); ++w) {
+        markRankWords_[w] = static_cast<uint32_t>(seen);
+        seen += std::popcount(marks_[w]);
+    }
+}
+
+uint64_t
+FmIndex::rankSymbol(uint8_t symbol, uint64_t limit) const
+{
+    const uint64_t block = limit / kOccBlock;
+    uint64_t count = occ_[block * kAlphabet + symbol];
+    for (uint64_t r = block * kOccBlock; r < limit; ++r)
+        count += bwt_[r] == symbol;
+    return count;
+}
+
+uint64_t
+FmIndex::markRank(uint64_t rank) const
+{
+    const uint64_t mask = (uint64_t{1} << (rank % 64)) - 1;
+    return markRankWords_[rank / 64] +
+           std::popcount(marks_[rank / 64] & mask);
+}
+
+FmIndex::SaRange
+FmIndex::extend(const SaRange &range, uint8_t base_code) const
+{
+    const uint8_t sym = symbolOf(base_code);
+    const uint64_t base = cumulative_[sym];
+    return {base + rankSymbol(sym, range.lo),
+            base + rankSymbol(sym, range.hi)};
+}
+
+FmIndex::SaRange
+FmIndex::find(std::span<const uint8_t> pattern) const
+{
+    SaRange range = fullRange();
+    for (size_t i = pattern.size(); i-- > 0;) {
+        range = extend(range, pattern[i]);
+        if (range.empty())
+            return {0, 0};
+    }
+    return range;
+}
+
+uint64_t
+FmIndex::count(std::span<const uint8_t> pattern) const
+{
+    return find(pattern).size();
+}
+
+uint64_t
+FmIndex::locate(uint64_t rank) const
+{
+    uint64_t steps = 0;
+    while (!markedRank(rank)) {
+        const uint8_t sym = bwt_[rank];
+        rank = cumulative_[sym] + rankSymbol(sym, rank);
+        ++steps;
+    }
+    return samples_[markRank(rank)] + steps;
+}
+
+FmIndex::PathPos
+FmIndex::resolve(uint64_t text_pos) const
+{
+    const auto it = std::upper_bound(pathOffsets_.begin(),
+                                     pathOffsets_.end(), text_pos);
+    const uint32_t path =
+        static_cast<uint32_t>(it - pathOffsets_.begin()) - 1;
+    return {path, text_pos - pathOffsets_[path]};
+}
+
+void
+FmIndex::collectMems(std::span<const uint8_t> query, uint32_t min_length,
+                     std::vector<Mem> &mems) const
+{
+    mems.clear();
+    const uint32_t m = static_cast<uint32_t>(query.size());
+    if (min_length == 0)
+        min_length = 1;
+
+    // For each end position e, backward-extend to the minimal begin
+    // b(e) with query[b..e) present. b() is non-decreasing in e, and
+    // [b(e), e) is an SMEM exactly when the next end strictly raises
+    // the begin (i.e. the match is right-maximal); equal begins mean
+    // the current candidate extends rightward and is replaced.
+    uint32_t cur_begin = 0, cur_end = 0;
+    SaRange cur_range;
+    bool have = false;
+    for (uint32_t e = 1; e <= m; ++e) {
+        SaRange range = fullRange();
+        uint32_t b = e;
+        while (b > 0) {
+            const SaRange next = extend(range, query[b - 1]);
+            if (next.empty())
+                break;
+            range = next;
+            --b;
+        }
+        if (!have || b > cur_begin) {
+            if (have && cur_end - cur_begin >= min_length)
+                mems.push_back({cur_begin, cur_end, cur_range});
+            cur_begin = b;
+            cur_end = e;
+            cur_range = range;
+            have = true;
+        } else {
+            cur_end = e;
+            cur_range = range;
+        }
+    }
+    if (have && cur_end - cur_begin >= min_length)
+        mems.push_back({cur_begin, cur_end, cur_range});
+}
+
+} // namespace pgb::index

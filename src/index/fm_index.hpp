@@ -1,0 +1,187 @@
+/**
+ * @file
+ * BWT/FM-index over the haplotype path sequences, the second seeding
+ * backend of the suite (ROADMAP item 1, in the spirit of ropebwt3 and
+ * vg's `Mapper`/`MaximalExactMatch` machinery).
+ *
+ * The text is the concatenation of every embedded path's spelled
+ * sequence, each path terminated by a sentinel symbol. The suffix
+ * array comes from index/suffix_array (prefix doubling over the
+ * uint32 alphabet); from it the index keeps only the BWT plus
+ * sampled structures:
+ *
+ *  - occ checkpoints every kOccBlock BWT symbols (rank = checkpoint
+ *    + short scan), the classic time/space knob of FM-indexes;
+ *  - a sampled suffix array: text positions that are multiples of
+ *    sampleRate are marked in a bitvector and their SA values stored;
+ *    locate() LF-walks to the nearest mark. Every path start is also
+ *    marked, so a locate walk never has to LF across a sentinel —
+ *    which keeps the equal-sentinel multi-string BWT exact without
+ *    per-path sentinel symbols.
+ *
+ * Patterns never contain the sentinel, so matches never span path
+ * boundaries; backward extension (`extend`/`find`) is exact for any
+ * query over the base codes (N matches only N). `collectMems`
+ * enumerates SMEMs — maximal exact matches not contained in another
+ * maximal match — by computing, for every query end position, the
+ * longest match ending there via backward extension and emitting the
+ * right-maximal ones (the begin positions are monotone in the end
+ * position, which makes that single left-to-right pass exact).
+ *
+ * Like MinimizerIndex, the index either owns its arrays (built from a
+ * graph) or views spans into a memory-mapped `.pgbi` artifact
+ * (store/format.hpp sections FMET/FBWT/FOCC/FSSA/FMRK/FPOF).
+ */
+
+#ifndef PGB_INDEX_FM_INDEX_HPP
+#define PGB_INDEX_FM_INDEX_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/pangraph.hpp"
+
+namespace pgb::index {
+
+/** A BWT/FM-index over a graph's embedded path sequences. */
+class FmIndex
+{
+  public:
+    /** Symbols: 0 = sentinel, 1..4 = A,C,G,T, 5 = N. */
+    static constexpr uint32_t kAlphabet = 6;
+    /** Occ checkpoint spacing, in BWT symbols. */
+    static constexpr uint32_t kOccBlock = 64;
+    /** Default suffix-array sampling rate. */
+    static constexpr uint32_t kDefaultSampleRate = 8;
+
+    /** A half-open suffix-array rank interval. */
+    struct SaRange
+    {
+        uint64_t lo = 0, hi = 0;
+
+        uint64_t size() const { return hi > lo ? hi - lo : 0; }
+        bool empty() const { return hi <= lo; }
+    };
+
+    /** One supermaximal exact match of a query. */
+    struct Mem
+    {
+        uint32_t queryBegin = 0; ///< match is query[queryBegin, queryEnd)
+        uint32_t queryEnd = 0;
+        SaRange range;           ///< its occurrences, as SA ranks
+    };
+
+    /** A text position resolved to (path, offset within the path). */
+    struct PathPos
+    {
+        uint32_t path = 0;
+        uint64_t offset = 0;
+    };
+
+    /**
+     * Build over @p graph's embedded paths (fatal if it has none).
+     * Construction is deterministic; @p sample_rate trades locate()
+     * speed (at most sample_rate LF steps) for space.
+     */
+    explicit FmIndex(const graph::PanGraph &graph,
+                     uint32_t sample_rate = kDefaultSampleRate);
+
+    /**
+     * Zero-copy view over artifact sections (validated by the store
+     * layer before construction). The spans must outlive the index.
+     */
+    FmIndex(uint32_t sample_rate, std::span<const uint8_t> bwt,
+            std::span<const uint32_t> occ,
+            std::span<const uint32_t> samples,
+            std::span<const uint64_t> marks,
+            std::span<const uint64_t> path_offsets);
+
+    FmIndex(const FmIndex &) = delete;
+    FmIndex &operator=(const FmIndex &) = delete;
+
+    uint64_t textLength() const { return bwt_.size(); }
+    uint32_t sampleRate() const { return sampleRate_; }
+    size_t pathCount() const { return pathOffsets_.size() - 1; }
+    bool isView() const { return viewMode_; }
+
+    /** The interval of every suffix. */
+    SaRange fullRange() const { return {0, textLength()}; }
+
+    /**
+     * Backward-extend @p range by prepending base code @p base_code
+     * (0..3 = A..T, 4 = N): the interval of (base + current pattern).
+     */
+    SaRange extend(const SaRange &range, uint8_t base_code) const;
+
+    /** Interval of @p pattern (base codes); empty range if absent. */
+    SaRange find(std::span<const uint8_t> pattern) const;
+
+    /** Occurrence count of @p pattern. */
+    uint64_t count(std::span<const uint8_t> pattern) const;
+
+    /** Text position of the suffix at SA rank @p rank. */
+    uint64_t locate(uint64_t rank) const;
+
+    /** Resolve a non-sentinel text position to (path, path offset). */
+    PathPos resolve(uint64_t text_pos) const;
+
+    /**
+     * Enumerate the SMEMs of @p query (base codes) of length at least
+     * @p min_length into @p mems (cleared first), ordered by query
+     * end position. N in the query matches only N in the text.
+     */
+    void collectMems(std::span<const uint8_t> query, uint32_t min_length,
+                     std::vector<Mem> &mems) const;
+
+    // ---- Persistence views (both modes) ------------------------------
+    std::span<const uint8_t> bwtData() const { return bwt_; }
+    std::span<const uint32_t> occData() const { return occ_; }
+    std::span<const uint32_t> sampleData() const { return samples_; }
+    std::span<const uint64_t> markData() const { return marks_; }
+    std::span<const uint64_t> pathOffsetsData() const
+    {
+        return pathOffsets_;
+    }
+
+  private:
+    /** Derive C[] and the mark rank directory from the stored arrays. */
+    void initDerived();
+
+    /** Occurrences of @p symbol in bwt[0, @p limit). */
+    uint64_t rankSymbol(uint8_t symbol, uint64_t limit) const;
+
+    bool
+    markedRank(uint64_t rank) const
+    {
+        return (marks_[rank / 64] >> (rank % 64)) & 1u;
+    }
+
+    /** Set mark bits at ranks < @p rank. */
+    uint64_t markRank(uint64_t rank) const;
+
+    uint32_t sampleRate_ = kDefaultSampleRate;
+    bool viewMode_ = false;
+
+    // Owned storage (build mode); the spans below view these.
+    std::vector<uint8_t> ownedBwt_;
+    std::vector<uint32_t> ownedOcc_;
+    std::vector<uint32_t> ownedSamples_;
+    std::vector<uint64_t> ownedMarks_;
+    std::vector<uint64_t> ownedPathOffsets_;
+
+    std::span<const uint8_t> bwt_;
+    std::span<const uint32_t> occ_;
+    std::span<const uint32_t> samples_;
+    std::span<const uint64_t> marks_;
+    std::span<const uint64_t> pathOffsets_;
+
+    /** C[c] = number of text symbols smaller than c (derived). */
+    uint64_t cumulative_[kAlphabet + 1] = {};
+    /** Per-word prefix popcounts of marks_ (derived). */
+    std::vector<uint32_t> markRankWords_;
+};
+
+} // namespace pgb::index
+
+#endif // PGB_INDEX_FM_INDEX_HPP

@@ -2,8 +2,10 @@
  * @file
  * Suffix array over integer alphabets (prefix doubling, O(n log^2 n)).
  *
- * Used by the GBWT construction to order path visits by their reversed
- * prefixes (the multi-string BWT ordering).
+ * Two consumers: the GBWT construction orders path visits by their
+ * reversed prefixes (the multi-string BWT ordering), and the FM-index
+ * (index/fm_index.hpp) derives its BWT and sampled-SA sections from
+ * the suffix array of the concatenated haplotype texts.
  */
 
 #ifndef PGB_INDEX_SUFFIX_ARRAY_HPP

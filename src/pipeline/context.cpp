@@ -8,10 +8,20 @@
 namespace pgb::pipeline {
 
 void
-MappingContext::finalize()
+MappingContext::finalize(SeederKind seeder)
 {
     linear_ = std::make_unique<GraphLinearization>(*graph_);
     avgNodeLength_ = std::max(1.0, graph_->stats().avgNodeLength);
+    switch (seeder) {
+      case SeederKind::kMinimizer:
+        seeder_ = std::make_unique<MinimizerSeeder>(*minimizers_,
+                                                    *linear_);
+        break;
+      case SeederKind::kMem:
+        seeder_ = std::make_unique<MemSeeder>(
+            *fm_, *graph_, *linear_, static_cast<uint32_t>(k_));
+        break;
+    }
 }
 
 std::shared_ptr<const MappingContext>
@@ -30,12 +40,17 @@ MappingContext::build(const graph::PanGraph &graph,
             graph, true, params.threads);
         context->gbwt_ = context->ownedGbwt_.get();
     }
-    context->finalize();
+    if (params.seeder == SeederKind::kMem) {
+        context->ownedFm_ = std::make_unique<index::FmIndex>(
+            graph, params.fmSampleRate);
+        context->fm_ = context->ownedFm_.get();
+    }
+    context->finalize(params.seeder);
     return context;
 }
 
 std::shared_ptr<const MappingContext>
-MappingContext::load(const std::string &artifact_path)
+MappingContext::load(const std::string &artifact_path, SeederKind seeder)
 {
     auto context = std::shared_ptr<MappingContext>(new MappingContext());
     context->artifact_ = store::Artifact::load(artifact_path);
@@ -43,9 +58,16 @@ MappingContext::load(const std::string &artifact_path)
     context->graph_ = &artifact.graph();
     context->minimizers_ = &artifact.minimizers();
     context->gbwt_ = artifact.gbwt();
+    context->fm_ = artifact.fmIndex();
     context->k_ = artifact.k();
     context->w_ = artifact.w();
-    context->finalize();
+    if (seeder == SeederKind::kMem && context->fm_ == nullptr) {
+        core::fatal(artifact_path,
+                    ": artifact has no FM-index sections; rebuild it "
+                    "with `pgb index --seeder=mem` to map with "
+                    "--seeder=mem");
+    }
+    context->finalize(seeder);
     return context;
 }
 

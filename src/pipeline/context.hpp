@@ -26,6 +26,7 @@
 #include "index/gbwt.hpp"
 #include "index/minimizer.hpp"
 #include "pipeline/chain.hpp"
+#include "pipeline/seeder.hpp"
 #include "store/store.hpp"
 
 namespace pgb::pipeline {
@@ -42,6 +43,10 @@ struct ContextBuildParams
     unsigned threads = 1;
     /** Build the GBWT too (required by the giraffe profile). */
     bool buildGbwt = false;
+    /** Seeding strategy (kMem also builds the FM-index). */
+    SeederKind seeder = SeederKind::kMinimizer;
+    /** FM-index SA sampling rate (kMem only). */
+    uint32_t fmSampleRate = index::FmIndex::kDefaultSampleRate;
 };
 
 /**
@@ -63,11 +68,14 @@ class MappingContext
 
     /**
      * Load a `.pgbi` artifact written by pgb::store. The context owns
-     * the mapping; the minimizer index is a zero-copy view into it.
-     * Throws FatalError on any validation failure (fails closed).
+     * the mapping; the minimizer index (and the FM-index when
+     * @p seeder is kMem) is a zero-copy view into it. Requesting kMem
+     * against an artifact without FM sections is a FatalError, as is
+     * any validation failure (fails closed).
      */
     static std::shared_ptr<const MappingContext>
-    load(const std::string &artifact_path);
+    load(const std::string &artifact_path,
+         SeederKind seeder = SeederKind::kMinimizer);
 
     const graph::PanGraph &graph() const { return *graph_; }
     const index::MinimizerIndex &minimizers() const
@@ -77,6 +85,12 @@ class MappingContext
 
     /** GBWT, or nullptr when the context was built/stored without one. */
     const index::GbwtIndex *gbwt() const { return gbwt_; }
+
+    /** FM-index, or nullptr when seeding is minimizer-based. */
+    const index::FmIndex *fmIndex() const { return fm_; }
+
+    /** The seed-stage strategy the mapper calls. */
+    const Seeder &seeder() const { return *seeder_; }
 
     const GraphLinearization &linearization() const { return *linear_; }
 
@@ -97,7 +111,7 @@ class MappingContext
     MappingContext() = default;
 
     /** Shared by build()/load() once graph_/indexes are wired up. */
-    void finalize();
+    void finalize(SeederKind seeder);
 
     std::unique_ptr<store::Artifact> artifact_;
     const graph::PanGraph *graph_ = nullptr;
@@ -105,6 +119,9 @@ class MappingContext
     const index::MinimizerIndex *minimizers_ = nullptr;
     std::unique_ptr<index::GbwtIndex> ownedGbwt_;
     const index::GbwtIndex *gbwt_ = nullptr;
+    std::unique_ptr<index::FmIndex> ownedFm_;
+    const index::FmIndex *fm_ = nullptr;
+    std::unique_ptr<Seeder> seeder_;
     std::unique_ptr<GraphLinearization> linear_;
     double avgNodeLength_ = 1.0;
     int k_ = 0, w_ = 0;

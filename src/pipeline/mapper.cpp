@@ -137,8 +137,7 @@ Seq2GraphMapper::planAlignments(const seq::Sequence &read,
     {
         core::StageTimers::Scope scope(stats.timers, "seed");
         obs::Span span("seed");
-        collectAnchorsInto(read, context_->minimizers(),
-                           context_->linearization(), anchors);
+        context_->seeder().collect(read, anchors);
         stats.anchors += anchors.size();
         obsAnchors.add(anchors.size());
     }

@@ -1,0 +1,206 @@
+#include "pipeline/seeder.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+#include "core/scratch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "seq/alphabet.hpp"
+
+namespace pgb::pipeline {
+
+namespace {
+
+obs::Counter obsSeedAnchors("seed.anchors");
+obs::Counter obsSeedMems("seed.mems");
+obs::Counter obsSeedMemOccs("seed.mem_occurrences");
+obs::Counter obsSeedDropped("seed.dropped_repetitive");
+
+/** Thread-local temporaries for MemSeeder::collect. */
+struct MemScratch
+{
+    std::vector<index::FmIndex::Mem> mems;
+    std::vector<uint8_t> rc;
+};
+
+} // namespace
+
+SeederKind
+parseSeeder(const std::string &name)
+{
+    if (name == "minimizer")
+        return SeederKind::kMinimizer;
+    if (name == "mem")
+        return SeederKind::kMem;
+    core::fatal("unknown seeder '", name,
+                "' (expected minimizer or mem)");
+}
+
+const char *
+seederName(SeederKind kind)
+{
+    switch (kind) {
+      case SeederKind::kMinimizer: return "minimizer";
+      case SeederKind::kMem: return "mem";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------
+// MinimizerSeeder
+// ---------------------------------------------------------------------
+
+MinimizerSeeder::MinimizerSeeder(const index::MinimizerIndex &index,
+                                 const GraphLinearization &linear,
+                                 size_t max_occurrences)
+    : index_(index), linear_(linear), maxOccurrences_(max_occurrences)
+{
+}
+
+void
+MinimizerSeeder::collect(const seq::Sequence &read,
+                         std::vector<Anchor> &anchors) const
+{
+    obs::Span span("seed.minimizer");
+    collectAnchorsInto(read, index_, linear_, anchors, maxOccurrences_);
+    obsSeedAnchors.add(anchors.size());
+}
+
+// ---------------------------------------------------------------------
+// MemSeeder
+// ---------------------------------------------------------------------
+
+MemSeeder::MemSeeder(const index::FmIndex &fm,
+                     const graph::PanGraph &graph,
+                     const GraphLinearization &linear, uint32_t k,
+                     size_t max_occurrences)
+    : fm_(fm), graph_(graph), linear_(linear), k_(k == 0 ? 1 : k),
+      maxOccurrences_(max_occurrences)
+{
+    if (fm_.pathCount() != graph.pathCount())
+        core::fatal("FM-index covers ", fm_.pathCount(),
+                    " paths, graph has ", graph.pathCount());
+    stepStarts_.resize(graph.pathCount());
+    for (graph::PathId p = 0; p < graph.pathCount(); ++p) {
+        const auto &steps = graph.pathSteps(p);
+        auto &starts = stepStarts_[p];
+        starts.reserve(steps.size() + 1);
+        uint64_t at = 0;
+        for (graph::Handle step : steps) {
+            starts.push_back(at);
+            at += graph.nodeLength(step.node());
+        }
+        starts.push_back(at);
+    }
+}
+
+void
+MemSeeder::collect(const seq::Sequence &read,
+                   std::vector<Anchor> &anchors) const
+{
+    anchors.clear();
+    obs::Span span("seed.mem");
+    if (read.size() < k_)
+        return;
+    MemScratch &ws = core::threadScratch<MemScratch>();
+
+    const auto read_length = static_cast<uint32_t>(read.size());
+    collectStrand(read.codes(), false, read_length, ws.mems, anchors);
+
+    ws.rc.resize(read.size());
+    const auto &codes = read.codes();
+    for (size_t i = 0; i < codes.size(); ++i)
+        ws.rc[i] = seq::complementBase(codes[codes.size() - 1 - i]);
+    collectStrand(ws.rc, true, read_length, ws.mems, anchors);
+
+    // Canonical order: MEM occurrences on different haplotypes can
+    // project to the same graph position, and enumeration order is an
+    // implementation detail — sort and dedupe so downstream stages see
+    // one deterministic anchor set.
+    std::sort(anchors.begin(), anchors.end(),
+              [](const Anchor &a, const Anchor &b) {
+                  if (a.queryPos != b.queryPos)
+                      return a.queryPos < b.queryPos;
+                  if (a.reverse != b.reverse)
+                      return a.reverse < b.reverse;
+                  if (a.linearPos != b.linearPos)
+                      return a.linearPos < b.linearPos;
+                  if (a.node != b.node)
+                      return a.node < b.node;
+                  return a.nodeOffset < b.nodeOffset;
+              });
+    anchors.erase(std::unique(anchors.begin(), anchors.end(),
+                              [](const Anchor &a, const Anchor &b) {
+                                  return a.queryPos == b.queryPos &&
+                                         a.reverse == b.reverse &&
+                                         a.node == b.node &&
+                                         a.nodeOffset == b.nodeOffset;
+                              }),
+                  anchors.end());
+    obsSeedAnchors.add(anchors.size());
+}
+
+void
+MemSeeder::collectStrand(std::span<const uint8_t> codes, bool rc_strand,
+                         uint32_t read_length,
+                         std::vector<index::FmIndex::Mem> &mems,
+                         std::vector<Anchor> &anchors) const
+{
+    fm_.collectMems(codes, k_, mems);
+    obsSeedMems.add(mems.size());
+    for (const index::FmIndex::Mem &mem : mems) {
+        if (mem.range.size() > maxOccurrences_) {
+            obsSeedDropped.add();
+            continue;
+        }
+        obsSeedMemOccs.add(mem.range.size());
+        const uint32_t length = mem.queryEnd - mem.queryBegin;
+        for (uint64_t r = mem.range.lo; r < mem.range.hi; ++r) {
+            const uint64_t text_pos = fm_.locate(r);
+            const auto pos = fm_.resolve(text_pos);
+            const auto &starts = stepStarts_[pos.path];
+            const auto &steps = graph_.pathSteps(pos.path);
+            // k-length sub-anchors at stride k, plus one flushed
+            // against the MEM end so its tail is represented too.
+            uint32_t window = 0;
+            bool flushed = false;
+            while (true) {
+                if (window + k_ > length) {
+                    if (flushed || length % k_ == 0)
+                        break;
+                    window = length - k_;
+                    flushed = true;
+                }
+                const uint64_t path_off = pos.offset + window;
+                const auto step = static_cast<size_t>(
+                    std::upper_bound(starts.begin(), starts.end(),
+                                     path_off) -
+                    starts.begin() - 1);
+                const graph::Handle handle = steps[step];
+                const uint64_t in_step = path_off - starts[step];
+                const auto node_length = static_cast<uint64_t>(
+                    graph_.nodeLength(handle.node()));
+                const auto offset = static_cast<uint32_t>(
+                    handle.isReverse() ? node_length - 1 - in_step
+                                       : in_step);
+                Anchor anchor;
+                anchor.queryPos =
+                    rc_strand
+                        ? read_length - (mem.queryBegin + window) - k_
+                        : mem.queryBegin + window;
+                anchor.node = handle.node();
+                anchor.nodeOffset = offset;
+                anchor.reverse = rc_strand != handle.isReverse();
+                anchor.linearPos =
+                    linear_.offsetOf(anchor.node, anchor.nodeOffset);
+                anchors.push_back(anchor);
+                if (flushed)
+                    break;
+                window += k_;
+            }
+        }
+    }
+}
+
+} // namespace pgb::pipeline

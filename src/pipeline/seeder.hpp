@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Pluggable seeding strategies for the Seq2Graph mapping pipeline
+ * (paper Figure 1, step 1 of seed → cluster-chain → filter → align).
+ *
+ * The mapper used to call collectAnchorsInto (minimizer lookups)
+ * directly; this file turns that choice into a strategy owned by
+ * MappingContext so a second backend can feed the identical
+ * cluster/chain/align path:
+ *
+ *  - MinimizerSeeder wraps collectAnchorsInto and is bit-identical to
+ *    the pre-strategy behavior (the golden digests prove it);
+ *  - MemSeeder enumerates supermaximal exact matches on the FM-index
+ *    (index/fm_index.hpp), locates every occurrence on the haplotype
+ *    paths, and splits each into k-length sub-anchors at stride k (plus
+ *    a final window flush against the MEM end) so downstream geometry —
+ *    diagonal clustering, chain gap costs, and the fixed-k query-offset
+ *    conversions in the mapper — holds unchanged.
+ *
+ * Selection is `--seeder=minimizer|mem` on `pgb index`, `pgb map`, and
+ * `pgb serve`; parseSeeder is the shared fatal()-on-garbage parser.
+ */
+
+#ifndef PGB_PIPELINE_SEEDER_HPP
+#define PGB_PIPELINE_SEEDER_HPP
+
+#include <string>
+#include <vector>
+
+#include "index/fm_index.hpp"
+#include "index/minimizer.hpp"
+#include "pipeline/chain.hpp"
+
+namespace pgb::pipeline {
+
+/** The seeding backends a MappingContext can be built around. */
+enum class SeederKind { kMinimizer, kMem };
+
+/** Parse a `--seeder=` value ("minimizer" | "mem"); fatal otherwise. */
+SeederKind parseSeeder(const std::string &name);
+
+/** The CLI name of @p kind. */
+const char *seederName(SeederKind kind);
+
+/** Seed-stage strategy: reads in, anchors out. */
+class Seeder
+{
+  public:
+    virtual ~Seeder() = default;
+
+    /**
+     * Collect anchors for @p read (both strands) into @p anchors
+     * (cleared first, capacity reused). Must be const-thread-safe:
+     * mapBatch calls it concurrently from every worker.
+     */
+    virtual void collect(const seq::Sequence &read,
+                         std::vector<Anchor> &anchors) const = 0;
+
+    virtual SeederKind kind() const = 0;
+
+    const char *name() const { return seederName(kind()); }
+};
+
+/** The original minimizer-table seeding, behavior-preserving. */
+class MinimizerSeeder final : public Seeder
+{
+  public:
+    MinimizerSeeder(const index::MinimizerIndex &index,
+                    const GraphLinearization &linear,
+                    size_t max_occurrences = 64);
+
+    void collect(const seq::Sequence &read,
+                 std::vector<Anchor> &anchors) const override;
+
+    SeederKind kind() const override { return SeederKind::kMinimizer; }
+
+  private:
+    const index::MinimizerIndex &index_;
+    const GraphLinearization &linear_;
+    size_t maxOccurrences_;
+};
+
+/** FM-index SMEM seeding (ROADMAP item 1, vg Mapper style). */
+class MemSeeder final : public Seeder
+{
+  public:
+    /**
+     * @p k is the anchor window length (the context's minimizer k, so
+     * anchors are geometrically interchangeable with minimizer ones);
+     * it doubles as the minimum MEM length. MEMs with more than
+     * @p max_occurrences occurrences are dropped as repeats, the same
+     * cap collectAnchorsInto applies per minimizer.
+     */
+    MemSeeder(const index::FmIndex &fm, const graph::PanGraph &graph,
+              const GraphLinearization &linear, uint32_t k,
+              size_t max_occurrences = 64);
+
+    void collect(const seq::Sequence &read,
+                 std::vector<Anchor> &anchors) const override;
+
+    SeederKind kind() const override { return SeederKind::kMem; }
+
+  private:
+    void collectStrand(std::span<const uint8_t> codes, bool rc_strand,
+                       uint32_t read_length,
+                       std::vector<index::FmIndex::Mem> &mems,
+                       std::vector<Anchor> &anchors) const;
+
+    const index::FmIndex &fm_;
+    const graph::PanGraph &graph_;
+    const GraphLinearization &linear_;
+    uint32_t k_;
+    size_t maxOccurrences_;
+
+    /// stepStarts_[p][s] = path offset where step s of path p begins
+    /// (one trailing total-length entry), for text → node projection.
+    std::vector<std::vector<uint64_t>> stepStarts_;
+};
+
+} // namespace pgb::pipeline
+
+#endif // PGB_PIPELINE_SEEDER_HPP

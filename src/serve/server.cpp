@@ -717,7 +717,8 @@ Server::runReload(std::shared_ptr<Connection> connection, uint64_t id)
         // Load and fully validate off-thread: the artifact's own
         // checksummed load, then geometry/profile validation via a
         // probe mapper — exactly the constructor's startup checks.
-        auto fresh = pipeline::MappingContext::load(config_.indexPath);
+        auto fresh = pipeline::MappingContext::load(config_.indexPath,
+                                                    config_.seeder);
         pipeline::MapperConfig freshConfig =
             pipeline::MapperConfig::forTool(config_.profile);
         freshConfig.k = fresh->k();

@@ -98,6 +98,9 @@ struct ServeConfig
     unsigned threads = 0;
     /** Mapping tool profile served. */
     pipeline::ToolProfile profile = pipeline::ToolProfile::kVgMap;
+    /** Seeding backend; must match the context the server is given,
+     *  and is reapplied by hot reloads. */
+    pipeline::SeederKind seeder = pipeline::SeederKind::kMinimizer;
     /**
      * `.pgbi` artifact (re)loaded by a hot reload (SIGHUP / RELOAD
      * frame). Empty = reload unsupported; a reload attempt then fails

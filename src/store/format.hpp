@@ -100,6 +100,16 @@ constexpr uint32_t kSecGbwtEdges = fourcc('B', 'E', 'D', 'G');
 constexpr uint32_t kSecGbwtEdgeOffsets = fourcc('B', 'E', 'O', 'F');
 constexpr uint32_t kSecGbwtRuns = fourcc('B', 'R', 'U', 'N');
 constexpr uint32_t kSecGbwtPlain = fourcc('B', 'P', 'L', 'N');
+// FM-index (optional, --seeder=mem): FmMeta scalars, BWT bytes, occ
+// checkpoints, sampled SA values, mark bitvector words, path text
+// offsets. FBWT/FOCC/FSSA/FMRK/FPOF are zero-copy: a loaded FmIndex
+// views them in place through std::span, like the minimizer table.
+constexpr uint32_t kSecFmMeta = fourcc('F', 'M', 'E', 'T');
+constexpr uint32_t kSecFmBwt = fourcc('F', 'B', 'W', 'T');
+constexpr uint32_t kSecFmOcc = fourcc('F', 'O', 'C', 'C');
+constexpr uint32_t kSecFmSamples = fourcc('F', 'S', 'S', 'A');
+constexpr uint32_t kSecFmMarks = fourcc('F', 'M', 'R', 'K');
+constexpr uint32_t kSecFmPathOffsets = fourcc('F', 'P', 'O', 'F');
 
 /** META payload: the scalar facts every other section is sized by. */
 struct Meta
@@ -109,7 +119,7 @@ struct Meta
     uint64_t pathCount;
     uint32_t k;
     uint32_t w;
-    uint32_t flags; ///< kFlagHasGbwt | kFlagGbwtRle
+    uint32_t flags; ///< kFlagHasGbwt | kFlagGbwtRle | kFlagHasFmIndex
     uint32_t reserved;
 };
 
@@ -117,6 +127,17 @@ static_assert(sizeof(Meta) == 40, ".pgbi META payload is 40 bytes");
 
 constexpr uint32_t kFlagHasGbwt = 1u << 0;
 constexpr uint32_t kFlagGbwtRle = 1u << 1;
+constexpr uint32_t kFlagHasFmIndex = 1u << 2;
+
+/** FMET payload: the scalars the FM-index sections are sized by. */
+struct FmMeta
+{
+    uint64_t textLength; ///< BWT symbols (haplotype bases + sentinels)
+    uint32_t sampleRate; ///< SA sampling rate (>= 1)
+    uint32_t reserved;
+};
+
+static_assert(sizeof(FmMeta) == 16, ".pgbi FMET payload is 16 bytes");
 
 /** FNV-1a 64: fast, dependency-free payload checksum. */
 inline uint64_t

@@ -140,7 +140,7 @@ copyAll(const std::string &path, const LoadedSection &section)
 void
 writeArtifact(const std::string &path, const graph::PanGraph &graph,
               const index::MinimizerIndex &minimizers,
-              const index::GbwtIndex *gbwt)
+              const index::GbwtIndex *gbwt, const index::FmIndex *fm)
 {
     const size_t node_count = graph.nodeCount();
     const size_t path_count = graph.pathCount();
@@ -159,6 +159,8 @@ writeArtifact(const std::string &path, const graph::PanGraph &graph,
         if (gbwt->runLengthEncoded())
             meta.flags |= kFlagGbwtRle;
     }
+    if (fm != nullptr)
+        meta.flags |= kFlagHasFmIndex;
     {
         Section section{kSecMeta, {}};
         appendRaw(section.bytes, &meta, 1);
@@ -235,6 +237,27 @@ writeArtifact(const std::string &path, const graph::PanGraph &graph,
                                        image.edgeOffsets));
         sections.push_back(makeSection(kSecGbwtRuns, image.runs));
         sections.push_back(makeSection(kSecGbwtPlain, image.plain));
+    }
+
+    // FM-index (optional): the second family of zero-copy sections.
+    if (fm != nullptr) {
+        FmMeta fm_meta = {};
+        fm_meta.textLength = fm->textLength();
+        fm_meta.sampleRate = fm->sampleRate();
+        Section fmet{kSecFmMeta, {}};
+        appendRaw(fmet.bytes, &fm_meta, 1);
+        sections.push_back(std::move(fmet));
+
+        auto span_section = [&](uint32_t tag, const auto &span) {
+            Section section{tag, {}};
+            appendRaw(section.bytes, span.data(), span.size());
+            sections.push_back(std::move(section));
+        };
+        span_section(kSecFmBwt, fm->bwtData());
+        span_section(kSecFmOcc, fm->occData());
+        span_section(kSecFmSamples, fm->sampleData());
+        span_section(kSecFmMarks, fm->markData());
+        span_section(kSecFmPathOffsets, fm->pathOffsetsData());
     }
 
     // ---- Lay out the file: header, table, aligned payloads.
@@ -532,6 +555,85 @@ Artifact::load(const std::string &path)
             fatal(path, ": GBWT record headers disagree with bodies");
         artifact->gbwt_ = std::make_unique<index::GbwtIndex>(
             index::GbwtIndex::restore(image));
+    }
+
+    // ---- FM-index: zero-copy spans over the mapping. Checksums have
+    // already passed, so these checks target internal inconsistency:
+    // symbols outside the alphabet or checkpoints that disagree with
+    // the BWT would misindex the derived C/rank structures.
+    if ((meta.flags & kFlagHasFmIndex) != 0) {
+        const FmMeta &fm_meta =
+            *viewAs<FmMeta>(path, need(path, sections, kSecFmMeta), 1);
+        if (fm_meta.sampleRate == 0)
+            fatal(path, ": FMET sample rate is zero");
+        const auto n = static_cast<size_t>(fm_meta.textLength);
+        constexpr uint32_t kSigma = index::FmIndex::kAlphabet;
+        constexpr uint32_t kBlock = index::FmIndex::kOccBlock;
+        const uint8_t *bwt =
+            viewAs<uint8_t>(path, need(path, sections, kSecFmBwt), n);
+        const size_t occ_count = (n / kBlock + 1) * kSigma;
+        const uint32_t *occ = viewAs<uint32_t>(
+            path, need(path, sections, kSecFmOcc), occ_count);
+        uint32_t running[kSigma] = {};
+        for (size_t r = 0; r < n; ++r) {
+            if (r % kBlock == 0)
+                for (uint32_t c = 0; c < kSigma; ++c)
+                    if (occ[(r / kBlock) * kSigma + c] != running[c])
+                        fatal(path, ": FOCC checkpoints disagree "
+                                    "with the BWT");
+            if (bwt[r] >= kSigma)
+                fatal(path, ": FBWT holds symbol ", bwt[r],
+                      " outside the FM alphabet");
+            ++running[bwt[r]];
+        }
+        if (n % kBlock == 0)
+            for (uint32_t c = 0; c < kSigma; ++c)
+                if (occ[(n / kBlock) * kSigma + c] != running[c])
+                    fatal(path,
+                          ": FOCC checkpoints disagree with the BWT");
+
+        const uint64_t *marks = viewAs<uint64_t>(
+            path, need(path, sections, kSecFmMarks), (n + 63) / 64);
+        uint64_t marked = 0;
+        for (size_t w = 0; w < (n + 63) / 64; ++w)
+            marked += static_cast<uint64_t>(
+                __builtin_popcountll(marks[w]));
+        if (n % 64 != 0 && n > 0 &&
+            (marks[(n - 1) / 64] >> (n % 64)) != 0)
+            fatal(path, ": FMRK has mark bits past the text end");
+        const uint32_t *samples = viewAs<uint32_t>(
+            path, need(path, sections, kSecFmSamples),
+            static_cast<size_t>(marked));
+        for (uint64_t s = 0; s < marked; ++s)
+            if (samples[s] >= n)
+                fatal(path, ": FSSA sample ", s,
+                      " points past the text end");
+
+        const uint64_t *fm_offsets = viewAs<uint64_t>(
+            path, need(path, sections, kSecFmPathOffsets),
+            path_count + 1);
+        if (path_count == 0)
+            fatal(path, ": FM-index artifact has no embedded paths");
+        if (fm_offsets[0] != 0 ||
+            fm_offsets[path_count] != fm_meta.textLength)
+            fatal(path, ": FPOF does not span the FM text");
+        for (size_t p = 0; p < path_count; ++p) {
+            if (fm_offsets[p + 1] <= fm_offsets[p])
+                fatal(path, ": FPOF offsets are not monotone");
+            if (fm_offsets[p + 1] - fm_offsets[p] !=
+                artifact->graph_.pathLength(
+                    static_cast<graph::PathId>(p)) + 1)
+                fatal(path, ": FPOF disagrees with the graph's paths");
+        }
+
+        artifact->fm_ = std::make_unique<index::FmIndex>(
+            fm_meta.sampleRate,
+            std::span<const uint8_t>(bwt, n),
+            std::span<const uint32_t>(occ, occ_count),
+            std::span<const uint32_t>(samples,
+                                      static_cast<size_t>(marked)),
+            std::span<const uint64_t>(marks, (n + 63) / 64),
+            std::span<const uint64_t>(fm_offsets, path_count + 1));
     }
 
     obsLoads.add();

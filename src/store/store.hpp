@@ -30,20 +30,23 @@
 
 #include "core/arena.hpp"
 #include "graph/pangraph.hpp"
+#include "index/fm_index.hpp"
 #include "index/gbwt.hpp"
 #include "index/minimizer.hpp"
 
 namespace pgb::store {
 
 /**
- * Serialize @p graph, @p minimizers, and optionally @p gbwt into the
- * `.pgbi` artifact at @p path (atomic: temp file + rename). Throws
- * FatalError on any write failure, leaving no partial file at @p path.
+ * Serialize @p graph, @p minimizers, and optionally @p gbwt and @p fm
+ * into the `.pgbi` artifact at @p path (atomic: temp file + rename).
+ * Throws FatalError on any write failure, leaving no partial file at
+ * @p path.
  */
 void writeArtifact(const std::string &path,
                    const graph::PanGraph &graph,
                    const index::MinimizerIndex &minimizers,
-                   const index::GbwtIndex *gbwt);
+                   const index::GbwtIndex *gbwt,
+                   const index::FmIndex *fm = nullptr);
 
 /** A loaded, immutable `.pgbi` artifact. */
 class Artifact
@@ -66,6 +69,12 @@ class Artifact
     /** GBWT, or nullptr when the artifact was written without one. */
     const index::GbwtIndex *gbwt() const { return gbwt_.get(); }
 
+    /**
+     * Zero-copy view FM-index, or nullptr when the artifact was
+     * written without one (`pgb index` without `--seeder=mem`).
+     */
+    const index::FmIndex *fmIndex() const { return fm_.get(); }
+
     int k() const { return k_; }
     int w() const { return w_; }
     const std::string &path() const { return path_; }
@@ -85,6 +94,7 @@ class Artifact
     graph::PanGraph graph_;
     std::unique_ptr<index::MinimizerIndex> minimizers_;
     std::unique_ptr<index::GbwtIndex> gbwt_;
+    std::unique_ptr<index::FmIndex> fm_;
 };
 
 } // namespace pgb::store

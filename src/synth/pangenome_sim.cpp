@@ -44,7 +44,51 @@ mGraphLikeConfig(size_t base_length, uint64_t seed)
     return config;
 }
 
+PangenomeConfig
+repeatHeavyConfig(size_t base_length, uint64_t seed)
+{
+    PangenomeConfig config = mGraphLikeConfig(base_length, seed);
+    config.repeatFraction = 0.35;
+    config.repeatUnit = 24;
+    config.repeatArray = 600;
+    return config;
+}
+
 namespace {
+
+/**
+ * Overwrite ~repeatFraction of @p base with tandem arrays of random
+ * repeatUnit-bp motifs. Draws only from its own RNG stream (seeded
+ * off config.seed), so the variant/haplotype streams are untouched
+ * and configs with repeatFraction == 0 never reach this code.
+ */
+void
+plantRepeats(Sequence &base, const PangenomeConfig &config)
+{
+    const size_t unit = std::max<size_t>(config.repeatUnit, 2);
+    const size_t array =
+        std::min(std::max(config.repeatArray, unit), base.size());
+    const auto target = static_cast<size_t>(
+        config.repeatFraction * static_cast<double>(base.size()));
+    Rng rng(config.seed ^ 0x9e97a1);
+    // Count only freshly covered bases, so overlapping arrays don't
+    // let the realized repeat fraction fall short of the knob.
+    std::vector<bool> covered(base.size(), false);
+    size_t planted = 0;
+    while (planted < target) {
+        std::vector<uint8_t> motif(unit);
+        for (uint8_t &code : motif)
+            code = static_cast<uint8_t>(rng.below(seq::kNumBases));
+        const size_t start = rng.below(base.size() - array + 1);
+        for (size_t i = 0; i < array; ++i) {
+            base.codes()[start + i] = motif[i % unit];
+            if (!covered[start + i]) {
+                covered[start + i] = true;
+                ++planted;
+            }
+        }
+    }
+}
 
 /** Draw a population allele frequency skewed toward rare variants. */
 double
@@ -154,6 +198,8 @@ simulatePangenome(const PangenomeConfig &config)
     Pangenome out;
     out.reference = randomSequence(config.baseLength, config.seed ^ 0x5EED);
     out.reference.setName("ref");
+    if (config.repeatFraction > 0.0)
+        plantRepeats(out.reference, config);
     out.variants = drawVariants(config, out.reference, rng);
 
     // --- Breakpoints: cut the reference at every variant boundary.

@@ -45,6 +45,18 @@ struct PangenomeConfig
     size_t haplotypeCount = 14;   ///< haplotypes beside the reference
     VariantProfile variants;
     uint64_t seed = 42;
+    /**
+     * Tandem-repeat content: the fraction of the base chromosome
+     * overwritten with tandem arrays of random repeatUnit-bp motifs
+     * before variants are drawn — the adversarial regime for seeding
+     * (minimizer occurrence lists and SMEM SA ranges both blow up
+     * inside the arrays). At the default 0 the repeat RNG stream is
+     * never drawn from, so pre-existing seeds reproduce bit-identical
+     * pangenomes.
+     */
+    double repeatFraction = 0.0;
+    size_t repeatUnit = 24;   ///< tandem motif length (bases)
+    size_t repeatArray = 600; ///< bases per planted tandem array
 };
 
 /** One site in the shared variant pool. */
@@ -83,6 +95,13 @@ seq::Sequence randomSequence(size_t length, uint64_t seed);
  * benches use 10^5..10^6).
  */
 PangenomeConfig mGraphLikeConfig(size_t base_length, uint64_t seed = 42);
+
+/**
+ * mGraphLikeConfig with ~35% of the reference inside planted tandem
+ * arrays: the repeat-heavy regime (segmental-duplication-like) that
+ * stresses seeding strategies rather than graph topology.
+ */
+PangenomeConfig repeatHeavyConfig(size_t base_length, uint64_t seed = 42);
 
 /**
  * An exact match between the reference and one haplotype, in local

@@ -227,6 +227,80 @@ artifactMappingDigest(pipeline::ToolProfile tool,
     return core::md5Hex(out.str());
 }
 
+/**
+ * The MEM-seeded artifact context: the fixture graph with FM-index
+ * sections, loaded back with the mem seeding strategy. Like the
+ * minimizer goldens, the mem digests must hold at PGB_THREADS=1 and 8.
+ */
+std::shared_ptr<const pipeline::MappingContext>
+memArtifactContext()
+{
+    static std::shared_ptr<const pipeline::MappingContext> context =
+        [] {
+            const auto &graph = fixture().pangenome.graph;
+            const index::MinimizerIndex minimizers(graph, 15, 10);
+            const index::FmIndex fm(graph);
+            const std::string path =
+                testing::TempDir() + "golden_fixture_mem.pgbi";
+            store::writeArtifact(path, graph, minimizers, nullptr, &fm);
+            return pipeline::MappingContext::load(
+                path, pipeline::SeederKind::kMem);
+        }();
+    return context;
+}
+
+/** mappingDigest through an arbitrary prebuilt context. */
+std::string
+contextMappingDigest(
+    const std::shared_ptr<const pipeline::MappingContext> &context,
+    pipeline::ToolProfile tool,
+    const std::vector<seq::Sequence> &reads)
+{
+    auto config = pipeline::MapperConfig::forTool(tool);
+    config.threads = 1;
+    const pipeline::Seq2GraphMapper mapper(context, config);
+    pipeline::MappingStats stats;
+    std::ostringstream out;
+    for (const seq::Sequence &read : reads) {
+        const auto mapping = mapper.mapOne(read, stats);
+        out << read.name() << '\t' << mapping.mapped << '\t'
+            << mapping.node << '\t' << mapping.score << '\t'
+            << mapping.reverse << '\n';
+    }
+    return core::md5Hex(out.str());
+}
+
+TEST(Golden, ShortReadMappingsMemSeederMatchGolden)
+{
+    checkGolden("short_reads_vgmap_mem.md5",
+                contextMappingDigest(memArtifactContext(),
+                                     pipeline::ToolProfile::kVgMap,
+                                     fixture().shortReads));
+}
+
+TEST(Golden, LongReadMappingsMemSeederMatchGolden)
+{
+    checkGolden("long_reads_minigraph_mem.md5",
+                contextMappingDigest(memArtifactContext(),
+                                     pipeline::ToolProfile::kMinigraph,
+                                     fixture().longReads));
+}
+
+TEST(Golden, MemSeederInMemoryBuildMatchesArtifactDigest)
+{
+    // Build-mode FM-index (owned vectors) and view-mode (zero-copy
+    // artifact spans) must drive the mapper to identical output.
+    pipeline::ContextBuildParams params;
+    params.seeder = pipeline::SeederKind::kMem;
+    const auto built = pipeline::MappingContext::build(
+        fixture().pangenome.graph, params);
+    EXPECT_EQ(contextMappingDigest(built, pipeline::ToolProfile::kVgMap,
+                                   fixture().shortReads),
+              contextMappingDigest(memArtifactContext(),
+                                   pipeline::ToolProfile::kVgMap,
+                                   fixture().shortReads));
+}
+
 TEST(Golden, ShortReadMappingsMatchGolden)
 {
     checkGolden("short_reads_vgmap.md5",

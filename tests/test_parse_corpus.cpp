@@ -16,6 +16,7 @@
 #include "core/parse.hpp"
 #include "graph/gfa.hpp"
 #include "seq/fasta.hpp"
+#include "store/store.hpp"
 
 #ifndef PGB_CORPUS_DIR
 #error "PGB_CORPUS_DIR must point at tests/corpus"
@@ -261,6 +262,34 @@ TEST(ParseCorpus, MissingFileIsFatal)
     const std::string path = corpusPath("no_such_file.gfa");
     expectStrictError([&] { graph::readGfaFile(path); },
                       "fatal: GFA: cannot open '" + path + "'");
+}
+
+// ---------------------------------------------- FM-index sections
+
+TEST(ParseCorpus, FmBadChecksumArtifactNamesTheSection)
+{
+    const std::string path = corpusPath("fm_bad_checksum.pgbi");
+    expectStrictError(
+        [&] { store::Artifact::load(path); },
+        "fatal: " + path + ": section FBWT corrupt (checksum mismatch)");
+}
+
+TEST(ParseCorpus, FmTruncatedArtifactReportsBothSizes)
+{
+    // Checksums in this fixture are *valid* for the truncated payload;
+    // only the FM cross-section validation can catch it.
+    const std::string path = corpusPath("fm_truncated.pgbi");
+    expectStrictError(
+        [&] { store::Artifact::load(path); },
+        "fatal: " + path +
+            ": section FBWT holds 5989 bytes, expected 5990");
+}
+
+TEST(ParseCorpus, FmBadMetaArtifactReportsTheField)
+{
+    const std::string path = corpusPath("fm_bad_meta.pgbi");
+    expectStrictError([&] { store::Artifact::load(path); },
+                      "fatal: " + path + ": FMET sample rate is zero");
 }
 
 } // namespace

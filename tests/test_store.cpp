@@ -270,6 +270,44 @@ TEST(StoreFail, CorpusFixturesAllFailClosed)
                  core::FatalError);
 }
 
+TEST(StoreFail, FmCorpusFixturesAllFailClosed)
+{
+    // Three FM-bearing artifacts, each corrupted at a different layer:
+    // a flipped BWT payload byte (section checksum), an FBWT one byte
+    // shorter than FMET's textLength with checksums *recomputed* (the
+    // FM cross-section validation, not the checksum layer), and an
+    // FMET sampleRate of zero (FM meta validation). All must be
+    // FatalErrors even when the caller never asked for MEM seeding —
+    // a corrupt optional section is corruption, not an option.
+    const std::string corpus = PGB_CORPUS_DIR;
+    EXPECT_THROW(
+        store::Artifact::load(corpus + "/fm_bad_checksum.pgbi"),
+        core::FatalError);
+    EXPECT_THROW(store::Artifact::load(corpus + "/fm_truncated.pgbi"),
+                 core::FatalError);
+    EXPECT_THROW(store::Artifact::load(corpus + "/fm_bad_meta.pgbi"),
+                 core::FatalError);
+}
+
+TEST(StoreFail, FmSectionRoundTripsAndValidates)
+{
+    // A healthy FM-bearing artifact loads with view-mode FM spans that
+    // answer queries identically to the built index.
+    const index::FmIndex fm(fixture().pangenome.graph);
+    const std::string path = testing::TempDir() + "with_fm.pgbi";
+    store::writeArtifact(path, fixture().pangenome.graph,
+                         *fixture().minimizers, nullptr, &fm);
+    const auto artifact = store::Artifact::load(path);
+    ASSERT_NE(artifact->fmIndex(), nullptr);
+    EXPECT_TRUE(artifact->fmIndex()->isView());
+    EXPECT_EQ(artifact->fmIndex()->textLength(), fm.textLength());
+    EXPECT_EQ(artifact->fmIndex()->pathCount(), fm.pathCount());
+    // And an artifact written without one loads with a null FM-index.
+    const auto plain = store::Artifact::load(fixture().artifactPath);
+    EXPECT_EQ(plain->fmIndex(), nullptr);
+    std::remove(path.c_str());
+}
+
 // ---- fault injection --------------------------------------------------
 
 class StoreFaultTest : public ::testing::Test

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "core/logging.hpp"
 #include "synth/pangenome_sim.hpp"
 
@@ -143,6 +146,43 @@ TEST(Synth, VariantDensityScalesWithRates)
     const auto a = simulatePangenome(sparse);
     const auto b = simulatePangenome(dense);
     EXPECT_GT(b.variants.size(), a.variants.size() * 5);
+}
+
+TEST(Synth, RepeatPresetIsDeterministicAndActuallyRepetitive)
+{
+    const auto a = simulatePangenome(repeatHeavyConfig(30000, 7));
+    const auto b = simulatePangenome(repeatHeavyConfig(30000, 7));
+    ASSERT_EQ(a.reference.codes(), b.reference.codes());
+    EXPECT_EQ(a.variants.size(), b.variants.size());
+
+    // Planted tandem arrays collapse k-mer diversity: far fewer
+    // distinct 24-mers than the (effectively all-distinct) default.
+    const auto distinctKmers = [](const seq::Sequence &s) {
+        std::set<std::string> kmers;
+        const std::string text = s.toString();
+        for (size_t i = 0; i + 24 <= text.size(); ++i)
+            kmers.insert(text.substr(i, 24));
+        return kmers.size();
+    };
+    const auto plain = simulatePangenome(mGraphLikeConfig(30000, 7));
+    EXPECT_LT(distinctKmers(a.reference),
+              distinctKmers(plain.reference) * 3 / 4);
+}
+
+TEST(Synth, RepeatStreamDoesNotPerturbTheDefaultStream)
+{
+    // repeatFraction == 0 must never touch the repeat RNG: the default
+    // pangenome is bit-identical whether or not the feature exists, so
+    // every pre-existing golden and fixture stays valid.
+    const auto before = simulatePangenome(mGraphLikeConfig(20000, 11));
+    (void)simulatePangenome(repeatHeavyConfig(20000, 11));
+    const auto after = simulatePangenome(mGraphLikeConfig(20000, 11));
+    ASSERT_EQ(before.reference.codes(), after.reference.codes());
+    ASSERT_EQ(before.variants.size(), after.variants.size());
+    ASSERT_EQ(before.haplotypes.size(), after.haplotypes.size());
+    for (size_t h = 0; h < before.haplotypes.size(); ++h)
+        EXPECT_EQ(before.haplotypes[h].codes(),
+                  after.haplotypes[h].codes());
 }
 
 } // namespace

@@ -112,13 +112,15 @@ usage()
         "usage (run `pgb <command> --help` for details):\n"
         "  pgb simulate <out-prefix> [bases] [haplotypes] [seed]\n"
         "      writes <prefix>.gfa, <prefix>.fa, <prefix>.short.fq,\n"
-        "      <prefix>.long.fq\n"
+        "      <prefix>.long.fq (--preset=repeat plants tandem arrays)\n"
         "  pgb stats <graph.gfa>\n"
         "  pgb index <graph.gfa> -o <out.pgbi> [--k K] [--w W]\n"
         "      build the mapping indexes once, write a .pgbi artifact\n"
+        "      (--seeder=mem adds the FM-index sections)\n"
         "  pgb map <graph.gfa> <reads.fq> [vgmap|giraffe|graphaligner|"
         "minigraph] [threads]\n"
         "  pgb map --index <art.pgbi> <reads.fq> [profile] [threads]\n"
+        "      --seeder=minimizer|mem picks the seeding backend\n"
         "  pgb build <assemblies.fa> <out.gfa> [pggb|mc] [threads]\n"
         "  pgb layout <graph.gfa> <out.tsv> [iterations] [threads]\n"
         "  pgb split <in.gfa> <out.gfa> [max-node-length]\n"
@@ -162,6 +164,10 @@ cmdSimulate(int argc, char **argv)
         "simulate", "<out-prefix> [bases] [haplotypes] [seed]",
         "generate a synthetic pangenome: GFA graph, haplotype FASTA, "
         "and simulated short/long read FASTQs");
+    parser.option("--preset", "name",
+                  "workload shape: mgraph (default) or repeat "
+                  "(~35% planted tandem arrays, the seeding "
+                  "stress regime)");
     if (!parser.parse(argc, argv))
         return 0;
     parser.requirePositionals(1, 4);
@@ -173,7 +179,15 @@ cmdSimulate(int argc, char **argv)
     const uint64_t seed =
         parser.positionalUint(3, "seed", 42, 0, UINT64_MAX);
 
-    synth::PangenomeConfig config = synth::mGraphLikeConfig(bases, seed);
+    const std::string preset = parser.get("--preset", "mgraph");
+    synth::PangenomeConfig config;
+    if (preset == "mgraph")
+        config = synth::mGraphLikeConfig(bases, seed);
+    else if (preset == "repeat")
+        config = synth::repeatHeavyConfig(bases, seed);
+    else
+        core::fatal("unknown --preset '", preset,
+                    "' (expected mgraph or repeat)");
     config.haplotypeCount = haplotypes;
     const auto pangenome = synth::simulatePangenome(config);
 
@@ -270,6 +284,10 @@ cmdIndex(int argc, char **argv)
                   "artifact output path (required)", "-o");
     parser.option("--k", "k", "minimizer length (default 15)");
     parser.option("--w", "w", "minimizer window (default 10)");
+    parser.option("--seeder", "name",
+                  "seeding backend the artifact should support: "
+                  "minimizer (default) or mem (also builds and "
+                  "persists the FM-index sections)");
     parser.option("--threads", "n",
                   "worker threads (default: all cores)");
     if (!parser.parse(argc, argv))
@@ -292,19 +310,26 @@ cmdIndex(int argc, char **argv)
                                           &parse_stats);
     reportSkipped("index", parse_stats);
 
+    const pipeline::SeederKind seeder =
+        pipeline::parseSeeder(parser.get("--seeder", "minimizer"));
+
     core::WallTimer timer;
     const index::MinimizerIndex minimizers(graph, k, w, threads);
     // Always include the GBWT so the artifact serves every profile,
     // giraffe included.
     const index::GbwtIndex gbwt(graph, true, threads);
+    std::unique_ptr<index::FmIndex> fm;
+    if (seeder == pipeline::SeederKind::kMem)
+        fm = std::make_unique<index::FmIndex>(graph);
     const double build_seconds = timer.seconds();
-    store::writeArtifact(out_path, graph, minimizers, &gbwt);
+    store::writeArtifact(out_path, graph, minimizers, &gbwt, fm.get());
 
     const auto stats = graph.stats();
-    std::printf("index: %zu nodes, %zu edges, %zu paths; k=%d w=%d; "
+    std::printf("index: %zu nodes, %zu edges, %zu paths; k=%d w=%d%s; "
                 "built in %.2fs -> %s\n",
                 stats.nodeCount, stats.edgeCount, stats.pathCount, k,
-                w, build_seconds, out_path.c_str());
+                w, fm ? "; +FM-index" : "", build_seconds,
+                out_path.c_str());
     return 0;
 }
 
@@ -329,6 +354,10 @@ cmdMap(int argc, char **argv)
                   "write per-read mappings as TSV (name, mapped, "
                   "node, score, reverse) — comparable byte-for-byte "
                   "with `pgb loadgen --dump` output");
+    parser.option("--seeder", "name",
+                  "seeding backend: minimizer (default) or mem "
+                  "(FM-index SMEM seeds; with --index the artifact "
+                  "must have been built with --seeder=mem)");
     if (!parser.parse(argc, argv))
         return 0;
 
@@ -345,10 +374,14 @@ cmdMap(int argc, char **argv)
                                          std::string("vgmap"))));
     config.threads = resolveThreads(parser, base + 2);
 
+    const pipeline::SeederKind seeder =
+        pipeline::parseSeeder(parser.get("--seeder", "minimizer"));
+
     graph::PanGraph graph; ///< kept alive for the in-memory context
     std::shared_ptr<const pipeline::MappingContext> context;
     if (from_artifact) {
-        context = pipeline::MappingContext::load(parser.get("--index"));
+        context = pipeline::MappingContext::load(parser.get("--index"),
+                                                 seeder);
         // The artifact dictates the index geometry.
         config.k = context->k();
         config.w = context->w();
@@ -360,6 +393,7 @@ cmdMap(int argc, char **argv)
         params.threads = config.threads;
         params.buildGbwt =
             config.profile == pipeline::ToolProfile::kVgGiraffe;
+        params.seeder = seeder;
         context = pipeline::MappingContext::build(graph, params);
     }
 
@@ -628,6 +662,9 @@ cmdServe(int argc, char **argv)
     parser.option("--profile", "name",
                   "tool profile: vgmap (default), giraffe, "
                   "graphaligner, minigraph");
+    parser.option("--seeder", "name",
+                  "seeding backend: minimizer (default) or mem "
+                  "(the artifact must carry FM-index sections)");
     parser.option("--max-batch", "reads",
                   "batch size trigger in reads (default 256)");
     parser.option("--max-wait-us", "us",
@@ -656,6 +693,8 @@ cmdServe(int argc, char **argv)
                     "--stdio");
     config.profile =
         parseProfile(parser.get("--profile", "vgmap"));
+    config.seeder = pipeline::parseSeeder(
+        parser.get("--seeder", "minimizer"));
     config.maxBatchReads =
         parser.getUint("--max-batch", 256, 1, 1u << 20);
     config.maxWaitUs =
@@ -680,7 +719,8 @@ cmdServe(int argc, char **argv)
         };
     }
 
-    auto context = pipeline::MappingContext::load(index_path);
+    auto context =
+        pipeline::MappingContext::load(index_path, config.seeder);
     serve::Server server(std::move(context), config);
 
     activeServer = &server;
