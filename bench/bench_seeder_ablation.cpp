@@ -112,13 +112,14 @@ main()
     const int repeats = 3;
     std::vector<Result> results;
     for (const Regime &regime : regimes) {
-        pipeline::ContextBuildParams params;
-        params.seeder = SeederKind::kMinimizer;
-        const auto min_ctx =
-            pipeline::MappingContext::build(*regime.graph, params);
-        params.seeder = SeederKind::kMem;
-        const auto mem_ctx =
-            pipeline::MappingContext::build(*regime.graph, params);
+        const auto min_ctx = pipeline::MappingContext::Builder()
+                                 .fromGraph(*regime.graph)
+                                 .seeder(SeederKind::kMinimizer)
+                                 .build();
+        const auto mem_ctx = pipeline::MappingContext::Builder()
+                                 .fromGraph(*regime.graph)
+                                 .seeder(SeederKind::kMem)
+                                 .build();
 
         // Interleave the two seeders across repeats so machine drift
         // is charged to both alike (min-of-3 per side).

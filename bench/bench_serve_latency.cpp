@@ -40,12 +40,10 @@ main()
     banner("pgb serve: latency and throughput under load");
     const auto workload = makeStandardWorkload();
 
-    pipeline::ContextBuildParams params;
-    params.threads = core::hardwareThreads();
-    params.buildGbwt = false;
-    auto context =
-        pipeline::MappingContext::build(workload.pangenome.graph,
-                                        params);
+    auto context = pipeline::MappingContext::Builder()
+                       .fromGraph(workload.pangenome.graph)
+                       .threads(core::hardwareThreads())
+                       .build();
 
     // sun_path caps at ~107 bytes; /tmp keeps the path short no
     // matter how deep the build tree is.

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Shard-set scaling: what does the beyond-RAM `GraphSource` cost when
+ * the pangenome *does* fit? Three regimes over the same multi-component
+ * union workload (DESIGN.md §13):
+ *
+ *  - monolith — the in-memory baseline every shard regime must match
+ *    byte-for-byte (the Shard test suite pins that; this bench prices
+ *    it);
+ *  - sharded, unbounded cache — pure indirection cost: per-shard
+ *    seeding, k-way merge, step-offset projection, no evictions;
+ *  - sharded, one-shard budget — the thrash regime: the LRU evicts on
+ *    nearly every cross-component read, so the mmap/load path itself
+ *    is on the clock.
+ *
+ * Methodology (bench box is noisy): interleaved min-of-3 — the three
+ * regimes alternate inside each repeat so drift is charged to all
+ * alike. Eviction/load/hit counts come from the shard.* obs counters,
+ * delta'd around each regime's repeats. Emits BENCH_shard.json plus
+ * the standard BENCH_shard.metrics.json sidecar.
+ */
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/io.hpp"
+#include "core/thread_pool.hpp"
+#include "core/timer.hpp"
+#include "obs/metrics.hpp"
+#include "pipeline/context.hpp"
+#include "store/shard_build.hpp"
+
+namespace {
+
+using namespace pgb;
+using namespace pgb::bench;
+
+constexpr uint64_t kMiB = 1ull << 20;
+
+/** Append @p src to @p dst as a fresh connected component (same
+ *  disjoint-union construction the Shard test suite maps against). */
+void
+appendChromosome(graph::PanGraph &dst, const synth::Pangenome &src,
+                 const std::string &tag)
+{
+    const auto &g = src.graph;
+    const auto base = static_cast<uint32_t>(dst.nodeCount());
+    for (uint32_t n = 0; n < g.nodeCount(); ++n)
+        dst.addNode(g.nodeSequence(n));
+    for (uint32_t n = 0; n < g.nodeCount(); ++n) {
+        for (const bool reverse : {false, true}) {
+            const graph::Handle from(n, reverse);
+            for (const graph::Handle to : g.successors(from))
+                dst.addEdge(graph::Handle(base + n, reverse),
+                            graph::Handle(base + to.node(),
+                                          to.isReverse()));
+        }
+    }
+    for (graph::PathId p = 0; p < g.pathCount(); ++p) {
+        std::vector<graph::Handle> steps;
+        steps.reserve(g.pathSteps(p).size());
+        for (const graph::Handle s : g.pathSteps(p))
+            steps.emplace_back(base + s.node(), s.isReverse());
+        dst.addPath(tag + "." + g.pathName(p), std::move(steps));
+    }
+}
+
+struct Regime
+{
+    std::string name;
+    std::shared_ptr<const pipeline::MappingContext> context;
+};
+
+struct Result
+{
+    std::string regime;
+    double readsPerSec = 0.0; ///< min-of-3 wall clock
+    double mappedFraction = 0.0;
+    uint64_t evictions = 0; ///< summed over the measured repeats
+    uint64_t loads = 0;
+    uint64_t hits = 0;
+};
+
+/** One timed pass; shard.* counter deltas accumulate into @p r. */
+void
+measureOnce(const Regime &regime, const std::vector<seq::Sequence> &reads,
+            Result &r)
+{
+    auto config =
+        pipeline::MapperConfig::forTool(pipeline::ToolProfile::kVgMap);
+    config.threads = 1;
+    const auto before = obs::snapshot();
+    core::WallTimer timer;
+    const auto stats = pipeline::mapBatch(*regime.context, config, reads);
+    const double seconds = timer.seconds();
+    const auto after = obs::snapshot();
+    r.regime = regime.name;
+    r.readsPerSec =
+        std::max(r.readsPerSec,
+                 static_cast<double>(reads.size()) / seconds);
+    r.mappedFraction = static_cast<double>(stats.mappedReads) /
+                       static_cast<double>(reads.size());
+    r.evictions += after.counter("shard.evictions") -
+                   before.counter("shard.evictions");
+    r.loads +=
+        after.counter("shard.loads") - before.counter("shard.loads");
+    r.hits += after.counter("shard.hits") - before.counter("shard.hits");
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("shard scaling: monolith vs lazily-mmapped shard set");
+
+    // A multi-component union — the shape `pgb shard` partitions.
+    // Per-chromosome scale matches the standard workload so the
+    // monolith column is comparable with the other benches.
+    const size_t chromosomes = 3;
+    const size_t bases = smallScale() ? 40000 : 150000;
+    const size_t reads_per_chromosome = smallScale() ? 40 : 150;
+    graph::PanGraph graph;
+    std::vector<seq::Sequence> reads;
+    for (size_t c = 0; c < chromosomes; ++c) {
+        synth::PangenomeConfig config =
+            synth::mGraphLikeConfig(bases, 0xc0 + c);
+        config.haplotypeCount = 2;
+        const auto pangenome = synth::simulatePangenome(config);
+        appendChromosome(graph, pangenome, "chr" + std::to_string(c));
+        seq::ReadSimulator sim(seq::ReadProfile::shortRead(),
+                               0x5eed00 + c);
+        for (size_t r = 0; r < reads_per_chromosome; ++r)
+            reads.push_back(
+                sim.sample(pangenome
+                               .haplotypes[r % pangenome.haplotypes
+                                                   .size()])
+                    .read);
+    }
+    std::printf("workload: %zu chromosomes x %zu bases, %zu reads\n",
+                chromosomes, bases, reads.size());
+
+    char dir_template[] = "/tmp/pgb_bench_shard.XXXXXX";
+    const char *dir = mkdtemp(dir_template);
+    if (dir == nullptr) {
+        std::fprintf(stderr, "bench_shard_scaling: mkdtemp failed\n");
+        return 1;
+    }
+    store::ShardBuildParams params;
+    params.targetShardMb = 0; // one shard per component
+    params.threads = core::hardwareThreads();
+    const auto manifest = store::buildShardSet(
+        graph, params, std::string(dir) + "/union.pgbs");
+
+    uint64_t max_bytes = 0, sum_bytes = 0;
+    for (const auto &shard : manifest.shards) {
+        max_bytes = std::max(max_bytes, shard.bytes);
+        sum_bytes += shard.bytes;
+    }
+    const uint64_t one_shard_mb = (max_bytes + kMiB - 1) / kMiB;
+    if (one_shard_mb * kMiB >= sum_bytes) {
+        // Every shard fits: the "thrash" column degenerates into the
+        // unbounded one. Say so rather than publish a vacuous number.
+        std::printf("note: %llu MiB budget holds all %zu shards "
+                    "(%llu bytes); thrash regime will not evict\n",
+                    static_cast<unsigned long long>(one_shard_mb),
+                    manifest.shards.size(),
+                    static_cast<unsigned long long>(sum_bytes));
+    }
+
+    const Regime regimes[] = {
+        {"monolith", pipeline::MappingContext::Builder()
+                         .fromGraph(graph)
+                         .build()},
+        {"sharded_unbounded", pipeline::MappingContext::Builder()
+                                  .fromManifest(manifest.path)
+                                  .build()},
+        {"sharded_one_shard_cache",
+         pipeline::MappingContext::Builder()
+             .fromManifest(manifest.path)
+             .shardCacheMb(one_shard_mb)
+             .build()},
+    };
+
+    // Interleave the regimes across repeats so machine drift is
+    // charged to all alike (min-of-3 per side; memory note: this box
+    // only trusts interleaved min-of-N).
+    const int repeats = 3;
+    Result results[3];
+    for (int rep = 0; rep < repeats; ++rep)
+        for (size_t i = 0; i < 3; ++i)
+            measureOnce(regimes[i], reads, results[i]);
+
+    for (const Result &r : results) {
+        std::printf("%-26s %9.0f reads/s  %5.1f%% mapped  "
+                    "%4llu loads %4llu evictions %6llu hits\n",
+                    r.regime.c_str(), r.readsPerSec,
+                    100.0 * r.mappedFraction,
+                    static_cast<unsigned long long>(r.loads),
+                    static_cast<unsigned long long>(r.evictions),
+                    static_cast<unsigned long long>(r.hits));
+    }
+
+    {
+        core::CheckedWriter json("BENCH_shard.json");
+        auto &out = json.stream();
+        out << "{\n  \"bench\": \"shard_scaling\",\n"
+            << "  \"repeats\": " << repeats << ",\n"
+            << "  \"shards\": " << manifest.shards.size() << ",\n"
+            << "  \"one_shard_budget_mb\": " << one_shard_mb << ",\n"
+            << "  \"results\": [\n";
+        for (size_t i = 0; i < 3; ++i) {
+            const Result &r = results[i];
+            char line[256];
+            std::snprintf(
+                line, sizeof line,
+                "    {\"regime\": \"%s\", \"reads_per_sec\": %.1f, "
+                "\"mapped_fraction\": %.4f, \"loads\": %llu, "
+                "\"evictions\": %llu, \"hits\": %llu}%s\n",
+                r.regime.c_str(), r.readsPerSec, r.mappedFraction,
+                static_cast<unsigned long long>(r.loads),
+                static_cast<unsigned long long>(r.evictions),
+                static_cast<unsigned long long>(r.hits),
+                i + 1 < 3 ? "," : "");
+            out << line;
+        }
+        out << "  ]\n}\n";
+        json.finish();
+        std::printf("wrote BENCH_shard.json\n");
+    }
+    writeBenchMetrics("shard");
+
+    for (size_t i = 0; i < manifest.shards.size(); ++i)
+        std::remove(manifest.shardPath(i).c_str());
+    std::remove(manifest.path.c_str());
+    rmdir(dir);
+    return 0;
+}

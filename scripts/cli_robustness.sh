@@ -271,6 +271,50 @@ expect_fail "loadgen with garbage retry count" \
     "$PGB" loadgen --socket "$WORK/nobody-home.sock" \
     "$WORK/d.short.fq" --retries always
 
+# --- .pgbs shard sets fail closed ----------------------------------
+expect_fail "shard without --output" \
+    "$PGB" shard "$WORK/d.gfa"
+expect_fail "shard with garbage --seeder" \
+    "$PGB" shard "$WORK/d.gfa" -o "$WORK/d.pgbs" --seeder=banana
+expect_ok "shard healthy dataset" \
+    "$PGB" shard "$WORK/d.gfa" -o "$WORK/d.pgbs" --target-shard-mb 1
+expect_ok "map via shard set" \
+    "$PGB" map --shards "$WORK/d.pgbs" "$WORK/d.short.fq" vgmap 1
+expect_fail "map with both --index and --shards" \
+    "$PGB" map --index "$WORK/d.pgbi" --shards "$WORK/d.pgbs" \
+    "$WORK/d.short.fq"
+expect_fail "map with missing manifest" \
+    "$PGB" map --shards "$WORK/no_such.pgbs" "$WORK/d.short.fq"
+expect_fail "map with corrupt manifest" \
+    "$PGB" map --shards "$CORPUS/bad_checksum.pgbs" "$WORK/d.short.fq"
+expect_fail "map with duplicate-component manifest" \
+    "$PGB" map --shards "$CORPUS/dup_component.pgbs" "$WORK/d.short.fq"
+expect_fail "map with manifest whose shard file is missing" \
+    "$PGB" map --shards "$CORPUS/missing_shard.pgbs" "$WORK/d.short.fq"
+expect_fail "map with injected store.manifest fault" \
+    env PGB_FAULT=store.manifest:1 \
+    "$PGB" map --shards "$WORK/d.pgbs" "$WORK/d.short.fq"
+# d.pgbs was sharded without --seeder=mem, so its shards carry no FM
+# sections: MEM seeding against it must fail closed, like the .pgbi
+# case above.
+expect_fail "map --seeder=mem against minimizer shard set" \
+    "$PGB" map --shards "$WORK/d.pgbs" --seeder=mem "$WORK/d.short.fq"
+expect_fail "serve with both --index and --shards" \
+    "$PGB" serve --index "$WORK/d.pgbi" --shards "$WORK/d.pgbs" \
+    --socket "$WORK/s.sock"
+expect_fail "serve with corrupt manifest" \
+    "$PGB" serve --shards "$CORPUS/bad_checksum.pgbs" \
+    --socket "$WORK/s.sock"
+# A failed shard build must not leave partial shard files or a
+# manifest behind.
+expect_fail "shard with injected flush failure" \
+    env PGB_FAULT=io.flush:1 \
+    "$PGB" shard "$WORK/d.gfa" -o "$WORK/failed.pgbs"
+if [ -e "$WORK/failed.pgbs" ] || [ -e "$WORK/failed.pgbs.tmp" ]; then
+    echo "FAIL: failed shard build left a partial manifest" >&2
+    failures=$((failures + 1))
+fi
+
 # --- garbage numeric arguments -------------------------------------
 expect_fail "map with garbage thread count" \
     "$PGB" map "$WORK/d.gfa" "$WORK/d.short.fq" vgmap banana

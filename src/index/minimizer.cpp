@@ -103,13 +103,18 @@ MinimizerIndex::MinimizerIndex(const graph::PanGraph &graph, int k,
         }
     }
 
+    // The full record is the sort key so the occurrence order is a
+    // pure function of the occurrence set — a shard set's per-shard
+    // buckets merge back into exactly this order (DESIGN.md §13).
     std::sort(entries.begin(), entries.end(),
               [](const Entry &a, const Entry &b) {
                   if (a.hash != b.hash)
                       return a.hash < b.hash;
                   if (a.hit.node != b.hit.node)
                       return a.hit.node < b.hit.node;
-                  return a.hit.offset < b.hit.offset;
+                  if (a.hit.offset != b.hit.offset)
+                      return a.hit.offset < b.hit.offset;
+                  return a.hit.reverse < b.hit.reverse;
               });
     // Haplotypes share most of the graph: drop duplicate occurrences.
     entries.erase(std::unique(entries.begin(), entries.end(),

@@ -5,14 +5,28 @@
  * Historically every Seq2GraphMapper rebuilt the minimizer index (and
  * the GBWT for the giraffe profile) from the graph in its constructor,
  * so each run — each bench iteration, each CLI invocation — paid full
- * index construction. MappingContext splits that cost out: it bundles
- * the graph, the minimizer index, the optional GBWT, and the graph
- * linearization into one const-shareable object that is either built
- * in memory (MappingContext::build) or loaded from a `.pgbi` artifact
- * (MappingContext::load, backed by pgb::store's memory-mapped
- * zero-copy views). Per-run knobs stay in MapperConfig; mapBatch()
- * maps a batch of reads against a context without mutating it, so one
- * context can serve any number of batches, configs, and threads.
+ * index construction. MappingContext splits that cost out: it wraps a
+ * GraphSource (source.hpp) — the read side of a pangenome — plus the
+ * k/w the indexes were built with, as one const-shareable object.
+ * Per-run knobs stay in MapperConfig; mapBatch() maps a batch of reads
+ * against a context without mutating it, so one context can serve any
+ * number of batches, configs, and threads.
+ *
+ * All construction goes through MappingContext::Builder — one fluent
+ * entry point for the three backing stores:
+ *
+ *     MappingContext::Builder().fromGraph(graph).k(15).w(10).build();
+ *     MappingContext::Builder().fromArtifact("pan.pgbi").build();
+ *     MappingContext::Builder().fromManifest("pan.pgbs")
+ *                              .shardCacheMb(64).build();
+ *
+ * fromGraph builds indexes in memory; fromArtifact memory-maps one
+ * `.pgbi`; fromManifest opens a `.pgbs` shard set (shard_set.hpp)
+ * whose shards are mmapped lazily and evicted under the cache budget.
+ * The monolith-only accessors (graph(), minimizers(), gbwt(),
+ * fmIndex(), linearization(), artifact()) remain for code that
+ * genuinely needs the whole structure in one piece — they fatal() on a
+ * shard-set context, where no monolithic structure exists.
  */
 
 #ifndef PGB_PIPELINE_CONTEXT_HPP
@@ -27,6 +41,7 @@
 #include "index/minimizer.hpp"
 #include "pipeline/chain.hpp"
 #include "pipeline/seeder.hpp"
+#include "pipeline/source.hpp"
 #include "store/store.hpp"
 
 namespace pgb::pipeline {
@@ -35,74 +50,56 @@ struct MapperConfig;
 struct MappingStats;
 struct ReadMapping;
 
-/** Index-construction knobs for MappingContext::build. */
-struct ContextBuildParams
-{
-    int k = 15;
-    int w = 10;
-    unsigned threads = 1;
-    /** Build the GBWT too (required by the giraffe profile). */
-    bool buildGbwt = false;
-    /** Seeding strategy (kMem also builds the FM-index). */
-    SeederKind seeder = SeederKind::kMinimizer;
-    /** FM-index SA sampling rate (kMem only). */
-    uint32_t fmSampleRate = index::FmIndex::kDefaultSampleRate;
-};
+class MonolithSource;
 
 /**
- * Everything a mapping run shares and never mutates: graph, minimizer
- * index, optional GBWT, linearization. Returned as
- * shared_ptr<const MappingContext> so concurrent batches on different
- * threads can hold the same context safely.
+ * Everything a mapping run shares and never mutates, behind a
+ * GraphSource. Returned as shared_ptr<const MappingContext> so
+ * concurrent batches on different threads can hold the same context
+ * safely.
  */
 class MappingContext
 {
   public:
-    /**
-     * Build indexes in memory over @p graph. The caller's graph must
-     * outlive the context (the context references, not copies, it —
-     * matching the old Seq2GraphMapper constructor's contract).
-     */
-    static std::shared_ptr<const MappingContext>
-    build(const graph::PanGraph &graph, const ContextBuildParams &params);
+    class Builder;
 
-    /**
-     * Load a `.pgbi` artifact written by pgb::store. The context owns
-     * the mapping; the minimizer index (and the FM-index when
-     * @p seeder is kMem) is a zero-copy view into it. Requesting kMem
-     * against an artifact without FM sections is a FatalError, as is
-     * any validation failure (fails closed).
-     */
-    static std::shared_ptr<const MappingContext>
-    load(const std::string &artifact_path,
-         SeederKind seeder = SeederKind::kMinimizer);
+    // ---- Source-forwarded surface: valid for every backing store.
 
-    const graph::PanGraph &graph() const { return *graph_; }
-    const index::MinimizerIndex &minimizers() const
-    {
-        return *minimizers_;
-    }
-
-    /** GBWT, or nullptr when the context was built/stored without one. */
-    const index::GbwtIndex *gbwt() const { return gbwt_; }
-
-    /** FM-index, or nullptr when seeding is minimizer-based. */
-    const index::FmIndex *fmIndex() const { return fm_; }
+    /** The underlying source (monolith or shard set). */
+    const GraphSource &source() const { return *source_; }
 
     /** The seed-stage strategy the mapper calls. */
-    const Seeder &seeder() const { return *seeder_; }
+    const Seeder &seeder() const { return source_->seeder(); }
 
-    const GraphLinearization &linearization() const { return *linear_; }
+    double avgNodeLength() const { return source_->avgNodeLength(); }
 
-    double avgNodeLength() const { return avgNodeLength_; }
+    /** Whether haplotype walks (giraffe's filter) are available. */
+    bool hasGbwt() const { return source_->hasGbwt(); }
+
+    /** Whether this context reads a `.pgbs` shard set. */
+    bool isSharded() const { return mono_ == nullptr; }
+
     int k() const { return k_; }
     int w() const { return w_; }
 
+    // ---- Monolith-only surface: fatal() on a shard-set context.
+
+    const graph::PanGraph &graph() const;
+    const index::MinimizerIndex &minimizers() const;
+
+    /** GBWT, or nullptr when the context was built/stored without one. */
+    const index::GbwtIndex *gbwt() const;
+
+    /** FM-index, or nullptr when seeding is minimizer-based. */
+    const index::FmIndex *fmIndex() const;
+
+    const GraphLinearization &linearization() const;
+
     /** Whether this context came from a `.pgbi` artifact. */
-    bool fromArtifact() const { return artifact_ != nullptr; }
+    bool fromArtifact() const;
 
     /** The backing artifact, or nullptr for in-memory contexts. */
-    const store::Artifact *artifact() const { return artifact_.get(); }
+    const store::Artifact *artifact() const;
 
     MappingContext(const MappingContext &) = delete;
     MappingContext &operator=(const MappingContext &) = delete;
@@ -110,21 +107,70 @@ class MappingContext
   private:
     MappingContext() = default;
 
-    /** Shared by build()/load() once graph_/indexes are wired up. */
-    void finalize(SeederKind seeder);
-
-    std::unique_ptr<store::Artifact> artifact_;
-    const graph::PanGraph *graph_ = nullptr;
-    std::unique_ptr<index::MinimizerIndex> ownedMinimizers_;
-    const index::MinimizerIndex *minimizers_ = nullptr;
-    std::unique_ptr<index::GbwtIndex> ownedGbwt_;
-    const index::GbwtIndex *gbwt_ = nullptr;
-    std::unique_ptr<index::FmIndex> ownedFm_;
-    const index::FmIndex *fm_ = nullptr;
-    std::unique_ptr<Seeder> seeder_;
-    std::unique_ptr<GraphLinearization> linear_;
-    double avgNodeLength_ = 1.0;
+    std::unique_ptr<const GraphSource> source_;
+    /** Downcast of source_ when monolithic; null for shard sets. */
+    const MonolithSource *mono_ = nullptr;
     int k_ = 0, w_ = 0;
+};
+
+/**
+ * The single way to construct a MappingContext. Exactly one of
+ * fromGraph / fromArtifact / fromManifest must be set; the remaining
+ * knobs default to the `pgb index` defaults. k/w/buildGbwt/
+ * fmSampleRate shape in-memory builds only (artifacts and manifests
+ * carry their own); shardCacheMb applies to manifests only.
+ */
+class MappingContext::Builder
+{
+  public:
+    Builder() = default;
+
+    /** Build indexes in memory over @p graph, which must outlive the
+     *  context (referenced, not copied). */
+    Builder &fromGraph(const graph::PanGraph &graph);
+
+    /** Memory-map the `.pgbi` artifact at @p path. */
+    Builder &fromArtifact(std::string path);
+
+    /** Open the `.pgbs` shard set at @p path (lazy per-shard mmap). */
+    Builder &fromManifest(std::string path);
+
+    /** Seeding strategy (kMem needs FM sections / builds them). */
+    Builder &seeder(SeederKind kind);
+
+    Builder &k(int k);
+    Builder &w(int w);
+
+    /** Index-construction threads (fromGraph only). */
+    Builder &threads(unsigned threads);
+
+    /** Build the GBWT too (fromGraph only; giraffe needs it). */
+    Builder &buildGbwt(bool build);
+
+    /** FM-index SA sampling rate (fromGraph + kMem only). */
+    Builder &fmSampleRate(uint32_t rate);
+
+    /** Shard cache budget in MiB (fromManifest only; 0 = unlimited). */
+    Builder &shardCacheMb(uint64_t mb);
+
+    /**
+     * Construct the context. Fatal on an unset or doubly-set source,
+     * on kMem against an artifact or shard set without FM sections,
+     * and on any store validation failure (fails closed).
+     */
+    std::shared_ptr<const MappingContext> build() const;
+
+  private:
+    const graph::PanGraph *graph_ = nullptr;
+    std::string artifactPath_;
+    std::string manifestPath_;
+    SeederKind seeder_ = SeederKind::kMinimizer;
+    int k_ = 15;
+    int w_ = 10;
+    unsigned threads_ = 1;
+    bool buildGbwt_ = false;
+    uint32_t fmSampleRate_ = index::FmIndex::kDefaultSampleRate;
+    uint64_t shardCacheMb_ = 0;
 };
 
 /**

@@ -73,12 +73,13 @@ Seq2GraphMapper::Seq2GraphMapper(const graph::PanGraph &graph,
                                  MapperConfig config)
     : config_(config)
 {
-    ContextBuildParams params;
-    params.k = config.k;
-    params.w = config.w;
-    params.threads = config.threads;
-    params.buildGbwt = config.profile == ToolProfile::kVgGiraffe;
-    owned_ = MappingContext::build(graph, params);
+    owned_ = MappingContext::Builder()
+                 .fromGraph(graph)
+                 .k(config.k)
+                 .w(config.w)
+                 .threads(config.threads)
+                 .buildGbwt(config.profile == ToolProfile::kVgGiraffe)
+                 .build();
     context_ = owned_.get();
     checkContext();
 }
@@ -109,7 +110,7 @@ Seq2GraphMapper::checkContext() const
                     context_->k(), "/", context_->w(), ")");
     }
     if (config_.profile == ToolProfile::kVgGiraffe &&
-        context_->gbwt() == nullptr) {
+        !context_->hasGbwt()) {
         core::fatal("mapper: the giraffe profile needs a GBWT, but "
                     "the mapping context has none (build the context "
                     "with a GBWT or re-run pgb index)");
@@ -199,7 +200,7 @@ Seq2GraphMapper::planAlignments(const seq::Sequence &read,
                 continue;
             // Bridge the anchors through the graph with GWFA.
             uint32_t origin = 0;
-            graph::LocalGraph sub = graph().extractSubgraph(
+            graph::LocalGraph sub = source().extractSubgraph(
                 graph::Handle(a.node, false),
                 query_gap * 2 + 64, &origin);
             std::vector<uint8_t> gap_query;
@@ -254,21 +255,28 @@ Seq2GraphMapper::planAlignments(const seq::Sequence &read,
                 for (uint32_t anchor_id : chain.anchorIds) {
                     if (++tried > 64)
                         break;
-                    graph::Handle handle(
-                        anchors[anchor_id].node, false);
+                    // The walk pins the anchor's shard (if any) and
+                    // hands back that shard's own GBWT with the
+                    // anchor's id in its space; a haplotype walk
+                    // never leaves a connected component, so the
+                    // shard-local walk equals the monolithic one.
+                    const GbwtWalk walk = source().gbwtWalkAt(
+                        anchors[anchor_id].node);
+                    if (walk.gbwt == nullptr)
+                        continue; // no haplotypes recorded here
                     index::GbwtRange range =
-                        context_->gbwt()->fullRange(handle);
+                        walk.gbwt->fullRange(walk.start);
                     size_t extended = 0;
                     while (!range.empty() &&
                            extended < config_.gbwtExtensionSteps) {
-                        const auto nexts = context_->gbwt()->nextNodes(range);
+                        const auto nexts = walk.gbwt->nextNodes(range);
                         if (nexts.empty())
                             break;
                         // Follow the best-supported extension.
                         index::GbwtRange best_next;
                         for (graph::Handle next : nexts) {
                             index::GbwtRange cand =
-                                context_->gbwt()->extend(range, next);
+                                walk.gbwt->extend(range, next);
                             if (cand.size() > best_next.size())
                                 best_next = cand;
                         }
@@ -359,7 +367,7 @@ Seq2GraphMapper::mapOne(const seq::Sequence &read,
         obsAlignments.add();
         const auto &query = task.reverse ? rc.codes() : read.codes();
         uint32_t origin = 0;
-        graph::LocalGraph sub = graph().extractSubgraph(
+        graph::LocalGraph sub = source().extractSubgraph(
             task.seedHandle, taskRadius(task, read.size()), &origin);
         int32_t score = 0;
         uint32_t node = task.seedHandle.node();
@@ -495,7 +503,7 @@ Seq2GraphMapper::captureAlignTraces(std::span<const seq::Sequence> reads,
             if (traces.size() >= max_traces)
                 break;
             GsswTrace trace;
-            trace.subgraph = graph().extractSubgraph(
+            trace.subgraph = source().extractSubgraph(
                 task.seedHandle, taskRadius(task, read.size()));
             trace.query = task.reverse ? rc.codes() : read.codes();
             traces.push_back(std::move(trace));
@@ -534,7 +542,7 @@ Seq2GraphMapper::captureGwfaTraces(std::span<const seq::Sequence> reads,
             if (query_gap < config_.gwfaGapThreshold)
                 continue;
             GwfaTrace trace;
-            trace.subgraph = graph().extractSubgraph(
+            trace.subgraph = source().extractSubgraph(
                 graph::Handle(a.node, false), query_gap * 2 + 64,
                 &trace.startNode);
             trace.query.assign(

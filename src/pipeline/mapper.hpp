@@ -187,6 +187,7 @@ class Seq2GraphMapper
     captureGwfaTraces(std::span<const seq::Sequence> reads,
                       size_t max_traces) const;
 
+    /** Monolith-only convenience accessors (fatal on a shard set). */
     const index::MinimizerIndex &minimizerIndex() const
     {
         return context_->minimizers();
@@ -217,7 +218,9 @@ class Seq2GraphMapper
     /** Validate profile/parameter compatibility with the context. */
     void checkContext() const;
 
-    const graph::PanGraph &graph() const { return context_->graph(); }
+    /** The read-side source every stage goes through: monolith or
+     *  shard set, same call shapes (node ids are global). */
+    const GraphSource &source() const { return context_->source(); }
 
     std::shared_ptr<const MappingContext> owned_; ///< may be null
     const MappingContext *context_;

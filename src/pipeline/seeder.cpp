@@ -26,6 +26,59 @@ struct MemScratch
 
 } // namespace
 
+namespace detail {
+
+void
+addSeedAnchors(size_t n)
+{
+    obsSeedAnchors.add(n);
+}
+
+void
+addSeedMems(size_t n)
+{
+    obsSeedMems.add(n);
+}
+
+void
+addSeedMemOccurrences(size_t n)
+{
+    obsSeedMemOccs.add(n);
+}
+
+void
+addSeedDroppedRepetitive()
+{
+    obsSeedDropped.add();
+}
+
+} // namespace detail
+
+void
+canonicalizeMemAnchors(std::vector<Anchor> &anchors)
+{
+    std::sort(anchors.begin(), anchors.end(),
+              [](const Anchor &a, const Anchor &b) {
+                  if (a.queryPos != b.queryPos)
+                      return a.queryPos < b.queryPos;
+                  if (a.reverse != b.reverse)
+                      return a.reverse < b.reverse;
+                  if (a.linearPos != b.linearPos)
+                      return a.linearPos < b.linearPos;
+                  if (a.node != b.node)
+                      return a.node < b.node;
+                  return a.nodeOffset < b.nodeOffset;
+              });
+    anchors.erase(std::unique(anchors.begin(), anchors.end(),
+                              [](const Anchor &a, const Anchor &b) {
+                                  return a.queryPos == b.queryPos &&
+                                         a.reverse == b.reverse &&
+                                         a.node == b.node &&
+                                         a.nodeOffset == b.nodeOffset;
+                              }),
+                  anchors.end());
+}
+
 SeederKind
 parseSeeder(const std::string &name)
 {
@@ -114,30 +167,7 @@ MemSeeder::collect(const seq::Sequence &read,
         ws.rc[i] = seq::complementBase(codes[codes.size() - 1 - i]);
     collectStrand(ws.rc, true, read_length, ws.mems, anchors);
 
-    // Canonical order: MEM occurrences on different haplotypes can
-    // project to the same graph position, and enumeration order is an
-    // implementation detail — sort and dedupe so downstream stages see
-    // one deterministic anchor set.
-    std::sort(anchors.begin(), anchors.end(),
-              [](const Anchor &a, const Anchor &b) {
-                  if (a.queryPos != b.queryPos)
-                      return a.queryPos < b.queryPos;
-                  if (a.reverse != b.reverse)
-                      return a.reverse < b.reverse;
-                  if (a.linearPos != b.linearPos)
-                      return a.linearPos < b.linearPos;
-                  if (a.node != b.node)
-                      return a.node < b.node;
-                  return a.nodeOffset < b.nodeOffset;
-              });
-    anchors.erase(std::unique(anchors.begin(), anchors.end(),
-                              [](const Anchor &a, const Anchor &b) {
-                                  return a.queryPos == b.queryPos &&
-                                         a.reverse == b.reverse &&
-                                         a.node == b.node &&
-                                         a.nodeOffset == b.nodeOffset;
-                              }),
-                  anchors.end());
+    canonicalizeMemAnchors(anchors);
     obsSeedAnchors.add(anchors.size());
 }
 

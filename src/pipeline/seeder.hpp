@@ -36,6 +36,30 @@ namespace pgb::pipeline {
 /** The seeding backends a MappingContext can be built around. */
 enum class SeederKind { kMinimizer, kMem };
 
+namespace detail {
+
+/**
+ * The seed.* metric counters live in seeder.cpp; these hooks let the
+ * shard-set seeders (shard_set.cpp) charge the same counters instead
+ * of registering duplicate names.
+ */
+void addSeedAnchors(size_t n);
+void addSeedMems(size_t n);
+void addSeedMemOccurrences(size_t n);
+void addSeedDroppedRepetitive();
+
+} // namespace detail
+
+/**
+ * Canonical MEM-anchor order: sort by (queryPos, reverse, linearPos,
+ * node, nodeOffset) and dedupe. MEM occurrences on different
+ * haplotypes can project to the same graph position and enumeration
+ * order is an implementation detail (monolithic scan vs per-shard
+ * scans), so every MEM seeder funnels through this before returning —
+ * the anchor SET alone determines the output.
+ */
+void canonicalizeMemAnchors(std::vector<Anchor> &anchors);
+
 /** Parse a `--seeder=` value ("minimizer" | "mem"); fatal otherwise. */
 SeederKind parseSeeder(const std::string &name);
 

@@ -707,18 +707,27 @@ Server::runReload(std::shared_ptr<Connection> connection, uint64_t id)
 {
     obs::Span span("serve.reload");
     try {
-        if (config_.indexPath.empty()) {
-            core::fatal("no .pgbi artifact to reload (daemon was "
-                        "started without --index)");
+        if (config_.indexPath.empty() && config_.shardsPath.empty()) {
+            core::fatal("no .pgbi artifact or .pgbs shard set to "
+                        "reload (daemon was started without "
+                        "--index/--shards)");
         }
         if (faultReload.fire())
             core::fatal("injected fault (serve.reload)");
 
-        // Load and fully validate off-thread: the artifact's own
+        // Load and fully validate off-thread: the store's own
         // checksummed load, then geometry/profile validation via a
         // probe mapper — exactly the constructor's startup checks.
-        auto fresh = pipeline::MappingContext::load(config_.indexPath,
-                                                    config_.seeder);
+        const std::string &source_path = config_.shardsPath.empty()
+            ? config_.indexPath : config_.shardsPath;
+        pipeline::MappingContext::Builder builder;
+        if (config_.shardsPath.empty()) {
+            builder.fromArtifact(config_.indexPath);
+        } else {
+            builder.fromManifest(config_.shardsPath)
+                .shardCacheMb(config_.shardCacheMb);
+        }
+        auto fresh = builder.seeder(config_.seeder).build();
         pipeline::MapperConfig freshConfig =
             pipeline::MapperConfig::forTool(config_.profile);
         freshConfig.k = fresh->k();
@@ -737,11 +746,11 @@ Server::runReload(std::shared_ptr<Connection> connection, uint64_t id)
         }
         reloadOkCount_.fetch_add(1, std::memory_order_relaxed);
         obsReloadsOk.add();
-        core::inform("serve: reloaded index '", config_.indexPath,
+        core::inform("serve: reloaded index '", source_path,
                      "' (k=", freshConfig.k, ", w=", freshConfig.w,
                      "); in-flight batches finish on the old index");
         respond(connection, id, Status::kOk,
-                "reloaded " + config_.indexPath);
+                "reloaded " + source_path);
     } catch (const std::exception &loadError) {
         reloadFailedCount_.fetch_add(1, std::memory_order_relaxed);
         obsReloadsFailed.add();

@@ -103,10 +103,20 @@ struct ServeConfig
     pipeline::SeederKind seeder = pipeline::SeederKind::kMinimizer;
     /**
      * `.pgbi` artifact (re)loaded by a hot reload (SIGHUP / RELOAD
-     * frame). Empty = reload unsupported; a reload attempt then fails
-     * gracefully (ERROR response / warn) and keeps serving.
+     * frame). Empty = reload unsupported (unless shardsPath is set);
+     * a reload attempt then fails gracefully (ERROR response / warn)
+     * and keeps serving.
      */
     std::string indexPath;
+    /**
+     * `.pgbs` shard-set manifest to serve instead of a monolithic
+     * artifact (`pgb serve --shards`): shards are mmapped lazily on
+     * first touch and evicted under shardCacheMb. Mutually exclusive
+     * with indexPath; hot reloads re-open the manifest.
+     */
+    std::string shardsPath;
+    /** Shard-set resident budget in MiB (0 = unlimited). */
+    uint64_t shardCacheMb = 0;
     /**
      * Watchdog stall budget for one batch, in milliseconds; a batch
      * inside mapBatch() longer than this triggers the stall action.

@@ -110,6 +110,12 @@ constexpr uint32_t kSecFmOcc = fourcc('F', 'O', 'C', 'C');
 constexpr uint32_t kSecFmSamples = fourcc('F', 'S', 'S', 'A');
 constexpr uint32_t kSecFmMarks = fourcc('F', 'M', 'R', 'K');
 constexpr uint32_t kSecFmPathOffsets = fourcc('F', 'P', 'O', 'F');
+// Shard-set projection (optional, written by `pgb shard`; no version
+// bump per the rules above): per local node, the global node id in the
+// monolithic graph (SNOD, u32) and the monolith's linearization base
+// of that node (SLIN, u64). A shard artifact carries both or neither.
+constexpr uint32_t kSecShardNodes = fourcc('S', 'N', 'O', 'D');
+constexpr uint32_t kSecShardLinear = fourcc('S', 'L', 'I', 'N');
 
 /** META payload: the scalar facts every other section is sized by. */
 struct Meta

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Shard-set manifests (`.pgbs`): the small checksummed text file that
+ * turns a directory of per-component `.pgbi` shards into one openable
+ * pangenome (DESIGN.md §13).
+ *
+ * `pgb shard` partitions a built pangenome by connected component,
+ * groups components into `--target-shard-mb` bins, writes one `.pgbi`
+ * artifact per bin (with SNOD/SLIN projection sections), and records
+ * the set here: the monolith's scalar facts (so mapping parameters and
+ * avgNodeLength are available without touching any shard), one line
+ * per shard (relative path, size, digest = the artifact's own
+ * section-table checksum), and one line per component (its shard and
+ * its global node-id ranges, which drive routing).
+ *
+ * Loading fails closed, like `.pgbi` loading: a bad version, a
+ * checksum mismatch, a duplicate or uncovering component, a missing or
+ * resized shard file are all one-line FatalErrors with the manifest
+ * path (and line number where one makes sense). The injectable
+ * failure is the `store.manifest` fault site.
+ */
+
+#ifndef PGB_STORE_MANIFEST_HPP
+#define PGB_STORE_MANIFEST_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pgb::store {
+
+/** One shard artifact listed by a manifest. */
+struct ShardEntry
+{
+    std::string file;     ///< path relative to the manifest
+    uint64_t bytes = 0;   ///< artifact file size (stat'd at open)
+    uint64_t digest = 0;  ///< the artifact's section-table checksum
+    uint64_t nodes = 0;   ///< local node count
+    uint64_t paths = 0;   ///< embedded path count (0 = never seeded)
+};
+
+/** One connected component and where it lives. */
+struct ComponentEntry
+{
+    uint32_t shard = 0;  ///< index into ShardManifest::shards
+    uint64_t nodes = 0;  ///< node count (sum of range sizes)
+    /** Inclusive global node-id ranges, ascending and disjoint. */
+    std::vector<std::pair<uint32_t, uint32_t>> ranges;
+};
+
+/** A parsed, validated `.pgbs` manifest. */
+struct ShardManifest
+{
+    // -- `meta` line: the monolith's scalar facts.
+    uint64_t nodeCount = 0;
+    uint64_t edgeCount = 0;
+    uint64_t pathCount = 0;
+    uint64_t totalBases = 0;
+    uint32_t k = 0, w = 0;
+    std::string seeder;    ///< "minimizer" | "mem" (FM sections iff mem)
+    bool hasGbwt = false;
+
+    std::vector<ShardEntry> shards;
+    std::vector<ComponentEntry> components;
+
+    std::string path; ///< the manifest's own path, for diagnostics
+
+    /** Absolute-or-manifest-relative path of shard @p index. */
+    std::string shardPath(size_t index) const;
+
+    /**
+     * Parse and validate the manifest at @p manifest_path: version,
+     * trailer checksum, routing coverage, and a stat of every listed
+     * shard file (existence + size). Throws FatalError on the first
+     * violation. Fault site: store.manifest.
+     */
+    static ShardManifest load(const std::string &manifest_path);
+
+    /**
+     * Write the manifest (atomic: temp file + rename), appending the
+     * FNV-1a 64 trailer over the preceding bytes.
+     */
+    void save(const std::string &manifest_path) const;
+};
+
+/**
+ * Global-node routing built from a manifest's component ranges:
+ * binary-searchable intervals mapping a global node id to its shard
+ * and shard-local node id. Local ids follow ascending global order
+ * within a shard, so `localBase + (node - lo)` inverts the shard
+ * builder's renumbering exactly.
+ */
+class ShardRouter
+{
+  public:
+    /** A routed global node. */
+    struct Route
+    {
+        uint32_t shard = 0;
+        uint32_t local = 0;
+    };
+
+    explicit ShardRouter(const ShardManifest &manifest);
+
+    /** Route @p node; fatal if no component covers it. */
+    Route route(uint32_t node) const;
+
+    /** Global node id of @p local in @p shard; fatal if out of range. */
+    uint32_t globalOf(uint32_t shard, uint32_t local) const;
+
+  private:
+    struct Interval
+    {
+        uint32_t lo = 0, hi = 0; ///< inclusive global node-id range
+        uint32_t shard = 0;
+        uint32_t localBase = 0;  ///< local id of `lo` within the shard
+    };
+
+    std::string path_; ///< manifest path, for diagnostics
+    std::vector<Interval> intervals_;             ///< sorted by lo
+    std::vector<std::vector<Interval>> byShard_;  ///< sorted by localBase
+};
+
+} // namespace pgb::store
+
+#endif // PGB_STORE_MANIFEST_HPP

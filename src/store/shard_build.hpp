@@ -1,0 +1,58 @@
+/**
+ * @file
+ * `pgb shard`: partition a built pangenome into a `.pgbs` shard set.
+ *
+ * Connected components are the partition unit — no edge, path, or
+ * alignment task ever crosses a component boundary, so a component can
+ * be mapped against in isolation. Components (ordered by their minimum
+ * global node id) are greedily grouped into bins of roughly
+ * `targetShardMb` estimated megabytes; each bin becomes one `.pgbi`
+ * shard artifact carrying the SNOD/SLIN projection sections, and the
+ * manifest (manifest.hpp) records the set.
+ *
+ * The renumbering is order-preserving: a shard's local node ids follow
+ * ascending global id order, its edges replay the monolith's adjacency,
+ * and its paths keep the monolith's path order. Per-shard indexes built
+ * over such a shard reproduce the monolith's index restricted to the
+ * shard exactly — the property the byte-identity guarantee
+ * (DESIGN.md §13) rests on.
+ */
+
+#ifndef PGB_STORE_SHARD_BUILD_HPP
+#define PGB_STORE_SHARD_BUILD_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "graph/pangraph.hpp"
+#include "store/manifest.hpp"
+
+namespace pgb::store {
+
+/** Knobs for buildShardSet (CLI defaults match `pgb index`). */
+struct ShardBuildParams
+{
+    int k = 15;
+    int w = 10;
+    unsigned threads = 1;
+    std::string seeder = "minimizer"; ///< "minimizer" | "mem"
+    uint32_t fmSampleRate = 8;        ///< SA sampling when seeder=mem
+    /** Target shard size in MiB (estimated); 0 = one shard per
+     *  component. */
+    uint64_t targetShardMb = 256;
+};
+
+/**
+ * Partition @p graph by connected component, write one `.pgbi` shard
+ * per bin next to @p manifest_path (named `<stem>.shard<i>.pgbi`), and
+ * write the manifest itself. Fatal on a pathless graph — shard sets
+ * are seeded along embedded paths, like the monolithic index.
+ * @return the saved manifest.
+ */
+ShardManifest buildShardSet(const graph::PanGraph &graph,
+                            const ShardBuildParams &params,
+                            const std::string &manifest_path);
+
+} // namespace pgb::store
+
+#endif // PGB_STORE_SHARD_BUILD_HPP

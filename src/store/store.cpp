@@ -101,6 +101,17 @@ need(const std::string &path, const std::vector<LoadedSection> &sections,
     fatal(path, ": missing required section ", tagName(tag));
 }
 
+/** Find an optional section by tag; nullptr when absent. */
+const LoadedSection *
+maybe(const std::vector<LoadedSection> &sections, uint32_t tag)
+{
+    for (const LoadedSection &section : sections) {
+        if (section.tag == tag)
+            return &section;
+    }
+    return nullptr;
+}
+
 /**
  * View a section as @p count records of type T, checking the length
  * matches exactly (a count mismatch means the file is internally
@@ -140,10 +151,18 @@ copyAll(const std::string &path, const LoadedSection &section)
 void
 writeArtifact(const std::string &path, const graph::PanGraph &graph,
               const index::MinimizerIndex &minimizers,
-              const index::GbwtIndex *gbwt, const index::FmIndex *fm)
+              const index::GbwtIndex *gbwt, const index::FmIndex *fm,
+              const ShardExtras *extras)
 {
     const size_t node_count = graph.nodeCount();
     const size_t path_count = graph.pathCount();
+    if (extras != nullptr &&
+        (extras->origNodes.size() != node_count ||
+         extras->linearBases.size() != node_count)) {
+        fatal(path, ": shard extras hold ", extras->origNodes.size(),
+              "/", extras->linearBases.size(), " entries, graph has ",
+              node_count, " nodes");
+    }
 
     // ---- Assemble section payloads.
     std::vector<Section> sections;
@@ -260,6 +279,14 @@ writeArtifact(const std::string &path, const graph::PanGraph &graph,
         span_section(kSecFmPathOffsets, fm->pathOffsetsData());
     }
 
+    // Shard projection (optional): written by `pgb shard` only.
+    if (extras != nullptr) {
+        sections.push_back(makeSection(kSecShardNodes,
+                                       extras->origNodes));
+        sections.push_back(makeSection(kSecShardLinear,
+                                       extras->linearBases));
+    }
+
     // ---- Lay out the file: header, table, aligned payloads.
     Header header = {};
     std::memcpy(header.magic, kMagic, sizeof(kMagic));
@@ -369,6 +396,7 @@ Artifact::load(const std::string &path)
         std::memcpy(table.data(), arena.at(sizeof(Header)), table_bytes);
     if (fnv1a64(table.data(), table_bytes) != header.tableChecksum)
         fatal(path, ": section table corrupt (checksum mismatch)");
+    artifact->tableChecksum_ = header.tableChecksum;
 
     std::vector<LoadedSection> sections;
     sections.reserve(table.size());
@@ -636,9 +664,53 @@ Artifact::load(const std::string &path)
             std::span<const uint64_t>(fm_offsets, path_count + 1));
     }
 
+    // ---- Shard projection (optional): zero-copy spans. A shard
+    // carries both sections or neither; each maps one record per node.
+    {
+        const LoadedSection *nodes_sec = maybe(sections, kSecShardNodes);
+        const LoadedSection *linear_sec =
+            maybe(sections, kSecShardLinear);
+        if ((nodes_sec == nullptr) != (linear_sec == nullptr))
+            fatal(path, ": artifact holds only one of SNOD/SLIN");
+        if (nodes_sec != nullptr) {
+            if (node_count == 0)
+                fatal(path, ": SNOD present in an empty graph");
+            const uint32_t *orig = viewAs<uint32_t>(path, *nodes_sec,
+                                                    node_count);
+            const uint64_t *linear = viewAs<uint64_t>(
+                path, *linear_sec, node_count);
+            for (size_t i = 1; i < node_count; ++i) {
+                if (orig[i - 1] >= orig[i])
+                    fatal(path, ": SNOD global ids are not strictly "
+                                "increasing");
+            }
+            artifact->origNodes_ =
+                std::span<const uint32_t>(orig, node_count);
+            artifact->linearBases_ =
+                std::span<const uint64_t>(linear, node_count);
+        }
+    }
+
     obsLoads.add();
     obsBytesLoaded.add(arena.size());
     return artifact;
+}
+
+uint64_t
+readTableChecksum(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        fatal(path, ": cannot open: ", std::strerror(errno));
+    Header header;
+    const size_t got = std::fread(&header, 1, sizeof(header), file);
+    std::fclose(file);
+    if (got != sizeof(header))
+        fatal(path, ": truncated artifact (", got,
+              " bytes, header needs ", sizeof(Header), ")");
+    if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0)
+        fatal(path, ": not a .pgbi artifact (bad magic)");
+    return header.tableChecksum;
 }
 
 } // namespace pgb::store

@@ -57,10 +57,11 @@ TEST_F(FaultTest, RegistryListsEveryProductionSite)
         "arena.ftruncate",  "arena.mmap",      "arena.open",
         "io.flush",         "mapper.read",     "serve.accept",
         "serve.read",       "serve.reload",    "serve.stall",
-        "serve.write",      "store.checksum",  "store.mmap",
-        "store.open",       "store.section",   "test.chaos.other",
-        "test.chaos.twin",  "test.chaos.twin", "test.obs.site",
-        "test.site",        "threadpool.for",  "threadpool.run",
+        "serve.write",      "store.checksum",  "store.manifest",
+        "store.mmap",       "store.open",      "store.section",
+        "test.chaos.other", "test.chaos.twin", "test.chaos.twin",
+        "test.obs.site",    "test.site",       "threadpool.for",
+        "threadpool.run",
     };
     EXPECT_EQ(sites, expected);
 }

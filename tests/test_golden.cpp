@@ -203,7 +203,9 @@ artifactContext()
             const std::string path =
                 testing::TempDir() + "golden_fixture.pgbi";
             store::writeArtifact(path, graph, minimizers, &gbwt);
-            return pipeline::MappingContext::load(path);
+            return pipeline::MappingContext::Builder()
+                .fromArtifact(path)
+                .build();
         }();
     return context;
 }
@@ -243,8 +245,10 @@ memArtifactContext()
             const std::string path =
                 testing::TempDir() + "golden_fixture_mem.pgbi";
             store::writeArtifact(path, graph, minimizers, nullptr, &fm);
-            return pipeline::MappingContext::load(
-                path, pipeline::SeederKind::kMem);
+            return pipeline::MappingContext::Builder()
+                .fromArtifact(path)
+                .seeder(pipeline::SeederKind::kMem)
+                .build();
         }();
     return context;
 }
@@ -290,10 +294,10 @@ TEST(Golden, MemSeederInMemoryBuildMatchesArtifactDigest)
 {
     // Build-mode FM-index (owned vectors) and view-mode (zero-copy
     // artifact spans) must drive the mapper to identical output.
-    pipeline::ContextBuildParams params;
-    params.seeder = pipeline::SeederKind::kMem;
-    const auto built = pipeline::MappingContext::build(
-        fixture().pangenome.graph, params);
+    const auto built = pipeline::MappingContext::Builder()
+                           .fromGraph(fixture().pangenome.graph)
+                           .seeder(pipeline::SeederKind::kMem)
+                           .build();
     EXPECT_EQ(contextMappingDigest(built, pipeline::ToolProfile::kVgMap,
                                    fixture().shortReads),
               contextMappingDigest(memArtifactContext(),

@@ -12,10 +12,12 @@
 #include <string>
 #include <vector>
 
+#include "core/fault.hpp"
 #include "core/logging.hpp"
 #include "core/parse.hpp"
 #include "graph/gfa.hpp"
 #include "seq/fasta.hpp"
+#include "store/manifest.hpp"
 #include "store/store.hpp"
 
 #ifndef PGB_CORPUS_DIR
@@ -290,6 +292,84 @@ TEST(ParseCorpus, FmBadMetaArtifactReportsTheField)
     const std::string path = corpusPath("fm_bad_meta.pgbi");
     expectStrictError([&] { store::Artifact::load(path); },
                       "fatal: " + path + ": FMET sample rate is zero");
+}
+
+// ------------------------------------------------ .pgbs shard sets
+//
+// Shard manifests fail closed: any defect — bad trailer, bad version,
+// inconsistent routing, missing shard file — is a FatalError with a
+// pinned one-line diagnostic, never a partially-usable shard set.
+
+TEST(ParseCorpus, ShardManifestMissingFileIsFatal)
+{
+    const std::string path = corpusPath("no_such.pgbs");
+    expectStrictError([&] { store::ShardManifest::load(path); },
+                      "fatal: " + path + ": cannot open manifest");
+}
+
+TEST(ParseCorpus, ShardManifestWithoutTrailerIsFatal)
+{
+    const std::string path = corpusPath("no_trailer.pgbs");
+    expectStrictError(
+        [&] { store::ShardManifest::load(path); },
+        "fatal: " + path + ": manifest has no checksum trailer");
+}
+
+TEST(ParseCorpus, ShardManifestChecksumMismatchIsFatal)
+{
+    const std::string path = corpusPath("bad_checksum.pgbs");
+    expectStrictError(
+        [&] { store::ShardManifest::load(path); },
+        "fatal: " + path + ": manifest corrupt (checksum mismatch)");
+}
+
+TEST(ParseCorpus, ShardManifestBadMagicIsFatal)
+{
+    const std::string path = corpusPath("not_pgbs.pgbs");
+    expectStrictError([&] { store::ShardManifest::load(path); },
+                      "fatal: " + path +
+                          ": line 1: not a .pgbs manifest");
+}
+
+TEST(ParseCorpus, ShardManifestFutureVersionIsFatal)
+{
+    const std::string path = corpusPath("bad_version.pgbs");
+    expectStrictError(
+        [&] { store::ShardManifest::load(path); },
+        "fatal: " + path +
+            ": manifest version 2 unsupported (this build reads "
+            "version 1)");
+}
+
+TEST(ParseCorpus, ShardManifestDuplicateComponentIsFatal)
+{
+    const std::string path = corpusPath("dup_component.pgbs");
+    expectStrictError([&] { store::ShardManifest::load(path); },
+                      "fatal: " + path +
+                          ": line 6: duplicate component 0");
+}
+
+TEST(ParseCorpus, ShardManifestMissingShardFileIsFatal)
+{
+    // The manifest itself is well-formed; the shard file it routes to
+    // does not exist, and load() refuses rather than deferring the
+    // failure to the first read that touches the shard.
+    const std::string path = corpusPath("missing_shard.pgbs");
+    expectStrictError([&] { store::ShardManifest::load(path); },
+                      "fatal: " + path + ": missing shard file '" +
+                          corpusPath("no_such.shard0.pgbi") + "'");
+}
+
+TEST(ParseCorpus, ShardManifestLoadFaultSiteFailsClosed)
+{
+    // The store.manifest fault site models an unreadable manifest at
+    // open time (ENOENT/EACCES races); armed, load() must fail before
+    // trusting a single byte.
+    const std::string path = corpusPath("missing_shard.pgbs");
+    core::fault::arm("store.manifest", 1);
+    expectStrictError([&] { store::ShardManifest::load(path); },
+                      "fatal: " + path + ": cannot open: injected fault");
+    core::fault::disarmAll();
 }
 
 } // namespace

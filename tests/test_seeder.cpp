@@ -62,10 +62,10 @@ fixture()
 std::shared_ptr<const pipeline::MappingContext>
 buildContext(pipeline::SeederKind kind)
 {
-    pipeline::ContextBuildParams params;
-    params.seeder = kind;
-    return pipeline::MappingContext::build(fixture().pangenome.graph,
-                                           params);
+    return pipeline::MappingContext::Builder()
+        .fromGraph(fixture().pangenome.graph)
+        .seeder(kind)
+        .build();
 }
 
 /** Anchors as comparable tuples. */
@@ -161,9 +161,10 @@ TEST(Seeder, MemSeederSubAnchorGeometryOnExactMatch)
     const auto node = graph.addNode(seq::Sequence("", text));
     graph.addPath("p", {graph::Handle(node, false)});
 
-    pipeline::ContextBuildParams params;
-    params.seeder = pipeline::SeederKind::kMem;
-    const auto context = pipeline::MappingContext::build(graph, params);
+    const auto context = pipeline::MappingContext::Builder()
+                             .fromGraph(graph)
+                             .seeder(pipeline::SeederKind::kMem)
+                             .build();
     const auto k = static_cast<uint32_t>(context->k());
 
     const size_t at = 321, length = 100;
@@ -228,8 +229,10 @@ TEST(Seeder, MemSeederViaArtifactMatchesInMemoryBuild)
     const index::FmIndex fm(graph);
     const std::string path = testing::TempDir() + "seeder_fixture.pgbi";
     store::writeArtifact(path, graph, minimizers, nullptr, &fm);
-    const auto loaded =
-        pipeline::MappingContext::load(path, pipeline::SeederKind::kMem);
+    const auto loaded = pipeline::MappingContext::Builder()
+                            .fromArtifact(path)
+                            .seeder(pipeline::SeederKind::kMem)
+                            .build();
     ASSERT_NE(loaded->fmIndex(), nullptr);
     EXPECT_TRUE(loaded->fmIndex()->isView());
 

@@ -384,10 +384,10 @@ struct ServeFixture
             read.read.setName("sr_" + std::to_string(r));
             reads.push_back(std::move(read.read));
         }
-        pipeline::ContextBuildParams params;
-        params.buildGbwt = true;
-        context = pipeline::MappingContext::build(pangenome.graph,
-                                                  params);
+        context = pipeline::MappingContext::Builder()
+                      .fromGraph(pangenome.graph)
+                      .buildGbwt(true)
+                      .build();
     }
 };
 
@@ -962,7 +962,9 @@ struct ArtifactFixture
         const index::GbwtIndex gbwt(fx.pangenome.graph, true, 1);
         store::writeArtifact(path, fx.pangenome.graph, minimizers,
                              &gbwt);
-        context = pipeline::MappingContext::load(path);
+        context = pipeline::MappingContext::Builder()
+                      .fromArtifact(path)
+                      .build();
     }
 };
 

@@ -9,13 +9,17 @@
  *               researchers can build kernel datasets from their data)
  *   stats       print graph statistics for a GFA
  *   index       build mapping indexes once, write a .pgbi artifact
- *   map         map FASTQ reads to a GFA graph (or a .pgbi artifact)
- *               with a chosen tool profile
+ *   shard       partition a pangenome by connected component into a
+ *               .pgbs shard set of per-shard .pgbi artifacts
+ *               (beyond-RAM mapping, DESIGN.md §13)
+ *   map         map FASTQ reads to a GFA graph, a .pgbi artifact, or
+ *               a .pgbs shard set with a chosen tool profile
  *   build       build a pangenome graph from FASTA assemblies (pggb/mc)
  *   layout      compute a PGSGD 2-D layout of a GFA, write TSV
  *   split       the Split-M-Graph transform (§6.2): cap node length
  *   deconstruct VCF-like variant records from the graph's bubbles
- *   serve       mapping daemon over a .pgbi artifact (DESIGN.md §10)
+ *   serve       mapping daemon over a .pgbi artifact or .pgbs shard
+ *               set (DESIGN.md §10, §13)
  *   loadgen     load generator + latency reporter for `pgb serve`
  *
  * Every subcommand parses its arguments through core::ArgParser, so
@@ -58,6 +62,7 @@
 #include "serve/loadgen.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "store/shard_build.hpp"
 #include "store/store.hpp"
 #include "synth/pangenome_sim.hpp"
 
@@ -117,16 +122,24 @@ usage()
         "  pgb index <graph.gfa> -o <out.pgbi> [--k K] [--w W]\n"
         "      build the mapping indexes once, write a .pgbi artifact\n"
         "      (--seeder=mem adds the FM-index sections)\n"
+        "  pgb shard <graph.gfa> -o <out.pgbs> [--target-shard-mb N]\n"
+        "      partition by connected component into per-shard .pgbi\n"
+        "      artifacts plus a checksummed .pgbs manifest, for\n"
+        "      beyond-RAM mapping (shards mmap lazily, evict under\n"
+        "      --shard-cache-mb)\n"
         "  pgb map <graph.gfa> <reads.fq> [vgmap|giraffe|graphaligner|"
         "minigraph] [threads]\n"
         "  pgb map --index <art.pgbi> <reads.fq> [profile] [threads]\n"
-        "      --seeder=minimizer|mem picks the seeding backend\n"
+        "  pgb map --shards <set.pgbs> <reads.fq> [profile] [threads]\n"
+        "      --seeder=minimizer|mem picks the seeding backend;\n"
+        "      --shard-cache-mb bounds resident shards\n"
         "  pgb build <assemblies.fa> <out.gfa> [pggb|mc] [threads]\n"
         "  pgb layout <graph.gfa> <out.tsv> [iterations] [threads]\n"
         "  pgb split <in.gfa> <out.gfa> [max-node-length]\n"
         "  pgb deconstruct <graph.gfa> [ref-path-name]\n"
         "      VCF-like variant records from the graph's bubbles\n"
-        "  pgb serve --index <art.pgbi> (--socket <path> | --stdio)\n"
+        "  pgb serve (--index <art.pgbi> | --shards <set.pgbs>)\n"
+        "      (--socket <path> | --stdio)\n"
         "      batching mapping daemon; SIGTERM drains and stops,\n"
         "      a second SIGTERM forces teardown, SIGHUP hot-reloads\n"
         "      the index\n"
@@ -334,17 +347,89 @@ cmdIndex(int argc, char **argv)
 }
 
 int
+cmdShard(int argc, char **argv)
+{
+    core::ArgParser parser(
+        "shard", "<graph.gfa> -o <out.pgbs>",
+        "partition a pangenome by connected component into per-shard "
+        ".pgbi artifacts plus a checksummed .pgbs manifest; `pgb map "
+        "--shards` / `pgb serve --shards` then mmap shards lazily and "
+        "keep residency under --shard-cache-mb (beyond-RAM mapping, "
+        "DESIGN.md §13)");
+    parser.option("--output", "out.pgbs",
+                  "manifest output path (required); shard artifacts "
+                  "land beside it as <stem>.shard<i>.pgbi", "-o");
+    parser.option("--k", "k", "minimizer length (default 15)");
+    parser.option("--w", "w", "minimizer window (default 10)");
+    parser.option("--seeder", "name",
+                  "seeding backend the shard set should support: "
+                  "minimizer (default) or mem (adds per-shard "
+                  "FM-index sections)");
+    parser.option("--target-shard-mb", "mb",
+                  "bin consecutive components into shards of about "
+                  "this many MiB (default 256; 0 = one shard per "
+                  "component)");
+    parser.option("--threads", "n",
+                  "worker threads (default: all cores)");
+    if (!parser.parse(argc, argv))
+        return 0;
+    parser.requirePositionals(1, 1);
+    const std::string out_path = parser.get("--output");
+    if (out_path.empty())
+        core::fatal("shard: missing required --output/-o <out.pgbs>");
+
+    core::ParseStats parse_stats;
+    const auto graph = graph::readGfaFile(parser.positional(0),
+                                          cliParseOptions(),
+                                          &parse_stats);
+    reportSkipped("shard", parse_stats);
+
+    store::ShardBuildParams params;
+    params.k = static_cast<int>(parser.getUint("--k", 15, 4, 31));
+    params.w = static_cast<int>(parser.getUint("--w", 10, 1, 1024));
+    params.seeder = parser.get("--seeder", "minimizer");
+    params.targetShardMb =
+        parser.getUint("--target-shard-mb", 256, 0, 1u << 20);
+    params.threads = parser.has("--threads")
+        ? static_cast<unsigned>(parser.getUint("--threads", 1, 1, 65536))
+        : core::hardwareThreads();
+
+    core::WallTimer timer;
+    const store::ShardManifest manifest =
+        store::buildShardSet(graph, params, out_path);
+    uint64_t bytes = 0;
+    for (const auto &entry : manifest.shards)
+        bytes += entry.bytes;
+    std::printf("shard: %zu component(s) -> %zu shard(s) (%.1f MiB "
+                "total), k=%d w=%d%s; built in %.2fs -> %s\n",
+                manifest.components.size(), manifest.shards.size(),
+                static_cast<double>(bytes) / (1024.0 * 1024.0),
+                params.k, params.w,
+                params.seeder == "mem" ? "; +FM-index" : "",
+                timer.seconds(), out_path.c_str());
+    return 0;
+}
+
+int
 cmdMap(int argc, char **argv)
 {
     core::ArgParser parser(
         "map",
-        "(<graph.gfa> | --index <art.pgbi>) <reads.fq> [profile] "
-        "[threads]",
+        "(<graph.gfa> | --index <art.pgbi> | --shards <set.pgbs>) "
+        "<reads.fq> [profile] [threads]",
         "map FASTQ reads to a pangenome graph; profile is one of "
         "vgmap, giraffe, graphaligner, minigraph (default vgmap)");
     parser.option("--index", "art.pgbi",
                   "map against a prebuilt artifact (pgb index) "
                   "instead of rebuilding indexes from a GFA");
+    parser.option("--shards", "set.pgbs",
+                  "map against a sharded pangenome (pgb shard): "
+                  "shards mmap lazily on first touch, so graphs "
+                  "larger than RAM map under --shard-cache-mb");
+    parser.option("--shard-cache-mb", "mb",
+                  "resident shard budget in MiB (default 0 = "
+                  "unlimited); in-flight batches pin their shards, "
+                  "so the budget is soft");
     parser.option("--threads", "n",
                   "worker threads (default: all cores)");
     parser.option("--batch", "reads",
@@ -361,10 +446,15 @@ cmdMap(int argc, char **argv)
     if (!parser.parse(argc, argv))
         return 0;
 
-    // With --index the graph positional disappears and everything
-    // shifts left: map --index art.pgbi reads.fq [profile] [threads].
+    // With --index/--shards the graph positional disappears and
+    // everything shifts left: map --index art.pgbi reads.fq [profile]
+    // [threads].
     const bool from_artifact = parser.has("--index");
-    const size_t base = from_artifact ? 0 : 1;
+    const bool from_shards = parser.has("--shards");
+    if (from_artifact && from_shards)
+        core::fatal("map: --index and --shards are mutually "
+                    "exclusive (one backing store per run)");
+    const size_t base = (from_artifact || from_shards) ? 0 : 1;
     parser.requirePositionals(base + 1, base + 3);
     const std::string reads_path = parser.positional(base);
 
@@ -380,21 +470,34 @@ cmdMap(int argc, char **argv)
     graph::PanGraph graph; ///< kept alive for the in-memory context
     std::shared_ptr<const pipeline::MappingContext> context;
     if (from_artifact) {
-        context = pipeline::MappingContext::load(parser.get("--index"),
-                                                 seeder);
+        context = pipeline::MappingContext::Builder()
+                      .fromArtifact(parser.get("--index"))
+                      .seeder(seeder)
+                      .build();
         // The artifact dictates the index geometry.
+        config.k = context->k();
+        config.w = context->w();
+    } else if (from_shards) {
+        context = pipeline::MappingContext::Builder()
+                      .fromManifest(parser.get("--shards"))
+                      .seeder(seeder)
+                      .shardCacheMb(parser.getUint("--shard-cache-mb",
+                                                   0, 0, 1u << 20))
+                      .build();
+        // The manifest dictates the index geometry.
         config.k = context->k();
         config.w = context->w();
     } else {
         graph = graph::readGfaFile(parser.positional(0), parse_options);
-        pipeline::ContextBuildParams params;
-        params.k = config.k;
-        params.w = config.w;
-        params.threads = config.threads;
-        params.buildGbwt =
-            config.profile == pipeline::ToolProfile::kVgGiraffe;
-        params.seeder = seeder;
-        context = pipeline::MappingContext::build(graph, params);
+        context = pipeline::MappingContext::Builder()
+                      .fromGraph(graph)
+                      .k(config.k)
+                      .w(config.w)
+                      .threads(config.threads)
+                      .buildGbwt(config.profile ==
+                                 pipeline::ToolProfile::kVgGiraffe)
+                      .seeder(seeder)
+                      .build();
     }
 
     // Stream the FASTQ in bounded batches; aggregate one report.
@@ -438,7 +541,9 @@ cmdMap(int argc, char **argv)
                 static_cast<unsigned long long>(total.mappedReads),
                 static_cast<unsigned long long>(total.reads),
                 timer.seconds(), config.threads,
-                from_artifact ? ", from artifact" : "");
+                from_artifact ? ", from artifact"
+                              : (from_shards ? ", from shard set"
+                                             : ""));
     for (const auto &[stage, secs] : total.timers.stages())
         std::printf("  %-13s %8.3fs\n", stage.c_str(), secs);
     return 0;
@@ -648,12 +753,21 @@ int
 cmdServe(int argc, char **argv)
 {
     core::ArgParser parser(
-        "serve", "--index <art.pgbi> (--socket <path> | --stdio)",
-        "run the mapping daemon: load the artifact once, serve "
-        "framed mapping requests with batching and admission "
-        "control until SIGTERM (DESIGN.md §10)");
+        "serve",
+        "(--index <art.pgbi> | --shards <set.pgbs>) "
+        "(--socket <path> | --stdio)",
+        "run the mapping daemon: open the artifact or shard set "
+        "once, serve framed mapping requests with batching and "
+        "admission control until SIGTERM (DESIGN.md §10, §13)");
     parser.option("--index", "art.pgbi",
-                  "prebuilt artifact to serve (required; pgb index)");
+                  "prebuilt artifact to serve (pgb index)");
+    parser.option("--shards", "set.pgbs",
+                  "sharded pangenome to serve (pgb shard): shards "
+                  "mmap lazily, so pangenomes larger than RAM serve "
+                  "under --shard-cache-mb");
+    parser.option("--shard-cache-mb", "mb",
+                  "resident shard budget in MiB (default 0 = "
+                  "unlimited); in-flight batches pin their shards");
     parser.option("--socket", "path",
                   "Unix-domain socket path to listen on");
     parser.flag("--stdio",
@@ -682,8 +796,13 @@ cmdServe(int argc, char **argv)
         return 0;
     parser.requirePositionals(0, 0);
     const std::string index_path = parser.get("--index");
-    if (index_path.empty())
-        core::fatal("serve: missing required --index <art.pgbi>");
+    const std::string shards_path = parser.get("--shards");
+    if (index_path.empty() && shards_path.empty())
+        core::fatal("serve: missing required --index <art.pgbi> or "
+                    "--shards <set.pgbs>");
+    if (!index_path.empty() && !shards_path.empty())
+        core::fatal("serve: --index and --shards are mutually "
+                    "exclusive (one backing store per daemon)");
 
     serve::ServeConfig config;
     config.socketPath = parser.get("--socket");
@@ -706,6 +825,9 @@ cmdServe(int argc, char **argv)
             parser.getUint("--threads", 1, 1, 65536));
     }
     config.indexPath = index_path;
+    config.shardsPath = shards_path;
+    config.shardCacheMb =
+        parser.getUint("--shard-cache-mb", 0, 0, 1u << 20);
     config.stallBudgetMs = parser.getUint("--stall-budget-ms", 20000,
                                           0, 3600u * 1000);
 
@@ -719,8 +841,14 @@ cmdServe(int argc, char **argv)
         };
     }
 
-    auto context =
-        pipeline::MappingContext::load(index_path, config.seeder);
+    pipeline::MappingContext::Builder builder;
+    if (shards_path.empty()) {
+        builder.fromArtifact(index_path);
+    } else {
+        builder.fromManifest(shards_path)
+            .shardCacheMb(config.shardCacheMb);
+    }
+    auto context = builder.seeder(config.seeder).build();
     serve::Server server(std::move(context), config);
 
     activeServer = &server;
@@ -889,8 +1017,9 @@ cmdCtl(int argc, char **argv)
     core::ArgParser parser(
         "ctl", "--socket <path> (ping|status|reload)",
         "send one control frame to a running daemon: ping "
-        "(liveness), status (obs metrics snapshot), reload "
-        "(hot-swap the .pgbi index)");
+        "(liveness), status (obs metrics snapshot; sharded daemons "
+        "report per-shard residency as shard.<i>.resident), reload "
+        "(hot-swap the .pgbi index or .pgbs shard set)");
     parser.option("--socket", "path",
                   "daemon socket to connect to (required)");
     if (!parser.parse(argc, argv))
@@ -930,6 +1059,8 @@ dispatch(const std::string &command, int argc, char **argv)
         return cmdStats(argc, argv);
     if (command == "index")
         return cmdIndex(argc, argv);
+    if (command == "shard")
+        return cmdShard(argc, argv);
     if (command == "map")
         return cmdMap(argc, argv);
     if (command == "build")
